@@ -1,0 +1,46 @@
+//! Regenerates the paper's §4 baseline paragraph: ungrounded ChatGPT accuracy
+//! on tuple imputation (paper: 0.52) and claim judgment (paper: 0.54) — the
+//! numbers that motivate post-generation verification.
+//!
+//! ```text
+//! cargo bench -p verifai-bench --bench baseline_accuracy
+//! VERIFAI_BENCH_SCALE=paper cargo bench -p verifai-bench --bench baseline_accuracy
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde_json::json;
+use verifai::experiments::baseline;
+use verifai::report::render_baseline;
+use verifai_bench::{paper_context, write_artifact};
+
+fn bench_baseline(c: &mut Criterion) {
+    let (ctx, scale) = paper_context();
+
+    // Produce and publish the paper-facing numbers once.
+    let result = baseline(&ctx);
+    eprintln!("\n=== Baseline (ungrounded generation), scale = {} ===", scale.label());
+    eprintln!("{}", render_baseline(&result));
+    eprintln!("paper: imputation 0.52, claims 0.54\n");
+    write_artifact(
+        &format!("baseline_{}", scale.label()),
+        &json!({
+            "scale": scale.label(),
+            "imputation_accuracy": result.imputation.value(),
+            "imputation_n": result.imputation.total,
+            "claim_accuracy": result.claims.value(),
+            "claim_n": result.claims.total,
+            "paper": { "imputation": 0.52, "claims": 0.54 },
+        }),
+    );
+
+    // Time the experiment kernel.
+    let mut group = c.benchmark_group("baseline");
+    group.sample_size(10);
+    group.bench_function(format!("ungrounded_generation/{}", scale.label()), |b| {
+        b.iter(|| baseline(&ctx))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

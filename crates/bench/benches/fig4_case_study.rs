@@ -1,0 +1,47 @@
+//! Regenerates the paper's Figure 4 — the case study of verifying a textual
+//! claim against two retrieved tables: E1 refuted through an aggregation
+//! query, E2 not related because it concerns a different year, each with the
+//! model's natural-language explanation.
+//!
+//! ```text
+//! cargo bench -p verifai-bench --bench fig4_case_study
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde_json::json;
+use verifai::experiments::figure4;
+use verifai::report::render_fig4;
+use verifai::Verdict;
+use verifai_bench::{paper_context, write_artifact};
+
+fn bench_fig4(c: &mut Criterion) {
+    let (mut ctx, scale) = paper_context();
+
+    let case = figure4(&mut ctx).expect("championship tables exist at every scale");
+    eprintln!("\n=== Figure 4 (case study), scale = {} ===", scale.label());
+    eprintln!("{}", render_fig4(&case));
+    assert_eq!(case.evidence[0].verdict, Verdict::Refuted, "E1 must be refuted");
+    assert_eq!(case.evidence[1].verdict, Verdict::NotRelated, "E2 must be not related");
+    write_artifact(
+        &format!("figure4_{}", scale.label()),
+        &json!({
+            "scale": scale.label(),
+            "claim": case.claim_text,
+            "evidence": case.evidence.iter().map(|e| json!({
+                "caption": e.caption,
+                "verdict": e.verdict.to_string(),
+                "explanation": e.explanation,
+            })).collect::<Vec<_>>(),
+        }),
+    );
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function(format!("case_study/{}", scale.label()), |b| {
+        b.iter(|| figure4(&mut ctx))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Scaling behaviour of the substrates: lake generation, index construction,
+//! and per-query retrieval latency as the corpus grows toward the paper's
+//! 19.5k-table / 270k-tuple / 13.8k-document scale (challenge C1: "indexing
+//! multi-modal data lakes at scale").
+//!
+//! ```text
+//! cargo bench -p verifai-bench --bench scaling
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use verifai::{VerifAi, VerifAiConfig};
+use verifai_datagen::{build, LakeSpec};
+use verifai_lake::InstanceKind;
+
+/// Lake specs of increasing size (fractions of the small preset).
+fn ladder() -> Vec<(&'static str, LakeSpec)> {
+    let mut quarter = LakeSpec::small(42);
+    quarter.film_tables /= 4;
+    quarter.player_tables /= 4;
+    quarter.city_tables /= 4;
+    quarter.election_states /= 2;
+    quarter.championship_series /= 2;
+    let mut half = LakeSpec::small(42);
+    half.film_tables /= 2;
+    half.player_tables /= 2;
+    half.city_tables /= 2;
+    vec![
+        ("tiny", LakeSpec::tiny(42)),
+        ("quarter", quarter),
+        ("half", half),
+        ("small", LakeSpec::small(42)),
+    ]
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Lake generation throughput.
+    let mut group = c.benchmark_group("lake_generation");
+    group.sample_size(10);
+    for (label, spec) in ladder() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
+            b.iter(|| build(spec))
+        });
+    }
+    group.finish();
+
+    // Index construction (content only vs content+semantic).
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for (label, spec) in ladder().into_iter().take(3) {
+        group.bench_with_input(BenchmarkId::new("content_only", label), &spec, |b, spec| {
+            b.iter_with_setup(
+                || build(spec),
+                |lake| VerifAi::build(lake, VerifAiConfig::paper_setting()),
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("with_semantic", label), &spec, |b, spec| {
+            b.iter_with_setup(
+                || build(spec),
+                |lake| VerifAi::build(lake, VerifAiConfig::default()),
+            )
+        });
+    }
+    group.finish();
+
+    // Batch verification: sequential vs multi-threaded workers.
+    {
+        let generated = build(&LakeSpec::tiny(42));
+        let tasks = verifai_datagen::completion_workload(&generated, 24, 7);
+        let system = VerifAi::build(generated, VerifAiConfig::default());
+        let objects: Vec<verifai::DataObject> =
+            tasks.iter().map(|t| system.impute(t)).collect();
+        let mut group = c.benchmark_group("verify_batch_24_objects");
+        group.sample_size(10);
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(threads),
+                &threads,
+                |b, &threads| b.iter(|| system.verify_batch(&objects, threads)),
+            );
+        }
+        group.finish();
+    }
+
+    // Query latency on the largest prebuilt system.
+    let system = VerifAi::build(build(&LakeSpec::small(42)), VerifAiConfig::default());
+    let stats = system.lake().stats();
+    eprintln!("query-latency corpus: {stats}");
+    let mut group = c.benchmark_group("query_latency_small");
+    for (name, kind, k) in [
+        ("tuple_top3", InstanceKind::Tuple, 3usize),
+        ("table_top5", InstanceKind::Table, 5),
+        ("text_top3", InstanceKind::Text, 3),
+        ("tuple_top50_coarse", InstanceKind::Tuple, 50),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                system.retrieve("incumbent district New York elections 1956", kind, k)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Regenerates the paper's Table 1 — recall on retrieved data instances:
+//!
+//! | generated     | retrieved | k | paper |
+//! |---------------|-----------|---|-------|
+//! | tuple         | tuple     | 3 | 0.99  |
+//! | tuple         | text      | 3 | 0.58  |
+//! | textual claim | table     | 5 | 0.88  |
+//!
+//! Retrieval uses the §4 setting (the BM25 content index, i.e. the
+//! Elasticsearch substitute, with no reranker). The absolute values are
+//! calibrated through the generator's ambiguity knobs; the reproduced *shape*
+//! is the ordering tuple→tuple ≫ claim→table ≫ tuple→text at small k.
+//!
+//! ```text
+//! cargo bench -p verifai-bench --bench table1_retrieval
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde_json::json;
+use verifai::experiments::table1;
+use verifai::report::render_table1;
+use verifai_bench::{paper_context, write_artifact};
+use verifai_lake::InstanceKind;
+
+fn bench_table1(c: &mut Criterion) {
+    let (mut ctx, scale) = paper_context();
+
+    let rows = table1(&mut ctx);
+    eprintln!("\n=== Table 1 (retrieval recall), scale = {} ===", scale.label());
+    eprintln!("{}", render_table1(&rows));
+    eprintln!("paper: 0.99 / 0.58 / 0.88\n");
+    write_artifact(
+        &format!("table1_{}", scale.label()),
+        &json!({
+            "scale": scale.label(),
+            "rows": rows.iter().map(|r| json!({
+                "generated": r.generated,
+                "retrieved": r.retrieved,
+                "k": r.k,
+                "recall": r.recall,
+            })).collect::<Vec<_>>(),
+            "paper": [0.99, 0.58, 0.88],
+        }),
+    );
+
+    // Time the retrieval kernels per modality.
+    let mut group = c.benchmark_group("table1_retrieval");
+    group.sample_size(10);
+    let task_query = {
+        let object = ctx.system.impute(&ctx.tasks[0]);
+        verifai::VerifAi::query_of(&object)
+    };
+    let claim_query = ctx.claims[0].text.clone();
+    group.bench_function(format!("tuple_query_top3/{}", scale.label()), |b| {
+        b.iter(|| ctx.system.retrieve(&task_query, InstanceKind::Tuple, 3))
+    });
+    group.bench_function(format!("text_query_top3/{}", scale.label()), |b| {
+        b.iter(|| ctx.system.retrieve(&task_query, InstanceKind::Text, 3))
+    });
+    group.bench_function(format!("table_query_top5/{}", scale.label()), |b| {
+        b.iter(|| ctx.system.retrieve(&claim_query, InstanceKind::Table, 5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Shared harness utilities for the VerifAI benchmark suite.
+//!
+//! Every bench in `benches/` regenerates one table or figure of the paper's
+//! §4 evaluation: it prints the paper-layout result table to stderr, writes a
+//! machine-readable artifact under `target/verifai-artifacts/`, and then lets
+//! Criterion time the experiment kernel.
+//!
+//! Scale is controlled by `VERIFAI_BENCH_SCALE` (`tiny` | `small` (default) |
+//! `paper`). The `paper` preset matches the corpus sizes of §4 (≈19.5k tables,
+//! ≈270k tuples, ≈13.8k text files) and takes minutes; `small` preserves every
+//! qualitative shape in seconds.
+
+use std::io::Write;
+use std::path::PathBuf;
+use verifai::experiments::ExperimentContext;
+use verifai::VerifAiConfig;
+use verifai_datagen::LakeSpec;
+
+/// Benchmark scale, from `VERIFAI_BENCH_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchScale {
+    /// Milliseconds; CI smoke.
+    Tiny,
+    /// Seconds; default.
+    Small,
+    /// Paper corpus sizes; minutes.
+    Paper,
+}
+
+impl BenchScale {
+    /// Read the scale from the environment.
+    pub fn from_env() -> BenchScale {
+        match std::env::var("VERIFAI_BENCH_SCALE").as_deref() {
+            Ok("tiny") => BenchScale::Tiny,
+            Ok("paper") => BenchScale::Paper,
+            _ => BenchScale::Small,
+        }
+    }
+
+    /// The lake spec for this scale.
+    pub fn spec(self, seed: u64) -> LakeSpec {
+        match self {
+            BenchScale::Tiny => LakeSpec::tiny(seed),
+            BenchScale::Small => LakeSpec::small(seed),
+            BenchScale::Paper => LakeSpec::paper_scale(seed),
+        }
+    }
+
+    /// Workload sizes (tasks, claims): the paper uses 100 tuples and 1,300
+    /// claims; smaller scales shrink the claim count to keep benches quick.
+    pub fn workload(self) -> (usize, usize) {
+        match self {
+            BenchScale::Tiny => (20, 40),
+            BenchScale::Small => (100, 300),
+            BenchScale::Paper => (100, 1_300),
+        }
+    }
+
+    /// Label for bench ids and artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            BenchScale::Tiny => "tiny",
+            BenchScale::Small => "small",
+            BenchScale::Paper => "paper",
+        }
+    }
+}
+
+/// Build the standard experiment context at the environment-selected scale,
+/// using the paper's §4 retrieval setting (content index only, no reranker).
+pub fn paper_context() -> (ExperimentContext, BenchScale) {
+    let scale = BenchScale::from_env();
+    let (tasks, claims) = scale.workload();
+    let ctx =
+        ExperimentContext::new(&scale.spec(42), tasks, claims, VerifAiConfig::paper_setting());
+    (ctx, scale)
+}
+
+/// Build a context with the full pipeline (semantic index + reranker) enabled.
+pub fn full_pipeline_context() -> (ExperimentContext, BenchScale) {
+    let scale = BenchScale::from_env();
+    let (tasks, claims) = scale.workload();
+    let ctx = ExperimentContext::new(&scale.spec(42), tasks, claims, VerifAiConfig::default());
+    (ctx, scale)
+}
+
+/// Write a JSON artifact under `target/verifai-artifacts/<name>.json`.
+pub fn write_artifact(name: &str, value: &serde_json::Value) {
+    let dir = artifact_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(file) = std::fs::File::create(&path) {
+        let mut w = std::io::BufWriter::new(file);
+        let _ = writeln!(w, "{}", serde_json::to_string_pretty(value).unwrap_or_default());
+        eprintln!("artifact written: {}", path.display());
+    }
+}
+
+/// The artifact directory (under the workspace `target/`).
+pub fn artifact_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(target).join("verifai-artifacts")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_mappings_are_consistent() {
+        for scale in [BenchScale::Tiny, BenchScale::Small, BenchScale::Paper] {
+            let spec = scale.spec(1);
+            assert!(spec.expected_tables() > 0);
+            let (t, c) = scale.workload();
+            assert!(t > 0 && c > 0);
+            assert!(!scale.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn tiny_context_builds() {
+        let ctx = ExperimentContext::new(
+            &LakeSpec::tiny(1),
+            5,
+            10,
+            VerifAiConfig::paper_setting(),
+        );
+        assert_eq!(ctx.tasks.len(), 5);
+        assert_eq!(ctx.claims.len(), 10);
+    }
+}

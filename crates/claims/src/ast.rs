@@ -1,0 +1,257 @@
+//! Claim expressions.
+
+use verifai_lake::{TableId, Value};
+
+/// Comparison operators usable in claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Strictly less.
+    Lt,
+    /// Strictly greater.
+    Gt,
+    /// At most.
+    Le,
+    /// At least.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison between two values. Numeric pairs compare
+    /// numerically (with tolerance for equality); otherwise normalized strings.
+    pub fn eval(self, left: &Value, right: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => left.matches(right),
+            CmpOp::Ne => !left.matches(right) && !left.is_null() && !right.is_null(),
+            _ => {
+                if left.is_null() || right.is_null() {
+                    return false;
+                }
+                let ord = left.total_cmp(right);
+                match self {
+                    CmpOp::Lt => ord == Less,
+                    CmpOp::Gt => ord == Greater,
+                    CmpOp::Le => ord != Greater,
+                    CmpOp::Ge => ord != Less,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Logical negation of the operator.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// Aggregate functions over a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Row count.
+    Count,
+    /// Sum of a numeric column.
+    Sum,
+    /// Average of a numeric column.
+    Avg,
+    /// Minimum of a numeric column.
+    Min,
+    /// Maximum of a numeric column.
+    Max,
+}
+
+/// A row filter: `column <op> value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Column header named in the claim.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Comparison value.
+    pub value: Value,
+}
+
+/// The semantics of a textual claim about a table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClaimExpr {
+    /// "the `column` of `key` is (cmp) `value`" — a cell lookup keyed by another
+    /// column.
+    Lookup {
+        /// Column identifying the subject row.
+        key_column: String,
+        /// Subject value (e.g. an entity name).
+        key: Value,
+        /// Column whose cell the claim is about.
+        column: String,
+        /// Comparison between the cell and `value`.
+        op: CmpOp,
+        /// Claimed value.
+        value: Value,
+    },
+    /// `the {agg} of {column} (where p1 and p2 ...) is (cmp) {value}` — an
+    /// aggregate over (optionally filtered) rows. For `Count`, `column` is
+    /// `None`. Multiple predicates conjoin (TabFact claims frequently carry
+    /// two conditions).
+    Aggregate {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Aggregated column (`None` for COUNT(*)).
+        column: Option<String>,
+        /// Row filters, conjoined; empty = all rows.
+        predicates: Vec<Predicate>,
+        /// Comparison between the aggregate and `value`.
+        op: CmpOp,
+        /// Claimed value.
+        value: Value,
+    },
+    /// "`subject` has the highest/lowest `rank_column`" — a superlative.
+    Superlative {
+        /// true = highest, false = lowest.
+        largest: bool,
+        /// Column ranked over.
+        rank_column: String,
+        /// Column identifying subjects.
+        subject_column: String,
+        /// Claimed subject.
+        subject: Value,
+    },
+}
+
+impl ClaimExpr {
+    /// Columns mentioned by the claim (used for binding diagnostics).
+    pub fn mentioned_columns(&self) -> Vec<&str> {
+        match self {
+            ClaimExpr::Lookup { key_column, column, .. } => vec![key_column, column],
+            ClaimExpr::Aggregate { column, predicates, .. } => {
+                let mut v = Vec::new();
+                if let Some(c) = column {
+                    v.push(c.as_str());
+                }
+                for p in predicates {
+                    v.push(p.column.as_str());
+                }
+                v
+            }
+            ClaimExpr::Superlative { rank_column, subject_column, .. } => {
+                vec![rank_column, subject_column]
+            }
+        }
+    }
+
+    /// Whether evaluating this claim requires multi-row computation (aggregates
+    /// and superlatives) — the class of claims the paper's Figure 4 shows the
+    /// LLM handling with an "aggregation query", and the class our simulated
+    /// LLM is noisiest on.
+    pub fn is_aggregate_like(&self) -> bool {
+        matches!(self, ClaimExpr::Aggregate { .. } | ClaimExpr::Superlative { .. })
+    }
+}
+
+/// How adventurously a claim was verbalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParaphraseLevel {
+    /// The canonical template; always parseable.
+    Canonical,
+    /// Synonym/word-order variation; parseable by the extended grammar.
+    Varied,
+    /// Free-form verbalization outside the parser grammar (models the TabFact
+    /// long tail a trained semantic parser cannot cover).
+    Hard,
+}
+
+/// A labelled textual claim, as produced by the workload generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Claim {
+    /// Workload-unique id.
+    pub id: u64,
+    /// Natural-language rendering.
+    pub text: String,
+    /// Ground-truth semantics.
+    pub expr: ClaimExpr,
+    /// The caption context the claim was rendered with — its *scope*. May be
+    /// a vague form of the source caption (e.g. with the year dropped), which
+    /// is what makes open-domain table retrieval ambiguous.
+    pub scope: String,
+    /// The table this claim was generated from (the *relevant* evidence).
+    pub table: TableId,
+    /// Ground-truth label: does the source table entail the claim?
+    pub label: bool,
+    /// Verbalization level used for `text`.
+    pub paraphrase: ParaphraseLevel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval_numeric_and_text() {
+        assert!(CmpOp::Eq.eval(&Value::Int(3), &Value::Float(3.0)));
+        assert!(CmpOp::Lt.eval(&Value::Int(3), &Value::Int(4)));
+        assert!(CmpOp::Ge.eval(&Value::Int(4), &Value::Int(4)));
+        assert!(CmpOp::Ne.eval(&Value::text("a"), &Value::text("b")));
+        assert!(!CmpOp::Ne.eval(&Value::Null, &Value::text("b")));
+        assert!(CmpOp::Eq.eval(&Value::text("Otis Pike"), &Value::text("otis pike")));
+    }
+
+    #[test]
+    fn cmp_null_comparisons_false() {
+        for op in [CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge, CmpOp::Eq] {
+            assert!(!op.eval(&Value::Null, &Value::Int(1)), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge] {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn negation_flips_truth_for_total_orders() {
+        let a = Value::Int(3);
+        let b = Value::Int(5);
+        for op in [CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge] {
+            assert_ne!(op.eval(&a, &b), op.negate().eval(&a, &b));
+        }
+    }
+
+    #[test]
+    fn mentioned_columns_cover_ops() {
+        let lookup = ClaimExpr::Lookup {
+            key_column: "team".into(),
+            key: Value::text("brown"),
+            column: "points".into(),
+            op: CmpOp::Eq,
+            value: Value::Int(1),
+        };
+        assert_eq!(lookup.mentioned_columns(), vec!["team", "points"]);
+        assert!(!lookup.is_aggregate_like());
+
+        let agg = ClaimExpr::Aggregate {
+            func: AggFunc::Sum,
+            column: Some("points".into()),
+            predicates: vec![Predicate {
+                column: "year".into(),
+                op: CmpOp::Eq,
+                value: Value::Int(1959),
+            }],
+            op: CmpOp::Eq,
+            value: Value::Int(10),
+        };
+        assert_eq!(agg.mentioned_columns(), vec!["points", "year"]);
+        assert!(agg.is_aggregate_like());
+    }
+}

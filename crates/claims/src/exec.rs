@@ -1,0 +1,390 @@
+//! Claim execution against tables.
+//!
+//! [`execute`] is the formal ground truth: it evaluates a [`ClaimExpr`] against a
+//! [`Table`], returning [`ExecOutcome::Unsupported`] when the table cannot bind
+//! the claim's columns or subject — the signal that the table is *not related*
+//! to the claim. The workload generator uses it to label claims; the PASTA-style
+//! verifier uses it as its (perfect) backend after its (imperfect) parser.
+
+use crate::ast::{AggFunc, ClaimExpr, CmpOp, Predicate};
+use verifai_lake::{Table, Value};
+
+/// Result of evaluating a claim against a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// The table entails the claim.
+    True,
+    /// The table contradicts the claim.
+    False,
+    /// The table cannot evaluate the claim (missing columns / subject / data).
+    Unsupported,
+}
+
+impl ExecOutcome {
+    /// Map a boolean to True/False.
+    pub fn from_bool(b: bool) -> ExecOutcome {
+        if b {
+            ExecOutcome::True
+        } else {
+            ExecOutcome::False
+        }
+    }
+}
+
+/// Rows of `table` satisfying every predicate (all rows when empty).
+/// Returns `None` when any predicate column cannot bind.
+fn filter_rows<'t>(table: &'t Table, predicates: &[Predicate]) -> Option<Vec<&'t [Value]>> {
+    let cols: Option<Vec<usize>> =
+        predicates.iter().map(|p| table.schema.fuzzy_index_of(&p.column)).collect();
+    let cols = cols?;
+    Some(
+        table
+            .rows()
+            .iter()
+            .map(|r| r.as_slice())
+            .filter(|r| {
+                predicates
+                    .iter()
+                    .zip(cols.iter())
+                    .all(|(p, &c)| p.op.eval(&r[c], &p.value))
+            })
+            .collect(),
+    )
+}
+
+/// Compare an aggregate result with the claimed value. Equality on floats uses
+/// a relative tolerance so rendered-then-parsed averages still match.
+fn cmp_aggregate(actual: f64, op: CmpOp, value: &Value) -> ExecOutcome {
+    let Some(claimed) = value.as_f64() else { return ExecOutcome::Unsupported };
+    let outcome = match op {
+        CmpOp::Eq => approx_eq(actual, claimed),
+        CmpOp::Ne => !approx_eq(actual, claimed),
+        CmpOp::Lt => actual < claimed && !approx_eq(actual, claimed),
+        CmpOp::Gt => actual > claimed && !approx_eq(actual, claimed),
+        CmpOp::Le => actual < claimed || approx_eq(actual, claimed),
+        CmpOp::Ge => actual > claimed || approx_eq(actual, claimed),
+    };
+    ExecOutcome::from_bool(outcome)
+}
+
+/// Relative tolerance comparison (handles rendered decimals like `3.3333`).
+fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-3 * scale
+}
+
+/// The actual aggregate value an [`ClaimExpr::Aggregate`] computes over a
+/// table, if the table supports it. Used by verifiers to produce Figure-4-style
+/// explanations ("an aggregation query shows the count is 2").
+pub fn aggregate_value(expr: &ClaimExpr, table: &Table) -> Option<f64> {
+    let ClaimExpr::Aggregate { func, column, predicates, .. } = expr else { return None };
+    let rows = filter_rows(table, predicates)?;
+    match func {
+        AggFunc::Count => Some(rows.len() as f64),
+        _ => {
+            let c = table.schema.fuzzy_index_of(column.as_deref()?)?;
+            let nums: Vec<f64> = rows.iter().filter_map(|r| r[c].as_f64()).collect();
+            if nums.is_empty() {
+                return None;
+            }
+            Some(match func {
+                AggFunc::Sum => nums.iter().sum(),
+                AggFunc::Avg => nums.iter().sum::<f64>() / nums.len() as f64,
+                AggFunc::Min => nums.iter().cloned().fold(f64::INFINITY, f64::min),
+                AggFunc::Max => nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                AggFunc::Count => unreachable!(),
+            })
+        }
+    }
+}
+
+/// Evaluate a claim expression against a table.
+pub fn execute(expr: &ClaimExpr, table: &Table) -> ExecOutcome {
+    match expr {
+        ClaimExpr::Lookup { key_column, key, column, op, value } => {
+            // Parsed lookups carry an empty key column (the sentence never names
+            // it): resolve by scanning for a column that contains the subject.
+            let kc = if key_column.is_empty() {
+                (0..table.schema.arity()).find(|&c| !table.select_eq(c, key).is_empty())
+            } else {
+                table.schema.fuzzy_index_of(key_column)
+            };
+            let Some(kc) = kc else {
+                return ExecOutcome::Unsupported;
+            };
+            let Some(vc) = table.schema.fuzzy_index_of(column) else {
+                return ExecOutcome::Unsupported;
+            };
+            let rows = table.select_eq(kc, key);
+            if rows.is_empty() {
+                return ExecOutcome::Unsupported;
+            }
+            // The claim holds if any subject row satisfies the comparison
+            // (web tables may repeat subjects across rows).
+            let any = rows.iter().any(|&r| {
+                table.cell(r, vc).map(|cell| op.eval(cell, value)).unwrap_or(false)
+            });
+            ExecOutcome::from_bool(any)
+        }
+        ClaimExpr::Aggregate { func, column, predicates, op, value } => {
+            let Some(rows) = filter_rows(table, predicates) else {
+                return ExecOutcome::Unsupported;
+            };
+            match func {
+                AggFunc::Count => cmp_aggregate(rows.len() as f64, *op, value),
+                _ => {
+                    let Some(col_name) = column else { return ExecOutcome::Unsupported };
+                    let Some(c) = table.schema.fuzzy_index_of(col_name) else {
+                        return ExecOutcome::Unsupported;
+                    };
+                    let nums: Vec<f64> = rows.iter().filter_map(|r| r[c].as_f64()).collect();
+                    if nums.is_empty() {
+                        return ExecOutcome::Unsupported;
+                    }
+                    let actual = match func {
+                        AggFunc::Sum => nums.iter().sum(),
+                        AggFunc::Avg => nums.iter().sum::<f64>() / nums.len() as f64,
+                        AggFunc::Min => nums.iter().cloned().fold(f64::INFINITY, f64::min),
+                        AggFunc::Max => nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                        AggFunc::Count => unreachable!(),
+                    };
+                    cmp_aggregate(actual, *op, value)
+                }
+            }
+        }
+        ClaimExpr::Superlative { largest, rank_column, subject_column, subject } => {
+            let Some(rc) = table.schema.fuzzy_index_of(rank_column) else {
+                return ExecOutcome::Unsupported;
+            };
+            let Some(sc) = table.schema.fuzzy_index_of(subject_column) else {
+                return ExecOutcome::Unsupported;
+            };
+            // A table that never mentions the subject cannot support or refute
+            // a statement about it — it is simply not related.
+            if table.select_eq(sc, subject).is_empty() {
+                return ExecOutcome::Unsupported;
+            }
+            let mut best: Option<(f64, usize)> = None;
+            for (i, row) in table.rows().iter().enumerate() {
+                let Some(x) = row[rc].as_f64() else { continue };
+                let better = match best {
+                    None => true,
+                    Some((b, _)) => {
+                        if *largest {
+                            x > b
+                        } else {
+                            x < b
+                        }
+                    }
+                };
+                if better {
+                    best = Some((x, i));
+                }
+            }
+            let Some((best_val, _)) = best else { return ExecOutcome::Unsupported };
+            // All rows achieving the extremum count as valid subjects (ties).
+            let holds = table.rows().iter().any(|row| {
+                row[rc].as_f64().is_some_and(|x| approx_eq(x, best_val))
+                    && row[sc].matches(subject)
+            });
+            ExecOutcome::from_bool(holds)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifai_lake::{Column, DataType, Schema};
+
+    /// The Figure-4 style table: 1959 NCAA championships results.
+    fn ncaa_table() -> Table {
+        let mut t = Table::new(
+            7,
+            "1959 NCAA Track and Field Championships",
+            Schema::new(vec![
+                Column::key("team", DataType::Text),
+                Column::new("points", DataType::Int),
+                Column::new("year", DataType::Int),
+            ]),
+            0,
+        );
+        for (team, pts) in
+            [("Kansas", 42), ("Brown", 1), ("Oregon", 28), ("Yale", 1), ("Stanford", 13)]
+        {
+            t.push_row(vec![Value::text(team), Value::Int(pts), Value::Int(1959)]).unwrap();
+        }
+        t
+    }
+
+    fn lookup(key: &str, col: &str, op: CmpOp, value: Value) -> ClaimExpr {
+        ClaimExpr::Lookup {
+            key_column: "team".into(),
+            key: Value::text(key),
+            column: col.into(),
+            op,
+            value,
+        }
+    }
+
+    #[test]
+    fn lookup_true_false_unsupported() {
+        let t = ncaa_table();
+        assert_eq!(execute(&lookup("Brown", "points", CmpOp::Eq, Value::Int(1)), &t), ExecOutcome::True);
+        assert_eq!(execute(&lookup("Brown", "points", CmpOp::Eq, Value::Int(9)), &t), ExecOutcome::False);
+        // Unknown subject => not related.
+        assert_eq!(
+            execute(&lookup("Harvard", "points", CmpOp::Eq, Value::Int(1)), &t),
+            ExecOutcome::Unsupported
+        );
+        // Unknown column => not related.
+        assert_eq!(
+            execute(
+                &ClaimExpr::Lookup {
+                    key_column: "driver".into(),
+                    key: Value::text("Brown"),
+                    column: "laps".into(),
+                    op: CmpOp::Eq,
+                    value: Value::Int(1),
+                },
+                &t
+            ),
+            ExecOutcome::Unsupported
+        );
+    }
+
+    #[test]
+    fn count_with_predicate() {
+        let t = ncaa_table();
+        // Two teams scored exactly 1 point — the Figure 4 refutation mechanism:
+        // the claim "Brown was the ONLY team to score 1" is refuted by count=2.
+        let count_eq = |n: i64| ClaimExpr::Aggregate {
+            func: AggFunc::Count,
+            column: None,
+            predicates: vec![Predicate {
+                column: "points".into(),
+                op: CmpOp::Eq,
+                value: Value::Int(1),
+            }],
+            op: CmpOp::Eq,
+            value: Value::Int(n),
+        };
+        assert_eq!(execute(&count_eq(2), &t), ExecOutcome::True);
+        assert_eq!(execute(&count_eq(1), &t), ExecOutcome::False);
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        let t = ncaa_table();
+        let agg = |f: AggFunc, v: f64| ClaimExpr::Aggregate {
+            func: f,
+            column: Some("points".into()),
+            predicates: Vec::new(),
+            op: CmpOp::Eq,
+            value: Value::Float(v),
+        };
+        assert_eq!(execute(&agg(AggFunc::Sum, 85.0), &t), ExecOutcome::True);
+        assert_eq!(execute(&agg(AggFunc::Avg, 17.0), &t), ExecOutcome::True);
+        assert_eq!(execute(&agg(AggFunc::Min, 1.0), &t), ExecOutcome::True);
+        assert_eq!(execute(&agg(AggFunc::Max, 42.0), &t), ExecOutcome::True);
+        assert_eq!(execute(&agg(AggFunc::Max, 43.0), &t), ExecOutcome::False);
+    }
+
+    #[test]
+    fn aggregate_over_text_column_unsupported() {
+        let t = ncaa_table();
+        let expr = ClaimExpr::Aggregate {
+            func: AggFunc::Sum,
+            column: Some("team".into()),
+            predicates: Vec::new(),
+            op: CmpOp::Eq,
+            value: Value::Int(3),
+        };
+        assert_eq!(execute(&expr, &t), ExecOutcome::Unsupported);
+    }
+
+    #[test]
+    fn superlative_with_ties() {
+        let t = ncaa_table();
+        let sup = |largest: bool, subject: &str| ClaimExpr::Superlative {
+            largest,
+            rank_column: "points".into(),
+            subject_column: "team".into(),
+            subject: Value::text(subject),
+        };
+        assert_eq!(execute(&sup(true, "Kansas"), &t), ExecOutcome::True);
+        assert_eq!(execute(&sup(true, "Brown"), &t), ExecOutcome::False);
+        // Brown and Yale tie for lowest; both are correct subjects.
+        assert_eq!(execute(&sup(false, "Brown"), &t), ExecOutcome::True);
+        assert_eq!(execute(&sup(false, "Yale"), &t), ExecOutcome::True);
+    }
+
+    #[test]
+    fn unrelated_table_is_unsupported() {
+        // A film table cannot bind an NCAA claim.
+        let mut film = Table::new(
+            8,
+            "2007 dance films",
+            Schema::new(vec![
+                Column::key("film", DataType::Text),
+                Column::new("lead actor", DataType::Text),
+            ]),
+            0,
+        );
+        film.push_row(vec![Value::text("Stomp the Yard"), Value::text("Columbus Short")]).unwrap();
+        let claim = lookup("Brown", "points", CmpOp::Eq, Value::Int(1));
+        assert_eq!(execute(&claim, &film), ExecOutcome::Unsupported);
+    }
+
+    #[test]
+    fn predicate_on_missing_column_unsupported() {
+        let t = ncaa_table();
+        let expr = ClaimExpr::Aggregate {
+            func: AggFunc::Count,
+            column: None,
+            predicates: vec![Predicate {
+                column: "altitude".into(),
+                op: CmpOp::Gt,
+                value: Value::Int(0),
+            }],
+            op: CmpOp::Eq,
+            value: Value::Int(1),
+        };
+        assert_eq!(execute(&expr, &t), ExecOutcome::Unsupported);
+    }
+
+    #[test]
+    fn empty_key_column_resolved_by_scan() {
+        let t = ncaa_table();
+        let parsed_style = ClaimExpr::Lookup {
+            key_column: String::new(),
+            key: Value::text("Brown"),
+            column: "points".into(),
+            op: CmpOp::Eq,
+            value: Value::Int(1),
+        };
+        assert_eq!(execute(&parsed_style, &t), ExecOutcome::True);
+        let unknown_subject = ClaimExpr::Lookup {
+            key_column: String::new(),
+            key: Value::text("Nowhere U"),
+            column: "points".into(),
+            op: CmpOp::Eq,
+            value: Value::Int(1),
+        };
+        assert_eq!(execute(&unknown_subject, &t), ExecOutcome::Unsupported);
+    }
+
+    #[test]
+    fn float_tolerance_in_aggregates() {
+        let t = ncaa_table();
+        // avg = 17.0 exactly; a rendered-and-reparsed 17.0001 must still match.
+        let expr = ClaimExpr::Aggregate {
+            func: AggFunc::Avg,
+            column: Some("points".into()),
+            predicates: Vec::new(),
+            op: CmpOp::Eq,
+            value: Value::Float(17.0001),
+        };
+        assert_eq!(execute(&expr, &t), ExecOutcome::True);
+    }
+}

@@ -1,0 +1,311 @@
+//! Natural-language rendering of claims.
+//!
+//! Three levels: [`ParaphraseLevel::Canonical`] is the template grammar the
+//! parser fully covers; [`ParaphraseLevel::Varied`] swaps synonyms and intros
+//! but stays inside the grammar; [`ParaphraseLevel::Hard`] restructures the
+//! sentence so that no rule in [`crate::parse`] matches — the controlled stand-in
+//! for the linguistic long tail that defeats a trained semantic parser.
+
+use crate::ast::{AggFunc, ClaimExpr, CmpOp, ParaphraseLevel, Predicate};
+use rand::Rng;
+
+/// Comparator phrase for canonical rendering.
+fn cmp_phrase(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "is",
+        CmpOp::Ne => "is not",
+        CmpOp::Gt => "is greater than",
+        CmpOp::Lt => "is less than",
+        CmpOp::Ge => "is at least",
+        CmpOp::Le => "is at most",
+    }
+}
+
+/// Varied comparator phrase (still parseable).
+fn cmp_phrase_varied(op: CmpOp, pick: bool) -> &'static str {
+    match (op, pick) {
+        (CmpOp::Eq, true) => "equals",
+        (CmpOp::Eq, false) => "is",
+        (CmpOp::Gt, true) => "is more than",
+        (CmpOp::Gt, false) => "exceeds",
+        (CmpOp::Lt, true) => "is below",
+        (CmpOp::Lt, false) => "is less than",
+        _ => cmp_phrase(op),
+    }
+}
+
+fn agg_word(func: AggFunc, varied: bool) -> &'static str {
+    match (func, varied) {
+        (AggFunc::Sum, false) => "total",
+        (AggFunc::Sum, true) => "combined",
+        (AggFunc::Avg, false) => "average",
+        (AggFunc::Avg, true) => "mean",
+        (AggFunc::Min, _) => "minimum",
+        (AggFunc::Max, _) => "maximum",
+        (AggFunc::Count, _) => "number",
+    }
+}
+
+fn render_pred(predicates: &[Predicate], varied: bool, pick: bool) -> String {
+    let parts: Vec<String> = predicates
+        .iter()
+        .map(|p| {
+            let cmp = if varied { cmp_phrase_varied(p.op, pick) } else { cmp_phrase(p.op) };
+            format!("{} {} {}", p.column, cmp, p.value)
+        })
+        .collect();
+    format!("where {}", parts.join(" and "))
+}
+
+/// Render a claim expression at the given paraphrase level.
+///
+/// `caption` anchors the claim to its table context (important for retrieval:
+/// TabFact claims inherit table-title vocabulary). The `rng` only selects among
+/// surface variants; semantics are unaffected.
+pub fn render_claim<R: Rng>(
+    expr: &ClaimExpr,
+    caption: &str,
+    level: ParaphraseLevel,
+    rng: &mut R,
+) -> String {
+    match level {
+        ParaphraseLevel::Canonical => render_canonical(expr, caption),
+        ParaphraseLevel::Varied => render_varied(expr, caption, rng),
+        ParaphraseLevel::Hard => render_hard(expr, caption, rng),
+    }
+}
+
+fn render_canonical(expr: &ClaimExpr, caption: &str) -> String {
+    let intro = format!("in the {caption}");
+    match expr {
+        ClaimExpr::Lookup { key_column: _, key, column, op, value } => {
+            format!("{intro}, the {column} of {key} {} {value}", cmp_phrase(*op))
+        }
+        ClaimExpr::Aggregate { func: AggFunc::Count, predicates, op, value, .. } => {
+            if predicates.is_empty() {
+                format!("{intro}, the number of rows {} {value}", cmp_phrase(*op))
+            } else {
+                format!(
+                    "{intro}, the number of rows {} {} {value}",
+                    render_pred(predicates, false, false),
+                    cmp_phrase(*op)
+                )
+            }
+        }
+        ClaimExpr::Aggregate { func, column, predicates, op, value } => {
+            let col = column.as_deref().unwrap_or("value");
+            let agg = agg_word(*func, false);
+            if predicates.is_empty() {
+                format!("{intro}, the {agg} {col} {} {value}", cmp_phrase(*op))
+            } else {
+                format!(
+                    "{intro}, the {agg} {col} {} {} {value}",
+                    render_pred(predicates, false, false),
+                    cmp_phrase(*op)
+                )
+            }
+        }
+        ClaimExpr::Superlative { largest, rank_column, subject_column, subject } => {
+            let dir = if *largest { "highest" } else { "lowest" };
+            format!("{intro}, {subject} has the {dir} {rank_column} of any {subject_column}")
+        }
+    }
+}
+
+fn render_varied<R: Rng>(expr: &ClaimExpr, caption: &str, rng: &mut R) -> String {
+    let intro = if rng.gen_bool(0.5) {
+        format!("according to the {caption}")
+    } else {
+        format!("in the {caption}")
+    };
+    let pick = rng.gen_bool(0.5);
+    match expr {
+        ClaimExpr::Lookup { key_column: _, key, column, op, value } => {
+            format!("{intro}, the {column} of {key} {} {value}", cmp_phrase_varied(*op, pick))
+        }
+        ClaimExpr::Aggregate { func: AggFunc::Count, predicates, op, value, .. } => {
+            if predicates.is_empty() {
+                format!("{intro}, the count of rows {} {value}", cmp_phrase_varied(*op, pick))
+            } else {
+                format!(
+                    "{intro}, the count of rows {} {} {value}",
+                    render_pred(predicates, true, pick),
+                    cmp_phrase_varied(*op, pick)
+                )
+            }
+        }
+        ClaimExpr::Aggregate { func, column, predicates, op, value } => {
+            let col = column.as_deref().unwrap_or("value");
+            let agg = agg_word(*func, true);
+            if predicates.is_empty() {
+                format!("{intro}, the {agg} {col} {} {value}", cmp_phrase_varied(*op, pick))
+            } else {
+                format!(
+                    "{intro}, the {agg} {col} {} {} {value}",
+                    render_pred(predicates, true, pick),
+                    cmp_phrase_varied(*op, pick)
+                )
+            }
+        }
+        ClaimExpr::Superlative { largest, rank_column, subject_column, subject } => {
+            let dir = if *largest { "greatest" } else { "smallest" };
+            format!("{intro}, {subject} has the {dir} {rank_column} of any {subject_column}")
+        }
+    }
+}
+
+fn render_hard<R: Rng>(expr: &ClaimExpr, caption: &str, rng: &mut R) -> String {
+    // Free-form constructions outside the parser grammar: the verb phrase is
+    // restructured, numbers move before their nouns, the caption trails.
+    let alt = rng.gen_bool(0.5);
+    match expr {
+        ClaimExpr::Lookup { key_column: _, key, column, op, value } => {
+            let verb = match op {
+                CmpOp::Eq => "recorded",
+                CmpOp::Ne => "never recorded",
+                CmpOp::Gt | CmpOp::Ge => "reached over",
+                CmpOp::Lt | CmpOp::Le => "stayed under",
+            };
+            if alt {
+                format!("{key} {verb} {value} for {column} during the {caption}")
+            } else {
+                format!("with {value} as its {column}, {key} appears in the {caption}")
+            }
+        }
+        ClaimExpr::Aggregate { func: AggFunc::Count, predicates, value, .. } => {
+            match predicates.first() {
+                Some(p) => format!(
+                    "you can find {value} entries whose {} comes to {} across the {caption}",
+                    p.column, p.value
+                ),
+                None => format!("the {caption} lists {value} entries altogether"),
+            }
+        }
+        ClaimExpr::Aggregate { func, column, value, .. } => {
+            let col = column.as_deref().unwrap_or("value");
+            let phrase = match func {
+                AggFunc::Sum => "adding up to",
+                AggFunc::Avg => "averaging out at",
+                AggFunc::Min => "bottoming out at",
+                AggFunc::Max => "peaking at",
+                AggFunc::Count => unreachable!("count handled above"),
+            };
+            if alt {
+                format!("the {caption} shows {col} {phrase} {value} overall")
+            } else {
+                format!("{col} ends up {phrase} {value} in the {caption}")
+            }
+        }
+        ClaimExpr::Superlative { largest, rank_column, subject_column: _, subject } => {
+            if *largest {
+                format!("nobody tops {subject} when it comes to {rank_column} in the {caption}")
+            } else {
+                format!("{subject} sits at the very bottom for {rank_column} in the {caption}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use verifai_lake::Value;
+
+    fn lookup() -> ClaimExpr {
+        ClaimExpr::Lookup {
+            key_column: "team".into(),
+            key: Value::text("Brown"),
+            column: "points".into(),
+            op: CmpOp::Eq,
+            value: Value::Int(1),
+        }
+    }
+
+    #[test]
+    fn canonical_lookup_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = render_claim(&lookup(), "1959 NCAA championships", ParaphraseLevel::Canonical, &mut rng);
+        assert_eq!(s, "in the 1959 NCAA championships, the points of Brown is 1");
+    }
+
+    #[test]
+    fn canonical_mentions_caption_for_retrieval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for level in [ParaphraseLevel::Canonical, ParaphraseLevel::Varied, ParaphraseLevel::Hard] {
+            let s = render_claim(&lookup(), "1959 NCAA championships", level, &mut rng);
+            assert!(s.contains("1959 NCAA championships"), "{level:?}: {s}");
+            assert!(s.contains("Brown"), "{level:?}: {s}");
+        }
+    }
+
+    #[test]
+    fn superlative_includes_subject_column() {
+        let expr = ClaimExpr::Superlative {
+            largest: true,
+            rank_column: "points".into(),
+            subject_column: "team".into(),
+            subject: Value::text("Kansas"),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = render_claim(&expr, "cap", ParaphraseLevel::Canonical, &mut rng);
+        assert_eq!(s, "in the cap, Kansas has the highest points of any team");
+    }
+
+    #[test]
+    fn count_with_predicate_renders_both_comparisons() {
+        let expr = ClaimExpr::Aggregate {
+            func: AggFunc::Count,
+            column: None,
+            predicates: vec![Predicate {
+                column: "points".into(),
+                op: CmpOp::Eq,
+                value: Value::Int(1),
+            }],
+            op: CmpOp::Eq,
+            value: Value::Int(2),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = render_claim(&expr, "cap", ParaphraseLevel::Canonical, &mut rng);
+        assert_eq!(s, "in the cap, the number of rows where points is 1 is 2");
+    }
+
+    #[test]
+    fn conjunctive_predicates_join_with_and() {
+        let expr = ClaimExpr::Aggregate {
+            func: AggFunc::Count,
+            column: None,
+            predicates: vec![
+                Predicate { column: "points".into(), op: CmpOp::Eq, value: Value::Int(1) },
+                Predicate { column: "rank".into(), op: CmpOp::Gt, value: Value::Int(3) },
+            ],
+            op: CmpOp::Eq,
+            value: Value::Int(2),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = render_claim(&expr, "cap", ParaphraseLevel::Canonical, &mut rng);
+        assert_eq!(
+            s,
+            "in the cap, the number of rows where points is 1 and rank is greater than 3 is 2"
+        );
+    }
+
+    #[test]
+    fn hard_level_avoids_canonical_markers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let s = render_claim(&lookup(), "cap", ParaphraseLevel::Hard, &mut rng);
+            assert!(!s.starts_with("in the cap, the"), "hard render looks canonical: {s}");
+        }
+    }
+
+    #[test]
+    fn varied_uses_synonyms_deterministically() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let s1 = render_claim(&lookup(), "cap", ParaphraseLevel::Varied, &mut a);
+        let s2 = render_claim(&lookup(), "cap", ParaphraseLevel::Varied, &mut b);
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,509 @@
+//! The end-to-end VerifAI pipeline (paper Figures 2–3).
+
+use crate::config::VerifAiConfig;
+use verifai_datagen::{GeneratedLake, MaskedTupleTask};
+use verifai_embed::{TextEmbedder, TextEmbedderConfig};
+use verifai_index::{
+    Bm25Params, Combiner, HnswConfig, HnswIndex, InvertedIndex, SearchHit, VectorIndex,
+};
+use verifai_lake::{DataInstance, DataLake, InstanceId, InstanceKind, SourceId};
+use verifai_llm::{DataObject, ImputedCell, SimLlm, TextClaim, Verdict};
+use verifai_rerank::composite::CompositeReranker;
+use verifai_rerank::Reranker;
+use parking_lot::{Mutex, MutexGuard};
+use verifai_text::Analyzer;
+use verifai_verify::{
+    Agent, KgModelVerifier, LlmVerifier, PastaVerifier, ProvenanceLog, ProvenanceRecord, Stage,
+    TrustModel, TupleModelVerifier, VerdictObservation,
+};
+
+/// One verified (object, evidence) pair in a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidenceVerdict {
+    /// The evidence instance.
+    pub instance: InstanceId,
+    /// Source of the evidence.
+    pub source: SourceId,
+    /// Relevance score the evidence survived reranking with.
+    pub score: f64,
+    /// The verifier's verdict.
+    pub verdict: Verdict,
+    /// The verifier's explanation.
+    pub explanation: String,
+    /// Which verifier judged the pair.
+    pub verifier: &'static str,
+}
+
+/// Outcome of verifying one generated data object end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerificationReport {
+    /// The object's workload id.
+    pub object_id: u64,
+    /// Per-evidence verdicts, in rerank order.
+    pub evidence: Vec<EvidenceVerdict>,
+    /// Trust-weighted final decision.
+    pub decision: Verdict,
+    /// Weight share of the winning verdict.
+    pub confidence: f64,
+}
+
+/// Per-modality index pair (content + optional semantic).
+struct ModalityIndex {
+    content: InvertedIndex,
+    semantic: Option<HnswIndex>,
+}
+
+/// The assembled VerifAI system: lake + indexes + rerankers + verifiers.
+pub struct VerifAi {
+    generated: GeneratedLake,
+    llm: SimLlm,
+    config: VerifAiConfig,
+    /// Indexes by modality slot (0 = tuple, 1 = table, 2 = text, 3 = kg).
+    indexes: [ModalityIndex; 4],
+    embedder: TextEmbedder,
+    combiner: Combiner,
+    reranker: CompositeReranker,
+    agent: Agent,
+    /// Lineage store; locked so concurrent batch verification can append.
+    provenance: Mutex<ProvenanceLog>,
+    trust: TrustModel,
+}
+
+fn slot(kind: InstanceKind) -> usize {
+    match kind {
+        InstanceKind::Tuple => 0,
+        InstanceKind::Table => 1,
+        InstanceKind::Text => 2,
+        InstanceKind::Kg => 3,
+    }
+}
+
+impl VerifAi {
+    /// Build the system over a generated lake: serializes and indexes every
+    /// instance, stands up the LLM over the lake's world model, and wires the
+    /// Agent with both local verifiers and the generic LLM verifier.
+    pub fn build(generated: GeneratedLake, config: VerifAiConfig) -> VerifAi {
+        let embedder = TextEmbedder::new(TextEmbedderConfig {
+            dim: config.embed_dim,
+            seed: config.seed ^ 0xe3bd,
+            ..TextEmbedderConfig::default()
+        });
+        let mk = || ModalityIndex {
+            content: InvertedIndex::new(Analyzer::standard(), Bm25Params::default()),
+            semantic: config.use_semantic_index.then(|| {
+                HnswIndex::new(HnswConfig { seed: config.seed ^ 0x45a1, ..HnswConfig::default() })
+            }),
+        };
+        let mut indexes = [mk(), mk(), mk(), mk()];
+
+        // Index every instance of every modality, serialized as strings
+        // (content) and embedded (semantic).
+        let add = |idx: &mut ModalityIndex, id: InstanceId, text: &str| {
+            idx.content.add(id, text);
+            if let Some(sem) = idx.semantic.as_mut() {
+                sem.add(id, embedder.embed(text));
+            }
+        };
+        for tuple_id in generated.lake.tuple_ids() {
+            let tuple = generated.lake.tuple(tuple_id).expect("registered tuple");
+            add(&mut indexes[0], InstanceId::Tuple(tuple_id), &verifai_text::serialize_tuple(&tuple));
+        }
+        for table in generated.lake.tables() {
+            add(&mut indexes[1], InstanceId::Table(table.id), &verifai_text::serialize_table(table));
+        }
+        for doc in generated.lake.docs() {
+            // Content index sees the whole document; the semantic index embeds
+            // overlapping sentence chunks (paper §3.1: "chunked text files"),
+            // each under the document's id — the Combiner's dedup collapses
+            // multi-chunk hits.
+            let full = doc.full_text();
+            indexes[2].content.add(InstanceId::Text(doc.id), &full);
+            if let Some(sem) = indexes[2].semantic.as_mut() {
+                for chunk in verifai_text::chunk_sentences(&full, 3, 1) {
+                    sem.add(InstanceId::Text(doc.id), embedder.embed(&chunk.text));
+                }
+            }
+        }
+        for entity in generated.lake.kg_entities() {
+            add(&mut indexes[3], InstanceId::Kg(entity.id), &verifai_text::serialize_kg(entity));
+        }
+
+        let llm = SimLlm::new(config.llm, generated.world.clone());
+        let agent = Agent::new(
+            vec![
+                Box::new(PastaVerifier::with_defaults()),
+                Box::new(TupleModelVerifier::with_defaults()),
+                Box::new(KgModelVerifier::with_defaults()),
+            ],
+            Box::new(LlmVerifier::new(llm.clone())),
+            config.agent_policy,
+        );
+        let trust = TrustModel::with_priors(
+            generated.lake.sources().iter().map(|s| (s.id, s.trust)),
+        );
+        VerifAi {
+            generated,
+            llm,
+            config,
+            indexes,
+            embedder,
+            combiner: Combiner::new(config.fusion),
+            reranker: CompositeReranker::with_defaults(),
+            agent,
+            provenance: Mutex::new(ProvenanceLog::new()),
+            trust,
+        }
+    }
+
+    /// The underlying lake.
+    pub fn lake(&self) -> &DataLake {
+        &self.generated.lake
+    }
+
+    /// The generated lake with its ground-truth bookkeeping.
+    pub fn generated(&self) -> &GeneratedLake {
+        &self.generated
+    }
+
+    /// The simulated LLM.
+    pub fn llm(&self) -> &SimLlm {
+        &self.llm
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &VerifAiConfig {
+        &self.config
+    }
+
+    /// The provenance log accumulated so far (challenge C4). Holds a lock;
+    /// drop the guard before calling verification methods again.
+    pub fn provenance(&self) -> MutexGuard<'_, ProvenanceLog> {
+        self.provenance.lock()
+    }
+
+    /// The trust model (challenge C3).
+    pub fn trust(&self) -> &TrustModel {
+        &self.trust
+    }
+
+    /// Let the (simulated) generative model impute a masked cell, producing
+    /// the data object the pipeline will verify (paper Figure 1a).
+    pub fn impute(&self, task: &MaskedTupleTask) -> DataObject {
+        let value = self.llm.impute_cell(&task.masked, &task.column);
+        DataObject::ImputedCell(ImputedCell {
+            id: task.id,
+            tuple: task.masked.clone(),
+            column: task.column.clone(),
+            value,
+        })
+    }
+
+    /// Wrap a workload claim as a data object (paper Figure 1b).
+    pub fn claim_object(&self, claim: &verifai_claims::Claim) -> DataObject {
+        DataObject::TextClaim(TextClaim {
+            id: claim.id,
+            text: claim.text.clone(),
+            expr: Some(claim.expr.clone()),
+            scope: Some(claim.scope.clone()),
+        })
+    }
+
+    /// Retrieve the coarse top-k instances of one modality for a query string,
+    /// combining the content and (if enabled) semantic indexes.
+    pub fn retrieve(&self, query: &str, kind: InstanceKind, k: usize) -> Vec<SearchHit> {
+        let idx = &self.indexes[slot(kind)];
+        let mut lists = Vec::with_capacity(2);
+        if self.config.use_content_index {
+            lists.push(idx.content.search(query, k));
+        }
+        if let Some(sem) = idx.semantic.as_ref() {
+            lists.push(sem.search(&self.embedder.embed(query), k));
+        }
+        self.combiner.combine(&lists, k)
+    }
+
+    /// The retrieval query string for a data object (paper: the serialized
+    /// tuple including the generated value, or the claim text).
+    pub fn query_of(object: &DataObject) -> String {
+        match object {
+            DataObject::ImputedCell(c) => verifai_text::tuple_query(
+                &c.tuple,
+                Some((c.column.as_str(), &c.value.to_string())),
+            ),
+            DataObject::TextClaim(c) => c.text.clone(),
+        }
+    }
+
+    /// The evidence modalities (and their final k) the pipeline consults for
+    /// an object: tuples + texts for imputed cells, tables for claims (§4).
+    fn evidence_plan(&self, object: &DataObject) -> Vec<(InstanceKind, usize)> {
+        match object {
+            DataObject::ImputedCell(_) => {
+                let mut plan = vec![
+                    (InstanceKind::Tuple, self.config.k_tuples),
+                    (InstanceKind::Text, self.config.k_texts),
+                ];
+                if self.config.k_kg > 0 {
+                    plan.push((InstanceKind::Kg, self.config.k_kg));
+                }
+                plan
+            }
+            DataObject::TextClaim(_) => vec![(InstanceKind::Table, self.config.k_tables)],
+        }
+    }
+
+    /// Run retrieval → combine → rerank for an object; returns the surviving
+    /// evidence instances with scores, logging provenance.
+    pub fn discover_evidence(&self, object: &DataObject) -> Vec<(DataInstance, f64)> {
+        let query = Self::query_of(object);
+        let mut out = Vec::new();
+        for (kind, final_k) in self.evidence_plan(object) {
+            let coarse_k = if self.config.use_reranker {
+                self.config.coarse_k.max(final_k)
+            } else {
+                final_k
+            };
+            let hits = self.retrieve(&query, kind, coarse_k);
+            for (rank, h) in hits.iter().enumerate() {
+                self.provenance.lock().add(ProvenanceRecord {
+                    object_id: object.id(),
+                    stage: Stage::Retrieval { index: format!("combined-{kind}"), rank },
+                    instance: Some(h.id),
+                    score: Some(h.score),
+                    verdict: None,
+                    note: String::new(),
+                });
+            }
+            let instances: Vec<DataInstance> = hits
+                .iter()
+                .filter_map(|h| self.generated.lake.resolve(h.id).ok())
+                .collect();
+            let ranked: Vec<(DataInstance, f64)> = if self.config.use_reranker {
+                verifai_rerank::rerank(&self.reranker, object, instances, final_k)
+            } else {
+                instances
+                    .into_iter()
+                    .zip(hits.iter().map(|h| h.score))
+                    .take(final_k)
+                    .collect()
+            };
+            for (rank, (inst, score)) in ranked.iter().enumerate() {
+                self.provenance.lock().add(ProvenanceRecord {
+                    object_id: object.id(),
+                    stage: Stage::Rerank { reranker: self.reranker.name().into(), rank },
+                    instance: Some(inst.id()),
+                    score: Some(*score),
+                    verdict: None,
+                    note: String::new(),
+                });
+            }
+            out.extend(ranked);
+        }
+        out
+    }
+
+    /// Verify a generated data object end to end: discover evidence, verify
+    /// each pair, and make the trust-weighted decision.
+    pub fn verify_object(&self, object: &DataObject) -> VerificationReport {
+        let evidence = self.discover_evidence(object);
+        let mut verdicts = Vec::with_capacity(evidence.len());
+        let mut observations = Vec::with_capacity(evidence.len());
+        for (instance, score) in evidence {
+            let (output, verifier) = self.agent.verify(object, &instance);
+            self.provenance.lock().add(ProvenanceRecord {
+                object_id: object.id(),
+                stage: Stage::Verify { verifier: verifier.into() },
+                instance: Some(instance.id()),
+                score: Some(score),
+                verdict: Some(output.verdict),
+                note: output.explanation.clone(),
+            });
+            observations.push(VerdictObservation {
+                object_id: object.id(),
+                source: instance.source(),
+                verdict: output.verdict,
+            });
+            verdicts.push(EvidenceVerdict {
+                instance: instance.id(),
+                source: instance.source(),
+                score,
+                verdict: output.verdict,
+                explanation: output.explanation,
+                verifier,
+            });
+        }
+        let (decision, confidence) = if self.config.use_trust_weighting {
+            self.trust.decide(&observations)
+        } else {
+            TrustModel::new().decide(&observations)
+        };
+        self.provenance.lock().add(ProvenanceRecord {
+            object_id: object.id(),
+            stage: Stage::Decision,
+            instance: None,
+            score: Some(confidence),
+            verdict: Some(decision),
+            note: format!("over {} evidence verdicts", verdicts.len()),
+        });
+        VerificationReport { object_id: object.id(), evidence: verdicts, decision, confidence }
+    }
+
+    /// Re-estimate source trust from a batch of accumulated verdict
+    /// observations (the C3 loop), updating the decision weighting for
+    /// subsequent calls.
+    pub fn recalibrate_trust(&mut self, observations: &[VerdictObservation], iterations: usize) {
+        self.trust.run(observations, iterations);
+    }
+
+    /// Verify a batch of objects across `threads` worker threads.
+    ///
+    /// Everything in the pipeline is shared-state-free except the provenance
+    /// log (locked per record), so the batch parallelizes cleanly; reports
+    /// come back in input order and are bit-identical to sequential runs —
+    /// the per-pair noise channels are hash-derived, not order-derived.
+    pub fn verify_batch(&self, objects: &[DataObject], threads: usize) -> Vec<VerificationReport> {
+        let threads = threads.max(1).min(objects.len().max(1));
+        if threads == 1 || objects.len() < 2 {
+            return objects.iter().map(|o| self.verify_object(o)).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<VerificationReport>> = vec![None; objects.len()];
+        let slot_refs: Vec<Mutex<&mut Option<VerificationReport>>> =
+            slots.iter_mut().map(Mutex::new).collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= objects.len() {
+                        break;
+                    }
+                    let report = self.verify_object(&objects[i]);
+                    **slot_refs[i].lock() = Some(report);
+                });
+            }
+        })
+        .expect("verification workers do not panic");
+        drop(slot_refs);
+        slots.into_iter().map(|r| r.expect("every slot filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
+
+    fn system() -> VerifAi {
+        VerifAi::build(build(&LakeSpec::tiny(31)), VerifAiConfig::default())
+    }
+
+    #[test]
+    fn counterpart_tuple_is_retrieved_first() {
+        let sys = system();
+        let tasks = completion_workload(sys.generated(), 10, 3);
+        for task in &tasks {
+            let object = sys.impute(task);
+            let evidence = sys.discover_evidence(&object);
+            let tuple_ids: Vec<InstanceId> = evidence
+                .iter()
+                .filter(|(i, _)| i.kind() == InstanceKind::Tuple)
+                .map(|(i, _)| i.id())
+                .collect();
+            assert!(
+                tuple_ids.contains(&InstanceId::Tuple(task.counterpart)),
+                "counterpart {} missing from {:?}",
+                task.counterpart,
+                tuple_ids
+            );
+        }
+    }
+
+    #[test]
+    fn claims_retrieve_their_source_table() {
+        let sys = system();
+        let claims = claim_workload(
+            sys.generated(),
+            10,
+            verifai_claims::ClaimGenConfig::default(),
+        );
+        let mut hit = 0;
+        for claim in &claims {
+            let object = sys.claim_object(claim);
+            let evidence = sys.discover_evidence(&object);
+            if evidence.iter().any(|(i, _)| i.id() == InstanceId::Table(claim.table)) {
+                hit += 1;
+            }
+        }
+        assert!(hit >= 7, "source table recall too low in tiny lake: {hit}/10");
+    }
+
+    #[test]
+    fn verify_object_produces_decision_and_provenance() {
+        let sys = system();
+        let tasks = completion_workload(sys.generated(), 3, 3);
+        let object = sys.impute(&tasks[0]);
+        let report = sys.verify_object(&object);
+        assert_eq!(report.object_id, tasks[0].id);
+        assert!(!report.evidence.is_empty());
+        assert!(report.confidence > 0.0);
+        // Provenance covers retrieval, rerank, verify, and decision stages.
+        let provenance = sys.provenance();
+        let records = provenance.for_object(tasks[0].id);
+        assert!(records.iter().any(|r| matches!(r.stage, Stage::Retrieval { .. })));
+        assert!(records.iter().any(|r| matches!(r.stage, Stage::Rerank { .. })));
+        assert!(records.iter().any(|r| matches!(r.stage, Stage::Verify { .. })));
+        assert!(records.iter().any(|r| matches!(r.stage, Stage::Decision)));
+    }
+
+    #[test]
+    fn correct_imputation_is_usually_verified() {
+        // With an oracle LLM, the imputed value equals the truth and the
+        // counterpart evidence must verify it.
+        let generated = build(&LakeSpec::tiny(37));
+        let config = VerifAiConfig {
+            llm: verifai_llm::SimLlmConfig::oracle(1),
+            ..VerifAiConfig::default()
+        };
+        let sys = VerifAi::build(generated, config);
+        let tasks = completion_workload(sys.generated(), 10, 11);
+        let mut verified = 0;
+        for task in &tasks {
+            let object = sys.impute(task);
+            if sys.verify_object(&object).decision == Verdict::Verified {
+                verified += 1;
+            }
+        }
+        assert!(verified >= 8, "only {verified}/10 oracle imputations verified");
+    }
+
+    #[test]
+    fn paper_setting_pipeline_still_works() {
+        let generated = build(&LakeSpec::tiny(41));
+        let sys = VerifAi::build(generated, VerifAiConfig::paper_setting());
+        let tasks = completion_workload(sys.generated(), 3, 3);
+        let object = sys.impute(&tasks[0]);
+        let report = sys.verify_object(&object);
+        assert!(!report.evidence.is_empty());
+    }
+
+    #[test]
+    fn batch_verification_matches_sequential() {
+        let sys = system();
+        let tasks = completion_workload(sys.generated(), 8, 3);
+        let objects: Vec<DataObject> = tasks.iter().map(|t| sys.impute(t)).collect();
+        let sequential: Vec<VerificationReport> =
+            objects.iter().map(|o| sys.verify_object(o)).collect();
+        let parallel = sys.verify_batch(&objects, 4);
+        assert_eq!(sequential, parallel);
+        // Both passes logged provenance.
+        assert!(!sys.provenance().is_empty());
+    }
+
+    #[test]
+    fn retrieval_respects_modality() {
+        let sys = system();
+        let hits = sys.retrieve("election district incumbent", InstanceKind::Table, 5);
+        assert!(hits.iter().all(|h| h.id.kind() == InstanceKind::Table));
+        assert!(!hits.is_empty());
+    }
+}

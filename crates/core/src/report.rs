@@ -1,0 +1,149 @@
+//! Report formatting: paper-style text tables and JSON artifacts.
+
+use crate::experiments::{BaselineResult, Fig4Case, Table1Row, Table2Result};
+use serde_json::json;
+
+/// Render Table 1 in the paper's layout.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::from(
+        "| Generated data type | retrieved data type | k | recall |\n\
+         |---------------------|---------------------|---|--------|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.2} |\n",
+            r.generated, r.retrieved, r.k, r.recall
+        ));
+    }
+    out
+}
+
+/// Render Table 2 in the paper's layout.
+pub fn render_table2(t: &Table2Result) -> String {
+    format!(
+        "|                         | ChatGPT | PASTA |\n\
+         |-------------------------|---------|-------|\n\
+         | (tuple, tuple+text)     | {:.2}    | NA    |\n\
+         | (text, relevant table)  | {:.2}    | {:.2}  |\n\
+         | (text, retrieved table) | {:.2}    | {:.2}  |\n",
+        t.tuple_mixed_chatgpt.value(),
+        t.claim_relevant_chatgpt.value(),
+        t.claim_relevant_pasta.value(),
+        t.claim_retrieved_chatgpt.value(),
+        t.claim_retrieved_pasta.value(),
+    )
+}
+
+/// Render the baseline paragraph numbers.
+pub fn render_baseline(b: &BaselineResult) -> String {
+    format!(
+        "ungrounded imputation accuracy: {:.2} ({} tasks)\n\
+         ungrounded claim accuracy: {:.2} ({} claims)\n",
+        b.imputation.value(),
+        b.imputation.total,
+        b.claims.value(),
+        b.claims.total,
+    )
+}
+
+/// Render the Figure 4 case study.
+pub fn render_fig4(case: &Fig4Case) -> String {
+    let mut out = format!("claim: {}\n", case.claim_text);
+    for (i, e) in case.evidence.iter().enumerate() {
+        out.push_str(&format!(
+            "E{}: '{}' -> {}\n    {}\n",
+            i + 1,
+            e.caption,
+            e.verdict,
+            e.explanation
+        ));
+    }
+    out
+}
+
+/// Machine-readable export of all experiment results (benchmark artifact).
+pub fn to_json(
+    baseline: &BaselineResult,
+    table1: &[Table1Row],
+    table2: &Table2Result,
+    fig4: Option<&Fig4Case>,
+) -> serde_json::Value {
+    json!({
+        "baseline": {
+            "imputation_accuracy": baseline.imputation.value(),
+            "imputation_n": baseline.imputation.total,
+            "claim_accuracy": baseline.claims.value(),
+            "claim_n": baseline.claims.total,
+        },
+        "table1": table1.iter().map(|r| json!({
+            "generated": r.generated,
+            "retrieved": r.retrieved,
+            "k": r.k,
+            "recall": r.recall,
+        })).collect::<Vec<_>>(),
+        "table2": {
+            "tuple_mixed_chatgpt": table2.tuple_mixed_chatgpt.value(),
+            "claim_relevant_chatgpt": table2.claim_relevant_chatgpt.value(),
+            "claim_relevant_pasta": table2.claim_relevant_pasta.value(),
+            "claim_retrieved_chatgpt": table2.claim_retrieved_chatgpt.value(),
+            "claim_retrieved_pasta": table2.claim_retrieved_pasta.value(),
+        },
+        "figure4": fig4.map(|c| json!({
+            "claim": c.claim_text,
+            "evidence": c.evidence.iter().map(|e| json!({
+                "caption": e.caption,
+                "verdict": e.verdict.to_string(),
+                "explanation": e.explanation,
+            })).collect::<Vec<_>>(),
+        })),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Accuracy;
+
+    fn acc(c: usize, t: usize) -> Accuracy {
+        Accuracy { correct: c, total: t }
+    }
+
+    #[test]
+    fn table_renders_contain_all_cells() {
+        let rows = vec![
+            Table1Row { generated: "tuple", retrieved: "tuple", k: 3, recall: 0.99 },
+            Table1Row { generated: "tuple", retrieved: "text", k: 3, recall: 0.58 },
+        ];
+        let s = render_table1(&rows);
+        assert!(s.contains("| tuple | tuple | 3 | 0.99 |"));
+        assert!(s.contains("0.58"));
+
+        let t2 = Table2Result {
+            tuple_mixed_chatgpt: acc(88, 100),
+            claim_relevant_chatgpt: acc(75, 100),
+            claim_relevant_pasta: acc(89, 100),
+            claim_retrieved_chatgpt: acc(91, 100),
+            claim_retrieved_pasta: acc(72, 100),
+        };
+        let s = render_table2(&t2);
+        assert!(s.contains("0.88"));
+        assert!(s.contains("NA"));
+        assert!(s.contains("0.72"));
+    }
+
+    #[test]
+    fn json_export_roundtrips() {
+        let b = BaselineResult { imputation: acc(52, 100), claims: acc(54, 100) };
+        let t2 = Table2Result {
+            tuple_mixed_chatgpt: acc(88, 100),
+            claim_relevant_chatgpt: acc(75, 100),
+            claim_relevant_pasta: acc(89, 100),
+            claim_retrieved_chatgpt: acc(91, 100),
+            claim_retrieved_pasta: acc(72, 100),
+        };
+        let v = to_json(&b, &[], &t2, None);
+        assert_eq!(v["baseline"]["imputation_accuracy"], 0.52);
+        assert_eq!(v["table2"]["claim_retrieved_pasta"], 0.72);
+        assert!(v["figure4"].is_null());
+    }
+}

@@ -1,0 +1,165 @@
+//! Entity text-page generation.
+//!
+//! Mirrors the paper's text corpus: pages obtained by resolving entity links in
+//! table cells to Wikipedia. Each page carries (a) an intro sentence, (b) fact
+//! sentences in the `"The {attr} of {entity} is {value}."` grammar that the
+//! simulated LLM's reader understands, (c) domain-vocabulary filler shared
+//! across pages, and (d) co-mentions of other entities. (c) and (d) are the
+//! controlled ambiguity that keeps (tuple → text) retrieval hard — Table 1's
+//! 0.58 recall row.
+
+use crate::builder::Builder;
+use crate::domains::EntityRecord;
+use crate::spec::LakeSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use verifai_lake::value::normalize_str;
+use verifai_lake::{DocId, TextDocument};
+
+/// Render one entity page. When `corrupt` is set, every fact sentence asserts
+/// a plausible wrong value — the generative-model-leak scenario.
+pub(crate) fn render_page(
+    entity: &EntityRecord,
+    others: &[&str],
+    filler_sentences: usize,
+    fact_coverage: f64,
+    corrupt: bool,
+    builder: &Builder,
+    rng: &mut StdRng,
+) -> String {
+    let mut body = format!("{} is a {}. ", entity.name, entity.domain.intro_noun());
+    for (attr, value) in &entity.facts {
+        if !rng.gen_bool(fact_coverage) {
+            continue;
+        }
+        let shown = if corrupt {
+            builder.world.plausible_wrong(attr, value, rng.gen())
+        } else {
+            value.clone()
+        };
+        body.push_str(&format!("The {attr} of {} is {shown}. ", entity.name));
+    }
+    let filler = entity.domain.filler();
+    for _ in 0..filler_sentences {
+        body.push_str(filler[rng.gen_range(0..filler.len())]);
+        body.push_str(". ");
+    }
+    for other in others {
+        body.push_str(&format!("It is often discussed alongside {other}. "));
+    }
+    body
+}
+
+/// Generate pages for a coverage-sampled subset of entities, plus corrupted
+/// pages for the trust experiments. Returns the relevance map (normalized
+/// entity → page) and the corrupted page list.
+pub(crate) fn generate_docs(
+    b: &mut Builder,
+    spec: &LakeSpec,
+    rng: &mut StdRng,
+) -> (HashMap<String, DocId>, Vec<(String, DocId)>) {
+    let mut entity_docs = HashMap::new();
+    let mut corrupted = Vec::new();
+    let mut next_doc: DocId = 0;
+    let entities = b.entities.clone();
+    let all_names: Vec<&str> = entities.iter().map(|e| e.name.as_str()).collect();
+
+    let mut covered_indices = Vec::new();
+    for (i, entity) in entities.iter().enumerate() {
+        if !rng.gen_bool(spec.doc_coverage) {
+            continue;
+        }
+        covered_indices.push(i);
+        let others: Vec<&str> = (0..spec.comentions)
+            .map(|_| all_names[rng.gen_range(0..all_names.len())])
+            .filter(|o| normalize_str(o) != normalize_str(&entity.name))
+            .collect();
+        let body =
+            render_page(entity, &others, spec.filler_sentences, spec.fact_coverage, false, b, rng);
+        let doc = TextDocument::new(next_doc, entity.name.clone(), body, b.sources.wiki)
+            .with_entities(others.iter().map(|s| s.to_string()).collect());
+        b.lake.add_doc(doc).expect("doc ids unique");
+        entity_docs.insert(normalize_str(&entity.name), next_doc);
+        next_doc += 1;
+    }
+
+    // Corrupted pages: duplicate coverage for the first k covered entities,
+    // attributed to the generative-model source.
+    if let Some(genai) = b.sources.genai {
+        for &i in covered_indices.iter().take(spec.corrupted_docs) {
+            let entity = &entities[i];
+            let body =
+                render_page(entity, &[], spec.filler_sentences, 1.0, true, b, rng);
+            let doc = TextDocument::new(next_doc, entity.name.clone(), body, genai);
+            b.lake.add_doc(doc).expect("doc ids unique");
+            corrupted.push((normalize_str(&entity.name), next_doc));
+            next_doc += 1;
+        }
+    }
+    (entity_docs, corrupted)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::build;
+    use crate::spec::LakeSpec;
+    use verifai_llm::scan_fact;
+
+    #[test]
+    fn pages_contain_scannable_fact_sentences() {
+        let lake = build(&LakeSpec::tiny(13));
+        let mut scanned = 0;
+        for entity in &lake.entities {
+            let Some(&doc_id) = lake.entity_docs.get(&verifai_lake::value::normalize_str(&entity.name))
+            else {
+                continue;
+            };
+            let doc = lake.lake.doc(doc_id).unwrap();
+            for (attr, value) in &entity.facts {
+                let asserted = scan_fact(&doc.full_text(), &entity.name, attr)
+                    .unwrap_or_else(|| panic!("page for {} lacks fact {attr}", entity.name));
+                assert_eq!(asserted, value.normalized(), "entity {}", entity.name);
+                scanned += 1;
+            }
+        }
+        assert!(scanned > 50, "too few scannable facts: {scanned}");
+    }
+
+    #[test]
+    fn corrupted_pages_assert_wrong_values() {
+        let mut spec = LakeSpec::tiny(17);
+        spec.corrupted_docs = 5;
+        let lake = build(&spec);
+        assert_eq!(lake.corrupted_docs.len(), 5);
+        let genai = lake.sources.genai.unwrap();
+        for (entity_norm, doc_id) in &lake.corrupted_docs {
+            let doc = lake.lake.doc(*doc_id).unwrap();
+            assert_eq!(doc.source, genai);
+            let entity = lake
+                .entities
+                .iter()
+                .find(|e| &verifai_lake::value::normalize_str(&e.name) == entity_norm)
+                .unwrap();
+            // At least one fact sentence must contradict the world.
+            let mut contradictions = 0;
+            for (attr, value) in &entity.facts {
+                if let Some(asserted) = scan_fact(&doc.full_text(), &entity.name, attr) {
+                    if asserted != value.normalized() {
+                        contradictions += 1;
+                    }
+                }
+            }
+            assert!(contradictions > 0, "corrupted page for {entity_norm} agrees with world");
+        }
+    }
+
+    #[test]
+    fn coverage_controls_doc_count() {
+        let mut lo = LakeSpec::tiny(19);
+        lo.doc_coverage = 0.1;
+        let mut hi = LakeSpec::tiny(19);
+        hi.doc_coverage = 0.9;
+        assert!(build(&lo).lake.num_docs() < build(&hi).lake.num_docs());
+    }
+}

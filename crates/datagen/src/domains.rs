@@ -1,0 +1,121 @@
+//! Domain registry: the entity-relationship world behind the lake.
+
+use verifai_lake::Value;
+
+/// The five domains of the synthetic world, chosen to mirror the genres the
+/// paper's figures draw on (elections for Figure 1a, films for Figure 1b,
+/// championships for Figure 4, athlete statistics for the Michael Jordan
+/// example in §2, cities as generic web-table filler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Congressional election tables (district / incumbent / party / ...).
+    Elections,
+    /// Sports championship result tables (team / points / rank).
+    Championships,
+    /// Film tables (film / director / lead actor / running time).
+    Films,
+    /// Athlete career tables (player / team / career points / position).
+    Players,
+    /// City tables (city / population / founded / county).
+    Cities,
+}
+
+impl Domain {
+    /// The noun used in entity-page intro sentences ("X is a ...").
+    pub fn intro_noun(self) -> &'static str {
+        match self {
+            Domain::Elections => "congressional district",
+            Domain::Championships => "collegiate athletic program",
+            Domain::Films => "film",
+            Domain::Players => "professional athlete",
+            Domain::Cities => "city",
+        }
+    }
+
+    /// Filler-sentence vocabulary: topical sentences that share vocabulary
+    /// across documents of the same domain without asserting any fact. This
+    /// shared vocabulary is what pulls wrong documents into the top-k.
+    pub fn filler(self) -> &'static [&'static str] {
+        match self {
+            Domain::Elections => &[
+                "The election drew national attention from both parties",
+                "Turnout across the district was higher than in previous cycles",
+                "Redistricting reshaped several constituencies before the vote",
+                "Local newspapers covered the campaign extensively",
+                "The seat had changed hands several times over the decades",
+                "Candidates debated agricultural policy and taxation",
+            ],
+            Domain::Championships => &[
+                "The championships were held over three days in June",
+                "Several meet records were set during the competition",
+                "Qualifying heats took place on the opening morning",
+                "Coaches praised the conditions at the host stadium",
+                "The team title came down to the final relay",
+                "Athletes from across the conference participated",
+            ],
+            Domain::Films => &[
+                "The film received mixed reviews from critics on release",
+                "Principal photography took place over eleven weeks",
+                "The screenplay went through several rewrites",
+                "The soundtrack featured contemporary artists",
+                "It performed modestly at the box office",
+                "A restored print was screened decades later",
+            ],
+            Domain::Players => &[
+                "The athlete was selected to several all star teams",
+                "Injuries limited appearances during two seasons",
+                "Commentators praised a consistent scoring touch",
+                "The career spanned more than a decade at the top level",
+                "A jersey retirement ceremony followed the final season",
+                "Teammates described an unmatched work ethic",
+            ],
+            Domain::Cities => &[
+                "The city grew rapidly after the railroad arrived",
+                "A historic district preserves early architecture",
+                "The local economy centers on manufacturing and trade",
+                "Annual festivals draw visitors from the region",
+                "The river crossing made the site a natural settlement",
+                "Municipal government operates under a council manager system",
+            ],
+        }
+    }
+}
+
+/// A subject entity with its stable facts — the unit a text page is written
+/// about and the unit the world model stores knowledge for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityRecord {
+    /// Canonical surface name (e.g. `"New York 3"`, `"The Golden Yard"`).
+    pub name: String,
+    /// Domain of the entity.
+    pub domain: Domain,
+    /// Stable facts: `(attribute, value)` pairs, functional per entity.
+    pub facts: Vec<(String, Value)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_domain_has_filler_and_noun() {
+        for d in [
+            Domain::Elections,
+            Domain::Championships,
+            Domain::Films,
+            Domain::Players,
+            Domain::Cities,
+        ] {
+            assert!(!d.intro_noun().is_empty());
+            assert!(d.filler().len() >= 4);
+        }
+    }
+
+    #[test]
+    fn filler_shares_vocabulary_within_domain_only() {
+        // Sanity: election filler mentions elections, not box office.
+        let e = Domain::Elections.filler().join(" ");
+        assert!(e.contains("election"));
+        assert!(!e.contains("box office"));
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # verifai-datagen
+//!
+//! The benchmark-data substrate: a synthetic multi-modal data lake with ground
+//! truth known *by construction*.
+//!
+//! The paper evaluates on 19,498 web tables (TabFact + WikiTable-TURL; 269,622
+//! tuples) and 13,796 Wikipedia-derived entity text files. Those corpora cannot
+//! ship here, so this crate generates an equivalent: an explicit
+//! entity-relationship *world* across five domains (congressional elections,
+//! sports championships, films, athlete careers, cities — the same genres the
+//! paper's figures draw from), serialized into:
+//!
+//! * **tables** organized in caption families (e.g. per-year election tables
+//!   for each state) — the families create exactly the caption-level ambiguity
+//!   that makes open-domain table retrieval hard;
+//! * **entity text documents** with fact sentences and vocabulary-sharing
+//!   filler — the ambiguity that keeps (tuple → text) recall well below
+//!   (tuple → tuple) recall, as in the paper's Table 1;
+//! * a **[`verifai_llm::WorldModel`]** holding every stable fact, so the
+//!   simulated LLM's parametric knowledge and the lake's contents are two views
+//!   of the same world;
+//! * relevance annotations (counterpart tuples, entity pages, source tables)
+//!   matching the paper's §4 relevance definitions.
+//!
+//! [`workload`] then derives the paper's two evaluation workloads: masked
+//! tuples for completion (100 in the paper) and TabFact-style labelled claims
+//! (1,300 in the paper).
+
+pub mod builder;
+pub mod docs;
+pub mod domains;
+pub mod names;
+pub mod spec;
+pub mod workload;
+
+pub use builder::{build, CompletionCandidate, GeneratedLake, LakeSources};
+pub use spec::LakeSpec;
+pub use workload::{claim_workload, completion_workload, MaskedTupleTask};

@@ -1,0 +1,156 @@
+//! Deterministic name pools.
+//!
+//! Entity names are assembled from fixed pools. Pools are intentionally small
+//! relative to the number of entities generated so that names *collide in
+//! parts* (shared surnames, shared title words) — the lexical ambiguity that
+//! makes retrieval realistically hard.
+
+use rand::Rng;
+
+/// First names.
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
+    "Sarah", "Charles", "Karen", "Christopher", "Lisa", "Daniel", "Nancy", "Matthew", "Betty",
+    "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
+    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Carol", "Kevin", "Amanda",
+    "Brian", "Dorothy", "George", "Melissa", "Edward", "Deborah", "Ronald", "Stephanie",
+    "Timothy", "Rebecca", "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia",
+];
+
+/// Last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
+    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Pike", "Wainwright", "Grover",
+    "Halpern", "Ostertag", "Derounian", "Becker",
+];
+
+/// US state names used for election families and city regions.
+pub const STATES: &[&str] = &[
+    "New York", "California", "Texas", "Ohio", "Illinois", "Pennsylvania", "Michigan",
+    "Georgia", "Virginia", "Massachusetts", "Indiana", "Missouri", "Wisconsin", "Tennessee",
+    "Maryland", "Minnesota", "Colorado", "Alabama", "Louisiana", "Kentucky", "Oregon",
+    "Oklahoma", "Connecticut", "Iowa", "Kansas", "Arkansas", "Nevada", "Utah", "Mississippi",
+    "Nebraska",
+];
+
+/// Political parties.
+pub const PARTIES: &[&str] = &["Democratic", "Republican", "Independent", "Liberal", "Progressive"];
+
+/// Adjectives for film titles.
+pub const FILM_ADJECTIVES: &[&str] = &[
+    "Silent", "Burning", "Hidden", "Broken", "Golden", "Midnight", "Crimson", "Electric",
+    "Savage", "Gentle", "Distant", "Frozen", "Restless", "Velvet", "Hollow", "Shining",
+];
+
+/// Nouns for film titles.
+pub const FILM_NOUNS: &[&str] = &[
+    "Yard", "River", "Empire", "Summer", "Horizon", "Garden", "Engine", "Harbor", "Letter",
+    "Mirror", "Kingdom", "Voyage", "Stranger", "Season", "Tempest", "Crossing",
+];
+
+/// Film genres.
+pub const GENRES: &[&str] =
+    &["drama", "comedy", "thriller", "dance", "romance", "western", "science fiction", "crime"];
+
+/// University / college names for championship teams.
+pub const COLLEGES: &[&str] = &[
+    "Kansas", "Brown", "Oregon", "Yale", "Stanford", "Princeton", "Auburn", "Baylor", "Tulane",
+    "Purdue", "Cornell", "Rice", "Duke", "Villanova", "Fordham", "Colgate", "Amherst", "Drake",
+    "Butler", "Creighton", "Gonzaga", "Xavier", "Denison", "Oberlin",
+];
+
+/// Sports series for championship families.
+pub const SERIES: &[&str] = &[
+    "NCAA Track and Field", "NCAA Swimming", "NCAA Cross Country", "NCAA Fencing",
+    "NCAA Gymnastics", "NCAA Rowing", "NCAA Wrestling", "NCAA Skiing",
+];
+
+/// Professional leagues for athlete career tables.
+pub const LEAGUES: &[&str] =
+    &["NBA", "NFL", "MLB", "NHL", "MLS", "WNBA", "CFL", "USFL"];
+
+/// Player positions.
+pub const POSITIONS: &[&str] =
+    &["guard", "forward", "center", "pitcher", "catcher", "goalkeeper", "striker", "defender"];
+
+/// City name fragments.
+pub const CITY_PREFIXES: &[&str] = &[
+    "Spring", "River", "Oak", "Maple", "Cedar", "Lake", "Fair", "Green", "Glen", "Brook",
+    "Clear", "Stone", "Ash", "Mill", "West", "North",
+];
+
+/// City name suffixes.
+pub const CITY_SUFFIXES: &[&str] =
+    &["field", "ton", "ville", "wood", "port", "burg", "haven", "dale", "mont", "side"];
+
+/// Pick a random element of a pool.
+pub fn pick<'a, R: Rng>(rng: &mut R, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// A person name from the pools.
+pub fn person<R: Rng>(rng: &mut R) -> String {
+    format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES))
+}
+
+/// A film title, occasionally with the `{Verb} the {Noun}` shape of the
+/// paper's running example.
+pub fn film_title<R: Rng>(rng: &mut R) -> String {
+    if rng.gen_bool(0.2) {
+        let verbs = ["Stomp", "Chase", "Cross", "Brave", "Hold"];
+        format!("{} the {}", pick(rng, &verbs), pick(rng, FILM_NOUNS))
+    } else {
+        format!("The {} {}", pick(rng, FILM_ADJECTIVES), pick(rng, FILM_NOUNS))
+    }
+}
+
+/// A city name.
+pub fn city<R: Rng>(rng: &mut R) -> String {
+    format!("{}{}", pick(rng, CITY_PREFIXES), pick(rng, CITY_SUFFIXES))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (person(&mut rng), film_title(&mut rng), city(&mut rng))
+        };
+        assert_eq!(gen(7), gen(7));
+        assert_ne!(gen(7), gen(8));
+    }
+
+    #[test]
+    fn names_collide_in_parts() {
+        // With pools this small, 200 people must share surnames — the intended
+        // ambiguity property.
+        let mut rng = StdRng::seed_from_u64(1);
+        let people: Vec<String> = (0..200).map(|_| person(&mut rng)).collect();
+        let mut surnames: Vec<&str> =
+            people.iter().map(|p| p.split(' ').nth(1).unwrap()).collect();
+        surnames.sort_unstable();
+        surnames.dedup();
+        assert!(surnames.len() < 70, "no surname collisions in {} people", 200);
+    }
+
+    #[test]
+    fn pools_are_nonempty_and_distinct() {
+        for pool in [FIRST_NAMES, LAST_NAMES, STATES, PARTIES, COLLEGES, SERIES] {
+            assert!(!pool.is_empty());
+            let mut sorted: Vec<&str> = pool.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), pool.len(), "duplicate entries in pool");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Lake-generation configuration and scale presets.
+
+/// Configuration of the synthetic lake.
+///
+/// Table counts are per *family pattern*; the builder derives total table and
+/// tuple counts from them. Three presets cover testing, benchmarking, and
+/// paper-scale reproduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LakeSpec {
+    /// Master seed for everything the builder draws.
+    pub seed: u64,
+    /// Number of states with election table families.
+    pub election_states: usize,
+    /// Election years per state (tables per family).
+    pub election_years: usize,
+    /// Districts per state (rows per election table).
+    pub districts_per_state: usize,
+    /// Championship series (each a caption family).
+    pub championship_series: usize,
+    /// Years per championship series.
+    pub championship_years: usize,
+    /// Teams per championship table.
+    pub teams_per_championship: usize,
+    /// Film tables (one per (genre, year) pair).
+    pub film_tables: usize,
+    /// Films per film table.
+    pub films_per_table: usize,
+    /// Athlete career tables (one per league snapshot).
+    pub player_tables: usize,
+    /// Players per career table.
+    pub players_per_table: usize,
+    /// City tables (one per region).
+    pub city_tables: usize,
+    /// Cities per table.
+    pub cities_per_table: usize,
+    /// Fraction of subject entities that get a text page.
+    pub doc_coverage: f64,
+    /// Filler sentences per document (vocabulary-sharing noise).
+    pub filler_sentences: usize,
+    /// Other entities co-mentioned per document (retrieval confusion).
+    pub comentions: usize,
+    /// Probability that an entity page states each individual fact. Real
+    /// entity pages rarely spell out every attribute of every tuple the entity
+    /// appears in; lowering this both weakens the lexical match between tuple
+    /// queries and their relevant page (Table 1's hard (tuple → text) row) and
+    /// creates genuinely uninformative text evidence for the Verifier.
+    pub fact_coverage: f64,
+    /// Documents attributed to a *generative-model* source whose fact
+    /// sentences are corrupted — fuel for the trust experiments.
+    pub corrupted_docs: usize,
+    /// Fraction of subject entities that also get a knowledge-graph subgraph
+    /// (the §5 extension modality).
+    pub kg_coverage: f64,
+}
+
+impl LakeSpec {
+    /// Tiny preset for unit/integration tests: builds in milliseconds.
+    pub fn tiny(seed: u64) -> LakeSpec {
+        LakeSpec {
+            seed,
+            election_states: 3,
+            election_years: 3,
+            districts_per_state: 6,
+            championship_series: 2,
+            championship_years: 3,
+            teams_per_championship: 8,
+            film_tables: 6,
+            films_per_table: 6,
+            player_tables: 3,
+            players_per_table: 8,
+            city_tables: 3,
+            cities_per_table: 8,
+            doc_coverage: 0.8,
+            filler_sentences: 3,
+            comentions: 2,
+            fact_coverage: 1.0,
+            corrupted_docs: 0,
+            kg_coverage: 0.6,
+        }
+    }
+
+    /// Small preset: the default for benches and examples (≈ 1.5k tables).
+    pub fn small(seed: u64) -> LakeSpec {
+        LakeSpec {
+            seed,
+            election_states: 24,
+            election_years: 10,
+            districts_per_state: 12,
+            championship_series: 8,
+            championship_years: 20,
+            teams_per_championship: 12,
+            film_tables: 400,
+            films_per_table: 12,
+            player_tables: 100,
+            players_per_table: 15,
+            city_tables: 60,
+            cities_per_table: 15,
+            doc_coverage: 0.35,
+            filler_sentences: 9,
+            comentions: 9,
+            fact_coverage: 0.40,
+            corrupted_docs: 0,
+            kg_coverage: 0.25,
+        }
+    }
+
+    /// Paper-scale preset (≈ 19.5k tables / ≈ 270k tuples / ≈ 13.8k docs,
+    /// matching §4's corpus sizes). Building takes tens of seconds.
+    pub fn paper_scale(seed: u64) -> LakeSpec {
+        LakeSpec {
+            seed,
+            election_states: 30,
+            election_years: 40,
+            districts_per_state: 15,
+            championship_series: 8,
+            championship_years: 60,
+            teams_per_championship: 14,
+            film_tables: 8_000,
+            films_per_table: 14,
+            player_tables: 6_000,
+            players_per_table: 14,
+            city_tables: 3_340,
+            cities_per_table: 14,
+            doc_coverage: 0.057,
+            filler_sentences: 9,
+            comentions: 9,
+            fact_coverage: 0.40,
+            corrupted_docs: 0,
+            kg_coverage: 0.05,
+        }
+    }
+
+    /// Expected table count under this spec.
+    pub fn expected_tables(&self) -> usize {
+        self.election_states * self.election_years
+            + self.championship_series * self.championship_years
+            + self.film_tables
+            + self.player_tables
+            + self.city_tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_up() {
+        let t = LakeSpec::tiny(0).expected_tables();
+        let s = LakeSpec::small(0).expected_tables();
+        let p = LakeSpec::paper_scale(0).expected_tables();
+        assert!(t < s && s < p);
+        // Paper-scale table count within 10% of 19,498.
+        assert!((17_500..21_500).contains(&p), "paper-scale tables: {p}");
+    }
+}

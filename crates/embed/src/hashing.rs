@@ -1,0 +1,91 @@
+//! Deterministic hash primitives.
+//!
+//! All randomness in the embedding layer is *derived* from these hashes rather
+//! than drawn from an RNG stream, so the embedding of a string never depends on
+//! call order — the property that makes a hashed embedder behave like a fixed
+//! model checkpoint.
+
+/// FNV-1a 64-bit hash of bytes, seeded.
+pub fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed.wrapping_mul(0x9e3779b97f4a7c15);
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: turns any 64-bit value into a well-mixed one.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Hash a string feature with a probe index; used to derive multiple
+/// independent (coordinate, sign) pairs per feature.
+pub fn feature_hash(feature: &str, seed: u64, probe: u32) -> u64 {
+    splitmix64(fnv1a(feature.as_bytes(), seed).wrapping_add(probe as u64))
+}
+
+/// Map a hash to a coordinate index in `[0, dim)` and a sign in `{-1, +1}`.
+pub fn coord_and_sign(h: u64, dim: usize) -> (usize, f32) {
+    let idx = (h % dim as u64) as usize;
+    let sign = if (h >> 63) & 1 == 1 { 1.0 } else { -1.0 };
+    (idx, sign)
+}
+
+/// Deterministic uniform float in `[0, 1)` derived from a hash.
+pub fn unit_float(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_deterministic_and_seeded() {
+        assert_eq!(fnv1a(b"abc", 1), fnv1a(b"abc", 1));
+        assert_ne!(fnv1a(b"abc", 1), fnv1a(b"abc", 2));
+        assert_ne!(fnv1a(b"abc", 1), fnv1a(b"abd", 1));
+    }
+
+    #[test]
+    fn probes_decorrelate() {
+        let a = feature_hash("x", 0, 0);
+        let b = feature_hash("x", 0, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn coord_in_range() {
+        for i in 0..1000u64 {
+            let (idx, sign) = coord_and_sign(splitmix64(i), 128);
+            assert!(idx < 128);
+            assert!(sign == 1.0 || sign == -1.0);
+        }
+    }
+
+    #[test]
+    fn unit_float_in_range_and_spread() {
+        let mut lo = false;
+        let mut hi = false;
+        for i in 0..1000u64 {
+            let f = unit_float(splitmix64(i));
+            assert!((0.0..1.0).contains(&f));
+            lo |= f < 0.25;
+            hi |= f > 0.75;
+        }
+        assert!(lo && hi, "unit floats should cover the interval");
+    }
+
+    #[test]
+    fn signs_are_balanced() {
+        let negs = (0..10_000u64)
+            .filter(|&i| coord_and_sign(splitmix64(i), 64).1 < 0.0)
+            .count();
+        assert!((4_000..6_000).contains(&negs), "sign bias: {negs}/10000 negative");
+    }
+}

@@ -1,0 +1,142 @@
+//! Tuple embeddings (the tuple-to-vec / RPT substitute).
+//!
+//! A tuple is embedded from *header-qualified* value features (`incumbent=otis`)
+//! plus bare value features, so that tuples sharing the same attribute/value
+//! structure land close even when the surrounding tables differ — the property
+//! tuple-to-vec models are trained for.
+
+use crate::hashing::{coord_and_sign, feature_hash};
+use crate::vector::Vector;
+use verifai_lake::Tuple;
+use verifai_text::Analyzer;
+
+/// Tuple-to-vector encoder.
+#[derive(Debug, Clone)]
+pub struct TupleEmbedder {
+    dim: usize,
+    seed: u64,
+    probes: u32,
+    analyzer: Analyzer,
+}
+
+impl TupleEmbedder {
+    /// Encoder with the given dimension and seed.
+    pub fn new(dim: usize, seed: u64) -> TupleEmbedder {
+        // Four probes per feature keep the variance of spurious (collision)
+        // similarity low even for tuples with only a handful of features.
+        TupleEmbedder { dim, seed, probes: 4, analyzer: Analyzer::standard() }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embed a tuple. Null cells contribute nothing.
+    pub fn embed(&self, tuple: &Tuple) -> Vector {
+        let mut v = Vector::zeros(self.dim);
+        for (col, val) in tuple.schema.columns().iter().zip(tuple.values.iter()) {
+            if val.is_null() {
+                continue;
+            }
+            let header_terms = self.analyzer.analyze(&col.name);
+            let value_terms = self.analyzer.analyze(&val.to_string());
+            let header_key = header_terms.join("_");
+            for term in &value_terms {
+                // Header-qualified feature: binds value to attribute.
+                self.add(&mut v, &format!("{header_key}={term}"), 1.0);
+                // Bare value feature: enables cross-schema matches.
+                self.add(&mut v, term, 0.6);
+            }
+            // Header presence feature: schema similarity signal.
+            self.add(&mut v, &format!("col:{header_key}"), 0.4);
+        }
+        v.normalize();
+        v
+    }
+
+    /// Embed free text into the same space (for (text, tuple) comparisons the
+    /// paper lists as an extension) — delegates to a text embedder that shares
+    /// the bare-value feature space.
+    pub fn embed_text(&self, text: &str) -> Vector {
+        // Bare value features in `embed` use the tuple seed, so re-embed the
+        // text with the same feature hashing to keep spaces aligned.
+        let mut v = Vector::zeros(self.dim);
+        for term in self.analyzer.analyze(text) {
+            self.add(&mut v, &term, 1.0);
+        }
+        v.normalize();
+        v
+    }
+
+    fn add(&self, v: &mut Vector, feature: &str, weight: f32) {
+        for p in 0..self.probes {
+            let h = feature_hash(feature, self.seed, p);
+            let (idx, sign) = coord_and_sign(h, self.dim);
+            v.as_mut_slice()[idx] += sign * weight;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifai_lake::{Column, DataType, Schema, Value};
+
+    fn tuple(incumbent: &str) -> Tuple {
+        Tuple {
+            id: 0,
+            table: 0,
+            row_index: 0,
+            schema: Schema::new(vec![
+                Column::key("district", DataType::Text),
+                Column::new("incumbent", DataType::Text),
+                Column::new("first elected", DataType::Int),
+            ]),
+            values: vec![Value::text("New York 1"), Value::text(incumbent), Value::Int(1960)],
+            source: 0,
+        }
+    }
+
+    #[test]
+    fn identical_tuples_embed_identically() {
+        let e = TupleEmbedder::new(128, 5);
+        assert_eq!(e.embed(&tuple("Otis Pike")), e.embed(&tuple("Otis Pike")));
+    }
+
+    #[test]
+    fn near_duplicates_closer_than_unrelated() {
+        let e = TupleEmbedder::new(128, 5);
+        let a = e.embed(&tuple("Otis Pike"));
+        let b = e.embed(&tuple("Otis G. Pike"));
+        let mut other = tuple("x");
+        other.schema = Schema::new(vec![
+            Column::key("film", DataType::Text),
+            Column::new("actor", DataType::Text),
+            Column::new("year", DataType::Int),
+        ]);
+        other.values = vec![Value::text("Stomp the Yard"), Value::text("Meagan Good"), Value::Int(2007)];
+        let c = e.embed(&other);
+        assert!(a.cosine(&b) > a.cosine(&c) + 0.3);
+    }
+
+    #[test]
+    fn null_cells_ignored() {
+        let e = TupleEmbedder::new(128, 5);
+        let mut masked = tuple("Otis Pike");
+        masked.values[1] = Value::Null;
+        let full = e.embed(&tuple("Otis Pike"));
+        let part = e.embed(&masked);
+        // Masked tuple still close to its completion (keys dominate).
+        assert!(full.cosine(&part) > 0.5);
+    }
+
+    #[test]
+    fn text_space_alignment() {
+        let e = TupleEmbedder::new(128, 5);
+        let t = e.embed(&tuple("Otis Pike"));
+        let q = e.embed_text("Otis Pike New York district 1960");
+        let unrelated = e.embed_text("synthetic aperture radar imaging");
+        assert!(t.cosine(&q) > t.cosine(&unrelated));
+    }
+}

@@ -1,0 +1,145 @@
+//! Dense vectors and their operations.
+
+use std::ops::{Deref, Index};
+
+/// A dense `f32` vector, the unit the semantic index stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vector(Vec<f32>);
+
+impl Vector {
+    /// Zero vector of the given dimension.
+    pub fn zeros(dim: usize) -> Vector {
+        Vector(vec![0.0; dim])
+    }
+
+    /// Wrap raw components.
+    pub fn from_vec(v: Vec<f32>) -> Vector {
+        Vector(v)
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Raw slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.0
+    }
+
+    /// Mutable raw slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.0
+    }
+
+    /// Dot product. Panics in debug builds on dimension mismatch.
+    pub fn dot(&self, other: &Vector) -> f32 {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Cosine similarity; 0 when either vector is zero.
+    pub fn cosine(&self, other: &Vector) -> f32 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot(other) / denom
+        }
+    }
+
+    /// Squared Euclidean distance.
+    pub fn l2_sq(&self, other: &Vector) -> f32 {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.0.iter().zip(other.0.iter()).map(|(a, b)| (a - b) * (a - b)).sum()
+    }
+
+    /// Normalize in place to unit length (no-op for the zero vector).
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            for x in &mut self.0 {
+                *x /= n;
+            }
+        }
+    }
+
+    /// Accumulate `scale * other` into self.
+    pub fn add_scaled(&mut self, other: &Vector, scale: f32) {
+        debug_assert_eq!(self.dim(), other.dim());
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += scale * b;
+        }
+    }
+}
+
+impl Deref for Vector {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.0
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f32;
+    fn index(&self, i: usize) -> &f32 {
+        &self.0[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        let a = Vector::from_vec(vec![3.0, 4.0]);
+        assert_eq!(a.norm(), 5.0);
+        let b = Vector::from_vec(vec![1.0, 0.0]);
+        assert_eq!(a.dot(&b), 3.0);
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let a = Vector::from_vec(vec![1.0, 0.0]);
+        let b = Vector::from_vec(vec![0.0, 1.0]);
+        assert_eq!(a.cosine(&b), 0.0);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-6);
+        let z = Vector::zeros(2);
+        assert_eq!(a.cosine(&z), 0.0);
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let mut a = Vector::from_vec(vec![3.0, 4.0]);
+        a.normalize();
+        assert!((a.norm() - 1.0).abs() < 1e-6);
+        let mut z = Vector::zeros(3);
+        z.normalize(); // must not NaN
+        assert_eq!(z.norm(), 0.0);
+    }
+
+    #[test]
+    fn l2_relates_to_cosine_for_unit_vectors() {
+        let mut a = Vector::from_vec(vec![0.3, -0.7, 0.2]);
+        let mut b = Vector::from_vec(vec![-0.1, 0.9, 0.4]);
+        a.normalize();
+        b.normalize();
+        // ||a-b||^2 = 2 - 2 cos for unit vectors.
+        let lhs = a.l2_sq(&b);
+        let rhs = 2.0 - 2.0 * a.cosine(&b);
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Vector::zeros(2);
+        a.add_scaled(&Vector::from_vec(vec![1.0, 2.0]), 0.5);
+        assert_eq!(a.as_slice(), &[0.5, 1.0]);
+    }
+}

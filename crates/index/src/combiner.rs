@@ -1,0 +1,140 @@
+//! The Combiner (paper §3.1).
+//!
+//! "While different indexes use different techniques (e.g., content- or
+//! semantic-based), their retrieved results typically overlap. The Combiner
+//! simply combines these retrieved results from multiple indexes and removes
+//! duplicates." — we additionally support principled rank fusion, since raw BM25
+//! scores and cosine similarities are not on a common scale.
+
+use crate::hit::{sort_hits, SearchHit};
+use std::collections::HashMap;
+use verifai_lake::InstanceId;
+
+/// How scores from different indexes are fused.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusionStrategy {
+    /// Keep each instance's maximum score across lists. Only meaningful when the
+    /// input lists share a score scale.
+    MaxScore,
+    /// Reciprocal-rank fusion: `score(d) = Σ_lists 1 / (k0 + rank)`. Scale-free,
+    /// the standard way to combine heterogeneous rankers.
+    ReciprocalRank {
+        /// Rank smoothing constant (60 is the canonical choice).
+        k0: f64,
+    },
+}
+
+impl Default for FusionStrategy {
+    fn default() -> Self {
+        FusionStrategy::ReciprocalRank { k0: 60.0 }
+    }
+}
+
+/// Merges ranked lists from multiple indexes and removes duplicates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Combiner {
+    strategy: FusionStrategy,
+}
+
+impl Combiner {
+    /// Combiner with the given fusion strategy.
+    pub fn new(strategy: FusionStrategy) -> Combiner {
+        Combiner { strategy }
+    }
+
+    /// Fuse result lists into a deduplicated ranking of up to `k` hits.
+    pub fn combine(&self, lists: &[Vec<SearchHit>], k: usize) -> Vec<SearchHit> {
+        let mut fused: HashMap<InstanceId, f64> = HashMap::new();
+        match self.strategy {
+            FusionStrategy::MaxScore => {
+                for list in lists {
+                    for hit in list {
+                        let e = fused.entry(hit.id).or_insert(f64::NEG_INFINITY);
+                        if hit.score > *e {
+                            *e = hit.score;
+                        }
+                    }
+                }
+            }
+            FusionStrategy::ReciprocalRank { k0 } => {
+                for list in lists {
+                    for (rank, hit) in list.iter().enumerate() {
+                        *fused.entry(hit.id).or_insert(0.0) += 1.0 / (k0 + rank as f64 + 1.0);
+                    }
+                }
+            }
+        }
+        let mut hits: Vec<SearchHit> =
+            fused.into_iter().map(|(id, score)| SearchHit::new(id, score)).collect();
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u64) -> InstanceId {
+        InstanceId::Text(i)
+    }
+
+    #[test]
+    fn deduplicates_across_lists() {
+        let c = Combiner::default();
+        let a = vec![SearchHit::new(tid(1), 9.0), SearchHit::new(tid(2), 5.0)];
+        let b = vec![SearchHit::new(tid(2), 0.8), SearchHit::new(tid(3), 0.7)];
+        let out = c.combine(&[a, b], 10);
+        assert_eq!(out.len(), 3);
+        let ids: Vec<InstanceId> = out.iter().map(|h| h.id).collect();
+        assert!(ids.contains(&tid(1)) && ids.contains(&tid(2)) && ids.contains(&tid(3)));
+    }
+
+    #[test]
+    fn rrf_prefers_instances_ranked_high_in_both() {
+        let c = Combiner::default();
+        // tid(2) is rank 2 in list a and rank 1 in list b; tid(1) only rank 1 in a.
+        let a = vec![SearchHit::new(tid(1), 9.0), SearchHit::new(tid(2), 5.0)];
+        let b = vec![SearchHit::new(tid(2), 0.9)];
+        let out = c.combine(&[a, b], 10);
+        assert_eq!(out[0].id, tid(2));
+    }
+
+    #[test]
+    fn rrf_ignores_raw_scales() {
+        // Same ranking, wildly different scales — fusion must be identical.
+        let c = Combiner::default();
+        let bm25 = vec![SearchHit::new(tid(1), 42.0), SearchHit::new(tid(2), 13.0)];
+        let cosine = vec![SearchHit::new(tid(1), 0.42), SearchHit::new(tid(2), 0.13)];
+        let out1 = c.combine(std::slice::from_ref(&bm25), 10);
+        let out2 = c.combine(&[cosine], 10);
+        assert_eq!(
+            out1.iter().map(|h| h.id).collect::<Vec<_>>(),
+            out2.iter().map(|h| h.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn max_score_keeps_best() {
+        let c = Combiner::new(FusionStrategy::MaxScore);
+        let a = vec![SearchHit::new(tid(1), 1.0)];
+        let b = vec![SearchHit::new(tid(1), 3.0)];
+        let out = c.combine(&[a, b], 10);
+        assert_eq!(out[0].score, 3.0);
+    }
+
+    #[test]
+    fn k_truncates() {
+        let c = Combiner::default();
+        let a: Vec<SearchHit> = (0..20).map(|i| SearchHit::new(tid(i), 20.0 - i as f64)).collect();
+        assert_eq!(c.combine(&[a], 5).len(), 5);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let c = Combiner::default();
+        assert!(c.combine(&[], 5).is_empty());
+        assert!(c.combine(&[vec![], vec![]], 5).is_empty());
+    }
+}

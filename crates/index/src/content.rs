@@ -1,0 +1,429 @@
+//! The content-based index: a tokenizing inverted index with BM25 ranking.
+//!
+//! This is the Elasticsearch substitute. Documents (serialized instances) are
+//! analyzed into terms; postings record per-document term frequencies; queries
+//! are analyzed with the *same* analyzer and scored with Okapi BM25.
+
+use crate::hit::{sort_hits, SearchHit};
+use crate::persist::{self, PersistError, SnapshotKind};
+use bytes::{BufMut, Bytes, BytesMut};
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+use verifai_lake::InstanceId;
+use verifai_text::{Analyzer, AnalyzerConfig};
+
+/// BM25 tuning parameters (Elasticsearch defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation.
+    pub k1: f64,
+    /// Length normalization.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// A posting: internal document ordinal and term frequency.
+#[derive(Debug, Clone, Copy)]
+struct Posting {
+    doc: u32,
+    tf: u32,
+}
+
+/// Inverted index over serialized data instances.
+#[derive(Debug)]
+pub struct InvertedIndex {
+    analyzer: Analyzer,
+    params: Bm25Params,
+    postings: HashMap<String, Vec<Posting>>,
+    /// doc ordinal -> external id.
+    ids: Vec<InstanceId>,
+    /// doc ordinal -> analyzed length.
+    lengths: Vec<u32>,
+    total_len: u64,
+}
+
+/// Heap entry for top-k selection (min-heap on score).
+struct HeapEntry {
+    score: f64,
+    doc: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.doc == other.doc
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smaller scores at the top of the heap so we can evict them.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.doc.cmp(&other.doc))
+    }
+}
+
+impl Default for InvertedIndex {
+    fn default() -> Self {
+        InvertedIndex::new(Analyzer::standard(), Bm25Params::default())
+    }
+}
+
+impl InvertedIndex {
+    /// Index with the given analyzer and BM25 parameters.
+    pub fn new(analyzer: Analyzer, params: Bm25Params) -> InvertedIndex {
+        InvertedIndex {
+            analyzer,
+            params,
+            postings: HashMap::new(),
+            ids: Vec::new(),
+            lengths: Vec::new(),
+            total_len: 0,
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when nothing has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of distinct terms.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Add a document. Returns its internal ordinal.
+    pub fn add(&mut self, id: InstanceId, text: &str) -> u32 {
+        let doc = self.ids.len() as u32;
+        self.ids.push(id);
+        let tf = self.analyzer.term_frequencies(text);
+        let len: u32 = tf.values().sum();
+        self.lengths.push(len);
+        self.total_len += len as u64;
+        // Deterministic posting construction: sort terms so the postings map's
+        // vectors are built in a stable order regardless of HashMap iteration.
+        let mut terms: Vec<(String, u32)> = tf.into_iter().collect();
+        terms.sort_unstable();
+        for (term, freq) in terms {
+            match self.postings.entry(term) {
+                Entry::Occupied(mut e) => e.get_mut().push(Posting { doc, tf: freq }),
+                Entry::Vacant(e) => {
+                    e.insert(vec![Posting { doc, tf: freq }]);
+                }
+            }
+        }
+        doc
+    }
+
+    /// BM25 inverse document frequency of a term.
+    fn idf(&self, df: usize) -> f64 {
+        let n = self.ids.len() as f64;
+        let df = df as f64;
+        // The "+1" form used by Lucene: always positive.
+        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    }
+
+    /// Search the index, returning the top-k hits by BM25 score.
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        if k == 0 || self.ids.is_empty() {
+            return Vec::new();
+        }
+        let qterms = self.analyzer.term_frequencies(query);
+        if qterms.is_empty() {
+            return Vec::new();
+        }
+        let avg_len = self.total_len as f64 / self.ids.len() as f64;
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        // Stable term order for reproducible floating-point accumulation.
+        let mut qvec: Vec<(&String, &u32)> = qterms.iter().collect();
+        qvec.sort_unstable();
+        for (term, &qf) in qvec {
+            let Some(postings) = self.postings.get(term) else { continue };
+            let idf = self.idf(postings.len());
+            for p in postings {
+                let dl = self.lengths[p.doc as usize] as f64;
+                let tf = p.tf as f64;
+                let denom =
+                    tf + self.params.k1 * (1.0 - self.params.b + self.params.b * dl / avg_len);
+                let contrib = idf * tf * (self.params.k1 + 1.0) / denom;
+                *scores.entry(p.doc).or_insert(0.0) += contrib * qf as f64;
+            }
+        }
+        // Top-k selection with a size-k min-heap.
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        for (doc, score) in scores {
+            heap.push(HeapEntry { score, doc });
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        let mut hits: Vec<SearchHit> = heap
+            .into_iter()
+            .map(|e| SearchHit::new(self.ids[e.doc as usize], e.score))
+            .collect();
+        sort_hits(&mut hits);
+        hits
+    }
+
+    /// Serialize the index into a versioned binary snapshot.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.ids.len() * 16);
+        persist::put_header(&mut buf, SnapshotKind::Inverted);
+        let cfg = self.analyzer.config();
+        buf.put_u8(cfg.lowercase as u8);
+        buf.put_u8(cfg.remove_stopwords as u8);
+        buf.put_u8(cfg.stem as u8);
+        buf.put_f64_le(self.params.k1);
+        buf.put_f64_le(self.params.b);
+        buf.put_u64_le(self.total_len);
+        buf.put_u32_le(self.ids.len() as u32);
+        for (id, &len) in self.ids.iter().zip(self.lengths.iter()) {
+            persist::put_instance_id(&mut buf, *id);
+            buf.put_u32_le(len);
+        }
+        // Postings in sorted term order for deterministic snapshots.
+        let mut terms: Vec<&String> = self.postings.keys().collect();
+        terms.sort_unstable();
+        buf.put_u32_le(terms.len() as u32);
+        for term in terms {
+            persist::put_str(&mut buf, term);
+            let postings = &self.postings[term];
+            buf.put_u32_le(postings.len() as u32);
+            for p in postings {
+                buf.put_u32_le(p.doc);
+                buf.put_u32_le(p.tf);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Reconstruct an index from a snapshot produced by [`Self::to_bytes`].
+    pub fn from_bytes(mut buf: Bytes) -> Result<InvertedIndex, PersistError> {
+        persist::check_header(&mut buf, SnapshotKind::Inverted)?;
+        let lowercase = persist::get_u8(&mut buf)? != 0;
+        let remove_stopwords = persist::get_u8(&mut buf)? != 0;
+        let stem = persist::get_u8(&mut buf)? != 0;
+        let k1 = persist::get_f64(&mut buf)?;
+        let b = persist::get_f64(&mut buf)?;
+        let total_len = persist::get_u64(&mut buf)?;
+        let n_docs = persist::get_u32(&mut buf)? as usize;
+        let mut ids = Vec::with_capacity(n_docs);
+        let mut lengths = Vec::with_capacity(n_docs);
+        for _ in 0..n_docs {
+            ids.push(persist::get_instance_id(&mut buf)?);
+            lengths.push(persist::get_u32(&mut buf)?);
+        }
+        let n_terms = persist::get_u32(&mut buf)? as usize;
+        let mut postings = HashMap::with_capacity(n_terms);
+        for _ in 0..n_terms {
+            let term = persist::get_str(&mut buf)?;
+            let n = persist::get_u32(&mut buf)? as usize;
+            let mut list = Vec::with_capacity(n);
+            for _ in 0..n {
+                let doc = persist::get_u32(&mut buf)?;
+                let tf = persist::get_u32(&mut buf)?;
+                list.push(Posting { doc, tf });
+            }
+            postings.insert(term, list);
+        }
+        Ok(InvertedIndex {
+            analyzer: Analyzer::new(AnalyzerConfig { lowercase, remove_stopwords, stem }),
+            params: Bm25Params { k1, b },
+            postings,
+            ids,
+            lengths,
+            total_len,
+        })
+    }
+
+    /// Document frequency of an (analyzed) term — exposed for diagnostics.
+    pub fn doc_frequency(&self, term: &str) -> usize {
+        let analyzed = self.analyzer.analyze(term);
+        analyzed
+            .first()
+            .and_then(|t| self.postings.get(t))
+            .map(|p| p.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u64) -> InstanceId {
+        InstanceId::Text(i)
+    }
+
+    fn small_index() -> InvertedIndex {
+        let mut idx = InvertedIndex::default();
+        idx.add(tid(0), "Meagan Good is an American actress born in Panorama City");
+        idx.add(tid(1), "Stomp the Yard is a 2007 dance drama film starring Columbus Short");
+        idx.add(tid(2), "Michael Jordan played basketball for the Chicago Bulls");
+        idx.add(tid(3), "The 1959 NCAA track and field championships were held in June");
+        idx
+    }
+
+    #[test]
+    fn exact_topic_match_ranks_first() {
+        let idx = small_index();
+        let hits = idx.search("Meagan Good actress", 2);
+        assert_eq!(hits[0].id, tid(0));
+        assert!(hits[0].score > 0.0);
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let idx = small_index();
+        assert_eq!(idx.search("the", 10).len(), 0); // stopword-only query
+        assert!(idx.search("film dance basketball", 2).len() <= 2);
+        assert!(idx.search("film", 0).is_empty());
+    }
+
+    #[test]
+    fn empty_index_and_query() {
+        let idx = InvertedIndex::default();
+        assert!(idx.search("anything", 5).is_empty());
+        let idx = small_index();
+        assert!(idx.search("", 5).is_empty());
+    }
+
+    #[test]
+    fn idf_downweights_common_terms() {
+        let mut idx = InvertedIndex::default();
+        for i in 0..20 {
+            idx.add(tid(i), "common filler text");
+        }
+        idx.add(tid(100), "common rare filler");
+        let hits = idx.search("rare", 5);
+        assert_eq!(hits[0].id, tid(100));
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn rarer_match_beats_frequent_match() {
+        let idx = small_index();
+        // "basketball" appears once — doc 2 must beat docs matching "the".
+        let hits = idx.search("basketball career statistics", 4);
+        assert_eq!(hits[0].id, tid(2));
+    }
+
+    #[test]
+    fn stemming_bridges_inflection() {
+        let idx = small_index();
+        let hits = idx.search("championship", 4);
+        assert_eq!(hits[0].id, tid(3)); // matches "championships"
+    }
+
+    #[test]
+    fn length_normalization_prefers_concise_docs() {
+        let mut idx = InvertedIndex::default();
+        idx.add(tid(0), "jordan");
+        idx.add(
+            tid(1),
+            "jordan mentioned once inside a much longer document about many other things entirely \
+             unrelated to the query regarding sports and athletes and so on",
+        );
+        let hits = idx.search("jordan", 2);
+        assert_eq!(hits[0].id, tid(0));
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let a = small_index().search("dance film 2007", 4);
+        let b = small_index().search("dance film 2007", 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn doc_frequency_reports_analyzed_terms() {
+        let idx = small_index();
+        assert_eq!(idx.doc_frequency("basketball"), 1);
+        assert_eq!(idx.doc_frequency("zebra"), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_rankings() {
+        let idx = small_index();
+        let restored = InvertedIndex::from_bytes(idx.to_bytes()).unwrap();
+        assert_eq!(restored.len(), idx.len());
+        assert_eq!(restored.vocabulary_size(), idx.vocabulary_size());
+        for q in ["Meagan Good actress", "basketball career", "championship 1959"] {
+            assert_eq!(restored.search(q, 4), idx.search(q, 4), "query {q}");
+        }
+        // Snapshots are deterministic.
+        assert_eq!(idx.to_bytes(), restored.to_bytes());
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        use crate::persist::PersistError;
+        assert!(matches!(
+            InvertedIndex::from_bytes(bytes::Bytes::from_static(b"garbage")),
+            Err(PersistError::BadMagic | PersistError::Truncated)
+        ));
+        // Truncated valid snapshot.
+        let full = small_index().to_bytes();
+        let cut = full.slice(0..full.len() / 2);
+        assert!(InvertedIndex::from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn vocabulary_grows() {
+        let idx = small_index();
+        assert!(idx.vocabulary_size() > 10);
+        assert_eq!(idx.len(), 4);
+        assert!(!idx.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Top-k results are always sorted by descending score.
+        #[test]
+        fn results_sorted(docs in proptest::collection::vec("[a-z ]{5,40}", 1..20),
+                          query in "[a-z ]{1,20}", k in 1usize..10) {
+            let mut idx = InvertedIndex::default();
+            for (i, d) in docs.iter().enumerate() {
+                idx.add(InstanceId::Text(i as u64), d);
+            }
+            let hits = idx.search(&query, k);
+            prop_assert!(hits.len() <= k);
+            for w in hits.windows(2) {
+                prop_assert!(w[0].score >= w[1].score);
+            }
+        }
+
+        /// A document is always retrievable by its own (non-stopword) content.
+        #[test]
+        fn self_retrieval(content in "[b-df-hj-np-tv-xz]{4,10} [b-df-hj-np-tv-xz]{4,10}") {
+            let mut idx = InvertedIndex::default();
+            idx.add(InstanceId::Text(0), &content);
+            idx.add(InstanceId::Text(1), "completely different words here");
+            let hits = idx.search(&content, 1);
+            prop_assert_eq!(hits[0].id, InstanceId::Text(0));
+        }
+    }
+}

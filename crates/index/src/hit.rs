@@ -1,0 +1,49 @@
+//! Search results.
+
+use verifai_lake::InstanceId;
+
+/// One ranked retrieval result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// The retrieved instance.
+    pub id: InstanceId,
+    /// Ranking score; higher is better. The scale depends on the producing
+    /// index (BM25 score, cosine similarity, fused score, ...).
+    pub score: f64,
+}
+
+impl SearchHit {
+    /// Construct a hit.
+    pub fn new(id: InstanceId, score: f64) -> SearchHit {
+        SearchHit { id, score }
+    }
+}
+
+/// Sort hits by descending score with deterministic id tiebreak.
+pub fn sort_hits(hits: &mut [SearchHit]) {
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorting_is_descending_and_deterministic() {
+        let mut hits = vec![
+            SearchHit::new(InstanceId::Tuple(2), 0.5),
+            SearchHit::new(InstanceId::Tuple(1), 0.5),
+            SearchHit::new(InstanceId::Tuple(3), 0.9),
+        ];
+        sort_hits(&mut hits);
+        assert_eq!(hits[0].id, InstanceId::Tuple(3));
+        // Equal scores break ties by id ascending.
+        assert_eq!(hits[1].id, InstanceId::Tuple(1));
+        assert_eq!(hits[2].id, InstanceId::Tuple(2));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # verifai-index
+//!
+//! The Indexer substrate (paper §3.1).
+//!
+//! The Indexer is *task-agnostic* and supports both **content-based** and
+//! **semantic-based** search:
+//!
+//! * [`content::InvertedIndex`] — a tokenizing inverted index with BM25 ranking,
+//!   the Elasticsearch substitute;
+//! * [`trie::TrieIndex`] — prefix/exact lookup over serialized strings (the
+//!   paper mentions tries/suffix structures as alternative content indexes);
+//! * [`vector::FlatIndex`] — exact nearest-neighbour search over embeddings;
+//! * [`vector::HnswIndex`] — approximate nearest-neighbour search (the
+//!   Faiss/pgvector substitute);
+//! * [`combiner::Combiner`] — merges the top-k lists of several indexes and
+//!   removes duplicates (paper §3.1 "Combiner"), with score- or
+//!   reciprocal-rank fusion.
+//!
+//! All indexes key their entries by [`verifai_lake::InstanceId`], so results from
+//! different modalities and index types can be combined freely.
+
+pub mod combiner;
+pub mod content;
+pub mod persist;
+pub mod hit;
+pub mod trie;
+pub mod vector;
+
+pub use combiner::{Combiner, FusionStrategy};
+pub use content::{Bm25Params, InvertedIndex};
+pub use hit::SearchHit;
+pub use persist::PersistError;
+pub use trie::TrieIndex;
+pub use vector::{FlatIndex, HnswConfig, HnswIndex, VectorIndex};

@@ -1,0 +1,221 @@
+//! Binary persistence of indexes.
+//!
+//! Rebuilding the content and semantic indexes dominates system start-up at
+//! lake scale (minutes at the paper's corpus size), so both support a compact
+//! binary snapshot: build once, [`crate::InvertedIndex::to_bytes`] /
+//! [`crate::HnswIndex::to_bytes`], and reload in milliseconds. The format is a
+//! versioned little-endian encoding with no external schema.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use verifai_lake::InstanceId;
+
+/// Magic prefix of every snapshot.
+pub const MAGIC: &[u8; 4] = b"VFAI";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Snapshot kind tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// An [`crate::InvertedIndex`].
+    Inverted = 1,
+    /// A [`crate::FlatIndex`].
+    Flat = 2,
+    /// An [`crate::HnswIndex`].
+    Hnsw = 3,
+}
+
+/// Errors decoding a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The buffer is shorter than the encoding requires.
+    Truncated,
+    /// The magic prefix is missing.
+    BadMagic,
+    /// The version byte is unknown.
+    BadVersion(u8),
+    /// The kind tag does not match the requested index type.
+    BadKind {
+        /// Kind expected by the decoder.
+        expected: u8,
+        /// Kind found in the snapshot.
+        got: u8,
+    },
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// An enum tag is out of range.
+    BadTag(u8),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Truncated => write!(f, "snapshot truncated"),
+            PersistError::BadMagic => write!(f, "not a VerifAI index snapshot"),
+            PersistError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            PersistError::BadKind { expected, got } => {
+                write!(f, "snapshot kind {got} does not match expected {expected}")
+            }
+            PersistError::BadUtf8 => write!(f, "snapshot contains invalid UTF-8"),
+            PersistError::BadTag(t) => write!(f, "snapshot contains invalid tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Write the snapshot header.
+pub(crate) fn put_header(buf: &mut BytesMut, kind: SnapshotKind) {
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(kind as u8);
+}
+
+/// Check and consume the snapshot header.
+pub(crate) fn check_header(buf: &mut Bytes, kind: SnapshotKind) -> Result<(), PersistError> {
+    if buf.remaining() < 6 {
+        return Err(PersistError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let got = buf.get_u8();
+    if got != kind as u8 {
+        return Err(PersistError::BadKind { expected: kind as u8, got });
+    }
+    Ok(())
+}
+
+/// Encode a string as `u32 length + UTF-8 bytes`.
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Decode a string.
+pub(crate) fn get_str(buf: &mut Bytes) -> Result<String, PersistError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(PersistError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| PersistError::BadUtf8)
+}
+
+/// Decode a little-endian u32 with bounds checking.
+pub(crate) fn get_u32(buf: &mut Bytes) -> Result<u32, PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+/// Decode a little-endian u64 with bounds checking.
+pub(crate) fn get_u64(buf: &mut Bytes) -> Result<u64, PersistError> {
+    if buf.remaining() < 8 {
+        return Err(PersistError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+/// Decode a little-endian f64 with bounds checking.
+pub(crate) fn get_f64(buf: &mut Bytes) -> Result<f64, PersistError> {
+    if buf.remaining() < 8 {
+        return Err(PersistError::Truncated);
+    }
+    Ok(buf.get_f64_le())
+}
+
+/// Decode a little-endian f32 with bounds checking.
+pub(crate) fn get_f32(buf: &mut Bytes) -> Result<f32, PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Truncated);
+    }
+    Ok(buf.get_f32_le())
+}
+
+/// Decode a single byte with bounds checking.
+pub(crate) fn get_u8(buf: &mut Bytes) -> Result<u8, PersistError> {
+    if buf.remaining() < 1 {
+        return Err(PersistError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+/// Encode an [`InstanceId`] as kind tag + raw id.
+pub(crate) fn put_instance_id(buf: &mut BytesMut, id: InstanceId) {
+    let tag = match id {
+        InstanceId::Tuple(_) => 0u8,
+        InstanceId::Table(_) => 1,
+        InstanceId::Text(_) => 2,
+        InstanceId::Kg(_) => 3,
+    };
+    buf.put_u8(tag);
+    buf.put_u64_le(id.raw());
+}
+
+/// Decode an [`InstanceId`].
+pub(crate) fn get_instance_id(buf: &mut Bytes) -> Result<InstanceId, PersistError> {
+    let tag = get_u8(buf)?;
+    let raw = get_u64(buf)?;
+    Ok(match tag {
+        0 => InstanceId::Tuple(raw),
+        1 => InstanceId::Table(raw),
+        2 => InstanceId::Text(raw),
+        3 => InstanceId::Kg(raw),
+        other => return Err(PersistError::BadTag(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip_and_mismatch() {
+        let mut buf = BytesMut::new();
+        put_header(&mut buf, SnapshotKind::Inverted);
+        let mut b = buf.clone().freeze();
+        assert!(check_header(&mut b, SnapshotKind::Inverted).is_ok());
+        let mut b = buf.freeze();
+        assert_eq!(
+            check_header(&mut b, SnapshotKind::Hnsw),
+            Err(PersistError::BadKind { expected: 3, got: 1 })
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_truncation() {
+        let mut b = Bytes::from_static(b"NOPE\x01\x01");
+        assert_eq!(check_header(&mut b, SnapshotKind::Flat), Err(PersistError::BadMagic));
+        let mut b = Bytes::from_static(b"VF");
+        assert_eq!(check_header(&mut b, SnapshotKind::Flat), Err(PersistError::Truncated));
+    }
+
+    #[test]
+    fn string_and_id_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_str(&mut buf, "incumbent");
+        put_instance_id(&mut buf, InstanceId::Kg(42));
+        let mut b = buf.freeze();
+        assert_eq!(get_str(&mut b).unwrap(), "incumbent");
+        assert_eq!(get_instance_id(&mut b).unwrap(), InstanceId::Kg(42));
+        assert_eq!(get_u8(&mut b), Err(PersistError::Truncated));
+    }
+
+    #[test]
+    fn invalid_tag_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(9);
+        buf.put_u64_le(1);
+        let mut b = buf.freeze();
+        assert_eq!(get_instance_id(&mut b), Err(PersistError::BadTag(9)));
+    }
+}

@@ -1,0 +1,164 @@
+//! A trie index over serialized strings.
+//!
+//! The paper lists "special data structures such as Tries or suffix trees" as
+//! content-based index options. [`TrieIndex`] supports exact and prefix lookup
+//! over normalized serializations — useful for key-value probes (e.g. "find
+//! every tuple whose serialization starts with `district is new york 1`").
+
+use crate::hit::SearchHit;
+use std::collections::HashMap;
+use verifai_lake::InstanceId;
+use verifai_lake::value::normalize_str;
+
+/// Node in the trie, keyed by byte.
+#[derive(Debug, Default)]
+struct Node {
+    children: HashMap<u8, Node>,
+    /// Instances whose full normalized serialization ends at this node.
+    terminals: Vec<InstanceId>,
+}
+
+/// Byte-level trie over normalized strings.
+#[derive(Debug, Default)]
+pub struct TrieIndex {
+    root: Node,
+    len: usize,
+}
+
+impl TrieIndex {
+    /// Empty trie.
+    pub fn new() -> TrieIndex {
+        TrieIndex::default()
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert an instance under its serialization (normalized internally).
+    pub fn add(&mut self, id: InstanceId, text: &str) {
+        let key = normalize_str(text);
+        let mut node = &mut self.root;
+        for b in key.bytes() {
+            node = node.children.entry(b).or_default();
+        }
+        node.terminals.push(id);
+        self.len += 1;
+    }
+
+    /// Exact lookup of a serialization.
+    pub fn get_exact(&self, text: &str) -> Vec<InstanceId> {
+        let key = normalize_str(text);
+        let mut node = &self.root;
+        for b in key.bytes() {
+            match node.children.get(&b) {
+                Some(n) => node = n,
+                None => return Vec::new(),
+            }
+        }
+        node.terminals.clone()
+    }
+
+    /// All instances whose serialization starts with `prefix`, up to `limit`.
+    /// Scores are 1.0 for exact-length matches, decaying with extra length, so
+    /// shorter (more exact) completions rank first.
+    pub fn search_prefix(&self, prefix: &str, limit: usize) -> Vec<SearchHit> {
+        let key = normalize_str(prefix);
+        let mut node = &self.root;
+        for b in key.bytes() {
+            match node.children.get(&b) {
+                Some(n) => node = n,
+                None => return Vec::new(),
+            }
+        }
+        let mut out = Vec::new();
+        // Depth-first walk with deterministic child order.
+        let mut stack: Vec<(&Node, usize)> = vec![(node, 0)];
+        while let Some((n, extra)) = stack.pop() {
+            for &id in &n.terminals {
+                if out.len() >= limit {
+                    return out;
+                }
+                out.push(SearchHit::new(id, 1.0 / (1.0 + extra as f64)));
+            }
+            let mut kids: Vec<(&u8, &Node)> = n.children.iter().collect();
+            kids.sort_by_key(|(b, _)| std::cmp::Reverse(**b));
+            for (_, child) in kids {
+                stack.push((child, extra + 1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u64) -> InstanceId {
+        InstanceId::Tuple(i)
+    }
+
+    #[test]
+    fn exact_lookup_normalizes() {
+        let mut t = TrieIndex::new();
+        t.add(tid(1), "District is New York 1");
+        assert_eq!(t.get_exact("district is new york 1"), vec![tid(1)]);
+        assert_eq!(t.get_exact("DISTRICT IS NEW YORK 1!"), vec![tid(1)]);
+        assert!(t.get_exact("district is new york").is_empty()); // prefix ≠ exact
+    }
+
+    #[test]
+    fn prefix_search_finds_all_completions() {
+        let mut t = TrieIndex::new();
+        t.add(tid(1), "district is new york 1");
+        t.add(tid(2), "district is new york 2");
+        t.add(tid(3), "district is ohio 5");
+        let hits = t.search_prefix("district is new york", 10);
+        let ids: Vec<InstanceId> = hits.iter().map(|h| h.id).collect();
+        assert!(ids.contains(&tid(1)) && ids.contains(&tid(2)));
+        assert!(!ids.contains(&tid(3)));
+    }
+
+    #[test]
+    fn prefix_limit_respected() {
+        let mut t = TrieIndex::new();
+        for i in 0..100 {
+            t.add(tid(i), &format!("value {i}"));
+        }
+        assert_eq!(t.search_prefix("value", 7).len(), 7);
+    }
+
+    #[test]
+    fn shorter_completions_score_higher() {
+        let mut t = TrieIndex::new();
+        t.add(tid(1), "abc");
+        t.add(tid(2), "abcdef");
+        let hits = t.search_prefix("abc", 10);
+        let s1 = hits.iter().find(|h| h.id == tid(1)).unwrap().score;
+        let s2 = hits.iter().find(|h| h.id == tid(2)).unwrap().score;
+        assert!(s1 > s2);
+    }
+
+    #[test]
+    fn missing_prefix_is_empty() {
+        let t = TrieIndex::new();
+        assert!(t.search_prefix("zzz", 5).is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn duplicate_serializations_all_returned() {
+        let mut t = TrieIndex::new();
+        t.add(tid(1), "same text");
+        t.add(tid(2), "same text");
+        assert_eq!(t.get_exact("same text").len(), 2);
+        assert_eq!(t.len(), 2);
+    }
+}

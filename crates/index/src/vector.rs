@@ -1,0 +1,619 @@
+//! Semantic (vector) indexes: exact flat scan and HNSW approximate search.
+//!
+//! These are the Faiss / pgvector substitutes. Both index unit-normalized
+//! embedding vectors under [`InstanceId`]s and return cosine-similarity-ranked
+//! hits. [`FlatIndex`] is exact (and the recall reference); [`HnswIndex`] is the
+//! approximate graph index real deployments use at the paper's corpus scale.
+
+use crate::hit::{sort_hits, SearchHit};
+use crate::persist::{self, PersistError, SnapshotKind};
+use bytes::{BufMut, Bytes, BytesMut};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use verifai_embed::Vector;
+use verifai_lake::InstanceId;
+
+/// Common interface of the semantic indexes.
+pub trait VectorIndex {
+    /// Insert a vector under an id.
+    fn add(&mut self, id: InstanceId, vector: Vector);
+    /// Top-k most similar entries (cosine).
+    fn search(&self, query: &Vector, k: usize) -> Vec<SearchHit>;
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+    /// True when empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flat (exact) index
+// ---------------------------------------------------------------------------
+
+/// Exact nearest-neighbour index: brute-force cosine scan with a top-k heap.
+#[derive(Debug, Default)]
+pub struct FlatIndex {
+    ids: Vec<InstanceId>,
+    vectors: Vec<Vector>,
+}
+
+impl FlatIndex {
+    /// Empty index.
+    pub fn new() -> FlatIndex {
+        FlatIndex::default()
+    }
+}
+
+struct MinEntry {
+    score: f64,
+    ord: usize,
+}
+impl PartialEq for MinEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.ord == other.ord
+    }
+}
+impl Eq for MinEntry {}
+impl PartialOrd for MinEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MinEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.ord.cmp(&other.ord))
+    }
+}
+
+impl FlatIndex {
+    /// Serialize the index into a versioned binary snapshot.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.ids.len() * 16);
+        persist::put_header(&mut buf, SnapshotKind::Flat);
+        buf.put_u32_le(self.ids.len() as u32);
+        for (id, v) in self.ids.iter().zip(self.vectors.iter()) {
+            persist::put_instance_id(&mut buf, *id);
+            put_vector(&mut buf, v);
+        }
+        buf.freeze()
+    }
+
+    /// Reconstruct an index from a snapshot produced by [`Self::to_bytes`].
+    pub fn from_bytes(mut buf: Bytes) -> Result<FlatIndex, PersistError> {
+        persist::check_header(&mut buf, SnapshotKind::Flat)?;
+        let n = persist::get_u32(&mut buf)? as usize;
+        let mut ids = Vec::with_capacity(n);
+        let mut vectors = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(persist::get_instance_id(&mut buf)?);
+            vectors.push(get_vector(&mut buf)?);
+        }
+        Ok(FlatIndex { ids, vectors })
+    }
+}
+
+/// Encode a vector as `u32 dim + f32 components`.
+fn put_vector(buf: &mut BytesMut, v: &Vector) {
+    buf.put_u32_le(v.dim() as u32);
+    for &x in v.as_slice() {
+        buf.put_f32_le(x);
+    }
+}
+
+/// Decode a vector.
+fn get_vector(buf: &mut Bytes) -> Result<Vector, PersistError> {
+    let dim = persist::get_u32(buf)? as usize;
+    let mut v = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        v.push(persist::get_f32(buf)?);
+    }
+    Ok(Vector::from_vec(v))
+}
+
+impl VectorIndex for FlatIndex {
+    fn add(&mut self, id: InstanceId, vector: Vector) {
+        self.ids.push(id);
+        self.vectors.push(vector);
+    }
+
+    fn search(&self, query: &Vector, k: usize) -> Vec<SearchHit> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<MinEntry> = BinaryHeap::with_capacity(k + 1);
+        for (ord, v) in self.vectors.iter().enumerate() {
+            let score = v.cosine(query) as f64;
+            heap.push(MinEntry { score, ord });
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        let mut hits: Vec<SearchHit> =
+            heap.into_iter().map(|e| SearchHit::new(self.ids[e.ord], e.score)).collect();
+        sort_hits(&mut hits);
+        hits
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HNSW (approximate) index
+// ---------------------------------------------------------------------------
+
+/// HNSW construction/search parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HnswConfig {
+    /// Max neighbours per node on layers > 0 (layer 0 uses `2 * m`).
+    pub m: usize,
+    /// Candidate-list width during construction.
+    pub ef_construction: usize,
+    /// Candidate-list width during search.
+    pub ef_search: usize,
+    /// Seed for the (deterministic) level generator.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        HnswConfig { m: 16, ef_construction: 100, ef_search: 64, seed: 0x9e37 }
+    }
+}
+
+#[derive(Debug)]
+struct HnswNode {
+    id: InstanceId,
+    vector: Vector,
+    /// Adjacency per layer; `neighbors[l]` exists for l <= node level.
+    neighbors: Vec<Vec<u32>>,
+}
+
+/// Hierarchical Navigable Small World graph over cosine similarity.
+#[derive(Debug)]
+pub struct HnswIndex {
+    config: HnswConfig,
+    nodes: Vec<HnswNode>,
+    entry: Option<u32>,
+    max_level: usize,
+}
+
+impl HnswIndex {
+    /// Empty index with the given parameters.
+    pub fn new(config: HnswConfig) -> HnswIndex {
+        HnswIndex { config, nodes: Vec::new(), entry: None, max_level: 0 }
+    }
+
+    /// Empty index with default parameters.
+    pub fn with_defaults() -> HnswIndex {
+        HnswIndex::new(HnswConfig::default())
+    }
+
+    /// Cosine *distance* (1 - similarity): lower is closer.
+    fn dist(&self, a: u32, q: &Vector) -> f64 {
+        1.0 - self.nodes[a as usize].vector.cosine(q) as f64
+    }
+
+    /// Deterministic geometric level for the `ord`-th insertion.
+    fn draw_level(&self, ord: usize) -> usize {
+        // P(level >= l) = (1/m)^l, derived from a hash of (seed, ord).
+        let mut h = verifai_embed::hashing::splitmix64(self.config.seed ^ (ord as u64) << 1);
+        let mut level = 0usize;
+        let threshold = u64::MAX / self.config.m.max(2) as u64;
+        while h < threshold && level < 16 {
+            level += 1;
+            h = verifai_embed::hashing::splitmix64(h);
+        }
+        level
+    }
+
+    /// Greedy descent from the entry point to the closest node at `layer`.
+    fn greedy_at_layer(&self, start: u32, q: &Vector, layer: usize) -> u32 {
+        let mut cur = start;
+        let mut cur_d = self.dist(cur, q);
+        loop {
+            let mut improved = false;
+            for &n in &self.nodes[cur as usize].neighbors[layer] {
+                let d = self.dist(n, q);
+                if d < cur_d {
+                    cur = n;
+                    cur_d = d;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// Best-first search at one layer, returning up to `ef` closest candidates
+    /// as (distance, ordinal) sorted ascending by distance.
+    fn search_layer(&self, entry: u32, q: &Vector, layer: usize, ef: usize) -> Vec<(f64, u32)> {
+        let mut visited: HashSet<u32> = HashSet::new();
+        visited.insert(entry);
+        let d0 = self.dist(entry, q);
+        // Candidates: min-dist first (use Reverse ordering via negated compare).
+        let mut candidates: BinaryHeap<CandEntry> = BinaryHeap::new();
+        candidates.push(CandEntry { dist: d0, ord: entry, min_first: true });
+        // Results: max-dist first so the worst can be evicted.
+        let mut results: BinaryHeap<CandEntry> = BinaryHeap::new();
+        results.push(CandEntry { dist: d0, ord: entry, min_first: false });
+
+        while let Some(c) = candidates.pop() {
+            let worst = results.peek().map(|r| r.dist).unwrap_or(f64::INFINITY);
+            if c.dist > worst && results.len() >= ef {
+                break;
+            }
+            for &n in &self.nodes[c.ord as usize].neighbors[layer] {
+                if !visited.insert(n) {
+                    continue;
+                }
+                let d = self.dist(n, q);
+                let worst = results.peek().map(|r| r.dist).unwrap_or(f64::INFINITY);
+                if results.len() < ef || d < worst {
+                    candidates.push(CandEntry { dist: d, ord: n, min_first: true });
+                    results.push(CandEntry { dist: d, ord: n, min_first: false });
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(f64, u32)> = results.into_iter().map(|e| (e.dist, e.ord)).collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+        out
+    }
+
+    /// Connect `node` to the closest `max_conn` of `candidates` at `layer`,
+    /// and back-link with pruning.
+    fn connect(&mut self, node: u32, candidates: &[(f64, u32)], layer: usize, max_conn: usize) {
+        let selected: Vec<u32> =
+            candidates.iter().take(max_conn).map(|&(_, o)| o).filter(|&o| o != node).collect();
+        self.nodes[node as usize].neighbors[layer] = selected.clone();
+        for &n in &selected {
+            let nv = &mut self.nodes[n as usize].neighbors[layer];
+            if !nv.contains(&node) {
+                nv.push(node);
+            }
+            if nv.len() > max_conn {
+                // Prune: keep the max_conn closest neighbours of n.
+                let nvec = self.nodes[n as usize].vector.clone();
+                let mut with_d: Vec<(f64, u32)> = self.nodes[n as usize]
+                    .neighbors[layer]
+                    .iter()
+                    .map(|&o| (1.0 - self.nodes[o as usize].vector.cosine(&nvec) as f64, o))
+                    .collect();
+                with_d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+                with_d.truncate(max_conn);
+                self.nodes[n as usize].neighbors[layer] =
+                    with_d.into_iter().map(|(_, o)| o).collect();
+            }
+        }
+    }
+}
+
+struct CandEntry {
+    dist: f64,
+    ord: u32,
+    /// true = min-heap behaviour (closest first), false = max-heap (farthest first).
+    min_first: bool,
+}
+impl PartialEq for CandEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.ord == other.ord
+    }
+}
+impl Eq for CandEntry {}
+impl PartialOrd for CandEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CandEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let ord = self
+            .dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.ord.cmp(&other.ord));
+        if self.min_first {
+            ord.reverse()
+        } else {
+            ord
+        }
+    }
+}
+
+impl HnswIndex {
+    /// Serialize the graph into a versioned binary snapshot. Reloading is
+    /// orders of magnitude faster than re-inserting at lake scale.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(128 + self.nodes.len() * 64);
+        persist::put_header(&mut buf, SnapshotKind::Hnsw);
+        buf.put_u32_le(self.config.m as u32);
+        buf.put_u32_le(self.config.ef_construction as u32);
+        buf.put_u32_le(self.config.ef_search as u32);
+        buf.put_u64_le(self.config.seed);
+        buf.put_u32_le(self.max_level as u32);
+        match self.entry {
+            Some(e) => {
+                buf.put_u8(1);
+                buf.put_u32_le(e);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u32_le(self.nodes.len() as u32);
+        for node in &self.nodes {
+            persist::put_instance_id(&mut buf, node.id);
+            put_vector(&mut buf, &node.vector);
+            buf.put_u32_le(node.neighbors.len() as u32);
+            for layer in &node.neighbors {
+                buf.put_u32_le(layer.len() as u32);
+                for &n in layer {
+                    buf.put_u32_le(n);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Reconstruct the graph from a snapshot produced by [`Self::to_bytes`].
+    pub fn from_bytes(mut buf: Bytes) -> Result<HnswIndex, PersistError> {
+        persist::check_header(&mut buf, SnapshotKind::Hnsw)?;
+        let m = persist::get_u32(&mut buf)? as usize;
+        let ef_construction = persist::get_u32(&mut buf)? as usize;
+        let ef_search = persist::get_u32(&mut buf)? as usize;
+        let seed = persist::get_u64(&mut buf)?;
+        let max_level = persist::get_u32(&mut buf)? as usize;
+        let entry = match persist::get_u8(&mut buf)? {
+            0 => None,
+            1 => Some(persist::get_u32(&mut buf)?),
+            other => return Err(PersistError::BadTag(other)),
+        };
+        let n = persist::get_u32(&mut buf)? as usize;
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = persist::get_instance_id(&mut buf)?;
+            let vector = get_vector(&mut buf)?;
+            let n_layers = persist::get_u32(&mut buf)? as usize;
+            let mut neighbors = Vec::with_capacity(n_layers);
+            for _ in 0..n_layers {
+                let len = persist::get_u32(&mut buf)? as usize;
+                let mut layer = Vec::with_capacity(len);
+                for _ in 0..len {
+                    layer.push(persist::get_u32(&mut buf)?);
+                }
+                neighbors.push(layer);
+            }
+            nodes.push(HnswNode { id, vector, neighbors });
+        }
+        Ok(HnswIndex {
+            config: HnswConfig { m, ef_construction, ef_search, seed },
+            nodes,
+            entry,
+            max_level,
+        })
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn add(&mut self, id: InstanceId, vector: Vector) {
+        let ord = self.nodes.len() as u32;
+        let level = self.draw_level(ord as usize);
+        self.nodes.push(HnswNode { id, vector, neighbors: vec![Vec::new(); level + 1] });
+        let q = self.nodes[ord as usize].vector.clone();
+
+        let Some(mut entry) = self.entry else {
+            self.entry = Some(ord);
+            self.max_level = level;
+            return;
+        };
+
+        // Descend from the top layer to level+1 greedily.
+        for l in ((level + 1)..=self.max_level).rev() {
+            entry = self.greedy_at_layer(entry, &q, l);
+        }
+        // Insert at each layer from min(level, max_level) down to 0.
+        for l in (0..=level.min(self.max_level)).rev() {
+            let found = self.search_layer(entry, &q, l, self.config.ef_construction);
+            let max_conn = if l == 0 { self.config.m * 2 } else { self.config.m };
+            self.connect(ord, &found, l, max_conn);
+            if let Some(&(_, best)) = found.first() {
+                entry = best;
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(ord);
+        }
+    }
+
+    fn search(&self, query: &Vector, k: usize) -> Vec<SearchHit> {
+        let Some(mut entry) = self.entry else { return Vec::new() };
+        if k == 0 {
+            return Vec::new();
+        }
+        for l in (1..=self.max_level).rev() {
+            entry = self.greedy_at_layer(entry, query, l);
+        }
+        let ef = self.config.ef_search.max(k);
+        let found = self.search_layer(entry, query, 0, ef);
+        let mut hits: Vec<SearchHit> = found
+            .into_iter()
+            .take(k)
+            .map(|(d, o)| SearchHit::new(self.nodes[o as usize].id, 1.0 - d))
+            .collect();
+        sort_hits(&mut hits);
+        hits
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifai_embed::TextEmbedder;
+
+    fn tid(i: u64) -> InstanceId {
+        InstanceId::Text(i)
+    }
+
+    fn corpus() -> Vec<(InstanceId, Vector)> {
+        let e = TextEmbedder::with_seed(11);
+        let texts = [
+            "united states house election new york district",
+            "house election results new york representatives",
+            "basketball career points michael jordan bulls",
+            "dance drama film stomp the yard 2007",
+            "track and field championship 1959 ncaa",
+            "actress meagan good film roles",
+            "governor election ohio incumbent",
+            "chicago bulls championship 1997 season",
+        ];
+        texts.iter().enumerate().map(|(i, t)| (tid(i as u64), e.embed(t))).collect()
+    }
+
+    #[test]
+    fn flat_finds_semantic_neighbour() {
+        let mut idx = FlatIndex::new();
+        for (id, v) in corpus() {
+            idx.add(id, v);
+        }
+        let e = TextEmbedder::with_seed(11);
+        let hits = idx.search(&e.embed("new york house election"), 2);
+        assert!(hits[0].id == tid(0) || hits[0].id == tid(1));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn flat_k_zero_and_empty() {
+        let idx = FlatIndex::new();
+        let e = TextEmbedder::with_seed(11);
+        assert!(idx.search(&e.embed("x"), 3).is_empty());
+        let mut idx = FlatIndex::new();
+        idx.add(tid(0), e.embed("abc"));
+        assert!(idx.search(&e.embed("abc"), 0).is_empty());
+    }
+
+    #[test]
+    fn hnsw_matches_flat_on_small_corpus() {
+        let mut flat = FlatIndex::new();
+        let mut hnsw = HnswIndex::with_defaults();
+        for (id, v) in corpus() {
+            flat.add(id, v.clone());
+            hnsw.add(id, v);
+        }
+        let e = TextEmbedder::with_seed(11);
+        for q in ["jordan basketball points", "film actress", "election district"] {
+            let qv = e.embed(q);
+            let f = flat.search(&qv, 3);
+            let h = hnsw.search(&qv, 3);
+            assert_eq!(f[0].id, h[0].id, "query '{q}' disagrees at rank 1");
+        }
+    }
+
+    #[test]
+    fn hnsw_recall_at_10_on_larger_corpus() {
+        // 300 synthetic points; HNSW must achieve high recall@10 vs flat.
+        let e = TextEmbedder::with_seed(3);
+        let mut flat = FlatIndex::new();
+        let mut hnsw = HnswIndex::new(HnswConfig { ef_search: 80, ..HnswConfig::default() });
+        for i in 0..300u64 {
+            let text = format!("entity {} topic {} attribute {}", i, i % 17, i % 7);
+            let v = e.embed(&text);
+            flat.add(tid(i), v.clone());
+            hnsw.add(tid(i), v);
+        }
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in 0..20u64 {
+            let qv = e.embed(&format!("entity {} topic {}", q * 13 % 300, (q * 13 % 300) % 17));
+            let truth: HashSet<InstanceId> =
+                flat.search(&qv, 10).into_iter().map(|h| h.id).collect();
+            for h in hnsw.search(&qv, 10) {
+                total += 1;
+                if truth.contains(&h.id) {
+                    hit += 1;
+                }
+            }
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall > 0.8, "HNSW recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn hnsw_deterministic() {
+        let build = || {
+            let mut h = HnswIndex::with_defaults();
+            for (id, v) in corpus() {
+                h.add(id, v);
+            }
+            h
+        };
+        let e = TextEmbedder::with_seed(11);
+        let q = e.embed("championship season");
+        assert_eq!(build().search(&q, 4), build().search(&q, 4));
+    }
+
+    #[test]
+    fn hnsw_single_element() {
+        let mut h = HnswIndex::with_defaults();
+        let e = TextEmbedder::with_seed(11);
+        h.add(tid(9), e.embed("lonely document"));
+        let hits = h.search(&e.embed("lonely"), 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, tid(9));
+    }
+
+    #[test]
+    fn snapshots_roundtrip_both_vector_indexes() {
+        let e = TextEmbedder::with_seed(11);
+        let mut flat = FlatIndex::new();
+        let mut hnsw = HnswIndex::with_defaults();
+        for (id, v) in corpus() {
+            flat.add(id, v.clone());
+            hnsw.add(id, v);
+        }
+        let flat2 = FlatIndex::from_bytes(flat.to_bytes()).unwrap();
+        let hnsw2 = HnswIndex::from_bytes(hnsw.to_bytes()).unwrap();
+        for q in ["jordan basketball", "election district new york", "film actress"] {
+            let qv = e.embed(q);
+            assert_eq!(flat.search(&qv, 4), flat2.search(&qv, 4), "flat query {q}");
+            assert_eq!(hnsw.search(&qv, 4), hnsw2.search(&qv, 4), "hnsw query {q}");
+        }
+        // A restored graph keeps growing correctly.
+        let mut hnsw3 = HnswIndex::from_bytes(hnsw.to_bytes()).unwrap();
+        hnsw3.add(tid(99), e.embed("brand new document about elections"));
+        assert_eq!(hnsw3.len(), hnsw.len() + 1);
+        let hits = hnsw3.search(&e.embed("brand new document"), 1);
+        assert_eq!(hits[0].id, tid(99));
+    }
+
+    #[test]
+    fn snapshot_garbage_rejected() {
+        assert!(FlatIndex::from_bytes(bytes::Bytes::from_static(b"nah")).is_err());
+        assert!(HnswIndex::from_bytes(bytes::Bytes::from_static(b"VFAI\x01\x02")).is_err());
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut indexes: Vec<Box<dyn VectorIndex>> =
+            vec![Box::new(FlatIndex::new()), Box::new(HnswIndex::with_defaults())];
+        let e = TextEmbedder::with_seed(11);
+        for idx in &mut indexes {
+            idx.add(tid(0), e.embed("shared content"));
+            assert_eq!(idx.len(), 1);
+            assert!(!idx.is_empty());
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for lake operations.
+
+use std::fmt;
+
+/// Errors raised by data-lake operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LakeError {
+    /// A table id did not resolve to a stored table.
+    TableNotFound(u64),
+    /// A document id did not resolve to a stored text document.
+    DocNotFound(u64),
+    /// A tuple id did not resolve to a stored tuple.
+    TupleNotFound(u64),
+    /// A knowledge-graph entity id did not resolve.
+    KgEntityNotFound(u64),
+    /// A source id did not resolve to registered source metadata.
+    SourceNotFound(u32),
+    /// A column name did not resolve against a table schema.
+    ColumnNotFound {
+        /// Table searched.
+        table: u64,
+        /// Column name that failed to resolve.
+        column: String,
+    },
+    /// A row was inserted whose arity does not match the table schema.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Row arity.
+        got: usize,
+    },
+    /// A value failed to parse as the requested data type.
+    ParseError {
+        /// The raw input.
+        input: String,
+        /// The target type name.
+        target: &'static str,
+    },
+    /// An id was inserted twice.
+    DuplicateId(u64),
+}
+
+impl fmt::Display for LakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LakeError::TableNotFound(id) => write!(f, "table {id} not found in lake"),
+            LakeError::DocNotFound(id) => write!(f, "text document {id} not found in lake"),
+            LakeError::TupleNotFound(id) => write!(f, "tuple {id} not found in lake"),
+            LakeError::KgEntityNotFound(id) => {
+                write!(f, "knowledge-graph entity {id} not found in lake")
+            }
+            LakeError::SourceNotFound(id) => write!(f, "source {id} not registered"),
+            LakeError::ColumnNotFound { table, column } => {
+                write!(f, "column '{column}' not found in table {table}")
+            }
+            LakeError::ArityMismatch { expected, got } => {
+                write!(f, "row arity {got} does not match schema arity {expected}")
+            }
+            LakeError::ParseError { input, target } => {
+                write!(f, "cannot parse '{input}' as {target}")
+            }
+            LakeError::DuplicateId(id) => write!(f, "id {id} already present in lake"),
+        }
+    }
+}
+
+impl std::error::Error for LakeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LakeError::ColumnNotFound { table: 7, column: "incumbent".into() };
+        assert!(e.to_string().contains("incumbent"));
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(LakeError::TableNotFound(1));
+        assert!(e.to_string().contains("table 1"));
+    }
+}

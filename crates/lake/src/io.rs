@@ -1,0 +1,208 @@
+//! CSV-style table ingestion and export.
+//!
+//! Real deployments fill the lake from files, not generators. This module
+//! parses a minimal, dependency-free CSV dialect (RFC-4180 quoting, `,`
+//! delimiter) into [`Table`]s with inferred column types, and writes tables
+//! back out. Masked cells round-trip as empty fields / `NaN`.
+
+use crate::error::LakeError;
+use crate::table::{Column, DataType, Schema, Table, TableId};
+use crate::source::SourceId;
+use crate::value::Value;
+
+/// Parse one CSV record, honouring double-quote escaping.
+fn parse_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if field.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+            }
+            c => field.push(c),
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+/// Quote a field when it contains the delimiter, quotes, or newlines.
+fn render_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Infer a column's [`DataType`] from its non-empty raw fields: the most
+/// specific type every field parses as, falling back to text.
+fn infer_column_type(raw: &[&str]) -> DataType {
+    let non_empty: Vec<&&str> = raw
+        .iter()
+        .filter(|s| !s.trim().is_empty() && !s.trim().eq_ignore_ascii_case("nan"))
+        .collect();
+    if non_empty.is_empty() {
+        return DataType::Text;
+    }
+    let all = |ty: DataType| non_empty.iter().all(|s| Value::parse_as(s, ty).is_ok());
+    for ty in [DataType::Int, DataType::Float, DataType::Bool, DataType::Date] {
+        if all(ty) {
+            return ty;
+        }
+    }
+    DataType::Text
+}
+
+/// Parse CSV text into a [`Table`].
+///
+/// The first record is the header. Column types are inferred from the data;
+/// the first column is treated as the key (the web-table convention the
+/// datagen follows). Empty fields and `NaN` become [`Value::Null`].
+pub fn table_from_csv(
+    id: TableId,
+    caption: impl Into<String>,
+    csv: &str,
+    source: SourceId,
+) -> Result<Table, LakeError> {
+    let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or(LakeError::ParseError {
+        input: String::new(),
+        target: "csv header",
+    })?;
+    let headers = parse_record(header);
+    let records: Vec<Vec<String>> = lines.map(parse_record).collect();
+    for r in &records {
+        if r.len() != headers.len() {
+            return Err(LakeError::ArityMismatch { expected: headers.len(), got: r.len() });
+        }
+    }
+    // Infer per-column types from the raw fields.
+    let columns: Vec<Column> = headers
+        .iter()
+        .enumerate()
+        .map(|(c, name)| {
+            let raw: Vec<&str> = records.iter().map(|r| r[c].as_str()).collect();
+            let dtype = infer_column_type(&raw);
+            if c == 0 {
+                Column::key(name.trim(), dtype)
+            } else {
+                Column::new(name.trim(), dtype)
+            }
+        })
+        .collect();
+    let schema = Schema::new(columns);
+    let mut table = Table::new(id, caption, schema, source);
+    for record in &records {
+        let row: Result<Vec<Value>, LakeError> = record
+            .iter()
+            .enumerate()
+            .map(|(c, field)| Value::parse_as(field, table.schema.columns()[c].dtype))
+            .collect();
+        table.push_row(row?)?;
+    }
+    Ok(table)
+}
+
+/// Render a [`Table`] as CSV (header + rows; nulls as empty fields).
+pub fn table_to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let headers: Vec<String> = table.schema.names().map(render_field).collect();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in table.rows() {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| if v.is_null() { String::new() } else { render_field(&v.to_string()) })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+district,incumbent,first elected,votes
+New York 1,Otis Pike,1960,103042
+New York 2,\"Grover, James\",1962,98011
+Ohio 5,NaN,1958,87455
+";
+
+    #[test]
+    fn csv_roundtrip_with_types_and_quoting() {
+        let t = table_from_csv(1, "elections", SAMPLE, 0).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.schema.arity(), 4);
+        // Types inferred: text, text, int, int.
+        assert_eq!(t.schema.columns()[2].dtype, DataType::Int);
+        assert_eq!(t.cell(0, 2), Some(&Value::Int(1960)));
+        // Quoted field with embedded comma.
+        assert_eq!(t.cell(1, 1), Some(&Value::text("Grover, James")));
+        // NaN becomes Null.
+        assert!(t.cell(2, 1).unwrap().is_null());
+        // First column is the key.
+        assert!(t.schema.columns()[0].is_key);
+
+        // Round-trip.
+        let csv = table_to_csv(&t);
+        let t2 = table_from_csv(2, "elections", &csv, 0).unwrap();
+        assert_eq!(t.rows(), t2.rows());
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let bad = "a,b\n1,2\n3\n";
+        let err = table_from_csv(1, "t", bad, 0).unwrap_err();
+        assert_eq!(err, LakeError::ArityMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(table_from_csv(1, "t", "", 0).is_err());
+        assert!(table_from_csv(1, "t", "\n\n", 0).is_err());
+    }
+
+    #[test]
+    fn header_only_gives_empty_table() {
+        let t = table_from_csv(1, "t", "x,y\n", 0).unwrap();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.schema.arity(), 2);
+    }
+
+    #[test]
+    fn quote_escaping_roundtrips() {
+        let fields = parse_record("a,\"say \"\"hi\"\"\",c");
+        assert_eq!(fields, vec!["a", "say \"hi\"", "c"]);
+        assert_eq!(render_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn mixed_numeric_column_falls_back_sensibly() {
+        let csv = "k,score\na,1\nb,2.5\n";
+        let t = table_from_csv(1, "t", csv, 0).unwrap();
+        assert_eq!(t.schema.columns()[1].dtype, DataType::Float);
+        assert_eq!(t.cell(0, 1), Some(&Value::Float(1.0)));
+    }
+
+    #[test]
+    fn date_column_inference() {
+        let csv = "k,born\na,1959-06-01\nb,1961-02-12\n";
+        let t = table_from_csv(1, "t", csv, 0).unwrap();
+        assert_eq!(t.schema.columns()[1].dtype, DataType::Date);
+    }
+}

@@ -1,0 +1,124 @@
+//! Knowledge-graph entities.
+//!
+//! The paper's §5 names knowledge graphs as the next evidence modality:
+//! "datasets in other modalities, such as knowledge graph entities (or small
+//! subgraphs), can contain valuable information for verifying generative AI",
+//! and lists (text, knowledge graph entity) local verifiers as a promising
+//! direction. [`KgEntity`] is that unit: an entity node together with its
+//! outgoing [`Triple`]s — the "small subgraph" centred on the entity.
+
+use crate::source::SourceId;
+use crate::value::{normalize_str, Value};
+
+/// Lake-wide knowledge-graph-entity identifier.
+pub type KgEntityId = u64;
+
+/// One edge of the graph: `subject --predicate--> object`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Triple {
+    /// Subject entity name.
+    pub subject: String,
+    /// Predicate (relation) name, e.g. `incumbent`, `lead actor`.
+    pub predicate: String,
+    /// Object: a literal value or another entity's name as text.
+    pub object: Value,
+}
+
+impl Triple {
+    /// Construct a triple.
+    pub fn new(subject: impl Into<String>, predicate: impl Into<String>, object: Value) -> Triple {
+        Triple { subject: subject.into(), predicate: predicate.into(), object }
+    }
+}
+
+/// An entity node with its outgoing edges — the retrieval/verification unit
+/// for the knowledge-graph modality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KgEntity {
+    /// Lake-wide identifier.
+    pub id: KgEntityId,
+    /// Canonical entity name.
+    pub name: String,
+    /// Outgoing triples (subjects may include the entity itself and closely
+    /// related nodes, forming the small subgraph).
+    pub triples: Vec<Triple>,
+    /// Source that contributed this subgraph.
+    pub source: SourceId,
+}
+
+impl KgEntity {
+    /// A new entity node with no edges yet.
+    pub fn new(id: KgEntityId, name: impl Into<String>, source: SourceId) -> KgEntity {
+        KgEntity { id, name: name.into(), triples: Vec::new(), source }
+    }
+
+    /// Append an outgoing triple with this entity as subject.
+    pub fn assert_fact(&mut self, predicate: impl Into<String>, object: Value) {
+        let subject = self.name.clone();
+        self.triples.push(Triple::new(subject, predicate, object));
+    }
+
+    /// The object asserted for `predicate` on this entity (normalized predicate
+    /// comparison), if any.
+    pub fn object_of(&self, predicate: &str) -> Option<&Value> {
+        let want = normalize_str(predicate);
+        if want.is_empty() {
+            return None;
+        }
+        self.triples
+            .iter()
+            .find(|t| {
+                normalize_str(&t.subject) == normalize_str(&self.name) && {
+                    let have = normalize_str(&t.predicate);
+                    have == want || have.contains(&want) || want.contains(&have)
+                }
+            })
+            .map(|t| &t.object)
+    }
+
+    /// Whether this subgraph is about `entity` (normalized name comparison).
+    pub fn is_about(&self, entity: &str) -> bool {
+        let want = normalize_str(entity);
+        !want.is_empty() && normalize_str(&self.name) == want
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entity() -> KgEntity {
+        let mut e = KgEntity::new(1, "New York 3", 0);
+        e.assert_fact("incumbent", Value::text("James Pike"));
+        e.assert_fact("party", Value::text("Democratic"));
+        e.assert_fact("first elected", Value::Int(1940));
+        e
+    }
+
+    #[test]
+    fn object_lookup_is_fuzzy_on_predicates() {
+        let e = entity();
+        assert_eq!(e.object_of("incumbent"), Some(&Value::text("James Pike")));
+        assert_eq!(e.object_of("First Elected"), Some(&Value::Int(1940)));
+        assert_eq!(e.object_of("elected"), Some(&Value::Int(1940)));
+        assert_eq!(e.object_of("population"), None);
+        assert_eq!(e.object_of(""), None);
+    }
+
+    #[test]
+    fn is_about_normalizes() {
+        let e = entity();
+        assert!(e.is_about("new york 3"));
+        assert!(!e.is_about("new york 4"));
+        assert!(!e.is_about(""));
+    }
+
+    #[test]
+    fn foreign_subject_triples_do_not_answer_object_of() {
+        let mut e = entity();
+        e.triples.push(Triple::new("Ohio 5", "incumbent", Value::text("Someone Else")));
+        // The subgraph may mention other subjects, but object_of answers only
+        // for the entity itself.
+        assert_eq!(e.object_of("incumbent"), Some(&Value::text("James Pike")));
+    }
+}

@@ -1,0 +1,298 @@
+//! The [`DataLake`] store.
+//!
+//! A single repository owning tables, text documents, and source metadata, with
+//! id-based lookup and a *tuple directory* so individual tuples are addressable —
+//! the paper's Indexer indexes tuples as first-class instances.
+
+use crate::error::LakeError;
+use crate::instance::{DataInstance, InstanceId};
+use crate::kg::{KgEntity, KgEntityId};
+use crate::source::{SourceId, SourceMeta, SourceOrigin};
+use crate::stats::LakeStats;
+use crate::table::{Table, TableId};
+use crate::text_doc::{DocId, TextDocument};
+use crate::tuple::{Tuple, TupleId};
+use std::collections::HashMap;
+
+/// Location of a tuple: which table and row it lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TupleLoc {
+    table: TableId,
+    row: usize,
+}
+
+/// A multi-modal data lake holding tables, tuples, and text documents.
+#[derive(Debug, Default)]
+pub struct DataLake {
+    tables: HashMap<TableId, Table>,
+    docs: HashMap<DocId, TextDocument>,
+    kg: HashMap<KgEntityId, KgEntity>,
+    sources: HashMap<SourceId, SourceMeta>,
+    /// Directory from tuple id to (table, row). Tuple ids are assigned densely
+    /// at registration time.
+    tuple_dir: HashMap<TupleId, TupleLoc>,
+    next_tuple_id: TupleId,
+    /// Insertion order, for deterministic iteration.
+    table_order: Vec<TableId>,
+    doc_order: Vec<DocId>,
+    kg_order: Vec<KgEntityId>,
+}
+
+impl DataLake {
+    /// Create an empty lake.
+    pub fn new() -> DataLake {
+        DataLake::default()
+    }
+
+    /// Register a data source and return its id.
+    pub fn add_source(&mut self, name: impl Into<String>, origin: SourceOrigin) -> SourceId {
+        let id = self.sources.len() as SourceId;
+        self.sources.insert(id, SourceMeta::new(id, name, origin));
+        id
+    }
+
+    /// Metadata of a source.
+    pub fn source(&self, id: SourceId) -> Result<&SourceMeta, LakeError> {
+        self.sources.get(&id).ok_or(LakeError::SourceNotFound(id))
+    }
+
+    /// Mutable metadata of a source (trust updates).
+    pub fn source_mut(&mut self, id: SourceId) -> Result<&mut SourceMeta, LakeError> {
+        self.sources.get_mut(&id).ok_or(LakeError::SourceNotFound(id))
+    }
+
+    /// All registered sources, in id order.
+    pub fn sources(&self) -> Vec<&SourceMeta> {
+        let mut v: Vec<&SourceMeta> = self.sources.values().collect();
+        v.sort_by_key(|s| s.id);
+        v
+    }
+
+    /// Insert a table, registering each of its rows in the tuple directory.
+    /// Returns the range of tuple ids assigned to its rows.
+    pub fn add_table(&mut self, table: Table) -> Result<std::ops::Range<TupleId>, LakeError> {
+        if self.tables.contains_key(&table.id) {
+            return Err(LakeError::DuplicateId(table.id));
+        }
+        let start = self.next_tuple_id;
+        for row in 0..table.num_rows() {
+            self.tuple_dir.insert(self.next_tuple_id, TupleLoc { table: table.id, row });
+            self.next_tuple_id += 1;
+        }
+        self.table_order.push(table.id);
+        self.tables.insert(table.id, table);
+        Ok(start..self.next_tuple_id)
+    }
+
+    /// Insert a knowledge-graph entity.
+    pub fn add_kg_entity(&mut self, entity: KgEntity) -> Result<(), LakeError> {
+        if self.kg.contains_key(&entity.id) {
+            return Err(LakeError::DuplicateId(entity.id));
+        }
+        self.kg_order.push(entity.id);
+        self.kg.insert(entity.id, entity);
+        Ok(())
+    }
+
+    /// Fetch a knowledge-graph entity.
+    pub fn kg_entity(&self, id: KgEntityId) -> Result<&KgEntity, LakeError> {
+        self.kg.get(&id).ok_or(LakeError::KgEntityNotFound(id))
+    }
+
+    /// Iterate knowledge-graph entities in insertion order.
+    pub fn kg_entities(&self) -> impl Iterator<Item = &KgEntity> {
+        self.kg_order.iter().filter_map(move |id| self.kg.get(id))
+    }
+
+    /// Number of knowledge-graph entities.
+    pub fn num_kg_entities(&self) -> usize {
+        self.kg.len()
+    }
+
+    /// Insert a text document.
+    pub fn add_doc(&mut self, doc: TextDocument) -> Result<(), LakeError> {
+        if self.docs.contains_key(&doc.id) {
+            return Err(LakeError::DuplicateId(doc.id));
+        }
+        self.doc_order.push(doc.id);
+        self.docs.insert(doc.id, doc);
+        Ok(())
+    }
+
+    /// Fetch a table.
+    pub fn table(&self, id: TableId) -> Result<&Table, LakeError> {
+        self.tables.get(&id).ok_or(LakeError::TableNotFound(id))
+    }
+
+    /// Fetch a document.
+    pub fn doc(&self, id: DocId) -> Result<&TextDocument, LakeError> {
+        self.docs.get(&id).ok_or(LakeError::DocNotFound(id))
+    }
+
+    /// Materialize a tuple from the directory.
+    pub fn tuple(&self, id: TupleId) -> Result<Tuple, LakeError> {
+        let loc = self.tuple_dir.get(&id).ok_or(LakeError::TupleNotFound(id))?;
+        let table = self.table(loc.table)?;
+        table.tuple_at(loc.row, id).ok_or(LakeError::TupleNotFound(id))
+    }
+
+    /// Resolve any instance id to an owned [`DataInstance`].
+    pub fn resolve(&self, id: InstanceId) -> Result<DataInstance, LakeError> {
+        match id {
+            InstanceId::Tuple(t) => self.tuple(t).map(DataInstance::Tuple),
+            InstanceId::Table(t) => self.table(t).cloned().map(DataInstance::Table),
+            InstanceId::Text(d) => self.doc(d).cloned().map(DataInstance::Text),
+            InstanceId::Kg(e) => self.kg_entity(e).cloned().map(DataInstance::Kg),
+        }
+    }
+
+    /// Iterate tables in insertion order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.table_order.iter().filter_map(move |id| self.tables.get(id))
+    }
+
+    /// Iterate documents in insertion order.
+    pub fn docs(&self) -> impl Iterator<Item = &TextDocument> {
+        self.doc_order.iter().filter_map(move |id| self.docs.get(id))
+    }
+
+    /// Iterate all tuple ids, in id order (dense).
+    pub fn tuple_ids(&self) -> impl Iterator<Item = TupleId> {
+        0..self.next_tuple_id
+    }
+
+    /// The tuple ids belonging to one table, in row order.
+    pub fn tuples_of_table(&self, table: TableId) -> Vec<TupleId> {
+        let mut ids: Vec<TupleId> = self
+            .tuple_dir
+            .iter()
+            .filter(|(_, loc)| loc.table == table)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Number of registered tuples.
+    pub fn num_tuples(&self) -> usize {
+        self.tuple_dir.len()
+    }
+
+    /// Corpus statistics.
+    pub fn stats(&self) -> LakeStats {
+        let mut stats = LakeStats {
+            tables: self.num_tables(),
+            tuples: self.num_tuples(),
+            docs: self.num_docs(),
+            kg_entities: self.num_kg_entities(),
+            sources: self.sources.len(),
+            ..LakeStats::default()
+        };
+        for t in self.tables() {
+            stats.total_cells += t.num_rows() * t.schema.arity();
+            stats.max_table_rows = stats.max_table_rows.max(t.num_rows());
+        }
+        for d in self.docs() {
+            stats.total_text_bytes += d.body.len() + d.title.len();
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, DataType, Schema};
+    use crate::value::Value;
+
+    fn lake_with_table() -> (DataLake, std::ops::Range<TupleId>) {
+        let mut lake = DataLake::new();
+        let src = lake.add_source("tabfact", SourceOrigin::CuratedCorpus);
+        let mut t = Table::new(
+            0,
+            "elections",
+            Schema::new(vec![
+                Column::key("district", DataType::Text),
+                Column::new("incumbent", DataType::Text),
+            ]),
+            src,
+        );
+        t.push_row(vec![Value::text("NY-1"), Value::text("Otis Pike")]).unwrap();
+        t.push_row(vec![Value::text("NY-2"), Value::text("James Grover")]).unwrap();
+        let range = lake.add_table(t).unwrap();
+        (lake, range)
+    }
+
+    #[test]
+    fn tuples_get_dense_ids() {
+        let (lake, range) = lake_with_table();
+        assert_eq!(range, 0..2);
+        assert_eq!(lake.num_tuples(), 2);
+        let t1 = lake.tuple(1).unwrap();
+        assert_eq!(t1.values[0], Value::text("NY-2"));
+        assert_eq!(t1.row_index, 1);
+    }
+
+    #[test]
+    fn duplicate_table_id_rejected() {
+        let (mut lake, _) = lake_with_table();
+        let t = Table::new(0, "dup", Schema::default(), 0);
+        assert_eq!(lake.add_table(t).unwrap_err(), LakeError::DuplicateId(0));
+    }
+
+    #[test]
+    fn duplicate_doc_id_rejected() {
+        let mut lake = DataLake::new();
+        lake.add_doc(TextDocument::new(5, "a", "b", 0)).unwrap();
+        let err = lake.add_doc(TextDocument::new(5, "c", "d", 0)).unwrap_err();
+        assert_eq!(err, LakeError::DuplicateId(5));
+    }
+
+    #[test]
+    fn resolve_every_modality() {
+        let (mut lake, _) = lake_with_table();
+        lake.add_doc(TextDocument::new(10, "Otis Pike", "A politician.", 0)).unwrap();
+        assert!(matches!(lake.resolve(InstanceId::Tuple(0)), Ok(DataInstance::Tuple(_))));
+        assert!(matches!(lake.resolve(InstanceId::Table(0)), Ok(DataInstance::Table(_))));
+        assert!(matches!(lake.resolve(InstanceId::Text(10)), Ok(DataInstance::Text(_))));
+        assert!(lake.resolve(InstanceId::Text(99)).is_err());
+    }
+
+    #[test]
+    fn tuples_of_table_in_row_order() {
+        let (lake, _) = lake_with_table();
+        assert_eq!(lake.tuples_of_table(0), vec![0, 1]);
+        assert!(lake.tuples_of_table(77).is_empty());
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let (mut lake, _) = lake_with_table();
+        lake.add_doc(TextDocument::new(10, "T", "Body text", 0)).unwrap();
+        let s = lake.stats();
+        assert_eq!(s.tables, 1);
+        assert_eq!(s.tuples, 2);
+        assert_eq!(s.docs, 1);
+        assert_eq!(s.total_cells, 4);
+        assert_eq!(s.max_table_rows, 2);
+        assert!(s.total_text_bytes > 0);
+    }
+
+    #[test]
+    fn source_trust_mutation() {
+        let (mut lake, _) = lake_with_table();
+        lake.source_mut(0).unwrap().set_trust(0.2);
+        assert_eq!(lake.source(0).unwrap().trust, 0.2);
+        assert!(lake.source(9).is_err());
+    }
+}

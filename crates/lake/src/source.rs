@@ -1,0 +1,88 @@
+//! Data-source metadata.
+//!
+//! Challenge C3 of the paper is assessing the *trustworthiness of heterogeneous
+//! datasets* in a lake. Every instance in our lake is attributed to a
+//! [`SourceMeta`], which carries a trust prior that the trust model
+//! (`verifai-verify::trust`) refines from verdict agreement.
+
+/// Identifier of a registered data source.
+pub type SourceId = u32;
+
+/// Where a source's data came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceOrigin {
+    /// A curated benchmark corpus (e.g. the TabFact tables in the paper).
+    CuratedCorpus,
+    /// Web tables scraped without curation (e.g. WikiTable-TURL).
+    WebTables,
+    /// Encyclopedia-style text (entity pages).
+    Encyclopedia,
+    /// Enterprise-internal data.
+    Enterprise,
+    /// Output of another generative model that leaked into the lake — the paper's
+    /// motivating worst case for unmanaged generative data.
+    GenerativeModel,
+}
+
+impl SourceOrigin {
+    /// A reasonable default trust prior per origin class, before any
+    /// truth-discovery refinement.
+    pub fn default_trust(self) -> f64 {
+        match self {
+            SourceOrigin::CuratedCorpus => 0.95,
+            SourceOrigin::Encyclopedia => 0.9,
+            SourceOrigin::Enterprise => 0.85,
+            SourceOrigin::WebTables => 0.7,
+            SourceOrigin::GenerativeModel => 0.4,
+        }
+    }
+}
+
+/// Metadata about one data source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceMeta {
+    /// Identifier.
+    pub id: SourceId,
+    /// Human-readable name (e.g. `"tabfact"`).
+    pub name: String,
+    /// Origin class.
+    pub origin: SourceOrigin,
+    /// Current trust estimate in `[0, 1]`.
+    pub trust: f64,
+}
+
+impl SourceMeta {
+    /// Create source metadata with the origin's default trust prior.
+    pub fn new(id: SourceId, name: impl Into<String>, origin: SourceOrigin) -> SourceMeta {
+        SourceMeta { id, name: name.into(), origin, trust: origin.default_trust() }
+    }
+
+    /// Replace the trust estimate, clamped to `[0, 1]`.
+    pub fn set_trust(&mut self, trust: f64) {
+        self.trust = trust.clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priors_are_ordered_sensibly() {
+        assert!(
+            SourceOrigin::CuratedCorpus.default_trust() > SourceOrigin::WebTables.default_trust()
+        );
+        assert!(
+            SourceOrigin::WebTables.default_trust() > SourceOrigin::GenerativeModel.default_trust()
+        );
+    }
+
+    #[test]
+    fn trust_is_clamped() {
+        let mut s = SourceMeta::new(0, "tabfact", SourceOrigin::CuratedCorpus);
+        s.set_trust(1.5);
+        assert_eq!(s.trust, 1.0);
+        s.set_trust(-0.1);
+        assert_eq!(s.trust, 0.0);
+    }
+}

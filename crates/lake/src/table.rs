@@ -1,0 +1,301 @@
+//! Relational tables: schemas, columns, and row storage.
+
+use crate::error::LakeError;
+use crate::source::SourceId;
+use crate::tuple::{Tuple, TupleId};
+use crate::value::{normalize_str, Value};
+use std::fmt;
+
+/// Identifier of a table within a [`crate::DataLake`].
+pub type TableId = u64;
+
+/// Logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Signed integers.
+    Int,
+    /// Floats.
+    Float,
+    /// Booleans.
+    Bool,
+    /// Free text / categorical.
+    Text,
+    /// Calendar dates.
+    Date,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Bool => "bool",
+            DataType::Text => "text",
+            DataType::Date => "date",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Human-readable header (e.g. `incumbent`).
+    pub name: String,
+    /// Logical type.
+    pub dtype: DataType,
+    /// Whether this column is part of the table's (informal) key. The paper's
+    /// tuple-completion workload masks only *non-key* attributes.
+    pub is_key: bool,
+}
+
+impl Column {
+    /// Non-key column of the given type.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Column {
+        Column { name: name.into(), dtype, is_key: false }
+    }
+
+    /// Key column of the given type.
+    pub fn key(name: impl Into<String>, dtype: DataType) -> Column {
+        Column { name: name.into(), dtype, is_key: true }
+    }
+}
+
+/// An ordered set of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Schema {
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column definitions in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column headers in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|c| c.name.as_str())
+    }
+
+    /// Index of the column with exactly this header.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Index of the column whose *normalized* header matches (case/punctuation
+    /// insensitive). This is how rerankers and PASTA bind claim fields to headers.
+    pub fn fuzzy_index_of(&self, name: &str) -> Option<usize> {
+        let want = normalize_str(name);
+        if want.is_empty() {
+            return None;
+        }
+        // Exact normalized match first, then containment either way.
+        if let Some(i) = self.columns.iter().position(|c| normalize_str(&c.name) == want) {
+            return Some(i);
+        }
+        self.columns.iter().position(|c| {
+            let have = normalize_str(&c.name);
+            have.contains(&want) || want.contains(&have)
+        })
+    }
+
+    /// Indices of key columns.
+    pub fn key_indices(&self) -> Vec<usize> {
+        self.columns.iter().enumerate().filter(|(_, c)| c.is_key).map(|(i, _)| i).collect()
+    }
+
+    /// Indices of non-key columns.
+    pub fn non_key_indices(&self) -> Vec<usize> {
+        self.columns.iter().enumerate().filter(|(_, c)| !c.is_key).map(|(i, _)| i).collect()
+    }
+
+    /// Jaccard similarity between the normalized header sets of two schemas —
+    /// the coarse schema-compatibility test used for (tuple, tuple) matching.
+    pub fn header_jaccard(&self, other: &Schema) -> f64 {
+        let a: std::collections::HashSet<String> =
+            self.names().map(normalize_str).filter(|s| !s.is_empty()).collect();
+        let b: std::collections::HashSet<String> =
+            other.names().map(normalize_str).filter(|s| !s.is_empty()).collect();
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        let inter = a.intersection(&b).count() as f64;
+        let union = a.union(&b).count() as f64;
+        inter / union
+    }
+}
+
+/// A relational table in the lake.
+///
+/// Tables carry a caption (web tables almost always do, and both the content
+/// index and the (text, table) reranker lean on it) and a back-reference to the
+/// source that contributed them, which feeds the trust model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Lake-wide identifier.
+    pub id: TableId,
+    /// Caption / title (e.g. `"1959 NCAA track and field championships"`).
+    pub caption: String,
+    /// Column definitions.
+    pub schema: Schema,
+    /// Row values, each of arity `schema.arity()`.
+    rows: Vec<Vec<Value>>,
+    /// Source that contributed this table.
+    pub source: SourceId,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(id: TableId, caption: impl Into<String>, schema: Schema, source: SourceId) -> Table {
+        Table { id, caption: caption.into(), schema, rows: Vec::new(), source }
+    }
+
+    /// Append a row, checking arity.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), LakeError> {
+        if row.len() != self.schema.arity() {
+            return Err(LakeError::ArityMismatch { expected: self.schema.arity(), got: row.len() });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// A single row.
+    pub fn row(&self, i: usize) -> Option<&[Value]> {
+        self.rows.get(i).map(|r| r.as_slice())
+    }
+
+    /// Mutable access to a cell (used by the workload generator to mask cells).
+    pub fn cell_mut(&mut self, row: usize, col: usize) -> Option<&mut Value> {
+        self.rows.get_mut(row).and_then(|r| r.get_mut(col))
+    }
+
+    /// A cell value.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&Value> {
+        self.rows.get(row).and_then(|r| r.get(col))
+    }
+
+    /// All values of one column.
+    pub fn column_values(&self, col: usize) -> impl Iterator<Item = &Value> {
+        self.rows.iter().filter_map(move |r| r.get(col))
+    }
+
+    /// Materialize row `i` as a standalone [`Tuple`] with the given tuple id.
+    pub fn tuple_at(&self, i: usize, tuple_id: TupleId) -> Option<Tuple> {
+        self.rows.get(i).map(|r| Tuple {
+            id: tuple_id,
+            table: self.id,
+            row_index: i,
+            schema: self.schema.clone(),
+            values: r.clone(),
+            source: self.source,
+        })
+    }
+
+    /// Rows whose value in `col` matches `value` (normalized matching).
+    pub fn select_eq(&self, col: usize, value: &Value) -> Vec<usize> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.get(col).is_some_and(|v| v.matches(value)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::key("district", DataType::Text),
+            Column::new("incumbent", DataType::Text),
+            Column::new("first elected", DataType::Int),
+        ])
+    }
+
+    fn sample() -> Table {
+        let mut t = Table::new(1, "United States House elections", schema(), 0);
+        t.push_row(vec![Value::text("New York 1"), Value::text("Otis G. Pike"), Value::Int(1960)])
+            .unwrap();
+        t.push_row(vec![Value::text("New York 2"), Value::text("James Grover"), Value::Int(1962)])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = sample();
+        let err = t.push_row(vec![Value::Null]).unwrap_err();
+        assert_eq!(err, LakeError::ArityMismatch { expected: 3, got: 1 });
+    }
+
+    #[test]
+    fn fuzzy_header_binding() {
+        let s = schema();
+        assert_eq!(s.fuzzy_index_of("Incumbent"), Some(1));
+        assert_eq!(s.fuzzy_index_of("first-elected"), Some(2));
+        assert_eq!(s.fuzzy_index_of("elected"), Some(2)); // containment
+        assert_eq!(s.fuzzy_index_of("salary"), None);
+    }
+
+    #[test]
+    fn key_partition() {
+        let s = schema();
+        assert_eq!(s.key_indices(), vec![0]);
+        assert_eq!(s.non_key_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn header_jaccard_bounds() {
+        let s = schema();
+        assert!((s.header_jaccard(&s) - 1.0).abs() < 1e-12);
+        let other = Schema::new(vec![Column::new("city", DataType::Text)]);
+        assert_eq!(s.header_jaccard(&other), 0.0);
+    }
+
+    #[test]
+    fn select_eq_normalizes() {
+        let t = sample();
+        assert_eq!(t.select_eq(1, &Value::text("otis g pike")), vec![0]);
+        assert!(t.select_eq(1, &Value::text("nobody")).is_empty());
+    }
+
+    #[test]
+    fn tuple_materialization() {
+        let t = sample();
+        let tup = t.tuple_at(1, 99).unwrap();
+        assert_eq!(tup.id, 99);
+        assert_eq!(tup.table, 1);
+        assert_eq!(tup.values[2], Value::Int(1962));
+        assert!(t.tuple_at(5, 100).is_none());
+    }
+
+    #[test]
+    fn cell_mutation_for_masking() {
+        let mut t = sample();
+        *t.cell_mut(0, 1).unwrap() = Value::Null;
+        assert!(t.cell(0, 1).unwrap().is_null());
+    }
+}

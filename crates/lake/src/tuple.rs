@@ -1,0 +1,144 @@
+//! Standalone tuples.
+//!
+//! Although tuples always originate from some table, the paper treats the tuple
+//! as a first-class data instance: the Indexer indexes individual tuples, and the
+//! (tuple, tuple) Verifier reasons over pairs of them. [`Tuple`] therefore carries
+//! its own copy of the schema so it can travel independently of its table.
+
+use crate::source::SourceId;
+use crate::table::{Schema, TableId};
+use crate::value::Value;
+
+/// Lake-wide tuple identifier.
+pub type TupleId = u64;
+
+/// A single tuple (row) together with its schema and provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// Lake-wide identifier.
+    pub id: TupleId,
+    /// Table this tuple came from.
+    pub table: TableId,
+    /// Row index within the source table.
+    pub row_index: usize,
+    /// Schema of the source table.
+    pub schema: Schema,
+    /// Cell values, aligned with `schema`.
+    pub values: Vec<Value>,
+    /// Source that contributed the tuple.
+    pub source: SourceId,
+}
+
+impl Tuple {
+    /// Value of the column with the given (exact) header.
+    pub fn get(&self, column: &str) -> Option<&Value> {
+        self.schema.index_of(column).and_then(|i| self.values.get(i))
+    }
+
+    /// Value of the column with the given header, using fuzzy header matching.
+    pub fn get_fuzzy(&self, column: &str) -> Option<&Value> {
+        self.schema.fuzzy_index_of(column).and_then(|i| self.values.get(i))
+    }
+
+    /// Key values (the paper's workloads mask only non-key cells, so keys always
+    /// survive and identify the entity the tuple describes).
+    pub fn key_values(&self) -> Vec<&Value> {
+        self.schema.key_indices().into_iter().filter_map(|i| self.values.get(i)).collect()
+    }
+
+    /// Indices of cells that are currently `Null` (e.g. masked for completion).
+    pub fn null_indices(&self) -> Vec<usize> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_null())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Fraction of aligned attributes on which two tuples agree, computed over
+    /// the normalized-header intersection of the two schemas. Returns `None` when
+    /// the schemas share no attributes (tuples are incomparable).
+    pub fn agreement(&self, other: &Tuple) -> Option<f64> {
+        let mut shared = 0usize;
+        let mut agree = 0usize;
+        for (i, col) in self.schema.columns().iter().enumerate() {
+            if let Some(j) = other.schema.fuzzy_index_of(&col.name) {
+                let (a, b) = (&self.values[i], &other.values[j]);
+                if a.is_null() || b.is_null() {
+                    continue;
+                }
+                shared += 1;
+                if a.matches(b) {
+                    agree += 1;
+                }
+            }
+        }
+        if shared == 0 {
+            None
+        } else {
+            Some(agree as f64 / shared as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Column, DataType};
+
+    fn tup(vals: Vec<Value>) -> Tuple {
+        Tuple {
+            id: 1,
+            table: 1,
+            row_index: 0,
+            schema: Schema::new(vec![
+                Column::key("district", DataType::Text),
+                Column::new("incumbent", DataType::Text),
+                Column::new("first elected", DataType::Int),
+            ]),
+            values: vals,
+            source: 0,
+        }
+    }
+
+    #[test]
+    fn column_access() {
+        let t = tup(vec![Value::text("NY-1"), Value::text("Otis Pike"), Value::Int(1960)]);
+        assert_eq!(t.get("incumbent"), Some(&Value::text("Otis Pike")));
+        assert_eq!(t.get_fuzzy("First Elected"), Some(&Value::Int(1960)));
+        assert_eq!(t.get("missing"), None);
+    }
+
+    #[test]
+    fn key_and_null_tracking() {
+        let t = tup(vec![Value::text("NY-1"), Value::Null, Value::Int(1960)]);
+        assert_eq!(t.key_values(), vec![&Value::text("NY-1")]);
+        assert_eq!(t.null_indices(), vec![1]);
+    }
+
+    #[test]
+    fn agreement_counts_shared_non_null() {
+        let a = tup(vec![Value::text("NY-1"), Value::text("Otis Pike"), Value::Int(1960)]);
+        let b = tup(vec![Value::text("NY-1"), Value::text("Someone Else"), Value::Int(1960)]);
+        // district + first elected agree, incumbent disagrees => 2/3.
+        let agr = a.agreement(&b).unwrap();
+        assert!((agr - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_ignores_nulls() {
+        let a = tup(vec![Value::text("NY-1"), Value::Null, Value::Int(1960)]);
+        let b = tup(vec![Value::text("NY-1"), Value::text("X"), Value::Int(1960)]);
+        assert_eq!(a.agreement(&b), Some(1.0));
+    }
+
+    #[test]
+    fn agreement_none_when_disjoint_schemas() {
+        let a = tup(vec![Value::text("NY-1"), Value::text("Otis Pike"), Value::Int(1960)]);
+        let mut b = a.clone();
+        b.schema = Schema::new(vec![Column::new("city", DataType::Text)]);
+        b.values = vec![Value::text("Boston")];
+        assert_eq!(a.agreement(&b), None);
+    }
+}

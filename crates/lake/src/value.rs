@@ -1,0 +1,410 @@
+//! Cell values.
+//!
+//! [`Value`] is the atomic unit stored in tuples and table cells. Values carry
+//! enough typing for the claim executor (`verifai-claims`) to run aggregates and
+//! comparisons, and support the *normalized equality* that verifiers use to decide
+//! whether an imputed cell matches evidence ("John F. Kennedy" vs "john f kennedy").
+
+use crate::error::LakeError;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A calendar date. Only the fields needed by generated data; no timezone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    /// Year (e.g. 1959).
+    pub year: i32,
+    /// Month 1-12.
+    pub month: u8,
+    /// Day 1-31.
+    pub day: u8,
+}
+
+impl Date {
+    /// Construct a date, clamping month/day into valid ranges.
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        Date { year, month: month.clamp(1, 12), day: day.clamp(1, 31) }
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Option<Date> {
+        let mut it = s.split('-');
+        let year: i32 = it.next()?.parse().ok()?;
+        let month: u8 = it.next()?.parse().ok()?;
+        let day: u8 = it.next()?.parse().ok()?;
+        if it.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return None;
+        }
+        Some(Date { year, month, day })
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing value (rendered as `NaN` in prompts, matching the paper's template).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Free text / categorical.
+    Text(String),
+    /// Calendar date.
+    Date(Date),
+}
+
+impl Value {
+    /// Build a text value.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// True if the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: integers and floats (and bools as 0/1) coerce to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Text(s) => s.trim().parse::<f64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            Value::Bool(b) => Some(*b as i64),
+            Value::Text(s) => s.trim().parse::<i64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// Text view of non-null values.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Normalized string form: lowercase, whitespace collapsed, punctuation dropped.
+    ///
+    /// This is the canonical form used for cross-source value matching; numbers
+    /// normalize via their numeric value so `"42"` and `42` agree.
+    pub fn normalized(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format_float(*f),
+            Value::Date(d) => d.to_string(),
+            Value::Text(s) => normalize_str(s),
+        }
+    }
+
+    /// Equality after normalization; numeric values compare numerically with a
+    /// small relative tolerance so `3.0` matches `"3"`.
+    pub fn matches(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        if let (Some(a), Some(b)) = (self.as_f64(), other.as_f64()) {
+            return float_eq(a, b);
+        }
+        self.normalized() == other.normalized()
+    }
+
+    /// Total ordering for sorting and superlative operations. `Null` sorts first;
+    /// heterogeneous values compare by normalized string as a fallback.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+                _ => self.normalized().cmp(&other.normalized()),
+            },
+        }
+    }
+
+    /// Best-effort parse of a raw string into the most specific value type.
+    pub fn infer(s: &str) -> Value {
+        let t = s.trim();
+        if t.is_empty() || t.eq_ignore_ascii_case("nan") || t.eq_ignore_ascii_case("null") {
+            return Value::Null;
+        }
+        if let Ok(i) = t.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = t.parse::<f64>() {
+            return Value::Float(f);
+        }
+        if t.eq_ignore_ascii_case("true") {
+            return Value::Bool(true);
+        }
+        if t.eq_ignore_ascii_case("false") {
+            return Value::Bool(false);
+        }
+        if let Some(d) = Date::parse(t) {
+            return Value::Date(d);
+        }
+        Value::Text(t.to_string())
+    }
+
+    /// Strict parse into a given data type (used by CSV-style ingestion).
+    pub fn parse_as(s: &str, ty: crate::table::DataType) -> Result<Value, LakeError> {
+        use crate::table::DataType;
+        let t = s.trim();
+        if t.is_empty() || t.eq_ignore_ascii_case("nan") {
+            return Ok(Value::Null);
+        }
+        let err = |target: &'static str| LakeError::ParseError { input: s.to_string(), target };
+        match ty {
+            DataType::Int => t.parse::<i64>().map(Value::Int).map_err(|_| err("int")),
+            DataType::Float => t.parse::<f64>().map(Value::Float).map_err(|_| err("float")),
+            DataType::Bool => match t.to_ascii_lowercase().as_str() {
+                "true" | "1" | "yes" => Ok(Value::Bool(true)),
+                "false" | "0" | "no" => Ok(Value::Bool(false)),
+                _ => Err(err("bool")),
+            },
+            DataType::Date => Date::parse(t).map(Value::Date).ok_or_else(|| err("date")),
+            DataType::Text => Ok(Value::Text(t.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Renders missing values as `NaN`, matching the paper's prompt template.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NaN"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{}", format_float(*x)),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// Render a float without trailing `.0` noise for integral values.
+fn format_float(f: f64) -> String {
+    if f.fract() == 0.0 && f.abs() < 1e15 {
+        format!("{}", f as i64)
+    } else {
+        let s = format!("{f:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+/// Normalize free text: lowercase, strip punctuation, collapse whitespace.
+pub fn normalize_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            for l in ch.to_lowercase() {
+                out.push(l);
+            }
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Relative-tolerance float comparison used by value matching.
+pub fn float_eq(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-9 * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::DataType;
+
+    #[test]
+    fn date_roundtrip() {
+        let d = Date::new(1959, 7, 4);
+        assert_eq!(Date::parse(&d.to_string()), Some(d));
+        assert_eq!(Date::parse("1959-13-04"), None);
+        assert_eq!(Date::parse("not-a-date"), None);
+    }
+
+    #[test]
+    fn date_clamps() {
+        let d = Date::new(2000, 0, 99);
+        assert_eq!(d.month, 1);
+        assert_eq!(d.day, 31);
+    }
+
+    #[test]
+    fn null_renders_as_nan() {
+        // The paper's prompt template uses `NaN` for missing cells.
+        assert_eq!(Value::Null.to_string(), "NaN");
+    }
+
+    #[test]
+    fn infer_types() {
+        assert_eq!(Value::infer("42"), Value::Int(42));
+        assert_eq!(Value::infer("4.5"), Value::Float(4.5));
+        assert_eq!(Value::infer("true"), Value::Bool(true));
+        assert_eq!(Value::infer("NaN"), Value::Null);
+        assert_eq!(Value::infer(""), Value::Null);
+        assert_eq!(Value::infer("1959-01-02"), Value::Date(Date::new(1959, 1, 2)));
+        assert_eq!(Value::infer(" Meagan Good "), Value::text("Meagan Good"));
+    }
+
+    #[test]
+    fn normalized_matching_ignores_case_and_punctuation() {
+        let a = Value::text("John F. Kennedy");
+        let b = Value::text("john f kennedy");
+        assert!(a.matches(&b));
+        assert!(!a.matches(&Value::text("Richard Nixon")));
+    }
+
+    #[test]
+    fn numeric_matching_crosses_types() {
+        assert!(Value::Int(3).matches(&Value::Float(3.0)));
+        assert!(Value::Int(3).matches(&Value::text("3")));
+        assert!(!Value::Int(3).matches(&Value::Int(4)));
+    }
+
+    #[test]
+    fn null_never_matches() {
+        assert!(!Value::Null.matches(&Value::Null));
+        assert!(!Value::Null.matches(&Value::Int(0)));
+    }
+
+    #[test]
+    fn total_cmp_orders_numbers_and_nulls() {
+        let mut vals =
+            [Value::Int(5), Value::Null, Value::Float(2.5), Value::Int(-1), Value::Null];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null() && vals[1].is_null());
+        assert_eq!(vals[2], Value::Int(-1));
+        assert_eq!(vals[4], Value::Int(5));
+    }
+
+    #[test]
+    fn parse_as_strict() {
+        assert_eq!(Value::parse_as("7", DataType::Int).unwrap(), Value::Int(7));
+        assert!(Value::parse_as("seven", DataType::Int).is_err());
+        assert_eq!(Value::parse_as("nan", DataType::Int).unwrap(), Value::Null);
+        assert_eq!(Value::parse_as("yes", DataType::Bool).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn float_display_trims() {
+        assert_eq!(Value::Float(3.0).to_string(), "3");
+        assert_eq!(Value::Float(3.25).to_string(), "3.25");
+    }
+
+    #[test]
+    fn normalize_str_collapses() {
+        assert_eq!(normalize_str("  Stomp -- the   Yard! "), "stomp the yard");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            (-1_000_000i64..1_000_000).prop_map(Value::Int),
+            (-1.0e6..1.0e6f64).prop_map(Value::Float),
+            "[a-zA-Z0-9 .,-]{0,24}".prop_map(Value::Text),
+            ((1900i32..2100), (1u8..13), (1u8..29))
+                .prop_map(|(y, m, d)| Value::Date(Date::new(y, m, d))),
+        ]
+    }
+
+    proptest! {
+        /// Matching is symmetric.
+        #[test]
+        fn matches_is_symmetric(a in arb_value(), b in arb_value()) {
+            prop_assert_eq!(a.matches(&b), b.matches(&a));
+        }
+
+        /// Every non-null value matches itself.
+        #[test]
+        fn matches_is_reflexive_for_non_null(a in arb_value()) {
+            if !a.is_null() {
+                prop_assert!(a.matches(&a), "{a:?} does not match itself");
+            }
+        }
+
+        /// Normalization is idempotent.
+        #[test]
+        fn normalize_idempotent(s in ".{0,40}") {
+            let once = normalize_str(&s);
+            prop_assert_eq!(normalize_str(&once), once.clone());
+        }
+
+        /// Display → infer round-trips to a matching value up to display
+        /// precision (floats render with 4 decimals by design). Null is
+        /// excluded (it never matches), as is text that merely *looks*
+        /// numeric/boolean/date, which legitimately re-infers as the more
+        /// specific type.
+        #[test]
+        fn display_infer_roundtrip(a in arb_value()) {
+            if a.is_null() {
+                return Ok(());
+            }
+            if let Value::Text(t) = &a {
+                let trimmed = t.trim();
+                if trimmed.is_empty() || !matches!(Value::infer(trimmed), Value::Text(_)) {
+                    return Ok(());
+                }
+            }
+            let round = Value::infer(&a.to_string());
+            match (a.as_f64(), round.as_f64()) {
+                (Some(x), Some(y)) => {
+                    let scale = x.abs().max(1.0);
+                    prop_assert!(
+                        (x - y).abs() <= 1e-4 * scale,
+                        "display lost more than display precision: {a:?} -> {round:?}"
+                    );
+                }
+                _ => prop_assert!(a.matches(&round), "{a:?} -> {round:?}"),
+            }
+        }
+
+        /// total_cmp is a total order: antisymmetric against the reverse.
+        #[test]
+        fn total_cmp_antisymmetric(a in arb_value(), b in arb_value()) {
+            prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! # verifai-llm
+//!
+//! The generative-model substrate: a deterministic simulated LLM (`SimLlm`)
+//! standing in for ChatGPT in both of its roles in the paper — the *generator*
+//! whose outputs need verification, and the default one-size-fits-all
+//! *Verifier*.
+//!
+//! ## Why a simulation, and what it preserves
+//!
+//! The paper's headline observation is a *gap*: the bare model imputes tuple
+//! cells at 0.52 accuracy and judges claims at 0.54, but reaches 0.88–0.91 when
+//! grounded in retrieved evidence. [`SimLlm`] reproduces the mechanism behind
+//! that gap rather than the numbers alone:
+//!
+//! * **Ungrounded generation** ([`generate`]) consults a [`world::WorldModel`]
+//!   — a fact store behind a per-fact *corruption channel*. Each fact is
+//!   consistently "known" or "mis-known" (decided by a seeded hash, like the
+//!   frozen weights of a checkpoint), with reliability
+//!   [`SimLlmConfig::knowledge_reliability`].
+//! * **Grounded verification** ([`reason`]) reads the supplied evidence and
+//!   reasons over it: value matching for tuple evidence, fact-sentence scanning
+//!   for text evidence, claim execution for table evidence. Residual error
+//!   channels model what LLMs are actually bad at — multi-row arithmetic
+//!   (`aggregate_error_rate`) — and what they are good at — relatedness
+//!   detection and explanation.
+//!
+//! All noise is hash-derived from `(seed, object, evidence)`, so every
+//! experiment is reproducible and the "model" answers the same question the
+//! same way every time.
+
+pub mod config;
+pub mod generate;
+pub mod object;
+pub mod prompt;
+pub mod reason;
+pub mod world;
+
+pub use config::SimLlmConfig;
+pub use generate::{entity_key, SimLlm};
+pub use object::{DataObject, ImputedCell, TextClaim, Verdict};
+pub use prompt::{ChatMessage, Role, Transcript};
+pub use reason::{scan_fact, LlmVerdict};
+pub use world::WorldModel;

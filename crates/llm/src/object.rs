@@ -1,0 +1,170 @@
+//! Generated data objects and verdicts.
+//!
+//! The paper's problem statement: given a generated *data object* `g` and a
+//! data instance `x` from the lake, `verify(g, x) → verified | refuted |
+//! not related`. This module defines both sides' types.
+
+use std::fmt;
+use verifai_claims::ClaimExpr;
+use verifai_lake::{Tuple, Value};
+
+/// The ternary verification outcome (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The evidence supports the generated data (encoded `0` in the paper).
+    Verified,
+    /// The evidence contradicts the generated data (encoded `1`).
+    Refuted,
+    /// The evidence can neither support nor refute it (encoded `2`).
+    NotRelated,
+}
+
+impl Verdict {
+    /// The paper's integer encoding.
+    pub fn code(self) -> u8 {
+        match self {
+            Verdict::Verified => 0,
+            Verdict::Refuted => 1,
+            Verdict::NotRelated => 2,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::Verified => "Verified",
+            Verdict::Refuted => "Refuted",
+            Verdict::NotRelated => "Not Related",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A generated tuple-cell imputation awaiting verification (Figure 1a).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImputedCell {
+    /// Workload-unique id.
+    pub id: u64,
+    /// The tuple context: every cell except the imputed one is trusted input;
+    /// the imputed column still holds `Null` here.
+    pub tuple: Tuple,
+    /// The column that was imputed.
+    pub column: String,
+    /// The value the generative model produced.
+    pub value: Value,
+}
+
+impl ImputedCell {
+    /// The tuple with the generated value filled in — what a downstream
+    /// consumer would see.
+    pub fn completed_tuple(&self) -> Tuple {
+        let mut t = self.tuple.clone();
+        if let Some(i) = t.schema.index_of(&self.column) {
+            t.values[i] = self.value.clone();
+        }
+        t
+    }
+}
+
+/// A generated textual claim awaiting verification (Figure 1b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextClaim {
+    /// Workload-unique id.
+    pub id: u64,
+    /// The claim text.
+    pub text: String,
+    /// Parsed/known semantics of the claim, when available. The simulated LLM
+    /// uses this as its "language understanding"; local parsers may fail to
+    /// recover it from `text`.
+    pub expr: Option<ClaimExpr>,
+    /// The caption context the claim mentions (its scope), when the reader
+    /// recovered one. The scope-aware LLM verifier uses it to set aside
+    /// out-of-scope tables as not related (Figure 4's E2); scope-blind local
+    /// models ignore it.
+    pub scope: Option<String>,
+}
+
+/// A generated data object `g` (paper §2: tuples/tables or text, produced by a
+/// large language model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataObject {
+    /// An imputed tuple cell.
+    ImputedCell(ImputedCell),
+    /// A textual claim.
+    TextClaim(TextClaim),
+}
+
+impl DataObject {
+    /// Workload id of the object.
+    pub fn id(&self) -> u64 {
+        match self {
+            DataObject::ImputedCell(c) => c.id,
+            DataObject::TextClaim(c) => c.id,
+        }
+    }
+
+    /// Human-readable rendering used in verification prompts and provenance.
+    pub fn render(&self) -> String {
+        match self {
+            DataObject::ImputedCell(c) => {
+                format!(
+                    "tuple [{}] with generated {} = {}",
+                    verifai_text::serialize_tuple(&c.tuple),
+                    c.column,
+                    c.value
+                )
+            }
+            DataObject::TextClaim(c) => format!("claim: {}", c.text),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifai_lake::{Column, DataType, Schema};
+
+    fn cell() -> ImputedCell {
+        ImputedCell {
+            id: 7,
+            tuple: Tuple {
+                id: 0,
+                table: 0,
+                row_index: 0,
+                schema: Schema::new(vec![
+                    Column::key("district", DataType::Text),
+                    Column::new("incumbent", DataType::Text),
+                ]),
+                values: vec![Value::text("NY-1"), Value::Null],
+                source: 0,
+            },
+            column: "incumbent".into(),
+            value: Value::text("Otis Pike"),
+        }
+    }
+
+    #[test]
+    fn verdict_codes_match_paper() {
+        assert_eq!(Verdict::Verified.code(), 0);
+        assert_eq!(Verdict::Refuted.code(), 1);
+        assert_eq!(Verdict::NotRelated.code(), 2);
+        assert_eq!(Verdict::NotRelated.to_string(), "Not Related");
+    }
+
+    #[test]
+    fn completed_tuple_fills_generated_value() {
+        let c = cell();
+        let done = c.completed_tuple();
+        assert_eq!(done.values[1], Value::text("Otis Pike"));
+        // The original context is untouched.
+        assert!(c.tuple.values[1].is_null());
+    }
+
+    #[test]
+    fn render_mentions_generated_value() {
+        let obj = DataObject::ImputedCell(cell());
+        assert!(obj.render().contains("Otis Pike"));
+        assert_eq!(obj.id(), 7);
+    }
+}

@@ -1,0 +1,137 @@
+//! The world model behind the simulated LLM.
+//!
+//! A real LLM's parametric knowledge is a lossy compression of its training
+//! corpus. [`WorldModel`] makes that explicit: a ground-truth fact store
+//! `(entity, attribute) → value` plus per-attribute value domains. The model
+//! layer ([`crate::SimLlm`]) consults it through a corruption channel — each
+//! fact is consistently known-correct or known-wrong depending on a seeded hash,
+//! so repeated queries behave like a frozen checkpoint.
+
+use std::collections::HashMap;
+use verifai_lake::value::normalize_str;
+use verifai_lake::Value;
+
+/// Key for a fact: normalized entity and attribute names.
+fn fact_key(entity: &str, attribute: &str) -> (String, String) {
+    (normalize_str(entity), normalize_str(attribute))
+}
+
+/// Ground-truth fact store with per-attribute domains.
+#[derive(Debug, Default, Clone)]
+pub struct WorldModel {
+    facts: HashMap<(String, String), Value>,
+    /// Distinct values seen per attribute — the space of plausible wrong
+    /// answers the corrupted model samples from.
+    domains: HashMap<String, Vec<Value>>,
+}
+
+impl WorldModel {
+    /// Empty world.
+    pub fn new() -> WorldModel {
+        WorldModel::default()
+    }
+
+    /// Record a fact. Later inserts overwrite earlier ones (facts are assumed
+    /// functional: one value per (entity, attribute)).
+    pub fn add_fact(&mut self, entity: &str, attribute: &str, value: Value) {
+        if value.is_null() {
+            return;
+        }
+        let domain = self.domains.entry(normalize_str(attribute)).or_default();
+        if !domain.iter().any(|v| v.matches(&value)) {
+            domain.push(value.clone());
+        }
+        self.facts.insert(fact_key(entity, attribute), value);
+    }
+
+    /// The true value of a fact, if the world knows it.
+    pub fn truth(&self, entity: &str, attribute: &str) -> Option<&Value> {
+        self.facts.get(&fact_key(entity, attribute))
+    }
+
+    /// Number of stored facts.
+    pub fn num_facts(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// A plausible *wrong* value for an attribute: the `pick`-th domain value
+    /// that differs from `not`. Falls back to a literal fabrication when the
+    /// domain has no alternative.
+    pub fn plausible_wrong(&self, attribute: &str, not: &Value, pick: u64) -> Value {
+        let domain = self.domains.get(&normalize_str(attribute));
+        if let Some(domain) = domain {
+            let alternatives: Vec<&Value> =
+                domain.iter().filter(|v| !v.matches(not)).collect();
+            if !alternatives.is_empty() {
+                return alternatives[(pick % alternatives.len() as u64) as usize].clone();
+            }
+        }
+        // Fabricate: numeric values drift, text values get a hallucinated name.
+        match not.as_f64() {
+            Some(x) => Value::Float(x + 1.0 + (pick % 7) as f64),
+            None => Value::text(format!("Unknown Entity {}", pick % 97)),
+        }
+    }
+
+    /// Iterate all facts (normalized keys) — used by diagnostics.
+    pub fn facts(&self) -> impl Iterator<Item = (&(String, String), &Value)> {
+        self.facts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_are_normalized_and_functional() {
+        let mut w = WorldModel::new();
+        w.add_fact("Otis G. Pike", "Incumbent Party", Value::text("Democratic"));
+        assert_eq!(
+            w.truth("otis g pike", "incumbent party"),
+            Some(&Value::text("Democratic"))
+        );
+        w.add_fact("Otis G. Pike", "Incumbent Party", Value::text("Republican"));
+        assert_eq!(
+            w.truth("Otis G. Pike", "Incumbent Party"),
+            Some(&Value::text("Republican"))
+        );
+        assert_eq!(w.num_facts(), 1);
+    }
+
+    #[test]
+    fn null_facts_ignored() {
+        let mut w = WorldModel::new();
+        w.add_fact("x", "y", Value::Null);
+        assert_eq!(w.num_facts(), 0);
+    }
+
+    #[test]
+    fn plausible_wrong_differs_from_truth() {
+        let mut w = WorldModel::new();
+        w.add_fact("a", "party", Value::text("Democratic"));
+        w.add_fact("b", "party", Value::text("Republican"));
+        w.add_fact("c", "party", Value::text("Independent"));
+        for pick in 0..10 {
+            let wrong = w.plausible_wrong("party", &Value::text("Democratic"), pick);
+            assert!(!wrong.matches(&Value::text("Democratic")), "pick {pick}: {wrong:?}");
+        }
+    }
+
+    #[test]
+    fn plausible_wrong_fabricates_when_domain_is_singleton() {
+        let mut w = WorldModel::new();
+        w.add_fact("a", "score", Value::Int(30));
+        let wrong = w.plausible_wrong("score", &Value::Int(30), 3);
+        assert!(!wrong.matches(&Value::Int(30)));
+        // Fabricated numeric drift stays numeric.
+        assert!(wrong.as_f64().is_some());
+    }
+
+    #[test]
+    fn unknown_attribute_still_fabricates() {
+        let w = WorldModel::new();
+        let wrong = w.plausible_wrong("nonexistent", &Value::text("x"), 0);
+        assert!(!wrong.matches(&Value::text("x")));
+    }
+}

@@ -1,0 +1,100 @@
+//! Lineage reports: the full story of one piece of generated data, from the
+//! prompt that produced it to the verdict that judged it — the "data lineage
+//! tracking" half of the §5 direction, and the human-audit complement to the
+//! pipeline's provenance log (C4).
+
+use crate::store::{GenerationId, PromptStore};
+use verifai_llm::Role;
+
+/// A rendered lineage trail for one generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineageReport {
+    /// The generation this report covers.
+    pub generation: GenerationId,
+    /// The rendered report text.
+    pub text: String,
+}
+
+/// Build the lineage report for a generation, if it exists.
+pub fn lineage(store: &PromptStore, generation: GenerationId) -> Option<LineageReport> {
+    let gen = store.generation(generation)?;
+    let conv = store.conversation(gen.conversation)?;
+    let mut text = format!(
+        "lineage of generation {} (object {}):\n",
+        gen.id, gen.object_id
+    );
+    text.push_str(&format!("  produced by conversation {} ({:?})\n", conv.id, conv.task));
+    for m in &conv.transcript.messages {
+        let role = match m.role {
+            Role::User => "prompt",
+            Role::Assistant => "response",
+        };
+        // First line of each message keeps the report skimmable.
+        let first_line = m.content.lines().next().unwrap_or_default();
+        text.push_str(&format!("    {role}: {first_line}\n"));
+    }
+    text.push_str(&format!("  generated: {}\n", gen.rendered));
+    match gen.verification {
+        Some(v) => text.push_str(&format!(
+            "  verification: {} (confidence {:.2}, {} evidence instances)\n",
+            v.decision, v.confidence, v.evidence_count
+        )),
+        None => text.push_str("  verification: not yet verified\n"),
+    }
+    Some(LineageReport { generation, text })
+}
+
+impl PromptStore {
+    /// Convenience: the lineage report for a generation.
+    pub fn lineage(&self, generation: GenerationId) -> Option<LineageReport> {
+        lineage(self, generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{TaskKind, VerificationSummary};
+    use verifai_llm::{DataObject, TextClaim, Transcript, Verdict};
+
+    #[test]
+    fn report_traces_prompt_to_verdict() {
+        let mut store = PromptStore::new();
+        let mut t = Transcript::default();
+        t.user("Question:\nelections table\nPlease fill the missing values");
+        t.assistant("Here is the completed table:\n...");
+        let conv = store.record_conversation(t, TaskKind::TupleCompletion);
+        let object = DataObject::TextClaim(TextClaim {
+            id: 3,
+            text: "a generated claim".into(),
+            expr: None,
+            scope: None,
+        });
+        let gen = store.record_generation(conv, &object);
+        store.attach_verification(
+            3,
+            VerificationSummary { decision: Verdict::Refuted, confidence: 0.88, evidence_count: 5 },
+        );
+
+        let report = store.lineage(gen).unwrap();
+        assert!(report.text.contains("conversation 0 (TupleCompletion)"));
+        assert!(report.text.contains("prompt: Question:"));
+        assert!(report.text.contains("generated: claim: a generated claim"));
+        assert!(report.text.contains("verification: Refuted (confidence 0.88, 5 evidence"));
+    }
+
+    #[test]
+    fn unverified_generation_says_so() {
+        let mut store = PromptStore::new();
+        let conv = store.record_conversation(Transcript::default(), TaskKind::ClaimJudgment);
+        let object = DataObject::TextClaim(TextClaim {
+            id: 1,
+            text: "x".into(),
+            expr: None,
+            scope: None,
+        });
+        let gen = store.record_generation(conv, &object);
+        assert!(store.lineage(gen).unwrap().text.contains("not yet verified"));
+        assert!(store.lineage(999).is_none());
+    }
+}

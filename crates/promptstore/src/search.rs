@@ -1,0 +1,95 @@
+//! Prompt search — the "better prompt engineering" half of the §5 direction:
+//! find past conversations similar to a draft prompt so their phrasing (and
+//! their outcomes) can be reused.
+
+use crate::store::{ConversationId, PromptStore};
+use verifai_text::sim::tf_cosine;
+use verifai_text::Analyzer;
+
+/// Rank stored conversations by TF-cosine similarity between `query` and the
+/// conversation's user-side text; returns up to `k` (id, score) pairs, highest
+/// first, ties broken by id. Conversations with zero similarity are dropped.
+pub fn search_prompts(store: &PromptStore, query: &str, k: usize) -> Vec<(ConversationId, f64)> {
+    let analyzer = Analyzer::standard();
+    let q = analyzer.term_frequencies(query);
+    if q.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let mut scored: Vec<(ConversationId, f64)> = store
+        .conversations()
+        .iter()
+        .map(|c| {
+            let user_text: String = c
+                .transcript
+                .messages
+                .iter()
+                .filter(|m| m.role == verifai_llm::Role::User)
+                .map(|m| m.content.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            (c.id, tf_cosine(&q, &analyzer.term_frequencies(&user_text)))
+        })
+        .filter(|&(_, s)| s > 0.0)
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TaskKind;
+    use verifai_llm::Transcript;
+
+    fn store_with(prompts: &[&str]) -> PromptStore {
+        let mut store = PromptStore::new();
+        for p in prompts {
+            let mut t = Transcript::default();
+            t.user(*p);
+            t.assistant("ok");
+            store.record_conversation(t, TaskKind::TupleCompletion);
+        }
+        store
+    }
+
+    #[test]
+    fn finds_similar_prompts() {
+        let store = store_with(&[
+            "Please fill the missing values in the election table",
+            "Validate the claim about championship points",
+            "Summarize quarterly revenue figures",
+        ]);
+        let hits = search_prompts(&store, "fill missing election values", 2);
+        assert_eq!(hits[0].0, 0);
+        assert!(hits[0].1 > 0.3);
+    }
+
+    #[test]
+    fn irrelevant_prompts_are_dropped() {
+        let store = store_with(&["alpha beta gamma", "delta epsilon"]);
+        let hits = search_prompts(&store, "zeta eta theta", 5);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn k_and_empty_query() {
+        let store = store_with(&["one two", "one three", "one four"]);
+        assert_eq!(search_prompts(&store, "one", 2).len(), 2);
+        assert!(search_prompts(&store, "", 2).is_empty());
+        assert!(search_prompts(&store, "one", 0).is_empty());
+    }
+
+    #[test]
+    fn only_user_side_is_searched() {
+        let mut store = PromptStore::new();
+        let mut t = Transcript::default();
+        t.user("unrelated words entirely");
+        t.assistant("championship points table");
+        store.record_conversation(t, TaskKind::Verification);
+        // The assistant said "championship", but the user never did.
+        assert!(search_prompts(&store, "championship points", 5).is_empty());
+    }
+}

@@ -1,0 +1,335 @@
+//! The prompt/generation store.
+
+use std::collections::HashMap;
+use verifai_llm::{DataObject, Transcript, Verdict};
+
+/// Identifier of a recorded conversation.
+pub type ConversationId = u64;
+
+/// Identifier of a recorded generation.
+pub type GenerationId = u64;
+
+/// What kind of task a conversation served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Tuple completion (paper Figure 1a).
+    TupleCompletion,
+    /// Textual claim generation / judgment (paper Figure 1b).
+    ClaimJudgment,
+    /// A verification prompt (the Verifier's own exchanges).
+    Verification,
+}
+
+/// One recorded prompt/response exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conversation {
+    /// Identifier.
+    pub id: ConversationId,
+    /// The exchange.
+    pub transcript: Transcript,
+    /// What the exchange was for.
+    pub task: TaskKind,
+    /// Monotonic sequence number (insertion order — the store's clock).
+    pub seq: u64,
+}
+
+/// Verification outcome attached to a generation after VerifAI runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerificationSummary {
+    /// Final trust-weighted decision.
+    pub decision: Verdict,
+    /// Decision confidence.
+    pub confidence: f64,
+    /// Number of evidence instances consulted.
+    pub evidence_count: usize,
+}
+
+/// One generated data object with its lineage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationRecord {
+    /// Identifier.
+    pub id: GenerationId,
+    /// The conversation that produced it.
+    pub conversation: ConversationId,
+    /// The generated object's workload id.
+    pub object_id: u64,
+    /// Human-readable rendering of the object.
+    pub rendered: String,
+    /// Verification outcome, once attached.
+    pub verification: Option<VerificationSummary>,
+}
+
+/// Aggregate statistics of the store — the management view the paper
+/// motivates: how much generated data exists, and how much of it survived
+/// verification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Recorded conversations.
+    pub conversations: usize,
+    /// Recorded generations.
+    pub generations: usize,
+    /// Generations verified as correct.
+    pub verified: usize,
+    /// Generations refuted.
+    pub refuted: usize,
+    /// Generations with undecided verification.
+    pub undecided: usize,
+    /// Generations never verified.
+    pub unverified: usize,
+}
+
+/// ModelDB-style store of prompts, generations, and verification lineage.
+#[derive(Debug, Default)]
+pub struct PromptStore {
+    conversations: Vec<Conversation>,
+    generations: Vec<GenerationRecord>,
+    by_object: HashMap<u64, GenerationId>,
+}
+
+impl PromptStore {
+    /// Empty store.
+    pub fn new() -> PromptStore {
+        PromptStore::default()
+    }
+
+    /// Record a conversation; returns its id.
+    pub fn record_conversation(&mut self, transcript: Transcript, task: TaskKind) -> ConversationId {
+        let id = self.conversations.len() as ConversationId;
+        let seq = id;
+        self.conversations.push(Conversation { id, transcript, task, seq });
+        id
+    }
+
+    /// Record a generated data object produced by `conversation`.
+    pub fn record_generation(
+        &mut self,
+        conversation: ConversationId,
+        object: &DataObject,
+    ) -> GenerationId {
+        let id = self.generations.len() as GenerationId;
+        self.generations.push(GenerationRecord {
+            id,
+            conversation,
+            object_id: object.id(),
+            rendered: object.render(),
+            verification: None,
+        });
+        self.by_object.insert(object.id(), id);
+        id
+    }
+
+    /// Attach a verification outcome to the generation of `object_id`.
+    /// Returns false when no such generation was recorded.
+    pub fn attach_verification(
+        &mut self,
+        object_id: u64,
+        summary: VerificationSummary,
+    ) -> bool {
+        match self.by_object.get(&object_id) {
+            Some(&gen) => {
+                self.generations[gen as usize].verification = Some(summary);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fetch a conversation.
+    pub fn conversation(&self, id: ConversationId) -> Option<&Conversation> {
+        self.conversations.get(id as usize)
+    }
+
+    /// Fetch a generation.
+    pub fn generation(&self, id: GenerationId) -> Option<&GenerationRecord> {
+        self.generations.get(id as usize)
+    }
+
+    /// The generation recorded for a workload object id.
+    pub fn generation_of_object(&self, object_id: u64) -> Option<&GenerationRecord> {
+        self.by_object.get(&object_id).and_then(|&g| self.generation(g))
+    }
+
+    /// All conversations, in insertion order.
+    pub fn conversations(&self) -> &[Conversation] {
+        &self.conversations
+    }
+
+    /// All generations, in insertion order.
+    pub fn generations(&self) -> &[GenerationRecord] {
+        &self.generations
+    }
+
+    /// Generations whose verification refuted them — the "bad generated data"
+    /// the paper's introduction warns about, now enumerable and auditable.
+    pub fn refuted_generations(&self) -> impl Iterator<Item = &GenerationRecord> {
+        self.generations
+            .iter()
+            .filter(|g| matches!(g.verification, Some(v) if v.decision == Verdict::Refuted))
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> StoreStats {
+        let mut s = StoreStats {
+            conversations: self.conversations.len(),
+            generations: self.generations.len(),
+            ..StoreStats::default()
+        };
+        for g in &self.generations {
+            match g.verification {
+                Some(v) => match v.decision {
+                    Verdict::Verified => s.verified += 1,
+                    Verdict::Refuted => s.refuted += 1,
+                    Verdict::NotRelated => s.undecided += 1,
+                },
+                None => s.unverified += 1,
+            }
+        }
+        s
+    }
+
+    /// Machine-readable export of the whole store.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "conversations": self.conversations.iter().map(|c| serde_json::json!({
+                "id": c.id,
+                "task": format!("{:?}", c.task),
+                "messages": c.transcript.messages.iter().map(|m| serde_json::json!({
+                    "role": format!("{:?}", m.role),
+                    "content": m.content,
+                })).collect::<Vec<_>>(),
+            })).collect::<Vec<_>>(),
+            "generations": self.generations.iter().map(|g| serde_json::json!({
+                "id": g.id,
+                "conversation": g.conversation,
+                "object_id": g.object_id,
+                "rendered": g.rendered,
+                "verification": g.verification.map(|v| serde_json::json!({
+                    "decision": v.decision.to_string(),
+                    "confidence": v.confidence,
+                    "evidence_count": v.evidence_count,
+                })),
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifai_llm::TextClaim;
+
+    fn transcript(prompt: &str) -> Transcript {
+        let mut t = Transcript::default();
+        t.user(prompt);
+        t.assistant("response");
+        t
+    }
+
+    fn object(id: u64) -> DataObject {
+        DataObject::TextClaim(TextClaim {
+            id,
+            text: format!("claim number {id}"),
+            expr: None,
+            scope: None,
+        })
+    }
+
+    #[test]
+    fn record_and_link_lineage() {
+        let mut store = PromptStore::new();
+        let conv = store.record_conversation(transcript("complete this table"), TaskKind::TupleCompletion);
+        let gen = store.record_generation(conv, &object(7));
+        assert_eq!(store.generation(gen).unwrap().conversation, conv);
+        assert_eq!(store.generation_of_object(7).unwrap().id, gen);
+
+        assert!(store.attach_verification(
+            7,
+            VerificationSummary { decision: Verdict::Refuted, confidence: 0.9, evidence_count: 6 }
+        ));
+        assert!(!store.attach_verification(99, VerificationSummary {
+            decision: Verdict::Verified,
+            confidence: 1.0,
+            evidence_count: 1,
+        }));
+        assert_eq!(store.refuted_generations().count(), 1);
+    }
+
+    #[test]
+    fn stats_partition_generations() {
+        let mut store = PromptStore::new();
+        let conv = store.record_conversation(transcript("p"), TaskKind::ClaimJudgment);
+        for (i, decision) in
+            [Verdict::Verified, Verdict::Verified, Verdict::Refuted, Verdict::NotRelated]
+                .into_iter()
+                .enumerate()
+        {
+            store.record_generation(conv, &object(i as u64));
+            store.attach_verification(
+                i as u64,
+                VerificationSummary { decision, confidence: 0.8, evidence_count: 3 },
+            );
+        }
+        store.record_generation(conv, &object(10)); // never verified
+        let s = store.stats();
+        assert_eq!(s.conversations, 1);
+        assert_eq!(s.generations, 5);
+        assert_eq!(s.verified, 2);
+        assert_eq!(s.refuted, 1);
+        assert_eq!(s.undecided, 1);
+        assert_eq!(s.unverified, 1);
+    }
+
+    #[test]
+    fn json_export_is_complete() {
+        let mut store = PromptStore::new();
+        let conv = store.record_conversation(transcript("the prompt"), TaskKind::Verification);
+        store.record_generation(conv, &object(1));
+        let v = store.to_json();
+        assert_eq!(v["conversations"].as_array().unwrap().len(), 1);
+        assert_eq!(v["generations"][0]["object_id"], 1);
+        assert!(v["generations"][0]["verification"].is_null());
+        assert_eq!(v["conversations"][0]["messages"][0]["content"], "the prompt");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use verifai_llm::TextClaim;
+
+    proptest! {
+        /// Stats always partition the generations exactly.
+        #[test]
+        fn stats_partition_exactly(decisions in proptest::collection::vec(0u8..4, 0..40)) {
+            let mut store = PromptStore::new();
+            let conv = store.record_conversation(Transcript::default(), TaskKind::ClaimJudgment);
+            for (i, &d) in decisions.iter().enumerate() {
+                let object = DataObject::TextClaim(TextClaim {
+                    id: i as u64,
+                    text: format!("claim {i}"),
+                    expr: None,
+                    scope: None,
+                });
+                store.record_generation(conv, &object);
+                let decision = match d {
+                    0 => continue, // leave unverified
+                    1 => Verdict::Verified,
+                    2 => Verdict::Refuted,
+                    _ => Verdict::NotRelated,
+                };
+                store.attach_verification(
+                    i as u64,
+                    VerificationSummary { decision, confidence: 0.5, evidence_count: 1 },
+                );
+            }
+            let s = store.stats();
+            prop_assert_eq!(
+                s.verified + s.refuted + s.undecided + s.unverified,
+                s.generations
+            );
+            prop_assert_eq!(s.generations, decisions.len());
+            prop_assert_eq!(s.refuted, store.refuted_generations().count());
+        }
+    }
+}

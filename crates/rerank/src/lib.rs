@@ -1,0 +1,100 @@
+#![warn(missing_docs)]
+//! # verifai-rerank
+//!
+//! The Reranker module (paper §3.2).
+//!
+//! The Indexer's coarse top-k (k in the hundreds) is task-agnostic; the
+//! Reranker re-scores each retrieved instance against the *specific generated
+//! data object* so that only a handful (k′ ≈ 5) survive to the expensive
+//! Verifier stage. The paper names two rerankers, both implemented here:
+//!
+//! * [`colbert::ColbertReranker`] for (text, text) pairs — token-level late
+//!   interaction (MaxSim), following RetClean/ColBERT;
+//! * [`table::TableReranker`] for (text, table) pairs — the OpenTFV-style
+//!   semantic reranker combining caption/header/cell evidence with embedding
+//!   similarity;
+//!
+//! plus the pairs the paper lists as in-progress extensions:
+//!
+//! * [`tuple::TupleReranker`] for (tuple, tuple) pairs — RetClean-style schema
+//!   and value agreement;
+//! * [`composite::CompositeReranker`] — routes each candidate to the reranker
+//!   matching its `(object, evidence)` modality pair.
+
+pub mod colbert;
+pub mod composite;
+pub mod table;
+pub mod tuple;
+
+use verifai_lake::DataInstance;
+use verifai_llm::DataObject;
+
+/// A task-specific scorer for (generated object, retrieved instance) pairs.
+pub trait Reranker: Send + Sync {
+    /// Relevance of `evidence` to `object`; higher is better. Scores from one
+    /// reranker are mutually comparable; cross-reranker scores are not.
+    fn score(&self, object: &DataObject, evidence: &DataInstance) -> f64;
+
+    /// Stable name for provenance records.
+    fn name(&self) -> &'static str;
+}
+
+/// Rerank candidates with `reranker` and keep the top `k_prime`.
+///
+/// Returns (instance, score) pairs sorted by descending score with
+/// deterministic id tiebreak.
+pub fn rerank(
+    reranker: &dyn Reranker,
+    object: &DataObject,
+    candidates: Vec<DataInstance>,
+    k_prime: usize,
+) -> Vec<(DataInstance, f64)> {
+    let mut scored: Vec<(DataInstance, f64)> = candidates
+        .into_iter()
+        .map(|c| {
+            let s = reranker.score(object, &c);
+            (c, s)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.id().cmp(&b.0.id()))
+    });
+    scored.truncate(k_prime);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifai_lake::{InstanceId, TextDocument};
+    use verifai_llm::TextClaim;
+
+    struct LengthReranker;
+    impl Reranker for LengthReranker {
+        fn score(&self, _object: &DataObject, evidence: &DataInstance) -> f64 {
+            match evidence {
+                DataInstance::Text(d) => d.body.len() as f64,
+                _ => 0.0,
+            }
+        }
+        fn name(&self) -> &'static str {
+            "length"
+        }
+    }
+
+    #[test]
+    fn rerank_sorts_and_truncates() {
+        let object = DataObject::TextClaim(TextClaim { id: 0, text: "q".into(), expr: None, scope: None });
+        let candidates = vec![
+            DataInstance::Text(TextDocument::new(1, "a", "xx", 0)),
+            DataInstance::Text(TextDocument::new(2, "b", "xxxx", 0)),
+            DataInstance::Text(TextDocument::new(3, "c", "x", 0)),
+        ];
+        let out = rerank(&LengthReranker, &object, candidates, 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0.id(), InstanceId::Text(2));
+        assert_eq!(out[1].0.id(), InstanceId::Text(1));
+    }
+}

@@ -1,0 +1,119 @@
+//! Analysis chains.
+//!
+//! An [`Analyzer`] turns raw text into the normalized term stream that indexes
+//! and similarity measures consume — the counterpart of an Elasticsearch
+//! analyzer: tokenize → lowercase → (stopword filter) → (stemmer).
+
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenizer::tokenize;
+
+/// Configuration of an [`Analyzer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyzerConfig {
+    /// Lowercase tokens.
+    pub lowercase: bool,
+    /// Drop stopwords.
+    pub remove_stopwords: bool,
+    /// Apply the Porter-style stemmer.
+    pub stem: bool,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig { lowercase: true, remove_stopwords: true, stem: true }
+    }
+}
+
+/// A configured analysis chain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Analyzer {
+    config: AnalyzerConfig,
+}
+
+impl Analyzer {
+    /// Analyzer with the given configuration.
+    pub fn new(config: AnalyzerConfig) -> Analyzer {
+        Analyzer { config }
+    }
+
+    /// The standard search analyzer: lowercase + stopwords + stemming.
+    pub fn standard() -> Analyzer {
+        Analyzer::default()
+    }
+
+    /// A keyword-ish analyzer that only lowercases — used where exact surface
+    /// forms matter (e.g. ColBERT token embeddings keep stopwords).
+    pub fn lowercase_only() -> Analyzer {
+        Analyzer::new(AnalyzerConfig { lowercase: true, remove_stopwords: false, stem: false })
+    }
+
+    /// The analyzer's configuration (used when persisting indexes).
+    pub fn config(&self) -> AnalyzerConfig {
+        self.config
+    }
+
+    /// Analyze text into normalized terms.
+    pub fn analyze(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for tok in tokenize(text) {
+            let mut term =
+                if self.config.lowercase { tok.text.to_lowercase() } else { tok.text };
+            if self.config.remove_stopwords && is_stopword(&term) {
+                continue;
+            }
+            if self.config.stem {
+                term = stem(&term);
+            }
+            if !term.is_empty() {
+                out.push(term);
+            }
+        }
+        out
+    }
+
+    /// Analyze into (term, term-frequency) pairs.
+    pub fn term_frequencies(&self, text: &str) -> std::collections::HashMap<String, u32> {
+        let mut tf = std::collections::HashMap::new();
+        for term in self.analyze(text) {
+            *tf.entry(term).or_insert(0) += 1;
+        }
+        tf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_chain_normalizes() {
+        let a = Analyzer::standard();
+        let terms = a.analyze("The Incumbents were elected in the elections");
+        // "the", "were", "in" dropped; plurals and -ed conflated.
+        assert!(terms.contains(&stem("incumbent")));
+        assert!(terms.contains(&stem("elect")));
+        assert!(!terms.iter().any(|t| t == "the" || t == "were"));
+    }
+
+    #[test]
+    fn lowercase_only_keeps_stopwords() {
+        let a = Analyzer::lowercase_only();
+        assert_eq!(a.analyze("The Yard"), vec!["the", "yard"]);
+    }
+
+    #[test]
+    fn term_frequencies_count() {
+        let a = Analyzer::lowercase_only();
+        let tf = a.term_frequencies("yard yard the yard");
+        assert_eq!(tf["yard"], 3);
+        assert_eq!(tf["the"], 1);
+    }
+
+    #[test]
+    fn query_and_document_analyze_identically() {
+        // Retrieval correctness depends on query/document analyzer symmetry.
+        let a = Analyzer::standard();
+        assert_eq!(a.analyze("Elected Officials"), a.analyze("elected officials"));
+    }
+}

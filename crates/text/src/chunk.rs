@@ -1,0 +1,102 @@
+//! Text chunking for semantic indexing.
+//!
+//! The paper's semantic index embeds "tuples or *chunked* text files" (§3.1):
+//! long documents are split into overlapping sentence windows so that each
+//! vector represents a focused passage rather than a diluted whole-document
+//! average. The pipeline indexes every chunk under its document's id; the
+//! Combiner's dedup collapses multi-chunk hits back to one document.
+
+/// A chunk of a document: the passage text and its sentence range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// The passage text (sentences joined with `. `).
+    pub text: String,
+    /// Index of the first sentence in the document.
+    pub start_sentence: usize,
+}
+
+/// Split text into sentences on `.`, `!`, `?` (trimmed, empties dropped).
+pub fn split_sentences(text: &str) -> Vec<&str> {
+    text.split(['.', '!', '?'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Chunk a document into windows of `window` sentences with `overlap`
+/// sentences shared between consecutive chunks.
+///
+/// `overlap` must be smaller than `window` (clamped otherwise). Short
+/// documents yield a single chunk; empty documents yield none.
+pub fn chunk_sentences(text: &str, window: usize, overlap: usize) -> Vec<Chunk> {
+    let window = window.max(1);
+    let overlap = overlap.min(window - 1);
+    let sentences = split_sentences(text);
+    if sentences.is_empty() {
+        return Vec::new();
+    }
+    let stride = window - overlap;
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    loop {
+        let end = (start + window).min(sentences.len());
+        chunks.push(Chunk { text: sentences[start..end].join(". "), start_sentence: start });
+        if end == sentences.len() {
+            break;
+        }
+        start += stride;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "One here. Two here. Three here. Four here. Five here.";
+
+    #[test]
+    fn sentence_splitting() {
+        assert_eq!(split_sentences(DOC).len(), 5);
+        assert_eq!(split_sentences("No terminator"), vec!["No terminator"]);
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("...!!!???").is_empty());
+    }
+
+    #[test]
+    fn windows_cover_everything_with_overlap() {
+        let chunks = chunk_sentences(DOC, 2, 1);
+        // Windows: [0,1], [1,2], [2,3], [3,4].
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0].text, "One here. Two here");
+        assert_eq!(chunks[0].start_sentence, 0);
+        assert_eq!(chunks[3].text, "Four here. Five here");
+        assert_eq!(chunks[3].start_sentence, 3);
+        // Every sentence appears in at least one chunk.
+        for s in split_sentences(DOC) {
+            assert!(chunks.iter().any(|c| c.text.contains(s)), "missing sentence {s}");
+        }
+    }
+
+    #[test]
+    fn short_document_single_chunk() {
+        let chunks = chunk_sentences("Only one sentence.", 4, 1);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].text, "Only one sentence");
+    }
+
+    #[test]
+    fn degenerate_parameters_clamped() {
+        // window 0 -> 1; overlap >= window -> window - 1.
+        let chunks = chunk_sentences(DOC, 0, 5);
+        assert_eq!(chunks.len(), 5);
+        assert!(chunk_sentences("", 3, 1).is_empty());
+    }
+
+    #[test]
+    fn no_overlap_partitions() {
+        let chunks = chunk_sentences(DOC, 2, 0);
+        assert_eq!(chunks.len(), 3); // [0,1], [2,3], [4]
+        assert_eq!(chunks[2].text, "Five here");
+    }
+}

@@ -1,0 +1,58 @@
+//! Character and word n-grams.
+
+/// Character n-grams of a string (over chars, not bytes). The string is padded
+/// with `_` on both ends so that prefixes/suffixes produce distinguishing grams,
+/// as is conventional for fuzzy-matching features.
+pub fn char_ngrams(s: &str, n: usize) -> Vec<String> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let pad = n - 1;
+    let mut chars: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * pad);
+    chars.extend(std::iter::repeat_n('_', pad));
+    chars.extend(s.chars());
+    chars.extend(std::iter::repeat_n('_', pad));
+    if chars.len() < n {
+        return Vec::new();
+    }
+    (0..=chars.len() - n).map(|i| chars[i..i + n].iter().collect()).collect()
+}
+
+/// Word n-grams (shingles) over a term slice.
+pub fn word_ngrams(terms: &[String], n: usize) -> Vec<String> {
+    if n == 0 || terms.len() < n {
+        return Vec::new();
+    }
+    (0..=terms.len() - n).map(|i| terms[i..i + n].join(" ")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigram_padding() {
+        let grams = char_ngrams("ab", 3);
+        assert_eq!(grams, vec!["__a", "_ab", "ab_", "b__"]);
+    }
+
+    #[test]
+    fn unigram_is_chars() {
+        assert_eq!(char_ngrams("abc", 1), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert!(!char_ngrams("", 3).is_empty()); // padding-only grams still emitted
+        assert!(char_ngrams("abc", 0).is_empty());
+        assert!(word_ngrams(&[], 2).is_empty());
+    }
+
+    #[test]
+    fn shingles() {
+        let terms: Vec<String> = ["stomp", "the", "yard"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(word_ngrams(&terms, 2), vec!["stomp the", "the yard"]);
+        assert_eq!(word_ngrams(&terms, 3), vec!["stomp the yard"]);
+        assert!(word_ngrams(&terms, 4).is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! A Porter-style suffix stemmer.
+//!
+//! Implements the high-value subset of the Porter algorithm (steps 1a/1b and the
+//! common derivational suffixes) — enough to conflate the inflectional variants
+//! that matter for table/text retrieval (`elections`→`elect`, `played`→`play`,
+//! `running`→`run`) without the full rule table.
+
+/// Count vowel-consonant "measure" of a word region, Porter's m().
+fn measure(word: &[u8]) -> usize {
+    let mut m = 0;
+    let mut prev_vowel = false;
+    for i in 0..word.len() {
+        let v = is_vowel(word, i);
+        if prev_vowel && !v {
+            m += 1;
+        }
+        prev_vowel = v;
+    }
+    m
+}
+
+fn is_vowel(word: &[u8], i: usize) -> bool {
+    match word[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => true,
+        b'y' => i > 0 && !is_vowel(word, i - 1),
+        _ => false,
+    }
+}
+
+fn has_vowel(word: &[u8]) -> bool {
+    (0..word.len()).any(|i| is_vowel(word, i))
+}
+
+fn ends_double_consonant(word: &[u8]) -> bool {
+    let n = word.len();
+    n >= 2 && word[n - 1] == word[n - 2] && !is_vowel(word, n - 1)
+}
+
+/// Stem a lowercase ASCII word. Words shorter than 3 characters and words with
+/// non-ASCII characters are returned unchanged.
+pub fn stem(word: &str) -> String {
+    if word.len() < 3 || !word.is_ascii() {
+        return word.to_string();
+    }
+    let mut w = word.as_bytes().to_vec();
+
+    // Step 1a: plurals.
+    if w.ends_with(b"sses") || w.ends_with(b"ies") {
+        w.truncate(w.len() - 2);
+    } else if w.ends_with(b"ss") {
+        // keep
+    } else if w.ends_with(b"s") && w.len() > 3 {
+        w.pop();
+    }
+
+    // Step 1b: -eed / -ed / -ing.
+    if w.ends_with(b"eed") {
+        if measure(&w[..w.len() - 3]) > 0 {
+            w.pop();
+        }
+    } else if w.ends_with(b"ed") && has_vowel(&w[..w.len() - 2]) {
+        w.truncate(w.len() - 2);
+        step1b_cleanup(&mut w);
+    } else if w.ends_with(b"ing") && w.len() > 4 && has_vowel(&w[..w.len() - 3]) {
+        w.truncate(w.len() - 3);
+        step1b_cleanup(&mut w);
+    }
+
+    // Step 1c: terminal y -> i after a vowel.
+    if w.ends_with(b"y") && w.len() > 2 && has_vowel(&w[..w.len() - 1]) {
+        let n = w.len();
+        w[n - 1] = b'i';
+    }
+
+    // A few common derivational suffixes (Porter steps 2-4, abbreviated).
+    for (suffix, replacement) in [
+        (&b"ational"[..], &b"ate"[..]),
+        (b"ization", b"ize"),
+        (b"fulness", b"ful"),
+        (b"ousness", b"ous"),
+        (b"iveness", b"ive"),
+        (b"biliti", b"ble"),
+        (b"entli", b"ent"),
+        (b"ousli", b"ous"),
+        (b"ement", b""),
+        (b"ment", b""),
+        (b"tional", b"tion"),
+    ] {
+        if w.ends_with(suffix) {
+            let stem_len = w.len() - suffix.len();
+            if measure(&w[..stem_len]) > 0 {
+                w.truncate(stem_len);
+                w.extend_from_slice(replacement);
+            }
+            break;
+        }
+    }
+
+    String::from_utf8(w).expect("ascii in, ascii out")
+}
+
+/// After removing -ed/-ing: restore e for at/bl/iz, or undouble consonants.
+fn step1b_cleanup(w: &mut Vec<u8>) {
+    if w.ends_with(b"at") || w.ends_with(b"bl") || w.ends_with(b"iz") {
+        w.push(b'e');
+    } else if ends_double_consonant(w) && !w.ends_with(b"l") && !w.ends_with(b"s") && !w.ends_with(b"z")
+    {
+        w.pop();
+    } else if measure(w) == 1 && ends_cvc(w) {
+        w.push(b'e');
+    }
+}
+
+/// Porter's *o condition: ends consonant-vowel-consonant, last not w/x/y.
+fn ends_cvc(w: &[u8]) -> bool {
+    let n = w.len();
+    if n < 3 {
+        return false;
+    }
+    !is_vowel(w, n - 3)
+        && is_vowel(w, n - 2)
+        && !is_vowel(w, n - 1)
+        && !matches!(w[n - 1], b'w' | b'x' | b'y')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plurals_conflate() {
+        assert_eq!(stem("elections"), stem("election"));
+        assert_eq!(stem("caresses"), "caress");
+        assert_eq!(stem("ponies"), stem("poni"));
+    }
+
+    #[test]
+    fn ed_ing_conflate() {
+        assert_eq!(stem("played"), stem("play"));
+        assert_eq!(stem("running"), "run");
+        assert_eq!(stem("hopping"), "hop");
+        assert_eq!(stem("agreed"), "agree");
+    }
+
+    #[test]
+    fn restores_e_for_at_bl_iz() {
+        assert_eq!(stem("conflated"), "conflate");
+        assert_eq!(stem("troubling"), "trouble");
+        assert_eq!(stem("sized"), "size");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("as"), "as");
+    }
+
+    #[test]
+    fn non_ascii_untouched() {
+        assert_eq!(stem("café"), "café");
+    }
+
+    #[test]
+    fn idempotent_on_common_vocabulary() {
+        for w in ["incumbent", "district", "basketball", "championship", "refuted"] {
+            let once = stem(w);
+            assert_eq!(stem(&once), once, "stem not idempotent for {w}");
+        }
+    }
+}

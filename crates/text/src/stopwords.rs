@@ -1,0 +1,35 @@
+//! English stopwords.
+
+/// Default English stopword list (the subset a search analyzer typically drops).
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is", "it",
+    "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there", "these",
+    "they", "this", "to", "was", "will", "with", "he", "she", "his", "her", "its", "from", "has",
+    "had", "have", "were", "been", "which", "who", "whom", "what", "when", "where", "also", "than",
+];
+
+/// Membership test against [`STOPWORDS`]; expects lowercase input.
+pub fn is_stopword(word: &str) -> bool {
+    // The list is small enough that a linear scan beats hashing for typical
+    // token lengths; analyzers call this once per token.
+    STOPWORDS.contains(&word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "and", "of", "was"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["incumbent", "election", "jordan", "yard"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+}

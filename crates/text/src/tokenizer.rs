@@ -1,0 +1,103 @@
+//! Word tokenization.
+
+/// A token produced by [`tokenize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text (original casing preserved; analyzers normalize later).
+    pub text: String,
+    /// Zero-based position in the token stream (used for phrase/proximity logic).
+    pub position: usize,
+    /// Byte offset of the token start in the input.
+    pub offset: usize,
+}
+
+/// Split text into alphanumeric word tokens.
+///
+/// Rules, chosen to match what a default search-engine tokenizer does to web
+/// tables and wiki text:
+/// * maximal runs of alphanumeric characters are tokens;
+/// * interior `'` and `.` are kept when both neighbours are alphanumeric
+///   (`o'brien`, `u.s.` stay single tokens);
+/// * everything else separates tokens.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut start: Option<usize> = None;
+    let mut position = 0;
+
+    let flush = |start: &mut Option<usize>, end: usize, tokens: &mut Vec<Token>, pos: &mut usize| {
+        if let Some(s) = start.take() {
+            let text = input[s..end].trim_matches(|c| c == '\'' || c == '.').to_string();
+            if !text.is_empty() {
+                tokens.push(Token { text, position: *pos, offset: s });
+                *pos += 1;
+            }
+        }
+    };
+
+    let mut iter = input.char_indices().peekable();
+    while let Some((i, ch)) = iter.next() {
+        let keep = ch.is_alphanumeric()
+            || ((ch == '\'' || ch == '.')
+                && start.is_some()
+                && iter.peek().is_some_and(|(_, n)| n.is_alphanumeric()));
+        if keep {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else {
+            flush(&mut start, i, &mut tokens, &mut position);
+        }
+    }
+    flush(&mut start, bytes.len(), &mut tokens, &mut position);
+    tokens
+}
+
+/// Convenience: tokenize and return just the token strings.
+pub fn token_strings(input: &str) -> Vec<String> {
+    tokenize(input).into_iter().map(|t| t.text).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(s: &str) -> Vec<String> {
+        token_strings(s)
+    }
+
+    #[test]
+    fn splits_on_punctuation_and_space() {
+        assert_eq!(words("Stomp the Yard (2007)!"), vec!["Stomp", "the", "Yard", "2007"]);
+    }
+
+    #[test]
+    fn keeps_interior_apostrophe_and_dot() {
+        assert_eq!(words("O'Brien met U.S. envoys"), vec!["O'Brien", "met", "U.S", "envoys"]);
+    }
+
+    #[test]
+    fn positions_and_offsets() {
+        let toks = tokenize("a  bb c");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].text, "bb");
+        assert_eq!(toks[1].position, 1);
+        assert_eq!(toks[1].offset, 3);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- !!! ...").is_empty());
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(words("café über"), vec!["café", "über"]);
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(words("score 23.5 points in 1997"), vec!["score", "23.5", "points", "in", "1997"]);
+    }
+}

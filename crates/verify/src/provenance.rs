@@ -1,0 +1,192 @@
+//! Provenance of the verification process (challenge C4).
+//!
+//! "It is important to store the lineage of the end-to-end verification
+//! process, in case the retrieved data from data lakes is flawed or incomplete,
+//! or the verification process itself makes mistakes. This allows for later
+//! human checks or debugging." Every pipeline stage appends a
+//! [`ProvenanceRecord`]; [`ProvenanceLog::report`] renders a human-auditable
+//! trace per generated object.
+
+use std::fmt;
+use verifai_lake::InstanceId;
+use verifai_llm::Verdict;
+
+/// Which pipeline stage produced a record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stage {
+    /// A coarse index retrieved an instance.
+    Retrieval {
+        /// Index name (e.g. `bm25`, `hnsw`).
+        index: String,
+        /// Rank within that index's result list (0-based).
+        rank: usize,
+    },
+    /// The Combiner fused and deduplicated index results.
+    Combine,
+    /// A reranker re-scored an instance.
+    Rerank {
+        /// Reranker name.
+        reranker: String,
+        /// Rank after reranking (0-based).
+        rank: usize,
+    },
+    /// A verifier judged the pair.
+    Verify {
+        /// Verifier name.
+        verifier: String,
+    },
+    /// The trust model made the final decision.
+    Decision,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Retrieval { index, rank } => write!(f, "retrieval[{index}]#{rank}"),
+            Stage::Combine => write!(f, "combine"),
+            Stage::Rerank { reranker, rank } => write!(f, "rerank[{reranker}]#{rank}"),
+            Stage::Verify { verifier } => write!(f, "verify[{verifier}]"),
+            Stage::Decision => write!(f, "decision"),
+        }
+    }
+}
+
+/// One lineage entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceRecord {
+    /// The generated object this entry concerns.
+    pub object_id: u64,
+    /// Producing stage.
+    pub stage: Stage,
+    /// The evidence instance involved, when applicable.
+    pub instance: Option<InstanceId>,
+    /// Stage-specific score (retrieval/rerank score, decision confidence).
+    pub score: Option<f64>,
+    /// Verdict, for verify/decision stages.
+    pub verdict: Option<Verdict>,
+    /// Free-text note (e.g. the verifier's explanation).
+    pub note: String,
+}
+
+/// Append-only lineage store.
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceLog {
+    records: Vec<ProvenanceRecord>,
+}
+
+impl ProvenanceLog {
+    /// Empty log.
+    pub fn new() -> ProvenanceLog {
+        ProvenanceLog::default()
+    }
+
+    /// Append a record.
+    pub fn add(&mut self, record: ProvenanceRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in insertion order.
+    pub fn records(&self) -> &[ProvenanceRecord] {
+        &self.records
+    }
+
+    /// Records concerning one generated object, in pipeline order.
+    pub fn for_object(&self, object_id: u64) -> Vec<&ProvenanceRecord> {
+        self.records.iter().filter(|r| r.object_id == object_id).collect()
+    }
+
+    /// Render a human-auditable report for one object.
+    pub fn report(&self, object_id: u64) -> String {
+        let mut out = format!("provenance for object {object_id}:\n");
+        for r in self.for_object(object_id) {
+            out.push_str("  ");
+            out.push_str(&r.stage.to_string());
+            if let Some(i) = r.instance {
+                out.push_str(&format!(" {i}"));
+            }
+            if let Some(s) = r.score {
+                out.push_str(&format!(" score={s:.4}"));
+            }
+            if let Some(v) = r.verdict {
+                out.push_str(&format!(" verdict={v}"));
+            }
+            if !r.note.is_empty() {
+                out.push_str(" — ");
+                out.push_str(&r.note);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(object_id: u64, stage: Stage) -> ProvenanceRecord {
+        ProvenanceRecord { object_id, stage, instance: None, score: None, verdict: None, note: String::new() }
+    }
+
+    #[test]
+    fn records_filtered_per_object() {
+        let mut log = ProvenanceLog::new();
+        log.add(record(1, Stage::Combine));
+        log.add(record(2, Stage::Combine));
+        log.add(ProvenanceRecord {
+            object_id: 1,
+            stage: Stage::Verify { verifier: "pasta".into() },
+            instance: Some(InstanceId::Table(9)),
+            score: None,
+            verdict: Some(Verdict::Refuted),
+            note: "count mismatch".into(),
+        });
+        assert_eq!(log.for_object(1).len(), 2);
+        assert_eq!(log.for_object(2).len(), 1);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn report_is_readable() {
+        let mut log = ProvenanceLog::new();
+        log.add(ProvenanceRecord {
+            object_id: 7,
+            stage: Stage::Retrieval { index: "bm25".into(), rank: 0 },
+            instance: Some(InstanceId::Text(3)),
+            score: Some(12.5),
+            verdict: None,
+            note: String::new(),
+        });
+        log.add(ProvenanceRecord {
+            object_id: 7,
+            stage: Stage::Verify { verifier: "chatgpt-sim".into() },
+            instance: Some(InstanceId::Text(3)),
+            score: None,
+            verdict: Some(Verdict::Verified),
+            note: "the text states the fact".into(),
+        });
+        let report = log.report(7);
+        assert!(report.contains("retrieval[bm25]#0 text:3 score=12.5000"));
+        assert!(report.contains("verify[chatgpt-sim] text:3 verdict=Verified — the text states the fact"));
+    }
+
+    #[test]
+    fn stage_display_variants() {
+        assert_eq!(Stage::Combine.to_string(), "combine");
+        assert_eq!(Stage::Decision.to_string(), "decision");
+        assert_eq!(
+            Stage::Rerank { reranker: "colbert".into(), rank: 2 }.to_string(),
+            "rerank[colbert]#2"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Source-trust estimation (challenge C3).
+//!
+//! "Evaluating the trustworthiness of different datasets in data lakes,
+//! particularly when they are not well curated, remains an open problem." We
+//! implement a knowledge-based-trust-style iterative estimator (Dong et al.,
+//! VLDB 2015, simplified): a source's trust is the (smoothed) fraction of its
+//! verdicts that agree with the trust-weighted consensus per object, iterated
+//! to a fixed point. Trust then weights the final decision per object.
+
+use std::collections::HashMap;
+use verifai_lake::SourceId;
+use verifai_llm::Verdict;
+
+/// One verifier outcome attributed to the evidence's source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerdictObservation {
+    /// The generated object this verdict concerns.
+    pub object_id: u64,
+    /// Source of the evidence behind the verdict.
+    pub source: SourceId,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Iterative trust estimator and trust-weighted decision maker.
+#[derive(Debug, Clone, Default)]
+pub struct TrustModel {
+    trust: HashMap<SourceId, f64>,
+}
+
+impl TrustModel {
+    /// Model with uniform trust 0.5 assigned lazily.
+    pub fn new() -> TrustModel {
+        TrustModel::default()
+    }
+
+    /// Seed trust priors (e.g. from [`verifai_lake::SourceOrigin::default_trust`]).
+    pub fn with_priors(priors: impl IntoIterator<Item = (SourceId, f64)>) -> TrustModel {
+        TrustModel { trust: priors.into_iter().collect() }
+    }
+
+    /// Current trust of a source (default prior 0.5).
+    pub fn trust(&self, source: SourceId) -> f64 {
+        *self.trust.get(&source).unwrap_or(&0.5)
+    }
+
+    /// Trust-weighted consensus for one object's observations: sums trust per
+    /// decisive verdict class. NotRelated abstains. Returns the winning verdict
+    /// and its weight share (confidence).
+    pub fn decide(&self, observations: &[VerdictObservation]) -> (Verdict, f64) {
+        let mut verified = 0.0;
+        let mut refuted = 0.0;
+        for o in observations {
+            match o.verdict {
+                Verdict::Verified => verified += self.trust(o.source),
+                Verdict::Refuted => refuted += self.trust(o.source),
+                Verdict::NotRelated => {}
+            }
+        }
+        let total = verified + refuted;
+        if total == 0.0 {
+            return (Verdict::NotRelated, 1.0);
+        }
+        if verified >= refuted {
+            (Verdict::Verified, verified / total)
+        } else {
+            (Verdict::Refuted, refuted / total)
+        }
+    }
+
+    /// Run the iterative estimator over a batch of observations.
+    ///
+    /// Each round: (1) compute the trust-weighted consensus per object;
+    /// (2) re-estimate each source's trust as the Laplace-smoothed fraction of
+    /// its decisive verdicts that agree with consensus.
+    pub fn run(&mut self, observations: &[VerdictObservation], iterations: usize) {
+        // Group observations per object once.
+        let mut by_object: HashMap<u64, Vec<VerdictObservation>> = HashMap::new();
+        for &o in observations {
+            by_object.entry(o.object_id).or_default().push(o);
+        }
+        for _ in 0..iterations {
+            // Stage 1: consensus per object under current trust.
+            let consensus: HashMap<u64, Verdict> = by_object
+                .iter()
+                .map(|(&id, obs)| (id, self.decide(obs).0))
+                .collect();
+            // Stage 2: agreement per source.
+            let mut agree: HashMap<SourceId, (f64, f64)> = HashMap::new();
+            for o in observations {
+                if o.verdict == Verdict::NotRelated {
+                    continue;
+                }
+                let entry = agree.entry(o.source).or_insert((0.0, 0.0));
+                entry.1 += 1.0;
+                if consensus.get(&o.object_id) == Some(&o.verdict) {
+                    entry.0 += 1.0;
+                }
+            }
+            for (source, (hits, total)) in agree {
+                // Laplace smoothing keeps trust off the 0/1 extremes.
+                let t = (hits + 1.0) / (total + 2.0);
+                self.trust.insert(source, t);
+            }
+        }
+    }
+
+    /// All estimated trust values, sorted by source id.
+    pub fn all_trust(&self) -> Vec<(SourceId, f64)> {
+        let mut v: Vec<(SourceId, f64)> = self.trust.iter().map(|(&s, &t)| (s, t)).collect();
+        v.sort_by_key(|&(s, _)| s);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(object_id: u64, source: SourceId, verdict: Verdict) -> VerdictObservation {
+        VerdictObservation { object_id, source, verdict }
+    }
+
+    /// Two reliable sources against one adversarial source: iteration must
+    /// learn to distrust the adversary.
+    #[test]
+    fn adversarial_source_loses_trust() {
+        let mut observations = Vec::new();
+        for object in 0..20u64 {
+            observations.push(obs(object, 0, Verdict::Verified));
+            observations.push(obs(object, 1, Verdict::Verified));
+            observations.push(obs(object, 2, Verdict::Refuted)); // always contrarian
+        }
+        let mut model = TrustModel::new();
+        model.run(&observations, 5);
+        assert!(model.trust(0) > 0.85);
+        assert!(model.trust(1) > 0.85);
+        assert!(model.trust(2) < 0.15, "adversary trust: {}", model.trust(2));
+    }
+
+    #[test]
+    fn trusted_minority_can_win_decision() {
+        let mut model =
+            TrustModel::with_priors([(0, 0.95), (1, 0.2), (2, 0.2)]);
+        let observations = vec![
+            obs(7, 0, Verdict::Refuted),
+            obs(7, 1, Verdict::Verified),
+            obs(7, 2, Verdict::Verified),
+        ];
+        let (verdict, confidence) = model.decide(&observations);
+        assert_eq!(verdict, Verdict::Refuted);
+        assert!(confidence > 0.5);
+        // And without priors the majority wins instead.
+        model = TrustModel::new();
+        assert_eq!(model.decide(&observations).0, Verdict::Verified);
+    }
+
+    #[test]
+    fn not_related_abstains() {
+        let model = TrustModel::new();
+        let observations = vec![
+            obs(1, 0, Verdict::NotRelated),
+            obs(1, 1, Verdict::NotRelated),
+        ];
+        assert_eq!(model.decide(&observations), (Verdict::NotRelated, 1.0));
+        let observations = vec![
+            obs(1, 0, Verdict::NotRelated),
+            obs(1, 1, Verdict::Refuted),
+        ];
+        assert_eq!(model.decide(&observations).0, Verdict::Refuted);
+    }
+
+    #[test]
+    fn empty_observations() {
+        let mut model = TrustModel::new();
+        model.run(&[], 3);
+        assert_eq!(model.decide(&[]), (Verdict::NotRelated, 1.0));
+    }
+
+    #[test]
+    fn trust_stays_in_unit_interval() {
+        let mut observations = Vec::new();
+        for object in 0..50u64 {
+            observations.push(obs(object, 0, Verdict::Verified));
+            observations.push(obs(object, 1, Verdict::Verified));
+        }
+        let mut model = TrustModel::new();
+        model.run(&observations, 10);
+        for (_, t) in model.all_trust() {
+            assert!((0.0..=1.0).contains(&t));
+            // Smoothing keeps it off the extreme.
+            assert!(t < 1.0);
+        }
+    }
+}

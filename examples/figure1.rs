@@ -1,0 +1,143 @@
+//! A faithful re-enactment of the paper's Figure 1 on a hand-built lake:
+//!
+//! * (a) ChatGPT completes election tuples with missing `incumbent` values;
+//!   VerifAI verifies one imputation against a lake tuple and refutes another
+//!   against both a tuple and a text file.
+//! * (b) ChatGPT answers "Does Meagan Good play a role in Stomp the Yard?";
+//!   VerifAI refutes the generated text with a text file and a tuple.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example figure1
+//! ```
+
+use verifai_claims::{ClaimExpr, CmpOp};
+use verifai_lake::{
+    Column, DataInstance, DataLake, DataType, Schema, SourceOrigin, Table, TextDocument, Value,
+};
+use verifai_llm::{
+    prompt::tuple_completion_prompt, DataObject, ImputedCell, SimLlm, SimLlmConfig, TextClaim,
+    WorldModel,
+};
+
+fn main() {
+    // ---- the hand-built lake -------------------------------------------------
+    let mut lake = DataLake::new();
+    let tables_src = lake.add_source("web tables", SourceOrigin::WebTables);
+    let wiki_src = lake.add_source("wikipedia", SourceOrigin::Encyclopedia);
+
+    let schema = Schema::new(vec![
+        Column::key("district", DataType::Text),
+        Column::new("incumbent", DataType::Text),
+        Column::new("party", DataType::Text),
+    ]);
+    let mut elections = Table::new(0, "United States House elections", schema.clone(), tables_src);
+    for (d, i, p) in [
+        ("New York 1", "Otis G. Pike", "Democratic"),
+        ("New York 2", "Stuyvesant Wainwright", "Republican"),
+        ("New York 3", "Steven Derounian", "Republican"),
+    ] {
+        elections.push_row(vec![Value::text(d), Value::text(i), Value::text(p)]).unwrap();
+    }
+    let tuple_ids = lake.add_table(elections.clone()).unwrap();
+
+    let mut films = Table::new(
+        1,
+        "Stomp the Yard cast",
+        Schema::new(vec![
+            Column::key("film", DataType::Text),
+            Column::new("lead actress", DataType::Text),
+        ]),
+        tables_src,
+    );
+    films
+        .push_row(vec![Value::text("Stomp the Yard"), Value::text("Meagan Good")])
+        .unwrap();
+    let film_tuples = lake.add_table(films).unwrap();
+
+    lake.add_doc(TextDocument::new(
+        0,
+        "New York 3",
+        "New York 3 is a congressional district. The incumbent of New York 3 is Steven \
+         Derounian. The district covers parts of Nassau County.",
+        wiki_src,
+    ))
+    .unwrap();
+    lake.add_doc(TextDocument::new(
+        1,
+        "Stomp the Yard",
+        "Stomp the Yard is a 2007 dance drama film. The lead actress of Stomp the Yard is \
+         Meagan Good. Columbus Short stars as DJ Williams.",
+        wiki_src,
+    ))
+    .unwrap();
+
+    // ---- the generative model ------------------------------------------------
+    // Its world model knows the truth; unreliable recall produces Figure 1's mix
+    // of correct and incorrect generations (forced here for a faithful replay).
+    let world = WorldModel::new();
+    let llm = SimLlm::new(SimLlmConfig::oracle(1), world);
+
+    // == Figure 1(a): tuple completion ==========================================
+    let mut masked = elections.clone();
+    *masked.cell_mut(0, 1).unwrap() = Value::Null;
+    *masked.cell_mut(2, 1).unwrap() = Value::Null;
+    println!("=== Figure 1(a): the paper's completion prompt ===\n");
+    println!("{}\n", tuple_completion_prompt(&masked));
+
+    // "ChatGPT" returns a completed table: row 1 right, row 3 wrong.
+    let generations = [
+        (0usize, "Otis G. Pike"),      // correct
+        (2usize, "Robert Barry"),      // hallucinated
+    ];
+    for (row, generated) in generations {
+        let object = DataObject::ImputedCell(ImputedCell {
+            id: row as u64,
+            tuple: masked.tuple_at(row, row as u64).unwrap(),
+            column: "incumbent".into(),
+            value: Value::text(generated),
+        });
+        println!("generated: incumbent of {} = {generated}", elections.cell(row, 0).unwrap());
+        // Evidence 1: the lake tuple.
+        let t = lake.tuple(tuple_ids.start + row as u64).unwrap();
+        let v = llm.verify(&object, &DataInstance::Tuple(t));
+        println!("  [tuple evidence]  {} — {}", v.verdict, v.explanation);
+        // Evidence 2: the entity page (row 3 only, like the figure).
+        if row == 2 {
+            let d = lake.doc(0).unwrap().clone();
+            let v = llm.verify(&object, &DataInstance::Text(d));
+            println!("  [text evidence]   {} — {}", v.verdict, v.explanation);
+        }
+        println!();
+    }
+
+    // == Figure 1(b): text generation ===========================================
+    println!("=== Figure 1(b): \"Does Meagan Good play a role in Stomp the Yard?\" ===\n");
+    // ChatGPT's (wrong) answer, as in the figure: it denies her involvement.
+    let claim = DataObject::TextClaim(TextClaim {
+        id: 99,
+        text: "in the Stomp the Yard cast, the lead actress of Stomp the Yard is not Meagan Good"
+            .into(),
+        expr: Some(ClaimExpr::Lookup {
+            key_column: "film".into(),
+            key: Value::text("Stomp the Yard"),
+            column: "lead actress".into(),
+            op: CmpOp::Ne,
+            value: Value::text("Meagan Good"),
+        }),
+        scope: None,
+    });
+    println!("generated text asserts: Meagan Good does NOT appear in Stomp the Yard\n");
+
+    let doc = lake.doc(1).unwrap().clone();
+    let v = llm.verify(&claim, &DataInstance::Text(doc));
+    println!("  [text evidence]   {} — {}", v.verdict, v.explanation);
+    let t = lake.tuple(film_tuples.start).unwrap();
+    let v = llm.verify(&claim, &DataInstance::Tuple(t));
+    println!("  [tuple evidence]  {} — {}", v.verdict, v.explanation);
+
+    println!(
+        "\nBoth evidence modalities refute the generated text, exactly as in the\n\
+         paper's Figure 1(b)."
+    );
+}

@@ -1,0 +1,74 @@
+//! The §5 extension modality in action: knowledge-graph subgraphs as
+//! verification evidence. Enables KG retrieval in the evidence plan
+//! (`k_kg > 0`), routes the pairs to the local KG verifier, and compares the
+//! decision quality with and without the extra modality.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example kg_evidence
+//! ```
+
+use verifai::{DataObject, VerifAi, VerifAiConfig, Verdict};
+use verifai_datagen::{build, completion_workload, LakeSpec};
+use verifai_lake::InstanceKind;
+use verifai_verify::AgentPolicy;
+
+fn run(k_kg: usize) -> (usize, usize, usize) {
+    let generated = build(&LakeSpec::tiny(42));
+    let tasks = completion_workload(&generated, 30, 7);
+    let config = VerifAiConfig {
+        k_kg,
+        agent_policy: AgentPolicy::PreferLocal,
+        ..VerifAiConfig::default()
+    };
+    let system = VerifAi::build(generated, config);
+    let mut correct_decisions = 0;
+    let mut decided = 0;
+    let mut kg_pairs = 0;
+    for task in &tasks {
+        let object = system.impute(task);
+        let DataObject::ImputedCell(cell) = &object else { unreachable!() };
+        let imputed_ok = cell.value.matches(&task.truth);
+        let report = system.verify_object(&object);
+        kg_pairs += report
+            .evidence
+            .iter()
+            .filter(|e| e.instance.kind() == InstanceKind::Kg)
+            .count();
+        match report.decision {
+            Verdict::Verified => {
+                decided += 1;
+                correct_decisions += imputed_ok as usize;
+            }
+            Verdict::Refuted => {
+                decided += 1;
+                correct_decisions += (!imputed_ok) as usize;
+            }
+            Verdict::NotRelated => {}
+        }
+    }
+    (correct_decisions, decided, kg_pairs)
+}
+
+fn main() {
+    println!("=== Knowledge-graph evidence (paper §5 extension) ===\n");
+    let generated = build(&LakeSpec::tiny(42));
+    println!("lake: {}", generated.lake.stats());
+    if let Some(entity) = generated.lake.kg_entities().next() {
+        println!("\nsample subgraph ({}):", entity.name);
+        for t in &entity.triples {
+            println!("  ({}, {}, {})", t.subject, t.predicate, t.object);
+        }
+    }
+
+    let (c0, d0, k0) = run(0);
+    let (c1, d1, k1) = run(3);
+    println!("\nwithout KG evidence: {c0}/{d0} decisions correct ({k0} KG pairs seen)");
+    println!("with KG evidence:    {c1}/{d1} decisions correct ({k1} KG pairs seen)");
+    println!(
+        "\nKG subgraphs are the crispest evidence modality — the disputed fact\n\
+         either is or is not an asserted triple — and they are verified by the\n\
+         local kg-local model (data never leaves the premises), the direction\n\
+         the paper's §5 calls for."
+    );
+}

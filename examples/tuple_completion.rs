@@ -1,0 +1,63 @@
+//! The paper's Figure 1(a) scenario at workload scale: batch tuple completion
+//! with ChatGPT-style prompting, followed by verification of every imputed
+//! cell, and a comparison of ungrounded vs verified accuracy.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example tuple_completion
+//! ```
+
+use verifai::{DataObject, VerifAi, VerifAiConfig, Verdict};
+use verifai_datagen::{build, completion_workload, LakeSpec};
+use verifai_llm::prompt::tuple_completion_prompt;
+
+fn main() {
+    let generated = build(&LakeSpec::tiny(42));
+    let tasks = completion_workload(&generated, 40, 11);
+    let system = VerifAi::build(generated, VerifAiConfig::default());
+
+    // Show the actual prompt the paper uses, for one batch.
+    let table = system.lake().table(tasks[0].table).expect("task table").clone();
+    let mut masked = table.clone();
+    // Mask the first task's cell in its source table for display purposes.
+    if let Some(col) = masked.schema.index_of(&tasks[0].column) {
+        if let Some(cell) = masked.cell_mut(tasks[0].masked.row_index, col) {
+            *cell = verifai_lake::Value::Null;
+        }
+    }
+    println!("=== ChatGPT prompt (paper §4 template) ===");
+    println!("{}\n", tuple_completion_prompt(&masked));
+
+    // Impute and verify the whole workload.
+    let mut ungrounded_correct = 0usize;
+    let mut flagged_wrong = 0usize;
+    let mut confirmed_right = 0usize;
+    let mut undecided = 0usize;
+
+    for task in &tasks {
+        let object = system.impute(task);
+        let DataObject::ImputedCell(cell) = &object else { unreachable!() };
+        let is_correct = cell.value.matches(&task.truth);
+        ungrounded_correct += is_correct as usize;
+
+        let report = system.verify_object(&object);
+        match report.decision {
+            Verdict::Verified if is_correct => confirmed_right += 1,
+            Verdict::Refuted if !is_correct => flagged_wrong += 1,
+            Verdict::NotRelated => undecided += 1,
+            _ => {}
+        }
+    }
+
+    let n = tasks.len();
+    println!("=== Results over {n} imputed cells ===");
+    println!(
+        "ungrounded imputation accuracy: {:.2} (paper reports 0.52 at full scale)",
+        ungrounded_correct as f64 / n as f64
+    );
+    println!("verification confirmed {confirmed_right} correct imputations");
+    println!("verification caught {flagged_wrong} incorrect imputations");
+    println!("verification abstained on {undecided} (no decisive evidence)");
+    let caught_rate = flagged_wrong as f64 / (n - ungrounded_correct).max(1) as f64;
+    println!("share of bad imputations caught: {caught_rate:.2}");
+}

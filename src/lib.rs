@@ -1,0 +1,1 @@
+//! Umbrella package hosting the repository-level examples and integration tests.

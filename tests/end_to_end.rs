@@ -1,0 +1,146 @@
+//! End-to-end integration: the complete VerifAI pipeline over a generated
+//! multi-modal lake — generation, retrieval, combination, reranking,
+//! verification, trust weighting, and provenance — exercised together.
+
+use verifai::{DataObject, VerifAi, VerifAiConfig, Verdict};
+use verifai_claims::ClaimGenConfig;
+use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
+use verifai_llm::SimLlmConfig;
+use verifai_verify::Stage;
+
+fn system(seed: u64) -> VerifAi {
+    VerifAi::build(build(&LakeSpec::tiny(seed)), VerifAiConfig::default())
+}
+
+#[test]
+fn completion_pipeline_decides_most_tasks() {
+    let sys = system(101);
+    let tasks = completion_workload(sys.generated(), 20, 5);
+    assert_eq!(tasks.len(), 20);
+    let mut decided = 0;
+    for task in &tasks {
+        let object = sys.impute(task);
+        let report = sys.verify_object(&object);
+        assert_eq!(report.object_id, task.id);
+        assert!(!report.evidence.is_empty(), "no evidence for task {}", task.id);
+        if report.decision != Verdict::NotRelated {
+            decided += 1;
+        }
+    }
+    // The lake always contains the counterpart tuple, so the pipeline should
+    // reach a decision for nearly every task.
+    assert!(decided >= 17, "only {decided}/20 tasks decided");
+}
+
+#[test]
+fn decisions_track_imputation_correctness() {
+    let sys = system(103);
+    let tasks = completion_workload(sys.generated(), 30, 7);
+    let mut agree = 0usize;
+    let mut decided = 0usize;
+    for task in &tasks {
+        let object = sys.impute(task);
+        let DataObject::ImputedCell(cell) = &object else { unreachable!() };
+        let is_correct = cell.value.matches(&task.truth);
+        match sys.verify_object(&object).decision {
+            Verdict::Verified => {
+                decided += 1;
+                agree += is_correct as usize;
+            }
+            Verdict::Refuted => {
+                decided += 1;
+                agree += (!is_correct) as usize;
+            }
+            Verdict::NotRelated => {}
+        }
+    }
+    assert!(decided >= 20, "too few decisions: {decided}");
+    let acc = agree as f64 / decided as f64;
+    assert!(acc >= 0.75, "verification decisions only {acc:.2} accurate");
+}
+
+#[test]
+fn claim_pipeline_decides_against_source_tables() {
+    let sys = system(107);
+    let claims = claim_workload(sys.generated(), 20, ClaimGenConfig::default());
+    let mut consistent = 0usize;
+    for claim in &claims {
+        let object = sys.claim_object(claim);
+        let report = sys.verify_object(&object);
+        let expected = if claim.label { Verdict::Verified } else { Verdict::Refuted };
+        if report.decision == expected {
+            consistent += 1;
+        }
+    }
+    // Retrieval misses, paraphrase noise, and verifier noise all bite, but the
+    // majority of claims must come out right end to end.
+    assert!(consistent >= 12, "only {consistent}/20 claims decided correctly");
+}
+
+#[test]
+fn oracle_llm_with_full_pipeline_is_near_perfect() {
+    let generated = build(&LakeSpec::tiny(109));
+    let config = VerifAiConfig { llm: SimLlmConfig::oracle(3), ..VerifAiConfig::default() };
+    let sys = VerifAi::build(generated, config);
+    let tasks = completion_workload(sys.generated(), 15, 9);
+    let verified = tasks
+        .iter()
+        .filter(|task| {
+            let object = sys.impute(task);
+            sys.verify_object(&object).decision == Verdict::Verified
+        })
+        .count();
+    assert!(verified >= 13, "oracle pipeline verified only {verified}/15");
+}
+
+#[test]
+fn provenance_is_complete_and_ordered_per_object() {
+    let sys = system(113);
+    let tasks = completion_workload(sys.generated(), 5, 11);
+    for task in &tasks {
+        let object = sys.impute(task);
+        let _ = sys.verify_object(&object);
+    }
+    for task in &tasks {
+        let provenance = sys.provenance();
+        let records = provenance.for_object(task.id);
+        assert!(!records.is_empty());
+        // Decision is recorded exactly once per object and comes last.
+        let decisions: Vec<usize> = records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r.stage, Stage::Decision))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(decisions.len(), 1, "object {} has {} decisions", task.id, decisions.len());
+        assert_eq!(decisions[0], records.len() - 1, "decision not last for {}", task.id);
+        // Every verify record carries a verdict and a note.
+        for r in &records {
+            if matches!(r.stage, Stage::Verify { .. }) {
+                assert!(r.verdict.is_some());
+                assert!(!r.note.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_setting_and_full_pipeline_agree_on_easy_cases() {
+    // For a correctly imputed value whose counterpart is trivially retrieved,
+    // both configurations must verify.
+    let generated = build(&LakeSpec::tiny(127));
+    let oracle = VerifAiConfig { llm: SimLlmConfig::oracle(5), ..VerifAiConfig::default() };
+    let paper = VerifAiConfig { llm: SimLlmConfig::oracle(5), ..VerifAiConfig::paper_setting() };
+    let tasks = completion_workload(&generated, 5, 13);
+    let generated2 = build(&LakeSpec::tiny(127));
+
+    let full = VerifAi::build(generated, oracle);
+    let lite = VerifAi::build(generated2, paper);
+    for task in &tasks {
+        let object = full.impute(task);
+        let a = full.verify_object(&object).decision;
+        let b = lite.verify_object(&object).decision;
+        assert_eq!(a, Verdict::Verified, "full pipeline failed task {}", task.id);
+        assert_eq!(b, Verdict::Verified, "paper setting failed task {}", task.id);
+    }
+}

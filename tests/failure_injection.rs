@@ -1,0 +1,116 @@
+//! Failure injection: the paper's motivating nightmare — generative-model
+//! output leaking into the lake as plausible-but-wrong evidence — and the
+//! framework's C3 response (truth discovery downgrades the offending source).
+
+use verifai::{VerifAi, VerifAiConfig, Verdict};
+use verifai_datagen::{build, completion_workload, LakeSpec};
+use verifai_lake::InstanceId;
+use verifai_llm::SimLlmConfig;
+use verifai_verify::VerdictObservation;
+
+fn corrupted_lake(seed: u64, corrupted_docs: usize) -> verifai_datagen::GeneratedLake {
+    let mut spec = LakeSpec::tiny(seed);
+    spec.corrupted_docs = corrupted_docs;
+    // High doc coverage so corrupted pages actually compete in retrieval.
+    spec.doc_coverage = 0.9;
+    build(&spec)
+}
+
+#[test]
+fn corrupted_pages_produce_refutations_of_correct_values() {
+    // With an oracle generator, every imputation is correct; any Refuted
+    // evidence verdict must trace back to corrupted pages (or a text page that
+    // omits the fact — which yields NotRelated, not Refuted).
+    let generated = corrupted_lake(501, 25);
+    let corrupted: Vec<InstanceId> =
+        generated.corrupted_docs.iter().map(|&(_, d)| InstanceId::Text(d)).collect();
+    let tasks = completion_workload(&generated, 25, 3);
+    let config = VerifAiConfig { llm: SimLlmConfig::oracle(7), ..VerifAiConfig::default() };
+    let mut sys = VerifAi::build(generated, config);
+
+    let mut refuted_from_corrupted = 0usize;
+    let mut refuted_from_honest = 0usize;
+    for task in &tasks {
+        let object = sys.impute(task);
+        let report = sys.verify_object(&object);
+        for ev in &report.evidence {
+            if ev.verdict == Verdict::Refuted {
+                if corrupted.contains(&ev.instance) {
+                    refuted_from_corrupted += 1;
+                } else {
+                    refuted_from_honest += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        refuted_from_corrupted > 0,
+        "corrupted pages never reached the verifier — injection ineffective"
+    );
+    assert_eq!(
+        refuted_from_honest, 0,
+        "honest evidence refuted an oracle-correct imputation"
+    );
+}
+
+#[test]
+fn truth_discovery_downgrades_the_corrupted_source() {
+    let generated = corrupted_lake(503, 25);
+    let genai = generated.sources.genai.expect("corrupted source registered");
+    let honest_sources: Vec<u32> = generated
+        .lake
+        .sources()
+        .iter()
+        .filter(|s| s.id != genai)
+        .map(|s| s.id)
+        .collect();
+    let tasks = completion_workload(&generated, 30, 5);
+    let config = VerifAiConfig { llm: SimLlmConfig::oracle(9), ..VerifAiConfig::default() };
+    let mut sys = VerifAi::build(generated, config);
+
+    let mut observations: Vec<VerdictObservation> = Vec::new();
+    for task in &tasks {
+        let object = sys.impute(task);
+        let report = sys.verify_object(&object);
+        for ev in &report.evidence {
+            observations.push(VerdictObservation {
+                object_id: report.object_id,
+                source: ev.source,
+                verdict: ev.verdict,
+            });
+        }
+    }
+    sys.recalibrate_trust(&observations, 5);
+
+    let genai_trust = sys.trust().trust(genai);
+    for &honest in &honest_sources {
+        let honest_trust = sys.trust().trust(honest);
+        // A source may have had no decisive observations (trust stays at its
+        // prior); only compare sources the loop actually re-estimated.
+        if observations.iter().any(|o| o.source == honest && o.verdict != Verdict::NotRelated) {
+            assert!(
+                honest_trust > genai_trust,
+                "honest source {honest} ({honest_trust:.2}) not above corrupted ({genai_trust:.2})"
+            );
+        }
+    }
+}
+
+#[test]
+fn decisions_survive_injection() {
+    // Even with corrupted pages in the mix, the trust-weighted decision over
+    // an oracle workload stays overwhelmingly Verified: counterpart tuples and
+    // honest pages outvote the leak.
+    let generated = corrupted_lake(507, 25);
+    let tasks = completion_workload(&generated, 25, 7);
+    let config = VerifAiConfig { llm: SimLlmConfig::oracle(11), ..VerifAiConfig::default() };
+    let mut sys = VerifAi::build(generated, config);
+    let verified = tasks
+        .iter()
+        .filter(|task| {
+            let object = sys.impute(task);
+            sys.verify_object(&object).decision == Verdict::Verified
+        })
+        .count();
+    assert!(verified >= 22, "only {verified}/25 survived injection");
+}

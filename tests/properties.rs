@@ -1,0 +1,122 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! seed, tying the generator, executor, parser, retrieval, and verifiers
+//! together.
+
+use proptest::prelude::*;
+use verifai::metrics::recall_at_k;
+use verifai::{VerifAi, VerifAiConfig, Verdict};
+use verifai_claims::{execute, parse_claim, ClaimGenConfig, ExecOutcome, ParaphraseLevel};
+use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
+use verifai_lake::{InstanceId, InstanceKind};
+use verifai_llm::SimLlmConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every generated claim's label is reproduced by executing its expression
+    /// against its source table — and, for non-hard paraphrases, by parsing
+    /// its *text* and executing the parse.
+    #[test]
+    fn claim_labels_consistent_for_any_seed(seed in 0u64..5000) {
+        let lake = build(&LakeSpec::tiny(seed));
+        let claims = claim_workload(
+            &lake,
+            12,
+            ClaimGenConfig { seed, ..ClaimGenConfig::default() },
+        );
+        for claim in &claims {
+            let table = lake.lake.table(claim.table).unwrap();
+            let expected = if claim.label { ExecOutcome::True } else { ExecOutcome::False };
+            prop_assert_eq!(execute(&claim.expr, table), expected, "claim: {}", &claim.text);
+            if claim.paraphrase != ParaphraseLevel::Hard {
+                let parsed = parse_claim(&claim.text);
+                prop_assert!(parsed.is_some(), "unparseable: {}", &claim.text);
+                prop_assert_eq!(
+                    execute(&parsed.unwrap(), table),
+                    expected,
+                    "parsed disagrees: {}", &claim.text
+                );
+            }
+        }
+    }
+
+    /// Recall is monotone in k for any query workload.
+    #[test]
+    fn recall_monotone_in_k(seed in 0u64..3000) {
+        let generated = build(&LakeSpec::tiny(seed));
+        let tasks = completion_workload(&generated, 6, seed);
+        let sys = VerifAi::build(generated, VerifAiConfig::paper_setting());
+        for task in &tasks {
+            let object = sys.impute(task);
+            let query = VerifAi::query_of(&object);
+            let relevant: Vec<InstanceId> =
+                task.relevant_docs.iter().map(|&d| InstanceId::Text(d)).collect();
+            let mut prev = 0.0;
+            for k in [1usize, 3, 8, 20] {
+                let ids: Vec<InstanceId> = sys
+                    .retrieve(&query, InstanceKind::Text, k)
+                    .into_iter()
+                    .map(|h| h.id)
+                    .collect();
+                let r = recall_at_k(&ids, &relevant, k);
+                prop_assert!(r >= prev, "recall dropped from {prev} to {r} at k={k}");
+                prev = r;
+            }
+        }
+    }
+
+    /// An oracle LLM verifying an oracle imputation against the counterpart
+    /// tuple always says Verified; flipping the value to a wrong one always
+    /// says Refuted.
+    #[test]
+    fn oracle_verification_is_sound(seed in 0u64..3000) {
+        let generated = build(&LakeSpec::tiny(seed));
+        let tasks = completion_workload(&generated, 4, seed);
+        let config = VerifAiConfig { llm: SimLlmConfig::oracle(seed), ..VerifAiConfig::default() };
+        let sys = VerifAi::build(generated, config);
+        for task in &tasks {
+            let counterpart = sys.lake().tuple(task.counterpart).unwrap();
+            let evidence = verifai_lake::DataInstance::Tuple(counterpart);
+
+            let good = verifai_llm::ImputedCell {
+                id: task.id,
+                tuple: task.masked.clone(),
+                column: task.column.clone(),
+                value: task.truth.clone(),
+            };
+            let v = sys
+                .llm()
+                .verify(&verifai::DataObject::ImputedCell(good.clone()), &evidence)
+                .verdict;
+            prop_assert_eq!(v, Verdict::Verified);
+
+            let mut bad = good;
+            bad.value = verifai_lake::Value::text("Definitely Wrong Value 42");
+            let v = sys
+                .llm()
+                .verify(&verifai::DataObject::ImputedCell(bad), &evidence)
+                .verdict;
+            prop_assert_eq!(v, Verdict::Refuted);
+        }
+    }
+
+    /// Verdict observations aggregate sanely: the trust-weighted decision is
+    /// never an outcome that no verifier produced.
+    #[test]
+    fn decision_is_supported_by_some_verdict(seed in 0u64..2000) {
+        let generated = build(&LakeSpec::tiny(seed));
+        let tasks = completion_workload(&generated, 4, seed);
+        let sys = VerifAi::build(generated, VerifAiConfig::default());
+        for task in &tasks {
+            let object = sys.impute(task);
+            let report = sys.verify_object(&object);
+            if report.decision != Verdict::NotRelated {
+                prop_assert!(
+                    report.evidence.iter().any(|e| e.verdict == report.decision),
+                    "decision {:?} unsupported by evidence verdicts",
+                    report.decision
+                );
+            }
+        }
+    }
+}
