@@ -39,8 +39,11 @@ fn recalls_at(ctx: &mut ExperimentContext, k_text: usize, k_table: usize) -> (f6
             .into_iter()
             .map(|h| h.id)
             .collect();
-        let relevant: Vec<InstanceId> =
-            task.relevant_docs.iter().map(|&d| InstanceId::Text(d)).collect();
+        let relevant: Vec<InstanceId> = task
+            .relevant_docs
+            .iter()
+            .map(|&d| InstanceId::Text(d))
+            .collect();
         text_recall += recall_at_k(&ids, &relevant, k_text);
     }
     let mut table_recall = 0.0;
@@ -61,8 +64,12 @@ fn recalls_at(ctx: &mut ExperimentContext, k_text: usize, k_table: usize) -> (f6
 
 fn ablation_k_sweep(scale: BenchScale) -> serde_json::Value {
     let (tasks, claims) = scale.workload();
-    let mut ctx =
-        ExperimentContext::new(&scale.spec(42), tasks, claims, VerifAiConfig::paper_setting());
+    let mut ctx = ExperimentContext::new(
+        &scale.spec(42),
+        tasks,
+        claims,
+        VerifAiConfig::paper_setting(),
+    );
     let mut rows = Vec::new();
     eprintln!("--- k-sweep (content index only) ---");
     eprintln!("{:>4} {:>14} {:>15}", "k", "tuple->text", "claim->table");
@@ -77,9 +84,29 @@ fn ablation_k_sweep(scale: BenchScale) -> serde_json::Value {
 fn ablation_index_types(scale: BenchScale) -> serde_json::Value {
     let (tasks, claims) = scale.workload();
     let configs = [
-        ("content-only", VerifAiConfig { use_semantic_index: false, use_reranker: false, ..VerifAiConfig::default() }),
-        ("semantic-only", VerifAiConfig { use_content_index: false, use_reranker: false, ..VerifAiConfig::default() }),
-        ("combined-rrf", VerifAiConfig { use_reranker: false, ..VerifAiConfig::default() }),
+        (
+            "content-only",
+            VerifAiConfig {
+                use_semantic_index: false,
+                use_reranker: false,
+                ..VerifAiConfig::default()
+            },
+        ),
+        (
+            "semantic-only",
+            VerifAiConfig {
+                use_content_index: false,
+                use_reranker: false,
+                ..VerifAiConfig::default()
+            },
+        ),
+        (
+            "combined-rrf",
+            VerifAiConfig {
+                use_reranker: false,
+                ..VerifAiConfig::default()
+            },
+        ),
     ];
     eprintln!("--- index ablation (recall@3 text / recall@5 table) ---");
     let mut rows = Vec::new();
@@ -99,7 +126,10 @@ fn ablation_reranker(scale: BenchScale) -> serde_json::Value {
     let mut rows = Vec::new();
     eprintln!("--- reranker ablation (relevant instance in final evidence set) ---");
     for (name, use_reranker) in [("without-reranker", false), ("with-reranker", true)] {
-        let config = VerifAiConfig { use_reranker, ..VerifAiConfig::default() };
+        let config = VerifAiConfig {
+            use_reranker,
+            ..VerifAiConfig::default()
+        };
         let ctx = ExperimentContext::new(&scale.spec(42), tasks, claims, config);
         let mut tuple_hit = 0usize;
         let tasks_cloned = ctx.tasks.clone();
@@ -118,7 +148,10 @@ fn ablation_reranker(scale: BenchScale) -> serde_json::Value {
         for claim in &claims_cloned {
             let object = ctx.system.claim_object(claim);
             let evidence = ctx.system.discover_evidence(&object);
-            if evidence.iter().any(|(i, _)| i.id() == InstanceId::Table(claim.table)) {
+            if evidence
+                .iter()
+                .any(|(i, _)| i.id() == InstanceId::Table(claim.table))
+            {
                 table_hit += 1;
             }
         }
@@ -147,7 +180,10 @@ fn ablation_trust(scale: BenchScale) -> serde_json::Value {
     let mut rows = Vec::new();
     eprintln!("--- trust ablation (decision accuracy with corrupted source) ---");
     for (name, use_trust_weighting) in [("majority", false), ("trust-weighted", true)] {
-        let config = VerifAiConfig { use_trust_weighting, ..VerifAiConfig::default() };
+        let config = VerifAiConfig {
+            use_trust_weighting,
+            ..VerifAiConfig::default()
+        };
         let ctx = ExperimentContext::new(&spec, tasks, 10, config);
         let mut correct = 0usize;
         let mut decided = 0usize;
@@ -168,7 +204,7 @@ fn ablation_trust(scale: BenchScale) -> serde_json::Value {
                     decided += 1;
                     correct += (!imputed_ok) as usize;
                 }
-                verifai::Verdict::NotRelated => {}
+                verifai::Verdict::NotRelated | verifai::Verdict::Unknown => {}
             }
         }
         let acc = correct as f64 / decided.max(1) as f64;
@@ -185,7 +221,10 @@ fn ablation_kg(scale: BenchScale) -> serde_json::Value {
     let mut rows = Vec::new();
     eprintln!("--- KG-modality ablation (completion decisions) ---");
     for (name, k_kg) in [("without-kg", 0usize), ("with-kg", 3)] {
-        let config = VerifAiConfig { k_kg, ..VerifAiConfig::default() };
+        let config = VerifAiConfig {
+            k_kg,
+            ..VerifAiConfig::default()
+        };
         let ctx = ExperimentContext::new(&scale.spec(42), tasks, 10, config);
         let mut correct = 0usize;
         let mut decided = 0usize;
@@ -204,7 +243,7 @@ fn ablation_kg(scale: BenchScale) -> serde_json::Value {
                     decided += 1;
                     correct += (!imputed_ok) as usize;
                 }
-                verifai::Verdict::NotRelated => {}
+                verifai::Verdict::NotRelated | verifai::Verdict::Unknown => {}
             }
         }
         let acc = correct as f64 / decided.max(1) as f64;

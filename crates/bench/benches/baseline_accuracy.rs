@@ -18,7 +18,10 @@ fn bench_baseline(c: &mut Criterion) {
 
     // Produce and publish the paper-facing numbers once.
     let result = baseline(&ctx);
-    eprintln!("\n=== Baseline (ungrounded generation), scale = {} ===", scale.label());
+    eprintln!(
+        "\n=== Baseline (ungrounded generation), scale = {} ===",
+        scale.label()
+    );
     eprintln!("{}", render_baseline(&result));
     eprintln!("paper: imputation 0.52, claims 0.54\n");
     write_artifact(

@@ -20,8 +20,16 @@ fn bench_fig4(c: &mut Criterion) {
     let case = figure4(&mut ctx).expect("championship tables exist at every scale");
     eprintln!("\n=== Figure 4 (case study), scale = {} ===", scale.label());
     eprintln!("{}", render_fig4(&case));
-    assert_eq!(case.evidence[0].verdict, Verdict::Refuted, "E1 must be refuted");
-    assert_eq!(case.evidence[1].verdict, Verdict::NotRelated, "E2 must be not related");
+    assert_eq!(
+        case.evidence[0].verdict,
+        Verdict::Refuted,
+        "E1 must be refuted"
+    );
+    assert_eq!(
+        case.evidence[1].verdict,
+        Verdict::NotRelated,
+        "E2 must be not related"
+    );
     write_artifact(
         &format!("figure4_{}", scale.label()),
         &json!({

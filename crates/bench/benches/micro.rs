@@ -24,12 +24,21 @@ fn bench_text_layer(c: &mut Criterion) {
     let sentence = "The 1959 NCAA Track and Field Championships were held in June at Berkeley \
                     with several meet records set during the three day competition";
     let mut group = c.benchmark_group("text");
-    group.bench_function("analyze_sentence", |b| b.iter(|| analyzer.analyze(black_box(sentence))));
+    group.bench_function("analyze_sentence", |b| {
+        b.iter(|| analyzer.analyze(black_box(sentence)))
+    });
     group.bench_function("levenshtein_16", |b| {
-        b.iter(|| verifai_text::sim::levenshtein(black_box("track and field"), black_box("track und feild")))
+        b.iter(|| {
+            verifai_text::sim::levenshtein(
+                black_box("track and field"),
+                black_box("track und feild"),
+            )
+        })
     });
     group.bench_function("jaro_winkler_16", |b| {
-        b.iter(|| verifai_text::sim::jaro_winkler(black_box("championships"), black_box("championship")))
+        b.iter(|| {
+            verifai_text::sim::jaro_winkler(black_box("championships"), black_box("championship"))
+        })
     });
     group.finish();
 }
@@ -39,8 +48,12 @@ fn bench_embeddings(c: &mut Criterion) {
     let token = TokenEmbedder::new(64, 1);
     let sentence = "the incumbent of New York 3 is James Pike of the Democratic party";
     let mut group = c.benchmark_group("embed");
-    group.bench_function("text_embed_sentence", |b| b.iter(|| text.embed(black_box(sentence))));
-    group.bench_function("token_embed_sentence", |b| b.iter(|| token.embed_text(black_box(sentence))));
+    group.bench_function("text_embed_sentence", |b| {
+        b.iter(|| text.embed(black_box(sentence)))
+    });
+    group.bench_function("token_embed_sentence", |b| {
+        b.iter(|| token.embed_text(black_box(sentence)))
+    });
     group.finish();
     let _ = TupleEmbedder::new(256, 1); // constructed for parity; tuple path timed via reranker
 }
@@ -68,7 +81,9 @@ fn bench_indexes(c: &mut Criterion) {
     let query = "entity category attribute region 42";
     let qv = embedder.embed(query);
     let mut group = c.benchmark_group("index_10k");
-    group.bench_function("bm25_top10", |b| b.iter(|| inverted.search(black_box(query), 10)));
+    group.bench_function("bm25_top10", |b| {
+        b.iter(|| inverted.search(black_box(query), 10))
+    });
     group.bench_function("flat_top10", |b| b.iter(|| flat.search(black_box(&qv), 10)));
     group.bench_function("hnsw_top10", |b| b.iter(|| hnsw.search(black_box(&qv), 10)));
     group.finish();
@@ -104,7 +119,12 @@ fn sample_pair() -> (DataObject, DataInstance, DataInstance, DataInstance) {
          were held over three days in June.",
         0,
     );
-    (claim, DataInstance::Table(table), DataInstance::Tuple(tuple), DataInstance::Text(doc))
+    (
+        claim,
+        DataInstance::Table(table),
+        DataInstance::Tuple(tuple),
+        DataInstance::Text(doc),
+    )
 }
 
 fn bench_rerankers(c: &mut Criterion) {
@@ -114,22 +134,36 @@ fn bench_rerankers(c: &mut Criterion) {
     let tuple_rr = TupleReranker::with_defaults();
     let mut group = c.benchmark_group("rerank_per_pair");
     group.bench_function("colbert_text", |b| b.iter(|| colbert.score(&claim, &text)));
-    group.bench_function("opentfv_table", |b| b.iter(|| table_rr.score(&claim, &table)));
-    group.bench_function("retclean_tuple", |b| b.iter(|| tuple_rr.score(&claim, &tuple)));
+    group.bench_function("opentfv_table", |b| {
+        b.iter(|| table_rr.score(&claim, &table))
+    });
+    group.bench_function("retclean_tuple", |b| {
+        b.iter(|| tuple_rr.score(&claim, &tuple))
+    });
     group.finish();
 }
 
 fn bench_claims_and_verifiers(c: &mut Criterion) {
     let (claim_obj, table, _, _) = sample_pair();
-    let DataObject::TextClaim(claim) = &claim_obj else { unreachable!() };
-    let DataInstance::Table(tbl) = &table else { unreachable!() };
+    let DataObject::TextClaim(claim) = &claim_obj else {
+        unreachable!()
+    };
+    let DataInstance::Table(tbl) = &table else {
+        unreachable!()
+    };
     let expr = parse_claim(&claim.text).expect("canonical claim parses");
     let pasta = PastaVerifier::with_defaults();
     let llm = SimLlm::new(SimLlmConfig::default(), verifai_llm::WorldModel::new());
     let mut group = c.benchmark_group("claims");
-    group.bench_function("parse_claim", |b| b.iter(|| parse_claim(black_box(&claim.text))));
-    group.bench_function("execute_count", |b| b.iter(|| execute(black_box(&expr), black_box(tbl))));
-    group.bench_function("pasta_verify", |b| b.iter(|| pasta.verify(&claim_obj, &table)));
+    group.bench_function("parse_claim", |b| {
+        b.iter(|| parse_claim(black_box(&claim.text)))
+    });
+    group.bench_function("execute_count", |b| {
+        b.iter(|| execute(black_box(&expr), black_box(tbl)))
+    });
+    group.bench_function("pasta_verify", |b| {
+        b.iter(|| pasta.verify(&claim_obj, &table))
+    });
     group.bench_function("llm_verify", |b| b.iter(|| llm.verify(&claim_obj, &table)));
     group.finish();
 }

@@ -53,12 +53,16 @@ fn bench_scaling(c: &mut Criterion) {
                 |lake| VerifAi::build(lake, VerifAiConfig::paper_setting()),
             )
         });
-        group.bench_with_input(BenchmarkId::new("with_semantic", label), &spec, |b, spec| {
-            b.iter_with_setup(
-                || build(spec),
-                |lake| VerifAi::build(lake, VerifAiConfig::default()),
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("with_semantic", label),
+            &spec,
+            |b, spec| {
+                b.iter_with_setup(
+                    || build(spec),
+                    |lake| VerifAi::build(lake, VerifAiConfig::default()),
+                )
+            },
+        );
     }
     group.finish();
 
@@ -67,8 +71,7 @@ fn bench_scaling(c: &mut Criterion) {
         let generated = build(&LakeSpec::tiny(42));
         let tasks = verifai_datagen::completion_workload(&generated, 24, 7);
         let system = VerifAi::build(generated, VerifAiConfig::default());
-        let objects: Vec<verifai::DataObject> =
-            tasks.iter().map(|t| system.impute(t)).collect();
+        let objects: Vec<verifai::DataObject> = tasks.iter().map(|t| system.impute(t)).collect();
         let mut group = c.benchmark_group("verify_batch_24_objects");
         group.sample_size(10);
         for threads in [1usize, 2, 4, 8] {
@@ -93,9 +96,7 @@ fn bench_scaling(c: &mut Criterion) {
         ("tuple_top50_coarse", InstanceKind::Tuple, 50),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| {
-                system.retrieve("incumbent district New York elections 1956", kind, k)
-            })
+            b.iter(|| system.retrieve("incumbent district New York elections 1956", kind, k))
         });
     }
     group.finish();

@@ -1,0 +1,95 @@
+//! Serving-layer benchmarks: evidence-cache and micro-batching effect on
+//! closed-loop verification throughput.
+//!
+//! Two axes, four configurations over the same mixed workload:
+//! `cached` vs `cold` (evidence cache on/off) and `batched` vs `unbatched`
+//! (micro-batch coalescing up to 8 vs 1 request per worker wakeup).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use verifai::{DataObject, VerifAi, VerifAiConfig};
+use verifai_claims::ClaimGenConfig;
+use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
+use verifai_service::{RequestOutcome, ServiceConfig, ServiceStats, Ticket, VerificationService};
+
+fn workload(sys: &VerifAi, n_each: usize, repeats: usize, seed: u64) -> Vec<DataObject> {
+    let mut pool: Vec<DataObject> = completion_workload(sys.generated(), n_each, seed)
+        .iter()
+        .map(|t| sys.impute(t))
+        .collect();
+    pool.extend(
+        claim_workload(
+            sys.generated(),
+            n_each,
+            ClaimGenConfig {
+                seed,
+                ..ClaimGenConfig::default()
+            },
+        )
+        .iter()
+        .map(|c| sys.claim_object(c)),
+    );
+    let len = pool.len();
+    pool.into_iter().cycle().take(len * repeats).collect()
+}
+
+/// Drive one service lifecycle over the whole workload and return the final
+/// stats (keeps the accounting invariant observable from the bench too).
+fn serve(sys: &Arc<VerifAi>, config: &ServiceConfig, workload: &[DataObject]) -> ServiceStats {
+    let service = VerificationService::new(Arc::clone(sys), config.clone());
+    let tickets: Vec<Ticket> = workload
+        .iter()
+        .map(|o| {
+            service
+                .submit(o.clone())
+                .expect("bench queue sized for workload")
+        })
+        .collect();
+    for ticket in tickets {
+        match ticket.wait() {
+            RequestOutcome::Completed(_) => {}
+            RequestOutcome::Shed => panic!("bench service must not shed"),
+        }
+    }
+    service.shutdown()
+}
+
+fn bench_service(c: &mut Criterion) {
+    let sys = Arc::new(VerifAi::build(
+        build(&LakeSpec::tiny(7)),
+        VerifAiConfig::default(),
+    ));
+    let requests = workload(&sys, 8, 4, 7);
+    let base = ServiceConfig {
+        workers: 4,
+        queue_capacity: requests.len() + 1,
+        high_water: requests.len() + 1,
+        ..ServiceConfig::default()
+    };
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    for (label, cache_capacity) in [("cached", 1024usize), ("cold", 0usize)] {
+        let config = ServiceConfig {
+            cache_capacity,
+            ..base.clone()
+        };
+        group.bench_with_input(BenchmarkId::new("cache", label), &config, |b, config| {
+            b.iter(|| serve(&sys, config, &requests))
+        });
+    }
+    for (label, max_batch) in [("batched", 8usize), ("unbatched", 1usize)] {
+        let config = ServiceConfig {
+            max_batch,
+            ..base.clone()
+        };
+        group.bench_with_input(BenchmarkId::new("batch", label), &config, |b, config| {
+            b.iter(|| serve(&sys, config, &requests))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -26,7 +26,10 @@ fn bench_table1(c: &mut Criterion) {
     let (mut ctx, scale) = paper_context();
 
     let rows = table1(&mut ctx);
-    eprintln!("\n=== Table 1 (retrieval recall), scale = {} ===", scale.label());
+    eprintln!(
+        "\n=== Table 1 (retrieval recall), scale = {} ===",
+        scale.label()
+    );
     eprintln!("{}", render_table1(&rows));
     eprintln!("paper: 0.99 / 0.58 / 0.88\n");
     write_artifact(

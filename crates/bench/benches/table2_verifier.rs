@@ -27,7 +27,10 @@ fn bench_table2(c: &mut Criterion) {
     let (mut ctx, scale) = paper_context();
 
     let result = table2(&mut ctx);
-    eprintln!("\n=== Table 2 (verifier accuracy), scale = {} ===", scale.label());
+    eprintln!(
+        "\n=== Table 2 (verifier accuracy), scale = {} ===",
+        scale.label()
+    );
     eprintln!("{}", render_table2(&result));
     eprintln!("paper: 0.88 | 0.75/0.89 | 0.91/0.72\n");
     assert!(
@@ -61,7 +64,12 @@ fn bench_table2(c: &mut Criterion) {
     // the same (claim, relevant table) pair.
     let claim = ctx.claims[0].clone();
     let object = ctx.system.claim_object(&claim);
-    let table = ctx.system.lake().table(claim.table).expect("source table").clone();
+    let table = ctx
+        .system
+        .lake()
+        .table(claim.table)
+        .expect("source table")
+        .clone();
     let evidence = DataInstance::Table(table);
     let pasta = PastaVerifier::with_defaults();
 

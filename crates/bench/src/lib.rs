@@ -71,8 +71,12 @@ impl BenchScale {
 pub fn paper_context() -> (ExperimentContext, BenchScale) {
     let scale = BenchScale::from_env();
     let (tasks, claims) = scale.workload();
-    let ctx =
-        ExperimentContext::new(&scale.spec(42), tasks, claims, VerifAiConfig::paper_setting());
+    let ctx = ExperimentContext::new(
+        &scale.spec(42),
+        tasks,
+        claims,
+        VerifAiConfig::paper_setting(),
+    );
     (ctx, scale)
 }
 
@@ -93,7 +97,11 @@ pub fn write_artifact(name: &str, value: &serde_json::Value) {
     let path = dir.join(format!("{name}.json"));
     if let Ok(file) = std::fs::File::create(&path) {
         let mut w = std::io::BufWriter::new(file);
-        let _ = writeln!(w, "{}", serde_json::to_string_pretty(value).unwrap_or_default());
+        let _ = writeln!(
+            w,
+            "{}",
+            serde_json::to_string_pretty(value).unwrap_or_default()
+        );
         eprintln!("artifact written: {}", path.display());
     }
 }
@@ -121,12 +129,7 @@ mod tests {
 
     #[test]
     fn tiny_context_builds() {
-        let ctx = ExperimentContext::new(
-            &LakeSpec::tiny(1),
-            5,
-            10,
-            VerifAiConfig::paper_setting(),
-        );
+        let ctx = ExperimentContext::new(&LakeSpec::tiny(1), 5, 10, VerifAiConfig::paper_setting());
         assert_eq!(ctx.tasks.len(), 5);
         assert_eq!(ctx.claims.len(), 10);
     }

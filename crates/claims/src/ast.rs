@@ -132,8 +132,12 @@ impl ClaimExpr {
     /// Columns mentioned by the claim (used for binding diagnostics).
     pub fn mentioned_columns(&self) -> Vec<&str> {
         match self {
-            ClaimExpr::Lookup { key_column, column, .. } => vec![key_column, column],
-            ClaimExpr::Aggregate { column, predicates, .. } => {
+            ClaimExpr::Lookup {
+                key_column, column, ..
+            } => vec![key_column, column],
+            ClaimExpr::Aggregate {
+                column, predicates, ..
+            } => {
                 let mut v = Vec::new();
                 if let Some(c) = column {
                     v.push(c.as_str());
@@ -143,7 +147,11 @@ impl ClaimExpr {
                 }
                 v
             }
-            ClaimExpr::Superlative { rank_column, subject_column, .. } => {
+            ClaimExpr::Superlative {
+                rank_column,
+                subject_column,
+                ..
+            } => {
                 vec![rank_column, subject_column]
             }
         }
@@ -154,7 +162,10 @@ impl ClaimExpr {
     /// LLM handling with an "aggregation query", and the class our simulated
     /// LLM is noisiest on.
     pub fn is_aggregate_like(&self) -> bool {
-        matches!(self, ClaimExpr::Aggregate { .. } | ClaimExpr::Superlative { .. })
+        matches!(
+            self,
+            ClaimExpr::Aggregate { .. } | ClaimExpr::Superlative { .. }
+        )
     }
 }
 
@@ -214,7 +225,14 @@ mod tests {
 
     #[test]
     fn negation_is_involutive() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Gt,
+            CmpOp::Le,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }

@@ -34,8 +34,10 @@ impl ExecOutcome {
 /// Rows of `table` satisfying every predicate (all rows when empty).
 /// Returns `None` when any predicate column cannot bind.
 fn filter_rows<'t>(table: &'t Table, predicates: &[Predicate]) -> Option<Vec<&'t [Value]>> {
-    let cols: Option<Vec<usize>> =
-        predicates.iter().map(|p| table.schema.fuzzy_index_of(&p.column)).collect();
+    let cols: Option<Vec<usize>> = predicates
+        .iter()
+        .map(|p| table.schema.fuzzy_index_of(&p.column))
+        .collect();
     let cols = cols?;
     Some(
         table
@@ -55,7 +57,9 @@ fn filter_rows<'t>(table: &'t Table, predicates: &[Predicate]) -> Option<Vec<&'t
 /// Compare an aggregate result with the claimed value. Equality on floats uses
 /// a relative tolerance so rendered-then-parsed averages still match.
 fn cmp_aggregate(actual: f64, op: CmpOp, value: &Value) -> ExecOutcome {
-    let Some(claimed) = value.as_f64() else { return ExecOutcome::Unsupported };
+    let Some(claimed) = value.as_f64() else {
+        return ExecOutcome::Unsupported;
+    };
     let outcome = match op {
         CmpOp::Eq => approx_eq(actual, claimed),
         CmpOp::Ne => !approx_eq(actual, claimed),
@@ -77,7 +81,15 @@ fn approx_eq(a: f64, b: f64) -> bool {
 /// table, if the table supports it. Used by verifiers to produce Figure-4-style
 /// explanations ("an aggregation query shows the count is 2").
 pub fn aggregate_value(expr: &ClaimExpr, table: &Table) -> Option<f64> {
-    let ClaimExpr::Aggregate { func, column, predicates, .. } = expr else { return None };
+    let ClaimExpr::Aggregate {
+        func,
+        column,
+        predicates,
+        ..
+    } = expr
+    else {
+        return None;
+    };
     let rows = filter_rows(table, predicates)?;
     match func {
         AggFunc::Count => Some(rows.len() as f64),
@@ -101,7 +113,13 @@ pub fn aggregate_value(expr: &ClaimExpr, table: &Table) -> Option<f64> {
 /// Evaluate a claim expression against a table.
 pub fn execute(expr: &ClaimExpr, table: &Table) -> ExecOutcome {
     match expr {
-        ClaimExpr::Lookup { key_column, key, column, op, value } => {
+        ClaimExpr::Lookup {
+            key_column,
+            key,
+            column,
+            op,
+            value,
+        } => {
             // Parsed lookups carry an empty key column (the sentence never names
             // it): resolve by scanning for a column that contains the subject.
             let kc = if key_column.is_empty() {
@@ -122,18 +140,29 @@ pub fn execute(expr: &ClaimExpr, table: &Table) -> ExecOutcome {
             // The claim holds if any subject row satisfies the comparison
             // (web tables may repeat subjects across rows).
             let any = rows.iter().any(|&r| {
-                table.cell(r, vc).map(|cell| op.eval(cell, value)).unwrap_or(false)
+                table
+                    .cell(r, vc)
+                    .map(|cell| op.eval(cell, value))
+                    .unwrap_or(false)
             });
             ExecOutcome::from_bool(any)
         }
-        ClaimExpr::Aggregate { func, column, predicates, op, value } => {
+        ClaimExpr::Aggregate {
+            func,
+            column,
+            predicates,
+            op,
+            value,
+        } => {
             let Some(rows) = filter_rows(table, predicates) else {
                 return ExecOutcome::Unsupported;
             };
             match func {
                 AggFunc::Count => cmp_aggregate(rows.len() as f64, *op, value),
                 _ => {
-                    let Some(col_name) = column else { return ExecOutcome::Unsupported };
+                    let Some(col_name) = column else {
+                        return ExecOutcome::Unsupported;
+                    };
                     let Some(c) = table.schema.fuzzy_index_of(col_name) else {
                         return ExecOutcome::Unsupported;
                     };
@@ -152,7 +181,12 @@ pub fn execute(expr: &ClaimExpr, table: &Table) -> ExecOutcome {
                 }
             }
         }
-        ClaimExpr::Superlative { largest, rank_column, subject_column, subject } => {
+        ClaimExpr::Superlative {
+            largest,
+            rank_column,
+            subject_column,
+            subject,
+        } => {
             let Some(rc) = table.schema.fuzzy_index_of(rank_column) else {
                 return ExecOutcome::Unsupported;
             };
@@ -181,11 +215,12 @@ pub fn execute(expr: &ClaimExpr, table: &Table) -> ExecOutcome {
                     best = Some((x, i));
                 }
             }
-            let Some((best_val, _)) = best else { return ExecOutcome::Unsupported };
+            let Some((best_val, _)) = best else {
+                return ExecOutcome::Unsupported;
+            };
             // All rows achieving the extremum count as valid subjects (ties).
             let holds = table.rows().iter().any(|row| {
-                row[rc].as_f64().is_some_and(|x| approx_eq(x, best_val))
-                    && row[sc].matches(subject)
+                row[rc].as_f64().is_some_and(|x| approx_eq(x, best_val)) && row[sc].matches(subject)
             });
             ExecOutcome::from_bool(holds)
         }
@@ -209,10 +244,15 @@ mod tests {
             ]),
             0,
         );
-        for (team, pts) in
-            [("Kansas", 42), ("Brown", 1), ("Oregon", 28), ("Yale", 1), ("Stanford", 13)]
-        {
-            t.push_row(vec![Value::text(team), Value::Int(pts), Value::Int(1959)]).unwrap();
+        for (team, pts) in [
+            ("Kansas", 42),
+            ("Brown", 1),
+            ("Oregon", 28),
+            ("Yale", 1),
+            ("Stanford", 13),
+        ] {
+            t.push_row(vec![Value::text(team), Value::Int(pts), Value::Int(1959)])
+                .unwrap();
         }
         t
     }
@@ -230,8 +270,14 @@ mod tests {
     #[test]
     fn lookup_true_false_unsupported() {
         let t = ncaa_table();
-        assert_eq!(execute(&lookup("Brown", "points", CmpOp::Eq, Value::Int(1)), &t), ExecOutcome::True);
-        assert_eq!(execute(&lookup("Brown", "points", CmpOp::Eq, Value::Int(9)), &t), ExecOutcome::False);
+        assert_eq!(
+            execute(&lookup("Brown", "points", CmpOp::Eq, Value::Int(1)), &t),
+            ExecOutcome::True
+        );
+        assert_eq!(
+            execute(&lookup("Brown", "points", CmpOp::Eq, Value::Int(9)), &t),
+            ExecOutcome::False
+        );
         // Unknown subject => not related.
         assert_eq!(
             execute(&lookup("Harvard", "points", CmpOp::Eq, Value::Int(1)), &t),
@@ -331,7 +377,11 @@ mod tests {
             ]),
             0,
         );
-        film.push_row(vec![Value::text("Stomp the Yard"), Value::text("Columbus Short")]).unwrap();
+        film.push_row(vec![
+            Value::text("Stomp the Yard"),
+            Value::text("Columbus Short"),
+        ])
+        .unwrap();
         let claim = lookup("Brown", "points", CmpOp::Eq, Value::Int(1));
         assert_eq!(execute(&claim, &film), ExecOutcome::Unsupported);
     }

@@ -54,7 +54,11 @@ pub struct ClaimGenerator {
 impl ClaimGenerator {
     /// Generator with the given configuration.
     pub fn new(config: ClaimGenConfig) -> ClaimGenerator {
-        ClaimGenerator { config, rng: StdRng::seed_from_u64(config.seed), next_id: 0 }
+        ClaimGenerator {
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            next_id: 0,
+        }
     }
 
     /// Pick a paraphrase level according to the configured mix.
@@ -77,9 +81,15 @@ impl ClaimGenerator {
         while out.len() < n && attempts < n * 8 {
             attempts += 1;
             let entailed = self.rng.gen_bool(self.config.entailed_rate);
-            let Some(expr) = self.draw_expr(table, entailed) else { continue };
+            let Some(expr) = self.draw_expr(table, entailed) else {
+                continue;
+            };
             // Sanity: the executor must agree with the intended label.
-            let expected = if entailed { ExecOutcome::True } else { ExecOutcome::False };
+            let expected = if entailed {
+                ExecOutcome::True
+            } else {
+                ExecOutcome::False
+            };
             if execute(&expr, table) != expected {
                 continue;
             }
@@ -110,7 +120,13 @@ impl ClaimGenerator {
             return None;
         }
         let numeric_cols: Vec<usize> = (0..table.schema.arity())
-            .filter(|&c| table.column_values(c).filter(|v| v.as_f64().is_some()).count() >= 2)
+            .filter(|&c| {
+                table
+                    .column_values(c)
+                    .filter(|v| v.as_f64().is_some())
+                    .count()
+                    >= 2
+            })
             .collect();
         let text_cols: Vec<usize> = (0..table.schema.arity())
             .filter(|&c| {
@@ -137,7 +153,11 @@ impl ClaimGenerator {
     fn draw_lookup(&mut self, table: &Table, entailed: bool) -> Option<ClaimExpr> {
         let row = self.rng.gen_range(0..table.num_rows());
         let key_cols = table.schema.key_indices();
-        let kc = if key_cols.is_empty() { 0 } else { key_cols[self.rng.gen_range(0..key_cols.len())] };
+        let kc = if key_cols.is_empty() {
+            0
+        } else {
+            key_cols[self.rng.gen_range(0..key_cols.len())]
+        };
         let candidates: Vec<usize> = (0..table.schema.arity())
             .filter(|&c| c != kc && table.cell(row, c).is_some_and(|v| !v.is_null()))
             .collect();
@@ -182,8 +202,11 @@ impl ClaimGenerator {
             }
             // Plain equality.
             _ => {
-                let value =
-                    if entailed { actual } else { self.perturb(&actual, table, vc)? };
+                let value = if entailed {
+                    actual
+                } else {
+                    self.perturb(&actual, table, vc)?
+                };
                 (CmpOp::Eq, value)
             }
         };
@@ -227,7 +250,14 @@ impl ClaimGenerator {
             Value::Float(rounded)
         } else {
             let delta = self.rng.gen_range(1..10) as f64;
-            Value::Float(rounded + if self.rng.gen_bool(0.5) { delta } else { -delta })
+            Value::Float(
+                rounded
+                    + if self.rng.gen_bool(0.5) {
+                        delta
+                    } else {
+                        -delta
+                    },
+            )
         };
         Some(ClaimExpr::Aggregate {
             func,
@@ -355,8 +385,16 @@ impl ClaimGenerator {
     fn perturb(&mut self, actual: &Value, table: &Table, col: usize) -> Option<Value> {
         if let Some(x) = actual.as_f64() {
             let delta = self.rng.gen_range(1..12) as f64;
-            let v = x + if self.rng.gen_bool(0.5) { delta } else { -delta };
-            return Some(if v.fract() == 0.0 { Value::Int(v as i64) } else { Value::Float(v) });
+            let v = x + if self.rng.gen_bool(0.5) {
+                delta
+            } else {
+                -delta
+            };
+            return Some(if v.fract() == 0.0 {
+                Value::Int(v as i64)
+            } else {
+                Value::Float(v)
+            });
         }
         let others: Vec<&Value> = table
             .column_values(col)
@@ -390,8 +428,12 @@ mod tests {
             .iter()
             .enumerate()
         {
-            t.push_row(vec![Value::text(*team), Value::Int(*pts), Value::Int(i as i64 + 1)])
-                .unwrap();
+            t.push_row(vec![
+                Value::text(*team),
+                Value::Int(*pts),
+                Value::Int(i as i64 + 1),
+            ])
+            .unwrap();
         }
         t
     }
@@ -403,12 +445,20 @@ mod tests {
         let claims = g.generate(&t, 40);
         assert!(claims.len() >= 30, "only generated {}", claims.len());
         for c in &claims {
-            let expected = if c.label { ExecOutcome::True } else { ExecOutcome::False };
+            let expected = if c.label {
+                ExecOutcome::True
+            } else {
+                ExecOutcome::False
+            };
             assert_eq!(execute(&c.expr, &t), expected, "claim: {}", c.text);
             assert_eq!(c.table, t.id);
             // The rendered scope always keeps the caption's non-year
             // vocabulary and always matches the source table.
-            assert!(c.text.contains("NCAA"), "caption vocabulary missing: {}", c.text);
+            assert!(
+                c.text.contains("NCAA"),
+                "caption vocabulary missing: {}",
+                c.text
+            );
             assert!(
                 crate::scope::scope_matches(&c.scope, &t.caption),
                 "scope '{}' does not match source caption",
@@ -424,7 +474,10 @@ mod tests {
         let claims = g.generate(&t, 120);
         let entailed = claims.iter().filter(|c| c.label).count();
         assert!(entailed > 25 && entailed < 95, "label skew: {entailed}/120");
-        let hard = claims.iter().filter(|c| c.paraphrase == ParaphraseLevel::Hard).count();
+        let hard = claims
+            .iter()
+            .filter(|c| c.paraphrase == ParaphraseLevel::Hard)
+            .count();
         assert!(hard > 5, "no hard paraphrases generated");
     }
 
@@ -448,7 +501,11 @@ mod tests {
         // Labels still hold (checked generally by labels_hold_by_construction;
         // re-assert here for the new op styles specifically).
         for c in &claims {
-            let expected = if c.label { ExecOutcome::True } else { ExecOutcome::False };
+            let expected = if c.label {
+                ExecOutcome::True
+            } else {
+                ExecOutcome::False
+            };
             assert_eq!(execute(&c.expr, &t), expected, "claim: {}", c.text);
         }
     }
@@ -458,7 +515,10 @@ mod tests {
         let t = sample_table();
         let run = || {
             let mut g = ClaimGenerator::new(ClaimGenConfig::default());
-            g.generate(&t, 10).into_iter().map(|c| c.text).collect::<Vec<_>>()
+            g.generate(&t, 10)
+                .into_iter()
+                .map(|c| c.text)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }
@@ -466,7 +526,12 @@ mod tests {
     #[test]
     fn empty_table_yields_nothing() {
         let mut g = ClaimGenerator::new(ClaimGenConfig::default());
-        let t = Table::new(9, "empty", Schema::new(vec![Column::new("x", DataType::Int)]), 0);
+        let t = Table::new(
+            9,
+            "empty",
+            Schema::new(vec![Column::new("x", DataType::Int)]),
+            0,
+        );
         assert!(g.generate(&t, 5).is_empty());
     }
 
@@ -487,12 +552,19 @@ mod tests {
     /// accuracy rests on.
     #[test]
     fn parseable_claims_execute_to_label_after_parsing() {
-        let mut g = ClaimGenerator::new(ClaimGenConfig { hard_rate: 0.0, ..Default::default() });
+        let mut g = ClaimGenerator::new(ClaimGenConfig {
+            hard_rate: 0.0,
+            ..Default::default()
+        });
         let t = sample_table();
         for c in g.generate(&t, 60) {
             let parsed = crate::parse::parse_claim(&c.text)
                 .unwrap_or_else(|| panic!("unparseable non-hard claim: {}", c.text));
-            let expected = if c.label { ExecOutcome::True } else { ExecOutcome::False };
+            let expected = if c.label {
+                ExecOutcome::True
+            } else {
+                ExecOutcome::False
+            };
             assert_eq!(execute(&parsed, &t), expected, "claim: {}", c.text);
         }
     }

@@ -31,7 +31,7 @@ pub mod scope;
 
 pub use ast::{AggFunc, Claim, ClaimExpr, CmpOp, ParaphraseLevel, Predicate};
 pub use exec::{aggregate_value, execute, ExecOutcome};
-pub use generate::{ClaimGenerator, ClaimGenConfig};
+pub use generate::{ClaimGenConfig, ClaimGenerator};
 pub use parse::parse_claim;
-pub use scope::{scope_matches, scope_relation, vague_caption, ScopeRelation};
 pub use render::render_claim;
+pub use scope::{scope_matches, scope_relation, vague_caption, ScopeRelation};

@@ -65,12 +65,18 @@ fn parse_predicate(s: &str) -> Option<Predicate> {
     if column.is_empty() || value.is_empty() {
         return None;
     }
-    Some(Predicate { column: column.to_string(), op, value: Value::infer(value) })
+    Some(Predicate {
+        column: column.to_string(),
+        op,
+        value: Value::infer(value),
+    })
 }
 
 /// Parse a conjunctive where-clause body: predicates joined by `" and "`.
 fn parse_predicates(s: &str) -> Option<Vec<Predicate>> {
-    s.split(" and ").map(|part| parse_predicate(part.trim())).collect()
+    s.split(" and ")
+        .map(|part| parse_predicate(part.trim()))
+        .collect()
 }
 
 /// Parse a rendered claim back into its expression, or `None` when the text is
@@ -201,7 +207,13 @@ mod tests {
     fn parses_canonical_lookup() {
         let expr = parse_claim("in the 1959 NCAA championships, the points of Brown is 1").unwrap();
         match expr {
-            ClaimExpr::Lookup { key, column, op, value, key_column } => {
+            ClaimExpr::Lookup {
+                key,
+                column,
+                op,
+                value,
+                key_column,
+            } => {
                 assert_eq!(key, Value::text("Brown"));
                 assert_eq!(column, "points");
                 assert_eq!(op, CmpOp::Eq);
@@ -214,10 +226,15 @@ mod tests {
 
     #[test]
     fn parses_count_with_predicate() {
-        let expr =
-            parse_claim("in the cap, the number of rows where points is 1 is 2").unwrap();
+        let expr = parse_claim("in the cap, the number of rows where points is 1 is 2").unwrap();
         match expr {
-            ClaimExpr::Aggregate { func: AggFunc::Count, predicates, op, value, .. } => {
+            ClaimExpr::Aggregate {
+                func: AggFunc::Count,
+                predicates,
+                op,
+                value,
+                ..
+            } => {
                 assert_eq!(predicates.len(), 1);
                 assert_eq!(predicates[0].column, "points");
                 assert_eq!(predicates[0].value, Value::Int(1));
@@ -235,7 +252,13 @@ mod tests {
         )
         .unwrap();
         match expr {
-            ClaimExpr::Aggregate { func: AggFunc::Count, predicates, op, value, .. } => {
+            ClaimExpr::Aggregate {
+                func: AggFunc::Count,
+                predicates,
+                op,
+                value,
+                ..
+            } => {
                 assert_eq!(predicates.len(), 2);
                 assert_eq!(predicates[0].column, "points");
                 assert_eq!(predicates[1].column, "rank");
@@ -253,7 +276,13 @@ mod tests {
             parse_claim("in the cap, the total points where year is 1959 is greater than 80")
                 .unwrap();
         match expr {
-            ClaimExpr::Aggregate { func: AggFunc::Sum, column: Some(c), predicates, op, value } => {
+            ClaimExpr::Aggregate {
+                func: AggFunc::Sum,
+                column: Some(c),
+                predicates,
+                op,
+                value,
+            } => {
                 assert_eq!(c, "points");
                 assert_eq!(predicates.len(), 1);
                 assert_eq!(predicates[0].column, "year");
@@ -266,10 +295,14 @@ mod tests {
 
     #[test]
     fn parses_superlative() {
-        let expr =
-            parse_claim("in the cap, Kansas has the highest points of any team").unwrap();
+        let expr = parse_claim("in the cap, Kansas has the highest points of any team").unwrap();
         match expr {
-            ClaimExpr::Superlative { largest, rank_column, subject_column, subject } => {
+            ClaimExpr::Superlative {
+                largest,
+                rank_column,
+                subject_column,
+                subject,
+            } => {
                 assert!(largest);
                 assert_eq!(rank_column, "points");
                 assert_eq!(subject_column, "team");
@@ -317,8 +350,16 @@ mod tests {
                 func: AggFunc::Count,
                 column: None,
                 predicates: vec![
-                    Predicate { column: "points".into(), op: CmpOp::Gt, value: Value::Int(10) },
-                    Predicate { column: "rank".into(), op: CmpOp::Le, value: Value::Int(4) },
+                    Predicate {
+                        column: "points".into(),
+                        op: CmpOp::Gt,
+                        value: Value::Int(10),
+                    },
+                    Predicate {
+                        column: "rank".into(),
+                        op: CmpOp::Le,
+                        value: Value::Int(4),
+                    },
                 ],
                 op: CmpOp::Eq,
                 value: Value::Int(3),
@@ -342,8 +383,7 @@ mod tests {
                     // re-renderings, which normalize value surface forms.
                     let mut r1 = StdRng::seed_from_u64(0);
                     let mut r2 = StdRng::seed_from_u64(0);
-                    let canon_orig =
-                        render_claim(&expr, "t", ParaphraseLevel::Canonical, &mut r1);
+                    let canon_orig = render_claim(&expr, "t", ParaphraseLevel::Canonical, &mut r1);
                     let canon_parsed =
                         render_claim(&parsed, "t", ParaphraseLevel::Canonical, &mut r2);
                     assert_eq!(canon_orig, canon_parsed, "text: {text}");

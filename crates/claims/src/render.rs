@@ -50,7 +50,11 @@ fn render_pred(predicates: &[Predicate], varied: bool, pick: bool) -> String {
     let parts: Vec<String> = predicates
         .iter()
         .map(|p| {
-            let cmp = if varied { cmp_phrase_varied(p.op, pick) } else { cmp_phrase(p.op) };
+            let cmp = if varied {
+                cmp_phrase_varied(p.op, pick)
+            } else {
+                cmp_phrase(p.op)
+            };
             format!("{} {} {}", p.column, cmp, p.value)
         })
         .collect();
@@ -78,10 +82,22 @@ pub fn render_claim<R: Rng>(
 fn render_canonical(expr: &ClaimExpr, caption: &str) -> String {
     let intro = format!("in the {caption}");
     match expr {
-        ClaimExpr::Lookup { key_column: _, key, column, op, value } => {
+        ClaimExpr::Lookup {
+            key_column: _,
+            key,
+            column,
+            op,
+            value,
+        } => {
             format!("{intro}, the {column} of {key} {} {value}", cmp_phrase(*op))
         }
-        ClaimExpr::Aggregate { func: AggFunc::Count, predicates, op, value, .. } => {
+        ClaimExpr::Aggregate {
+            func: AggFunc::Count,
+            predicates,
+            op,
+            value,
+            ..
+        } => {
             if predicates.is_empty() {
                 format!("{intro}, the number of rows {} {value}", cmp_phrase(*op))
             } else {
@@ -92,7 +108,13 @@ fn render_canonical(expr: &ClaimExpr, caption: &str) -> String {
                 )
             }
         }
-        ClaimExpr::Aggregate { func, column, predicates, op, value } => {
+        ClaimExpr::Aggregate {
+            func,
+            column,
+            predicates,
+            op,
+            value,
+        } => {
             let col = column.as_deref().unwrap_or("value");
             let agg = agg_word(*func, false);
             if predicates.is_empty() {
@@ -105,7 +127,12 @@ fn render_canonical(expr: &ClaimExpr, caption: &str) -> String {
                 )
             }
         }
-        ClaimExpr::Superlative { largest, rank_column, subject_column, subject } => {
+        ClaimExpr::Superlative {
+            largest,
+            rank_column,
+            subject_column,
+            subject,
+        } => {
             let dir = if *largest { "highest" } else { "lowest" };
             format!("{intro}, {subject} has the {dir} {rank_column} of any {subject_column}")
         }
@@ -120,12 +147,30 @@ fn render_varied<R: Rng>(expr: &ClaimExpr, caption: &str, rng: &mut R) -> String
     };
     let pick = rng.gen_bool(0.5);
     match expr {
-        ClaimExpr::Lookup { key_column: _, key, column, op, value } => {
-            format!("{intro}, the {column} of {key} {} {value}", cmp_phrase_varied(*op, pick))
+        ClaimExpr::Lookup {
+            key_column: _,
+            key,
+            column,
+            op,
+            value,
+        } => {
+            format!(
+                "{intro}, the {column} of {key} {} {value}",
+                cmp_phrase_varied(*op, pick)
+            )
         }
-        ClaimExpr::Aggregate { func: AggFunc::Count, predicates, op, value, .. } => {
+        ClaimExpr::Aggregate {
+            func: AggFunc::Count,
+            predicates,
+            op,
+            value,
+            ..
+        } => {
             if predicates.is_empty() {
-                format!("{intro}, the count of rows {} {value}", cmp_phrase_varied(*op, pick))
+                format!(
+                    "{intro}, the count of rows {} {value}",
+                    cmp_phrase_varied(*op, pick)
+                )
             } else {
                 format!(
                     "{intro}, the count of rows {} {} {value}",
@@ -134,11 +179,20 @@ fn render_varied<R: Rng>(expr: &ClaimExpr, caption: &str, rng: &mut R) -> String
                 )
             }
         }
-        ClaimExpr::Aggregate { func, column, predicates, op, value } => {
+        ClaimExpr::Aggregate {
+            func,
+            column,
+            predicates,
+            op,
+            value,
+        } => {
             let col = column.as_deref().unwrap_or("value");
             let agg = agg_word(*func, true);
             if predicates.is_empty() {
-                format!("{intro}, the {agg} {col} {} {value}", cmp_phrase_varied(*op, pick))
+                format!(
+                    "{intro}, the {agg} {col} {} {value}",
+                    cmp_phrase_varied(*op, pick)
+                )
             } else {
                 format!(
                     "{intro}, the {agg} {col} {} {} {value}",
@@ -147,7 +201,12 @@ fn render_varied<R: Rng>(expr: &ClaimExpr, caption: &str, rng: &mut R) -> String
                 )
             }
         }
-        ClaimExpr::Superlative { largest, rank_column, subject_column, subject } => {
+        ClaimExpr::Superlative {
+            largest,
+            rank_column,
+            subject_column,
+            subject,
+        } => {
             let dir = if *largest { "greatest" } else { "smallest" };
             format!("{intro}, {subject} has the {dir} {rank_column} of any {subject_column}")
         }
@@ -159,7 +218,13 @@ fn render_hard<R: Rng>(expr: &ClaimExpr, caption: &str, rng: &mut R) -> String {
     // restructured, numbers move before their nouns, the caption trails.
     let alt = rng.gen_bool(0.5);
     match expr {
-        ClaimExpr::Lookup { key_column: _, key, column, op, value } => {
+        ClaimExpr::Lookup {
+            key_column: _,
+            key,
+            column,
+            op,
+            value,
+        } => {
             let verb = match op {
                 CmpOp::Eq => "recorded",
                 CmpOp::Ne => "never recorded",
@@ -172,16 +237,24 @@ fn render_hard<R: Rng>(expr: &ClaimExpr, caption: &str, rng: &mut R) -> String {
                 format!("with {value} as its {column}, {key} appears in the {caption}")
             }
         }
-        ClaimExpr::Aggregate { func: AggFunc::Count, predicates, value, .. } => {
-            match predicates.first() {
-                Some(p) => format!(
-                    "you can find {value} entries whose {} comes to {} across the {caption}",
-                    p.column, p.value
-                ),
-                None => format!("the {caption} lists {value} entries altogether"),
-            }
-        }
-        ClaimExpr::Aggregate { func, column, value, .. } => {
+        ClaimExpr::Aggregate {
+            func: AggFunc::Count,
+            predicates,
+            value,
+            ..
+        } => match predicates.first() {
+            Some(p) => format!(
+                "you can find {value} entries whose {} comes to {} across the {caption}",
+                p.column, p.value
+            ),
+            None => format!("the {caption} lists {value} entries altogether"),
+        },
+        ClaimExpr::Aggregate {
+            func,
+            column,
+            value,
+            ..
+        } => {
             let col = column.as_deref().unwrap_or("value");
             let phrase = match func {
                 AggFunc::Sum => "adding up to",
@@ -196,7 +269,12 @@ fn render_hard<R: Rng>(expr: &ClaimExpr, caption: &str, rng: &mut R) -> String {
                 format!("{col} ends up {phrase} {value} in the {caption}")
             }
         }
-        ClaimExpr::Superlative { largest, rank_column, subject_column: _, subject } => {
+        ClaimExpr::Superlative {
+            largest,
+            rank_column,
+            subject_column: _,
+            subject,
+        } => {
             if *largest {
                 format!("nobody tops {subject} when it comes to {rank_column} in the {caption}")
             } else {
@@ -226,14 +304,26 @@ mod tests {
     #[test]
     fn canonical_lookup_shape() {
         let mut rng = StdRng::seed_from_u64(1);
-        let s = render_claim(&lookup(), "1959 NCAA championships", ParaphraseLevel::Canonical, &mut rng);
-        assert_eq!(s, "in the 1959 NCAA championships, the points of Brown is 1");
+        let s = render_claim(
+            &lookup(),
+            "1959 NCAA championships",
+            ParaphraseLevel::Canonical,
+            &mut rng,
+        );
+        assert_eq!(
+            s,
+            "in the 1959 NCAA championships, the points of Brown is 1"
+        );
     }
 
     #[test]
     fn canonical_mentions_caption_for_retrieval() {
         let mut rng = StdRng::seed_from_u64(1);
-        for level in [ParaphraseLevel::Canonical, ParaphraseLevel::Varied, ParaphraseLevel::Hard] {
+        for level in [
+            ParaphraseLevel::Canonical,
+            ParaphraseLevel::Varied,
+            ParaphraseLevel::Hard,
+        ] {
             let s = render_claim(&lookup(), "1959 NCAA championships", level, &mut rng);
             assert!(s.contains("1959 NCAA championships"), "{level:?}: {s}");
             assert!(s.contains("Brown"), "{level:?}: {s}");
@@ -277,8 +367,16 @@ mod tests {
             func: AggFunc::Count,
             column: None,
             predicates: vec![
-                Predicate { column: "points".into(), op: CmpOp::Eq, value: Value::Int(1) },
-                Predicate { column: "rank".into(), op: CmpOp::Gt, value: Value::Int(3) },
+                Predicate {
+                    column: "points".into(),
+                    op: CmpOp::Eq,
+                    value: Value::Int(1),
+                },
+                Predicate {
+                    column: "rank".into(),
+                    op: CmpOp::Gt,
+                    value: Value::Int(3),
+                },
             ],
             op: CmpOp::Eq,
             value: Value::Int(2),
@@ -296,7 +394,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10 {
             let s = render_claim(&lookup(), "cap", ParaphraseLevel::Hard, &mut rng);
-            assert!(!s.starts_with("in the cap, the"), "hard render looks canonical: {s}");
+            assert!(
+                !s.starts_with("in the cap, the"),
+                "hard render looks canonical: {s}"
+            );
         }
     }
 

@@ -35,8 +35,7 @@ pub fn scope_relation(scope: &str, caption: &str) -> ScopeRelation {
         return ScopeRelation::Partial;
     }
     let caption_norm = normalize_str(caption);
-    let caption_tokens: std::collections::HashSet<&str> =
-        caption_norm.split(' ').collect();
+    let caption_tokens: std::collections::HashSet<&str> = caption_norm.split(' ').collect();
     if !scope_norm.split(' ').all(|t| caption_tokens.contains(t)) {
         return ScopeRelation::Mismatch;
     }
@@ -81,8 +80,14 @@ mod tests {
     fn vague_scope_matches_the_family() {
         let vague = vague_caption("1959 NCAA Track and Field Championships");
         assert_eq!(vague, "NCAA Track and Field Championships");
-        assert!(scope_matches(&vague, "1959 NCAA Track and Field Championships"));
-        assert!(scope_matches(&vague, "1953 NCAA Track and Field Championships"));
+        assert!(scope_matches(
+            &vague,
+            "1959 NCAA Track and Field Championships"
+        ));
+        assert!(scope_matches(
+            &vague,
+            "1953 NCAA Track and Field Championships"
+        ));
         assert!(!scope_matches(&vague, "1953 NCAA Swimming Championships"));
     }
 

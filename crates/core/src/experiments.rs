@@ -49,11 +49,19 @@ impl ExperimentContext {
         let claims = claim_workload(
             &generated,
             num_claims,
-            ClaimGenConfig { seed: spec.seed ^ 0xc1a1, ..ClaimGenConfig::default() },
+            ClaimGenConfig {
+                seed: spec.seed ^ 0xc1a1,
+                ..ClaimGenConfig::default()
+            },
         );
         let oracle = SimLlm::new(SimLlmConfig::oracle(spec.seed), generated.world.clone());
         let system = VerifAi::build(generated, config);
-        ExperimentContext { system, tasks, claims, oracle }
+        ExperimentContext {
+            system,
+            tasks,
+            claims,
+            oracle,
+        }
     }
 
     /// Expected (ground-truth) verdict for an (object, evidence) pair.
@@ -61,7 +69,9 @@ impl ExperimentContext {
         match (object, evidence) {
             // Claims against tables have exact formal semantics.
             (DataObject::TextClaim(c), DataInstance::Table(t)) => {
-                let Some(expr) = &c.expr else { return Verdict::NotRelated };
+                let Some(expr) = &c.expr else {
+                    return Verdict::NotRelated;
+                };
                 // Scope semantics (shared with the scope-aware verifier): a
                 // table outside the claim's caption scope can neither support
                 // nor refute it (Figure 4's E2); a table matched only by a
@@ -78,9 +88,7 @@ impl ExperimentContext {
                 }
                 match execute(expr, t) {
                     ExecOutcome::True => Verdict::Verified,
-                    ExecOutcome::False if relation == ScopeRelation::Partial => {
-                        Verdict::NotRelated
-                    }
+                    ExecOutcome::False if relation == ScopeRelation::Partial => Verdict::NotRelated,
                     ExecOutcome::False => Verdict::Refuted,
                     ExecOutcome::Unsupported => Verdict::NotRelated,
                 }
@@ -154,16 +162,18 @@ pub fn table1(ctx: &mut ExperimentContext) -> Vec<Table1Row> {
             .into_iter()
             .map(|h| h.id)
             .collect();
-        tuple_recall +=
-            recall_at_k(&tuples, &[InstanceId::Tuple(task.counterpart)], k_tuples);
+        tuple_recall += recall_at_k(&tuples, &[InstanceId::Tuple(task.counterpart)], k_tuples);
         let texts: Vec<InstanceId> = ctx
             .system
             .retrieve(&query, InstanceKind::Text, k_texts)
             .into_iter()
             .map(|h| h.id)
             .collect();
-        let relevant: Vec<InstanceId> =
-            task.relevant_docs.iter().map(|&d| InstanceId::Text(d)).collect();
+        let relevant: Vec<InstanceId> = task
+            .relevant_docs
+            .iter()
+            .map(|&d| InstanceId::Text(d))
+            .collect();
         text_recall += recall_at_k(&texts, &relevant, k_texts);
     }
     let n_tasks = ctx.tasks.len().max(1) as f64;
@@ -181,8 +191,18 @@ pub fn table1(ctx: &mut ExperimentContext) -> Vec<Table1Row> {
     let n_claims = ctx.claims.len().max(1) as f64;
 
     vec![
-        Table1Row { generated: "tuple", retrieved: "tuple", k: k_tuples, recall: tuple_recall / n_tasks },
-        Table1Row { generated: "tuple", retrieved: "text", k: k_texts, recall: text_recall / n_tasks },
+        Table1Row {
+            generated: "tuple",
+            retrieved: "tuple",
+            k: k_tuples,
+            recall: tuple_recall / n_tasks,
+        },
+        Table1Row {
+            generated: "tuple",
+            retrieved: "text",
+            k: k_texts,
+            recall: text_recall / n_tasks,
+        },
         Table1Row {
             generated: "textual claim",
             retrieved: "table",
@@ -237,8 +257,17 @@ pub fn table2(ctx: &mut ExperimentContext) -> Table2Result {
     for claim in &claims {
         let object = ctx.system.claim_object(claim);
         // Relevant table: the claim's source; expected verdict is its label.
-        let relevant = ctx.system.lake().table(claim.table).expect("source table").clone();
-        let expected = if claim.label { Verdict::Verified } else { Verdict::Refuted };
+        let relevant = ctx
+            .system
+            .lake()
+            .table(claim.table)
+            .expect("source table")
+            .clone();
+        let expected = if claim.label {
+            Verdict::Verified
+        } else {
+            Verdict::Refuted
+        };
         let relevant_instance = DataInstance::Table(relevant);
         let chatgpt = ctx.system.llm().verify(&object, &relevant_instance).verdict;
         claim_relevant_chatgpt.record(paper_correct(expected, chatgpt, false));
@@ -304,9 +333,7 @@ pub fn figure4(ctx: &mut ExperimentContext) -> Option<Fig4Case> {
     // dominant behaviour rather than of a residual noise draw.
     let mut candidates = Vec::new();
     for table in lake.tables() {
-        if !table.caption.contains("Championships")
-            || table.schema.index_of("points").is_none()
-        {
+        if !table.caption.contains("Championships") || table.schema.index_of("points").is_none() {
             continue;
         }
         let mut seen = std::collections::HashMap::new();
@@ -315,8 +342,11 @@ pub fn figure4(ctx: &mut ExperimentContext) -> Option<Fig4Case> {
                 *seen.entry(x).or_insert(0usize) += 1;
             }
         }
-        let mut dups: Vec<i64> =
-            seen.iter().filter(|(_, &c)| c >= 2).map(|(&v, _)| v).collect();
+        let mut dups: Vec<i64> = seen
+            .iter()
+            .filter(|(_, &c)| c >= 2)
+            .map(|(&v, _)| v)
+            .collect();
         dups.sort_unstable();
         if let Some(&value) = dups.first() {
             candidates.push((table.clone(), value));
@@ -330,7 +360,8 @@ pub fn figure4(ctx: &mut ExperimentContext) -> Option<Fig4Case> {
         .iter()
         .find(|(table, value)| {
             let probe = fig4_object(table, *value);
-            llm.verify(&probe, &DataInstance::Table(table.clone())).verdict
+            llm.verify(&probe, &DataInstance::Table(table.clone()))
+                .verdict
                 == Verdict::Refuted
         })
         .or_else(|| candidates.first())
@@ -340,9 +371,7 @@ pub fn figure4(ctx: &mut ExperimentContext) -> Option<Fig4Case> {
     let family = verifai_claims::vague_caption(&e1.caption);
     let e2 = lake
         .tables()
-        .find(|t| {
-            t.caption != e1.caption && verifai_claims::vague_caption(&t.caption) == family
-        })
+        .find(|t| t.caption != e1.caption && verifai_claims::vague_caption(&t.caption) == family)
         .cloned()?;
 
     let object = fig4_object(&e1, tied_value);
@@ -354,9 +383,16 @@ pub fn figure4(ctx: &mut ExperimentContext) -> Option<Fig4Case> {
     for table in [e1, e2] {
         let caption = table.caption.clone();
         let out = llm.verify(&object, &DataInstance::Table(table));
-        evidence.push(Fig4Evidence { caption, verdict: out.verdict, explanation: out.explanation });
+        evidence.push(Fig4Evidence {
+            caption,
+            verdict: out.verdict,
+            explanation: out.explanation,
+        });
     }
-    Some(Fig4Case { claim_text: text, evidence })
+    Some(Fig4Case {
+        claim_text: text,
+        evidence,
+    })
 }
 
 /// Build the Figure 4 claim object for a championship table and tied score:
@@ -401,7 +437,11 @@ mod tests {
         let c = ctx();
         let b = baseline(&c);
         // Tiny workloads are noisy; just check the band.
-        assert!((0.25..0.8).contains(&b.imputation.value()), "{}", b.imputation);
+        assert!(
+            (0.25..0.8).contains(&b.imputation.value()),
+            "{}",
+            b.imputation
+        );
         assert!((0.3..0.8).contains(&b.claims.value()), "{}", b.claims);
     }
 
@@ -412,7 +452,10 @@ mod tests {
         assert_eq!(rows.len(), 3);
         assert_eq!((rows[0].generated, rows[0].retrieved), ("tuple", "tuple"));
         assert_eq!((rows[1].generated, rows[1].retrieved), ("tuple", "text"));
-        assert_eq!((rows[2].generated, rows[2].retrieved), ("textual claim", "table"));
+        assert_eq!(
+            (rows[2].generated, rows[2].retrieved),
+            ("textual claim", "table")
+        );
         // The qualitative ordering of Table 1 must hold even on the tiny lake:
         // tuple→tuple is the easiest retrieval task.
         assert!(rows[0].recall >= rows[1].recall, "{rows:?}");
@@ -436,7 +479,11 @@ mod tests {
             t2.claim_retrieved_chatgpt,
             t2.claim_retrieved_pasta
         );
-        assert!(t2.tuple_mixed_chatgpt.value() > 0.7, "{}", t2.tuple_mixed_chatgpt);
+        assert!(
+            t2.tuple_mixed_chatgpt.value() > 0.7,
+            "{}",
+            t2.tuple_mixed_chatgpt
+        );
     }
 
     #[test]

@@ -53,13 +53,14 @@
 //! see EXPERIMENTS.md at the repository root for paper-vs-measured numbers.
 
 pub mod config;
+pub mod exec;
 pub mod experiments;
 pub mod metrics;
 pub mod pipeline;
 pub mod report;
 
 pub use config::VerifAiConfig;
-pub use metrics::{paper_correct, recall_at_k, Accuracy};
+pub use metrics::{paper_correct, recall_at_k, Accuracy, LatencyHistogram};
 pub use pipeline::{EvidenceVerdict, VerifAi, VerificationReport};
 
 // Re-export the vocabulary types so downstream users need only this crate.

@@ -1,6 +1,7 @@
 //! The end-to-end VerifAI pipeline (paper Figures 2–3).
 
 use crate::config::VerifAiConfig;
+use parking_lot::{Mutex, MutexGuard};
 use verifai_datagen::{GeneratedLake, MaskedTupleTask};
 use verifai_embed::{TextEmbedder, TextEmbedderConfig};
 use verifai_index::{
@@ -10,7 +11,6 @@ use verifai_lake::{DataInstance, DataLake, InstanceId, InstanceKind, SourceId};
 use verifai_llm::{DataObject, ImputedCell, SimLlm, TextClaim, Verdict};
 use verifai_rerank::composite::CompositeReranker;
 use verifai_rerank::Reranker;
-use parking_lot::{Mutex, MutexGuard};
 use verifai_text::Analyzer;
 use verifai_verify::{
     Agent, KgModelVerifier, LlmVerifier, PastaVerifier, ProvenanceLog, ProvenanceRecord, Stage,
@@ -91,7 +91,10 @@ impl VerifAi {
         let mk = || ModalityIndex {
             content: InvertedIndex::new(Analyzer::standard(), Bm25Params::default()),
             semantic: config.use_semantic_index.then(|| {
-                HnswIndex::new(HnswConfig { seed: config.seed ^ 0x45a1, ..HnswConfig::default() })
+                HnswIndex::new(HnswConfig {
+                    seed: config.seed ^ 0x45a1,
+                    ..HnswConfig::default()
+                })
             }),
         };
         let mut indexes = [mk(), mk(), mk(), mk()];
@@ -106,10 +109,18 @@ impl VerifAi {
         };
         for tuple_id in generated.lake.tuple_ids() {
             let tuple = generated.lake.tuple(tuple_id).expect("registered tuple");
-            add(&mut indexes[0], InstanceId::Tuple(tuple_id), &verifai_text::serialize_tuple(&tuple));
+            add(
+                &mut indexes[0],
+                InstanceId::Tuple(tuple_id),
+                &verifai_text::serialize_tuple(&tuple),
+            );
         }
         for table in generated.lake.tables() {
-            add(&mut indexes[1], InstanceId::Table(table.id), &verifai_text::serialize_table(table));
+            add(
+                &mut indexes[1],
+                InstanceId::Table(table.id),
+                &verifai_text::serialize_table(table),
+            );
         }
         for doc in generated.lake.docs() {
             // Content index sees the whole document; the semantic index embeds
@@ -125,7 +136,11 @@ impl VerifAi {
             }
         }
         for entity in generated.lake.kg_entities() {
-            add(&mut indexes[3], InstanceId::Kg(entity.id), &verifai_text::serialize_kg(entity));
+            add(
+                &mut indexes[3],
+                InstanceId::Kg(entity.id),
+                &verifai_text::serialize_kg(entity),
+            );
         }
 
         let llm = SimLlm::new(config.llm, generated.world.clone());
@@ -138,9 +153,8 @@ impl VerifAi {
             Box::new(LlmVerifier::new(llm.clone())),
             config.agent_policy,
         );
-        let trust = TrustModel::with_priors(
-            generated.lake.sources().iter().map(|s| (s.id, s.trust)),
-        );
+        let trust =
+            TrustModel::with_priors(generated.lake.sources().iter().map(|s| (s.id, s.trust)));
         VerifAi {
             generated,
             llm,
@@ -226,10 +240,9 @@ impl VerifAi {
     /// tuple including the generated value, or the claim text).
     pub fn query_of(object: &DataObject) -> String {
         match object {
-            DataObject::ImputedCell(c) => verifai_text::tuple_query(
-                &c.tuple,
-                Some((c.column.as_str(), &c.value.to_string())),
-            ),
+            DataObject::ImputedCell(c) => {
+                verifai_text::tuple_query(&c.tuple, Some((c.column.as_str(), &c.value.to_string())))
+            }
             DataObject::TextClaim(c) => c.text.clone(),
         }
     }
@@ -267,7 +280,10 @@ impl VerifAi {
             for (rank, h) in hits.iter().enumerate() {
                 self.provenance.lock().add(ProvenanceRecord {
                     object_id: object.id(),
-                    stage: Stage::Retrieval { index: format!("combined-{kind}"), rank },
+                    stage: Stage::Retrieval {
+                        index: format!("combined-{kind}"),
+                        rank,
+                    },
                     instance: Some(h.id),
                     score: Some(h.score),
                     verdict: None,
@@ -290,7 +306,10 @@ impl VerifAi {
             for (rank, (inst, score)) in ranked.iter().enumerate() {
                 self.provenance.lock().add(ProvenanceRecord {
                     object_id: object.id(),
-                    stage: Stage::Rerank { reranker: self.reranker.name().into(), rank },
+                    stage: Stage::Rerank {
+                        reranker: self.reranker.name().into(),
+                        rank,
+                    },
                     instance: Some(inst.id()),
                     score: Some(*score),
                     verdict: None,
@@ -306,13 +325,46 @@ impl VerifAi {
     /// each pair, and make the trust-weighted decision.
     pub fn verify_object(&self, object: &DataObject) -> VerificationReport {
         let evidence = self.discover_evidence(object);
+        self.verify_with_evidence(object, evidence)
+    }
+
+    /// Verify an object against already-discovered evidence (e.g. from a
+    /// serving-layer evidence cache). `verify_object` is exactly
+    /// `discover_evidence` followed by this.
+    pub fn verify_with_evidence(
+        &self,
+        object: &DataObject,
+        evidence: Vec<(DataInstance, f64)>,
+    ) -> VerificationReport {
+        self.verify_with_evidence_until(object, evidence, None)
+    }
+
+    /// Deadline-bounded verification: evidence pairs are judged until
+    /// `deadline` passes, after which the report is partial — it carries the
+    /// verdicts produced so far with decision [`Verdict::Unknown`] and zero
+    /// confidence. With `deadline: None` this is total and byte-identical to
+    /// [`VerifAi::verify_with_evidence`].
+    pub fn verify_with_evidence_until(
+        &self,
+        object: &DataObject,
+        evidence: Vec<(DataInstance, f64)>,
+        deadline: Option<std::time::Instant>,
+    ) -> VerificationReport {
+        let planned = evidence.len();
         let mut verdicts = Vec::with_capacity(evidence.len());
         let mut observations = Vec::with_capacity(evidence.len());
+        let mut timed_out = false;
         for (instance, score) in evidence {
+            if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                timed_out = true;
+                break;
+            }
             let (output, verifier) = self.agent.verify(object, &instance);
             self.provenance.lock().add(ProvenanceRecord {
                 object_id: object.id(),
-                stage: Stage::Verify { verifier: verifier.into() },
+                stage: Stage::Verify {
+                    verifier: verifier.into(),
+                },
                 instance: Some(instance.id()),
                 score: Some(score),
                 verdict: Some(output.verdict),
@@ -332,10 +384,20 @@ impl VerifAi {
                 verifier,
             });
         }
-        let (decision, confidence) = if self.config.use_trust_weighting {
+        let (decision, confidence) = if timed_out {
+            (Verdict::Unknown, 0.0)
+        } else if self.config.use_trust_weighting {
             self.trust.decide(&observations)
         } else {
             TrustModel::new().decide(&observations)
+        };
+        let note = if timed_out {
+            format!(
+                "deadline exceeded after {} of {planned} evidence verdicts",
+                verdicts.len()
+            )
+        } else {
+            format!("over {} evidence verdicts", verdicts.len())
         };
         self.provenance.lock().add(ProvenanceRecord {
             object_id: object.id(),
@@ -343,9 +405,14 @@ impl VerifAi {
             instance: None,
             score: Some(confidence),
             verdict: Some(decision),
-            note: format!("over {} evidence verdicts", verdicts.len()),
+            note,
         });
-        VerificationReport { object_id: object.id(), evidence: verdicts, decision, confidence }
+        VerificationReport {
+            object_id: object.id(),
+            evidence: verdicts,
+            decision,
+            confidence,
+        }
     }
 
     /// Re-estimate source trust from a batch of accumulated verdict
@@ -366,25 +433,17 @@ impl VerifAi {
         if threads == 1 || objects.len() < 2 {
             return objects.iter().map(|o| self.verify_object(o)).collect();
         }
-        let next = std::sync::atomic::AtomicUsize::new(0);
         let mut slots: Vec<Option<VerificationReport>> = vec![None; objects.len()];
-        let slot_refs: Vec<Mutex<&mut Option<VerificationReport>>> =
-            slots.iter_mut().map(Mutex::new).collect();
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= objects.len() {
-                        break;
-                    }
-                    let report = self.verify_object(&objects[i]);
-                    **slot_refs[i].lock() = Some(report);
-                });
-            }
-        })
-        .expect("verification workers do not panic");
-        drop(slot_refs);
-        slots.into_iter().map(|r| r.expect("every slot filled")).collect()
+        let jobs: Vec<_> = objects
+            .iter()
+            .zip(slots.iter_mut())
+            .map(|(object, slot)| move || *slot = Some(self.verify_object(object)))
+            .collect();
+        crate::exec::run_scoped(threads, jobs);
+        slots
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
     }
 }
 
@@ -430,11 +489,17 @@ mod tests {
         for claim in &claims {
             let object = sys.claim_object(claim);
             let evidence = sys.discover_evidence(&object);
-            if evidence.iter().any(|(i, _)| i.id() == InstanceId::Table(claim.table)) {
+            if evidence
+                .iter()
+                .any(|(i, _)| i.id() == InstanceId::Table(claim.table))
+            {
                 hit += 1;
             }
         }
-        assert!(hit >= 7, "source table recall too low in tiny lake: {hit}/10");
+        assert!(
+            hit >= 7,
+            "source table recall too low in tiny lake: {hit}/10"
+        );
     }
 
     #[test]
@@ -449,9 +514,15 @@ mod tests {
         // Provenance covers retrieval, rerank, verify, and decision stages.
         let provenance = sys.provenance();
         let records = provenance.for_object(tasks[0].id);
-        assert!(records.iter().any(|r| matches!(r.stage, Stage::Retrieval { .. })));
-        assert!(records.iter().any(|r| matches!(r.stage, Stage::Rerank { .. })));
-        assert!(records.iter().any(|r| matches!(r.stage, Stage::Verify { .. })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.stage, Stage::Retrieval { .. })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.stage, Stage::Rerank { .. })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.stage, Stage::Verify { .. })));
         assert!(records.iter().any(|r| matches!(r.stage, Stage::Decision)));
     }
 
@@ -473,7 +544,10 @@ mod tests {
                 verified += 1;
             }
         }
-        assert!(verified >= 8, "only {verified}/10 oracle imputations verified");
+        assert!(
+            verified >= 8,
+            "only {verified}/10 oracle imputations verified"
+        );
     }
 
     #[test]

@@ -105,14 +105,27 @@ mod tests {
     use crate::metrics::Accuracy;
 
     fn acc(c: usize, t: usize) -> Accuracy {
-        Accuracy { correct: c, total: t }
+        Accuracy {
+            correct: c,
+            total: t,
+        }
     }
 
     #[test]
     fn table_renders_contain_all_cells() {
         let rows = vec![
-            Table1Row { generated: "tuple", retrieved: "tuple", k: 3, recall: 0.99 },
-            Table1Row { generated: "tuple", retrieved: "text", k: 3, recall: 0.58 },
+            Table1Row {
+                generated: "tuple",
+                retrieved: "tuple",
+                k: 3,
+                recall: 0.99,
+            },
+            Table1Row {
+                generated: "tuple",
+                retrieved: "text",
+                k: 3,
+                recall: 0.58,
+            },
         ];
         let s = render_table1(&rows);
         assert!(s.contains("| tuple | tuple | 3 | 0.99 |"));
@@ -133,7 +146,10 @@ mod tests {
 
     #[test]
     fn json_export_roundtrips() {
-        let b = BaselineResult { imputation: acc(52, 100), claims: acc(54, 100) };
+        let b = BaselineResult {
+            imputation: acc(52, 100),
+            claims: acc(54, 100),
+        };
         let t2 = Table2Result {
             tuple_mixed_chatgpt: acc(88, 100),
             claim_relevant_chatgpt: acc(75, 100),

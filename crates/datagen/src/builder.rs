@@ -9,8 +9,8 @@ use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 use verifai_lake::value::normalize_str;
 use verifai_lake::{
-    Column, DataLake, DataType, DocId, KgEntity, KgEntityId, Schema, SourceId, SourceOrigin,
-    Table, TableId, TupleId, Value,
+    Column, DataLake, DataType, DocId, KgEntity, KgEntityId, Schema, SourceId, SourceOrigin, Table,
+    TableId, TupleId, Value,
 };
 use verifai_llm::WorldModel;
 
@@ -107,7 +107,10 @@ impl Builder {
     /// paper's TabFact/TURL mix.
     fn insert_table(&mut self, table: Table) -> std::ops::Range<TupleId> {
         let id = table.id;
-        let range = self.lake.add_table(table).expect("builder assigns unique table ids");
+        let range = self
+            .lake
+            .add_table(table)
+            .expect("builder assigns unique table ids");
         self.claim_tables.push(id);
         range
     }
@@ -146,7 +149,13 @@ pub fn build(spec: &LakeSpec) -> GeneratedLake {
         entities: Vec::new(),
         completion_candidates: Vec::new(),
         claim_tables: Vec::new(),
-        sources: LakeSources { tabfact, turl, wiki, wikidata, genai },
+        sources: LakeSources {
+            tabfact,
+            turl,
+            wiki,
+            wikidata,
+            genai,
+        },
         next_table: 0,
         used_names: HashSet::new(),
     };
@@ -263,10 +272,8 @@ fn championships(b: &mut Builder, spec: &LakeSpec, rng: &mut StdRng) {
             let mut table = Table::new(id, caption, schema(score_col), b.table_source(id));
             // Year-specific points; small values make count/aggregate claims
             // natural (several teams share low scores, as in Figure 4).
-            let mut scored: Vec<(&str, i64)> = teams
-                .iter()
-                .map(|t| (*t, rng.gen_range(0..50)))
-                .collect();
+            let mut scored: Vec<(&str, i64)> =
+                teams.iter().map(|t| (*t, rng.gen_range(0..50))).collect();
             scored.sort_by_key(|&(_, points)| std::cmp::Reverse(points));
             for (rank, (team, points)) in scored.iter().enumerate() {
                 table
@@ -333,7 +340,11 @@ fn films(b: &mut Builder, spec: &LakeSpec, rng: &mut StdRng) {
             b.completion_candidates.push(CompletionCandidate {
                 tuple_id,
                 entity: rows[i].0.clone(),
-                maskable: vec!["director".into(), "lead actor".into(), "running time".into()],
+                maskable: vec![
+                    "director".into(),
+                    "lead actor".into(),
+                    "running time".into(),
+                ],
             });
         }
     }
@@ -540,8 +551,11 @@ mod tests {
     #[test]
     fn entity_names_are_unique() {
         let lake = build(&LakeSpec::tiny(3));
-        let mut names: Vec<String> =
-            lake.entities.iter().map(|e| normalize_str(&e.name)).collect();
+        let mut names: Vec<String> = lake
+            .entities
+            .iter()
+            .map(|e| normalize_str(&e.name))
+            .collect();
         let before = names.len();
         names.sort_unstable();
         names.dedup();
@@ -555,12 +569,14 @@ mod tests {
         let mut by_family: HashMap<String, usize> = HashMap::new();
         for t in lake.lake.tables() {
             // Family key: caption with digits stripped.
-            let family: String =
-                t.caption.chars().filter(|c| !c.is_ascii_digit()).collect();
+            let family: String = t.caption.chars().filter(|c| !c.is_ascii_digit()).collect();
             *by_family.entry(family).or_insert(0) += 1;
         }
         let max_family = by_family.values().max().copied().unwrap_or(0);
-        assert!(max_family >= 3, "no caption families (max size {max_family})");
+        assert!(
+            max_family >= 3,
+            "no caption families (max size {max_family})"
+        );
     }
 
     #[test]
@@ -572,9 +588,14 @@ mod tests {
             .tables()
             .find(|t| t.caption.ends_with("Championships"))
             .expect("championship tables exist");
-        let points: Vec<i64> =
-            table.column_values(1).map(|v| v.as_i64().unwrap()).collect();
-        let ranks: Vec<i64> = table.column_values(2).map(|v| v.as_i64().unwrap()).collect();
+        let points: Vec<i64> = table
+            .column_values(1)
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        let ranks: Vec<i64> = table
+            .column_values(2)
+            .map(|v| v.as_i64().unwrap())
+            .collect();
         for w in points.windows(2) {
             assert!(w[0] >= w[1], "points not sorted descending");
         }
@@ -584,7 +605,11 @@ mod tests {
     #[test]
     fn kg_subgraphs_assert_world_facts() {
         let lake = build(&LakeSpec::tiny(15));
-        assert!(lake.lake.num_kg_entities() > 20, "kg: {}", lake.lake.num_kg_entities());
+        assert!(
+            lake.lake.num_kg_entities() > 20,
+            "kg: {}",
+            lake.lake.num_kg_entities()
+        );
         let mut checked = 0;
         for record in &lake.entities {
             let Some(&kg_id) = lake.entity_kg.get(&normalize_str(&record.name)) else {
@@ -597,7 +622,11 @@ mod tests {
                 let object = entity
                     .object_of(attr)
                     .unwrap_or_else(|| panic!("kg for {} lacks {attr}", record.name));
-                assert!(object.matches(value), "kg fact mismatch for {}", record.name);
+                assert!(
+                    object.matches(value),
+                    "kg fact mismatch for {}",
+                    record.name
+                );
                 checked += 1;
             }
         }

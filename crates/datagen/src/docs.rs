@@ -75,8 +75,15 @@ pub(crate) fn generate_docs(
             .map(|_| all_names[rng.gen_range(0..all_names.len())])
             .filter(|o| normalize_str(o) != normalize_str(&entity.name))
             .collect();
-        let body =
-            render_page(entity, &others, spec.filler_sentences, spec.fact_coverage, false, b, rng);
+        let body = render_page(
+            entity,
+            &others,
+            spec.filler_sentences,
+            spec.fact_coverage,
+            false,
+            b,
+            rng,
+        );
         let doc = TextDocument::new(next_doc, entity.name.clone(), body, b.sources.wiki)
             .with_entities(others.iter().map(|s| s.to_string()).collect());
         b.lake.add_doc(doc).expect("doc ids unique");
@@ -89,8 +96,7 @@ pub(crate) fn generate_docs(
     if let Some(genai) = b.sources.genai {
         for &i in covered_indices.iter().take(spec.corrupted_docs) {
             let entity = &entities[i];
-            let body =
-                render_page(entity, &[], spec.filler_sentences, 1.0, true, b, rng);
+            let body = render_page(entity, &[], spec.filler_sentences, 1.0, true, b, rng);
             let doc = TextDocument::new(next_doc, entity.name.clone(), body, genai);
             b.lake.add_doc(doc).expect("doc ids unique");
             corrupted.push((normalize_str(&entity.name), next_doc));
@@ -111,7 +117,9 @@ mod tests {
         let lake = build(&LakeSpec::tiny(13));
         let mut scanned = 0;
         for entity in &lake.entities {
-            let Some(&doc_id) = lake.entity_docs.get(&verifai_lake::value::normalize_str(&entity.name))
+            let Some(&doc_id) = lake
+                .entity_docs
+                .get(&verifai_lake::value::normalize_str(&entity.name))
             else {
                 continue;
             };
@@ -150,7 +158,10 @@ mod tests {
                     }
                 }
             }
-            assert!(contradictions > 0, "corrupted page for {entity_norm} agrees with world");
+            assert!(
+                contradictions > 0,
+                "corrupted page for {entity_norm} agrees with world"
+            );
         }
     }
 

@@ -9,42 +9,176 @@ use rand::Rng;
 
 /// First names.
 pub const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
-    "Sarah", "Charles", "Karen", "Christopher", "Lisa", "Daniel", "Nancy", "Matthew", "Betty",
-    "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
-    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Carol", "Kevin", "Amanda",
-    "Brian", "Dorothy", "George", "Melissa", "Edward", "Deborah", "Ronald", "Stephanie",
-    "Timothy", "Rebecca", "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Christopher",
+    "Lisa",
+    "Daniel",
+    "Nancy",
+    "Matthew",
+    "Betty",
+    "Anthony",
+    "Margaret",
+    "Mark",
+    "Sandra",
+    "Donald",
+    "Ashley",
+    "Steven",
+    "Kimberly",
+    "Paul",
+    "Emily",
+    "Andrew",
+    "Donna",
+    "Joshua",
+    "Michelle",
+    "Kenneth",
+    "Carol",
+    "Kevin",
+    "Amanda",
+    "Brian",
+    "Dorothy",
+    "George",
+    "Melissa",
+    "Edward",
+    "Deborah",
+    "Ronald",
+    "Stephanie",
+    "Timothy",
+    "Rebecca",
+    "Jason",
+    "Sharon",
+    "Jeffrey",
+    "Laura",
+    "Ryan",
+    "Cynthia",
 ];
 
 /// Last names.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
-    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Pike", "Wainwright", "Grover",
-    "Halpern", "Ostertag", "Derounian", "Becker",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
+    "Green",
+    "Adams",
+    "Nelson",
+    "Baker",
+    "Hall",
+    "Rivera",
+    "Campbell",
+    "Mitchell",
+    "Carter",
+    "Roberts",
+    "Pike",
+    "Wainwright",
+    "Grover",
+    "Halpern",
+    "Ostertag",
+    "Derounian",
+    "Becker",
 ];
 
 /// US state names used for election families and city regions.
 pub const STATES: &[&str] = &[
-    "New York", "California", "Texas", "Ohio", "Illinois", "Pennsylvania", "Michigan",
-    "Georgia", "Virginia", "Massachusetts", "Indiana", "Missouri", "Wisconsin", "Tennessee",
-    "Maryland", "Minnesota", "Colorado", "Alabama", "Louisiana", "Kentucky", "Oregon",
-    "Oklahoma", "Connecticut", "Iowa", "Kansas", "Arkansas", "Nevada", "Utah", "Mississippi",
+    "New York",
+    "California",
+    "Texas",
+    "Ohio",
+    "Illinois",
+    "Pennsylvania",
+    "Michigan",
+    "Georgia",
+    "Virginia",
+    "Massachusetts",
+    "Indiana",
+    "Missouri",
+    "Wisconsin",
+    "Tennessee",
+    "Maryland",
+    "Minnesota",
+    "Colorado",
+    "Alabama",
+    "Louisiana",
+    "Kentucky",
+    "Oregon",
+    "Oklahoma",
+    "Connecticut",
+    "Iowa",
+    "Kansas",
+    "Arkansas",
+    "Nevada",
+    "Utah",
+    "Mississippi",
     "Nebraska",
 ];
 
 /// Political parties.
-pub const PARTIES: &[&str] = &["Democratic", "Republican", "Independent", "Liberal", "Progressive"];
+pub const PARTIES: &[&str] = &[
+    "Democratic",
+    "Republican",
+    "Independent",
+    "Liberal",
+    "Progressive",
+];
 
 /// Adjectives for film titles.
 pub const FILM_ADJECTIVES: &[&str] = &[
-    "Silent", "Burning", "Hidden", "Broken", "Golden", "Midnight", "Crimson", "Electric",
-    "Savage", "Gentle", "Distant", "Frozen", "Restless", "Velvet", "Hollow", "Shining",
+    "Silent", "Burning", "Hidden", "Broken", "Golden", "Midnight", "Crimson", "Electric", "Savage",
+    "Gentle", "Distant", "Frozen", "Restless", "Velvet", "Hollow", "Shining",
 ];
 
 /// Nouns for film titles.
@@ -54,39 +188,82 @@ pub const FILM_NOUNS: &[&str] = &[
 ];
 
 /// Film genres.
-pub const GENRES: &[&str] =
-    &["drama", "comedy", "thriller", "dance", "romance", "western", "science fiction", "crime"];
+pub const GENRES: &[&str] = &[
+    "drama",
+    "comedy",
+    "thriller",
+    "dance",
+    "romance",
+    "western",
+    "science fiction",
+    "crime",
+];
 
 /// University / college names for championship teams.
 pub const COLLEGES: &[&str] = &[
-    "Kansas", "Brown", "Oregon", "Yale", "Stanford", "Princeton", "Auburn", "Baylor", "Tulane",
-    "Purdue", "Cornell", "Rice", "Duke", "Villanova", "Fordham", "Colgate", "Amherst", "Drake",
-    "Butler", "Creighton", "Gonzaga", "Xavier", "Denison", "Oberlin",
+    "Kansas",
+    "Brown",
+    "Oregon",
+    "Yale",
+    "Stanford",
+    "Princeton",
+    "Auburn",
+    "Baylor",
+    "Tulane",
+    "Purdue",
+    "Cornell",
+    "Rice",
+    "Duke",
+    "Villanova",
+    "Fordham",
+    "Colgate",
+    "Amherst",
+    "Drake",
+    "Butler",
+    "Creighton",
+    "Gonzaga",
+    "Xavier",
+    "Denison",
+    "Oberlin",
 ];
 
 /// Sports series for championship families.
 pub const SERIES: &[&str] = &[
-    "NCAA Track and Field", "NCAA Swimming", "NCAA Cross Country", "NCAA Fencing",
-    "NCAA Gymnastics", "NCAA Rowing", "NCAA Wrestling", "NCAA Skiing",
+    "NCAA Track and Field",
+    "NCAA Swimming",
+    "NCAA Cross Country",
+    "NCAA Fencing",
+    "NCAA Gymnastics",
+    "NCAA Rowing",
+    "NCAA Wrestling",
+    "NCAA Skiing",
 ];
 
 /// Professional leagues for athlete career tables.
-pub const LEAGUES: &[&str] =
-    &["NBA", "NFL", "MLB", "NHL", "MLS", "WNBA", "CFL", "USFL"];
+pub const LEAGUES: &[&str] = &["NBA", "NFL", "MLB", "NHL", "MLS", "WNBA", "CFL", "USFL"];
 
 /// Player positions.
-pub const POSITIONS: &[&str] =
-    &["guard", "forward", "center", "pitcher", "catcher", "goalkeeper", "striker", "defender"];
+pub const POSITIONS: &[&str] = &[
+    "guard",
+    "forward",
+    "center",
+    "pitcher",
+    "catcher",
+    "goalkeeper",
+    "striker",
+    "defender",
+];
 
 /// City name fragments.
 pub const CITY_PREFIXES: &[&str] = &[
-    "Spring", "River", "Oak", "Maple", "Cedar", "Lake", "Fair", "Green", "Glen", "Brook",
-    "Clear", "Stone", "Ash", "Mill", "West", "North",
+    "Spring", "River", "Oak", "Maple", "Cedar", "Lake", "Fair", "Green", "Glen", "Brook", "Clear",
+    "Stone", "Ash", "Mill", "West", "North",
 ];
 
 /// City name suffixes.
-pub const CITY_SUFFIXES: &[&str] =
-    &["field", "ton", "ville", "wood", "port", "burg", "haven", "dale", "mont", "side"];
+pub const CITY_SUFFIXES: &[&str] = &[
+    "field", "ton", "ville", "wood", "port", "burg", "haven", "dale", "mont", "side",
+];
 
 /// Pick a random element of a pool.
 pub fn pick<'a, R: Rng>(rng: &mut R, pool: &[&'a str]) -> &'a str {
@@ -105,7 +282,11 @@ pub fn film_title<R: Rng>(rng: &mut R) -> String {
         let verbs = ["Stomp", "Chase", "Cross", "Brave", "Hold"];
         format!("{} the {}", pick(rng, &verbs), pick(rng, FILM_NOUNS))
     } else {
-        format!("The {} {}", pick(rng, FILM_ADJECTIVES), pick(rng, FILM_NOUNS))
+        format!(
+            "The {} {}",
+            pick(rng, FILM_ADJECTIVES),
+            pick(rng, FILM_NOUNS)
+        )
     }
 }
 
@@ -136,11 +317,17 @@ mod tests {
         // ambiguity property.
         let mut rng = StdRng::seed_from_u64(1);
         let people: Vec<String> = (0..200).map(|_| person(&mut rng)).collect();
-        let mut surnames: Vec<&str> =
-            people.iter().map(|p| p.split(' ').nth(1).unwrap()).collect();
+        let mut surnames: Vec<&str> = people
+            .iter()
+            .map(|p| p.split(' ').nth(1).unwrap())
+            .collect();
         surnames.sort_unstable();
         surnames.dedup();
-        assert!(surnames.len() < 70, "no surname collisions in {} people", 200);
+        assert!(
+            surnames.len() < 70,
+            "no surname collisions in {} people",
+            200
+        );
     }
 
     #[test]

@@ -55,9 +55,15 @@ pub fn completion_workload(lake: &GeneratedLake, n: usize, seed: u64) -> Vec<Mas
 
     let mut tasks = Vec::with_capacity(picked.len());
     for (id, cand) in picked.into_iter().enumerate() {
-        let tuple = lake.lake.tuple(cand.tuple_id).expect("candidate tuple exists");
+        let tuple = lake
+            .lake
+            .tuple(cand.tuple_id)
+            .expect("candidate tuple exists");
         let column = cand.maskable[rng.gen_range(0..cand.maskable.len())].clone();
-        let col_idx = tuple.schema.index_of(&column).expect("maskable column exists");
+        let col_idx = tuple
+            .schema
+            .index_of(&column)
+            .expect("maskable column exists");
         let truth = tuple.values[col_idx].clone();
         let mut masked = tuple.clone();
         masked.values[col_idx] = Value::Null;
@@ -170,7 +176,11 @@ mod tests {
         assert_eq!(claims.len(), 60);
         for c in &claims {
             let table = g.lake.table(c.table).unwrap();
-            let expected = if c.label { ExecOutcome::True } else { ExecOutcome::False };
+            let expected = if c.label {
+                ExecOutcome::True
+            } else {
+                ExecOutcome::False
+            };
             assert_eq!(execute(&c.expr, table), expected, "claim: {}", c.text);
         }
     }
@@ -182,6 +192,10 @@ mod tests {
         let mut tables: Vec<TableId> = claims.iter().map(|c| c.table).collect();
         tables.sort_unstable();
         tables.dedup();
-        assert!(tables.len() > 10, "claims concentrated on {} tables", tables.len());
+        assert!(
+            tables.len() > 10,
+            "claims concentrated on {} tables",
+            tables.len()
+        );
     }
 }

@@ -86,6 +86,9 @@ mod tests {
         let negs = (0..10_000u64)
             .filter(|&i| coord_and_sign(splitmix64(i), 64).1 < 0.0)
             .count();
-        assert!((4_000..6_000).contains(&negs), "sign bias: {negs}/10000 negative");
+        assert!(
+            (4_000..6_000).contains(&negs),
+            "sign bias: {negs}/10000 negative"
+        );
     }
 }

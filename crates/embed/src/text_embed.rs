@@ -22,7 +22,13 @@ pub struct TextEmbedderConfig {
 
 impl Default for TextEmbedderConfig {
     fn default() -> Self {
-        TextEmbedderConfig { dim: 128, seed: 0x5eed, probes: 2, char_ngram: 3, char_weight: 0.35 }
+        TextEmbedderConfig {
+            dim: 128,
+            seed: 0x5eed,
+            probes: 2,
+            char_ngram: 3,
+            char_weight: 0.35,
+        }
     }
 }
 
@@ -41,12 +47,18 @@ pub struct TextEmbedder {
 impl TextEmbedder {
     /// Embedder with the given configuration.
     pub fn new(config: TextEmbedderConfig) -> TextEmbedder {
-        TextEmbedder { config, analyzer: Analyzer::standard() }
+        TextEmbedder {
+            config,
+            analyzer: Analyzer::standard(),
+        }
     }
 
     /// Embedder with default configuration and the given seed.
     pub fn with_seed(seed: u64) -> TextEmbedder {
-        TextEmbedder::new(TextEmbedderConfig { seed, ..TextEmbedderConfig::default() })
+        TextEmbedder::new(TextEmbedderConfig {
+            seed,
+            ..TextEmbedderConfig::default()
+        })
     }
 
     /// Embedding dimension.
@@ -111,7 +123,12 @@ mod tests {
         let a = e.embed("United States House of Representatives election in New York");
         let b = e.embed("New York House of Representatives election results");
         let c = e.embed("average points per basketball game career");
-        assert!(a.cosine(&b) > a.cosine(&c) + 0.2, "{} vs {}", a.cosine(&b), a.cosine(&c));
+        assert!(
+            a.cosine(&b) > a.cosine(&c) + 0.2,
+            "{} vs {}",
+            a.cosine(&b),
+            a.cosine(&c)
+        );
     }
 
     #[test]

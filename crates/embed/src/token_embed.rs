@@ -23,7 +23,11 @@ impl TokenEmbedder {
     pub fn new(dim: usize, seed: u64) -> TokenEmbedder {
         // ColBERT keeps stopwords in documents; the lowercase-only analyzer
         // preserves surface forms.
-        TokenEmbedder { dim, seed, analyzer: Analyzer::lowercase_only() }
+        TokenEmbedder {
+            dim,
+            seed,
+            analyzer: Analyzer::lowercase_only(),
+        }
     }
 
     /// Embedding dimension.
@@ -46,7 +50,11 @@ impl TokenEmbedder {
 
     /// Tokenize text and embed every token.
     pub fn embed_text(&self, text: &str) -> Vec<Vector> {
-        self.analyzer.analyze(text).iter().map(|t| self.embed_token(t)).collect()
+        self.analyzer
+            .analyze(text)
+            .iter()
+            .map(|t| self.embed_token(t))
+            .collect()
     }
 
     fn add(&self, v: &mut Vector, feature: &str, weight: f32) {

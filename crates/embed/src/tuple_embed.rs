@@ -24,7 +24,12 @@ impl TupleEmbedder {
     pub fn new(dim: usize, seed: u64) -> TupleEmbedder {
         // Four probes per feature keep the variance of spurious (collision)
         // similarity low even for tuples with only a handful of features.
-        TupleEmbedder { dim, seed, probes: 4, analyzer: Analyzer::standard() }
+        TupleEmbedder {
+            dim,
+            seed,
+            probes: 4,
+            analyzer: Analyzer::standard(),
+        }
     }
 
     /// Embedding dimension.
@@ -93,7 +98,11 @@ mod tests {
                 Column::new("incumbent", DataType::Text),
                 Column::new("first elected", DataType::Int),
             ]),
-            values: vec![Value::text("New York 1"), Value::text(incumbent), Value::Int(1960)],
+            values: vec![
+                Value::text("New York 1"),
+                Value::text(incumbent),
+                Value::Int(1960),
+            ],
             source: 0,
         }
     }
@@ -115,7 +124,11 @@ mod tests {
             Column::new("actor", DataType::Text),
             Column::new("year", DataType::Int),
         ]);
-        other.values = vec![Value::text("Stomp the Yard"), Value::text("Meagan Good"), Value::Int(2007)];
+        other.values = vec![
+            Value::text("Stomp the Yard"),
+            Value::text("Meagan Good"),
+            Value::Int(2007),
+        ];
         let c = e.embed(&other);
         assert!(a.cosine(&b) > a.cosine(&c) + 0.3);
     }

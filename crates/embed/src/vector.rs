@@ -56,7 +56,11 @@ impl Vector {
     /// Squared Euclidean distance.
     pub fn l2_sq(&self, other: &Vector) -> f32 {
         debug_assert_eq!(self.dim(), other.dim());
-        self.0.iter().zip(other.0.iter()).map(|(a, b)| (a - b) * (a - b)).sum()
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
     }
 
     /// Normalize in place to unit length (no-op for the zero vector).

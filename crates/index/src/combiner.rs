@@ -64,8 +64,10 @@ impl Combiner {
                 }
             }
         }
-        let mut hits: Vec<SearchHit> =
-            fused.into_iter().map(|(id, score)| SearchHit::new(id, score)).collect();
+        let mut hits: Vec<SearchHit> = fused
+            .into_iter()
+            .map(|(id, score)| SearchHit::new(id, score))
+            .collect();
         sort_hits(&mut hits);
         hits.truncate(k);
         hits
@@ -127,7 +129,9 @@ mod tests {
     #[test]
     fn k_truncates() {
         let c = Combiner::default();
-        let a: Vec<SearchHit> = (0..20).map(|i| SearchHit::new(tid(i), 20.0 - i as f64)).collect();
+        let a: Vec<SearchHit> = (0..20)
+            .map(|i| SearchHit::new(tid(i), 20.0 - i as f64))
+            .collect();
         assert_eq!(c.combine(&[a], 5).len(), 5);
     }
 

@@ -156,7 +156,9 @@ impl InvertedIndex {
         let mut qvec: Vec<(&String, &u32)> = qterms.iter().collect();
         qvec.sort_unstable();
         for (term, &qf) in qvec {
-            let Some(postings) = self.postings.get(term) else { continue };
+            let Some(postings) = self.postings.get(term) else {
+                continue;
+            };
             let idf = self.idf(postings.len());
             for p in postings {
                 let dl = self.lengths[p.doc as usize] as f64;
@@ -245,7 +247,11 @@ impl InvertedIndex {
             postings.insert(term, list);
         }
         Ok(InvertedIndex {
-            analyzer: Analyzer::new(AnalyzerConfig { lowercase, remove_stopwords, stem }),
+            analyzer: Analyzer::new(AnalyzerConfig {
+                lowercase,
+                remove_stopwords,
+                stem,
+            }),
             params: Bm25Params { k1, b },
             postings,
             ids,
@@ -275,10 +281,22 @@ mod tests {
 
     fn small_index() -> InvertedIndex {
         let mut idx = InvertedIndex::default();
-        idx.add(tid(0), "Meagan Good is an American actress born in Panorama City");
-        idx.add(tid(1), "Stomp the Yard is a 2007 dance drama film starring Columbus Short");
-        idx.add(tid(2), "Michael Jordan played basketball for the Chicago Bulls");
-        idx.add(tid(3), "The 1959 NCAA track and field championships were held in June");
+        idx.add(
+            tid(0),
+            "Meagan Good is an American actress born in Panorama City",
+        );
+        idx.add(
+            tid(1),
+            "Stomp the Yard is a 2007 dance drama film starring Columbus Short",
+        );
+        idx.add(
+            tid(2),
+            "Michael Jordan played basketball for the Chicago Bulls",
+        );
+        idx.add(
+            tid(3),
+            "The 1959 NCAA track and field championships were held in June",
+        );
         idx
     }
 
@@ -366,7 +384,11 @@ mod tests {
         let restored = InvertedIndex::from_bytes(idx.to_bytes()).unwrap();
         assert_eq!(restored.len(), idx.len());
         assert_eq!(restored.vocabulary_size(), idx.vocabulary_size());
-        for q in ["Meagan Good actress", "basketball career", "championship 1959"] {
+        for q in [
+            "Meagan Good actress",
+            "basketball career",
+            "championship 1959",
+        ] {
             assert_eq!(restored.search(q, 4), idx.search(q, 4), "query {q}");
         }
         // Snapshots are deterministic.

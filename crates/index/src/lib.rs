@@ -22,8 +22,8 @@
 
 pub mod combiner;
 pub mod content;
-pub mod persist;
 pub mod hit;
+pub mod persist;
 pub mod trie;
 pub mod vector;
 

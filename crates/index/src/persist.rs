@@ -88,7 +88,10 @@ pub(crate) fn check_header(buf: &mut Bytes, kind: SnapshotKind) -> Result<(), Pe
     }
     let got = buf.get_u8();
     if got != kind as u8 {
-        return Err(PersistError::BadKind { expected: kind as u8, got });
+        return Err(PersistError::BadKind {
+            expected: kind as u8,
+            got,
+        });
     }
     Ok(())
 }
@@ -187,16 +190,25 @@ mod tests {
         let mut b = buf.freeze();
         assert_eq!(
             check_header(&mut b, SnapshotKind::Hnsw),
-            Err(PersistError::BadKind { expected: 3, got: 1 })
+            Err(PersistError::BadKind {
+                expected: 3,
+                got: 1
+            })
         );
     }
 
     #[test]
     fn bad_magic_and_truncation() {
         let mut b = Bytes::from_static(b"NOPE\x01\x01");
-        assert_eq!(check_header(&mut b, SnapshotKind::Flat), Err(PersistError::BadMagic));
+        assert_eq!(
+            check_header(&mut b, SnapshotKind::Flat),
+            Err(PersistError::BadMagic)
+        );
         let mut b = Bytes::from_static(b"VF");
-        assert_eq!(check_header(&mut b, SnapshotKind::Flat), Err(PersistError::Truncated));
+        assert_eq!(
+            check_header(&mut b, SnapshotKind::Flat),
+            Err(PersistError::Truncated)
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use crate::hit::SearchHit;
 use std::collections::HashMap;
-use verifai_lake::InstanceId;
 use verifai_lake::value::normalize_str;
+use verifai_lake::InstanceId;
 
 /// Node in the trie, keyed by byte.
 #[derive(Debug, Default)]

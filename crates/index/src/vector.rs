@@ -133,8 +133,10 @@ impl VectorIndex for FlatIndex {
                 heap.pop();
             }
         }
-        let mut hits: Vec<SearchHit> =
-            heap.into_iter().map(|e| SearchHit::new(self.ids[e.ord], e.score)).collect();
+        let mut hits: Vec<SearchHit> = heap
+            .into_iter()
+            .map(|e| SearchHit::new(self.ids[e.ord], e.score))
+            .collect();
         sort_hits(&mut hits);
         hits
     }
@@ -163,7 +165,12 @@ pub struct HnswConfig {
 
 impl Default for HnswConfig {
     fn default() -> Self {
-        HnswConfig { m: 16, ef_construction: 100, ef_search: 64, seed: 0x9e37 }
+        HnswConfig {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            seed: 0x9e37,
+        }
     }
 }
 
@@ -187,7 +194,12 @@ pub struct HnswIndex {
 impl HnswIndex {
     /// Empty index with the given parameters.
     pub fn new(config: HnswConfig) -> HnswIndex {
-        HnswIndex { config, nodes: Vec::new(), entry: None, max_level: 0 }
+        HnswIndex {
+            config,
+            nodes: Vec::new(),
+            entry: None,
+            max_level: 0,
+        }
     }
 
     /// Empty index with default parameters.
@@ -241,10 +253,18 @@ impl HnswIndex {
         let d0 = self.dist(entry, q);
         // Candidates: min-dist first (use Reverse ordering via negated compare).
         let mut candidates: BinaryHeap<CandEntry> = BinaryHeap::new();
-        candidates.push(CandEntry { dist: d0, ord: entry, min_first: true });
+        candidates.push(CandEntry {
+            dist: d0,
+            ord: entry,
+            min_first: true,
+        });
         // Results: max-dist first so the worst can be evicted.
         let mut results: BinaryHeap<CandEntry> = BinaryHeap::new();
-        results.push(CandEntry { dist: d0, ord: entry, min_first: false });
+        results.push(CandEntry {
+            dist: d0,
+            ord: entry,
+            min_first: false,
+        });
 
         while let Some(c) = candidates.pop() {
             let worst = results.peek().map(|r| r.dist).unwrap_or(f64::INFINITY);
@@ -258,8 +278,16 @@ impl HnswIndex {
                 let d = self.dist(n, q);
                 let worst = results.peek().map(|r| r.dist).unwrap_or(f64::INFINITY);
                 if results.len() < ef || d < worst {
-                    candidates.push(CandEntry { dist: d, ord: n, min_first: true });
-                    results.push(CandEntry { dist: d, ord: n, min_first: false });
+                    candidates.push(CandEntry {
+                        dist: d,
+                        ord: n,
+                        min_first: true,
+                    });
+                    results.push(CandEntry {
+                        dist: d,
+                        ord: n,
+                        min_first: false,
+                    });
                     if results.len() > ef {
                         results.pop();
                     }
@@ -274,8 +302,12 @@ impl HnswIndex {
     /// Connect `node` to the closest `max_conn` of `candidates` at `layer`,
     /// and back-link with pruning.
     fn connect(&mut self, node: u32, candidates: &[(f64, u32)], layer: usize, max_conn: usize) {
-        let selected: Vec<u32> =
-            candidates.iter().take(max_conn).map(|&(_, o)| o).filter(|&o| o != node).collect();
+        let selected: Vec<u32> = candidates
+            .iter()
+            .take(max_conn)
+            .map(|&(_, o)| o)
+            .filter(|&o| o != node)
+            .collect();
         self.nodes[node as usize].neighbors[layer] = selected.clone();
         for &n in &selected {
             let nv = &mut self.nodes[n as usize].neighbors[layer];
@@ -285,8 +317,7 @@ impl HnswIndex {
             if nv.len() > max_conn {
                 // Prune: keep the max_conn closest neighbours of n.
                 let nvec = self.nodes[n as usize].vector.clone();
-                let mut with_d: Vec<(f64, u32)> = self.nodes[n as usize]
-                    .neighbors[layer]
+                let mut with_d: Vec<(f64, u32)> = self.nodes[n as usize].neighbors[layer]
                     .iter()
                     .map(|&o| (1.0 - self.nodes[o as usize].vector.cosine(&nvec) as f64, o))
                     .collect();
@@ -392,10 +423,19 @@ impl HnswIndex {
                 }
                 neighbors.push(layer);
             }
-            nodes.push(HnswNode { id, vector, neighbors });
+            nodes.push(HnswNode {
+                id,
+                vector,
+                neighbors,
+            });
         }
         Ok(HnswIndex {
-            config: HnswConfig { m, ef_construction, ef_search, seed },
+            config: HnswConfig {
+                m,
+                ef_construction,
+                ef_search,
+                seed,
+            },
             nodes,
             entry,
             max_level,
@@ -407,7 +447,11 @@ impl VectorIndex for HnswIndex {
     fn add(&mut self, id: InstanceId, vector: Vector) {
         let ord = self.nodes.len() as u32;
         let level = self.draw_level(ord as usize);
-        self.nodes.push(HnswNode { id, vector, neighbors: vec![Vec::new(); level + 1] });
+        self.nodes.push(HnswNode {
+            id,
+            vector,
+            neighbors: vec![Vec::new(); level + 1],
+        });
         let q = self.nodes[ord as usize].vector.clone();
 
         let Some(mut entry) = self.entry else {
@@ -423,7 +467,11 @@ impl VectorIndex for HnswIndex {
         // Insert at each layer from min(level, max_level) down to 0.
         for l in (0..=level.min(self.max_level)).rev() {
             let found = self.search_layer(entry, &q, l, self.config.ef_construction);
-            let max_conn = if l == 0 { self.config.m * 2 } else { self.config.m };
+            let max_conn = if l == 0 {
+                self.config.m * 2
+            } else {
+                self.config.m
+            };
             self.connect(ord, &found, l, max_conn);
             if let Some(&(_, best)) = found.first() {
                 entry = best;
@@ -436,7 +484,9 @@ impl VectorIndex for HnswIndex {
     }
 
     fn search(&self, query: &Vector, k: usize) -> Vec<SearchHit> {
-        let Some(mut entry) = self.entry else { return Vec::new() };
+        let Some(mut entry) = self.entry else {
+            return Vec::new();
+        };
         if k == 0 {
             return Vec::new();
         }
@@ -480,7 +530,11 @@ mod tests {
             "governor election ohio incumbent",
             "chicago bulls championship 1997 season",
         ];
-        texts.iter().enumerate().map(|(i, t)| (tid(i as u64), e.embed(t))).collect()
+        texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (tid(i as u64), e.embed(t)))
+            .collect()
     }
 
     #[test]
@@ -514,7 +568,11 @@ mod tests {
             hnsw.add(id, v);
         }
         let e = TextEmbedder::with_seed(11);
-        for q in ["jordan basketball points", "film actress", "election district"] {
+        for q in [
+            "jordan basketball points",
+            "film actress",
+            "election district",
+        ] {
             let qv = e.embed(q);
             let f = flat.search(&qv, 3);
             let h = hnsw.search(&qv, 3);
@@ -527,7 +585,10 @@ mod tests {
         // 300 synthetic points; HNSW must achieve high recall@10 vs flat.
         let e = TextEmbedder::with_seed(3);
         let mut flat = FlatIndex::new();
-        let mut hnsw = HnswIndex::new(HnswConfig { ef_search: 80, ..HnswConfig::default() });
+        let mut hnsw = HnswIndex::new(HnswConfig {
+            ef_search: 80,
+            ..HnswConfig::default()
+        });
         for i in 0..300u64 {
             let text = format!("entity {} topic {} attribute {}", i, i % 17, i % 7);
             let v = e.embed(&text);
@@ -537,7 +598,11 @@ mod tests {
         let mut hit = 0usize;
         let mut total = 0usize;
         for q in 0..20u64 {
-            let qv = e.embed(&format!("entity {} topic {}", q * 13 % 300, (q * 13 % 300) % 17));
+            let qv = e.embed(&format!(
+                "entity {} topic {}",
+                q * 13 % 300,
+                (q * 13 % 300) % 17
+            ));
             let truth: HashSet<InstanceId> =
                 flat.search(&qv, 10).into_iter().map(|h| h.id).collect();
             for h in hnsw.search(&qv, 10) {
@@ -586,7 +651,11 @@ mod tests {
         }
         let flat2 = FlatIndex::from_bytes(flat.to_bytes()).unwrap();
         let hnsw2 = HnswIndex::from_bytes(hnsw.to_bytes()).unwrap();
-        for q in ["jordan basketball", "election district new york", "film actress"] {
+        for q in [
+            "jordan basketball",
+            "election district new york",
+            "film actress",
+        ] {
             let qv = e.embed(q);
             assert_eq!(flat.search(&qv, 4), flat2.search(&qv, 4), "flat query {q}");
             assert_eq!(hnsw.search(&qv, 4), hnsw2.search(&qv, 4), "hnsw query {q}");
@@ -607,8 +676,10 @@ mod tests {
 
     #[test]
     fn trait_object_usable() {
-        let mut indexes: Vec<Box<dyn VectorIndex>> =
-            vec![Box::new(FlatIndex::new()), Box::new(HnswIndex::with_defaults())];
+        let mut indexes: Vec<Box<dyn VectorIndex>> = vec![
+            Box::new(FlatIndex::new()),
+            Box::new(HnswIndex::with_defaults()),
+        ];
         let e = TextEmbedder::with_seed(11);
         for idx in &mut indexes {
             idx.add(tid(0), e.embed("shared content"));

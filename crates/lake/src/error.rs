@@ -72,7 +72,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = LakeError::ColumnNotFound { table: 7, column: "incumbent".into() };
+        let e = LakeError::ColumnNotFound {
+            table: 7,
+            column: "incumbent".into(),
+        };
         assert!(e.to_string().contains("incumbent"));
         assert!(e.to_string().contains('7'));
     }

@@ -6,8 +6,8 @@
 //! back out. Masked cells round-trip as empty fields / `NaN`.
 
 use crate::error::LakeError;
-use crate::table::{Column, DataType, Schema, Table, TableId};
 use crate::source::SourceId;
+use crate::table::{Column, DataType, Schema, Table, TableId};
 use crate::value::Value;
 
 /// Parse one CSV record, honouring double-quote escaping.
@@ -57,7 +57,12 @@ fn infer_column_type(raw: &[&str]) -> DataType {
         return DataType::Text;
     }
     let all = |ty: DataType| non_empty.iter().all(|s| Value::parse_as(s, ty).is_ok());
-    for ty in [DataType::Int, DataType::Float, DataType::Bool, DataType::Date] {
+    for ty in [
+        DataType::Int,
+        DataType::Float,
+        DataType::Bool,
+        DataType::Date,
+    ] {
         if all(ty) {
             return ty;
         }
@@ -85,7 +90,10 @@ pub fn table_from_csv(
     let records: Vec<Vec<String>> = lines.map(parse_record).collect();
     for r in &records {
         if r.len() != headers.len() {
-            return Err(LakeError::ArityMismatch { expected: headers.len(), got: r.len() });
+            return Err(LakeError::ArityMismatch {
+                expected: headers.len(),
+                got: r.len(),
+            });
         }
     }
     // Infer per-column types from the raw fields.
@@ -124,7 +132,13 @@ pub fn table_to_csv(table: &Table) -> String {
     for row in table.rows() {
         let fields: Vec<String> = row
             .iter()
-            .map(|v| if v.is_null() { String::new() } else { render_field(&v.to_string()) })
+            .map(|v| {
+                if v.is_null() {
+                    String::new()
+                } else {
+                    render_field(&v.to_string())
+                }
+            })
             .collect();
         out.push_str(&fields.join(","));
         out.push('\n');
@@ -168,7 +182,13 @@ Ohio 5,NaN,1958,87455
     fn arity_mismatch_is_an_error() {
         let bad = "a,b\n1,2\n3\n";
         let err = table_from_csv(1, "t", bad, 0).unwrap_err();
-        assert_eq!(err, LakeError::ArityMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            LakeError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub struct Triple {
 impl Triple {
     /// Construct a triple.
     pub fn new(subject: impl Into<String>, predicate: impl Into<String>, object: Value) -> Triple {
-        Triple { subject: subject.into(), predicate: predicate.into(), object }
+        Triple {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object,
+        }
     }
 }
 
@@ -49,7 +53,12 @@ pub struct KgEntity {
 impl KgEntity {
     /// A new entity node with no edges yet.
     pub fn new(id: KgEntityId, name: impl Into<String>, source: SourceId) -> KgEntity {
-        KgEntity { id, name: name.into(), triples: Vec::new(), source }
+        KgEntity {
+            id,
+            name: name.into(),
+            triples: Vec::new(),
+            source,
+        }
     }
 
     /// Append an outgoing triple with this entity as subject.
@@ -116,7 +125,11 @@ mod tests {
     #[test]
     fn foreign_subject_triples_do_not_answer_object_of() {
         let mut e = entity();
-        e.triples.push(Triple::new("Ohio 5", "incumbent", Value::text("Someone Else")));
+        e.triples.push(Triple::new(
+            "Ohio 5",
+            "incumbent",
+            Value::text("Someone Else"),
+        ));
         // The subgraph may mention other subjects, but object_of answers only
         // for the entity itself.
         assert_eq!(e.object_of("incumbent"), Some(&Value::text("James Pike")));

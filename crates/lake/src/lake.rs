@@ -58,7 +58,9 @@ impl DataLake {
 
     /// Mutable metadata of a source (trust updates).
     pub fn source_mut(&mut self, id: SourceId) -> Result<&mut SourceMeta, LakeError> {
-        self.sources.get_mut(&id).ok_or(LakeError::SourceNotFound(id))
+        self.sources
+            .get_mut(&id)
+            .ok_or(LakeError::SourceNotFound(id))
     }
 
     /// All registered sources, in id order.
@@ -76,7 +78,13 @@ impl DataLake {
         }
         let start = self.next_tuple_id;
         for row in 0..table.num_rows() {
-            self.tuple_dir.insert(self.next_tuple_id, TupleLoc { table: table.id, row });
+            self.tuple_dir.insert(
+                self.next_tuple_id,
+                TupleLoc {
+                    table: table.id,
+                    row,
+                },
+            );
             self.next_tuple_id += 1;
         }
         self.table_order.push(table.id);
@@ -131,9 +139,14 @@ impl DataLake {
 
     /// Materialize a tuple from the directory.
     pub fn tuple(&self, id: TupleId) -> Result<Tuple, LakeError> {
-        let loc = self.tuple_dir.get(&id).ok_or(LakeError::TupleNotFound(id))?;
+        let loc = self
+            .tuple_dir
+            .get(&id)
+            .ok_or(LakeError::TupleNotFound(id))?;
         let table = self.table(loc.table)?;
-        table.tuple_at(loc.row, id).ok_or(LakeError::TupleNotFound(id))
+        table
+            .tuple_at(loc.row, id)
+            .ok_or(LakeError::TupleNotFound(id))
     }
 
     /// Resolve any instance id to an owned [`DataInstance`].
@@ -148,12 +161,16 @@ impl DataLake {
 
     /// Iterate tables in insertion order.
     pub fn tables(&self) -> impl Iterator<Item = &Table> {
-        self.table_order.iter().filter_map(move |id| self.tables.get(id))
+        self.table_order
+            .iter()
+            .filter_map(move |id| self.tables.get(id))
     }
 
     /// Iterate documents in insertion order.
     pub fn docs(&self) -> impl Iterator<Item = &TextDocument> {
-        self.doc_order.iter().filter_map(move |id| self.docs.get(id))
+        self.doc_order
+            .iter()
+            .filter_map(move |id| self.docs.get(id))
     }
 
     /// Iterate all tuple ids, in id order (dense).
@@ -227,8 +244,10 @@ mod tests {
             ]),
             src,
         );
-        t.push_row(vec![Value::text("NY-1"), Value::text("Otis Pike")]).unwrap();
-        t.push_row(vec![Value::text("NY-2"), Value::text("James Grover")]).unwrap();
+        t.push_row(vec![Value::text("NY-1"), Value::text("Otis Pike")])
+            .unwrap();
+        t.push_row(vec![Value::text("NY-2"), Value::text("James Grover")])
+            .unwrap();
         let range = lake.add_table(t).unwrap();
         (lake, range)
     }
@@ -261,10 +280,20 @@ mod tests {
     #[test]
     fn resolve_every_modality() {
         let (mut lake, _) = lake_with_table();
-        lake.add_doc(TextDocument::new(10, "Otis Pike", "A politician.", 0)).unwrap();
-        assert!(matches!(lake.resolve(InstanceId::Tuple(0)), Ok(DataInstance::Tuple(_))));
-        assert!(matches!(lake.resolve(InstanceId::Table(0)), Ok(DataInstance::Table(_))));
-        assert!(matches!(lake.resolve(InstanceId::Text(10)), Ok(DataInstance::Text(_))));
+        lake.add_doc(TextDocument::new(10, "Otis Pike", "A politician.", 0))
+            .unwrap();
+        assert!(matches!(
+            lake.resolve(InstanceId::Tuple(0)),
+            Ok(DataInstance::Tuple(_))
+        ));
+        assert!(matches!(
+            lake.resolve(InstanceId::Table(0)),
+            Ok(DataInstance::Table(_))
+        ));
+        assert!(matches!(
+            lake.resolve(InstanceId::Text(10)),
+            Ok(DataInstance::Text(_))
+        ));
         assert!(lake.resolve(InstanceId::Text(99)).is_err());
     }
 
@@ -278,7 +307,8 @@ mod tests {
     #[test]
     fn stats_aggregate() {
         let (mut lake, _) = lake_with_table();
-        lake.add_doc(TextDocument::new(10, "T", "Body text", 0)).unwrap();
+        lake.add_doc(TextDocument::new(10, "T", "Body text", 0))
+            .unwrap();
         let s = lake.stats();
         assert_eq!(s.tables, 1);
         assert_eq!(s.tuples, 2);

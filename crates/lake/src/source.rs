@@ -54,7 +54,12 @@ pub struct SourceMeta {
 impl SourceMeta {
     /// Create source metadata with the origin's default trust prior.
     pub fn new(id: SourceId, name: impl Into<String>, origin: SourceOrigin) -> SourceMeta {
-        SourceMeta { id, name: name.into(), origin, trust: origin.default_trust() }
+        SourceMeta {
+            id,
+            name: name.into(),
+            origin,
+            trust: origin.default_trust(),
+        }
     }
 
     /// Replace the trust estimate, clamped to `[0, 1]`.

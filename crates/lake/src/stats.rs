@@ -42,7 +42,12 @@ mod tests {
 
     #[test]
     fn display_mentions_all_modalities() {
-        let s = LakeStats { tables: 3, tuples: 10, docs: 2, ..LakeStats::default() };
+        let s = LakeStats {
+            tables: 3,
+            tuples: 10,
+            docs: 2,
+            ..LakeStats::default()
+        };
         let out = s.to_string();
         assert!(out.contains("3 tables"));
         assert!(out.contains("10 tuples"));

@@ -52,12 +52,20 @@ pub struct Column {
 impl Column {
     /// Non-key column of the given type.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Column {
-        Column { name: name.into(), dtype, is_key: false }
+        Column {
+            name: name.into(),
+            dtype,
+            is_key: false,
+        }
     }
 
     /// Key column of the given type.
     pub fn key(name: impl Into<String>, dtype: DataType) -> Column {
-        Column { name: name.into(), dtype, is_key: true }
+        Column {
+            name: name.into(),
+            dtype,
+            is_key: true,
+        }
     }
 }
 
@@ -101,7 +109,11 @@ impl Schema {
             return None;
         }
         // Exact normalized match first, then containment either way.
-        if let Some(i) = self.columns.iter().position(|c| normalize_str(&c.name) == want) {
+        if let Some(i) = self
+            .columns
+            .iter()
+            .position(|c| normalize_str(&c.name) == want)
+        {
             return Some(i);
         }
         self.columns.iter().position(|c| {
@@ -112,21 +124,37 @@ impl Schema {
 
     /// Indices of key columns.
     pub fn key_indices(&self) -> Vec<usize> {
-        self.columns.iter().enumerate().filter(|(_, c)| c.is_key).map(|(i, _)| i).collect()
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_key)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Indices of non-key columns.
     pub fn non_key_indices(&self) -> Vec<usize> {
-        self.columns.iter().enumerate().filter(|(_, c)| !c.is_key).map(|(i, _)| i).collect()
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_key)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Jaccard similarity between the normalized header sets of two schemas —
     /// the coarse schema-compatibility test used for (tuple, tuple) matching.
     pub fn header_jaccard(&self, other: &Schema) -> f64 {
-        let a: std::collections::HashSet<String> =
-            self.names().map(normalize_str).filter(|s| !s.is_empty()).collect();
-        let b: std::collections::HashSet<String> =
-            other.names().map(normalize_str).filter(|s| !s.is_empty()).collect();
+        let a: std::collections::HashSet<String> = self
+            .names()
+            .map(normalize_str)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let b: std::collections::HashSet<String> = other
+            .names()
+            .map(normalize_str)
+            .filter(|s| !s.is_empty())
+            .collect();
         if a.is_empty() && b.is_empty() {
             return 1.0;
         }
@@ -158,13 +186,22 @@ pub struct Table {
 impl Table {
     /// Create an empty table.
     pub fn new(id: TableId, caption: impl Into<String>, schema: Schema, source: SourceId) -> Table {
-        Table { id, caption: caption.into(), schema, rows: Vec::new(), source }
+        Table {
+            id,
+            caption: caption.into(),
+            schema,
+            rows: Vec::new(),
+            source,
+        }
     }
 
     /// Append a row, checking arity.
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), LakeError> {
         if row.len() != self.schema.arity() {
-            return Err(LakeError::ArityMismatch { expected: self.schema.arity(), got: row.len() });
+            return Err(LakeError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
         }
         self.rows.push(row);
         Ok(())
@@ -237,10 +274,18 @@ mod tests {
 
     fn sample() -> Table {
         let mut t = Table::new(1, "United States House elections", schema(), 0);
-        t.push_row(vec![Value::text("New York 1"), Value::text("Otis G. Pike"), Value::Int(1960)])
-            .unwrap();
-        t.push_row(vec![Value::text("New York 2"), Value::text("James Grover"), Value::Int(1962)])
-            .unwrap();
+        t.push_row(vec![
+            Value::text("New York 1"),
+            Value::text("Otis G. Pike"),
+            Value::Int(1960),
+        ])
+        .unwrap();
+        t.push_row(vec![
+            Value::text("New York 2"),
+            Value::text("James Grover"),
+            Value::Int(1962),
+        ])
+        .unwrap();
         t
     }
 
@@ -248,7 +293,13 @@ mod tests {
     fn arity_checked() {
         let mut t = sample();
         let err = t.push_row(vec![Value::Null]).unwrap_err();
-        assert_eq!(err, LakeError::ArityMismatch { expected: 3, got: 1 });
+        assert_eq!(
+            err,
+            LakeError::ArityMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
     }
 
     #[test]

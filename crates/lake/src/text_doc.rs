@@ -35,7 +35,13 @@ impl TextDocument {
         body: impl Into<String>,
         source: SourceId,
     ) -> TextDocument {
-        TextDocument { id, title: title.into(), body: body.into(), entities: Vec::new(), source }
+        TextDocument {
+            id,
+            title: title.into(),
+            body: body.into(),
+            entities: Vec::new(),
+            source,
+        }
     }
 
     /// Attach entity annotations.
@@ -61,7 +67,10 @@ impl TextDocument {
             return false;
         }
         crate::value::normalize_str(&self.title) == want
-            || self.entities.iter().any(|e| crate::value::normalize_str(e) == want)
+            || self
+                .entities
+                .iter()
+                .any(|e| crate::value::normalize_str(e) == want)
     }
 }
 

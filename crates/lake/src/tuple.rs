@@ -32,18 +32,26 @@ pub struct Tuple {
 impl Tuple {
     /// Value of the column with the given (exact) header.
     pub fn get(&self, column: &str) -> Option<&Value> {
-        self.schema.index_of(column).and_then(|i| self.values.get(i))
+        self.schema
+            .index_of(column)
+            .and_then(|i| self.values.get(i))
     }
 
     /// Value of the column with the given header, using fuzzy header matching.
     pub fn get_fuzzy(&self, column: &str) -> Option<&Value> {
-        self.schema.fuzzy_index_of(column).and_then(|i| self.values.get(i))
+        self.schema
+            .fuzzy_index_of(column)
+            .and_then(|i| self.values.get(i))
     }
 
     /// Key values (the paper's workloads mask only non-key cells, so keys always
     /// survive and identify the entity the tuple describes).
     pub fn key_values(&self) -> Vec<&Value> {
-        self.schema.key_indices().into_iter().filter_map(|i| self.values.get(i)).collect()
+        self.schema
+            .key_indices()
+            .into_iter()
+            .filter_map(|i| self.values.get(i))
+            .collect()
     }
 
     /// Indices of cells that are currently `Null` (e.g. masked for completion).
@@ -104,7 +112,11 @@ mod tests {
 
     #[test]
     fn column_access() {
-        let t = tup(vec![Value::text("NY-1"), Value::text("Otis Pike"), Value::Int(1960)]);
+        let t = tup(vec![
+            Value::text("NY-1"),
+            Value::text("Otis Pike"),
+            Value::Int(1960),
+        ]);
         assert_eq!(t.get("incumbent"), Some(&Value::text("Otis Pike")));
         assert_eq!(t.get_fuzzy("First Elected"), Some(&Value::Int(1960)));
         assert_eq!(t.get("missing"), None);
@@ -119,8 +131,16 @@ mod tests {
 
     #[test]
     fn agreement_counts_shared_non_null() {
-        let a = tup(vec![Value::text("NY-1"), Value::text("Otis Pike"), Value::Int(1960)]);
-        let b = tup(vec![Value::text("NY-1"), Value::text("Someone Else"), Value::Int(1960)]);
+        let a = tup(vec![
+            Value::text("NY-1"),
+            Value::text("Otis Pike"),
+            Value::Int(1960),
+        ]);
+        let b = tup(vec![
+            Value::text("NY-1"),
+            Value::text("Someone Else"),
+            Value::Int(1960),
+        ]);
         // district + first elected agree, incumbent disagrees => 2/3.
         let agr = a.agreement(&b).unwrap();
         assert!((agr - 2.0 / 3.0).abs() < 1e-12);
@@ -129,13 +149,21 @@ mod tests {
     #[test]
     fn agreement_ignores_nulls() {
         let a = tup(vec![Value::text("NY-1"), Value::Null, Value::Int(1960)]);
-        let b = tup(vec![Value::text("NY-1"), Value::text("X"), Value::Int(1960)]);
+        let b = tup(vec![
+            Value::text("NY-1"),
+            Value::text("X"),
+            Value::Int(1960),
+        ]);
         assert_eq!(a.agreement(&b), Some(1.0));
     }
 
     #[test]
     fn agreement_none_when_disjoint_schemas() {
-        let a = tup(vec![Value::text("NY-1"), Value::text("Otis Pike"), Value::Int(1960)]);
+        let a = tup(vec![
+            Value::text("NY-1"),
+            Value::text("Otis Pike"),
+            Value::Int(1960),
+        ]);
         let mut b = a.clone();
         b.schema = Schema::new(vec![Column::new("city", DataType::Text)]);
         b.values = vec![Value::text("Boston")];

@@ -23,7 +23,11 @@ pub struct Date {
 impl Date {
     /// Construct a date, clamping month/day into valid ranges.
     pub fn new(year: i32, month: u8, day: u8) -> Self {
-        Date { year, month: month.clamp(1, 12), day: day.clamp(1, 31) }
+        Date {
+            year,
+            month: month.clamp(1, 12),
+            day: day.clamp(1, 31),
+        }
     }
 
     /// Parse `YYYY-MM-DD`.
@@ -176,7 +180,10 @@ impl Value {
         if t.is_empty() || t.eq_ignore_ascii_case("nan") {
             return Ok(Value::Null);
         }
-        let err = |target: &'static str| LakeError::ParseError { input: s.to_string(), target };
+        let err = |target: &'static str| LakeError::ParseError {
+            input: s.to_string(),
+            target,
+        };
         match ty {
             DataType::Int => t.parse::<i64>().map(Value::Int).map_err(|_| err("int")),
             DataType::Float => t.parse::<f64>().map(Value::Float).map_err(|_| err("float")),
@@ -278,7 +285,10 @@ mod tests {
         assert_eq!(Value::infer("true"), Value::Bool(true));
         assert_eq!(Value::infer("NaN"), Value::Null);
         assert_eq!(Value::infer(""), Value::Null);
-        assert_eq!(Value::infer("1959-01-02"), Value::Date(Date::new(1959, 1, 2)));
+        assert_eq!(
+            Value::infer("1959-01-02"),
+            Value::Date(Date::new(1959, 1, 2))
+        );
         assert_eq!(Value::infer(" Meagan Good "), Value::text("Meagan Good"));
     }
 
@@ -305,8 +315,13 @@ mod tests {
 
     #[test]
     fn total_cmp_orders_numbers_and_nulls() {
-        let mut vals =
-            [Value::Int(5), Value::Null, Value::Float(2.5), Value::Int(-1), Value::Null];
+        let mut vals = [
+            Value::Int(5),
+            Value::Null,
+            Value::Float(2.5),
+            Value::Int(-1),
+            Value::Null,
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null() && vals[1].is_null());
         assert_eq!(vals[2], Value::Int(-1));
@@ -318,7 +333,10 @@ mod tests {
         assert_eq!(Value::parse_as("7", DataType::Int).unwrap(), Value::Int(7));
         assert!(Value::parse_as("seven", DataType::Int).is_err());
         assert_eq!(Value::parse_as("nan", DataType::Int).unwrap(), Value::Null);
-        assert_eq!(Value::parse_as("yes", DataType::Bool).unwrap(), Value::Bool(true));
+        assert_eq!(
+            Value::parse_as("yes", DataType::Bool).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]

@@ -26,8 +26,11 @@ use verifai_lake::{Table, Tuple, Value};
 /// Both the world model population (datagen) and the LLM's fact lookups use
 /// this convention, so they agree on what "the entity of this tuple" means.
 pub fn entity_key(tuple: &Tuple) -> String {
-    let parts: Vec<String> =
-        tuple.key_values().iter().map(|v| normalize_str(&v.to_string())).collect();
+    let parts: Vec<String> = tuple
+        .key_values()
+        .iter()
+        .map(|v| normalize_str(&v.to_string()))
+        .collect();
     parts.join(" ")
 }
 
@@ -83,7 +86,10 @@ impl SimLlm {
         let entity = entity_key(tuple);
         let attr_tag = self.tag(&normalize_str(column));
         let ent_tag = self.tag(&entity);
-        let knows = self.chance(&[ent_tag, attr_tag, 0x6e0], self.config.knowledge_reliability);
+        let knows = self.chance(
+            &[ent_tag, attr_tag, 0x6e0],
+            self.config.knowledge_reliability,
+        );
         match self.world.truth(&entity, column) {
             Some(truth) if knows => truth.clone(),
             Some(truth) => {
@@ -106,7 +112,9 @@ impl SimLlm {
         transcript.user(tuple_completion_prompt(table));
         let mut completed = table.clone();
         for row in 0..table.num_rows() {
-            let Some(tuple) = table.tuple_at(row, row as u64) else { continue };
+            let Some(tuple) = table.tuple_at(row, row as u64) else {
+                continue;
+            };
             for col in tuple.null_indices() {
                 let column = table.schema.columns()[col].name.clone();
                 let value = self.impute_cell(&tuple, &column);
@@ -128,8 +136,10 @@ impl SimLlm {
     /// [`SimLlmConfig::unaided_claim_accuracy`], hash-keyed on the claim text so
     /// the same claim always gets the same answer.
     pub fn judge_claim_unaided(&self, claim_text: &str, label: bool) -> bool {
-        let correct =
-            self.chance(&[self.tag(claim_text), 0xc1a], self.config.unaided_claim_accuracy);
+        let correct = self.chance(
+            &[self.tag(claim_text), 0xc1a],
+            self.config.unaided_claim_accuracy,
+        );
         if correct {
             label
         } else {
@@ -164,7 +174,11 @@ mod tests {
     fn world(n: usize) -> WorldModel {
         let mut w = WorldModel::new();
         for i in 0..n {
-            w.add_fact(&format!("district {i}"), "incumbent", Value::text(format!("Person {i}")));
+            w.add_fact(
+                &format!("district {i}"),
+                "incumbent",
+                Value::text(format!("Person {i}")),
+            );
         }
         w
     }
@@ -173,7 +187,10 @@ mod tests {
     fn imputation_is_deterministic() {
         let llm = SimLlm::new(SimLlmConfig::default(), world(50));
         let t = tuple("district 3", Value::Null);
-        assert_eq!(llm.impute_cell(&t, "incumbent"), llm.impute_cell(&t, "incumbent"));
+        assert_eq!(
+            llm.impute_cell(&t, "incumbent"),
+            llm.impute_cell(&t, "incumbent")
+        );
     }
 
     #[test]
@@ -181,14 +198,20 @@ mod tests {
         let llm = SimLlm::new(SimLlmConfig::oracle(1), world(50));
         for i in 0..50 {
             let t = tuple(&format!("district {i}"), Value::Null);
-            assert_eq!(llm.impute_cell(&t, "incumbent"), Value::text(format!("Person {i}")));
+            assert_eq!(
+                llm.impute_cell(&t, "incumbent"),
+                Value::text(format!("Person {i}"))
+            );
         }
     }
 
     #[test]
     fn knowledge_reliability_calibrates_accuracy() {
         let llm = SimLlm::new(
-            SimLlmConfig { knowledge_reliability: 0.52, ..SimLlmConfig::default() },
+            SimLlmConfig {
+                knowledge_reliability: 0.52,
+                ..SimLlmConfig::default()
+            },
             world(600),
         );
         let correct = (0..600)
@@ -198,13 +221,19 @@ mod tests {
             })
             .count();
         let acc = correct as f64 / 600.0;
-        assert!((0.44..0.60).contains(&acc), "ungrounded accuracy {acc} far from 0.52");
+        assert!(
+            (0.44..0.60).contains(&acc),
+            "ungrounded accuracy {acc} far from 0.52"
+        );
     }
 
     #[test]
     fn wrong_answers_are_plausible_domain_values() {
         let llm = SimLlm::new(
-            SimLlmConfig { knowledge_reliability: 0.0, ..SimLlmConfig::default() },
+            SimLlmConfig {
+                knowledge_reliability: 0.0,
+                ..SimLlmConfig::default()
+            },
             world(20),
         );
         let t = tuple("district 3", Value::Null);
@@ -219,8 +248,12 @@ mod tests {
     fn complete_table_fills_all_nans() {
         let llm = SimLlm::new(SimLlmConfig::default(), world(10));
         let mut table = Table::new(5, "elections", schema(), 0);
-        table.push_row(vec![Value::text("district 1"), Value::Null]).unwrap();
-        table.push_row(vec![Value::text("district 2"), Value::text("Known Person")]).unwrap();
+        table
+            .push_row(vec![Value::text("district 1"), Value::Null])
+            .unwrap();
+        table
+            .push_row(vec![Value::text("district 2"), Value::text("Known Person")])
+            .unwrap();
         let (done, transcript) = llm.complete_table(&table);
         assert!(!done.cell(0, 1).unwrap().is_null());
         assert_eq!(done.cell(1, 1).unwrap(), &Value::text("Known Person"));
@@ -238,7 +271,10 @@ mod tests {
             })
             .count();
         let acc = correct as f64 / 1000.0;
-        assert!((0.48..0.60).contains(&acc), "unaided accuracy {acc} far from 0.54");
+        assert!(
+            (0.48..0.60).contains(&acc),
+            "unaided accuracy {acc} far from 0.54"
+        );
     }
 
     #[test]

@@ -17,15 +17,20 @@ pub enum Verdict {
     Refuted,
     /// The evidence can neither support nor refute it (encoded `2`).
     NotRelated,
+    /// Verification did not complete (deadline exceeded or aborted); no
+    /// judgement was made. Not part of the paper's ternary outcome — encoded
+    /// `3` and treated as abstaining wherever verdicts aggregate.
+    Unknown,
 }
 
 impl Verdict {
-    /// The paper's integer encoding.
+    /// The paper's integer encoding (`Unknown` extends it with `3`).
     pub fn code(self) -> u8 {
         match self {
             Verdict::Verified => 0,
             Verdict::Refuted => 1,
             Verdict::NotRelated => 2,
+            Verdict::Unknown => 3,
         }
     }
 }
@@ -36,6 +41,7 @@ impl fmt::Display for Verdict {
             Verdict::Verified => "Verified",
             Verdict::Refuted => "Refuted",
             Verdict::NotRelated => "Not Related",
+            Verdict::Unknown => "Unknown",
         };
         f.write_str(s)
     }

@@ -35,12 +35,18 @@ pub struct Transcript {
 impl Transcript {
     /// Append a user prompt.
     pub fn user(&mut self, content: impl Into<String>) {
-        self.messages.push(ChatMessage { role: Role::User, content: content.into() });
+        self.messages.push(ChatMessage {
+            role: Role::User,
+            content: content.into(),
+        });
     }
 
     /// Append a model reply.
     pub fn assistant(&mut self, content: impl Into<String>) {
-        self.messages.push(ChatMessage { role: Role::Assistant, content: content.into() });
+        self.messages.push(ChatMessage {
+            role: Role::Assistant,
+            content: content.into(),
+        });
     }
 }
 

@@ -46,12 +46,12 @@ fn evidence_tag(evidence: &DataInstance) -> u64 {
     (kind << 56) ^ evidence.id().raw()
 }
 
-/// Swap Verified and Refuted, leaving NotRelated untouched.
+/// Swap Verified and Refuted, leaving the non-judgements untouched.
 fn flip(v: Verdict) -> Verdict {
     match v {
         Verdict::Verified => Verdict::Refuted,
         Verdict::Refuted => Verdict::Verified,
-        Verdict::NotRelated => Verdict::NotRelated,
+        Verdict::NotRelated | Verdict::Unknown => v,
     }
 }
 
@@ -112,7 +112,11 @@ impl SimLlm {
             &object.render(),
         ));
         transcript.assistant(format!("Result: {verdict}. {explanation}"));
-        LlmVerdict { verdict, explanation, transcript }
+        LlmVerdict {
+            verdict,
+            explanation,
+            transcript,
+        }
     }
 
     /// Apply the Verified/Refuted flip channel.
@@ -151,15 +155,24 @@ impl SimLlm {
         // somewhere in the evidence tuple.
         let keys = cell.tuple.key_values();
         let related = !keys.is_empty()
-            && keys.iter().all(|k| tuple.values.iter().any(|v| v.matches(k)));
+            && keys
+                .iter()
+                .all(|k| tuple.values.iter().any(|v| v.matches(k)));
         if !related {
             let v = self.relatedness_noise(&tags);
-            return (v, "The evidence tuple describes a different entity.".to_string());
+            return (
+                v,
+                "The evidence tuple describes a different entity.".to_string(),
+            );
         }
         match tuple.get_fuzzy(&cell.column) {
             Some(actual) if !actual.is_null() => {
                 let matches = actual.matches(&cell.value);
-                let base = if matches { Verdict::Verified } else { Verdict::Refuted };
+                let base = if matches {
+                    Verdict::Verified
+                } else {
+                    Verdict::Refuted
+                };
                 let v = self.noisy(base, &tags, self.config().tuple_verify_error_rate);
                 let expl = if matches {
                     format!(
@@ -176,7 +189,10 @@ impl SimLlm {
             }
             _ => (
                 self.relatedness_noise(&tags),
-                format!("The evidence tuple has no usable {} attribute.", cell.column),
+                format!(
+                    "The evidence tuple has no usable {} attribute.",
+                    cell.column
+                ),
             ),
         }
     }
@@ -194,7 +210,10 @@ impl SimLlm {
         let body = doc.full_text();
         if !normalize_str(&body).contains(&entity) {
             let v = self.relatedness_noise(&tags);
-            return (v, "The text does not mention the entity in question.".to_string());
+            return (
+                v,
+                "The text does not mention the entity in question.".to_string(),
+            );
         }
         match scan_fact(&body, &entity, &cell.column) {
             Some(asserted) => {
@@ -204,10 +223,17 @@ impl SimLlm {
                         (Some(a), Some(b)) => verifai_lake::value::float_eq(a, b),
                         _ => false,
                     };
-                let base = if matches { Verdict::Verified } else { Verdict::Refuted };
+                let base = if matches {
+                    Verdict::Verified
+                } else {
+                    Verdict::Refuted
+                };
                 let v = self.noisy(base, &tags, self.config().tuple_verify_error_rate);
                 let expl = if matches {
-                    format!("The text states the {} is '{asserted}', which matches.", cell.column)
+                    format!(
+                        "The text states the {} is '{asserted}', which matches.",
+                        cell.column
+                    )
                 } else {
                     format!(
                         "The text states the {} is '{asserted}', not '{generated}'.",
@@ -237,14 +263,19 @@ impl SimLlm {
         // Reason over each row as a tuple and take the strongest signal.
         let mut saw_refuted = false;
         for row in 0..table.num_rows() {
-            let Some(t) = table.tuple_at(row, row as u64) else { continue };
+            let Some(t) = table.tuple_at(row, row as u64) else {
+                continue;
+            };
             let (v, expl) = self.verify_cell_vs_tuple(cell, &t, evidence);
             match v {
                 Verdict::Verified => {
-                    return (Verdict::Verified, format!("Row {} of the table: {expl}", row + 1))
+                    return (
+                        Verdict::Verified,
+                        format!("Row {} of the table: {expl}", row + 1),
+                    )
                 }
                 Verdict::Refuted => saw_refuted = true,
-                Verdict::NotRelated => {}
+                Verdict::NotRelated | Verdict::Unknown => {}
             }
         }
         if saw_refuted {
@@ -272,8 +303,15 @@ impl SimLlm {
         // Misread channel: the model occasionally misunderstands the sentence.
         if self.chance(&[tags[0], tags[1], 0x3f], self.config().misread_rate) {
             let pick = self.chance(&[tags[0], tags[1], 0x40], 0.5);
-            let v = if pick { Verdict::Verified } else { Verdict::Refuted };
-            return (v, "The claim was interpreted loosely against the table.".to_string());
+            let v = if pick {
+                Verdict::Verified
+            } else {
+                Verdict::Refuted
+            };
+            return (
+                v,
+                "The claim was interpreted loosely against the table.".to_string(),
+            );
         }
         // Caption-scope check — the LLM's contextual strength, and the paper's
         // Figure 4 mechanism: E2 is "not related because it is for the year
@@ -313,9 +351,7 @@ impl SimLlm {
                 let v = self.relatedness_noise(&tags);
                 (v, explain_unsupported(&expr, table))
             }
-            ExecOutcome::False
-                if scope_relation == verifai_claims::ScopeRelation::Partial =>
-            {
+            ExecOutcome::False if scope_relation == verifai_claims::ScopeRelation::Partial => {
                 // Existential reading of an under-specified claim: this family
                 // member does not bear it out, but another might — abstain.
                 let v = self.relatedness_noise(&tags);
@@ -359,8 +395,16 @@ impl SimLlm {
         // subject — no caption family to be ambiguous over — so the pseudo-table
         // takes the claim's own scope as caption (relation Exact): a tuple that
         // contradicts a lookup about its subject refutes it outright.
-        let caption = claim.scope.clone().unwrap_or_else(|| "evidence tuple".to_string());
-        let mut table = Table::new(u64::MAX, caption.clone(), tuple.schema.clone(), tuple.source);
+        let caption = claim
+            .scope
+            .clone()
+            .unwrap_or_else(|| "evidence tuple".to_string());
+        let mut table = Table::new(
+            u64::MAX,
+            caption.clone(),
+            tuple.schema.clone(),
+            tuple.source,
+        );
         let _ = table.push_row(tuple.values.clone());
         let expr = claim.expr.clone().or_else(|| parse_claim(&claim.text));
         match expr {
@@ -385,8 +429,13 @@ impl SimLlm {
         evidence: &DataInstance,
     ) -> (Verdict, String) {
         let tags = [claim.id, evidence_tag(evidence), 0x74];
-        let Some(ClaimExpr::Lookup { key, column, op, value, .. }) =
-            claim.expr.clone().or_else(|| parse_claim(&claim.text))
+        let Some(ClaimExpr::Lookup {
+            key,
+            column,
+            op,
+            value,
+            ..
+        }) = claim.expr.clone().or_else(|| parse_claim(&claim.text))
         else {
             return (
                 Verdict::NotRelated,
@@ -400,11 +449,19 @@ impl SimLlm {
                 // a negated claim ("is not X") is REFUTED by a text asserting X.
                 let asserted_value = Value::infer(&asserted);
                 let holds = op.eval(&asserted_value, &value);
-                let base = if holds { Verdict::Verified } else { Verdict::Refuted };
+                let base = if holds {
+                    Verdict::Verified
+                } else {
+                    Verdict::Refuted
+                };
                 let v = self.noisy(base, &tags, self.config().tuple_verify_error_rate);
                 let expl = format!(
                     "The text states the {column} of {key} is '{asserted}'{}.",
-                    if holds { ", as claimed" } else { ", contradicting the claim" }
+                    if holds {
+                        ", as claimed"
+                    } else {
+                        ", contradicting the claim"
+                    }
                 );
                 (v, expl)
             }
@@ -415,7 +472,6 @@ impl SimLlm {
         }
     }
 }
-
 
 impl SimLlm {
     // -- (imputed cell, knowledge-graph entity) -------------------------------
@@ -433,12 +489,19 @@ impl SimLlm {
         let subject = entity_key(&cell.tuple);
         if !entity.is_about(&subject) {
             let v = self.relatedness_noise(&tags);
-            return (v, "The knowledge-graph entity is a different subject.".to_string());
+            return (
+                v,
+                "The knowledge-graph entity is a different subject.".to_string(),
+            );
         }
         match entity.object_of(&cell.column) {
             Some(object) if !object.is_null() => {
                 let matches = object.matches(&cell.value);
-                let base = if matches { Verdict::Verified } else { Verdict::Refuted };
+                let base = if matches {
+                    Verdict::Verified
+                } else {
+                    Verdict::Refuted
+                };
                 let v = self.noisy(base, &tags, self.config().tuple_verify_error_rate);
                 let expl = if matches {
                     format!(
@@ -473,28 +536,43 @@ impl SimLlm {
         evidence: &DataInstance,
     ) -> (Verdict, String) {
         let tags = [claim.id, evidence_tag(evidence), 0x76];
-        let Some(ClaimExpr::Lookup { key, column, op, value, .. }) =
-            claim.expr.clone().or_else(|| parse_claim(&claim.text))
+        let Some(ClaimExpr::Lookup {
+            key,
+            column,
+            op,
+            value,
+            ..
+        }) = claim.expr.clone().or_else(|| parse_claim(&claim.text))
         else {
             return (
                 Verdict::NotRelated,
-                "A single knowledge-graph entity cannot evaluate a table-level claim."
-                    .to_string(),
+                "A single knowledge-graph entity cannot evaluate a table-level claim.".to_string(),
             );
         };
         if !entity.is_about(&key.to_string()) {
             let v = self.relatedness_noise(&tags);
-            return (v, "The knowledge-graph entity is a different subject.".to_string());
+            return (
+                v,
+                "The knowledge-graph entity is a different subject.".to_string(),
+            );
         }
         match entity.object_of(&column) {
             Some(object) if !object.is_null() => {
                 let holds = op.eval(object, &value);
-                let base = if holds { Verdict::Verified } else { Verdict::Refuted };
+                let base = if holds {
+                    Verdict::Verified
+                } else {
+                    Verdict::Refuted
+                };
                 let v = self.noisy(base, &tags, self.config().lookup_error_rate);
                 let expl = format!(
                     "The knowledge graph asserts ({}, {column}, {object}){}.",
                     entity.name,
-                    if holds { ", as claimed" } else { ", contradicting the claim" }
+                    if holds {
+                        ", as claimed"
+                    } else {
+                        ", contradicting the claim"
+                    }
                 );
                 (v, expl)
             }
@@ -685,7 +763,8 @@ mod tests {
             0,
         );
         for (team, pts) in [("Kansas", 42), ("Brown", 1), ("Yale", 1)] {
-            t.push_row(vec![Value::text(team), Value::Int(pts)]).unwrap();
+            t.push_row(vec![Value::text(team), Value::Int(pts)])
+                .unwrap();
         }
         t
     }
@@ -719,7 +798,11 @@ mod tests {
         let e1 = DataInstance::Table(ncaa_table());
         let v1 = llm.verify(&claim, &e1);
         assert_eq!(v1.verdict, Verdict::Refuted);
-        assert!(v1.explanation.contains("aggregation query"), "{}", v1.explanation);
+        assert!(
+            v1.explanation.contains("aggregation query"),
+            "{}",
+            v1.explanation
+        );
         assert!(v1.explanation.contains('2'), "{}", v1.explanation); // actual count
 
         // E2: a table about films — not related.
@@ -732,7 +815,11 @@ mod tests {
             ]),
             0,
         );
-        film.push_row(vec![Value::text("Stomp the Yard"), Value::text("Columbus Short")]).unwrap();
+        film.push_row(vec![
+            Value::text("Stomp the Yard"),
+            Value::text("Columbus Short"),
+        ])
+        .unwrap();
         let v2 = llm.verify(&claim, &DataInstance::Table(film));
         assert_eq!(v2.verdict, Verdict::NotRelated);
         assert!(v2.explanation.contains("not related"), "{}", v2.explanation);
@@ -744,7 +831,8 @@ mod tests {
         let claim = DataObject::TextClaim(TextClaim {
             id: 3,
             text: "in the championships, the points of Brown is 1".into(),
-            expr: None, scope: None,
+            expr: None,
+            scope: None,
         });
         let v = llm.verify(&claim, &DataInstance::Table(ncaa_table()));
         assert_eq!(v.verdict, Verdict::Verified);
@@ -756,7 +844,8 @@ mod tests {
         let claim = DataObject::TextClaim(TextClaim {
             id: 4,
             text: "in the c, the total points is 44".into(),
-            expr: None, scope: None,
+            expr: None,
+            scope: None,
         });
         let t = ncaa_table().tuple_at(0, 50).unwrap();
         let v = llm.verify(&claim, &DataInstance::Tuple(t));
@@ -771,7 +860,9 @@ mod tests {
         let prompt = &v.transcript.messages[0].content;
         assert!(prompt.starts_with("Please use the evidence below"));
         assert!(prompt.contains("Generative Data:"));
-        assert!(v.transcript.messages[1].content.starts_with("Result: Verified"));
+        assert!(v.transcript.messages[1]
+            .content
+            .starts_with("Result: Verified"));
     }
 
     #[test]
@@ -798,19 +889,32 @@ mod tests {
         good.assert_fact("incumbent", Value::text("Otis Pike"));
         let v = llm.verify(&obj, &DataInstance::Kg(good));
         assert_eq!(v.verdict, Verdict::Verified);
-        assert!(v.explanation.contains("knowledge graph asserts"), "{}", v.explanation);
+        assert!(
+            v.explanation.contains("knowledge graph asserts"),
+            "{}",
+            v.explanation
+        );
 
         let mut bad = KgEntity::new(61, "New York 1", 0);
         bad.assert_fact("incumbent", Value::text("Someone Else"));
-        assert_eq!(llm.verify(&obj, &DataInstance::Kg(bad)).verdict, Verdict::Refuted);
+        assert_eq!(
+            llm.verify(&obj, &DataInstance::Kg(bad)).verdict,
+            Verdict::Refuted
+        );
 
         let mut other = KgEntity::new(62, "Ohio 5", 0);
         other.assert_fact("incumbent", Value::text("Otis Pike"));
-        assert_eq!(llm.verify(&obj, &DataInstance::Kg(other)).verdict, Verdict::NotRelated);
+        assert_eq!(
+            llm.verify(&obj, &DataInstance::Kg(other)).verdict,
+            Verdict::NotRelated
+        );
 
         // Subject matches but the predicate is absent.
         let silent = KgEntity::new(63, "New York 1", 0);
-        assert_eq!(llm.verify(&obj, &DataInstance::Kg(silent)).verdict, Verdict::NotRelated);
+        assert_eq!(
+            llm.verify(&obj, &DataInstance::Kg(silent)).verdict,
+            Verdict::NotRelated
+        );
     }
 
     #[test]
@@ -832,7 +936,10 @@ mod tests {
             }),
             scope: None,
         });
-        assert_eq!(llm.verify(&lookup, &DataInstance::Kg(kg.clone())).verdict, Verdict::Verified);
+        assert_eq!(
+            llm.verify(&lookup, &DataInstance::Kg(kg.clone())).verdict,
+            Verdict::Verified
+        );
 
         let aggregate = DataObject::TextClaim(TextClaim {
             id: 21,
@@ -859,7 +966,11 @@ mod tests {
         });
         let v = llm.verify(&claim, &DataInstance::Table(ncaa_table()));
         assert_eq!(v.verdict, Verdict::NotRelated, "{}", v.explanation);
-        assert!(v.explanation.contains("does not pin down"), "{}", v.explanation);
+        assert!(
+            v.explanation.contains("does not pin down"),
+            "{}",
+            v.explanation
+        );
 
         // The same claim TRUE on this member is verified even under the
         // existential reading.
@@ -870,7 +981,8 @@ mod tests {
             scope: Some("NCAA Track and Field Championships".into()),
         });
         assert_eq!(
-            llm.verify(&true_claim, &DataInstance::Table(ncaa_table())).verdict,
+            llm.verify(&true_claim, &DataInstance::Table(ncaa_table()))
+                .verdict,
             Verdict::Verified
         );
     }
@@ -879,8 +991,12 @@ mod tests {
     fn cell_vs_table_uses_matching_row() {
         let llm = oracle();
         let mut table = Table::new(40, "elections", schema(), 0);
-        table.push_row(vec![Value::text("Ohio 5"), Value::text("Other Person")]).unwrap();
-        table.push_row(vec![Value::text("New York 1"), Value::text("Otis Pike")]).unwrap();
+        table
+            .push_row(vec![Value::text("Ohio 5"), Value::text("Other Person")])
+            .unwrap();
+        table
+            .push_row(vec![Value::text("New York 1"), Value::text("Otis Pike")])
+            .unwrap();
         let obj = DataObject::ImputedCell(gen_cell("Otis Pike"));
         let v = llm.verify(&obj, &DataInstance::Table(table));
         assert_eq!(v.verdict, Verdict::Verified);

@@ -60,8 +60,7 @@ impl WorldModel {
     pub fn plausible_wrong(&self, attribute: &str, not: &Value, pick: u64) -> Value {
         let domain = self.domains.get(&normalize_str(attribute));
         if let Some(domain) = domain {
-            let alternatives: Vec<&Value> =
-                domain.iter().filter(|v| !v.matches(not)).collect();
+            let alternatives: Vec<&Value> = domain.iter().filter(|v| !v.matches(not)).collect();
             if !alternatives.is_empty() {
                 return alternatives[(pick % alternatives.len() as u64) as usize].clone();
             }
@@ -114,7 +113,10 @@ mod tests {
         w.add_fact("c", "party", Value::text("Independent"));
         for pick in 0..10 {
             let wrong = w.plausible_wrong("party", &Value::text("Democratic"), pick);
-            assert!(!wrong.matches(&Value::text("Democratic")), "pick {pick}: {wrong:?}");
+            assert!(
+                !wrong.matches(&Value::text("Democratic")),
+                "pick {pick}: {wrong:?}"
+            );
         }
     }
 

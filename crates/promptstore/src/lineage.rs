@@ -23,7 +23,10 @@ pub fn lineage(store: &PromptStore, generation: GenerationId) -> Option<LineageR
         "lineage of generation {} (object {}):\n",
         gen.id, gen.object_id
     );
-    text.push_str(&format!("  produced by conversation {} ({:?})\n", conv.id, conv.task));
+    text.push_str(&format!(
+        "  produced by conversation {} ({:?})\n",
+        conv.id, conv.task
+    ));
     for m in &conv.transcript.messages {
         let role = match m.role {
             Role::User => "prompt",
@@ -73,14 +76,20 @@ mod tests {
         let gen = store.record_generation(conv, &object);
         store.attach_verification(
             3,
-            VerificationSummary { decision: Verdict::Refuted, confidence: 0.88, evidence_count: 5 },
+            VerificationSummary {
+                decision: Verdict::Refuted,
+                confidence: 0.88,
+                evidence_count: 5,
+            },
         );
 
         let report = store.lineage(gen).unwrap();
         assert!(report.text.contains("conversation 0 (TupleCompletion)"));
         assert!(report.text.contains("prompt: Question:"));
         assert!(report.text.contains("generated: claim: a generated claim"));
-        assert!(report.text.contains("verification: Refuted (confidence 0.88, 5 evidence"));
+        assert!(report
+            .text
+            .contains("verification: Refuted (confidence 0.88, 5 evidence"));
     }
 
     #[test]
@@ -94,7 +103,11 @@ mod tests {
             scope: None,
         });
         let gen = store.record_generation(conv, &object);
-        assert!(store.lineage(gen).unwrap().text.contains("not yet verified"));
+        assert!(store
+            .lineage(gen)
+            .unwrap()
+            .text
+            .contains("not yet verified"));
         assert!(store.lineage(999).is_none());
     }
 }

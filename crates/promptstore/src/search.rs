@@ -32,7 +32,9 @@ pub fn search_prompts(store: &PromptStore, query: &str, k: usize) -> Vec<(Conver
         .filter(|&(_, s)| s > 0.0)
         .collect();
     scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
     });
     scored.truncate(k);
     scored

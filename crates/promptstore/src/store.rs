@@ -93,10 +93,19 @@ impl PromptStore {
     }
 
     /// Record a conversation; returns its id.
-    pub fn record_conversation(&mut self, transcript: Transcript, task: TaskKind) -> ConversationId {
+    pub fn record_conversation(
+        &mut self,
+        transcript: Transcript,
+        task: TaskKind,
+    ) -> ConversationId {
         let id = self.conversations.len() as ConversationId;
         let seq = id;
-        self.conversations.push(Conversation { id, transcript, task, seq });
+        self.conversations.push(Conversation {
+            id,
+            transcript,
+            task,
+            seq,
+        });
         id
     }
 
@@ -120,11 +129,7 @@ impl PromptStore {
 
     /// Attach a verification outcome to the generation of `object_id`.
     /// Returns false when no such generation was recorded.
-    pub fn attach_verification(
-        &mut self,
-        object_id: u64,
-        summary: VerificationSummary,
-    ) -> bool {
+    pub fn attach_verification(&mut self, object_id: u64, summary: VerificationSummary) -> bool {
         match self.by_object.get(&object_id) {
             Some(&gen) => {
                 self.generations[gen as usize].verification = Some(summary);
@@ -146,7 +151,9 @@ impl PromptStore {
 
     /// The generation recorded for a workload object id.
     pub fn generation_of_object(&self, object_id: u64) -> Option<&GenerationRecord> {
-        self.by_object.get(&object_id).and_then(|&g| self.generation(g))
+        self.by_object
+            .get(&object_id)
+            .and_then(|&g| self.generation(g))
     }
 
     /// All conversations, in insertion order.
@@ -179,7 +186,7 @@ impl PromptStore {
                 Some(v) => match v.decision {
                     Verdict::Verified => s.verified += 1,
                     Verdict::Refuted => s.refuted += 1,
-                    Verdict::NotRelated => s.undecided += 1,
+                    Verdict::NotRelated | Verdict::Unknown => s.undecided += 1,
                 },
                 None => s.unverified += 1,
             }
@@ -237,20 +244,28 @@ mod tests {
     #[test]
     fn record_and_link_lineage() {
         let mut store = PromptStore::new();
-        let conv = store.record_conversation(transcript("complete this table"), TaskKind::TupleCompletion);
+        let conv =
+            store.record_conversation(transcript("complete this table"), TaskKind::TupleCompletion);
         let gen = store.record_generation(conv, &object(7));
         assert_eq!(store.generation(gen).unwrap().conversation, conv);
         assert_eq!(store.generation_of_object(7).unwrap().id, gen);
 
         assert!(store.attach_verification(
             7,
-            VerificationSummary { decision: Verdict::Refuted, confidence: 0.9, evidence_count: 6 }
+            VerificationSummary {
+                decision: Verdict::Refuted,
+                confidence: 0.9,
+                evidence_count: 6
+            }
         ));
-        assert!(!store.attach_verification(99, VerificationSummary {
-            decision: Verdict::Verified,
-            confidence: 1.0,
-            evidence_count: 1,
-        }));
+        assert!(!store.attach_verification(
+            99,
+            VerificationSummary {
+                decision: Verdict::Verified,
+                confidence: 1.0,
+                evidence_count: 1,
+            }
+        ));
         assert_eq!(store.refuted_generations().count(), 1);
     }
 
@@ -258,15 +273,23 @@ mod tests {
     fn stats_partition_generations() {
         let mut store = PromptStore::new();
         let conv = store.record_conversation(transcript("p"), TaskKind::ClaimJudgment);
-        for (i, decision) in
-            [Verdict::Verified, Verdict::Verified, Verdict::Refuted, Verdict::NotRelated]
-                .into_iter()
-                .enumerate()
+        for (i, decision) in [
+            Verdict::Verified,
+            Verdict::Verified,
+            Verdict::Refuted,
+            Verdict::NotRelated,
+        ]
+        .into_iter()
+        .enumerate()
         {
             store.record_generation(conv, &object(i as u64));
             store.attach_verification(
                 i as u64,
-                VerificationSummary { decision, confidence: 0.8, evidence_count: 3 },
+                VerificationSummary {
+                    decision,
+                    confidence: 0.8,
+                    evidence_count: 3,
+                },
             );
         }
         store.record_generation(conv, &object(10)); // never verified
@@ -288,7 +311,10 @@ mod tests {
         assert_eq!(v["conversations"].as_array().unwrap().len(), 1);
         assert_eq!(v["generations"][0]["object_id"], 1);
         assert!(v["generations"][0]["verification"].is_null());
-        assert_eq!(v["conversations"][0]["messages"][0]["content"], "the prompt");
+        assert_eq!(
+            v["conversations"][0]["messages"][0]["content"],
+            "the prompt"
+        );
     }
 }
 

@@ -24,7 +24,10 @@ pub struct ColbertReranker {
 impl ColbertReranker {
     /// Reranker with the given encoder.
     pub fn new(encoder: TokenEmbedder) -> ColbertReranker {
-        ColbertReranker { encoder, max_doc_tokens: 256 }
+        ColbertReranker {
+            encoder,
+            max_doc_tokens: 256,
+        }
     }
 
     /// Default encoder (64-dim, fixed seed).
@@ -55,10 +58,9 @@ impl ColbertReranker {
     fn query_text(object: &DataObject) -> String {
         match object {
             DataObject::TextClaim(c) => c.text.clone(),
-            DataObject::ImputedCell(c) => verifai_text::tuple_query(
-                &c.tuple,
-                Some((c.column.as_str(), &c.value.to_string())),
-            ),
+            DataObject::ImputedCell(c) => {
+                verifai_text::tuple_query(&c.tuple, Some((c.column.as_str(), &c.value.to_string())))
+            }
         }
     }
 }
@@ -84,7 +86,12 @@ mod tests {
     use verifai_llm::TextClaim;
 
     fn claim(text: &str) -> DataObject {
-        DataObject::TextClaim(TextClaim { id: 0, text: text.into(), expr: None, scope: None })
+        DataObject::TextClaim(TextClaim {
+            id: 0,
+            text: text.into(),
+            expr: None,
+            scope: None,
+        })
     }
 
     fn doc(id: u64, body: &str) -> DataInstance {
@@ -95,7 +102,10 @@ mod tests {
     fn exact_topical_overlap_beats_unrelated() {
         let r = ColbertReranker::with_defaults();
         let q = claim("Meagan Good plays a role in Stomp the Yard");
-        let related = doc(1, "Stomp the Yard is a 2007 film. Meagan Good plays April Palmer.");
+        let related = doc(
+            1,
+            "Stomp the Yard is a 2007 film. Meagan Good plays April Palmer.",
+        );
         let unrelated = doc(2, "The 1959 championships were held at Berkeley in June.");
         assert!(r.score(&q, &related) > r.score(&q, &unrelated) + 0.2);
     }
@@ -123,7 +133,11 @@ mod tests {
         let full = doc(1, "brown scored one point in 1959");
         let partial = doc(2, "brown university results from 1959");
         let none = doc(3, "completely different words entirely elsewhere");
-        let (sf, sp, sn) = (r.score(&q, &full), r.score(&q, &partial), r.score(&q, &none));
+        let (sf, sp, sn) = (
+            r.score(&q, &full),
+            r.score(&q, &partial),
+            r.score(&q, &none),
+        );
         assert!(sf > sp, "{sf} <= {sp}");
         assert!(sp > sn, "{sp} <= {sn}");
     }

@@ -28,7 +28,11 @@ impl CompositeReranker {
         table: TableReranker,
         tuple: TupleReranker,
     ) -> CompositeReranker {
-        CompositeReranker { colbert, table, tuple }
+        CompositeReranker {
+            colbert,
+            table,
+            tuple,
+        }
     }
 
     /// Default sub-rerankers.
@@ -154,7 +158,8 @@ mod tests {
         let claim = DataObject::TextClaim(TextClaim {
             id: 0,
             text: "in the championship, the points of Brown is 1".into(),
-            expr: None, scope: None,
+            expr: None,
+            scope: None,
         });
         let mut table = Table::new(
             5,
@@ -165,7 +170,9 @@ mod tests {
             ]),
             0,
         );
-        table.push_row(vec![Value::text("Brown"), Value::Int(1)]).unwrap();
+        table
+            .push_row(vec![Value::text("Brown"), Value::Int(1)])
+            .unwrap();
         let candidates = vec![
             DataInstance::Table(table),
             DataInstance::Text(TextDocument::new(7, "Brown", "Brown scored in 1959.", 0)),

@@ -86,7 +86,12 @@ mod tests {
 
     #[test]
     fn rerank_sorts_and_truncates() {
-        let object = DataObject::TextClaim(TextClaim { id: 0, text: "q".into(), expr: None, scope: None });
+        let object = DataObject::TextClaim(TextClaim {
+            id: 0,
+            text: "q".into(),
+            expr: None,
+            scope: None,
+        });
         let candidates = vec![
             DataInstance::Text(TextDocument::new(1, "a", "xx", 0)),
             DataInstance::Text(TextDocument::new(2, "b", "xxxx", 0)),

@@ -28,7 +28,12 @@ pub struct TableRerankWeights {
 
 impl Default for TableRerankWeights {
     fn default() -> Self {
-        TableRerankWeights { caption: 0.4, header: 0.2, cells: 0.25, dense: 0.15 }
+        TableRerankWeights {
+            caption: 0.4,
+            header: 0.2,
+            cells: 0.25,
+            dense: 0.15,
+        }
     }
 }
 
@@ -43,12 +48,19 @@ pub struct TableReranker {
 impl TableReranker {
     /// Reranker with explicit weights and embedder.
     pub fn new(weights: TableRerankWeights, embedder: TextEmbedder) -> TableReranker {
-        TableReranker { weights, analyzer: Analyzer::standard(), embedder }
+        TableReranker {
+            weights,
+            analyzer: Analyzer::standard(),
+            embedder,
+        }
     }
 
     /// Default configuration.
     pub fn with_defaults() -> TableReranker {
-        TableReranker::new(TableRerankWeights::default(), TextEmbedder::with_seed(0x0917))
+        TableReranker::new(
+            TableRerankWeights::default(),
+            TextEmbedder::with_seed(0x0917),
+        )
     }
 
     /// Component-wise score of a claim against a table.
@@ -58,8 +70,7 @@ impl TableReranker {
             return 0.0;
         }
         let caption_terms = self.analyzer.analyze(&table.caption);
-        let header_text: String =
-            table.schema.names().collect::<Vec<_>>().join(" ");
+        let header_text: String = table.schema.names().collect::<Vec<_>>().join(" ");
         let header_terms = self.analyzer.analyze(&header_text);
         // Cells: analyze a bounded sample of values (first 64 rows) to keep the
         // reranker cheap on large tables.
@@ -89,7 +100,9 @@ impl TableReranker {
 
 impl Reranker for TableReranker {
     fn score(&self, object: &DataObject, evidence: &DataInstance) -> f64 {
-        let DataInstance::Table(table) = evidence else { return 0.0 };
+        let DataInstance::Table(table) = evidence else {
+            return 0.0;
+        };
         let text = match object {
             DataObject::TextClaim(c) => c.text.clone(),
             DataObject::ImputedCell(c) => verifai_text::serialize_tuple(&c.tuple),
@@ -119,20 +132,34 @@ mod tests {
             0,
         );
         for (team, pts) in teams {
-            t.push_row(vec![Value::text(*team), Value::Int(*pts)]).unwrap();
+            t.push_row(vec![Value::text(*team), Value::Int(*pts)])
+                .unwrap();
         }
         t
     }
 
     fn claim(text: &str) -> DataObject {
-        DataObject::TextClaim(TextClaim { id: 0, text: text.into(), expr: None, scope: None })
+        DataObject::TextClaim(TextClaim {
+            id: 0,
+            text: text.into(),
+            expr: None,
+            scope: None,
+        })
     }
 
     #[test]
     fn source_table_outranks_distractors() {
         let r = TableReranker::with_defaults();
-        let source = table(1, "1959 NCAA Track and Field Championships", &[("Brown", 1), ("Kansas", 42)]);
-        let distractor = table(2, "1959 Formula One season", &[("Ferrari", 32), ("Cooper", 40)]);
+        let source = table(
+            1,
+            "1959 NCAA Track and Field Championships",
+            &[("Brown", 1), ("Kansas", 42)],
+        );
+        let distractor = table(
+            2,
+            "1959 Formula One season",
+            &[("Ferrari", 32), ("Cooper", 40)],
+        );
         let unrelated = table(3, "List of airports in Ohio", &[("CMH", 0), ("CLE", 0)]);
         let q = claim("in the 1959 NCAA Track and Field Championships, the points of Brown is 1");
         let (s1, s2, s3) = (

@@ -26,7 +26,12 @@ pub struct TupleRerankWeights {
 
 impl Default for TupleRerankWeights {
     fn default() -> Self {
-        TupleRerankWeights { schema: 0.15, key: 0.45, agreement: 0.25, dense: 0.15 }
+        TupleRerankWeights {
+            schema: 0.15,
+            key: 0.45,
+            agreement: 0.25,
+            dense: 0.15,
+        }
     }
 }
 
@@ -45,7 +50,10 @@ impl TupleReranker {
 
     /// Default configuration.
     pub fn with_defaults() -> TupleReranker {
-        TupleReranker::new(TupleRerankWeights::default(), TupleEmbedder::new(256, 0x07e1))
+        TupleReranker::new(
+            TupleRerankWeights::default(),
+            TupleEmbedder::new(256, 0x07e1),
+        )
     }
 
     /// Structural relevance of `candidate` to `query`.
@@ -62,15 +70,20 @@ impl TupleReranker {
                 / keys.len() as f64
         };
         let agreement = query.agreement(candidate).unwrap_or(0.0);
-        let dense =
-            (self.embedder.embed(query).cosine(&self.embedder.embed(candidate)) as f64).max(0.0);
+        let dense = (self
+            .embedder
+            .embed(query)
+            .cosine(&self.embedder.embed(candidate)) as f64)
+            .max(0.0);
         w.schema * schema + w.key * key + w.agreement * agreement + w.dense * dense
     }
 }
 
 impl Reranker for TupleReranker {
     fn score(&self, object: &DataObject, evidence: &DataInstance) -> f64 {
-        let DataInstance::Tuple(candidate) = evidence else { return 0.0 };
+        let DataInstance::Tuple(candidate) = evidence else {
+            return 0.0;
+        };
         match object {
             DataObject::ImputedCell(cell) => self.score_tuples(&cell.tuple, candidate),
             // (text, tuple): an extension pair — fall back to dense similarity
@@ -107,7 +120,11 @@ mod tests {
             table: 0,
             row_index: 0,
             schema: schema(),
-            values: vec![Value::text(district), Value::text(incumbent), Value::Int(year)],
+            values: vec![
+                Value::text(district),
+                Value::text(incumbent),
+                Value::Int(year),
+            ],
             source: 0,
         }
     }
@@ -164,7 +181,8 @@ mod tests {
         let claim = DataObject::TextClaim(verifai_llm::TextClaim {
             id: 0,
             text: "the incumbent of New York 1 is Otis Pike".into(),
-            expr: None, scope: None,
+            expr: None,
+            scope: None,
         });
         let related = DataInstance::Tuple(tuple(1, "New York 1", "Otis Pike", 1960));
         let unrelated = DataInstance::Tuple(tuple(2, "Q3 revenue", "up 4 percent", 2021));

@@ -1,0 +1,204 @@
+//! Sharded LRU cache of discovered evidence.
+//!
+//! Keyed by the normalized retrieval query (plus the object-kind
+//! discriminant, since tuple cells and text claims have different evidence
+//! plans). Values are the post-rerank `(InstanceId, score)` lists — instance
+//! *ids*, not resolved instances, so a hit re-resolves against the lake and
+//! yields byte-identical reports to the uncached path.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use verifai_lake::InstanceId;
+
+/// A cached post-rerank evidence list.
+pub type CachedEvidence = Vec<(InstanceId, f64)>;
+
+struct Entry {
+    evidence: CachedEvidence,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<(u8, String), Entry>,
+    tick: u64,
+}
+
+/// Sharded LRU evidence cache with hit/miss/eviction counters.
+pub struct EvidenceCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Counter snapshot for an [`EvidenceCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over lookups (zero when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+fn shard_index(kind: u8, query: &str, shards: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    kind.hash(&mut hasher);
+    query.hash(&mut hasher);
+    (hasher.finish() as usize) % shards
+}
+
+impl EvidenceCache {
+    /// A cache of `capacity` total entries split across `shards` shards.
+    /// Each shard holds at least one entry, so tiny capacities still cache.
+    pub fn new(shards: usize, capacity: usize) -> EvidenceCache {
+        let shards = shards.max(1);
+        EvidenceCache {
+            shard_capacity: (capacity / shards).max(1),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up an evidence list, refreshing its recency on hit.
+    pub fn get(&self, kind: u8, query: &str) -> Option<CachedEvidence> {
+        let mut shard = self.shards[shard_index(kind, query, self.shards.len())].lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        // Keyed lookup without allocating an owned key for the miss path.
+        match shard
+            .map
+            .iter_mut()
+            .find(|((k, q), _)| *k == kind && q == query)
+        {
+            Some((_, entry)) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.evidence.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an evidence list, evicting the least recently
+    /// used entry of the shard when it is full.
+    pub fn insert(&self, kind: u8, query: String, evidence: CachedEvidence) {
+        let mut shard = self.shards[shard_index(kind, &query, self.shards.len())].lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        let key = (kind, query);
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.shard_capacity {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                evidence,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(id: u64) -> CachedEvidence {
+        vec![(InstanceId::Tuple(id), 0.5)]
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let cache = EvidenceCache::new(4, 64);
+        assert_eq!(cache.get(0, "q"), None);
+        cache.insert(0, "q".into(), ev(1));
+        assert_eq!(cache.get(0, "q"), Some(ev(1)));
+        // Same query under a different object kind is a different entry.
+        assert_eq!(cache.get(1, "q"), None);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_per_shard() {
+        // One shard of capacity 2 makes recency observable.
+        let cache = EvidenceCache::new(1, 2);
+        cache.insert(0, "a".into(), ev(1));
+        cache.insert(0, "b".into(), ev(2));
+        assert!(cache.get(0, "a").is_some()); // refresh "a"
+        cache.insert(0, "c".into(), ev(3)); // evicts "b"
+        assert!(cache.get(0, "a").is_some());
+        assert!(cache.get(0, "b").is_none());
+        assert!(cache.get(0, "c").is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_evicting() {
+        let cache = EvidenceCache::new(1, 2);
+        cache.insert(0, "a".into(), ev(1));
+        cache.insert(0, "b".into(), ev(2));
+        cache.insert(0, "a".into(), ev(9));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(0, "a"), Some(ev(9)));
+        assert!(cache.get(0, "b").is_some());
+    }
+}

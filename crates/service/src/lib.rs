@@ -1,0 +1,11 @@
+//! verifai-service: a long-lived concurrent verification service over
+//! [`verifai::VerifAi`] — worker pool, bounded admission queue with load
+//! shedding, micro-batching, evidence caching, deadlines, and stats.
+
+pub mod cache;
+pub mod service;
+pub mod stats;
+
+pub use cache::{CacheStats, EvidenceCache};
+pub use service::{RequestOutcome, ServiceConfig, SubmitError, Ticket, VerificationService};
+pub use stats::ServiceStats;

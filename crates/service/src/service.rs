@@ -1,0 +1,398 @@
+//! The verification service: admission control, micro-batching workers,
+//! deadlines, and graceful shutdown.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! submit ──► bounded queue ──► worker wakeup ──► micro-batch (≤ max_batch)
+//!   │ full?                      │ depth > high_water?
+//!   ▼                            ▼
+//! Rejected(QueueFull)          Shed                ──► evidence cache ──►
+//!                                                      verify (deadline-
+//!                                                      bounded) ──► ticket
+//! ```
+//!
+//! Every submitted request resolves exactly one way — `Rejected` at the
+//! door, `Shed` at dequeue, or `Completed` — so
+//! `completed + shed + rejected == submitted` once all tickets resolve.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use verifai::exec::WorkerPool;
+use verifai::{DataObject, LatencyHistogram, Verdict, VerifAi, VerificationReport};
+use verifai_lake::DataInstance;
+
+use crate::cache::{CachedEvidence, EvidenceCache};
+use crate::stats::ServiceStats;
+
+/// Tuning knobs for a [`VerificationService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Load-shedding threshold: a request dequeued while more than this many
+    /// requests still wait behind it is shed instead of processed.
+    pub high_water: usize,
+    /// Maximum requests a worker coalesces per wakeup.
+    pub max_batch: usize,
+    /// Shards of the evidence cache.
+    pub cache_shards: usize,
+    /// Total evidence-cache entries; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Deadline applied to requests submitted without an explicit one.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 256,
+            high_water: 192,
+            max_batch: 8,
+            cache_shards: 8,
+            cache_capacity: 1024,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity (or the service is shutting down).
+    QueueFull,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => f.write_str("verification queue is full"),
+        }
+    }
+}
+
+/// Final disposition of an admitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOutcome {
+    /// Verification ran; deadline-partial reports carry decision
+    /// [`Verdict::Unknown`].
+    Completed(VerificationReport),
+    /// Dropped unprocessed by high-water load shedding.
+    Shed,
+}
+
+/// Handle to one admitted request's eventual outcome.
+pub struct Ticket {
+    rx: Receiver<RequestOutcome>,
+}
+
+impl Ticket {
+    /// Block until the request resolves. Workers answer every admitted
+    /// request — including during shutdown drain — so this cannot hang.
+    pub fn wait(self) -> RequestOutcome {
+        self.rx
+            .recv()
+            .expect("service answers every admitted request")
+    }
+
+    /// The outcome, if already resolved.
+    pub fn try_wait(&self) -> Option<RequestOutcome> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct Request {
+    object: DataObject,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    reply: Sender<RequestOutcome>,
+}
+
+struct Inner {
+    system: Arc<VerifAi>,
+    config: ServiceConfig,
+    cache: Option<EvidenceCache>,
+    latency: Mutex<LatencyHistogram>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    in_flight: AtomicUsize,
+}
+
+/// A long-lived concurrent verification service over a shared [`VerifAi`].
+pub struct VerificationService {
+    inner: Arc<Inner>,
+    pool: WorkerPool<Request>,
+}
+
+impl VerificationService {
+    /// Stand up workers over `system` with the given tuning.
+    pub fn new(system: Arc<VerifAi>, config: ServiceConfig) -> VerificationService {
+        let cache = (config.cache_capacity > 0)
+            .then(|| EvidenceCache::new(config.cache_shards, config.cache_capacity));
+        let inner = Arc::new(Inner {
+            system,
+            cache,
+            latency: Mutex::new(LatencyHistogram::new()),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            config: config.clone(),
+        });
+        let worker_inner = Arc::clone(&inner);
+        let pool = WorkerPool::new(
+            config.workers,
+            Some(config.queue_capacity),
+            move |rx, first| handle_wakeup(&worker_inner, rx, first),
+        );
+        VerificationService { inner, pool }
+    }
+
+    /// Submit with the configured default deadline.
+    pub fn submit(&self, object: DataObject) -> Result<Ticket, SubmitError> {
+        self.submit_with_deadline(object, self.inner.config.default_deadline)
+    }
+
+    /// Submit with an explicit per-request deadline budget (`None` = no
+    /// deadline). Admission control is non-blocking: a full queue rejects
+    /// immediately rather than applying backpressure to the caller.
+    pub fn submit_with_deadline(
+        &self,
+        object: DataObject,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
+        self.inner.submitted.fetch_add(1, Ordering::SeqCst);
+        let now = Instant::now();
+        let (reply, rx) = bounded(1);
+        let request = Request {
+            object,
+            deadline: deadline.map(|d| now + d),
+            enqueued: now,
+            reply,
+        };
+        match self.pool.try_submit(request) {
+            Ok(()) => Ok(Ticket { rx }),
+            Err(_) => {
+                self.inner.rejected.fetch_add(1, Ordering::SeqCst);
+                Err(SubmitError::QueueFull)
+            }
+        }
+    }
+
+    /// Current counters, gauges, cache state, and latency quantiles.
+    pub fn stats(&self) -> ServiceStats {
+        let latency = self.inner.latency.lock();
+        ServiceStats {
+            submitted: self.inner.submitted.load(Ordering::SeqCst),
+            completed: self.inner.completed.load(Ordering::SeqCst),
+            shed: self.inner.shed.load(Ordering::SeqCst),
+            rejected: self.inner.rejected.load(Ordering::SeqCst),
+            queue_depth: self.pool.queue_len(),
+            in_flight: self.inner.in_flight.load(Ordering::SeqCst),
+            cache: self
+                .inner
+                .cache
+                .as_ref()
+                .map(EvidenceCache::stats)
+                .unwrap_or_default(),
+            latency_mean: latency.mean(),
+            latency_p50: latency.quantile(0.50),
+            latency_p95: latency.quantile(0.95),
+            latency_p99: latency.quantile(0.99),
+        }
+    }
+
+    /// Stop admitting, drain already-admitted requests, join the workers,
+    /// and return the final stats. Dropping the service without calling this
+    /// performs the same drain.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.pool.shutdown();
+        self.stats()
+    }
+}
+
+/// One worker wakeup: coalesce up to `max_batch` pending requests, group
+/// them by object kind (same evidence plan), and process each group with
+/// batch-local query coalescing.
+fn handle_wakeup(inner: &Inner, rx: &Receiver<Request>, first: Request) {
+    let mut batch = vec![first];
+    while batch.len() < inner.config.max_batch.max(1) {
+        match rx.try_recv() {
+            Ok(request) => batch.push(request),
+            Err(_) => break,
+        }
+    }
+    inner.in_flight.fetch_add(batch.len(), Ordering::SeqCst);
+    // Load shedding: everything we dequeued while the backlog behind it
+    // still exceeds the high-water mark is dropped unprocessed, which
+    // drains an overloaded queue at dequeue speed instead of verify speed.
+    let backlog = rx.len();
+    if backlog > inner.config.high_water {
+        for request in batch {
+            inner.shed.fetch_add(1, Ordering::SeqCst);
+            inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+            let _ = request.reply.send(RequestOutcome::Shed);
+        }
+        return;
+    }
+    // Stable partition into same-kind groups: within a group every object
+    // shares an evidence plan, so identical queries coalesce to one
+    // discovery even when the cross-request cache is disabled.
+    let (cells, claims): (Vec<Request>, Vec<Request>) = batch
+        .into_iter()
+        .partition(|r| matches!(r.object, DataObject::ImputedCell(_)));
+    for group in [cells, claims] {
+        let mut local: HashMap<(u8, String), CachedEvidence> = HashMap::new();
+        for request in group {
+            process(inner, request, &mut local);
+            inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn object_kind(object: &DataObject) -> u8 {
+    match object {
+        DataObject::ImputedCell(_) => 0,
+        DataObject::TextClaim(_) => 1,
+    }
+}
+
+fn resolve(system: &VerifAi, cached: CachedEvidence) -> Vec<(DataInstance, f64)> {
+    cached
+        .into_iter()
+        .filter_map(|(id, score)| system.lake().resolve(id).ok().map(|inst| (inst, score)))
+        .collect()
+}
+
+/// Evidence for `object`, preferring the shared cache, then the batch-local
+/// memo, then full discovery. Both cached paths re-resolve instance ids
+/// against the lake, so reports are identical whichever path served them.
+fn evidence_for(
+    inner: &Inner,
+    object: &DataObject,
+    local: &mut HashMap<(u8, String), CachedEvidence>,
+) -> Vec<(DataInstance, f64)> {
+    let key = (object_kind(object), VerifAi::query_of(object));
+    if let Some(cache) = &inner.cache {
+        if let Some(cached) = cache.get(key.0, &key.1) {
+            return resolve(&inner.system, cached);
+        }
+        let discovered = inner.system.discover_evidence(object);
+        cache.insert(
+            key.0,
+            key.1,
+            discovered.iter().map(|(i, s)| (i.id(), *s)).collect(),
+        );
+        return discovered;
+    }
+    if let Some(cached) = local.get(&key) {
+        return resolve(&inner.system, cached.clone());
+    }
+    let discovered = inner.system.discover_evidence(object);
+    local.insert(key, discovered.iter().map(|(i, s)| (i.id(), *s)).collect());
+    discovered
+}
+
+fn process(inner: &Inner, request: Request, local: &mut HashMap<(u8, String), CachedEvidence>) {
+    let expired = request.deadline.is_some_and(|d| Instant::now() >= d);
+    let report = if expired {
+        // The deadline passed before evidence discovery even started (e.g. a
+        // zero budget, or long queueing): answer immediately with an empty
+        // partial report rather than doing work the caller gave no time for.
+        VerificationReport {
+            object_id: request.object.id(),
+            evidence: Vec::new(),
+            decision: Verdict::Unknown,
+            confidence: 0.0,
+        }
+    } else {
+        let evidence = evidence_for(inner, &request.object, local);
+        inner
+            .system
+            .verify_with_evidence_until(&request.object, evidence, request.deadline)
+    };
+    inner.latency.lock().record(request.enqueued.elapsed());
+    inner.completed.fetch_add(1, Ordering::SeqCst);
+    let _ = request.reply.send(RequestOutcome::Completed(report));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifai::VerifAiConfig;
+    use verifai_datagen::{build, completion_workload, LakeSpec};
+
+    fn system() -> Arc<VerifAi> {
+        Arc::new(VerifAi::build(
+            build(&LakeSpec::tiny(31)),
+            VerifAiConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn submit_and_complete() {
+        let sys = system();
+        let tasks = completion_workload(sys.generated(), 4, 3);
+        let service = VerificationService::new(Arc::clone(&sys), ServiceConfig::default());
+        let tickets: Vec<Ticket> = tasks
+            .iter()
+            .map(|t| service.submit(sys.impute(t)).expect("admitted"))
+            .collect();
+        for ticket in tickets {
+            match ticket.wait() {
+                RequestOutcome::Completed(report) => assert!(!report.evidence.is_empty()),
+                RequestOutcome::Shed => panic!("unloaded service shed a request"),
+            }
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.accounted(), stats.submitted);
+        assert!(stats.latency_p50 > Duration::ZERO);
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_objects() {
+        let sys = system();
+        let tasks = completion_workload(sys.generated(), 2, 3);
+        let service = VerificationService::new(Arc::clone(&sys), ServiceConfig::default());
+        let objects: Vec<DataObject> = tasks.iter().map(|t| sys.impute(t)).collect();
+        for _ in 0..3 {
+            let tickets: Vec<Ticket> = objects
+                .iter()
+                .map(|o| service.submit(o.clone()).expect("admitted"))
+                .collect();
+            tickets.into_iter().for_each(|t| {
+                t.wait();
+            });
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.cache.misses, 2);
+        assert_eq!(stats.cache.hits, 4);
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let sys = system();
+        let tasks = completion_workload(sys.generated(), 1, 3);
+        let config = ServiceConfig {
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        };
+        let service = VerificationService::new(Arc::clone(&sys), config);
+        let ticket = service.submit(sys.impute(&tasks[0])).expect("admitted");
+        assert!(matches!(ticket.wait(), RequestOutcome::Completed(_)));
+        let stats = service.shutdown();
+        assert_eq!(stats.cache, crate::CacheStats::default());
+    }
+}

@@ -1,0 +1,75 @@
+//! Point-in-time service statistics.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::cache::CacheStats;
+
+/// Snapshot of a [`crate::VerificationService`]'s counters, gauges, cache
+/// state, and latency distribution.
+///
+/// Invariant (checked by the integration tests): once every submitted
+/// request's ticket has resolved, `completed + shed + rejected ==
+/// submitted` — no request is ever lost.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Submission attempts, including rejected ones.
+    pub submitted: u64,
+    /// Requests fully processed (including deadline-partial reports).
+    pub completed: u64,
+    /// Requests dropped at dequeue by high-water load shedding.
+    pub shed: u64,
+    /// Requests refused at submit because the queue was full.
+    pub rejected: u64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Requests dequeued and being processed right now.
+    pub in_flight: usize,
+    /// Evidence-cache counters (all zero when caching is disabled).
+    pub cache: CacheStats,
+    /// Mean end-to-end latency of completed requests.
+    pub latency_mean: Duration,
+    /// Median end-to-end latency.
+    pub latency_p50: Duration,
+    /// 95th-percentile end-to-end latency.
+    pub latency_p95: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub latency_p99: Duration,
+}
+
+impl ServiceStats {
+    /// Requests with a final disposition; equals `submitted` once every
+    /// outstanding ticket has resolved.
+    pub fn accounted(&self) -> u64 {
+        self.completed + self.shed + self.rejected
+    }
+}
+
+impl fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests: submitted {} | completed {} | shed {} | rejected {}",
+            self.submitted, self.completed, self.shed, self.rejected
+        )?;
+        writeln!(
+            f,
+            "queue:    depth {} | in-flight {}",
+            self.queue_depth, self.in_flight
+        )?;
+        writeln!(
+            f,
+            "cache:    hit rate {:.1}% ({} hits / {} misses, {} evictions, {} entries)",
+            self.cache.hit_rate() * 100.0,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.entries
+        )?;
+        write!(
+            f,
+            "latency:  mean {:?} | p50 {:?} | p95 {:?} | p99 {:?}",
+            self.latency_mean, self.latency_p50, self.latency_p95, self.latency_p99
+        )
+    }
+}

@@ -21,7 +21,11 @@ pub struct AnalyzerConfig {
 
 impl Default for AnalyzerConfig {
     fn default() -> Self {
-        AnalyzerConfig { lowercase: true, remove_stopwords: true, stem: true }
+        AnalyzerConfig {
+            lowercase: true,
+            remove_stopwords: true,
+            stem: true,
+        }
     }
 }
 
@@ -45,7 +49,11 @@ impl Analyzer {
     /// A keyword-ish analyzer that only lowercases — used where exact surface
     /// forms matter (e.g. ColBERT token embeddings keep stopwords).
     pub fn lowercase_only() -> Analyzer {
-        Analyzer::new(AnalyzerConfig { lowercase: true, remove_stopwords: false, stem: false })
+        Analyzer::new(AnalyzerConfig {
+            lowercase: true,
+            remove_stopwords: false,
+            stem: false,
+        })
     }
 
     /// The analyzer's configuration (used when persisting indexes).
@@ -57,8 +65,11 @@ impl Analyzer {
     pub fn analyze(&self, text: &str) -> Vec<String> {
         let mut out = Vec::new();
         for tok in tokenize(text) {
-            let mut term =
-                if self.config.lowercase { tok.text.to_lowercase() } else { tok.text };
+            let mut term = if self.config.lowercase {
+                tok.text.to_lowercase()
+            } else {
+                tok.text
+            };
             if self.config.remove_stopwords && is_stopword(&term) {
                 continue;
             }
@@ -114,6 +125,9 @@ mod tests {
     fn query_and_document_analyze_identically() {
         // Retrieval correctness depends on query/document analyzer symmetry.
         let a = Analyzer::standard();
-        assert_eq!(a.analyze("Elected Officials"), a.analyze("elected officials"));
+        assert_eq!(
+            a.analyze("Elected Officials"),
+            a.analyze("elected officials")
+        );
     }
 }

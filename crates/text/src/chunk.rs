@@ -40,7 +40,10 @@ pub fn chunk_sentences(text: &str, window: usize, overlap: usize) -> Vec<Chunk> 
     let mut start = 0usize;
     loop {
         let end = (start + window).min(sentences.len());
-        chunks.push(Chunk { text: sentences[start..end].join(". "), start_sentence: start });
+        chunks.push(Chunk {
+            text: sentences[start..end].join(". "),
+            start_sentence: start,
+        });
         if end == sentences.len() {
             break;
         }
@@ -74,7 +77,10 @@ mod tests {
         assert_eq!(chunks[3].start_sentence, 3);
         // Every sentence appears in at least one chunk.
         for s in split_sentences(DOC) {
-            assert!(chunks.iter().any(|c| c.text.contains(s)), "missing sentence {s}");
+            assert!(
+                chunks.iter().any(|c| c.text.contains(s)),
+                "missing sentence {s}"
+            );
         }
     }
 

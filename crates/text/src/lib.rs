@@ -31,5 +31,7 @@ pub mod tokenizer;
 
 pub use analyzer::{Analyzer, AnalyzerConfig};
 pub use chunk::{chunk_sentences, Chunk};
-pub use serialize::{serialize_instance, serialize_kg, serialize_table, serialize_tuple, tuple_query};
+pub use serialize::{
+    serialize_instance, serialize_kg, serialize_table, serialize_tuple, tuple_query,
+};
 pub use tokenizer::{tokenize, Token};

@@ -15,7 +15,9 @@ pub fn char_ngrams(s: &str, n: usize) -> Vec<String> {
     if chars.len() < n {
         return Vec::new();
     }
-    (0..=chars.len() - n).map(|i| chars[i..i + n].iter().collect()).collect()
+    (0..=chars.len() - n)
+        .map(|i| chars[i..i + n].iter().collect())
+        .collect()
 }
 
 /// Word n-grams (shingles) over a term slice.
@@ -23,7 +25,9 @@ pub fn word_ngrams(terms: &[String], n: usize) -> Vec<String> {
     if n == 0 || terms.len() < n {
         return Vec::new();
     }
-    (0..=terms.len() - n).map(|i| terms[i..i + n].join(" ")).collect()
+    (0..=terms.len() - n)
+        .map(|i| terms[i..i + n].join(" "))
+        .collect()
 }
 
 #[cfg(test)]
@@ -50,7 +54,10 @@ mod tests {
 
     #[test]
     fn shingles() {
-        let terms: Vec<String> = ["stomp", "the", "yard"].iter().map(|s| s.to_string()).collect();
+        let terms: Vec<String> = ["stomp", "the", "yard"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(word_ngrams(&terms, 2), vec!["stomp the", "the yard"]);
         assert_eq!(word_ngrams(&terms, 3), vec!["stomp the yard"]);
         assert!(word_ngrams(&terms, 4).is_empty());

@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn tuple_serialization_is_attribute_value() {
-        assert_eq!(serialize_tuple(&tuple()), "district is New York 1 . incumbent is Otis Pike");
+        assert_eq!(
+            serialize_tuple(&tuple()),
+            "district is New York 1 . incumbent is Otis Pike"
+        );
     }
 
     #[test]

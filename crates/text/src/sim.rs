@@ -75,7 +75,11 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         s.sort_unstable();
         s
     };
-    let transpositions = b_seq.iter().zip(sorted.iter()).filter(|(x, y)| x != y).count();
+    let transpositions = b_seq
+        .iter()
+        .zip(sorted.iter())
+        .filter(|(x, y)| x != y)
+        .count();
     let t = transpositions as f64 / 2.0;
     let m = matches as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
@@ -84,15 +88,17 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// Jaro-Winkler similarity with the standard prefix boost (p = 0.1, l ≤ 4).
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count();
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
     j + prefix as f64 * 0.1 * (1.0 - j)
 }
 
 /// Jaccard similarity of two term sets.
-pub fn jaccard<S: std::hash::BuildHasher>(
-    a: &HashSet<String, S>,
-    b: &HashSet<String, S>,
-) -> f64 {
+pub fn jaccard<S: std::hash::BuildHasher>(a: &HashSet<String, S>, b: &HashSet<String, S>) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }

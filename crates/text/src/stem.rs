@@ -103,7 +103,10 @@ pub fn stem(word: &str) -> String {
 fn step1b_cleanup(w: &mut Vec<u8>) {
     if w.ends_with(b"at") || w.ends_with(b"bl") || w.ends_with(b"iz") {
         w.push(b'e');
-    } else if ends_double_consonant(w) && !w.ends_with(b"l") && !w.ends_with(b"s") && !w.ends_with(b"z")
+    } else if ends_double_consonant(w)
+        && !w.ends_with(b"l")
+        && !w.ends_with(b"s")
+        && !w.ends_with(b"z")
     {
         w.pop();
     } else if measure(w) == 1 && ends_cvc(w) {
@@ -162,7 +165,13 @@ mod tests {
 
     #[test]
     fn idempotent_on_common_vocabulary() {
-        for w in ["incumbent", "district", "basketball", "championship", "refuted"] {
+        for w in [
+            "incumbent",
+            "district",
+            "basketball",
+            "championship",
+            "refuted",
+        ] {
             let once = stem(w);
             assert_eq!(stem(&once), once, "stem not idempotent for {w}");
         }

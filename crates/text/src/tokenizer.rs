@@ -25,15 +25,22 @@ pub fn tokenize(input: &str) -> Vec<Token> {
     let mut start: Option<usize> = None;
     let mut position = 0;
 
-    let flush = |start: &mut Option<usize>, end: usize, tokens: &mut Vec<Token>, pos: &mut usize| {
-        if let Some(s) = start.take() {
-            let text = input[s..end].trim_matches(|c| c == '\'' || c == '.').to_string();
-            if !text.is_empty() {
-                tokens.push(Token { text, position: *pos, offset: s });
-                *pos += 1;
+    let flush =
+        |start: &mut Option<usize>, end: usize, tokens: &mut Vec<Token>, pos: &mut usize| {
+            if let Some(s) = start.take() {
+                let text = input[s..end]
+                    .trim_matches(|c| c == '\'' || c == '.')
+                    .to_string();
+                if !text.is_empty() {
+                    tokens.push(Token {
+                        text,
+                        position: *pos,
+                        offset: s,
+                    });
+                    *pos += 1;
+                }
             }
-        }
-    };
+        };
 
     let mut iter = input.char_indices().peekable();
     while let Some((i, ch)) = iter.next() {
@@ -68,12 +75,18 @@ mod tests {
 
     #[test]
     fn splits_on_punctuation_and_space() {
-        assert_eq!(words("Stomp the Yard (2007)!"), vec!["Stomp", "the", "Yard", "2007"]);
+        assert_eq!(
+            words("Stomp the Yard (2007)!"),
+            vec!["Stomp", "the", "Yard", "2007"]
+        );
     }
 
     #[test]
     fn keeps_interior_apostrophe_and_dot() {
-        assert_eq!(words("O'Brien met U.S. envoys"), vec!["O'Brien", "met", "U.S", "envoys"]);
+        assert_eq!(
+            words("O'Brien met U.S. envoys"),
+            vec!["O'Brien", "met", "U.S", "envoys"]
+        );
     }
 
     #[test]
@@ -98,6 +111,9 @@ mod tests {
 
     #[test]
     fn numbers_are_tokens() {
-        assert_eq!(words("score 23.5 points in 1997"), vec!["score", "23.5", "points", "in", "1997"]);
+        assert_eq!(
+            words("score 23.5 points in 1997"),
+            vec!["score", "23.5", "points", "in", "1997"]
+        );
     }
 }

@@ -35,7 +35,11 @@ impl Agent {
         generic: Box<dyn Verifier>,
         policy: AgentPolicy,
     ) -> Agent {
-        Agent { local, generic, policy }
+        Agent {
+            local,
+            generic,
+            policy,
+        }
     }
 
     /// The active policy.
@@ -57,7 +61,11 @@ impl Agent {
 
     /// Verify a pair with the chosen verifier; returns the output and the
     /// verifier's name for provenance.
-    pub fn verify(&self, object: &DataObject, evidence: &DataInstance) -> (VerifierOutput, &'static str) {
+    pub fn verify(
+        &self,
+        object: &DataObject,
+        evidence: &DataInstance,
+    ) -> (VerifierOutput, &'static str) {
         let v = self.choose(object, evidence);
         (v.verify(object, evidence), v.name())
     }
@@ -67,7 +75,10 @@ impl std::fmt::Debug for Agent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Agent")
             .field("policy", &self.policy)
-            .field("local", &self.local.iter().map(|v| v.name()).collect::<Vec<_>>())
+            .field(
+                "local",
+                &self.local.iter().map(|v| v.name()).collect::<Vec<_>>(),
+            )
             .field("generic", &self.generic.name())
             .finish()
     }
@@ -88,13 +99,21 @@ mod tests {
                 Box::new(PastaVerifier::with_defaults()),
                 Box::new(TupleModelVerifier::with_defaults()),
             ],
-            Box::new(LlmVerifier::new(SimLlm::new(SimLlmConfig::oracle(1), WorldModel::new()))),
+            Box::new(LlmVerifier::new(SimLlm::new(
+                SimLlmConfig::oracle(1),
+                WorldModel::new(),
+            ))),
             policy,
         )
     }
 
     fn claim_object() -> DataObject {
-        DataObject::TextClaim(TextClaim { id: 0, text: "in the c, the x of y is 1".into(), expr: None, scope: None })
+        DataObject::TextClaim(TextClaim {
+            id: 0,
+            text: "in the c, the x of y is 1".into(),
+            expr: None,
+            scope: None,
+        })
     }
 
     fn table_evidence() -> DataInstance {
@@ -131,13 +150,19 @@ mod tests {
         });
         assert_eq!(a.choose(&cell, &tuple_evidence()).name(), "roberta-tuple");
         // No local model handles (claim, tuple): falls back to the LLM.
-        assert_eq!(a.choose(&claim_object(), &tuple_evidence()).name(), "chatgpt-sim");
+        assert_eq!(
+            a.choose(&claim_object(), &tuple_evidence()).name(),
+            "chatgpt-sim"
+        );
     }
 
     #[test]
     fn llm_only_ignores_locals() {
         let a = agent(AgentPolicy::LlmOnly);
-        assert_eq!(a.choose(&claim_object(), &table_evidence()).name(), "chatgpt-sim");
+        assert_eq!(
+            a.choose(&claim_object(), &table_evidence()).name(),
+            "chatgpt-sim"
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub struct KgModelConfig {
 
 impl Default for KgModelConfig {
     fn default() -> Self {
-        KgModelConfig { binding_error_rate: 0.04, seed: 0x6b9 }
+        KgModelConfig {
+            binding_error_rate: 0.04,
+            seed: 0x6b9,
+        }
     }
 }
 
@@ -63,7 +66,7 @@ impl KgModelVerifier {
             match base {
                 Verdict::Verified => Verdict::Refuted,
                 Verdict::Refuted => Verdict::Verified,
-                Verdict::NotRelated => Verdict::NotRelated,
+                Verdict::NotRelated | Verdict::Unknown => base,
             }
         } else {
             base
@@ -93,8 +96,13 @@ impl KgModelVerifier {
     /// single subgraph cannot evaluate table-level aggregates).
     pub fn classify_claim(&self, claim: &TextClaim, entity: &KgEntity) -> Verdict {
         let tags = [claim.id, entity.id, 0x6c];
-        let Some(ClaimExpr::Lookup { key, column, op, value, .. }) =
-            claim.expr.clone().or_else(|| parse_claim(&claim.text))
+        let Some(ClaimExpr::Lookup {
+            key,
+            column,
+            op,
+            value,
+            ..
+        }) = claim.expr.clone().or_else(|| parse_claim(&claim.text))
         else {
             return Verdict::NotRelated;
         };
@@ -182,11 +190,23 @@ mod tests {
 
     #[test]
     fn cell_classification_matrix() {
-        let m = KgModelVerifier::new(KgModelConfig { binding_error_rate: 0.0, ..Default::default() });
+        let m = KgModelVerifier::new(KgModelConfig {
+            binding_error_rate: 0.0,
+            ..Default::default()
+        });
         let e = subgraph();
-        assert_eq!(m.classify_cell(&cell("New York 3", "James Pike"), &e), Verdict::Verified);
-        assert_eq!(m.classify_cell(&cell("New York 3", "Nobody Real"), &e), Verdict::Refuted);
-        assert_eq!(m.classify_cell(&cell("Ohio 5", "James Pike"), &e), Verdict::NotRelated);
+        assert_eq!(
+            m.classify_cell(&cell("New York 3", "James Pike"), &e),
+            Verdict::Verified
+        );
+        assert_eq!(
+            m.classify_cell(&cell("New York 3", "Nobody Real"), &e),
+            Verdict::Refuted
+        );
+        assert_eq!(
+            m.classify_cell(&cell("Ohio 5", "James Pike"), &e),
+            Verdict::NotRelated
+        );
         // Attribute absent from the subgraph.
         let mut c = cell("New York 3", "x");
         c.column = "party".into();
@@ -195,11 +215,22 @@ mod tests {
 
     #[test]
     fn claim_classification_uses_lookup_semantics() {
-        let m = KgModelVerifier::new(KgModelConfig { binding_error_rate: 0.0, ..Default::default() });
+        let m = KgModelVerifier::new(KgModelConfig {
+            binding_error_rate: 0.0,
+            ..Default::default()
+        });
         let e = subgraph();
-        let claim = |text: &str| TextClaim { id: 0, text: text.into(), expr: None, scope: None };
+        let claim = |text: &str| TextClaim {
+            id: 0,
+            text: text.into(),
+            expr: None,
+            scope: None,
+        };
         assert_eq!(
-            m.classify_claim(&claim("in the c, the incumbent of New York 3 is James Pike"), &e),
+            m.classify_claim(
+                &claim("in the c, the incumbent of New York 3 is James Pike"),
+                &e
+            ),
             Verdict::Verified
         );
         assert_eq!(
@@ -210,7 +241,10 @@ mod tests {
             Verdict::Verified
         );
         assert_eq!(
-            m.classify_claim(&claim("in the c, the incumbent of New York 3 is Jane Roe"), &e),
+            m.classify_claim(
+                &claim("in the c, the incumbent of New York 3 is Jane Roe"),
+                &e
+            ),
             Verdict::Refuted
         );
         // Aggregate claims are out of scope for a single subgraph.
@@ -231,7 +265,10 @@ mod tests {
 
     #[test]
     fn noise_channel_is_deterministic() {
-        let m = KgModelVerifier::new(KgModelConfig { binding_error_rate: 1.0, ..Default::default() });
+        let m = KgModelVerifier::new(KgModelConfig {
+            binding_error_rate: 1.0,
+            ..Default::default()
+        });
         let e = subgraph();
         let v1 = m.classify_cell(&cell("New York 3", "James Pike"), &e);
         assert_eq!(v1, Verdict::Refuted); // flipped

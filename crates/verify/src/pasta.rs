@@ -64,7 +64,10 @@ pub struct PastaVerifier {
 impl PastaVerifier {
     /// Model with the given configuration.
     pub fn new(config: PastaConfig) -> PastaVerifier {
-        PastaVerifier { config, analyzer: Analyzer::standard() }
+        PastaVerifier {
+            config,
+            analyzer: Analyzer::standard(),
+        }
     }
 
     /// Model with default (paper-calibrated) configuration.
@@ -105,11 +108,10 @@ impl PastaVerifier {
                 // Parse failure (hard paraphrase): fall back to weak lexical
                 // overlap between claim and table, biased by the guess rate.
                 let claim_terms = self.analyzer.analyze(&claim.text);
-                let table_terms =
-                    self.analyzer.analyze(&verifai_text::serialize_table(table));
+                let table_terms = self.analyzer.analyze(&verifai_text::serialize_table(table));
                 let overlap = containment(&claim_terms, &table_terms);
-                let p_true = (self.config.fallback_true_rate + 0.3 * (overlap - 0.5))
-                    .clamp(0.05, 0.95);
+                let p_true =
+                    (self.config.fallback_true_rate + 0.3 * (overlap - 0.5)).clamp(0.05, 0.95);
                 self.chance(&[tags[0], tags[1], 0x0e], p_true)
             }
         }
@@ -136,7 +138,11 @@ impl Verifier for PastaVerifier {
         let answer = self.verify_binary(claim, table);
         VerifierOutput {
             // Binary model: never emits NotRelated.
-            verdict: if answer { Verdict::Verified } else { Verdict::Refuted },
+            verdict: if answer {
+                Verdict::Verified
+            } else {
+                Verdict::Refuted
+            },
             explanation: format!(
                 "PASTA judges the claim {} by table '{}'.",
                 if answer { "entailed" } else { "not entailed" },
@@ -163,22 +169,34 @@ mod tests {
             0,
         );
         for (team, pts) in [("Kansas", 42), ("Brown", 1), ("Yale", 1)] {
-            t.push_row(vec![Value::text(team), Value::Int(pts)]).unwrap();
+            t.push_row(vec![Value::text(team), Value::Int(pts)])
+                .unwrap();
         }
         t
     }
 
     fn claim(text: &str) -> TextClaim {
-        TextClaim { id: 0, text: text.into(), expr: None, scope: None }
+        TextClaim {
+            id: 0,
+            text: text.into(),
+            expr: None,
+            scope: None,
+        }
     }
 
     #[test]
     fn exact_on_parseable_claims() {
-        let p = PastaVerifier::new(PastaConfig { exec_error_rate: 0.0, ..Default::default() });
+        let p = PastaVerifier::new(PastaConfig {
+            exec_error_rate: 0.0,
+            ..Default::default()
+        });
         let t = ncaa_table();
         assert!(p.verify_binary(&claim("in the c, the points of Brown is 1"), &t));
         assert!(!p.verify_binary(&claim("in the c, the points of Brown is 9"), &t));
-        assert!(p.verify_binary(&claim("in the c, the number of rows where points is 1 is 2"), &t));
+        assert!(p.verify_binary(
+            &claim("in the c, the number of rows where points is 1 is 2"),
+            &t
+        ));
     }
 
     #[test]
@@ -194,7 +212,11 @@ mod tests {
                 &DataObject::TextClaim(claim(text)),
                 &DataInstance::Table(t.clone()),
             );
-            assert_ne!(out.verdict, Verdict::NotRelated, "PASTA must answer true/false: {text}");
+            assert_ne!(
+                out.verdict,
+                Verdict::NotRelated,
+                "PASTA must answer true/false: {text}"
+            );
         }
     }
 
@@ -202,7 +224,10 @@ mod tests {
     fn untrained_regime_emits_spurious_trues() {
         // On tables that cannot bind the claim, the model guesses "true" at
         // roughly spurious_true_rate.
-        let p = PastaVerifier::new(PastaConfig { spurious_true_rate: 0.40, ..Default::default() });
+        let p = PastaVerifier::new(PastaConfig {
+            spurious_true_rate: 0.40,
+            ..Default::default()
+        });
         let mut film = Table::new(
             9,
             "2007 dance films",
@@ -212,7 +237,8 @@ mod tests {
             ]),
             0,
         );
-        film.push_row(vec![Value::text("Stomp the Yard"), Value::Int(2007)]).unwrap();
+        film.push_row(vec![Value::text("Stomp the Yard"), Value::Int(2007)])
+            .unwrap();
         let trues = (0..400)
             .filter(|i| {
                 let c = claim(&format!(
@@ -222,7 +248,10 @@ mod tests {
             })
             .count();
         let rate = trues as f64 / 400.0;
-        assert!((0.22..0.42).contains(&rate), "spurious-true rate {rate} far from 0.32");
+        assert!(
+            (0.22..0.42).contains(&rate),
+            "spurious-true rate {rate} far from 0.32"
+        );
     }
 
     #[test]

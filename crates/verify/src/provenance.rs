@@ -102,7 +102,10 @@ impl ProvenanceLog {
 
     /// Records concerning one generated object, in pipeline order.
     pub fn for_object(&self, object_id: u64) -> Vec<&ProvenanceRecord> {
-        self.records.iter().filter(|r| r.object_id == object_id).collect()
+        self.records
+            .iter()
+            .filter(|r| r.object_id == object_id)
+            .collect()
     }
 
     /// Render a human-auditable report for one object.
@@ -135,7 +138,14 @@ mod tests {
     use super::*;
 
     fn record(object_id: u64, stage: Stage) -> ProvenanceRecord {
-        ProvenanceRecord { object_id, stage, instance: None, score: None, verdict: None, note: String::new() }
+        ProvenanceRecord {
+            object_id,
+            stage,
+            instance: None,
+            score: None,
+            verdict: None,
+            note: String::new(),
+        }
     }
 
     #[test]
@@ -145,7 +155,9 @@ mod tests {
         log.add(record(2, Stage::Combine));
         log.add(ProvenanceRecord {
             object_id: 1,
-            stage: Stage::Verify { verifier: "pasta".into() },
+            stage: Stage::Verify {
+                verifier: "pasta".into(),
+            },
             instance: Some(InstanceId::Table(9)),
             score: None,
             verdict: Some(Verdict::Refuted),
@@ -161,7 +173,10 @@ mod tests {
         let mut log = ProvenanceLog::new();
         log.add(ProvenanceRecord {
             object_id: 7,
-            stage: Stage::Retrieval { index: "bm25".into(), rank: 0 },
+            stage: Stage::Retrieval {
+                index: "bm25".into(),
+                rank: 0,
+            },
             instance: Some(InstanceId::Text(3)),
             score: Some(12.5),
             verdict: None,
@@ -169,7 +184,9 @@ mod tests {
         });
         log.add(ProvenanceRecord {
             object_id: 7,
-            stage: Stage::Verify { verifier: "chatgpt-sim".into() },
+            stage: Stage::Verify {
+                verifier: "chatgpt-sim".into(),
+            },
             instance: Some(InstanceId::Text(3)),
             score: None,
             verdict: Some(Verdict::Verified),
@@ -177,7 +194,8 @@ mod tests {
         });
         let report = log.report(7);
         assert!(report.contains("retrieval[bm25]#0 text:3 score=12.5000"));
-        assert!(report.contains("verify[chatgpt-sim] text:3 verdict=Verified — the text states the fact"));
+        assert!(report
+            .contains("verify[chatgpt-sim] text:3 verdict=Verified — the text states the fact"));
     }
 
     #[test]
@@ -185,7 +203,11 @@ mod tests {
         assert_eq!(Stage::Combine.to_string(), "combine");
         assert_eq!(Stage::Decision.to_string(), "decision");
         assert_eq!(
-            Stage::Rerank { reranker: "colbert".into(), rank: 2 }.to_string(),
+            Stage::Rerank {
+                reranker: "colbert".into(),
+                rank: 2
+            }
+            .to_string(),
             "rerank[colbert]#2"
         );
     }

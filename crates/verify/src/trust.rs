@@ -36,7 +36,9 @@ impl TrustModel {
 
     /// Seed trust priors (e.g. from [`verifai_lake::SourceOrigin::default_trust`]).
     pub fn with_priors(priors: impl IntoIterator<Item = (SourceId, f64)>) -> TrustModel {
-        TrustModel { trust: priors.into_iter().collect() }
+        TrustModel {
+            trust: priors.into_iter().collect(),
+        }
     }
 
     /// Current trust of a source (default prior 0.5).
@@ -54,7 +56,7 @@ impl TrustModel {
             match o.verdict {
                 Verdict::Verified => verified += self.trust(o.source),
                 Verdict::Refuted => refuted += self.trust(o.source),
-                Verdict::NotRelated => {}
+                Verdict::NotRelated | Verdict::Unknown => {}
             }
         }
         let total = verified + refuted;
@@ -88,7 +90,7 @@ impl TrustModel {
             // Stage 2: agreement per source.
             let mut agree: HashMap<SourceId, (f64, f64)> = HashMap::new();
             for o in observations {
-                if o.verdict == Verdict::NotRelated {
+                if matches!(o.verdict, Verdict::NotRelated | Verdict::Unknown) {
                     continue;
                 }
                 let entry = agree.entry(o.source).or_insert((0.0, 0.0));
@@ -118,7 +120,11 @@ mod tests {
     use super::*;
 
     fn obs(object_id: u64, source: SourceId, verdict: Verdict) -> VerdictObservation {
-        VerdictObservation { object_id, source, verdict }
+        VerdictObservation {
+            object_id,
+            source,
+            verdict,
+        }
     }
 
     /// Two reliable sources against one adversarial source: iteration must
@@ -140,8 +146,7 @@ mod tests {
 
     #[test]
     fn trusted_minority_can_win_decision() {
-        let mut model =
-            TrustModel::with_priors([(0, 0.95), (1, 0.2), (2, 0.2)]);
+        let mut model = TrustModel::with_priors([(0, 0.95), (1, 0.2), (2, 0.2)]);
         let observations = vec![
             obs(7, 0, Verdict::Refuted),
             obs(7, 1, Verdict::Verified),
@@ -163,10 +168,7 @@ mod tests {
             obs(1, 1, Verdict::NotRelated),
         ];
         assert_eq!(model.decide(&observations), (Verdict::NotRelated, 1.0));
-        let observations = vec![
-            obs(1, 0, Verdict::NotRelated),
-            obs(1, 1, Verdict::Refuted),
-        ];
+        let observations = vec![obs(1, 0, Verdict::NotRelated), obs(1, 1, Verdict::Refuted)];
         assert_eq!(model.decide(&observations).0, Verdict::Refuted);
     }
 

@@ -24,7 +24,11 @@ pub struct TupleModelConfig {
 
 impl Default for TupleModelConfig {
     fn default() -> Self {
-        TupleModelConfig { error_rate: 0.07, key_match_threshold: 1.0, seed: 0x20be }
+        TupleModelConfig {
+            error_rate: 0.07,
+            key_match_threshold: 1.0,
+            seed: 0x20be,
+        }
     }
 }
 
@@ -80,7 +84,7 @@ impl TupleModelVerifier {
                     match base {
                         Verdict::Verified => Verdict::Refuted,
                         Verdict::Refuted => Verdict::Verified,
-                        Verdict::NotRelated => Verdict::NotRelated,
+                        Verdict::NotRelated | Verdict::Unknown => base,
                     }
                 } else {
                     base
@@ -161,23 +165,44 @@ mod tests {
 
     #[test]
     fn classification_matrix() {
-        let m = TupleModelVerifier::new(TupleModelConfig { error_rate: 0.0, ..Default::default() });
+        let m = TupleModelVerifier::new(TupleModelConfig {
+            error_rate: 0.0,
+            ..Default::default()
+        });
         let c = cell("Otis Pike");
-        assert_eq!(m.classify(&c, &evidence(1, "NY-1", "Otis Pike")), Verdict::Verified);
-        assert_eq!(m.classify(&c, &evidence(2, "NY-1", "Another Name")), Verdict::Refuted);
-        assert_eq!(m.classify(&c, &evidence(3, "OH-5", "Otis Pike")), Verdict::NotRelated);
+        assert_eq!(
+            m.classify(&c, &evidence(1, "NY-1", "Otis Pike")),
+            Verdict::Verified
+        );
+        assert_eq!(
+            m.classify(&c, &evidence(2, "NY-1", "Another Name")),
+            Verdict::Refuted
+        );
+        assert_eq!(
+            m.classify(&c, &evidence(3, "OH-5", "Otis Pike")),
+            Verdict::NotRelated
+        );
     }
 
     #[test]
     fn normalized_value_matching() {
-        let m = TupleModelVerifier::new(TupleModelConfig { error_rate: 0.0, ..Default::default() });
+        let m = TupleModelVerifier::new(TupleModelConfig {
+            error_rate: 0.0,
+            ..Default::default()
+        });
         let c = cell("otis   PIKE");
-        assert_eq!(m.classify(&c, &evidence(1, "NY-1", "Otis Pike")), Verdict::Verified);
+        assert_eq!(
+            m.classify(&c, &evidence(1, "NY-1", "Otis Pike")),
+            Verdict::Verified
+        );
     }
 
     #[test]
     fn error_rate_calibration() {
-        let m = TupleModelVerifier::new(TupleModelConfig { error_rate: 0.2, ..Default::default() });
+        let m = TupleModelVerifier::new(TupleModelConfig {
+            error_rate: 0.2,
+            ..Default::default()
+        });
         let wrong = (0..500)
             .filter(|&i| {
                 let mut c = cell("Otis Pike");
@@ -186,7 +211,10 @@ mod tests {
             })
             .count();
         let rate = wrong as f64 / 500.0;
-        assert!((0.13..0.27).contains(&rate), "error rate {rate} far from 0.2");
+        assert!(
+            (0.13..0.27).contains(&rate),
+            "error rate {rate} far from 0.2"
+        );
     }
 
     #[test]

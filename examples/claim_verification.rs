@@ -9,7 +9,7 @@
 //! ```
 
 use verifai::metrics::{paper_correct, Accuracy};
-use verifai::{VerifAi, VerifAiConfig, Verdict};
+use verifai::{Verdict, VerifAi, VerifAiConfig};
 use verifai_claims::ClaimGenConfig;
 use verifai_datagen::{build, claim_workload, LakeSpec};
 use verifai_lake::DataInstance;
@@ -28,9 +28,17 @@ fn main() {
     for claim in &claims {
         let object = system.claim_object(claim);
         // The known-relevant evidence: the claim's source table.
-        let table = system.lake().table(claim.table).expect("source table").clone();
+        let table = system
+            .lake()
+            .table(claim.table)
+            .expect("source table")
+            .clone();
         let evidence = DataInstance::Table(table);
-        let expected = if claim.label { Verdict::Verified } else { Verdict::Refuted };
+        let expected = if claim.label {
+            Verdict::Verified
+        } else {
+            Verdict::Refuted
+        };
 
         let chatgpt = system.llm().verify(&object, &evidence);
         chatgpt_acc.record(paper_correct(expected, chatgpt.verdict, false));
@@ -40,13 +48,22 @@ fn main() {
         if shown < 4 {
             shown += 1;
             println!("claim: {}", claim.text);
-            println!("  ground truth: {}", if claim.label { "entailed" } else { "refuted" });
-            println!("  chatgpt-sim: {} — {}", chatgpt.verdict, chatgpt.explanation);
+            println!(
+                "  ground truth: {}",
+                if claim.label { "entailed" } else { "refuted" }
+            );
+            println!(
+                "  chatgpt-sim: {} — {}",
+                chatgpt.verdict, chatgpt.explanation
+            );
             println!("  pasta:       {} — {}\n", local.verdict, local.explanation);
         }
     }
 
-    println!("=== (text, relevant table) over {} claims ===", claims.len());
+    println!(
+        "=== (text, relevant table) over {} claims ===",
+        claims.len()
+    );
     println!("chatgpt-sim accuracy: {chatgpt_acc}   (paper: 0.75)");
     println!("pasta accuracy:       {pasta_acc}   (paper: 0.89)");
     println!();

@@ -31,13 +31,20 @@ fn main() {
         Column::new("incumbent", DataType::Text),
         Column::new("party", DataType::Text),
     ]);
-    let mut elections = Table::new(0, "United States House elections", schema.clone(), tables_src);
+    let mut elections = Table::new(
+        0,
+        "United States House elections",
+        schema.clone(),
+        tables_src,
+    );
     for (d, i, p) in [
         ("New York 1", "Otis G. Pike", "Democratic"),
         ("New York 2", "Stuyvesant Wainwright", "Republican"),
         ("New York 3", "Steven Derounian", "Republican"),
     ] {
-        elections.push_row(vec![Value::text(d), Value::text(i), Value::text(p)]).unwrap();
+        elections
+            .push_row(vec![Value::text(d), Value::text(i), Value::text(p)])
+            .unwrap();
     }
     let tuple_ids = lake.add_table(elections.clone()).unwrap();
 
@@ -51,7 +58,10 @@ fn main() {
         tables_src,
     );
     films
-        .push_row(vec![Value::text("Stomp the Yard"), Value::text("Meagan Good")])
+        .push_row(vec![
+            Value::text("Stomp the Yard"),
+            Value::text("Meagan Good"),
+        ])
         .unwrap();
     let film_tuples = lake.add_table(films).unwrap();
 
@@ -87,8 +97,8 @@ fn main() {
 
     // "ChatGPT" returns a completed table: row 1 right, row 3 wrong.
     let generations = [
-        (0usize, "Otis G. Pike"),      // correct
-        (2usize, "Robert Barry"),      // hallucinated
+        (0usize, "Otis G. Pike"), // correct
+        (2usize, "Robert Barry"), // hallucinated
     ];
     for (row, generated) in generations {
         let object = DataObject::ImputedCell(ImputedCell {
@@ -97,7 +107,10 @@ fn main() {
             column: "incumbent".into(),
             value: Value::text(generated),
         });
-        println!("generated: incumbent of {} = {generated}", elections.cell(row, 0).unwrap());
+        println!(
+            "generated: incumbent of {} = {generated}",
+            elections.cell(row, 0).unwrap()
+        );
         // Evidence 1: the lake tuple.
         let t = lake.tuple(tuple_ids.start + row as u64).unwrap();
         let v = llm.verify(&object, &DataInstance::Tuple(t));

@@ -8,7 +8,7 @@
 //! cargo run --release --example kg_evidence
 //! ```
 
-use verifai::{DataObject, VerifAi, VerifAiConfig, Verdict};
+use verifai::{DataObject, Verdict, VerifAi, VerifAiConfig};
 use verifai_datagen::{build, completion_workload, LakeSpec};
 use verifai_lake::InstanceKind;
 use verifai_verify::AgentPolicy;
@@ -27,7 +27,9 @@ fn run(k_kg: usize) -> (usize, usize, usize) {
     let mut kg_pairs = 0;
     for task in &tasks {
         let object = system.impute(task);
-        let DataObject::ImputedCell(cell) = &object else { unreachable!() };
+        let DataObject::ImputedCell(cell) = &object else {
+            unreachable!()
+        };
         let imputed_ok = cell.value.matches(&task.truth);
         let report = system.verify_object(&object);
         kg_pairs += report
@@ -44,7 +46,7 @@ fn run(k_kg: usize) -> (usize, usize, usize) {
                 decided += 1;
                 correct_decisions += (!imputed_ok) as usize;
             }
-            Verdict::NotRelated => {}
+            Verdict::NotRelated | Verdict::Unknown => {}
         }
     }
     (correct_decisions, decided, kg_pairs)

@@ -22,15 +22,25 @@ fn main() {
     let generated = build(&spec);
     println!("built {} lake in {:?}", scale, t0.elapsed());
     println!("  {}", generated.lake.stats());
-    println!("  {} subject entities, {} with text pages", generated.entities.len(),
-        generated.entity_docs.len());
-    println!("  {} tuple-completion candidates", generated.completion_candidates.len());
+    println!(
+        "  {} subject entities, {} with text pages",
+        generated.entities.len(),
+        generated.entity_docs.len()
+    );
+    println!(
+        "  {} tuple-completion candidates",
+        generated.completion_candidates.len()
+    );
 
     // Peek at one table of each caption family genre.
     println!("\nsample captions:");
     let mut seen = std::collections::HashSet::new();
     for table in generated.lake.tables() {
-        let family: String = table.caption.chars().filter(|c| !c.is_ascii_digit()).collect();
+        let family: String = table
+            .caption
+            .chars()
+            .filter(|c| !c.is_ascii_digit())
+            .collect();
         if seen.insert(family) {
             println!("  [{} rows] {}", table.num_rows(), table.caption);
         }
@@ -44,7 +54,11 @@ fn main() {
     println!("\nindexed all modalities in {:?}", t1.elapsed());
 
     // Ad-hoc retrieval across the three modalities.
-    for query in ["incumbent elections New York", "championships points 1959", "drama film director"] {
+    for query in [
+        "incumbent elections New York",
+        "championships points 1959",
+        "drama film director",
+    ] {
         println!("\nquery: \"{query}\"");
         for kind in [InstanceKind::Tuple, InstanceKind::Table, InstanceKind::Text] {
             let hits = system.retrieve(query, kind, 3);
@@ -58,7 +72,11 @@ fn main() {
                         s.chars().take(80).collect::<String>()
                     })
                     .unwrap_or_default();
-                println!("    {:<12} score {:>7.4}  {preview}", h.id.to_string(), h.score);
+                println!(
+                    "    {:<12} score {:>7.4}  {preview}",
+                    h.id.to_string(),
+                    h.score
+                );
             }
         }
     }

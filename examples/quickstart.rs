@@ -44,7 +44,10 @@ fn main() {
             report.evidence.len()
         );
         for ev in report.evidence.iter().take(3) {
-            println!("    {} [{}] -> {}: {}", ev.instance, ev.verifier, ev.verdict, ev.explanation);
+            println!(
+                "    {} [{}] -> {}: {}",
+                ev.instance, ev.verifier, ev.verdict, ev.explanation
+            );
         }
     }
 

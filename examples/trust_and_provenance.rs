@@ -22,13 +22,22 @@ fn main() {
     let mut spec = LakeSpec::tiny(42);
     spec.corrupted_docs = 20;
     let generated = build(&spec);
-    let genai = generated.sources.genai.expect("corrupted source registered");
-    let corrupted: Vec<InstanceId> =
-        generated.corrupted_docs.iter().map(|&(_, d)| InstanceId::Text(d)).collect();
+    let genai = generated
+        .sources
+        .genai
+        .expect("corrupted source registered");
+    let corrupted: Vec<InstanceId> = generated
+        .corrupted_docs
+        .iter()
+        .map(|&(_, d)| InstanceId::Text(d))
+        .collect();
 
     println!("sources before trust estimation:");
     for s in generated.lake.sources() {
-        println!("  {:<16} origin {:?}  trust {:.2}", s.name, s.origin, s.trust);
+        println!(
+            "  {:<16} origin {:?}  trust {:.2}",
+            s.name, s.origin, s.trust
+        );
     }
 
     let tasks = completion_workload(&generated, 30, 3);
@@ -62,8 +71,16 @@ fn main() {
     system.recalibrate_trust(&observations, 5);
     println!("\nestimated trust after the truth-discovery loop:");
     for (source, trust) in system.trust().all_trust() {
-        let name = system.lake().source(source).map(|s| s.name.clone()).unwrap_or_default();
-        let marker = if source == genai { "   <- generative-model leak" } else { "" };
+        let name = system
+            .lake()
+            .source(source)
+            .map(|s| s.name.clone())
+            .unwrap_or_default();
+        let marker = if source == genai {
+            "   <- generative-model leak"
+        } else {
+            ""
+        };
         println!("  {name:<16} trust {trust:.2}{marker}");
     }
 

@@ -7,7 +7,7 @@
 //! cargo run --release --example tuple_completion
 //! ```
 
-use verifai::{DataObject, VerifAi, VerifAiConfig, Verdict};
+use verifai::{DataObject, Verdict, VerifAi, VerifAiConfig};
 use verifai_datagen::{build, completion_workload, LakeSpec};
 use verifai_llm::prompt::tuple_completion_prompt;
 
@@ -17,7 +17,11 @@ fn main() {
     let system = VerifAi::build(generated, VerifAiConfig::default());
 
     // Show the actual prompt the paper uses, for one batch.
-    let table = system.lake().table(tasks[0].table).expect("task table").clone();
+    let table = system
+        .lake()
+        .table(tasks[0].table)
+        .expect("task table")
+        .clone();
     let mut masked = table.clone();
     // Mask the first task's cell in its source table for display purposes.
     if let Some(col) = masked.schema.index_of(&tasks[0].column) {
@@ -36,7 +40,9 @@ fn main() {
 
     for task in &tasks {
         let object = system.impute(task);
-        let DataObject::ImputedCell(cell) = &object else { unreachable!() };
+        let DataObject::ImputedCell(cell) = &object else {
+            unreachable!()
+        };
         let is_correct = cell.value.matches(&task.truth);
         ungrounded_correct += is_correct as usize;
 
@@ -44,7 +50,7 @@ fn main() {
         match report.decision {
             Verdict::Verified if is_correct => confirmed_right += 1,
             Verdict::Refuted if !is_correct => flagged_wrong += 1,
-            Verdict::NotRelated => undecided += 1,
+            Verdict::NotRelated | Verdict::Unknown => undecided += 1,
             _ => {}
         }
     }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local gate: format, lints (warnings denied), and every test.
+# Usage: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> all checks passed"

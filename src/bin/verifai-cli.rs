@@ -60,7 +60,12 @@ fn cmd_search(kind: &str, query: &str) -> ExitCode {
         let preview = system
             .lake()
             .resolve(hit.id)
-            .map(|i| verifai_text::serialize_instance(&i).chars().take(90).collect::<String>())
+            .map(|i| {
+                verifai_text::serialize_instance(&i)
+                    .chars()
+                    .take(90)
+                    .collect::<String>()
+            })
             .unwrap_or_default();
         println!("{:<12} {:>8.4}  {preview}", hit.id.to_string(), hit.score);
     }
@@ -87,8 +92,12 @@ fn cmd_check(path: &str, claim_text: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("loaded '{}' ({} rows, {} columns)", table.caption, table.num_rows(),
-        table.schema.arity());
+    println!(
+        "loaded '{}' ({} rows, {} columns)",
+        table.caption,
+        table.num_rows(),
+        table.schema.arity()
+    );
 
     let expr = verifai_claims::parse_claim(claim_text);
     if expr.is_none() {

@@ -1,0 +1,204 @@
+//! `verifai-serve` — deterministic closed-loop load generator for the
+//! verification service.
+//!
+//! Builds a seeded data lake, derives a pool of distinct verification
+//! objects (masked-tuple imputations and text claims), then drives the
+//! service with a fixed number of requests drawn from that pool by a seeded
+//! RNG, keeping a bounded window of requests outstanding (closed loop).
+//! Prints the throughput/latency/cache report and verifies the service's
+//! accounting invariant: every submitted request is completed, shed, or
+//! rejected — none lost.
+//!
+//! ```text
+//! verifai-serve --requests 500 --workers 4 --seed 7
+//! ```
+//!
+//! The run is deterministic in its request sequence: the same seed yields
+//! the same lake, the same object pool, and the same submission order.
+
+use std::collections::VecDeque;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use verifai::{DataObject, VerifAi, VerifAiConfig};
+use verifai_claims::ClaimGenConfig;
+use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
+use verifai_service::{RequestOutcome, ServiceConfig, Ticket, VerificationService};
+
+struct Args {
+    requests: usize,
+    workers: usize,
+    seed: u64,
+    queue_capacity: usize,
+    high_water: usize,
+    max_batch: usize,
+    cache_capacity: usize,
+    deadline_ms: Option<u64>,
+    distinct: usize,
+    window: Option<usize>,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            requests: 200,
+            workers: 4,
+            seed: 42,
+            queue_capacity: 256,
+            high_water: 192,
+            max_batch: 8,
+            cache_capacity: 1024,
+            deadline_ms: None,
+            distinct: 32,
+            window: None,
+        }
+    }
+}
+
+const USAGE: &str = "verifai-serve [--requests N] [--workers N] [--seed N] \
+[--queue-capacity N] [--high-water N] [--max-batch N] [--cache-capacity N] \
+[--deadline-ms N] [--distinct N] [--window N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_string());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\nusage: {USAGE}"))?;
+        let parsed: u64 = value
+            .parse()
+            .map_err(|_| format!("{flag} needs an integer, got '{value}'"))?;
+        match flag.as_str() {
+            "--requests" => args.requests = parsed as usize,
+            "--workers" => args.workers = parsed as usize,
+            "--seed" => args.seed = parsed,
+            "--queue-capacity" => args.queue_capacity = parsed as usize,
+            "--high-water" => args.high_water = parsed as usize,
+            "--max-batch" => args.max_batch = parsed as usize,
+            "--cache-capacity" => args.cache_capacity = parsed as usize,
+            "--deadline-ms" => args.deadline_ms = Some(parsed),
+            "--distinct" => args.distinct = (parsed as usize).max(1),
+            "--window" => args.window = Some((parsed as usize).max(1)),
+            other => return Err(format!("unknown flag {other}\nusage: {USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// A pool of distinct objects, half imputations and half claims, all derived
+/// from the seeded lake so repeated draws exercise the evidence cache.
+fn object_pool(sys: &VerifAi, distinct: usize, seed: u64) -> Vec<DataObject> {
+    let n_tasks = distinct / 2 + distinct % 2;
+    let n_claims = distinct / 2;
+    let mut pool = Vec::with_capacity(distinct);
+    for task in completion_workload(sys.generated(), n_tasks, seed) {
+        pool.push(sys.impute(&task));
+    }
+    for claim in claim_workload(
+        sys.generated(),
+        n_claims,
+        ClaimGenConfig {
+            seed,
+            ..ClaimGenConfig::default()
+        },
+    ) {
+        pool.push(sys.claim_object(&claim));
+    }
+    pool
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let t_build = Instant::now();
+    let sys = Arc::new(VerifAi::build(
+        build(&LakeSpec::tiny(args.seed)),
+        VerifAiConfig::default(),
+    ));
+    let pool = object_pool(&sys, args.distinct, args.seed);
+    println!(
+        "lake + indexes built in {:?}; object pool: {} distinct ({} requests over them)",
+        t_build.elapsed(),
+        pool.len(),
+        args.requests
+    );
+
+    let service = VerificationService::new(
+        Arc::clone(&sys),
+        ServiceConfig {
+            workers: args.workers,
+            queue_capacity: args.queue_capacity,
+            high_water: args.high_water,
+            max_batch: args.max_batch,
+            cache_capacity: args.cache_capacity,
+            default_deadline: args.deadline_ms.map(Duration::from_millis),
+            ..ServiceConfig::default()
+        },
+    );
+
+    // Closed loop: at most `window` requests outstanding; when the window is
+    // full, block on the oldest ticket before submitting the next request.
+    let window = args
+        .window
+        .unwrap_or(args.workers.max(1) * args.max_batch.max(1));
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut outstanding: VecDeque<Ticket> = VecDeque::with_capacity(window);
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    let mut rejected = 0u64;
+    let drain = |ticket: Ticket, completed: &mut u64, shed: &mut u64| match ticket.wait() {
+        RequestOutcome::Completed(_) => *completed += 1,
+        RequestOutcome::Shed => *shed += 1,
+    };
+    let t_run = Instant::now();
+    for _ in 0..args.requests {
+        let object = pool[rng.gen_range(0..pool.len())].clone();
+        if outstanding.len() >= window {
+            let ticket = outstanding.pop_front().expect("window non-empty");
+            drain(ticket, &mut completed, &mut shed);
+        }
+        match service.submit(object) {
+            Ok(ticket) => outstanding.push_back(ticket),
+            Err(_) => rejected += 1,
+        }
+    }
+    for ticket in outstanding {
+        drain(ticket, &mut completed, &mut shed);
+    }
+    let elapsed = t_run.elapsed();
+
+    let stats = service.shutdown();
+    println!(
+        "\n{} requests in {:?} ({:.1} completed/s)\n",
+        args.requests,
+        elapsed,
+        stats.completed as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!("{stats}");
+
+    let lost = stats.submitted - stats.accounted();
+    println!("\nclient view: completed {completed} | shed {shed} | rejected {rejected}");
+    println!("lost requests: {lost}");
+    if lost != 0 || stats.submitted != args.requests as u64 {
+        eprintln!(
+            "accounting violated: {} submitted, {} accounted",
+            stats.submitted,
+            stats.accounted()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -3,7 +3,7 @@
 //! including the modality routing of the PreferLocal policy and the caption
 //! scoping that separates Refuted from NotRelated.
 
-use verifai::{VerifAi, VerifAiConfig, Verdict};
+use verifai::{Verdict, VerifAi, VerifAiConfig};
 use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
 use verifai_lake::{DataInstance, InstanceKind};
 use verifai_llm::SimLlmConfig;
@@ -18,16 +18,25 @@ fn cell_objects_get_tuple_and_text_evidence_claims_get_tables() {
 
     for task in &tasks {
         let object = sys.impute(task);
-        let kinds: Vec<InstanceKind> =
-            sys.discover_evidence(&object).iter().map(|(i, _)| i.kind()).collect();
+        let kinds: Vec<InstanceKind> = sys
+            .discover_evidence(&object)
+            .iter()
+            .map(|(i, _)| i.kind())
+            .collect();
         assert!(kinds.contains(&InstanceKind::Tuple), "no tuple evidence");
         assert!(kinds.contains(&InstanceKind::Text), "no text evidence");
-        assert!(!kinds.contains(&InstanceKind::Table), "tables not in the §4 plan for cells");
+        assert!(
+            !kinds.contains(&InstanceKind::Table),
+            "tables not in the §4 plan for cells"
+        );
     }
     for claim in &claims {
         let object = sys.claim_object(claim);
-        let kinds: Vec<InstanceKind> =
-            sys.discover_evidence(&object).iter().map(|(i, _)| i.kind()).collect();
+        let kinds: Vec<InstanceKind> = sys
+            .discover_evidence(&object)
+            .iter()
+            .map(|(i, _)| i.kind())
+            .collect();
         assert!(kinds.iter().all(|k| *k == InstanceKind::Table));
         assert!(!kinds.is_empty());
     }
@@ -101,13 +110,20 @@ fn scope_mismatch_yields_not_related_for_the_llm_only() {
         .expect("sibling year exists")
         .clone();
 
-    let config = VerifAiConfig { llm: SimLlmConfig::oracle(1), ..VerifAiConfig::default() };
+    let config = VerifAiConfig {
+        llm: SimLlmConfig::oracle(1),
+        ..VerifAiConfig::default()
+    };
     let sys = VerifAi::build(generated, config);
     let object = sys.claim_object(claim);
     let evidence = DataInstance::Table(sibling);
 
     let llm_verdict = sys.llm().verify(&object, &evidence).verdict;
-    assert_eq!(llm_verdict, Verdict::NotRelated, "LLM must respect the year scope");
+    assert_eq!(
+        llm_verdict,
+        Verdict::NotRelated,
+        "LLM must respect the year scope"
+    );
 
     // PASTA is scope-blind: it force-answers true/false.
     let pasta = PastaVerifier::with_defaults();
@@ -149,11 +165,18 @@ fn kg_evidence_flows_through_the_pipeline() {
                 .evidence
                 .iter()
                 .any(|e| e.instance == verifai_lake::InstanceId::Kg(kg_id));
-            assert!(retrieved, "relevant subgraph {kg_id} missing for task {}", task.id);
+            assert!(
+                retrieved,
+                "relevant subgraph {kg_id} missing for task {}",
+                task.id
+            );
         }
     }
     assert!(kg_seen > 0, "no KG evidence reached the verifier");
-    assert!(kg_verified > 0, "oracle imputations never verified by KG evidence");
+    assert!(
+        kg_verified > 0,
+        "oracle imputations never verified by KG evidence"
+    );
 }
 
 #[test]
@@ -162,7 +185,10 @@ fn claim_against_tuple_and_text_extension_pairs() {
     // falls back to the LLM for those pairs, which handles lookups.
     let generated = build(&LakeSpec::tiny(407));
     let claims = claim_workload(&generated, 30, verifai_claims::ClaimGenConfig::default());
-    let config = VerifAiConfig { llm: SimLlmConfig::oracle(9), ..VerifAiConfig::default() };
+    let config = VerifAiConfig {
+        llm: SimLlmConfig::oracle(9),
+        ..VerifAiConfig::default()
+    };
     let sys = VerifAi::build(generated, config);
 
     // Find a lookup claim and the tuple that decides it.
@@ -171,13 +197,18 @@ fn claim_against_tuple_and_text_extension_pairs() {
         .find(|c| matches!(c.expr, verifai_claims::ClaimExpr::Lookup { .. }) && c.label)
         .expect("a true lookup claim exists");
     let table = sys.lake().table(lookup.table).unwrap();
-    let verifai_claims::ClaimExpr::Lookup { key, .. } = &lookup.expr else { unreachable!() };
+    let verifai_claims::ClaimExpr::Lookup { key, .. } = &lookup.expr else {
+        unreachable!()
+    };
     let row = (0..table.num_rows())
         .find(|&r| table.row(r).unwrap().iter().any(|v| v.matches(key)))
         .expect("subject row exists");
     let tuple = table.tuple_at(row, 999_999).unwrap();
 
     let object = sys.claim_object(lookup);
-    let verdict = sys.llm().verify(&object, &DataInstance::Tuple(tuple)).verdict;
+    let verdict = sys
+        .llm()
+        .verify(&object, &DataInstance::Tuple(tuple))
+        .verdict;
     assert_eq!(verdict, Verdict::Verified, "claim: {}", lookup.text);
 }

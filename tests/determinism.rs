@@ -3,7 +3,7 @@
 //! sensitive to seed changes. Every experiment in EXPERIMENTS.md relies on
 //! this.
 
-use verifai::{VerifAi, VerifAiConfig, Verdict};
+use verifai::{Verdict, VerifAi, VerifAiConfig};
 use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
 
 fn run_pipeline(seed: u64) -> Vec<(u64, Verdict, f64)> {
@@ -65,13 +65,17 @@ fn llm_answers_are_stable_like_a_checkpoint() {
     let generated = build(&LakeSpec::tiny(313));
     let tasks = completion_workload(&generated, 8, 3);
     let sys = VerifAi::build(generated, VerifAiConfig::default());
-    let first: Vec<_> =
-        tasks.iter().map(|t| sys.llm().impute_cell(&t.masked, &t.column)).collect();
+    let first: Vec<_> = tasks
+        .iter()
+        .map(|t| sys.llm().impute_cell(&t.masked, &t.column))
+        .collect();
     // Interleave unrelated queries.
     for t in tasks.iter().rev() {
         let _ = sys.llm().impute_cell(&t.masked, &t.column);
     }
-    let second: Vec<_> =
-        tasks.iter().map(|t| sys.llm().impute_cell(&t.masked, &t.column)).collect();
+    let second: Vec<_> = tasks
+        .iter()
+        .map(|t| sys.llm().impute_cell(&t.masked, &t.column))
+        .collect();
     assert_eq!(first, second);
 }

@@ -2,7 +2,7 @@
 //! output leaking into the lake as plausible-but-wrong evidence — and the
 //! framework's C3 response (truth discovery downgrades the offending source).
 
-use verifai::{VerifAi, VerifAiConfig, Verdict};
+use verifai::{Verdict, VerifAi, VerifAiConfig};
 use verifai_datagen::{build, completion_workload, LakeSpec};
 use verifai_lake::InstanceId;
 use verifai_llm::SimLlmConfig;
@@ -22,11 +22,17 @@ fn corrupted_pages_produce_refutations_of_correct_values() {
     // evidence verdict must trace back to corrupted pages (or a text page that
     // omits the fact — which yields NotRelated, not Refuted).
     let generated = corrupted_lake(501, 25);
-    let corrupted: Vec<InstanceId> =
-        generated.corrupted_docs.iter().map(|&(_, d)| InstanceId::Text(d)).collect();
+    let corrupted: Vec<InstanceId> = generated
+        .corrupted_docs
+        .iter()
+        .map(|&(_, d)| InstanceId::Text(d))
+        .collect();
     let tasks = completion_workload(&generated, 25, 3);
-    let config = VerifAiConfig { llm: SimLlmConfig::oracle(7), ..VerifAiConfig::default() };
-    let mut sys = VerifAi::build(generated, config);
+    let config = VerifAiConfig {
+        llm: SimLlmConfig::oracle(7),
+        ..VerifAiConfig::default()
+    };
+    let sys = VerifAi::build(generated, config);
 
     let mut refuted_from_corrupted = 0usize;
     let mut refuted_from_honest = 0usize;
@@ -56,7 +62,10 @@ fn corrupted_pages_produce_refutations_of_correct_values() {
 #[test]
 fn truth_discovery_downgrades_the_corrupted_source() {
     let generated = corrupted_lake(503, 25);
-    let genai = generated.sources.genai.expect("corrupted source registered");
+    let genai = generated
+        .sources
+        .genai
+        .expect("corrupted source registered");
     let honest_sources: Vec<u32> = generated
         .lake
         .sources()
@@ -65,7 +74,10 @@ fn truth_discovery_downgrades_the_corrupted_source() {
         .map(|s| s.id)
         .collect();
     let tasks = completion_workload(&generated, 30, 5);
-    let config = VerifAiConfig { llm: SimLlmConfig::oracle(9), ..VerifAiConfig::default() };
+    let config = VerifAiConfig {
+        llm: SimLlmConfig::oracle(9),
+        ..VerifAiConfig::default()
+    };
     let mut sys = VerifAi::build(generated, config);
 
     let mut observations: Vec<VerdictObservation> = Vec::new();
@@ -87,7 +99,10 @@ fn truth_discovery_downgrades_the_corrupted_source() {
         let honest_trust = sys.trust().trust(honest);
         // A source may have had no decisive observations (trust stays at its
         // prior); only compare sources the loop actually re-estimated.
-        if observations.iter().any(|o| o.source == honest && o.verdict != Verdict::NotRelated) {
+        if observations
+            .iter()
+            .any(|o| o.source == honest && o.verdict != Verdict::NotRelated)
+        {
             assert!(
                 honest_trust > genai_trust,
                 "honest source {honest} ({honest_trust:.2}) not above corrupted ({genai_trust:.2})"
@@ -103,8 +118,11 @@ fn decisions_survive_injection() {
     // honest pages outvote the leak.
     let generated = corrupted_lake(507, 25);
     let tasks = completion_workload(&generated, 25, 7);
-    let config = VerifAiConfig { llm: SimLlmConfig::oracle(11), ..VerifAiConfig::default() };
-    let mut sys = VerifAi::build(generated, config);
+    let config = VerifAiConfig {
+        llm: SimLlmConfig::oracle(11),
+        ..VerifAiConfig::default()
+    };
+    let sys = VerifAi::build(generated, config);
     let verified = tasks
         .iter()
         .filter(|task| {

@@ -6,11 +6,16 @@
 //! by the benches.
 
 use verifai::experiments::{baseline, figure4, table1, table2, ExperimentContext};
-use verifai::{VerifAiConfig, Verdict};
+use verifai::{Verdict, VerifAiConfig};
 use verifai_datagen::LakeSpec;
 
 fn ctx(seed: u64) -> ExperimentContext {
-    ExperimentContext::new(&LakeSpec::tiny(seed), 30, 60, VerifAiConfig::paper_setting())
+    ExperimentContext::new(
+        &LakeSpec::tiny(seed),
+        30,
+        60,
+        VerifAiConfig::paper_setting(),
+    )
 }
 
 /// §4: ungrounded generation is barely better than a coin flip.
@@ -18,7 +23,11 @@ fn ctx(seed: u64) -> ExperimentContext {
 fn ungrounded_generation_is_unreliable() {
     let c = ctx(201);
     let b = baseline(&c);
-    assert!(b.imputation.value() < 0.75, "imputation too good: {}", b.imputation);
+    assert!(
+        b.imputation.value() < 0.75,
+        "imputation too good: {}",
+        b.imputation
+    );
     assert!(b.claims.value() < 0.75, "claims too good: {}", b.claims);
     assert!(b.imputation.total == 30);
     assert!(b.claims.total == 60);
@@ -112,5 +121,8 @@ fn pasta_is_binary_llm_is_ternary() {
             }
         }
     }
-    assert!(llm_not_related > 0, "the LLM never abstained over retrieved tables");
+    assert!(
+        llm_not_related > 0,
+        "the LLM never abstained over retrieved tables"
+    );
 }

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use verifai::metrics::recall_at_k;
-use verifai::{VerifAi, VerifAiConfig, Verdict};
+use verifai::{Verdict, VerifAi, VerifAiConfig};
 use verifai_claims::{execute, parse_claim, ClaimGenConfig, ExecOutcome, ParaphraseLevel};
 use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
 use verifai_lake::{InstanceId, InstanceKind};

@@ -1,0 +1,181 @@
+//! Integration tests for the `verifai-service` serving layer: concurrent
+//! correctness against the sequential pipeline, accounting under overload,
+//! deadline partial reports, and cache-independence of results.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use verifai::{DataObject, Verdict, VerifAi, VerifAiConfig};
+use verifai_claims::ClaimGenConfig;
+use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
+use verifai_service::{RequestOutcome, ServiceConfig, Ticket, VerificationService};
+
+fn system(seed: u64) -> Arc<VerifAi> {
+    Arc::new(VerifAi::build(
+        build(&LakeSpec::tiny(seed)),
+        VerifAiConfig::default(),
+    ))
+}
+
+/// A mixed workload of masked-tuple imputations and text claims.
+fn mixed_objects(sys: &VerifAi, n_each: usize, seed: u64) -> Vec<DataObject> {
+    let mut objects: Vec<DataObject> = completion_workload(sys.generated(), n_each, seed)
+        .iter()
+        .map(|t| sys.impute(t))
+        .collect();
+    objects.extend(
+        claim_workload(
+            sys.generated(),
+            n_each,
+            ClaimGenConfig {
+                seed,
+                ..ClaimGenConfig::default()
+            },
+        )
+        .iter()
+        .map(|c| sys.claim_object(c)),
+    );
+    objects
+}
+
+/// Concurrent service results are byte-identical to sequential
+/// `verify_object`, every request completes, and the accounting invariant
+/// holds exactly.
+#[test]
+fn concurrent_results_match_sequential() {
+    let sys = system(11);
+    let objects = mixed_objects(&sys, 8, 11);
+    let service = VerificationService::new(Arc::clone(&sys), ServiceConfig::default());
+    let tickets: Vec<Ticket> = objects
+        .iter()
+        .map(|o| service.submit(o.clone()).expect("unloaded queue admits"))
+        .collect();
+    for (object, ticket) in objects.iter().zip(tickets) {
+        let report = match ticket.wait() {
+            RequestOutcome::Completed(report) => report,
+            RequestOutcome::Shed => panic!("unloaded service shed a request"),
+        };
+        assert_eq!(
+            report,
+            sys.verify_object(object),
+            "service diverged from sequential"
+        );
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, objects.len() as u64);
+    assert_eq!(
+        stats.completed + stats.shed + stats.rejected,
+        stats.submitted
+    );
+    assert_eq!(stats.completed, objects.len() as u64);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.in_flight, 0);
+}
+
+/// With queue capacity far below the request count and an aggressive
+/// high-water mark, the service sheds/rejects instead of deadlocking or
+/// buffering unboundedly — and still accounts for every request.
+#[test]
+fn overload_sheds_without_losing_requests() {
+    let sys = system(12);
+    let objects = mixed_objects(&sys, 30, 12);
+    let config = ServiceConfig {
+        workers: 1,
+        queue_capacity: 16,
+        high_water: 2,
+        max_batch: 2,
+        ..ServiceConfig::default()
+    };
+    let service = VerificationService::new(Arc::clone(&sys), config);
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    // Submit 60 requests as fast as possible against a 16-slot queue.
+    for object in &objects {
+        match service.submit(object.clone()) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(_) => rejected += 1,
+        }
+    }
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    for ticket in tickets {
+        match ticket.wait() {
+            RequestOutcome::Completed(_) => completed += 1,
+            RequestOutcome::Shed => shed += 1,
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, objects.len() as u64);
+    assert_eq!(stats.rejected, rejected);
+    assert_eq!(stats.completed, completed);
+    assert_eq!(stats.shed, shed);
+    assert_eq!(
+        stats.completed + stats.shed + stats.rejected,
+        stats.submitted
+    );
+    assert!(
+        rejected > 0,
+        "16-slot queue should reject some of 60 fast submissions"
+    );
+}
+
+/// A zero deadline cannot be met: the request must still resolve — with a
+/// partial report (verdict Unknown, no evidence verdicts) — not hang.
+#[test]
+fn zero_deadline_returns_partial_report() {
+    let sys = system(13);
+    let objects = mixed_objects(&sys, 1, 13);
+    let service = VerificationService::new(Arc::clone(&sys), ServiceConfig::default());
+    let ticket = service
+        .submit_with_deadline(objects[0].clone(), Some(Duration::ZERO))
+        .expect("admitted");
+    match ticket.wait() {
+        RequestOutcome::Completed(report) => {
+            assert_eq!(report.decision, Verdict::Unknown);
+            assert_eq!(report.confidence, 0.0);
+            assert_eq!(report.object_id, objects[0].id());
+        }
+        RequestOutcome::Shed => panic!("unloaded service shed a request"),
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 1);
+}
+
+/// The evidence cache is invisible in results: the same workload served with
+/// the cache enabled and disabled yields identical reports.
+#[test]
+fn cache_does_not_change_reports() {
+    let sys = system(14);
+    let base = mixed_objects(&sys, 5, 14);
+    // Repeat the pool so the cached run actually serves hits.
+    let workload: Vec<DataObject> = base.iter().cycle().take(base.len() * 3).cloned().collect();
+
+    let run = |cache_capacity: usize| -> (Vec<_>, verifai_service::ServiceStats) {
+        let config = ServiceConfig {
+            cache_capacity,
+            ..ServiceConfig::default()
+        };
+        let service = VerificationService::new(Arc::clone(&sys), config);
+        let tickets: Vec<Ticket> = workload
+            .iter()
+            .map(|o| service.submit(o.clone()).expect("admitted"))
+            .collect();
+        let reports = tickets
+            .into_iter()
+            .map(|t| match t.wait() {
+                RequestOutcome::Completed(report) => report,
+                RequestOutcome::Shed => panic!("unloaded service shed a request"),
+            })
+            .collect();
+        (reports, service.shutdown())
+    };
+
+    let (cached, cached_stats) = run(1024);
+    let (cold, cold_stats) = run(0);
+    assert!(
+        cached_stats.cache.hits > 0,
+        "repeated workload must hit the cache"
+    );
+    assert_eq!(cold_stats.cache.hits, 0);
+    assert_eq!(cached, cold, "cache changed verification results");
+}

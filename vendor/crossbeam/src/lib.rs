@@ -1,0 +1,71 @@
+//! Offline stand-in for `crossbeam`, backed by the standard library.
+//!
+//! Provides the subset the workspace uses: [`scope`] (scoped threads on top
+//! of `std::thread::scope`) and [`channel`] (a Mutex+Condvar MPMC channel
+//! with crossbeam's bounded/unbounded semantics and disconnect behavior).
+
+pub mod channel;
+
+/// Scoped-thread handle passed to [`scope`] closures.
+///
+/// A thin wrapper over `std::thread::Scope`; `spawn` hands the closure a
+/// reference to the same scope so nested spawning works as in crossbeam.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread bound to the scope.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a thread scope; all spawned threads are joined before this
+/// returns. Unlike crossbeam, a panicking child propagates the panic when the
+/// scope joins rather than surfacing it in the `Err` payload list — callers
+/// in this workspace `expect` success either way.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

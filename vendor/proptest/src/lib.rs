@@ -1,0 +1,183 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Runs each property a configurable number of times against inputs drawn
+//! from [`Strategy`] values with a deterministic per-test seed (derived from
+//! the test name and case index), so failures reproduce exactly. There is no
+//! shrinking: the failing input is printed as-is. The supported strategy
+//! surface is what this workspace uses — integer/float ranges, a regex
+//! subset for strings, `any`, `Just`, `prop_oneof!`, `prop_map`, tuples, and
+//! `collection::vec`.
+
+pub mod collection;
+pub mod regex;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Failure description.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic per-case RNG: FNV-1a over the test name, mixed with the
+/// case index.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Define property tests.
+#[macro_export]
+macro_rules! proptest {
+    // Internal rule first: the public catch-all below would otherwise
+    // re-match `@tests ...` invocations and recurse forever.
+    (@tests ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(stringify!($name), case);
+                // Draw every input before running the body, so the value
+                // report below always has the full assignment.
+                let inputs = ($($crate::Strategy::generate(&$strategy, &mut rng),)+);
+                let ($($arg,)+) = inputs.clone();
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}\n  inputs: {:?}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e,
+                        inputs,
+                    );
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Assert inside a property, failing the case (not panicking directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                l,
+                r,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{:?}` != `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+/// Choose among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}

@@ -1,0 +1,139 @@
+//! Generation from a small regex subset: sequences of literal characters,
+//! `.`, and `[...]` character classes (with `a-z` ranges and a literal
+//! trailing `-`), each optionally quantified with `{m}` or `{m,n}`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// What `.` can produce: printable ASCII plus a few multibyte characters so
+/// string handling gets exercised beyond one-byte encodings.
+fn dot_choices() -> Vec<char> {
+    let mut choices: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+    choices.extend(['é', 'Ω', 'λ', '→', '中']);
+    choices
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '.' => {
+                i += 1;
+                dot_choices()
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        set.extend(lo..=hi);
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                i += 1; // consume ']'
+                set
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "trailing backslash in {pattern:?}");
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.parse().expect("bad quantifier"),
+                    n.parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let m: usize = body.parse().expect("bad quantifier");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier in {pattern:?}");
+        assert!(!choices.is_empty(), "empty class in {pattern:?}");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..count {
+            out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_rng;
+
+    #[test]
+    fn class_with_range_literals_and_trailing_dash() {
+        let mut rng = case_rng("class_with_range_literals_and_trailing_dash", 0);
+        for _ in 0..100 {
+            let s = generate("[a-zA-Z0-9 .,-]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " .,-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn concatenation_with_literal_separator() {
+        let mut rng = case_rng("concatenation_with_literal_separator", 0);
+        for _ in 0..50 {
+            let s = generate("[b-df-hj-np-tv-xz]{4,10} [b-df-hj-np-tv-xz]{4,10}", &mut rng);
+            let parts: Vec<&str> = s.split(' ').collect();
+            assert_eq!(parts.len(), 2);
+            for part in parts {
+                assert!((4..=10).contains(&part.len()));
+                assert!(part.chars().all(|c| "bcdfghjklmnpqrstvwxz".contains(c)));
+            }
+        }
+    }
+
+    #[test]
+    fn dot_respects_bounds() {
+        let mut rng = case_rng("dot_respects_bounds", 0);
+        for _ in 0..100 {
+            let s = generate(".{0,16}", &mut rng);
+            assert!(s.chars().count() <= 16);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Value-generation strategies.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Clone + Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        O: Clone + Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: Clone + Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// A strategy that always yields the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Clone + Debug {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_via_gen {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut StdRng) -> $ty {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+arbitrary_via_gen!(bool, u8, u16, u32, u64, usize, i32, i64, f64);
+
+/// Strategy for the whole domain of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole domain of `T`, e.g. `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    O: Clone + Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    variants: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from at least one variant.
+    pub fn new(variants: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        Union { variants }
+    }
+}
+
+impl<T: Clone + Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.variants.len());
+        self.variants[idx].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+
+/// String patterns act as strategies over matching strings.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        crate::regex::generate(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_rng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = case_rng("ranges_stay_in_bounds", 0);
+        for _ in 0..200 {
+            let v = (10u8..14).generate(&mut rng);
+            assert!((10..14).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_variants() {
+        let s = Union::new(vec![Just(0u8).boxed(), Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut rng = case_rng("oneof_covers_all_variants", 0);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let s = ((1u8..3), (10u8..12)).prop_map(|(a, b)| u16::from(a) * 100 + u16::from(b));
+        let mut rng = case_rng("map_and_tuples_compose", 0);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v == 110 || v == 111 || v == 210 || v == 211, "{v}");
+        }
+    }
+}

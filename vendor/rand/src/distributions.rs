@@ -1,0 +1,267 @@
+//! Distributions: `Standard` plus the uniform samplers behind `gen_range`.
+//!
+//! The integer path reproduces rand 0.8's `sample_single_inclusive`
+//! (widening multiply + zone rejection); the float path reproduces
+//! `UniformFloat::sample_single` (random mantissa in `[1, 2)` scaled into the
+//! range). Sequences therefore match the real crate bit for bit.
+
+use crate::{Rng, RngCore};
+
+/// A sampling distribution over `T`.
+pub trait Distribution<T> {
+    /// Sample one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: full-range integers, `[0, 1)` floats, fair
+/// bools.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<u8> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl Distribution<u16> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<i32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Distribution<i64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // Compare against the most significant bit, as rand does.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform-range sampling support.
+pub mod uniform {
+    use super::*;
+
+    /// Types that can be sampled uniformly from a range via `gen_range`.
+    pub trait SampleUniform: Sized {
+        /// Sample from `[low, high)`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Sample from `[low, high]`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    /// Range argument accepted by `gen_range`.
+    pub trait SampleRange<T> {
+        /// Sample one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_single(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            assert!(start <= end, "gen_range: empty range");
+            T::sample_single_inclusive(start, end, rng)
+        }
+    }
+
+    /// Widening multiply returning `(hi, lo)`.
+    trait WideningMul: Copy {
+        fn wmul(self, other: Self) -> (Self, Self);
+    }
+
+    impl WideningMul for u32 {
+        fn wmul(self, other: u32) -> (u32, u32) {
+            let t = u64::from(self) * u64::from(other);
+            ((t >> 32) as u32, t as u32)
+        }
+    }
+
+    impl WideningMul for u64 {
+        fn wmul(self, other: u64) -> (u64, u64) {
+            let t = u128::from(self) * u128::from(other);
+            ((t >> 64) as u64, t as u64)
+        }
+    }
+
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $u_large:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                    Self::sample_single_inclusive(low, high - 1, rng)
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: $ty,
+                    high: $ty,
+                    rng: &mut R,
+                ) -> $ty {
+                    let range =
+                        (high as $unsigned).wrapping_sub(low as $unsigned).wrapping_add(1)
+                            as $u_large;
+                    if range == 0 {
+                        // The full integer domain: any sample is in range.
+                        let wide: $u_large = Standard.sample(rng);
+                        return wide as $ty;
+                    }
+                    let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                        // Small domains use exact modulus rejection.
+                        let ints_to_reject =
+                            (<$u_large>::MAX - range + 1) % range;
+                        <$u_large>::MAX - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $u_large = Standard.sample(rng);
+                        let (hi, lo) = v.wmul(range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int_impl! { u8, u8, u32 }
+    uniform_int_impl! { u16, u16, u32 }
+    uniform_int_impl! { u32, u32, u32 }
+    uniform_int_impl! { u64, u64, u64 }
+    uniform_int_impl! { usize, usize, u64 }
+    uniform_int_impl! { i8, u8, u32 }
+    uniform_int_impl! { i16, u16, u32 }
+    uniform_int_impl! { i32, u32, u32 }
+    uniform_int_impl! { i64, u64, u64 }
+    uniform_int_impl! { isize, usize, u64 }
+
+    impl SampleUniform for f64 {
+        fn sample_single<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+            let scale = high - low;
+            loop {
+                // 52 random mantissa bits with exponent 0 give [1, 2).
+                let value1_2 =
+                    f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+                let value0_1 = value1_2 - 1.0;
+                let res = value0_1 * scale + low;
+                if res < high {
+                    return res;
+                }
+            }
+        }
+
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: f64,
+            high: f64,
+            rng: &mut R,
+        ) -> f64 {
+            let scale = high - low;
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            (value1_2 - 1.0) * scale + low
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_single<R: RngCore + ?Sized>(low: f32, high: f32, rng: &mut R) -> f32 {
+            let scale = high - low;
+            loop {
+                let value1_2 =
+                    f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+                let res = (value1_2 - 1.0) * scale + low;
+                if res < high {
+                    return res;
+                }
+            }
+        }
+
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: f32,
+            high: f32,
+            rng: &mut R,
+        ) -> f32 {
+            let scale = high - low;
+            let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+            (value1_2 - 1.0) * scale + low
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn small_int_ranges_cover_domain() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..10u8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

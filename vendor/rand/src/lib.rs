@@ -1,0 +1,107 @@
+//! Offline stand-in for the `rand` crate (0.8 line).
+//!
+//! The build container has no network access and no vendored registry, so the
+//! workspace ships this minimal replica of the `rand` API surface it uses:
+//! [`rngs::StdRng`], [`SeedableRng`], [`Rng`] (`gen`, `gen_range`, `gen_bool`)
+//! and [`seq::SliceRandom`] (`shuffle`, `choose`).
+//!
+//! The implementation is deliberately **bit-faithful** to `rand 0.8` +
+//! `rand_chacha 0.3`: `StdRng` is ChaCha12 with the same block/refill
+//! structure, `seed_from_u64` uses the same PCG32 expansion, and the uniform
+//! samplers use the same widening-multiply rejection scheme — so seeded
+//! workloads generated here match what the real crate would have produced.
+
+mod chacha;
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::uniform::SampleUniform;
+
+/// A random number generator core: the `rand_core::RngCore` subset.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A seedable generator: the `rand_core::SeedableRng` subset.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with the same PCG32 stream the
+    /// real `rand_core` uses so sequences match crates built against it.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing generator methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Sample uniformly from a range (exclusive or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        if p == 1.0 {
+            return true;
+        }
+        // Identical to rand 0.8's Bernoulli: compare 64 random bits against
+        // the probability scaled to the full u64 range.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

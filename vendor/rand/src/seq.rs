@@ -1,0 +1,73 @@
+//! Sequence helpers: the `SliceRandom` subset (`shuffle`, `choose`).
+
+use crate::{Rng, RngCore};
+
+/// Uniform index sampling, matching rand 0.8's `gen_index`: draws via `u32`
+/// whenever the bound fits, which keeps the consumed stream identical.
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    // `&mut R` is `Sized` and forwards `RngCore`, so `Rng`'s `Sized`-bound
+    // methods apply to it even when `R` itself is unsized; name that
+    // receiver explicitly since method probing would pick `R`.
+    let mut rng = &mut *rng;
+    if ubound <= u32::MAX as usize {
+        <&mut R as Rng>::gen_range(&mut rng, 0..ubound as u32) as usize
+    } else {
+        <&mut R as Rng>::gen_range(&mut rng, 0..ubound)
+    }
+}
+
+/// Randomized slice operations.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, gen_index(rng, i + 1));
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(gen_index(rng, self.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut xs: Vec<u32> = (0..50).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(xs, sorted, "a 50-element shuffle left the slice sorted");
+    }
+
+    #[test]
+    fn choose_is_none_only_when_empty() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([1u8, 2, 3].choose(&mut rng).is_some());
+    }
+}

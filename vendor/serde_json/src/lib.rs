@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The workspace uses `serde_json` only to build JSON artifacts in memory
+//! (`json!`, [`Value`]) and serialize them ([`to_string`] /
+//! [`to_string_pretty`]); nothing derives `Serialize`. This stand-in covers
+//! exactly that surface with no serde dependency.
+
+mod macros;
+mod ser;
+mod value;
+
+pub use ser::{to_string, to_string_pretty};
+pub use value::{Map, Number, ToValue, Value};
+
+/// Serialization error (this stand-in is infallible; the type exists so the
+/// `Result` signatures match).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
