@@ -50,9 +50,50 @@ fn serve(sys: &Arc<VerifAi>, config: &ServiceConfig, workload: &[DataObject]) ->
         match ticket.wait() {
             RequestOutcome::Completed(_) => {}
             RequestOutcome::Shed => panic!("bench service must not shed"),
+            RequestOutcome::Failed(error) => panic!("bench request failed: {error}"),
         }
     }
     service.shutdown()
+}
+
+/// Contended batch verification: eight worker threads share one provenance
+/// sink. Per-stage batching bounds the contention at four lock
+/// acquisitions per object — retrieval, rerank, verify, decision — however
+/// many candidates flow through, where the per-record discipline this
+/// replaced took one lock per provenance record.
+fn bench_contended_provenance(c: &mut Criterion) {
+    let sys = Arc::new(VerifAi::build(
+        build(&LakeSpec::tiny(9)),
+        VerifAiConfig::default(),
+    ));
+    let objects = workload(&sys, 8, 1, 9);
+
+    // Lock accounting, measured outside the timed loop: the batching
+    // counter is the number of sink lock acquisitions.
+    let locks_before = sys.provenance_batches();
+    let records_before = sys.provenance().len();
+    let _ = sys.verify_batch(&objects, 8);
+    let locks = sys.provenance_batches() - locks_before;
+    let records = sys.provenance().len() - records_before;
+    assert_eq!(
+        locks,
+        4 * objects.len() as u64,
+        "four flushes per object, independent of evidence volume"
+    );
+    println!(
+        "provenance contention: {records} records in {locks} lock acquisitions \
+         ({:.1} records/lock, {} locks/object vs {} with per-record locking)",
+        records as f64 / locks as f64,
+        locks / objects.len() as u64,
+        records / objects.len(),
+    );
+
+    let mut group = c.benchmark_group("provenance");
+    group.sample_size(10);
+    group.bench_function("verify_batch_contended", |b| {
+        b.iter(|| sys.verify_batch(&objects, 8))
+    });
+    group.finish();
 }
 
 fn bench_service(c: &mut Criterion) {
@@ -91,5 +132,5 @@ fn bench_service(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_service);
+criterion_group!(benches, bench_service, bench_contended_provenance);
 criterion_main!(benches);

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 //! # verifai
 //!
 //! **VerifAI: Verified Generative AI** — a framework for verifying the outputs
@@ -58,10 +59,15 @@ pub mod experiments;
 pub mod metrics;
 pub mod pipeline;
 pub mod report;
+pub mod stages;
 
 pub use config::VerifAiConfig;
 pub use metrics::{paper_correct, recall_at_k, Accuracy, LatencyHistogram};
 pub use pipeline::{EvidenceVerdict, VerifAi, VerificationReport};
+pub use stages::{
+    JudgeOutcome, PipelineError, RerankStage, ScoreRerank, StagePlan, StageTiming, StagedPipeline,
+    TopKPassthrough, VerifyStage,
+};
 
 // Re-export the vocabulary types so downstream users need only this crate.
 pub use verifai_llm::{DataObject, ImputedCell, TextClaim, Verdict};

@@ -1,20 +1,31 @@
 //! The end-to-end VerifAI pipeline (paper Figures 2–3).
+//!
+//! [`VerifAi`] assembles the lake, indexes, rerankers, and verifiers, then
+//! delegates the actual staged execution — retrieval → rerank → verify —
+//! to the [`StagedPipeline`] driver in [`crate::stages`]. This type owns
+//! everything configuration-shaped (which backends, which budgets, the
+//! trust model); the driver owns the stage discipline (instrumentation,
+//! provenance batching, deadline handling).
 
 use crate::config::VerifAiConfig;
-use parking_lot::{Mutex, MutexGuard};
+use crate::stages::{
+    PipelineError, RerankStage, ScoreRerank, StagePlan, StageTiming, StagedPipeline,
+    TopKPassthrough,
+};
+use parking_lot::MutexGuard;
 use verifai_datagen::{GeneratedLake, MaskedTupleTask};
-use verifai_embed::{TextEmbedder, TextEmbedderConfig};
+use verifai_embed::{TextEmbedder, TextEmbedderConfig, Vector};
 use verifai_index::{
-    Bm25Params, Combiner, HnswConfig, HnswIndex, InvertedIndex, SearchHit, VectorIndex,
+    Bm25Params, Combiner, EvidenceSource, FusedSource, HnswConfig, HnswIndex, InvertedIndex,
+    SearchHit, SourceQuery, VectorIndex,
 };
 use verifai_lake::{DataInstance, DataLake, InstanceId, InstanceKind, SourceId};
 use verifai_llm::{DataObject, ImputedCell, SimLlm, TextClaim, Verdict};
 use verifai_rerank::composite::CompositeReranker;
-use verifai_rerank::Reranker;
 use verifai_text::Analyzer;
 use verifai_verify::{
-    Agent, KgModelVerifier, LlmVerifier, PastaVerifier, ProvenanceLog, ProvenanceRecord, Stage,
-    TrustModel, TupleModelVerifier, VerdictObservation,
+    Agent, KgModelVerifier, LlmVerifier, PastaVerifier, ProvenanceLog, ProvenanceRecord,
+    SharedProvenance, Stage, StageRecorder, TrustModel, TupleModelVerifier, VerdictObservation,
 };
 
 /// One verified (object, evidence) pair in a report.
@@ -35,7 +46,7 @@ pub struct EvidenceVerdict {
 }
 
 /// Outcome of verifying one generated data object end to end.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct VerificationReport {
     /// The object's workload id.
     pub object_id: u64,
@@ -45,49 +56,51 @@ pub struct VerificationReport {
     pub decision: Verdict,
     /// Weight share of the winning verdict.
     pub confidence: f64,
+    /// Per-stage wall times and candidate counts for this run.
+    pub timing: StageTiming,
 }
 
-/// Per-modality index pair (content + optional semantic).
-struct ModalityIndex {
-    content: InvertedIndex,
-    semantic: Option<HnswIndex>,
+/// Report equality is semantic — wall-clock [`StageTiming`] is excluded so
+/// that bit-identical pipeline runs compare equal across machines and
+/// repeated executions (the determinism contracts depend on this).
+impl PartialEq for VerificationReport {
+    fn eq(&self, other: &VerificationReport) -> bool {
+        self.object_id == other.object_id
+            && self.evidence == other.evidence
+            && self.decision == other.decision
+            && self.confidence == other.confidence
+    }
 }
 
-/// The assembled VerifAI system: lake + indexes + rerankers + verifiers.
+/// The assembled VerifAI system: lake + staged pipeline + trust model.
 pub struct VerifAi {
     generated: GeneratedLake,
     llm: SimLlm,
     config: VerifAiConfig,
-    /// Indexes by modality slot (0 = tuple, 1 = table, 2 = text, 3 = kg).
-    indexes: [ModalityIndex; 4],
-    embedder: TextEmbedder,
-    combiner: Combiner,
-    reranker: CompositeReranker,
-    agent: Agent,
-    /// Lineage store; locked so concurrent batch verification can append.
-    provenance: Mutex<ProvenanceLog>,
+    stages: StagedPipeline,
+    /// Embeds retrieval queries for the semantic sources; `None` when the
+    /// semantic index is disabled (no embedding work on the hot path).
+    embedder: Option<TextEmbedder>,
+    /// Lineage sink; stages flush batched records here, one lock per stage.
+    provenance: SharedProvenance,
     trust: TrustModel,
-}
-
-fn slot(kind: InstanceKind) -> usize {
-    match kind {
-        InstanceKind::Tuple => 0,
-        InstanceKind::Table => 1,
-        InstanceKind::Text => 2,
-        InstanceKind::Kg => 3,
-    }
 }
 
 impl VerifAi {
     /// Build the system over a generated lake: serializes and indexes every
-    /// instance, stands up the LLM over the lake's world model, and wires the
-    /// Agent with both local verifiers and the generic LLM verifier.
+    /// instance, stands up the LLM over the lake's world model, and composes
+    /// the staged pipeline — one fused [`EvidenceSource`] per modality, the
+    /// configured rerank stage, and the verifier [`Agent`].
     pub fn build(generated: GeneratedLake, config: VerifAiConfig) -> VerifAi {
         let embedder = TextEmbedder::new(TextEmbedderConfig {
             dim: config.embed_dim,
             seed: config.seed ^ 0xe3bd,
             ..TextEmbedderConfig::default()
         });
+        struct ModalityIndex {
+            content: InvertedIndex,
+            semantic: Option<HnswIndex>,
+        }
         let mk = || ModalityIndex {
             content: InvertedIndex::new(Analyzer::standard(), Bm25Params::default()),
             semantic: config.use_semantic_index.then(|| {
@@ -143,6 +156,29 @@ impl VerifAi {
             );
         }
 
+        // Fuse each modality's indexes into one retrieval source. Content
+        // comes before semantic: the Combiner's list order is the historical
+        // ranking order.
+        let combiner = Combiner::new(config.fusion);
+        let fuse = |idx: ModalityIndex| -> Box<dyn EvidenceSource> {
+            let mut members: Vec<Box<dyn EvidenceSource>> = Vec::with_capacity(2);
+            if config.use_content_index {
+                members.push(Box::new(idx.content));
+            }
+            if let Some(sem) = idx.semantic {
+                members.push(Box::new(sem));
+            }
+            Box::new(FusedSource::new(members, combiner))
+        };
+        let [tuples, tables, texts, kg] = indexes;
+        let sources = [fuse(tuples), fuse(tables), fuse(texts), fuse(kg)];
+
+        let rerank_stage: Box<dyn RerankStage> = if config.use_reranker {
+            Box::new(ScoreRerank::new(CompositeReranker::with_defaults()))
+        } else {
+            Box::new(TopKPassthrough)
+        };
+
         let llm = SimLlm::new(config.llm, generated.world.clone());
         let agent = Agent::new(
             vec![
@@ -158,13 +194,10 @@ impl VerifAi {
         VerifAi {
             generated,
             llm,
+            stages: StagedPipeline::new(sources, rerank_stage, Box::new(agent)),
+            embedder: config.use_semantic_index.then_some(embedder),
             config,
-            indexes,
-            embedder,
-            combiner: Combiner::new(config.fusion),
-            reranker: CompositeReranker::with_defaults(),
-            agent,
-            provenance: Mutex::new(ProvenanceLog::new()),
+            provenance: SharedProvenance::new(),
             trust,
         }
     }
@@ -189,10 +222,24 @@ impl VerifAi {
         &self.config
     }
 
+    /// The staged pipeline driving retrieval, rerank, and verification.
+    pub fn stages(&self) -> &StagedPipeline {
+        &self.stages
+    }
+
     /// The provenance log accumulated so far (challenge C4). Holds a lock;
     /// drop the guard before calling verification methods again.
     pub fn provenance(&self) -> MutexGuard<'_, ProvenanceLog> {
         self.provenance.lock()
+    }
+
+    /// How many batched provenance flushes (= lock acquisitions) the
+    /// pipeline has performed. A full `verify_object` costs four — one each
+    /// for retrieval, rerank, verify, and decision — regardless of how many
+    /// candidates flowed through.
+    pub fn provenance_batches(&self) -> u64 {
+        use verifai_verify::ProvenanceSink;
+        self.provenance.batches()
     }
 
     /// The trust model (challenge C3).
@@ -222,18 +269,22 @@ impl VerifAi {
         })
     }
 
-    /// Retrieve the coarse top-k instances of one modality for a query string,
-    /// combining the content and (if enabled) semantic indexes.
+    /// Retrieve the coarse top-k instances of one modality for a query string
+    /// through the modality's fused [`EvidenceSource`].
     pub fn retrieve(&self, query: &str, kind: InstanceKind, k: usize) -> Vec<SearchHit> {
-        let idx = &self.indexes[slot(kind)];
-        let mut lists = Vec::with_capacity(2);
-        if self.config.use_content_index {
-            lists.push(idx.content.search(query, k));
-        }
-        if let Some(sem) = idx.semantic.as_ref() {
-            lists.push(sem.search(&self.embedder.embed(query), k));
-        }
-        self.combiner.combine(&lists, k)
+        let vector = self.embed_query(query);
+        self.stages.source(kind).search(
+            SourceQuery {
+                text: query,
+                vector: vector.as_ref(),
+            },
+            k,
+        )
+    }
+
+    /// The query embedding, when semantic retrieval is enabled.
+    fn embed_query(&self, query: &str) -> Option<Vector> {
+        self.embedder.as_ref().map(|e| e.embed(query))
     }
 
     /// The retrieval query string for a data object (paper: the serialized
@@ -247,10 +298,10 @@ impl VerifAi {
         }
     }
 
-    /// The evidence modalities (and their final k) the pipeline consults for
+    /// The evidence modalities (and their budgets) the pipeline consults for
     /// an object: tuples + texts for imputed cells, tables for claims (§4).
-    fn evidence_plan(&self, object: &DataObject) -> Vec<(InstanceKind, usize)> {
-        match object {
+    fn stage_plans(&self, object: &DataObject) -> Vec<StagePlan> {
+        let final_ks = match object {
             DataObject::ImputedCell(_) => {
                 let mut plan = vec![
                     (InstanceKind::Tuple, self.config.k_tuples),
@@ -262,70 +313,74 @@ impl VerifAi {
                 plan
             }
             DataObject::TextClaim(_) => vec![(InstanceKind::Table, self.config.k_tables)],
-        }
+        };
+        final_ks
+            .into_iter()
+            .map(|(kind, final_k)| StagePlan {
+                kind,
+                coarse_k: if self.config.use_reranker {
+                    self.config.coarse_k.max(final_k)
+                } else {
+                    final_k
+                },
+                final_k,
+            })
+            .collect()
     }
 
     /// Run retrieval → combine → rerank for an object; returns the surviving
     /// evidence instances with scores, logging provenance.
     pub fn discover_evidence(&self, object: &DataObject) -> Vec<(DataInstance, f64)> {
+        self.discover_evidence_timed(object).0
+    }
+
+    /// [`VerifAi::discover_evidence`] plus the discovery-side stage timings.
+    pub fn discover_evidence_timed(
+        &self,
+        object: &DataObject,
+    ) -> (Vec<(DataInstance, f64)>, StageTiming) {
         let query = Self::query_of(object);
-        let mut out = Vec::new();
-        for (kind, final_k) in self.evidence_plan(object) {
-            let coarse_k = if self.config.use_reranker {
-                self.config.coarse_k.max(final_k)
-            } else {
-                final_k
-            };
-            let hits = self.retrieve(&query, kind, coarse_k);
-            for (rank, h) in hits.iter().enumerate() {
-                self.provenance.lock().add(ProvenanceRecord {
-                    object_id: object.id(),
-                    stage: Stage::Retrieval {
-                        index: format!("combined-{kind}"),
-                        rank,
-                    },
-                    instance: Some(h.id),
-                    score: Some(h.score),
-                    verdict: None,
-                    note: String::new(),
-                });
-            }
-            let instances: Vec<DataInstance> = hits
-                .iter()
-                .filter_map(|h| self.generated.lake.resolve(h.id).ok())
-                .collect();
-            let ranked: Vec<(DataInstance, f64)> = if self.config.use_reranker {
-                verifai_rerank::rerank(&self.reranker, object, instances, final_k)
-            } else {
-                instances
-                    .into_iter()
-                    .zip(hits.iter().map(|h| h.score))
-                    .take(final_k)
-                    .collect()
-            };
-            for (rank, (inst, score)) in ranked.iter().enumerate() {
-                self.provenance.lock().add(ProvenanceRecord {
-                    object_id: object.id(),
-                    stage: Stage::Rerank {
-                        reranker: self.reranker.name().into(),
-                        rank,
-                    },
-                    instance: Some(inst.id()),
-                    score: Some(*score),
-                    verdict: None,
-                    note: String::new(),
-                });
-            }
-            out.extend(ranked);
-        }
-        out
+        let vector = self.embed_query(&query);
+        let plan = self.stage_plans(object);
+        let mut recorder = StageRecorder::new(&self.provenance);
+        self.stages.discover(
+            object,
+            SourceQuery {
+                text: &query,
+                vector: vector.as_ref(),
+            },
+            &plan,
+            &self.generated.lake,
+            &mut recorder,
+        )
+    }
+
+    /// Resolve cached evidence ids against the lake, restoring the
+    /// instances a previous discovery found. Unlike discovery — where a
+    /// dangling retrieval hit is noted and skipped — a dangling *cached* id
+    /// means the caller's evidence set no longer describes the lake, so the
+    /// whole set is rejected as [`PipelineError::StaleEvidence`].
+    pub fn try_resolve_evidence(
+        &self,
+        cached: &[(InstanceId, f64)],
+    ) -> Result<Vec<(DataInstance, f64)>, PipelineError> {
+        cached
+            .iter()
+            .map(|&(id, score)| match self.generated.lake.resolve(id) {
+                Ok(instance) => Ok((instance, score)),
+                Err(error) => Err(PipelineError::StaleEvidence {
+                    id,
+                    detail: format!("{error:?}"),
+                }),
+            })
+            .collect()
     }
 
     /// Verify a generated data object end to end: discover evidence, verify
     /// each pair, and make the trust-weighted decision.
     pub fn verify_object(&self, object: &DataObject) -> VerificationReport {
-        let evidence = self.discover_evidence(object);
-        self.verify_with_evidence(object, evidence)
+        let (evidence, timing) = self.discover_evidence_timed(object);
+        self.judge_and_decide(object, evidence, None, timing)
     }
 
     /// Verify an object against already-discovered evidence (e.g. from a
@@ -350,56 +405,40 @@ impl VerifAi {
         evidence: Vec<(DataInstance, f64)>,
         deadline: Option<std::time::Instant>,
     ) -> VerificationReport {
+        let timing = StageTiming::for_cached(evidence.len());
+        self.judge_and_decide(object, evidence, deadline, timing)
+    }
+
+    /// The shared tail of every verification path: run the verify stage,
+    /// make the trust-weighted decision, and log it (one decision-stage
+    /// flush on top of the verify stage's own).
+    fn judge_and_decide(
+        &self,
+        object: &DataObject,
+        evidence: Vec<(DataInstance, f64)>,
+        deadline: Option<std::time::Instant>,
+        mut timing: StageTiming,
+    ) -> VerificationReport {
         let planned = evidence.len();
-        let mut verdicts = Vec::with_capacity(evidence.len());
-        let mut observations = Vec::with_capacity(evidence.len());
-        let mut timed_out = false;
-        for (instance, score) in evidence {
-            if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
-                timed_out = true;
-                break;
-            }
-            let (output, verifier) = self.agent.verify(object, &instance);
-            self.provenance.lock().add(ProvenanceRecord {
-                object_id: object.id(),
-                stage: Stage::Verify {
-                    verifier: verifier.into(),
-                },
-                instance: Some(instance.id()),
-                score: Some(score),
-                verdict: Some(output.verdict),
-                note: output.explanation.clone(),
-            });
-            observations.push(VerdictObservation {
-                object_id: object.id(),
-                source: instance.source(),
-                verdict: output.verdict,
-            });
-            verdicts.push(EvidenceVerdict {
-                instance: instance.id(),
-                source: instance.source(),
-                score,
-                verdict: output.verdict,
-                explanation: output.explanation,
-                verifier,
-            });
-        }
-        let (decision, confidence) = if timed_out {
+        let mut recorder = StageRecorder::new(&self.provenance);
+        let outcome = self.stages.judge(object, evidence, deadline, &mut recorder);
+        timing.verify_ns = outcome.verify_ns;
+        let (decision, confidence) = if outcome.timed_out {
             (Verdict::Unknown, 0.0)
         } else if self.config.use_trust_weighting {
-            self.trust.decide(&observations)
+            self.trust.decide(&outcome.observations)
         } else {
-            TrustModel::new().decide(&observations)
+            TrustModel::new().decide(&outcome.observations)
         };
-        let note = if timed_out {
+        let note = if outcome.timed_out {
             format!(
                 "deadline exceeded after {} of {planned} evidence verdicts",
-                verdicts.len()
+                outcome.verdicts.len()
             )
         } else {
-            format!("over {} evidence verdicts", verdicts.len())
+            format!("over {} evidence verdicts", outcome.verdicts.len())
         };
-        self.provenance.lock().add(ProvenanceRecord {
+        recorder.record(ProvenanceRecord {
             object_id: object.id(),
             stage: Stage::Decision,
             instance: None,
@@ -407,11 +446,13 @@ impl VerifAi {
             verdict: Some(decision),
             note,
         });
+        recorder.flush_stage();
         VerificationReport {
             object_id: object.id(),
-            evidence: verdicts,
+            evidence: outcome.verdicts,
             decision,
             confidence,
+            timing,
         }
     }
 
@@ -425,9 +466,11 @@ impl VerifAi {
     /// Verify a batch of objects across `threads` worker threads.
     ///
     /// Everything in the pipeline is shared-state-free except the provenance
-    /// log (locked per record), so the batch parallelizes cleanly; reports
-    /// come back in input order and are bit-identical to sequential runs —
-    /// the per-pair noise channels are hash-derived, not order-derived.
+    /// sink — and each worker buffers its records locally, taking the sink
+    /// lock only four times per object (once per stage) — so the batch
+    /// parallelizes cleanly; reports come back in input order and are
+    /// bit-identical to sequential runs — the per-pair noise channels are
+    /// hash-derived, not order-derived.
     pub fn verify_batch(&self, objects: &[DataObject], threads: usize) -> Vec<VerificationReport> {
         let threads = threads.max(1).min(objects.len().max(1));
         if threads == 1 || objects.len() < 2 {
@@ -524,6 +567,69 @@ mod tests {
             .iter()
             .any(|r| matches!(r.stage, Stage::Verify { .. })));
         assert!(records.iter().any(|r| matches!(r.stage, Stage::Decision)));
+    }
+
+    #[test]
+    fn verify_object_takes_four_provenance_locks() {
+        let sys = system();
+        let tasks = completion_workload(sys.generated(), 2, 3);
+        let object = sys.impute(&tasks[0]);
+        let before = sys.provenance_batches();
+        let report = sys.verify_object(&object);
+        assert!(!report.evidence.is_empty());
+        assert_eq!(
+            sys.provenance_batches() - before,
+            4,
+            "retrieval + rerank + verify + decision, one flush each"
+        );
+        // The cached-evidence path skips discovery: verify + decision only.
+        let evidence = sys.discover_evidence(&object);
+        let before = sys.provenance_batches();
+        sys.verify_with_evidence(&object, evidence);
+        assert_eq!(sys.provenance_batches() - before, 2);
+    }
+
+    #[test]
+    fn report_timing_counts_candidates() {
+        let sys = system();
+        let tasks = completion_workload(sys.generated(), 2, 3);
+        let object = sys.impute(&tasks[0]);
+        let report = sys.verify_object(&object);
+        assert!(report.timing.candidates_in >= report.timing.candidates_out);
+        assert_eq!(report.timing.candidates_out, report.evidence.len());
+        assert!(report.timing.retrieval_ns > 0);
+        assert!(report.timing.verify_ns > 0);
+    }
+
+    #[test]
+    fn report_equality_ignores_timing() {
+        let sys = system();
+        let tasks = completion_workload(sys.generated(), 2, 3);
+        let object = sys.impute(&tasks[0]);
+        let a = sys.verify_object(&object);
+        let mut b = a.clone();
+        b.timing.retrieval_ns = a.timing.retrieval_ns.wrapping_add(1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stale_cached_evidence_is_a_typed_error() {
+        let sys = system();
+        let dangling = InstanceId::Tuple(u64::MAX);
+        let err = sys
+            .try_resolve_evidence(&[(dangling, 1.0)])
+            .expect_err("dangling id must not resolve");
+        assert!(matches!(
+            err,
+            PipelineError::StaleEvidence { id, .. } if id == dangling
+        ));
+        // A fully-resolvable set round-trips.
+        let real = InstanceId::Tuple(sys.lake().tuple_ids().next().expect("lake has tuples"));
+        let ok = sys
+            .try_resolve_evidence(&[(real, 0.5)])
+            .expect("live id resolves");
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].0.id(), real);
     }
 
     #[test]

@@ -1,0 +1,532 @@
+//! The staged evidence pipeline: Indexer → Reranker → Verifier as
+//! swappable, independently instrumented stages (paper §3).
+//!
+//! [`StagedPipeline`] composes three object-safe stage abstractions —
+//! [`verifai_index::EvidenceSource`] for retrieval, [`RerankStage`] (built
+//! on [`verifai_rerank::Reranker`]) for refinement, and [`VerifyStage`]
+//! (built on [`verifai_verify::Verifier`] via the
+//! [`verifai_verify::Agent`]) for judging — so a new backend plugs into one
+//! trait without reopening the driver. Each stage:
+//!
+//! * reports wall time and candidate counts through [`StageTiming`], which
+//!   flows into [`crate::VerificationReport`] and aggregates into the
+//!   serving layer's stats;
+//! * logs lineage through a buffering [`StageRecorder`], flushed to the
+//!   shared [`verifai_verify::ProvenanceSink`] **once per stage per
+//!   object** — one lock acquisition each instead of one per hit;
+//! * surfaces failures as typed [`PipelineError`]s instead of silently
+//!   shrinking the evidence set: a retrieval hit whose instance no longer
+//!   resolves is recorded as a provenance note, and stale cached evidence
+//!   is a distinguishable error the service can react to.
+
+use std::time::Instant;
+
+use crate::pipeline::EvidenceVerdict;
+use verifai_index::{EvidenceSource, SourceQuery};
+use verifai_lake::{DataInstance, DataLake, InstanceId, InstanceKind};
+use verifai_llm::DataObject;
+use verifai_rerank::Reranker;
+use verifai_verify::{
+    Agent, ProvenanceRecord, Stage, StageRecorder, VerdictObservation, VerifierOutput,
+};
+
+/// Per-object instrumentation of one pipeline run.
+///
+/// Excluded from [`crate::VerificationReport`] equality: wall times differ
+/// between bit-identical runs, and determinism contracts compare reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Wall time of retrieval + instance resolution, nanoseconds.
+    pub retrieval_ns: u64,
+    /// Wall time of the rerank stage, nanoseconds.
+    pub rerank_ns: u64,
+    /// Wall time of the verify stage, nanoseconds.
+    pub verify_ns: u64,
+    /// Coarse candidates entering the rerank stage (all modalities).
+    pub candidates_in: usize,
+    /// Candidates surviving to the verify stage.
+    pub candidates_out: usize,
+}
+
+impl StageTiming {
+    /// Timing for evidence that skipped retrieval/rerank (cached paths):
+    /// the evidence set enters and leaves unchanged.
+    pub fn for_cached(evidence_len: usize) -> StageTiming {
+        StageTiming {
+            candidates_in: evidence_len,
+            candidates_out: evidence_len,
+            ..StageTiming::default()
+        }
+    }
+}
+
+/// A typed hot-path failure. The serving layer maps these to a `Failed`
+/// request outcome, distinguishable from load shedding and from
+/// deadline-partial (`Unknown`) reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A cached or snapshotted evidence id no longer resolves against the
+    /// lake — the evidence set is stale, not merely smaller.
+    StaleEvidence {
+        /// The dangling instance id.
+        id: InstanceId,
+        /// The lake's resolution error.
+        detail: String,
+    },
+    /// A stage backend failed outright (reserved for external backends;
+    /// the in-tree stages are infallible).
+    Backend {
+        /// Stage name (`retrieval`, `rerank`, `verify`).
+        stage: &'static str,
+        /// Backend-specific diagnostic.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::StaleEvidence { id, detail } => {
+                write!(f, "stale evidence {id}: {detail}")
+            }
+            PipelineError::Backend { stage, detail } => {
+                write!(f, "{stage} backend failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// One modality's retrieval budget within a pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagePlan {
+    /// The evidence modality to consult.
+    pub kind: InstanceKind,
+    /// Coarse top-k fetched from the source.
+    pub coarse_k: usize,
+    /// Final candidates surviving the rerank stage.
+    pub final_k: usize,
+}
+
+/// The rerank stage: refine one modality's resolved coarse candidates
+/// (paired with their retrieval scores) down to the final `k`.
+pub trait RerankStage: Send + Sync {
+    /// Stage name for provenance records.
+    fn name(&self) -> &'static str;
+
+    /// The surviving `(instance, score)` pairs, best first.
+    fn rerank(
+        &self,
+        object: &DataObject,
+        candidates: Vec<(DataInstance, f64)>,
+        k: usize,
+    ) -> Vec<(DataInstance, f64)>;
+}
+
+/// Rerank by re-scoring every candidate with a task-specific
+/// [`Reranker`]; retrieval scores are discarded (paper §3.2).
+pub struct ScoreRerank<R: Reranker> {
+    reranker: R,
+}
+
+impl<R: Reranker> ScoreRerank<R> {
+    /// Stage over a concrete reranker.
+    pub fn new(reranker: R) -> ScoreRerank<R> {
+        ScoreRerank { reranker }
+    }
+}
+
+impl<R: Reranker> RerankStage for ScoreRerank<R> {
+    fn name(&self) -> &'static str {
+        self.reranker.name()
+    }
+
+    fn rerank(
+        &self,
+        object: &DataObject,
+        candidates: Vec<(DataInstance, f64)>,
+        k: usize,
+    ) -> Vec<(DataInstance, f64)> {
+        let instances = candidates.into_iter().map(|(inst, _)| inst).collect();
+        verifai_rerank::rerank(&self.reranker, object, instances, k)
+    }
+}
+
+/// Pass-through rerank stage: keep the retrieval ordering and scores,
+/// truncated to `k` (the paper's §4 setting, `use_reranker: false`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopKPassthrough;
+
+impl RerankStage for TopKPassthrough {
+    fn name(&self) -> &'static str {
+        "retrieval-order"
+    }
+
+    fn rerank(
+        &self,
+        _object: &DataObject,
+        mut candidates: Vec<(DataInstance, f64)>,
+        k: usize,
+    ) -> Vec<(DataInstance, f64)> {
+        candidates.truncate(k);
+        candidates
+    }
+}
+
+/// The verify stage: judge one `(object, evidence)` pair, reporting which
+/// concrete [`verifai_verify::Verifier`] did the judging (for provenance
+/// and reports).
+pub trait VerifyStage: Send + Sync {
+    /// Judge the pair; returns the verdict and the judging verifier's name.
+    fn verify(
+        &self,
+        object: &DataObject,
+        evidence: &DataInstance,
+    ) -> (VerifierOutput, &'static str);
+}
+
+impl VerifyStage for Agent {
+    fn verify(
+        &self,
+        object: &DataObject,
+        evidence: &DataInstance,
+    ) -> (VerifierOutput, &'static str) {
+        Agent::verify(self, object, evidence)
+    }
+}
+
+/// Everything the verify stage produced for one object.
+#[derive(Debug)]
+pub struct JudgeOutcome {
+    /// Per-evidence verdicts, in evidence order.
+    pub verdicts: Vec<EvidenceVerdict>,
+    /// Observations feeding the trust model's decision.
+    pub observations: Vec<VerdictObservation>,
+    /// Whether the deadline expired before all evidence was judged.
+    pub timed_out: bool,
+    /// Wall time of the stage, nanoseconds.
+    pub verify_ns: u64,
+}
+
+/// The staged pipeline driver: one retrieval source per modality, one
+/// rerank stage, one verify stage. [`crate::VerifAi`] delegates
+/// `discover_evidence` / `verify_object` here.
+pub struct StagedPipeline {
+    /// Sources by modality slot (0 = tuple, 1 = table, 2 = text, 3 = kg).
+    sources: [Box<dyn EvidenceSource>; 4],
+    reranker: Box<dyn RerankStage>,
+    verifier: Box<dyn VerifyStage>,
+}
+
+/// The modality's slot in per-modality arrays.
+pub(crate) fn slot(kind: InstanceKind) -> usize {
+    match kind {
+        InstanceKind::Tuple => 0,
+        InstanceKind::Table => 1,
+        InstanceKind::Text => 2,
+        InstanceKind::Kg => 3,
+    }
+}
+
+impl StagedPipeline {
+    /// Compose a pipeline from its stages.
+    pub fn new(
+        sources: [Box<dyn EvidenceSource>; 4],
+        reranker: Box<dyn RerankStage>,
+        verifier: Box<dyn VerifyStage>,
+    ) -> StagedPipeline {
+        StagedPipeline {
+            sources,
+            reranker,
+            verifier,
+        }
+    }
+
+    /// The retrieval source serving one modality.
+    pub fn source(&self, kind: InstanceKind) -> &dyn EvidenceSource {
+        self.sources[slot(kind)].as_ref()
+    }
+
+    /// The rerank stage.
+    pub fn rerank_stage(&self) -> &dyn RerankStage {
+        self.reranker.as_ref()
+    }
+
+    /// Run retrieval → resolve → rerank for an object across the planned
+    /// modalities, buffering provenance and flushing it once per stage.
+    ///
+    /// A hit whose instance fails to resolve is *not* silently dropped: a
+    /// provenance note records the dangling id before the pipeline
+    /// continues with the remaining candidates.
+    pub fn discover(
+        &self,
+        object: &DataObject,
+        query: SourceQuery<'_>,
+        plan: &[StagePlan],
+        lake: &DataLake,
+        recorder: &mut StageRecorder<'_>,
+    ) -> (Vec<(DataInstance, f64)>, StageTiming) {
+        let mut timing = StageTiming::default();
+
+        // Stage 1: retrieval (and resolution) across all modalities, then
+        // one provenance flush for the whole stage.
+        let started = Instant::now();
+        let mut resolved_per_modality: Vec<(StagePlan, Vec<(DataInstance, f64)>)> =
+            Vec::with_capacity(plan.len());
+        for &stage_plan in plan {
+            let hits = self
+                .source(stage_plan.kind)
+                .search(query, stage_plan.coarse_k);
+            timing.candidates_in += hits.len();
+            let mut resolved = Vec::with_capacity(hits.len());
+            for (rank, hit) in hits.iter().enumerate() {
+                let stage = Stage::Retrieval {
+                    index: format!(
+                        "{}-{}",
+                        self.source(stage_plan.kind).name(),
+                        stage_plan.kind
+                    ),
+                    rank,
+                };
+                match lake.resolve(hit.id) {
+                    Ok(instance) => {
+                        recorder.record(ProvenanceRecord {
+                            object_id: object.id(),
+                            stage,
+                            instance: Some(hit.id),
+                            score: Some(hit.score),
+                            verdict: None,
+                            note: String::new(),
+                        });
+                        resolved.push((instance, hit.score));
+                    }
+                    Err(error) => recorder.record(ProvenanceRecord {
+                        object_id: object.id(),
+                        stage,
+                        instance: Some(hit.id),
+                        score: Some(hit.score),
+                        verdict: None,
+                        note: format!("unresolved evidence instance dropped: {error:?}"),
+                    }),
+                }
+            }
+            resolved_per_modality.push((stage_plan, resolved));
+        }
+        timing.retrieval_ns = started.elapsed().as_nanos() as u64;
+        recorder.flush_stage();
+
+        // Stage 2: rerank each modality's candidates, one flush.
+        let started = Instant::now();
+        let mut out = Vec::new();
+        for (stage_plan, resolved) in resolved_per_modality {
+            let ranked = self.reranker.rerank(object, resolved, stage_plan.final_k);
+            for (rank, (instance, score)) in ranked.iter().enumerate() {
+                recorder.record(ProvenanceRecord {
+                    object_id: object.id(),
+                    stage: Stage::Rerank {
+                        reranker: self.reranker.name().into(),
+                        rank,
+                    },
+                    instance: Some(instance.id()),
+                    score: Some(*score),
+                    verdict: None,
+                    note: String::new(),
+                });
+            }
+            timing.candidates_out += ranked.len();
+            out.extend(ranked);
+        }
+        timing.rerank_ns = started.elapsed().as_nanos() as u64;
+        recorder.flush_stage();
+
+        (out, timing)
+    }
+
+    /// Run the verify stage over discovered evidence, buffering provenance
+    /// and flushing once. Judging stops early when `deadline` passes, in
+    /// which case [`JudgeOutcome::timed_out`] is set and the verdicts
+    /// gathered so far are returned.
+    pub fn judge(
+        &self,
+        object: &DataObject,
+        evidence: Vec<(DataInstance, f64)>,
+        deadline: Option<Instant>,
+        recorder: &mut StageRecorder<'_>,
+    ) -> JudgeOutcome {
+        let started = Instant::now();
+        let mut verdicts = Vec::with_capacity(evidence.len());
+        let mut observations = Vec::with_capacity(evidence.len());
+        let mut timed_out = false;
+        for (instance, score) in evidence {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                timed_out = true;
+                break;
+            }
+            let (output, verifier) = self.verifier.verify(object, &instance);
+            recorder.record(ProvenanceRecord {
+                object_id: object.id(),
+                stage: Stage::Verify {
+                    verifier: verifier.into(),
+                },
+                instance: Some(instance.id()),
+                score: Some(score),
+                verdict: Some(output.verdict),
+                note: output.explanation.clone(),
+            });
+            observations.push(VerdictObservation {
+                object_id: object.id(),
+                source: instance.source(),
+                verdict: output.verdict,
+            });
+            verdicts.push(EvidenceVerdict {
+                instance: instance.id(),
+                source: instance.source(),
+                score,
+                verdict: output.verdict,
+                explanation: output.explanation,
+                verifier,
+            });
+        }
+        let verify_ns = started.elapsed().as_nanos() as u64;
+        recorder.flush_stage();
+        JudgeOutcome {
+            verdicts,
+            observations,
+            timed_out,
+            verify_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifai_index::SearchHit;
+    use verifai_llm::{ImputedCell, SimLlm, SimLlmConfig, WorldModel};
+    use verifai_verify::{AgentPolicy, LlmVerifier, ProvenanceSink, SharedProvenance};
+
+    /// A source that returns one dangling id alongside a real one.
+    struct FakeSource {
+        hits: Vec<SearchHit>,
+    }
+
+    impl EvidenceSource for FakeSource {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+
+        fn search(&self, _query: SourceQuery<'_>, k: usize) -> Vec<SearchHit> {
+            self.hits.iter().copied().take(k).collect()
+        }
+    }
+
+    fn pipeline_with(hits: Vec<SearchHit>) -> StagedPipeline {
+        let empty = || -> Box<dyn EvidenceSource> { Box::new(FakeSource { hits: vec![] }) };
+        let mut sources = [empty(), empty(), empty(), empty()];
+        sources[slot(InstanceKind::Tuple)] = Box::new(FakeSource { hits });
+        let agent = Agent::new(
+            vec![],
+            Box::new(LlmVerifier::new(SimLlm::new(
+                SimLlmConfig::oracle(1),
+                WorldModel::new(),
+            ))),
+            AgentPolicy::LlmOnly,
+        );
+        StagedPipeline::new(sources, Box::new(TopKPassthrough), Box::new(agent))
+    }
+
+    fn object() -> DataObject {
+        use verifai_lake::{Column, DataType, Schema, Tuple, Value};
+        DataObject::ImputedCell(ImputedCell {
+            id: 7,
+            tuple: Tuple {
+                id: 0,
+                table: 0,
+                row_index: 0,
+                schema: Schema::new(vec![Column::key("k", DataType::Text)]),
+                values: vec![Value::text("v")],
+                source: 0,
+            },
+            column: "k".into(),
+            value: Value::text("v"),
+        })
+    }
+
+    #[test]
+    fn unresolved_hits_leave_a_provenance_note() {
+        let generated = verifai_datagen::build(&verifai_datagen::LakeSpec::tiny(5));
+        let real = generated.lake.tuple_ids().next().expect("lake has tuples");
+        let dangling = InstanceId::Tuple(u64::MAX);
+        let pipeline = pipeline_with(vec![
+            SearchHit::new(InstanceId::Tuple(real), 2.0),
+            SearchHit::new(dangling, 1.0),
+        ]);
+        let sink = SharedProvenance::new();
+        let mut recorder = StageRecorder::new(&sink);
+        let plan = [StagePlan {
+            kind: InstanceKind::Tuple,
+            coarse_k: 10,
+            final_k: 10,
+        }];
+        let query = SourceQuery {
+            text: "q",
+            vector: None,
+        };
+        let (evidence, timing) =
+            pipeline.discover(&object(), query, &plan, &generated.lake, &mut recorder);
+        // The resolvable hit survives with its retrieval score...
+        assert_eq!(evidence.len(), 1);
+        assert_eq!(evidence[0].0.id(), InstanceId::Tuple(real));
+        assert_eq!(evidence[0].1, 2.0);
+        // ...and the dangling one is audit-visible instead of silent.
+        let log = sink.lock();
+        let noted: Vec<_> = log
+            .for_object(7)
+            .into_iter()
+            .filter(|r| r.note.contains("unresolved evidence instance"))
+            .collect();
+        assert_eq!(noted.len(), 1);
+        assert_eq!(noted[0].instance, Some(dangling));
+        assert_eq!(timing.candidates_in, 2);
+        assert_eq!(timing.candidates_out, 1);
+    }
+
+    #[test]
+    fn discover_flushes_once_per_stage() {
+        let generated = verifai_datagen::build(&verifai_datagen::LakeSpec::tiny(5));
+        let real = generated.lake.tuple_ids().next().expect("lake has tuples");
+        let pipeline = pipeline_with(vec![SearchHit::new(InstanceId::Tuple(real), 2.0)]);
+        let sink = SharedProvenance::new();
+        let mut recorder = StageRecorder::new(&sink);
+        let plan = [StagePlan {
+            kind: InstanceKind::Tuple,
+            coarse_k: 10,
+            final_k: 10,
+        }];
+        let query = SourceQuery {
+            text: "q",
+            vector: None,
+        };
+        let (evidence, _) =
+            pipeline.discover(&object(), query, &plan, &generated.lake, &mut recorder);
+        assert_eq!(sink.batches(), 2, "retrieval + rerank, one flush each");
+        let outcome = pipeline.judge(&object(), evidence, None, &mut recorder);
+        assert_eq!(outcome.verdicts.len(), 1);
+        assert_eq!(sink.batches(), 3, "verify adds exactly one flush");
+    }
+
+    #[test]
+    fn pipeline_error_is_displayable() {
+        let stale = PipelineError::StaleEvidence {
+            id: InstanceId::Tuple(4),
+            detail: "tuple 4 not found".into(),
+        };
+        assert!(stale.to_string().contains("stale evidence"));
+        let backend = PipelineError::Backend {
+            stage: "retrieval",
+            detail: "connection reset".into(),
+        };
+        assert!(backend.to_string().contains("retrieval backend failed"));
+    }
+}

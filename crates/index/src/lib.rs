@@ -15,7 +15,10 @@
 //!   Faiss/pgvector substitute);
 //! * [`combiner::Combiner`] — merges the top-k lists of several indexes and
 //!   removes duplicates (paper §3.1 "Combiner"), with score- or
-//!   reciprocal-rank fusion.
+//!   reciprocal-rank fusion;
+//! * [`source::EvidenceSource`] — the object-safe retrieval-stage trait the
+//!   staged pipeline drives, implemented by the content and semantic indexes
+//!   and by [`source::FusedSource`] (several sources behind one Combiner).
 //!
 //! All indexes key their entries by [`verifai_lake::InstanceId`], so results from
 //! different modalities and index types can be combined freely.
@@ -24,6 +27,7 @@ pub mod combiner;
 pub mod content;
 pub mod hit;
 pub mod persist;
+pub mod source;
 pub mod trie;
 pub mod vector;
 
@@ -31,5 +35,6 @@ pub use combiner::{Combiner, FusionStrategy};
 pub use content::{Bm25Params, InvertedIndex};
 pub use hit::SearchHit;
 pub use persist::PersistError;
+pub use source::{EvidenceSource, FusedSource, SourceQuery};
 pub use trie::TrieIndex;
 pub use vector::{FlatIndex, HnswConfig, HnswIndex, VectorIndex};

@@ -77,6 +77,10 @@ impl Reranker for ColbertReranker {
     fn name(&self) -> &'static str {
         "colbert"
     }
+
+    // Late interaction scores any serialized token stream: texts natively,
+    // knowledge-graph subgraphs as serialized triples — and it is the
+    // composite's generic fallback for pairs no specialist claims.
 }
 
 #[cfg(test)]

@@ -1,10 +1,13 @@
 //! Modality-routing composite reranker.
 //!
 //! The pipeline retrieves evidence of mixed modalities; each candidate is
-//! routed to the reranker built for its `(object, evidence)` pair. Because
-//! scores from different rerankers are not on a common scale, the composite
-//! normalizes per-modality rankings into reciprocal ranks before merging —
-//! mirroring how the Combiner fuses heterogeneous indexes.
+//! routed to the first reranker whose [`Reranker::supports`] claims its
+//! `(object, evidence)` pair, falling back to a generic reranker when no
+//! specialist does — so adding a backend for a new pair is registering one
+//! more trait object, not reopening a modality `match`. Because scores from
+//! different rerankers are not on a common scale, the composite normalizes
+//! per-modality rankings into reciprocal ranks before merging — mirroring
+//! how the Combiner fuses heterogeneous indexes.
 
 use crate::colbert::ColbertReranker;
 use crate::table::TableReranker;
@@ -13,35 +16,49 @@ use crate::Reranker;
 use verifai_lake::{DataInstance, InstanceKind};
 use verifai_llm::DataObject;
 
-/// Routes each candidate to the modality-appropriate reranker.
-#[derive(Debug)]
+/// Routes each candidate to the first supporting reranker.
 pub struct CompositeReranker {
-    colbert: ColbertReranker,
-    table: TableReranker,
-    tuple: TupleReranker,
+    /// Specialists, consulted in registration order.
+    specialists: Vec<Box<dyn Reranker>>,
+    /// Generic reranker for pairs no specialist supports.
+    fallback: Box<dyn Reranker>,
 }
 
 impl CompositeReranker {
-    /// Composite over explicit sub-rerankers.
+    /// Composite over explicit specialists (first supporting one wins) and a
+    /// generic fallback.
     pub fn new(
-        colbert: ColbertReranker,
-        table: TableReranker,
-        tuple: TupleReranker,
+        specialists: Vec<Box<dyn Reranker>>,
+        fallback: Box<dyn Reranker>,
     ) -> CompositeReranker {
         CompositeReranker {
-            colbert,
-            table,
-            tuple,
+            specialists,
+            fallback,
         }
     }
 
-    /// Default sub-rerankers.
+    /// The default routing: RetClean-style tuple reranker for tuple
+    /// evidence, OpenTFV-style table reranker for table evidence, ColBERT
+    /// late interaction for everything else (texts and serialized
+    /// knowledge-graph subgraphs — the paper lists a dedicated KG reranker
+    /// as future work).
     pub fn with_defaults() -> CompositeReranker {
-        CompositeReranker {
-            colbert: ColbertReranker::with_defaults(),
-            table: TableReranker::with_defaults(),
-            tuple: TupleReranker::with_defaults(),
-        }
+        CompositeReranker::new(
+            vec![
+                Box::new(TupleReranker::with_defaults()),
+                Box::new(TableReranker::with_defaults()),
+            ],
+            Box::new(ColbertReranker::with_defaults()),
+        )
+    }
+
+    /// The reranker a pair routes to.
+    pub fn route(&self, object: &DataObject, evidence: &DataInstance) -> &dyn Reranker {
+        self.specialists
+            .iter()
+            .find(|r| r.supports(object, evidence))
+            .unwrap_or(&self.fallback)
+            .as_ref()
     }
 
     /// Rerank a mixed-modality candidate set: score within each modality with
@@ -86,18 +103,27 @@ impl CompositeReranker {
 
 impl Reranker for CompositeReranker {
     fn score(&self, object: &DataObject, evidence: &DataInstance) -> f64 {
-        match evidence.kind() {
-            InstanceKind::Tuple => self.tuple.score(object, evidence),
-            InstanceKind::Table => self.table.score(object, evidence),
-            // Serialized subgraphs are token streams like text: late
-            // interaction handles them well (no dedicated KG reranker yet —
-            // the paper lists this pair as future work).
-            InstanceKind::Text | InstanceKind::Kg => self.colbert.score(object, evidence),
-        }
+        self.route(object, evidence).score(object, evidence)
     }
 
     fn name(&self) -> &'static str {
         "composite"
+    }
+}
+
+impl std::fmt::Debug for CompositeReranker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompositeReranker")
+            .field(
+                "specialists",
+                &self
+                    .specialists
+                    .iter()
+                    .map(|r| r.name())
+                    .collect::<Vec<_>>(),
+            )
+            .field("fallback", &self.fallback.name())
+            .finish()
     }
 }
 
@@ -191,5 +217,25 @@ mod tests {
     fn empty_candidates() {
         let r = CompositeReranker::with_defaults();
         assert!(r.rerank_mixed(&object(), vec![], 5).is_empty());
+    }
+
+    #[test]
+    fn routing_follows_supports() {
+        let r = CompositeReranker::with_defaults();
+        let obj = object();
+        let tup = DataInstance::Tuple(Tuple {
+            id: 1,
+            table: 1,
+            row_index: 0,
+            schema: Schema::new(vec![Column::key("district", DataType::Text)]),
+            values: vec![Value::text("New York 1")],
+            source: 0,
+        });
+        let tab = DataInstance::Table(Table::new(2, "c", Schema::default(), 0));
+        let txt = DataInstance::Text(TextDocument::new(3, "t", "body", 0));
+        assert_eq!(r.route(&obj, &tup).name(), "retclean-tuple");
+        assert_eq!(r.route(&obj, &tab).name(), "opentfv-table");
+        // No specialist claims text: the generic fallback takes it.
+        assert_eq!(r.route(&obj, &txt).name(), "colbert");
     }
 }

@@ -37,6 +37,16 @@ pub trait Reranker: Send + Sync {
 
     /// Stable name for provenance records.
     fn name(&self) -> &'static str;
+
+    /// Whether this reranker is built for the given `(object, evidence)`
+    /// modality pair. [`composite::CompositeReranker`] routes each candidate
+    /// to the first reranker that supports it, so a new modality pair plugs
+    /// in by implementing this — no routing code to reopen. Defaults to
+    /// supporting everything (a generic reranker).
+    fn supports(&self, object: &DataObject, evidence: &DataInstance) -> bool {
+        let _ = (object, evidence);
+        true
+    }
 }
 
 /// Rerank candidates with `reranker` and keep the top `k_prime`.

@@ -113,6 +113,10 @@ impl Reranker for TableReranker {
     fn name(&self) -> &'static str {
         "opentfv-table"
     }
+
+    fn supports(&self, _object: &DataObject, evidence: &DataInstance) -> bool {
+        matches!(evidence, DataInstance::Table(_))
+    }
 }
 
 #[cfg(test)]

@@ -98,6 +98,10 @@ impl Reranker for TupleReranker {
     fn name(&self) -> &'static str {
         "retclean-tuple"
     }
+
+    fn supports(&self, _object: &DataObject, evidence: &DataInstance) -> bool {
+        matches!(evidence, DataInstance::Tuple(_))
+    }
 }
 
 #[cfg(test)]

@@ -1,3 +1,4 @@
+#![warn(clippy::unwrap_used)]
 //! verifai-service: a long-lived concurrent verification service over
 //! [`verifai::VerifAi`] — worker pool, bounded admission queue with load
 //! shedding, micro-batching, evidence caching, deadlines, and stats.
@@ -8,4 +9,4 @@ pub mod stats;
 
 pub use cache::{CacheStats, EvidenceCache};
 pub use service::{RequestOutcome, ServiceConfig, SubmitError, Ticket, VerificationService};
-pub use stats::ServiceStats;
+pub use stats::{ServiceStats, StageTotals};

@@ -13,8 +13,9 @@
 //! ```
 //!
 //! Every submitted request resolves exactly one way — `Rejected` at the
-//! door, `Shed` at dequeue, or `Completed` — so
-//! `completed + shed + rejected == submitted` once all tickets resolve.
+//! door, `Shed` at dequeue, `Failed` on a typed pipeline error, or
+//! `Completed` — so `completed + shed + rejected + failed == submitted`
+//! once all tickets resolve.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -24,11 +25,13 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use verifai::exec::WorkerPool;
-use verifai::{DataObject, LatencyHistogram, Verdict, VerifAi, VerificationReport};
+use verifai::{
+    DataObject, LatencyHistogram, PipelineError, StageTiming, Verdict, VerifAi, VerificationReport,
+};
 use verifai_lake::DataInstance;
 
 use crate::cache::{CachedEvidence, EvidenceCache};
-use crate::stats::ServiceStats;
+use crate::stats::{ServiceStats, StageTotals};
 
 /// Tuning knobs for a [`VerificationService`].
 #[derive(Debug, Clone)]
@@ -87,6 +90,9 @@ pub enum RequestOutcome {
     Completed(VerificationReport),
     /// Dropped unprocessed by high-water load shedding.
     Shed,
+    /// The pipeline hit a typed error (e.g. batch-local cached evidence
+    /// went stale against the lake) — no report was produced.
+    Failed(PipelineError),
 }
 
 /// Handle to one admitted request's eventual outcome.
@@ -121,10 +127,12 @@ struct Inner {
     config: ServiceConfig,
     cache: Option<EvidenceCache>,
     latency: Mutex<LatencyHistogram>,
+    stages: Mutex<StageTotals>,
     submitted: AtomicU64,
     completed: AtomicU64,
     shed: AtomicU64,
     rejected: AtomicU64,
+    failed: AtomicU64,
     in_flight: AtomicUsize,
 }
 
@@ -143,10 +151,12 @@ impl VerificationService {
             system,
             cache,
             latency: Mutex::new(LatencyHistogram::new()),
+            stages: Mutex::new(StageTotals::default()),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
             config: config.clone(),
         });
@@ -198,8 +208,10 @@ impl VerificationService {
             completed: self.inner.completed.load(Ordering::SeqCst),
             shed: self.inner.shed.load(Ordering::SeqCst),
             rejected: self.inner.rejected.load(Ordering::SeqCst),
+            failed: self.inner.failed.load(Ordering::SeqCst),
             queue_depth: self.pool.queue_len(),
             in_flight: self.inner.in_flight.load(Ordering::SeqCst),
+            stages: *self.inner.stages.lock(),
             cache: self
                 .inner
                 .cache
@@ -268,63 +280,97 @@ fn object_kind(object: &DataObject) -> u8 {
     }
 }
 
-fn resolve(system: &VerifAi, cached: CachedEvidence) -> Vec<(DataInstance, f64)> {
-    cached
-        .into_iter()
-        .filter_map(|(id, score)| system.lake().resolve(id).ok().map(|inst| (inst, score)))
-        .collect()
-}
-
 /// Evidence for `object`, preferring the shared cache, then the batch-local
-/// memo, then full discovery. Both cached paths re-resolve instance ids
-/// against the lake, so reports are identical whichever path served them.
+/// memo, then full discovery — returning the discovery-side [`StageTiming`]
+/// when discovery actually ran (`None` on cache hits, whose reports keep
+/// cached-path timing semantics). Both cached paths re-resolve instance ids
+/// against the lake through [`VerifAi::try_resolve_evidence`], so reports
+/// are identical whichever path served them — and a dangling id is handled
+/// explicitly instead of silently shrinking the evidence set:
+///
+/// * a stale **shared-cache** entry is rediscovered and overwritten (the
+///   cache outlives lake snapshots, so staleness there is expected churn);
+/// * a stale **batch-local** memo — built moments ago within this very
+///   batch — means the evidence genuinely no longer describes the lake,
+///   and propagates as [`PipelineError::StaleEvidence`].
+type DiscoveredEvidence = (Vec<(DataInstance, f64)>, Option<StageTiming>);
+
 fn evidence_for(
     inner: &Inner,
     object: &DataObject,
     local: &mut HashMap<(u8, String), CachedEvidence>,
-) -> Vec<(DataInstance, f64)> {
+) -> Result<DiscoveredEvidence, PipelineError> {
     let key = (object_kind(object), VerifAi::query_of(object));
     if let Some(cache) = &inner.cache {
         if let Some(cached) = cache.get(key.0, &key.1) {
-            return resolve(&inner.system, cached);
+            match inner.system.try_resolve_evidence(&cached) {
+                Ok(evidence) => return Ok((evidence, None)),
+                Err(PipelineError::StaleEvidence { .. }) => {}
+                Err(other) => return Err(other),
+            }
         }
-        let discovered = inner.system.discover_evidence(object);
+        let (discovered, timing) = inner.system.discover_evidence_timed(object);
         cache.insert(
             key.0,
             key.1,
             discovered.iter().map(|(i, s)| (i.id(), *s)).collect(),
         );
-        return discovered;
+        return Ok((discovered, Some(timing)));
     }
     if let Some(cached) = local.get(&key) {
-        return resolve(&inner.system, cached.clone());
+        return inner
+            .system
+            .try_resolve_evidence(cached)
+            .map(|evidence| (evidence, None));
     }
-    let discovered = inner.system.discover_evidence(object);
+    let (discovered, timing) = inner.system.discover_evidence_timed(object);
     local.insert(key, discovered.iter().map(|(i, s)| (i.id(), *s)).collect());
-    discovered
+    Ok((discovered, Some(timing)))
 }
 
 fn process(inner: &Inner, request: Request, local: &mut HashMap<(u8, String), CachedEvidence>) {
     let expired = request.deadline.is_some_and(|d| Instant::now() >= d);
-    let report = if expired {
+    let outcome = if expired {
         // The deadline passed before evidence discovery even started (e.g. a
         // zero budget, or long queueing): answer immediately with an empty
         // partial report rather than doing work the caller gave no time for.
-        VerificationReport {
+        Ok(VerificationReport {
             object_id: request.object.id(),
             evidence: Vec::new(),
             decision: Verdict::Unknown,
             confidence: 0.0,
-        }
+            timing: StageTiming::default(),
+        })
     } else {
-        let evidence = evidence_for(inner, &request.object, local);
-        inner
-            .system
-            .verify_with_evidence_until(&request.object, evidence, request.deadline)
+        evidence_for(inner, &request.object, local).map(|(evidence, discovered)| {
+            let mut report = inner.system.verify_with_evidence_until(
+                &request.object,
+                evidence,
+                request.deadline,
+            );
+            // When this request paid for discovery, its report carries the
+            // discovery-side timing too, same as `verify_object` would.
+            if let Some(timing) = discovered {
+                report.timing.retrieval_ns = timing.retrieval_ns;
+                report.timing.rerank_ns = timing.rerank_ns;
+                report.timing.candidates_in = timing.candidates_in;
+                report.timing.candidates_out = timing.candidates_out;
+            }
+            report
+        })
     };
-    inner.latency.lock().record(request.enqueued.elapsed());
-    inner.completed.fetch_add(1, Ordering::SeqCst);
-    let _ = request.reply.send(RequestOutcome::Completed(report));
+    match outcome {
+        Ok(report) => {
+            inner.stages.lock().absorb(&report.timing);
+            inner.latency.lock().record(request.enqueued.elapsed());
+            inner.completed.fetch_add(1, Ordering::SeqCst);
+            let _ = request.reply.send(RequestOutcome::Completed(report));
+        }
+        Err(error) => {
+            inner.failed.fetch_add(1, Ordering::SeqCst);
+            let _ = request.reply.send(RequestOutcome::Failed(error));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -353,12 +399,18 @@ mod tests {
             match ticket.wait() {
                 RequestOutcome::Completed(report) => assert!(!report.evidence.is_empty()),
                 RequestOutcome::Shed => panic!("unloaded service shed a request"),
+                RequestOutcome::Failed(error) => panic!("request failed: {error}"),
             }
         }
         let stats = service.shutdown();
         assert_eq!(stats.completed, 4);
+        assert_eq!(stats.failed, 0);
         assert_eq!(stats.accounted(), stats.submitted);
         assert!(stats.latency_p50 > Duration::ZERO);
+        // Stage instrumentation flowed from the reports into the roll-up.
+        assert!(stats.stages.verify_ns > 0);
+        assert!(stats.stages.candidates_out >= 4);
+        assert!(stats.stages.candidates_in >= stats.stages.candidates_out);
     }
 
     #[test]

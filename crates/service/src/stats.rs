@@ -5,11 +5,39 @@ use std::time::Duration;
 
 use crate::cache::CacheStats;
 
+/// Aggregated per-stage pipeline instrumentation across every completed
+/// request — the service-level roll-up of each report's
+/// [`verifai::StageTiming`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTotals {
+    /// Total wall time spent in retrieval + resolution, nanoseconds.
+    pub retrieval_ns: u64,
+    /// Total wall time spent reranking, nanoseconds.
+    pub rerank_ns: u64,
+    /// Total wall time spent verifying, nanoseconds.
+    pub verify_ns: u64,
+    /// Coarse candidates that entered the rerank stage.
+    pub candidates_in: u64,
+    /// Candidates that survived to the verify stage.
+    pub candidates_out: u64,
+}
+
+impl StageTotals {
+    /// Fold one report's timing into the totals.
+    pub fn absorb(&mut self, timing: &verifai::StageTiming) {
+        self.retrieval_ns += timing.retrieval_ns;
+        self.rerank_ns += timing.rerank_ns;
+        self.verify_ns += timing.verify_ns;
+        self.candidates_in += timing.candidates_in as u64;
+        self.candidates_out += timing.candidates_out as u64;
+    }
+}
+
 /// Snapshot of a [`crate::VerificationService`]'s counters, gauges, cache
 /// state, and latency distribution.
 ///
 /// Invariant (checked by the integration tests): once every submitted
-/// request's ticket has resolved, `completed + shed + rejected ==
+/// request's ticket has resolved, `completed + shed + rejected + failed ==
 /// submitted` — no request is ever lost.
 #[derive(Debug, Clone)]
 pub struct ServiceStats {
@@ -21,12 +49,18 @@ pub struct ServiceStats {
     pub shed: u64,
     /// Requests refused at submit because the queue was full.
     pub rejected: u64,
+    /// Requests that hit a typed pipeline error (e.g. stale cached
+    /// evidence) — distinguishable from shedding and from deadline-partial
+    /// `Unknown` reports.
+    pub failed: u64,
     /// Requests currently waiting in the queue.
     pub queue_depth: usize,
     /// Requests dequeued and being processed right now.
     pub in_flight: usize,
     /// Evidence-cache counters (all zero when caching is disabled).
     pub cache: CacheStats,
+    /// Per-stage time and candidate totals across completed requests.
+    pub stages: StageTotals,
     /// Mean end-to-end latency of completed requests.
     pub latency_mean: Duration,
     /// Median end-to-end latency.
@@ -41,7 +75,7 @@ impl ServiceStats {
     /// Requests with a final disposition; equals `submitted` once every
     /// outstanding ticket has resolved.
     pub fn accounted(&self) -> u64 {
-        self.completed + self.shed + self.rejected
+        self.completed + self.shed + self.rejected + self.failed
     }
 }
 
@@ -49,8 +83,8 @@ impl fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "requests: submitted {} | completed {} | shed {} | rejected {}",
-            self.submitted, self.completed, self.shed, self.rejected
+            "requests: submitted {} | completed {} | shed {} | rejected {} | failed {}",
+            self.submitted, self.completed, self.shed, self.rejected, self.failed
         )?;
         writeln!(
             f,
@@ -65,6 +99,15 @@ impl fmt::Display for ServiceStats {
             self.cache.misses,
             self.cache.evictions,
             self.cache.entries
+        )?;
+        writeln!(
+            f,
+            "stages:   retrieval {:?} | rerank {:?} | verify {:?} | candidates {} -> {}",
+            Duration::from_nanos(self.stages.retrieval_ns),
+            Duration::from_nanos(self.stages.rerank_ns),
+            Duration::from_nanos(self.stages.verify_ns),
+            self.stages.candidates_in,
+            self.stages.candidates_out
         )?;
         write!(
             f,

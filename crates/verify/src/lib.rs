@@ -35,7 +35,10 @@ pub use agent::{Agent, AgentPolicy};
 pub use kg_model::{KgModelConfig, KgModelVerifier};
 pub use llm_verifier::LlmVerifier;
 pub use pasta::{PastaConfig, PastaVerifier};
-pub use provenance::{ProvenanceLog, ProvenanceRecord, Stage};
+pub use provenance::{
+    NullSink, ProvenanceLog, ProvenanceRecord, ProvenanceSink, SharedProvenance, Stage,
+    StageRecorder,
+};
 pub use trust::{TrustModel, VerdictObservation};
 pub use tuple_model::{TupleModelConfig, TupleModelVerifier};
 // The ternary verdict type is defined next to the data-object types in

@@ -6,8 +6,22 @@
 //! human checks or debugging." Every pipeline stage appends a
 //! [`ProvenanceRecord`]; [`ProvenanceLog::report`] renders a human-auditable
 //! trace per generated object.
+//!
+//! ## Sinks and the flush discipline
+//!
+//! Under concurrent batch verification the log is shared, so writes go
+//! through a [`ProvenanceSink`]. The hot path never locks per record:
+//! each pipeline call buffers records in a local [`StageRecorder`] and
+//! flushes to the sink **once per stage per object** (retrieval, rerank,
+//! verify, decision) — one lock acquisition each, instead of one per
+//! retrieval hit. [`SharedProvenance`] is the standard sink (a locked
+//! [`ProvenanceLog`] plus a batch counter that makes the lock discipline
+//! observable); [`NullSink`] discards records for provenance-free runs.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, MutexGuard};
 use verifai_lake::InstanceId;
 use verifai_llm::Verdict;
 
@@ -85,6 +99,11 @@ impl ProvenanceLog {
         self.records.push(record);
     }
 
+    /// Append a batch of records, preserving their order.
+    pub fn add_all(&mut self, records: impl IntoIterator<Item = ProvenanceRecord>) {
+        self.records.extend(records);
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -130,6 +149,117 @@ impl ProvenanceLog {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Destination for provenance records produced by pipeline stages.
+///
+/// The contract is batch-oriented: one [`ProvenanceSink::append_batch`]
+/// call covers everything one stage produced for one object, and costs the
+/// sink at most one synchronization (lock acquisition, channel send, ...).
+/// Implementations must tolerate concurrent callers.
+pub trait ProvenanceSink: Send + Sync {
+    /// Append a stage's records, draining `records` (the buffer is reused
+    /// by the caller). An empty batch must be a no-op that acquires
+    /// nothing and is not counted.
+    fn append_batch(&self, records: &mut Vec<ProvenanceRecord>);
+
+    /// Number of non-empty batches appended so far — the lock-acquisition
+    /// count for lock-based sinks, used to verify the flush discipline.
+    fn batches(&self) -> u64;
+}
+
+/// The standard sink: a shared, locked [`ProvenanceLog`] with an atomic
+/// batch counter.
+#[derive(Debug, Default)]
+pub struct SharedProvenance {
+    log: Mutex<ProvenanceLog>,
+    batches: AtomicU64,
+}
+
+impl SharedProvenance {
+    /// An empty shared log.
+    pub fn new() -> SharedProvenance {
+        SharedProvenance::default()
+    }
+
+    /// Lock the underlying log for reading (reports, per-object queries).
+    /// Drop the guard before running verification again.
+    pub fn lock(&self) -> MutexGuard<'_, ProvenanceLog> {
+        self.log.lock()
+    }
+}
+
+impl ProvenanceSink for SharedProvenance {
+    fn append_batch(&self, records: &mut Vec<ProvenanceRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.log.lock().add_all(records.drain(..));
+    }
+
+    fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+}
+
+/// A sink that discards every record — for benchmarks and callers that
+/// opt out of lineage entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ProvenanceSink for NullSink {
+    fn append_batch(&self, records: &mut Vec<ProvenanceRecord>) {
+        records.clear();
+    }
+
+    fn batches(&self) -> u64 {
+        0
+    }
+}
+
+/// Per-call buffering recorder: appends records locally and flushes to the
+/// shared sink once per stage.
+///
+/// One recorder lives for one pipeline call (one object); it is not shared
+/// across threads, so [`StageRecorder::record`] is contention-free. Any
+/// records still buffered when the recorder drops are flushed as a final
+/// batch, so early returns cannot lose lineage.
+pub struct StageRecorder<'a> {
+    sink: &'a dyn ProvenanceSink,
+    buffer: Vec<ProvenanceRecord>,
+}
+
+impl<'a> StageRecorder<'a> {
+    /// A recorder flushing into `sink`.
+    pub fn new(sink: &'a dyn ProvenanceSink) -> StageRecorder<'a> {
+        StageRecorder {
+            sink,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Buffer one record locally (no synchronization).
+    pub fn record(&mut self, record: ProvenanceRecord) {
+        self.buffer.push(record);
+    }
+
+    /// Records buffered since the last flush.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Flush the current stage's records to the sink in one batch. A no-op
+    /// when nothing is buffered.
+    pub fn flush_stage(&mut self) {
+        self.sink.append_batch(&mut self.buffer);
+    }
+}
+
+impl Drop for StageRecorder<'_> {
+    fn drop(&mut self) {
+        self.flush_stage();
     }
 }
 
@@ -196,6 +326,55 @@ mod tests {
         assert!(report.contains("retrieval[bm25]#0 text:3 score=12.5000"));
         assert!(report
             .contains("verify[chatgpt-sim] text:3 verdict=Verified — the text states the fact"));
+    }
+
+    #[test]
+    fn recorder_flushes_once_per_stage() {
+        let sink = SharedProvenance::new();
+        let mut rec = StageRecorder::new(&sink);
+        rec.record(record(1, Stage::Combine));
+        rec.record(record(1, Stage::Combine));
+        assert_eq!(rec.pending(), 2);
+        rec.flush_stage();
+        assert_eq!(rec.pending(), 0);
+        rec.record(record(1, Stage::Decision));
+        rec.flush_stage();
+        // Two stages, two records + one record: exactly two batches.
+        assert_eq!(sink.batches(), 2);
+        assert_eq!(sink.lock().len(), 3);
+    }
+
+    #[test]
+    fn empty_flush_is_not_a_batch() {
+        let sink = SharedProvenance::new();
+        let mut rec = StageRecorder::new(&sink);
+        rec.flush_stage();
+        rec.flush_stage();
+        drop(rec);
+        assert_eq!(sink.batches(), 0);
+        assert!(sink.lock().is_empty());
+    }
+
+    #[test]
+    fn drop_flushes_pending_records() {
+        let sink = SharedProvenance::new();
+        {
+            let mut rec = StageRecorder::new(&sink);
+            rec.record(record(9, Stage::Decision));
+            // No explicit flush: dropping the recorder must not lose it.
+        }
+        assert_eq!(sink.batches(), 1);
+        assert_eq!(sink.lock().for_object(9).len(), 1);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let sink = NullSink;
+        let mut rec = StageRecorder::new(&sink);
+        rec.record(record(1, Stage::Combine));
+        rec.flush_stage();
+        assert_eq!(rec.pending(), 0);
+        assert_eq!(sink.batches(), 0);
     }
 
     #[test]

@@ -10,6 +10,9 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --release"
+cargo build --release --workspace
+
 echo "==> cargo test -q"
 cargo test -q --workspace
 

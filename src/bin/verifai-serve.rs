@@ -159,16 +159,23 @@ fn main() -> ExitCode {
     let mut completed = 0u64;
     let mut shed = 0u64;
     let mut rejected = 0u64;
-    let drain = |ticket: Ticket, completed: &mut u64, shed: &mut u64| match ticket.wait() {
+    let mut failed = 0u64;
+    let drain = |ticket: Ticket, completed: &mut u64, shed: &mut u64, failed: &mut u64| match ticket
+        .wait()
+    {
         RequestOutcome::Completed(_) => *completed += 1,
         RequestOutcome::Shed => *shed += 1,
+        RequestOutcome::Failed(error) => {
+            eprintln!("request failed: {error}");
+            *failed += 1;
+        }
     };
     let t_run = Instant::now();
     for _ in 0..args.requests {
         let object = pool[rng.gen_range(0..pool.len())].clone();
         if outstanding.len() >= window {
             let ticket = outstanding.pop_front().expect("window non-empty");
-            drain(ticket, &mut completed, &mut shed);
+            drain(ticket, &mut completed, &mut shed, &mut failed);
         }
         match service.submit(object) {
             Ok(ticket) => outstanding.push_back(ticket),
@@ -176,7 +183,7 @@ fn main() -> ExitCode {
         }
     }
     for ticket in outstanding {
-        drain(ticket, &mut completed, &mut shed);
+        drain(ticket, &mut completed, &mut shed, &mut failed);
     }
     let elapsed = t_run.elapsed();
 
@@ -190,7 +197,9 @@ fn main() -> ExitCode {
     println!("{stats}");
 
     let lost = stats.submitted - stats.accounted();
-    println!("\nclient view: completed {completed} | shed {shed} | rejected {rejected}");
+    println!(
+        "\nclient view: completed {completed} | shed {shed} | rejected {rejected} | failed {failed}"
+    );
     println!("lost requests: {lost}");
     if lost != 0 || stats.submitted != args.requests as u64 {
         eprintln!(

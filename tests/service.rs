@@ -54,6 +54,7 @@ fn concurrent_results_match_sequential() {
         let report = match ticket.wait() {
             RequestOutcome::Completed(report) => report,
             RequestOutcome::Shed => panic!("unloaded service shed a request"),
+            RequestOutcome::Failed(error) => panic!("request failed: {error}"),
         };
         assert_eq!(
             report,
@@ -63,10 +64,7 @@ fn concurrent_results_match_sequential() {
     }
     let stats = service.shutdown();
     assert_eq!(stats.submitted, objects.len() as u64);
-    assert_eq!(
-        stats.completed + stats.shed + stats.rejected,
-        stats.submitted
-    );
+    assert_eq!(stats.accounted(), stats.submitted);
     assert_eq!(stats.completed, objects.len() as u64);
     assert_eq!(stats.queue_depth, 0);
     assert_eq!(stats.in_flight, 0);
@@ -102,6 +100,7 @@ fn overload_sheds_without_losing_requests() {
         match ticket.wait() {
             RequestOutcome::Completed(_) => completed += 1,
             RequestOutcome::Shed => shed += 1,
+            RequestOutcome::Failed(error) => panic!("request failed: {error}"),
         }
     }
     let stats = service.shutdown();
@@ -109,10 +108,7 @@ fn overload_sheds_without_losing_requests() {
     assert_eq!(stats.rejected, rejected);
     assert_eq!(stats.completed, completed);
     assert_eq!(stats.shed, shed);
-    assert_eq!(
-        stats.completed + stats.shed + stats.rejected,
-        stats.submitted
-    );
+    assert_eq!(stats.accounted(), stats.submitted);
     assert!(
         rejected > 0,
         "16-slot queue should reject some of 60 fast submissions"
@@ -136,6 +132,7 @@ fn zero_deadline_returns_partial_report() {
             assert_eq!(report.object_id, objects[0].id());
         }
         RequestOutcome::Shed => panic!("unloaded service shed a request"),
+        RequestOutcome::Failed(error) => panic!("request failed: {error}"),
     }
     let stats = service.shutdown();
     assert_eq!(stats.completed, 1);
@@ -165,6 +162,7 @@ fn cache_does_not_change_reports() {
             .map(|t| match t.wait() {
                 RequestOutcome::Completed(report) => report,
                 RequestOutcome::Shed => panic!("unloaded service shed a request"),
+                RequestOutcome::Failed(error) => panic!("request failed: {error}"),
             })
             .collect();
         (reports, service.shutdown())

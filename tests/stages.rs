@@ -1,0 +1,178 @@
+//! Equivalence contract for the staged pipeline refactor: the trait-based
+//! driver (`verifai::stages`) must produce bit-identical
+//! `VerificationReport`s to the pre-refactor monolithic pipeline across
+//! the ablation matrix {reranker on/off} × {content index on/off}.
+//!
+//! `reference_discover` below is a line-for-line port of the old
+//! monolithic `discover_evidence` (retrieve → resolve → rerank per
+//! modality, modality-major), written against public API only. Feeding its
+//! evidence through `verify_with_evidence` must equal `verify_object`
+//! end to end.
+
+use verifai::{DataObject, VerifAi, VerifAiConfig};
+use verifai_claims::ClaimGenConfig;
+use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
+use verifai_lake::{DataInstance, InstanceKind};
+use verifai_rerank::composite::CompositeReranker;
+
+/// The pre-refactor evidence discovery, reconstructed over public API.
+fn reference_discover(sys: &VerifAi, object: &DataObject) -> Vec<(DataInstance, f64)> {
+    let config = sys.config();
+    let query = VerifAi::query_of(object);
+    let reranker = CompositeReranker::with_defaults();
+    let plan: Vec<(InstanceKind, usize)> = match object {
+        DataObject::ImputedCell(_) => {
+            let mut plan = vec![
+                (InstanceKind::Tuple, config.k_tuples),
+                (InstanceKind::Text, config.k_texts),
+            ];
+            if config.k_kg > 0 {
+                plan.push((InstanceKind::Kg, config.k_kg));
+            }
+            plan
+        }
+        DataObject::TextClaim(_) => vec![(InstanceKind::Table, config.k_tables)],
+    };
+    let mut out = Vec::new();
+    for (kind, final_k) in plan {
+        let coarse_k = if config.use_reranker {
+            config.coarse_k.max(final_k)
+        } else {
+            final_k
+        };
+        let hits = sys.retrieve(&query, kind, coarse_k);
+        let instances: Vec<DataInstance> = hits
+            .iter()
+            .filter_map(|h| sys.lake().resolve(h.id).ok())
+            .collect();
+        let ranked: Vec<(DataInstance, f64)> = if config.use_reranker {
+            verifai_rerank::rerank(&reranker, object, instances, final_k)
+        } else {
+            instances
+                .into_iter()
+                .zip(hits.iter().map(|h| h.score))
+                .take(final_k)
+                .collect()
+        };
+        out.extend(ranked);
+    }
+    out
+}
+
+/// A mixed workload of imputations and claims over `sys`.
+fn mixed_objects(sys: &VerifAi, n_each: usize, seed: u64) -> Vec<DataObject> {
+    let mut objects: Vec<DataObject> = completion_workload(sys.generated(), n_each, seed)
+        .iter()
+        .map(|t| sys.impute(t))
+        .collect();
+    objects.extend(
+        claim_workload(
+            sys.generated(),
+            n_each,
+            ClaimGenConfig {
+                seed,
+                ..ClaimGenConfig::default()
+            },
+        )
+        .iter()
+        .map(|c| sys.claim_object(c)),
+    );
+    objects
+}
+
+/// Across all four ablation configs, staged discovery returns the same
+/// `(instance, score)` sequence as the monolithic reference, and
+/// `verify_object` equals `verify_with_evidence(reference evidence)`
+/// report for report.
+#[test]
+fn ablation_matrix_is_bit_identical() {
+    for (use_reranker, use_content_index) in
+        [(true, true), (true, false), (false, true), (false, false)]
+    {
+        let config = VerifAiConfig {
+            use_reranker,
+            use_content_index,
+            // Keep the semantic index on so the content-off cells still
+            // retrieve something.
+            use_semantic_index: true,
+            ..VerifAiConfig::default()
+        };
+        let sys = VerifAi::build(build(&LakeSpec::tiny(21)), config);
+        for object in mixed_objects(&sys, 4, 21) {
+            let reference = reference_discover(&sys, &object);
+            let staged = sys.discover_evidence(&object);
+            assert_eq!(
+                staged.len(),
+                reference.len(),
+                "evidence count diverged (reranker={use_reranker}, content={use_content_index})"
+            );
+            for (i, ((si, ss), (ri, rs))) in staged.iter().zip(reference.iter()).enumerate() {
+                assert_eq!(
+                    si.id(),
+                    ri.id(),
+                    "evidence #{i} diverged (reranker={use_reranker}, content={use_content_index})"
+                );
+                assert_eq!(
+                    ss, rs,
+                    "score #{i} diverged (reranker={use_reranker}, content={use_content_index})"
+                );
+            }
+            let staged_report = sys.verify_object(&object);
+            let reference_report = sys.verify_with_evidence(&object, reference);
+            assert_eq!(
+                staged_report, reference_report,
+                "report diverged (reranker={use_reranker}, content={use_content_index})"
+            );
+        }
+    }
+}
+
+/// The rerank stage can only narrow the candidate set.
+#[test]
+fn rerank_never_widens_the_candidate_set() {
+    for use_reranker in [true, false] {
+        let config = VerifAiConfig {
+            use_reranker,
+            ..VerifAiConfig::default()
+        };
+        let sys = VerifAi::build(build(&LakeSpec::tiny(23)), config);
+        for object in mixed_objects(&sys, 3, 23) {
+            let report = sys.verify_object(&object);
+            assert!(
+                report.timing.candidates_out <= report.timing.candidates_in,
+                "rerank widened {} -> {} (reranker={use_reranker})",
+                report.timing.candidates_in,
+                report.timing.candidates_out
+            );
+            assert_eq!(report.timing.candidates_out, report.evidence.len());
+        }
+    }
+}
+
+/// The batched provenance sink's lock discipline, observed end to end:
+/// four flushes per full verification, two per cached-evidence
+/// verification, independent of evidence volume.
+#[test]
+fn provenance_lock_count_is_per_stage_not_per_record() {
+    let sys = VerifAi::build(build(&LakeSpec::tiny(25)), VerifAiConfig::default());
+    let objects = mixed_objects(&sys, 3, 25);
+    let before = sys.provenance_batches();
+    for object in &objects {
+        sys.verify_object(object);
+    }
+    assert_eq!(
+        sys.provenance_batches() - before,
+        4 * objects.len() as u64,
+        "full path: retrieval + rerank + verify + decision per object"
+    );
+    let records = sys.provenance().len();
+    assert!(
+        records > 4 * objects.len(),
+        "batching must be observable: {records} records should exceed flush count"
+    );
+    // Cached path: discovery skipped, so verify + decision only.
+    let evidence = sys.discover_evidence(&objects[0]);
+    let before = sys.provenance_batches();
+    sys.verify_with_evidence(&objects[0], evidence);
+    assert_eq!(sys.provenance_batches() - before, 2);
+}
