@@ -1,0 +1,212 @@
+//! Similarity-kernel and index-build benchmarks backing the perf claims in
+//! DESIGN.md §10: flat-scan throughput (scalar cosine vs fused unit dot),
+//! HNSW construction cost, ColBERT MaxSim cost, and the parallel vs
+//! sequential lake index build.
+//!
+//! ```text
+//! cargo bench -p verifai-bench --bench kernel_bench
+//! ```
+//!
+//! Besides the usual stderr report, this bench writes `BENCH_kernels.json`
+//! to the repository root (see `scripts/bench_smoke.sh`), recording
+//! `host_cores` alongside the numbers — the parallel-build speedup is only
+//! meaningful on a multi-core host.
+
+use std::time::Instant;
+
+use verifai::{VerifAi, VerifAiConfig};
+use verifai_bench::BenchScale;
+use verifai_datagen::build;
+use verifai_embed::kernel::{dot_scalar, dot_unit};
+use verifai_embed::{TextEmbedder, TokenEmbedder, Vector};
+use verifai_index::{FlatIndex, HnswIndex, VectorIndex};
+use verifai_lake::InstanceId;
+use verifai_rerank::colbert::ColbertReranker;
+
+/// Pre-invariant flat-scan scoring: cosine with both norms re-derived by a
+/// strict scalar dot — three naive passes per candidate, exactly what the
+/// index paid before the unit-norm invariant and the chunked kernel.
+fn cosine_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let na = dot_scalar(a, a).sqrt();
+    let nb = dot_scalar(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot_scalar(a, b) / (na * nb)
+    }
+}
+
+/// Best-of-`reps` wall time of `f`, in nanoseconds.
+fn best_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let (n_vectors, hnsw_n, maxsim_pairs) = match scale {
+        BenchScale::Tiny => (2_000usize, 400usize, 200usize),
+        BenchScale::Small => (20_000, 2_000, 1_000),
+        BenchScale::Paper => (100_000, 10_000, 5_000),
+    };
+    let dim = 128usize;
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // --- Flat scan: scalar-cosine baseline vs fused unit dot -------------
+    let embedder = TextEmbedder::with_seed(7);
+    let corpus: Vec<Vector> = (0..n_vectors)
+        .map(|i| {
+            embedder.embed(&format!(
+                "entity {} topic {} attribute {}",
+                i,
+                i % 31,
+                i % 7
+            ))
+        })
+        .collect();
+    let query = embedder.embed("entity topic attribute 42");
+    let scalar_ns = best_ns(5, || {
+        let mut acc = 0.0f32;
+        for v in &corpus {
+            acc += cosine_scalar(v.as_slice(), query.as_slice());
+        }
+        std::hint::black_box(acc);
+    });
+    let kernel_ns = best_ns(5, || {
+        let mut acc = 0.0f32;
+        for v in &corpus {
+            acc += dot_unit(v.as_slice(), query.as_slice());
+        }
+        std::hint::black_box(acc);
+    });
+    let scalar_per_vec = scalar_ns as f64 / n_vectors as f64;
+    let kernel_per_vec = kernel_ns as f64 / n_vectors as f64;
+    let flat_speedup = scalar_per_vec / kernel_per_vec.max(1e-9);
+    eprintln!(
+        "flat_scan ({n_vectors} x {dim}): scalar {scalar_per_vec:.1} ns/vec, \
+         kernel {kernel_per_vec:.1} ns/vec, speedup {flat_speedup:.2}x"
+    );
+
+    // A top-10 scan through the real FlatIndex, for the stderr record.
+    let mut flat = FlatIndex::new();
+    for (i, v) in corpus.iter().take(n_vectors).enumerate() {
+        flat.add(InstanceId::Text(i as u64), v.clone());
+    }
+    let flat_search_ns = best_ns(5, || {
+        std::hint::black_box(flat.search(&query, 10));
+    });
+    eprintln!(
+        "flat_index top-10 over {n_vectors}: {:.3} ms",
+        flat_search_ns as f64 / 1e6
+    );
+
+    // --- HNSW build ------------------------------------------------------
+    let hnsw_entries: Vec<(InstanceId, Vector)> = corpus
+        .iter()
+        .take(hnsw_n)
+        .enumerate()
+        .map(|(i, v)| (InstanceId::Text(i as u64), v.clone()))
+        .collect();
+    let hnsw_build_ns = best_ns(3, || {
+        let mut h = HnswIndex::with_defaults();
+        for (id, v) in &hnsw_entries {
+            h.add(*id, v.clone());
+        }
+        std::hint::black_box(h.len());
+    });
+    let hnsw_per_insert = hnsw_build_ns as f64 / hnsw_n as f64;
+    eprintln!("hnsw_build ({hnsw_n} inserts): {hnsw_per_insert:.0} ns/insert");
+
+    // --- ColBERT MaxSim --------------------------------------------------
+    let token = TokenEmbedder::new(64, 0xc01b);
+    let q_toks = token.embed_text("the incumbent of New York 3 is James Pike of the party");
+    let d_toks = token.embed_text(
+        "James Pike was elected in the New York 3 district as the incumbent candidate \
+         representing the party in the house election of that year with a narrow margin \
+         over the challenger after three recounts of the district vote",
+    );
+    let maxsim_ns = best_ns(5, || {
+        let mut acc = 0.0f64;
+        for _ in 0..maxsim_pairs {
+            acc += ColbertReranker::maxsim(&q_toks, &d_toks);
+        }
+        std::hint::black_box(acc);
+    });
+    let maxsim_per_pair = maxsim_ns as f64 / maxsim_pairs as f64;
+    eprintln!(
+        "maxsim ({} x {} tokens): {maxsim_per_pair:.0} ns/pair",
+        q_toks.len(),
+        d_toks.len()
+    );
+
+    // --- Lake index build: sequential vs parallel ------------------------
+    let spec = scale.spec(42);
+    let sequential = VerifAi::build(
+        build(&spec),
+        VerifAiConfig {
+            build_threads: 1,
+            ..VerifAiConfig::default()
+        },
+    );
+    let parallel = VerifAi::build(
+        build(&spec),
+        VerifAiConfig {
+            build_threads: 0, // one worker per core
+            ..VerifAiConfig::default()
+        },
+    );
+    let seq_stats = sequential.build_stats();
+    let par_stats = parallel.build_stats();
+    let build_speedup = seq_stats.index_ns as f64 / par_stats.index_ns.max(1) as f64;
+    eprintln!(
+        "lake_index_build: sequential {:.1} ms, parallel {:.1} ms ({} threads, {} embedded), \
+         speedup {build_speedup:.2}x on {host_cores} core(s)",
+        seq_stats.index_ns as f64 / 1e6,
+        par_stats.index_ns as f64 / 1e6,
+        par_stats.threads,
+        par_stats.embedded,
+    );
+
+    // --- Artifact --------------------------------------------------------
+    let artifact = serde_json::json!({
+        "scale": scale.label(),
+        "host_cores": host_cores,
+        "flat_scan": {
+            "vectors": n_vectors,
+            "dim": dim,
+            "scalar_ns_per_vector": scalar_per_vec,
+            "kernel_ns_per_vector": kernel_per_vec,
+            "speedup": flat_speedup,
+        },
+        "hnsw_build": {
+            "inserts": hnsw_n,
+            "ns_per_insert": hnsw_per_insert,
+        },
+        "maxsim": {
+            "query_tokens": q_toks.len(),
+            "doc_tokens": d_toks.len(),
+            "ns_per_pair": maxsim_per_pair,
+        },
+        "lake_index_build": {
+            "sequential_ms": seq_stats.index_ns as f64 / 1e6,
+            "parallel_ms": par_stats.index_ns as f64 / 1e6,
+            "threads": par_stats.threads,
+            "embedded_entries": par_stats.embedded,
+            "speedup": build_speedup,
+        },
+    });
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_kernels.json");
+    let rendered = serde_json::to_string_pretty(&artifact).unwrap_or_default();
+    match std::fs::write(&path, format!("{rendered}\n")) {
+        Ok(()) => eprintln!("artifact written: {}", path.display()),
+        Err(e) => eprintln!("artifact write failed at {}: {e}", path.display()),
+    }
+}

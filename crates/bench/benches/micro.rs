@@ -87,6 +87,27 @@ fn bench_indexes(c: &mut Criterion) {
     group.bench_function("flat_top10", |b| b.iter(|| flat.search(black_box(&qv), 10)));
     group.bench_function("hnsw_top10", |b| b.iter(|| hnsw.search(black_box(&qv), 10)));
     group.finish();
+
+    // Construction cost: every insert runs greedy descent + ef_construction
+    // beam searches over the fused dot kernel.
+    let entries: Vec<(InstanceId, verifai_embed::Vector)> = (0..500u64)
+        .map(|i| {
+            let doc = format!("entity {} in category {} with value {}", i, i % 23, i % 11);
+            (InstanceId::Text(i), embedder.embed(&doc))
+        })
+        .collect();
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("hnsw_build_500", |b| {
+        b.iter(|| {
+            let mut h = HnswIndex::with_defaults();
+            for (id, v) in &entries {
+                h.add(*id, v.clone());
+            }
+            black_box(h.len())
+        })
+    });
+    group.finish();
 }
 
 fn sample_pair() -> (DataObject, DataInstance, DataInstance, DataInstance) {
@@ -139,6 +160,17 @@ fn bench_rerankers(c: &mut Criterion) {
     });
     group.bench_function("retclean_tuple", |b| {
         b.iter(|| tuple_rr.score(&claim, &tuple))
+    });
+    // The late-interaction kernel alone, on pre-embedded token sets: a pure
+    // measure of the fused dot_unit inner loop.
+    let enc = TokenEmbedder::new(64, 0xc01b);
+    let q_toks = enc.embed_text("the incumbent of New York 3 is James Pike");
+    let d_toks = enc.embed_text(
+        "James Pike was elected in the New York 3 district as the incumbent \
+         candidate representing the party in the house election of that year",
+    );
+    group.bench_function("maxsim_pre_embedded", |b| {
+        b.iter(|| ColbertReranker::maxsim(black_box(&q_toks), black_box(&d_toks)))
     });
     group.finish();
 }

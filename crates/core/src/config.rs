@@ -47,6 +47,12 @@ pub struct VerifAiConfig {
     pub embed_dim: usize,
     /// Master seed for index/embedding determinism.
     pub seed: u64,
+    /// Worker threads for the lake-indexing phase of [`crate::VerifAi::build`]
+    /// (`0` = one per available core). The built indexes are byte-identical
+    /// for every thread count: modalities build concurrently, embeddings are
+    /// pure functions computed into ordered slots, and graph insertion stays
+    /// sequential per modality.
+    pub build_threads: usize,
 }
 
 impl Default for VerifAiConfig {
@@ -66,6 +72,7 @@ impl Default for VerifAiConfig {
             use_trust_weighting: true,
             embed_dim: 128,
             seed: 0xfa1,
+            build_threads: 0,
         }
     }
 }

@@ -63,7 +63,7 @@ pub mod stages;
 
 pub use config::VerifAiConfig;
 pub use metrics::{paper_correct, recall_at_k, Accuracy, LatencyHistogram};
-pub use pipeline::{EvidenceVerdict, VerifAi, VerificationReport};
+pub use pipeline::{BuildStats, EvidenceVerdict, VerifAi, VerificationReport};
 pub use stages::{
     JudgeOutcome, PipelineError, RerankStage, ScoreRerank, StagePlan, StageTiming, StagedPipeline,
     TopKPassthrough, VerifyStage,

@@ -72,6 +72,23 @@ impl PartialEq for VerificationReport {
     }
 }
 
+/// Wall-clock breakdown of the lake-indexing work [`VerifAi::build`]
+/// performs, surfaced through `VerifAi::build_stats` (and from there the
+/// service stats endpoint). Excluded from report equality for the same
+/// reason [`StageTiming`] is: timings vary run to run, the indexes do not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Wall time of the whole `build` call.
+    pub wall_ns: u64,
+    /// Wall time of the indexing phases alone (content indexing, embedding,
+    /// semantic-graph construction).
+    pub index_ns: u64,
+    /// Semantic entries embedded (0 when the semantic index is disabled).
+    pub embedded: usize,
+    /// Worker threads the indexing phases ran with.
+    pub threads: usize,
+}
+
 /// The assembled VerifAI system: lake + staged pipeline + trust model.
 pub struct VerifAi {
     generated: GeneratedLake,
@@ -84,6 +101,7 @@ pub struct VerifAi {
     /// Lineage sink; stages flush batched records here, one lock per stage.
     provenance: SharedProvenance,
     trust: TrustModel,
+    build_stats: BuildStats,
 }
 
 impl VerifAi {
@@ -91,87 +109,184 @@ impl VerifAi {
     /// instance, stands up the LLM over the lake's world model, and composes
     /// the staged pipeline — one fused [`EvidenceSource`] per modality, the
     /// configured rerank stage, and the verifier [`Agent`].
+    ///
+    /// Indexing is parallel and deterministic. Three phases, each over
+    /// [`crate::exec::run_scoped`]:
+    ///
+    /// 1. per-modality jobs serialize their instances, build the content
+    ///    (BM25) index, and collect the semantic entry list in lake order;
+    /// 2. semantic entries are embedded in parallel chunks into per-entry
+    ///    slots — embeddings are pure functions of the text, so slot order
+    ///    (not completion order) defines everything downstream;
+    /// 3. per-modality jobs insert the embedded vectors into their HNSW
+    ///    graph **sequentially in entry order**, so every graph is
+    ///    byte-identical to a single-threaded build.
+    ///
+    /// `config.build_threads` (0 = one per core) sets the worker count;
+    /// with 1, every phase runs inline.
     pub fn build(generated: GeneratedLake, config: VerifAiConfig) -> VerifAi {
+        let build_start = std::time::Instant::now();
         let embedder = TextEmbedder::new(TextEmbedderConfig {
             dim: config.embed_dim,
             seed: config.seed ^ 0xe3bd,
             ..TextEmbedderConfig::default()
         });
-        struct ModalityIndex {
-            content: InvertedIndex,
-            semantic: Option<HnswIndex>,
-        }
-        let mk = || ModalityIndex {
-            content: InvertedIndex::new(Analyzer::standard(), Bm25Params::default()),
-            semantic: config.use_semantic_index.then(|| {
-                HnswIndex::new(HnswConfig {
-                    seed: config.seed ^ 0x45a1,
-                    ..HnswConfig::default()
-                })
-            }),
+        let threads = if config.build_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.build_threads
         };
-        let mut indexes = [mk(), mk(), mk(), mk()];
+        let index_start = std::time::Instant::now();
 
-        // Index every instance of every modality, serialized as strings
-        // (content) and embedded (semantic).
-        let add = |idx: &mut ModalityIndex, id: InstanceId, text: &str| {
-            idx.content.add(id, text);
-            if let Some(sem) = idx.semantic.as_mut() {
-                sem.add(id, embedder.embed(text));
-            }
-        };
-        for tuple_id in generated.lake.tuple_ids() {
-            let tuple = generated.lake.tuple(tuple_id).expect("registered tuple");
-            add(
-                &mut indexes[0],
-                InstanceId::Tuple(tuple_id),
-                &verifai_text::serialize_tuple(&tuple),
-            );
+        // Phase 1: per-modality content indexing + semantic entry collection.
+        // Entry lists keep lake iteration order — the order a sequential
+        // build would embed and insert in.
+        let lake = &generated.lake;
+        let want_semantic = config.use_semantic_index;
+        type ModalityBuilt = (InvertedIndex, Vec<(InstanceId, String)>);
+        let mut built: [Option<ModalityBuilt>; 4] = [None, None, None, None];
+        {
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = built
+                .iter_mut()
+                .enumerate()
+                .map(|(modality, slot)| {
+                    let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                        let mut content =
+                            InvertedIndex::new(Analyzer::standard(), Bm25Params::default());
+                        let mut semantic: Vec<(InstanceId, String)> = Vec::new();
+                        let mut add = |id: InstanceId, text: String| {
+                            content.add(id, &text);
+                            if want_semantic {
+                                semantic.push((id, text));
+                            }
+                        };
+                        match modality {
+                            0 => {
+                                for tuple_id in lake.tuple_ids() {
+                                    let tuple = lake.tuple(tuple_id).expect("registered tuple");
+                                    add(
+                                        InstanceId::Tuple(tuple_id),
+                                        verifai_text::serialize_tuple(&tuple),
+                                    );
+                                }
+                            }
+                            1 => {
+                                for table in lake.tables() {
+                                    add(
+                                        InstanceId::Table(table.id),
+                                        verifai_text::serialize_table(table),
+                                    );
+                                }
+                            }
+                            2 => {
+                                for doc in lake.docs() {
+                                    // Content index sees the whole document;
+                                    // the semantic index embeds overlapping
+                                    // sentence chunks (paper §3.1: "chunked
+                                    // text files"), each under the document's
+                                    // id — the Combiner's dedup collapses
+                                    // multi-chunk hits.
+                                    let full = doc.full_text();
+                                    content.add(InstanceId::Text(doc.id), &full);
+                                    if want_semantic {
+                                        for chunk in verifai_text::chunk_sentences(&full, 3, 1) {
+                                            semantic.push((InstanceId::Text(doc.id), chunk.text));
+                                        }
+                                    }
+                                }
+                            }
+                            _ => {
+                                for entity in lake.kg_entities() {
+                                    add(
+                                        InstanceId::Kg(entity.id),
+                                        verifai_text::serialize_kg(entity),
+                                    );
+                                }
+                            }
+                        }
+                        *slot = Some((content, semantic));
+                    });
+                    job
+                })
+                .collect();
+            crate::exec::run_scoped(threads.min(4), jobs);
         }
-        for table in generated.lake.tables() {
-            add(
-                &mut indexes[1],
-                InstanceId::Table(table.id),
-                &verifai_text::serialize_table(table),
-            );
-        }
-        for doc in generated.lake.docs() {
-            // Content index sees the whole document; the semantic index embeds
-            // overlapping sentence chunks (paper §3.1: "chunked text files"),
-            // each under the document's id — the Combiner's dedup collapses
-            // multi-chunk hits.
-            let full = doc.full_text();
-            indexes[2].content.add(InstanceId::Text(doc.id), &full);
-            if let Some(sem) = indexes[2].semantic.as_mut() {
-                for chunk in verifai_text::chunk_sentences(&full, 3, 1) {
-                    sem.add(InstanceId::Text(doc.id), embedder.embed(&chunk.text));
+        let modalities: [ModalityBuilt; 4] =
+            built.map(|b| b.expect("every modality job filled its slot"));
+
+        // Phase 2: embed every semantic entry in parallel, chunked, into
+        // per-entry slots.
+        let embedded: usize = modalities.iter().map(|(_, s)| s.len()).sum();
+        let mut vectors: Vec<Vec<Option<Vector>>> = modalities
+            .iter()
+            .map(|(_, entries)| vec![None; entries.len()])
+            .collect();
+        if want_semantic && embedded > 0 {
+            const EMBED_CHUNK: usize = 64;
+            let embedder = &embedder;
+            let mut jobs: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            for ((_, entries), slots) in modalities.iter().zip(vectors.iter_mut()) {
+                for (entry_chunk, slot_chunk) in entries
+                    .chunks(EMBED_CHUNK)
+                    .zip(slots.chunks_mut(EMBED_CHUNK))
+                {
+                    jobs.push(Box::new(move || {
+                        for ((_, text), slot) in entry_chunk.iter().zip(slot_chunk.iter_mut()) {
+                            *slot = Some(embedder.embed(text));
+                        }
+                    }));
                 }
             }
+            crate::exec::run_scoped(threads, jobs);
         }
-        for entity in generated.lake.kg_entities() {
-            add(
-                &mut indexes[3],
-                InstanceId::Kg(entity.id),
-                &verifai_text::serialize_kg(entity),
-            );
+
+        // Phase 3: per-modality HNSW construction — parallel across
+        // modalities, strictly sequential (entry-order) insertion within one.
+        let mut semantic_built: [Option<HnswIndex>; 4] = [None, None, None, None];
+        if want_semantic {
+            let seed = config.seed ^ 0x45a1;
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = semantic_built
+                .iter_mut()
+                .zip(modalities.iter())
+                .zip(vectors)
+                .map(|((slot, (_, entries)), vecs)| {
+                    let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                        let mut graph = HnswIndex::new(HnswConfig {
+                            seed,
+                            ..HnswConfig::default()
+                        });
+                        for ((id, _), vector) in entries.iter().zip(vecs) {
+                            graph.add(*id, vector.expect("phase 2 filled every slot"));
+                        }
+                        *slot = Some(graph);
+                    });
+                    job
+                })
+                .collect();
+            crate::exec::run_scoped(threads.min(4), jobs);
         }
+        let index_ns = index_start.elapsed().as_nanos() as u64;
 
         // Fuse each modality's indexes into one retrieval source. Content
         // comes before semantic: the Combiner's list order is the historical
         // ranking order.
         let combiner = Combiner::new(config.fusion);
-        let fuse = |idx: ModalityIndex| -> Box<dyn EvidenceSource> {
-            let mut members: Vec<Box<dyn EvidenceSource>> = Vec::with_capacity(2);
-            if config.use_content_index {
-                members.push(Box::new(idx.content));
-            }
-            if let Some(sem) = idx.semantic {
-                members.push(Box::new(sem));
-            }
-            Box::new(FusedSource::new(members, combiner))
-        };
-        let [tuples, tables, texts, kg] = indexes;
-        let sources = [fuse(tuples), fuse(tables), fuse(texts), fuse(kg)];
+        let fuse =
+            |content: InvertedIndex, semantic: Option<HnswIndex>| -> Box<dyn EvidenceSource> {
+                let mut members: Vec<Box<dyn EvidenceSource>> = Vec::with_capacity(2);
+                if config.use_content_index {
+                    members.push(Box::new(content));
+                }
+                if let Some(sem) = semantic {
+                    members.push(Box::new(sem));
+                }
+                Box::new(FusedSource::new(members, combiner))
+            };
+        let [(c0, _), (c1, _), (c2, _), (c3, _)] = modalities;
+        let [s0, s1, s2, s3] = semantic_built;
+        let sources = [fuse(c0, s0), fuse(c1, s1), fuse(c2, s2), fuse(c3, s3)];
 
         let rerank_stage: Box<dyn RerankStage> = if config.use_reranker {
             Box::new(ScoreRerank::new(CompositeReranker::with_defaults()))
@@ -199,7 +314,19 @@ impl VerifAi {
             config,
             provenance: SharedProvenance::new(),
             trust,
+            build_stats: BuildStats {
+                wall_ns: build_start.elapsed().as_nanos() as u64,
+                index_ns,
+                embedded,
+                threads,
+            },
         }
+    }
+
+    /// Timing of the build that produced this system (index construction
+    /// wall time, embedding volume, thread count).
+    pub fn build_stats(&self) -> BuildStats {
+        self.build_stats
     }
 
     /// The underlying lake.

@@ -1,0 +1,164 @@
+//! Fused similarity kernels for the vector hot path.
+//!
+//! Every evidence-discovery path — flat scan, HNSW build/search, ColBERT
+//! MaxSim, the dense terms of the tuple/table rerankers — bottoms out in a
+//! dot product over `f32` slices. The kernels here make that flop-minimal:
+//!
+//! * [`dot`] accumulates in **eight independent lanes** over
+//!   `chunks_exact(8)` with a scalar tail. Breaking the sequential
+//!   float-add dependency chain lets LLVM autovectorize the loop (the
+//!   naive `zip().map().sum()` chain cannot be reassociated without
+//!   `-ffast-math`), and on scalar hardware it still pipelines ~8 FMAs in
+//!   flight instead of 1.
+//! * [`dot_scalar`] is the strict-order reference the property tests (and
+//!   `kernel_bench`) compare against.
+//! * [`norm`] is a fused self-dot + sqrt using the same lanes.
+//!
+//! Determinism: the lane-summation order is **fixed** (pairwise over the
+//! eight accumulators, then the tail), so results are bit-identical across
+//! runs and machines with IEEE-754 `f32`. The lane sum *differs* from the
+//! strict left-to-right scalar sum by ordinary float reassociation error —
+//! ulp-scale, bounded by the property tests in this module.
+
+/// Chunked 8-lane dot product with a scalar tail.
+///
+/// Panics in debug builds on length mismatch (mirrors [`crate::Vector::dot`]).
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for i in 0..8 {
+            lanes[i] += xa[i] * xb[i];
+        }
+    }
+    // Fixed pairwise reduction: ((0+1)+(2+3))+((4+5)+(6+7)), then the tail
+    // in index order. This order is part of the determinism contract.
+    let head = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    let mut tail = 0.0f32;
+    for (xa, xb) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += xa * xb;
+    }
+    head + tail
+}
+
+/// Strict left-to-right scalar dot product: the reference implementation
+/// the chunked kernel is property-tested against, and the baseline
+/// `kernel_bench` measures speedups from.
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm via the chunked self-dot.
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Dot product of two **unit (or zero) vectors**, i.e. their cosine
+/// similarity with zero normalization work. The unit-norm invariant is the
+/// caller's responsibility: the vector indexes enforce it on `add`/load,
+/// the embedders by construction (both are property-tested). Debug builds
+/// check it.
+pub fn dot_unit(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert!(
+        is_unit_or_zero(a),
+        "dot_unit: lhs norm {} not unit",
+        norm(a)
+    );
+    debug_assert!(
+        is_unit_or_zero(b),
+        "dot_unit: rhs norm {} not unit",
+        norm(b)
+    );
+    dot(a, b)
+}
+
+/// True when the slice has norm 0 or 1 within a loose float tolerance.
+pub fn is_unit_or_zero(a: &[f32]) -> bool {
+    let n = norm(a);
+    n == 0.0 || (n - 1.0).abs() < 1e-3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_scalar_on_small_inputs() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        assert_eq!(dot_scalar(&a, &b), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_covers_exact_multiple_of_lane_width() {
+        let a: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let expected: f32 = a.iter().map(|x| x * x).sum();
+        assert!((dot(&a, &a) - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn norm_is_fused_self_dot() {
+        let a = [3.0, 4.0];
+        assert_eq!(norm(&a), 5.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn unit_check() {
+        assert!(is_unit_or_zero(&[0.0, 0.0]));
+        assert!(is_unit_or_zero(&[0.6, 0.8]));
+        assert!(!is_unit_or_zero(&[1.0, 1.0]));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Satellite contract: the chunked kernel agrees with the strict
+        /// scalar reference within ulp-scale reassociation error across
+        /// dims 1..512, including non-multiple-of-8 tails.
+        #[test]
+        fn chunked_dot_matches_scalar_reference(
+            dim in 1usize..512,
+            seed in 0u64..1_000,
+        ) {
+            // Deterministic pseudo-random components in [-1, 1).
+            let gen = |salt: u64, i: usize| {
+                let h = crate::hashing::splitmix64(seed ^ salt ^ (i as u64) << 8);
+                (crate::hashing::unit_float(h) * 2.0 - 1.0) as f32
+            };
+            let a: Vec<f32> = (0..dim).map(|i| gen(0x0a, i)).collect();
+            let b: Vec<f32> = (0..dim).map(|i| gen(0x0b, i)).collect();
+            let fast = dot(&a, &b);
+            let slow = dot_scalar(&a, &b);
+            // Reassociating at most `dim` additions of products bounded by 1
+            // moves the sum by O(dim * eps) in the worst case.
+            let tol = 1e-6 * (dim as f32) + 1e-6;
+            prop_assert!(
+                (fast - slow).abs() <= tol,
+                "dim {}: chunked {} vs scalar {} (tol {})", dim, fast, slow, tol
+            );
+        }
+
+        /// The tail path alone (dims 1..8) is exactly the scalar sum.
+        #[test]
+        fn pure_tail_is_exact(dim in 1usize..8, seed in 0u64..1_000) {
+            let gen = |salt: u64, i: usize| {
+                let h = crate::hashing::splitmix64(seed ^ salt ^ (i as u64) << 8);
+                (crate::hashing::unit_float(h) * 2.0 - 1.0) as f32
+            };
+            let a: Vec<f32> = (0..dim).map(|i| gen(0x1a, i)).collect();
+            let b: Vec<f32> = (0..dim).map(|i| gen(0x1b, i)).collect();
+            prop_assert_eq!(dot(&a, &b), dot_scalar(&a, &b));
+        }
+    }
+}

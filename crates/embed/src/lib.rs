@@ -16,6 +16,7 @@
 //! reproducible bit-for-bit.
 
 pub mod hashing;
+pub mod kernel;
 pub mod text_embed;
 pub mod token_embed;
 pub mod tuple_embed;
@@ -24,4 +25,4 @@ pub mod vector;
 pub use text_embed::{TextEmbedder, TextEmbedderConfig};
 pub use token_embed::TokenEmbedder;
 pub use tuple_embed::TupleEmbedder;
-pub use vector::Vector;
+pub use vector::{NormedVector, Vector};

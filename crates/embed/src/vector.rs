@@ -32,18 +32,32 @@ impl Vector {
         &mut self.0
     }
 
-    /// Dot product. Panics in debug builds on dimension mismatch.
+    /// Dot product via the chunked 8-lane kernel. Panics in debug builds on
+    /// dimension mismatch.
     pub fn dot(&self, other: &Vector) -> f32 {
         debug_assert_eq!(self.dim(), other.dim());
-        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
+        crate::kernel::dot(&self.0, &other.0)
     }
 
-    /// Euclidean norm.
+    /// Dot product of two unit (or zero) vectors — their cosine similarity
+    /// with zero normalization work. The caller owns the unit-norm
+    /// invariant (debug builds check it); the embedders emit unit vectors
+    /// by construction and the vector indexes normalize on `add`/load.
+    pub fn dot_unit(&self, other: &Vector) -> f32 {
+        debug_assert_eq!(self.dim(), other.dim());
+        crate::kernel::dot_unit(&self.0, &other.0)
+    }
+
+    /// Euclidean norm (fused chunked self-dot).
     pub fn norm(&self) -> f32 {
-        self.dot(self).sqrt()
+        crate::kernel::norm(&self.0)
     }
 
     /// Cosine similarity; 0 when either vector is zero.
+    ///
+    /// Re-derives both operand norms on every call (three passes over the
+    /// data). Hot paths should either enforce the unit-norm invariant and
+    /// call [`Vector::dot_unit`], or cache norms with [`NormedVector`].
     pub fn cosine(&self, other: &Vector) -> f32 {
         let denom = self.norm() * other.norm();
         if denom == 0.0 {
@@ -78,6 +92,58 @@ impl Vector {
         debug_assert_eq!(self.dim(), other.dim());
         for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
             *a += scale * b;
+        }
+    }
+}
+
+/// A vector with its Euclidean norm computed once and cached, so repeated
+/// cosine comparisons against it never re-derive the norm.
+///
+/// This is the representation for a *query* scored against many candidates
+/// when the unit-norm invariant cannot be assumed: one norm pass up front,
+/// then each comparison is a single fused dot plus one divide.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormedVector {
+    vector: Vector,
+    norm: f32,
+}
+
+impl NormedVector {
+    /// Wrap a vector, computing its norm once.
+    pub fn new(vector: Vector) -> NormedVector {
+        let norm = vector.norm();
+        NormedVector { vector, norm }
+    }
+
+    /// The wrapped vector.
+    pub fn vector(&self) -> &Vector {
+        &self.vector
+    }
+
+    /// The cached norm.
+    pub fn norm(&self) -> f32 {
+        self.norm
+    }
+
+    /// Cosine against another cached-norm vector: one dot, zero norm passes.
+    pub fn cosine(&self, other: &NormedVector) -> f32 {
+        let denom = self.norm * other.norm;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.vector.dot(&other.vector) / denom
+        }
+    }
+
+    /// Cosine against a **unit (or zero)** vector: one dot plus one divide
+    /// by the cached norm. Only `unit` must satisfy the unit-norm invariant;
+    /// the wrapped vector may have any length.
+    pub fn cosine_unit(&self, unit: &Vector) -> f32 {
+        debug_assert!(crate::kernel::is_unit_or_zero(unit.as_slice()));
+        if self.norm == 0.0 {
+            0.0
+        } else {
+            self.vector.dot(unit) / self.norm
         }
     }
 }
@@ -145,5 +211,33 @@ mod tests {
         let mut a = Vector::zeros(2);
         a.add_scaled(&Vector::from_vec(vec![1.0, 2.0]), 0.5);
         assert_eq!(a.as_slice(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn dot_unit_equals_cosine_on_unit_vectors() {
+        let mut a = Vector::from_vec(vec![0.3, -0.7, 0.2, 0.9, -0.1, 0.4, 0.8, -0.5, 0.6]);
+        let mut b = Vector::from_vec(vec![-0.1, 0.9, 0.4, -0.3, 0.7, 0.2, -0.6, 0.5, 0.1]);
+        a.normalize();
+        b.normalize();
+        assert!((a.dot_unit(&b) - a.cosine(&b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normed_vector_caches_norm_and_matches_cosine() {
+        let a = Vector::from_vec(vec![3.0, 4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+        let b = Vector::from_vec(vec![1.0, 2.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.5]);
+        let na = NormedVector::new(a.clone());
+        let nb = NormedVector::new(b.clone());
+        assert_eq!(na.norm(), a.norm());
+        assert!((na.cosine(&nb) - a.cosine(&b)).abs() < 1e-6);
+        // Unit path agrees too.
+        let mut bu = b.clone();
+        bu.normalize();
+        assert!((na.cosine_unit(&bu) - a.cosine(&b)).abs() < 1e-6);
+        // Zero vectors stay well-defined.
+        let z = NormedVector::new(Vector::zeros(9));
+        assert_eq!(z.cosine(&na), 0.0);
+        assert_eq!(z.cosine_unit(&bu), 0.0);
+        assert_eq!(na.cosine_unit(&Vector::zeros(9)), 0.0);
     }
 }

@@ -188,7 +188,7 @@ impl InvertedIndex {
     /// Serialize the index into a versioned binary snapshot.
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(64 + self.ids.len() * 16);
-        persist::put_header(&mut buf, SnapshotKind::Inverted);
+        persist::put_header(&mut buf, SnapshotKind::Inverted, 0);
         let cfg = self.analyzer.config();
         buf.put_u8(cfg.lowercase as u8);
         buf.put_u8(cfg.remove_stopwords as u8);

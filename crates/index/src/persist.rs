@@ -12,8 +12,16 @@ use verifai_lake::InstanceId;
 
 /// Magic prefix of every snapshot.
 pub const MAGIC: &[u8; 4] = b"VFAI";
-/// Current format version.
-pub const VERSION: u8 = 1;
+/// Current format version. Version 2 appends a flags byte to the header;
+/// version-1 snapshots (no flags byte) are still decoded, with all flags
+/// treated as unset.
+pub const VERSION: u8 = 2;
+/// Header flag: every stored vector is unit-normalized, so similarity is a
+/// single fused dot. Vector snapshots without this flag are migrated by
+/// normalizing on load — never silently mis-scored.
+pub const FLAG_UNIT_NORM: u8 = 1;
+/// All flag bits any decoder understands; unknown bits are a typed error.
+const KNOWN_FLAGS: u8 = FLAG_UNIT_NORM;
 
 /// Snapshot kind tags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +54,8 @@ pub enum PersistError {
     BadUtf8,
     /// An enum tag is out of range.
     BadTag(u8),
+    /// The header carries flag bits this decoder does not understand.
+    BadFlags(u8),
 }
 
 impl fmt::Display for PersistError {
@@ -59,21 +69,29 @@ impl fmt::Display for PersistError {
             }
             PersistError::BadUtf8 => write!(f, "snapshot contains invalid UTF-8"),
             PersistError::BadTag(t) => write!(f, "snapshot contains invalid tag {t}"),
+            PersistError::BadFlags(bits) => {
+                write!(f, "snapshot carries unknown header flags {bits:#04x}")
+            }
         }
     }
 }
 
 impl std::error::Error for PersistError {}
 
-/// Write the snapshot header.
-pub(crate) fn put_header(buf: &mut BytesMut, kind: SnapshotKind) {
+/// Write the (version 2) snapshot header: magic, version, kind, flags.
+pub(crate) fn put_header(buf: &mut BytesMut, kind: SnapshotKind, flags: u8) {
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
     buf.put_u8(kind as u8);
+    buf.put_u8(flags);
 }
 
-/// Check and consume the snapshot header.
-pub(crate) fn check_header(buf: &mut Bytes, kind: SnapshotKind) -> Result<(), PersistError> {
+/// Check and consume the snapshot header, returning its flags byte.
+///
+/// Accepts version 1 (pre-flags) snapshots — their flags decode as `0`, so
+/// vector decoders see the unit-norm invariant as *not* guaranteed and
+/// migrate by normalizing. Unknown flag bits are rejected outright.
+pub(crate) fn check_header(buf: &mut Bytes, kind: SnapshotKind) -> Result<u8, PersistError> {
     if buf.remaining() < 6 {
         return Err(PersistError::Truncated);
     }
@@ -83,7 +101,7 @@ pub(crate) fn check_header(buf: &mut Bytes, kind: SnapshotKind) -> Result<(), Pe
         return Err(PersistError::BadMagic);
     }
     let version = buf.get_u8();
-    if version != VERSION {
+    if version != 1 && version != VERSION {
         return Err(PersistError::BadVersion(version));
     }
     let got = buf.get_u8();
@@ -93,7 +111,11 @@ pub(crate) fn check_header(buf: &mut Bytes, kind: SnapshotKind) -> Result<(), Pe
             got,
         });
     }
-    Ok(())
+    let flags = if version >= 2 { get_u8(buf)? } else { 0 };
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(PersistError::BadFlags(flags));
+    }
+    Ok(flags)
 }
 
 /// Encode a string as `u32 length + UTF-8 bytes`.
@@ -184,9 +206,12 @@ mod tests {
     #[test]
     fn header_roundtrip_and_mismatch() {
         let mut buf = BytesMut::new();
-        put_header(&mut buf, SnapshotKind::Inverted);
+        put_header(&mut buf, SnapshotKind::Inverted, FLAG_UNIT_NORM);
         let mut b = buf.clone().freeze();
-        assert!(check_header(&mut b, SnapshotKind::Inverted).is_ok());
+        assert_eq!(
+            check_header(&mut b, SnapshotKind::Inverted),
+            Ok(FLAG_UNIT_NORM)
+        );
         let mut b = buf.freeze();
         assert_eq!(
             check_header(&mut b, SnapshotKind::Hnsw),
@@ -194,6 +219,34 @@ mod tests {
                 expected: 3,
                 got: 1
             })
+        );
+    }
+
+    #[test]
+    fn version_one_headers_decode_with_zero_flags() {
+        // A pre-invariant header: magic, version 1, kind — no flags byte.
+        let mut b = Bytes::from_static(b"VFAI\x01\x02");
+        assert_eq!(check_header(&mut b, SnapshotKind::Flat), Ok(0));
+        assert_eq!(b.remaining(), 0, "v1 header consumes exactly six bytes");
+    }
+
+    #[test]
+    fn unknown_flags_and_versions_rejected() {
+        let mut b = Bytes::from_static(b"VFAI\x02\x02\x80");
+        assert_eq!(
+            check_header(&mut b, SnapshotKind::Flat),
+            Err(PersistError::BadFlags(0x80))
+        );
+        let mut b = Bytes::from_static(b"VFAI\x03\x02\x00");
+        assert_eq!(
+            check_header(&mut b, SnapshotKind::Flat),
+            Err(PersistError::BadVersion(3))
+        );
+        // A v2 header truncated before its flags byte.
+        let mut b = Bytes::from_static(b"VFAI\x02\x02");
+        assert_eq!(
+            check_header(&mut b, SnapshotKind::Flat),
+            Err(PersistError::Truncated)
         );
     }
 

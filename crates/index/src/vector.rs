@@ -1,17 +1,37 @@
 //! Semantic (vector) indexes: exact flat scan and HNSW approximate search.
 //!
-//! These are the Faiss / pgvector substitutes. Both index unit-normalized
-//! embedding vectors under [`InstanceId`]s and return cosine-similarity-ranked
-//! hits. [`FlatIndex`] is exact (and the recall reference); [`HnswIndex`] is the
+//! These are the Faiss / pgvector substitutes. Both index embedding vectors
+//! under [`InstanceId`]s and return cosine-similarity-ranked hits.
+//! [`FlatIndex`] is exact (and the recall reference); [`HnswIndex`] is the
 //! approximate graph index real deployments use at the paper's corpus scale.
+//!
+//! ## The unit-norm invariant
+//!
+//! Both indexes **normalize every vector on `add`** (and on snapshot load,
+//! when the snapshot does not already carry the
+//! [`persist::FLAG_UNIT_NORM`] guarantee). With every stored vector unit,
+//! cosine similarity degenerates to a single fused dot product
+//! ([`Vector::dot_unit`]) — one pass over the data instead of the three a
+//! raw `cosine` costs — for the flat scan and for every distance evaluated
+//! during HNSW construction and search. Queries are normalized once at the
+//! search (or insert) entry point. Scores are unchanged up to float
+//! normalization error (≤ ~1e-6 for the already-unit embedder outputs).
 
 use crate::hit::{sort_hits, SearchHit};
-use crate::persist::{self, PersistError, SnapshotKind};
+use crate::persist::{self, PersistError, SnapshotKind, FLAG_UNIT_NORM};
 use bytes::{BufMut, Bytes, BytesMut};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 use verifai_embed::Vector;
 use verifai_lake::InstanceId;
+
+/// A unit-length copy of `query` (zero stays zero): the one normalization
+/// a search pays, after which every candidate comparison is a single dot.
+fn unit_query(query: &Vector) -> Vector {
+    let mut q = query.clone();
+    q.normalize();
+    q
+}
 
 /// Common interface of the semantic indexes.
 pub trait VectorIndex {
@@ -73,8 +93,12 @@ impl Ord for MinEntry {
 impl FlatIndex {
     /// Serialize the index into a versioned binary snapshot.
     pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(64 + self.ids.len() * 16);
-        persist::put_header(&mut buf, SnapshotKind::Flat);
+        // Each entry is a 9-byte id plus a length-prefixed vector; sizing by
+        // the real payload (not just the ids) makes the encode allocation-free
+        // after this reserve.
+        let dim = self.vectors.first().map(|v| v.dim()).unwrap_or(0);
+        let mut buf = BytesMut::with_capacity(16 + self.ids.len() * (13 + dim * 4));
+        persist::put_header(&mut buf, SnapshotKind::Flat, FLAG_UNIT_NORM);
         buf.put_u32_le(self.ids.len() as u32);
         for (id, v) in self.ids.iter().zip(self.vectors.iter()) {
             persist::put_instance_id(&mut buf, *id);
@@ -84,14 +108,22 @@ impl FlatIndex {
     }
 
     /// Reconstruct an index from a snapshot produced by [`Self::to_bytes`].
+    ///
+    /// Version-1 snapshots (and any snapshot without
+    /// [`persist::FLAG_UNIT_NORM`]) predate the unit-norm invariant; their
+    /// vectors are migrated by normalizing on load, never silently mis-scored.
     pub fn from_bytes(mut buf: Bytes) -> Result<FlatIndex, PersistError> {
-        persist::check_header(&mut buf, SnapshotKind::Flat)?;
+        let flags = persist::check_header(&mut buf, SnapshotKind::Flat)?;
         let n = persist::get_u32(&mut buf)? as usize;
         let mut ids = Vec::with_capacity(n);
         let mut vectors = Vec::with_capacity(n);
         for _ in 0..n {
             ids.push(persist::get_instance_id(&mut buf)?);
-            vectors.push(get_vector(&mut buf)?);
+            let mut v = get_vector(&mut buf)?;
+            if flags & FLAG_UNIT_NORM == 0 {
+                v.normalize();
+            }
+            vectors.push(v);
         }
         Ok(FlatIndex { ids, vectors })
     }
@@ -116,7 +148,8 @@ fn get_vector(buf: &mut Bytes) -> Result<Vector, PersistError> {
 }
 
 impl VectorIndex for FlatIndex {
-    fn add(&mut self, id: InstanceId, vector: Vector) {
+    fn add(&mut self, id: InstanceId, mut vector: Vector) {
+        vector.normalize();
         self.ids.push(id);
         self.vectors.push(vector);
     }
@@ -125,9 +158,10 @@ impl VectorIndex for FlatIndex {
         if k == 0 {
             return Vec::new();
         }
+        let q = unit_query(query);
         let mut heap: BinaryHeap<MinEntry> = BinaryHeap::with_capacity(k + 1);
         for (ord, v) in self.vectors.iter().enumerate() {
-            let score = v.cosine(query) as f64;
+            let score = v.dot_unit(&q) as f64;
             heap.push(MinEntry { score, ord });
             if heap.len() > k {
                 heap.pop();
@@ -174,12 +208,23 @@ impl Default for HnswConfig {
     }
 }
 
+/// One directed HNSW edge with the endpoint distance cached at creation
+/// time. Stored vectors are immutable (and unit), so the cache is exact:
+/// `connect`'s back-link prune sorts on it instead of cloning the node's
+/// vector and re-scoring every neighbour. Snapshots store only the ordinal;
+/// distances are re-derived on load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Neighbor {
+    ord: u32,
+    dist: f64,
+}
+
 #[derive(Debug)]
 struct HnswNode {
     id: InstanceId,
     vector: Vector,
     /// Adjacency per layer; `neighbors[l]` exists for l <= node level.
-    neighbors: Vec<Vec<u32>>,
+    neighbors: Vec<Vec<Neighbor>>,
 }
 
 /// Hierarchical Navigable Small World graph over cosine similarity.
@@ -207,9 +252,11 @@ impl HnswIndex {
         HnswIndex::new(HnswConfig::default())
     }
 
-    /// Cosine *distance* (1 - similarity): lower is closer.
+    /// Cosine *distance* (1 - similarity): lower is closer. A single fused
+    /// dot — both operands are unit by the index invariant (`q` must be
+    /// pre-normalized by the caller, which `add`/`search` guarantee).
     fn dist(&self, a: u32, q: &Vector) -> f64 {
-        1.0 - self.nodes[a as usize].vector.cosine(q) as f64
+        1.0 - self.nodes[a as usize].vector.dot_unit(q) as f64
     }
 
     /// Deterministic geometric level for the `ord`-th insertion.
@@ -231,10 +278,10 @@ impl HnswIndex {
         let mut cur_d = self.dist(cur, q);
         loop {
             let mut improved = false;
-            for &n in &self.nodes[cur as usize].neighbors[layer] {
-                let d = self.dist(n, q);
+            for e in &self.nodes[cur as usize].neighbors[layer] {
+                let d = self.dist(e.ord, q);
                 if d < cur_d {
-                    cur = n;
+                    cur = e.ord;
                     cur_d = d;
                     improved = true;
                 }
@@ -271,21 +318,21 @@ impl HnswIndex {
             if c.dist > worst && results.len() >= ef {
                 break;
             }
-            for &n in &self.nodes[c.ord as usize].neighbors[layer] {
-                if !visited.insert(n) {
+            for e in &self.nodes[c.ord as usize].neighbors[layer] {
+                if !visited.insert(e.ord) {
                     continue;
                 }
-                let d = self.dist(n, q);
+                let d = self.dist(e.ord, q);
                 let worst = results.peek().map(|r| r.dist).unwrap_or(f64::INFINITY);
                 if results.len() < ef || d < worst {
                     candidates.push(CandEntry {
                         dist: d,
-                        ord: n,
+                        ord: e.ord,
                         min_first: true,
                     });
                     results.push(CandEntry {
                         dist: d,
-                        ord: n,
+                        ord: e.ord,
                         min_first: false,
                     });
                     if results.len() > ef {
@@ -301,30 +348,32 @@ impl HnswIndex {
 
     /// Connect `node` to the closest `max_conn` of `candidates` at `layer`,
     /// and back-link with pruning.
+    ///
+    /// The `search_layer` distances ride along into the edge cache, and the
+    /// back-link reuses them (the fused dot is symmetric), so pruning a
+    /// neighbour's over-full list is a sort over cached values: no vector
+    /// clone, no re-scoring of edges that were already scored when created.
     fn connect(&mut self, node: u32, candidates: &[(f64, u32)], layer: usize, max_conn: usize) {
-        let selected: Vec<u32> = candidates
+        let selected: Vec<Neighbor> = candidates
             .iter()
             .take(max_conn)
-            .map(|&(_, o)| o)
-            .filter(|&o| o != node)
+            .filter(|&&(_, o)| o != node)
+            .map(|&(dist, ord)| Neighbor { ord, dist })
             .collect();
         self.nodes[node as usize].neighbors[layer] = selected.clone();
-        for &n in &selected {
-            let nv = &mut self.nodes[n as usize].neighbors[layer];
-            if !nv.contains(&node) {
-                nv.push(node);
+        for e in &selected {
+            let nv = &mut self.nodes[e.ord as usize].neighbors[layer];
+            if nv.iter().any(|x| x.ord == node) {
+                continue;
             }
+            nv.push(Neighbor {
+                ord: node,
+                dist: e.dist,
+            });
             if nv.len() > max_conn {
-                // Prune: keep the max_conn closest neighbours of n.
-                let nvec = self.nodes[n as usize].vector.clone();
-                let mut with_d: Vec<(f64, u32)> = self.nodes[n as usize].neighbors[layer]
-                    .iter()
-                    .map(|&o| (1.0 - self.nodes[o as usize].vector.cosine(&nvec) as f64, o))
-                    .collect();
-                with_d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
-                with_d.truncate(max_conn);
-                self.nodes[n as usize].neighbors[layer] =
-                    with_d.into_iter().map(|(_, o)| o).collect();
+                // Prune: keep the max_conn closest neighbours of e.ord.
+                nv.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap_or(Ordering::Equal));
+                nv.truncate(max_conn);
             }
         }
     }
@@ -364,10 +413,20 @@ impl Ord for CandEntry {
 
 impl HnswIndex {
     /// Serialize the graph into a versioned binary snapshot. Reloading is
-    /// orders of magnitude faster than re-inserting at lake scale.
+    /// orders of magnitude faster than re-inserting at lake scale. Edge
+    /// distances are not serialized — they are a cache, re-derived on load.
     pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(128 + self.nodes.len() * 64);
-        persist::put_header(&mut buf, SnapshotKind::Hnsw);
+        // Exact payload size: 9-byte id + length-prefixed vector + per-layer
+        // length-prefixed ordinal lists for every node.
+        let payload: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                17 + n.vector.dim() * 4 + n.neighbors.iter().map(|l| 4 + 4 * l.len()).sum::<usize>()
+            })
+            .sum();
+        let mut buf = BytesMut::with_capacity(48 + payload);
+        persist::put_header(&mut buf, SnapshotKind::Hnsw, FLAG_UNIT_NORM);
         buf.put_u32_le(self.config.m as u32);
         buf.put_u32_le(self.config.ef_construction as u32);
         buf.put_u32_le(self.config.ef_search as u32);
@@ -387,8 +446,8 @@ impl HnswIndex {
             buf.put_u32_le(node.neighbors.len() as u32);
             for layer in &node.neighbors {
                 buf.put_u32_le(layer.len() as u32);
-                for &n in layer {
-                    buf.put_u32_le(n);
+                for e in layer {
+                    buf.put_u32_le(e.ord);
                 }
             }
         }
@@ -396,8 +455,12 @@ impl HnswIndex {
     }
 
     /// Reconstruct the graph from a snapshot produced by [`Self::to_bytes`].
+    ///
+    /// Version-1 snapshots (no [`persist::FLAG_UNIT_NORM`]) are migrated by
+    /// normalizing every vector on load; edge distances are then re-derived
+    /// from the (unit) vectors either way.
     pub fn from_bytes(mut buf: Bytes) -> Result<HnswIndex, PersistError> {
-        persist::check_header(&mut buf, SnapshotKind::Hnsw)?;
+        let flags = persist::check_header(&mut buf, SnapshotKind::Hnsw)?;
         let m = persist::get_u32(&mut buf)? as usize;
         let ef_construction = persist::get_u32(&mut buf)? as usize;
         let ef_search = persist::get_u32(&mut buf)? as usize;
@@ -412,14 +475,21 @@ impl HnswIndex {
         let mut nodes = Vec::with_capacity(n);
         for _ in 0..n {
             let id = persist::get_instance_id(&mut buf)?;
-            let vector = get_vector(&mut buf)?;
+            let mut vector = get_vector(&mut buf)?;
+            if flags & FLAG_UNIT_NORM == 0 {
+                vector.normalize();
+            }
             let n_layers = persist::get_u32(&mut buf)? as usize;
             let mut neighbors = Vec::with_capacity(n_layers);
             for _ in 0..n_layers {
                 let len = persist::get_u32(&mut buf)? as usize;
                 let mut layer = Vec::with_capacity(len);
                 for _ in 0..len {
-                    layer.push(persist::get_u32(&mut buf)?);
+                    let ord = persist::get_u32(&mut buf)?;
+                    if ord as usize >= n {
+                        return Err(PersistError::BadTag(ord as u8));
+                    }
+                    layer.push(Neighbor { ord, dist: 0.0 });
                 }
                 neighbors.push(layer);
             }
@@ -428,6 +498,17 @@ impl HnswIndex {
                 vector,
                 neighbors,
             });
+        }
+        // Re-derive the cached edge distances from the (now unit) vectors.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..nodes.len() {
+            for l in 0..nodes[i].neighbors.len() {
+                for j in 0..nodes[i].neighbors[l].len() {
+                    let o = nodes[i].neighbors[l][j].ord as usize;
+                    let d = 1.0 - nodes[i].vector.dot_unit(&nodes[o].vector) as f64;
+                    nodes[i].neighbors[l][j].dist = d;
+                }
+            }
         }
         Ok(HnswIndex {
             config: HnswConfig {
@@ -444,7 +525,8 @@ impl HnswIndex {
 }
 
 impl VectorIndex for HnswIndex {
-    fn add(&mut self, id: InstanceId, vector: Vector) {
+    fn add(&mut self, id: InstanceId, mut vector: Vector) {
+        vector.normalize();
         let ord = self.nodes.len() as u32;
         let level = self.draw_level(ord as usize);
         self.nodes.push(HnswNode {
@@ -452,6 +534,7 @@ impl VectorIndex for HnswIndex {
             vector,
             neighbors: vec![Vec::new(); level + 1],
         });
+        // Already unit: every `dist` during construction is a single dot.
         let q = self.nodes[ord as usize].vector.clone();
 
         let Some(mut entry) = self.entry else {
@@ -490,11 +573,12 @@ impl VectorIndex for HnswIndex {
         if k == 0 {
             return Vec::new();
         }
+        let q = unit_query(query);
         for l in (1..=self.max_level).rev() {
-            entry = self.greedy_at_layer(entry, query, l);
+            entry = self.greedy_at_layer(entry, &q, l);
         }
         let ef = self.config.ef_search.max(k);
-        let found = self.search_layer(entry, query, 0, ef);
+        let found = self.search_layer(entry, &q, 0, ef);
         let mut hits: Vec<SearchHit> = found
             .into_iter()
             .take(k)
@@ -672,6 +756,109 @@ mod tests {
     fn snapshot_garbage_rejected() {
         assert!(FlatIndex::from_bytes(bytes::Bytes::from_static(b"nah")).is_err());
         assert!(HnswIndex::from_bytes(bytes::Bytes::from_static(b"VFAI\x01\x02")).is_err());
+    }
+
+    #[test]
+    fn add_normalizes_to_unit_invariant() {
+        // A vector and its scaled copy index identically: `add` owns the
+        // unit-norm invariant, so scores are cosines, not raw dots.
+        let mut a = FlatIndex::new();
+        let mut b = FlatIndex::new();
+        a.add(tid(0), Vector::from_vec(vec![3.0, 4.0, 0.0]));
+        b.add(tid(0), Vector::from_vec(vec![30.0, 40.0, 0.0]));
+        let q = Vector::from_vec(vec![1.0, 1.0, 0.0]);
+        let ha = a.search(&q, 1);
+        let hb = b.search(&q, 1);
+        assert_eq!(ha, hb);
+        let expect = Vector::from_vec(vec![3.0, 4.0, 0.0]).cosine(&q) as f64;
+        assert!((ha[0].score - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn v1_flat_snapshot_migrates_by_normalizing() {
+        // Hand-encode a version-1 Flat snapshot (no flags byte) holding a
+        // deliberately non-unit vector, as the pre-invariant encoder could.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"VFAI\x01");
+        buf.put_u8(SnapshotKind::Flat as u8);
+        buf.put_u32_le(1);
+        persist::put_instance_id(&mut buf, tid(7));
+        put_vector(&mut buf, &Vector::from_vec(vec![3.0, 4.0]));
+        let idx = FlatIndex::from_bytes(buf.freeze()).unwrap();
+        let hits = idx.search(&Vector::from_vec(vec![1.0, 0.0]), 1);
+        assert_eq!(hits[0].id, tid(7));
+        // cosine([3,4],[1,0]) = 0.6; an unmigrated raw dot would score 3.0.
+        assert!(
+            (hits[0].score - 0.6).abs() < 1e-6,
+            "migrated vector must be normalized, got score {}",
+            hits[0].score
+        );
+    }
+
+    #[test]
+    fn v1_hnsw_snapshot_migrates_by_normalizing() {
+        // Minimal version-1 graph: one level-0 node with a non-unit vector.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"VFAI\x01");
+        buf.put_u8(SnapshotKind::Hnsw as u8);
+        buf.put_u32_le(16); // m
+        buf.put_u32_le(100); // ef_construction
+        buf.put_u32_le(64); // ef_search
+        buf.put_u64_le(0x9e37); // seed
+        buf.put_u32_le(0); // max_level
+        buf.put_u8(1);
+        buf.put_u32_le(0); // entry = node 0
+        buf.put_u32_le(1); // node count
+        persist::put_instance_id(&mut buf, tid(5));
+        put_vector(&mut buf, &Vector::from_vec(vec![0.0, 3.0, 4.0]));
+        buf.put_u32_le(1); // one layer
+        buf.put_u32_le(0); // no neighbours
+        let idx = HnswIndex::from_bytes(buf.freeze()).unwrap();
+        let hits = idx.search(&Vector::from_vec(vec![0.0, 1.0, 0.0]), 1);
+        assert_eq!(hits[0].id, tid(5));
+        assert!(
+            (hits[0].score - 0.6).abs() < 1e-6,
+            "migrated vector must be normalized, got score {}",
+            hits[0].score
+        );
+    }
+
+    #[test]
+    fn v1_hnsw_snapshot_body_decodes_identically() {
+        // The v2 body is byte-for-byte the v1 body; only the header differs.
+        // A real pre-invariant snapshot (unit vectors, same graph wire
+        // format) must reload to an equivalent graph.
+        let e = TextEmbedder::with_seed(11);
+        let mut hnsw = HnswIndex::with_defaults();
+        for (id, v) in corpus() {
+            hnsw.add(id, v);
+        }
+        let v2 = hnsw.to_bytes();
+        let mut v1 = BytesMut::new();
+        v1.put_slice(b"VFAI\x01");
+        v1.put_u8(v2[5]); // kind
+        v1.put_slice(&v2[7..]); // body, minus the v2 flags byte
+        let old = HnswIndex::from_bytes(v1.freeze()).unwrap();
+        let q = e.embed("championship season");
+        assert_eq!(old.search(&q, 4), hnsw.search(&q, 4));
+    }
+
+    #[test]
+    fn unknown_snapshot_flags_rejected_not_misscored() {
+        let mut flat = FlatIndex::new();
+        flat.add(tid(0), Vector::from_vec(vec![1.0, 0.0]));
+        let good = flat.to_bytes();
+        let mut bad = good.to_vec();
+        bad[6] |= 0x40; // a flag bit this decoder does not understand
+        assert_eq!(
+            FlatIndex::from_bytes(Bytes::from(bad.clone())).unwrap_err(),
+            PersistError::BadFlags(FLAG_UNIT_NORM | 0x40)
+        );
+        bad[5] = SnapshotKind::Hnsw as u8;
+        assert_eq!(
+            HnswIndex::from_bytes(Bytes::from(bad)).unwrap_err(),
+            PersistError::BadFlags(FLAG_UNIT_NORM | 0x40)
+        );
     }
 
     #[test]

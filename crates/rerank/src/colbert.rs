@@ -44,7 +44,10 @@ impl ColbertReranker {
         for q in query {
             let mut best = f64::NEG_INFINITY;
             for d in doc {
-                let s = q.dot(d) as f64; // unit vectors: dot = cosine
+                // Token embeddings are unit by construction (property-tested
+                // in tests/properties.rs), so the fused dot IS the cosine —
+                // debug builds enforce what used to be a comment.
+                let s = q.dot_unit(d) as f64;
                 if s > best {
                     best = s;
                 }

@@ -89,10 +89,11 @@ impl TableReranker {
         let lexical = w.caption * containment(&claim_terms, &caption_terms)
             + w.header * containment(&claim_terms, &header_terms)
             + w.cells * containment(&claim_terms, &cell_terms);
+        // Embedder output is unit by construction: fused dot = cosine.
         let dense = self
             .embedder
             .embed(claim_text)
-            .cosine(&self.embedder.embed(&verifai_text::serialize_table(table)))
+            .dot_unit(&self.embedder.embed(&verifai_text::serialize_table(table)))
             as f64;
         lexical + w.dense * dense.max(0.0)
     }

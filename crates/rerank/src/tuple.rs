@@ -70,10 +70,11 @@ impl TupleReranker {
                 / keys.len() as f64
         };
         let agreement = query.agreement(candidate).unwrap_or(0.0);
+        // Tuple embeddings are unit by construction: fused dot = cosine.
         let dense = (self
             .embedder
             .embed(query)
-            .cosine(&self.embedder.embed(candidate)) as f64)
+            .dot_unit(&self.embedder.embed(candidate)) as f64)
             .max(0.0);
         w.schema * schema + w.key * key + w.agreement * agreement + w.dense * dense
     }
@@ -90,7 +91,7 @@ impl Reranker for TupleReranker {
             // between the claim text and the candidate tuple.
             DataObject::TextClaim(c) => {
                 let q = self.embedder.embed_text(&c.text);
-                (q.cosine(&self.embedder.embed(candidate)) as f64).max(0.0)
+                (q.dot_unit(&self.embedder.embed(candidate)) as f64).max(0.0)
             }
         }
     }

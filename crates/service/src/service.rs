@@ -211,6 +211,7 @@ impl VerificationService {
             failed: self.inner.failed.load(Ordering::SeqCst),
             queue_depth: self.pool.queue_len(),
             in_flight: self.inner.in_flight.load(Ordering::SeqCst),
+            index_build_ns: self.inner.system.build_stats().index_ns,
             stages: *self.inner.stages.lock(),
             cache: self
                 .inner

@@ -57,6 +57,10 @@ pub struct ServiceStats {
     pub queue_depth: usize,
     /// Requests dequeued and being processed right now.
     pub in_flight: usize,
+    /// Wall time [`verifai::VerifAi::build`] spent constructing the lake
+    /// indexes this service answers from (a one-off start-up cost, not a
+    /// per-request stage).
+    pub index_build_ns: u64,
     /// Evidence-cache counters (all zero when caching is disabled).
     pub cache: CacheStats,
     /// Per-stage time and candidate totals across completed requests.
@@ -108,6 +112,11 @@ impl fmt::Display for ServiceStats {
             Duration::from_nanos(self.stages.verify_ns),
             self.stages.candidates_in,
             self.stages.candidates_out
+        )?;
+        writeln!(
+            f,
+            "startup:  index build {:?}",
+            Duration::from_nanos(self.index_build_ns)
         )?;
         write!(
             f,

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tiny-scale kernel/index benchmark smoke run.
+#
+# Runs the kernel_bench suite at VERIFAI_BENCH_SCALE=tiny, which exercises
+# the chunked dot kernel, flat scan, HNSW build, MaxSim, and the
+# sequential-vs-parallel lake index build, and writes BENCH_kernels.json
+# to the repository root.
+#
+# Numbers at tiny scale are smoke-level only — use small/paper scale on a
+# quiet multi-core host for reportable figures.
+# Usage: ./scripts/bench_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> kernel_bench (tiny scale)"
+VERIFAI_BENCH_SCALE=tiny cargo bench -q -p verifai-bench --bench kernel_bench
+
+echo "==> artifact:"
+cat BENCH_kernels.json

@@ -16,4 +16,9 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+# Non-gating: refresh the kernel benchmark artifact. Numbers are
+# smoke-level at tiny scale; failures here don't fail the gate.
+echo "==> bench smoke (non-gating)"
+./scripts/bench_smoke.sh || echo "bench smoke failed (non-gating)"
+
 echo "==> all checks passed"

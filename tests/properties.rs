@@ -100,6 +100,62 @@ proptest! {
         }
     }
 
+    /// Every embedder emits unit-norm (or zero) vectors for any seed and
+    /// input mix. The vector indexes' fused-dot scoring and the ColBERT
+    /// `dot_unit = cosine` identity both lean on this invariant, so it is
+    /// enforced here rather than assumed in a comment.
+    #[test]
+    fn embedders_emit_unit_vectors(seed in 0u64..10_000) {
+        use verifai_embed::{TextEmbedder, TokenEmbedder, TupleEmbedder, Vector};
+        use verifai_lake::{Column, DataType, Schema, Tuple, Value};
+
+        fn assert_unit(v: &Vector, what: &str) -> Result<(), TestCaseError> {
+            let n = v.norm();
+            prop_assert!(
+                n == 0.0 || (n - 1.0).abs() < 1e-4,
+                "{what}: norm {n} is neither 0 nor 1"
+            );
+            Ok(())
+        }
+
+        let words = [
+            "election", "district", "incumbent", "points", "champion",
+            "film", "actress", "bulls", "track", "yard", "1959", "ncaa",
+        ];
+        let pick = |i: u64| words[((seed.wrapping_mul(31).wrapping_add(i)) % words.len() as u64) as usize];
+        let text = format!("{} {} {} {} {}", pick(0), pick(1), pick(2), pick(3), pick(4));
+
+        let te = TextEmbedder::with_seed(seed);
+        assert_unit(&te.embed(&text), "text embed")?;
+        assert_unit(&te.embed(""), "text embed of empty input")?;
+
+        let tok = TokenEmbedder::new(64, seed);
+        assert_unit(&tok.embed_token(pick(5)), "token embed")?;
+        for (i, v) in tok.embed_text(&text).iter().enumerate() {
+            assert_unit(v, &format!("token {i} of embed_text"))?;
+        }
+
+        let tup = TupleEmbedder::new(128, seed);
+        assert_unit(&tup.embed_text(&text), "tuple embed_text")?;
+        let tuple = Tuple {
+            id: seed,
+            table: 0,
+            row_index: 0,
+            schema: Schema::new(vec![
+                Column::key("district", DataType::Text),
+                Column::new("points", DataType::Int),
+                Column::new("note", DataType::Text),
+            ]),
+            values: vec![
+                Value::text(pick(6)),
+                Value::Int((seed % 100) as i64),
+                Value::Null,
+            ],
+            source: 0,
+        };
+        assert_unit(&tup.embed(&tuple), "tuple embed")?;
+    }
+
     /// Verdict observations aggregate sanely: the trust-weighted decision is
     /// never an outcome that no verifier produced.
     #[test]
