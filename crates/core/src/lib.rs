@@ -71,3 +71,7 @@ pub use stages::{
 
 // Re-export the vocabulary types so downstream users need only this crate.
 pub use verifai_llm::{DataObject, ImputedCell, TextClaim, Verdict};
+
+// Observability vocabulary: clocks, traces, and metrics flow through every
+// layer, so surface them here alongside the pipeline types they annotate.
+pub use verifai_obs::{Clock, MockClock, ObsConfig, RequestTrace, SystemClock, TraceId};

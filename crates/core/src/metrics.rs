@@ -75,10 +75,9 @@ pub fn paper_correct(expected: Verdict, actual: Verdict, binary_verifier: bool) 
     binary_verifier && expected == Verdict::NotRelated && actual == Verdict::Refuted
 }
 
-/// Number of value buckets in a [`LatencyHistogram`]: 8 exact sub-8µs
-/// buckets plus 8 log-linear sub-buckets per power of two up to `u64::MAX`
-/// microseconds.
-const HISTOGRAM_BUCKETS: usize = 8 + 61 * 8;
+// Bucket layout shared with the lock-free `verifai_obs::Histogram`, so
+// snapshots of either histogram are comparable bucket for bucket.
+use verifai_obs::hist::{bucket_of, bucket_upper, BUCKETS as HISTOGRAM_BUCKETS};
 
 /// A fixed-size log-linear latency histogram (HdrHistogram-style, ~12.5%
 /// relative error per bucket) supporting quantile queries and merging.
@@ -112,26 +111,6 @@ impl std::fmt::Debug for LatencyHistogram {
             .field("p99", &self.quantile(0.99))
             .finish()
     }
-}
-
-fn bucket_of(micros: u64) -> usize {
-    if micros < 8 {
-        return micros as usize;
-    }
-    let msb = 63 - micros.leading_zeros() as u64; // >= 3
-    let sub = (micros >> (msb - 3)) & 7;
-    (8 + (msb - 3) * 8 + sub) as usize
-}
-
-/// Upper edge of a bucket — the value reported for quantiles landing in it,
-/// so quantile estimates never undershoot the recorded value's bucket.
-fn bucket_upper(bucket: usize) -> u64 {
-    if bucket < 8 {
-        return bucket as u64;
-    }
-    let msb = (bucket as u64 - 8) / 8 + 3;
-    let sub = (bucket as u64 - 8) % 8;
-    ((8 + sub + 1) << (msb - 3)) - 1
 }
 
 impl LatencyHistogram {

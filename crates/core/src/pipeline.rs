@@ -7,6 +7,8 @@
 //! trust model); the driver owns the stage discipline (instrumentation,
 //! provenance batching, deadline handling).
 
+use std::sync::Arc;
+
 use crate::config::VerifAiConfig;
 use crate::stages::{
     PipelineError, RerankStage, ScoreRerank, StagePlan, StageTiming, StagedPipeline,
@@ -21,6 +23,7 @@ use verifai_index::{
 };
 use verifai_lake::{DataInstance, DataLake, InstanceId, InstanceKind, SourceId};
 use verifai_llm::{DataObject, ImputedCell, SimLlm, TextClaim, Verdict};
+use verifai_obs::{ns_between, Clock, RequestTrace, SystemClock, TraceId};
 use verifai_rerank::composite::CompositeReranker;
 use verifai_text::Analyzer;
 use verifai_verify::{
@@ -58,6 +61,9 @@ pub struct VerificationReport {
     pub confidence: f64,
     /// Per-stage wall times and candidate counts for this run.
     pub timing: StageTiming,
+    /// Trace id the run executed under (0 = untraced). Like timing, this is
+    /// run bookkeeping, not semantics: excluded from report equality.
+    pub trace_id: TraceId,
 }
 
 /// Report equality is semantic — wall-clock [`StageTiming`] is excluded so
@@ -125,7 +131,18 @@ impl VerifAi {
     /// `config.build_threads` (0 = one per core) sets the worker count;
     /// with 1, every phase runs inline.
     pub fn build(generated: GeneratedLake, config: VerifAiConfig) -> VerifAi {
-        let build_start = std::time::Instant::now();
+        VerifAi::build_with_clock(generated, config, Arc::new(SystemClock))
+    }
+
+    /// [`VerifAi::build`] with an explicit [`Clock`]; the clock times the
+    /// build phases here and every pipeline stage afterwards. Tests inject
+    /// a [`verifai_obs::MockClock`] to make timings exact.
+    pub fn build_with_clock(
+        generated: GeneratedLake,
+        config: VerifAiConfig,
+        clock: Arc<dyn Clock>,
+    ) -> VerifAi {
+        let build_start = clock.now();
         let embedder = TextEmbedder::new(TextEmbedderConfig {
             dim: config.embed_dim,
             seed: config.seed ^ 0xe3bd,
@@ -138,7 +155,7 @@ impl VerifAi {
         } else {
             config.build_threads
         };
-        let index_start = std::time::Instant::now();
+        let index_start = clock.now();
 
         // Phase 1: per-modality content indexing + semantic entry collection.
         // Entry lists keep lake iteration order — the order a sequential
@@ -267,7 +284,7 @@ impl VerifAi {
                 .collect();
             crate::exec::run_scoped(threads.min(4), jobs);
         }
-        let index_ns = index_start.elapsed().as_nanos() as u64;
+        let index_ns = ns_between(index_start, clock.now());
 
         // Fuse each modality's indexes into one retrieval source. Content
         // comes before semantic: the Combiner's list order is the historical
@@ -306,16 +323,17 @@ impl VerifAi {
         );
         let trust =
             TrustModel::with_priors(generated.lake.sources().iter().map(|s| (s.id, s.trust)));
+        let wall_ns = ns_between(build_start, clock.now());
         VerifAi {
             generated,
             llm,
-            stages: StagedPipeline::new(sources, rerank_stage, Box::new(agent)),
+            stages: StagedPipeline::with_clock(sources, rerank_stage, Box::new(agent), clock),
             embedder: config.use_semantic_index.then_some(embedder),
             config,
             provenance: SharedProvenance::new(),
             trust,
             build_stats: BuildStats {
-                wall_ns: build_start.elapsed().as_nanos() as u64,
+                wall_ns,
                 index_ns,
                 embedded,
                 threads,
@@ -466,6 +484,16 @@ impl VerifAi {
         &self,
         object: &DataObject,
     ) -> (Vec<(DataInstance, f64)>, StageTiming) {
+        self.discover_evidence_traced(object, &mut RequestTrace::disabled())
+    }
+
+    /// [`VerifAi::discover_evidence_timed`] recording retrieval/rerank span
+    /// events into `trace` (no-ops when the trace is disabled).
+    pub fn discover_evidence_traced(
+        &self,
+        object: &DataObject,
+        trace: &mut RequestTrace,
+    ) -> (Vec<(DataInstance, f64)>, StageTiming) {
         let query = Self::query_of(object);
         let vector = self.embed_query(&query);
         let plan = self.stage_plans(object);
@@ -479,6 +507,7 @@ impl VerifAi {
             &plan,
             &self.generated.lake,
             &mut recorder,
+            trace,
         )
     }
 
@@ -506,8 +535,18 @@ impl VerifAi {
     /// Verify a generated data object end to end: discover evidence, verify
     /// each pair, and make the trust-weighted decision.
     pub fn verify_object(&self, object: &DataObject) -> VerificationReport {
-        let (evidence, timing) = self.discover_evidence_timed(object);
-        self.judge_and_decide(object, evidence, None, timing)
+        self.verify_object_traced(object, &mut RequestTrace::disabled())
+    }
+
+    /// [`VerifAi::verify_object`] under a request trace: every stage emits a
+    /// span event into `trace` and the report carries the trace id.
+    pub fn verify_object_traced(
+        &self,
+        object: &DataObject,
+        trace: &mut RequestTrace,
+    ) -> VerificationReport {
+        let (evidence, timing) = self.discover_evidence_traced(object, trace);
+        self.judge_and_decide(object, evidence, None, timing, trace)
     }
 
     /// Verify an object against already-discovered evidence (e.g. from a
@@ -532,8 +571,19 @@ impl VerifAi {
         evidence: Vec<(DataInstance, f64)>,
         deadline: Option<std::time::Instant>,
     ) -> VerificationReport {
+        self.verify_with_evidence_traced(object, evidence, deadline, &mut RequestTrace::disabled())
+    }
+
+    /// [`VerifAi::verify_with_evidence_until`] under a request trace.
+    pub fn verify_with_evidence_traced(
+        &self,
+        object: &DataObject,
+        evidence: Vec<(DataInstance, f64)>,
+        deadline: Option<std::time::Instant>,
+        trace: &mut RequestTrace,
+    ) -> VerificationReport {
         let timing = StageTiming::for_cached(evidence.len());
-        self.judge_and_decide(object, evidence, deadline, timing)
+        self.judge_and_decide(object, evidence, deadline, timing, trace)
     }
 
     /// The shared tail of every verification path: run the verify stage,
@@ -545,10 +595,13 @@ impl VerifAi {
         evidence: Vec<(DataInstance, f64)>,
         deadline: Option<std::time::Instant>,
         mut timing: StageTiming,
+        trace: &mut RequestTrace,
     ) -> VerificationReport {
         let planned = evidence.len();
         let mut recorder = StageRecorder::new(&self.provenance);
-        let outcome = self.stages.judge(object, evidence, deadline, &mut recorder);
+        let outcome = self
+            .stages
+            .judge(object, evidence, deadline, &mut recorder, trace);
         timing.verify_ns = outcome.verify_ns;
         let (decision, confidence) = if outcome.timed_out {
             (Verdict::Unknown, 0.0)
@@ -557,7 +610,7 @@ impl VerifAi {
         } else {
             TrustModel::new().decide(&outcome.observations)
         };
-        let note = if outcome.timed_out {
+        let mut note = if outcome.timed_out {
             format!(
                 "deadline exceeded after {} of {planned} evidence verdicts",
                 outcome.verdicts.len()
@@ -565,6 +618,11 @@ impl VerifAi {
         } else {
             format!("over {} evidence verdicts", outcome.verdicts.len())
         };
+        // Stamp the trace id into the decision lineage so a provenance
+        // record can be joined back to its flight-recorder trace.
+        if trace.is_enabled() {
+            note.push_str(&format!(" [trace {}]", trace.trace_id));
+        }
         recorder.record(ProvenanceRecord {
             object_id: object.id(),
             stage: Stage::Decision,
@@ -580,6 +638,7 @@ impl VerifAi {
             decision,
             confidence,
             timing,
+            trace_id: trace.trace_id,
         }
     }
 

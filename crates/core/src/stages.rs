@@ -19,12 +19,14 @@
 //!   resolves is recorded as a provenance note, and stale cached evidence
 //!   is a distinguishable error the service can react to.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::pipeline::EvidenceVerdict;
 use verifai_index::{EvidenceSource, SourceQuery};
 use verifai_lake::{DataInstance, DataLake, InstanceId, InstanceKind};
 use verifai_llm::DataObject;
+use verifai_obs::{ns_between, Clock, RequestTrace, SystemClock};
 use verifai_rerank::Reranker;
 use verifai_verify::{
     Agent, ProvenanceRecord, Stage, StageRecorder, VerdictObservation, VerifierOutput,
@@ -217,6 +219,10 @@ pub struct StagedPipeline {
     sources: [Box<dyn EvidenceSource>; 4],
     reranker: Box<dyn RerankStage>,
     verifier: Box<dyn VerifyStage>,
+    /// Stamps stage timings and checks deadlines. Production uses the
+    /// monotonic system clock; tests inject a `MockClock` so the timings
+    /// in reports are exact, assertable values.
+    clock: Arc<dyn Clock>,
 }
 
 /// The modality's slot in per-modality arrays.
@@ -230,17 +236,33 @@ pub(crate) fn slot(kind: InstanceKind) -> usize {
 }
 
 impl StagedPipeline {
-    /// Compose a pipeline from its stages.
+    /// Compose a pipeline from its stages, timed by the system clock.
     pub fn new(
         sources: [Box<dyn EvidenceSource>; 4],
         reranker: Box<dyn RerankStage>,
         verifier: Box<dyn VerifyStage>,
     ) -> StagedPipeline {
+        StagedPipeline::with_clock(sources, reranker, verifier, Arc::new(SystemClock))
+    }
+
+    /// Compose a pipeline with an explicit [`Clock`] (deterministic tests).
+    pub fn with_clock(
+        sources: [Box<dyn EvidenceSource>; 4],
+        reranker: Box<dyn RerankStage>,
+        verifier: Box<dyn VerifyStage>,
+        clock: Arc<dyn Clock>,
+    ) -> StagedPipeline {
         StagedPipeline {
             sources,
             reranker,
             verifier,
+            clock,
         }
+    }
+
+    /// The clock timing this pipeline's stages.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// The retrieval source serving one modality.
@@ -266,12 +288,13 @@ impl StagedPipeline {
         plan: &[StagePlan],
         lake: &DataLake,
         recorder: &mut StageRecorder<'_>,
+        trace: &mut RequestTrace,
     ) -> (Vec<(DataInstance, f64)>, StageTiming) {
         let mut timing = StageTiming::default();
 
         // Stage 1: retrieval (and resolution) across all modalities, then
         // one provenance flush for the whole stage.
-        let started = Instant::now();
+        let started = self.clock.now();
         let mut resolved_per_modality: Vec<(StagePlan, Vec<(DataInstance, f64)>)> =
             Vec::with_capacity(plan.len());
         for &stage_plan in plan {
@@ -313,11 +336,19 @@ impl StagedPipeline {
             }
             resolved_per_modality.push((stage_plan, resolved));
         }
-        timing.retrieval_ns = started.elapsed().as_nanos() as u64;
+        let resolved_total: usize = resolved_per_modality.iter().map(|(_, r)| r.len()).sum();
+        timing.retrieval_ns = ns_between(started, self.clock.now());
         recorder.flush_stage();
+        trace.span(
+            "retrieval",
+            timing.retrieval_ns,
+            timing.candidates_in,
+            resolved_total,
+            String::new(),
+        );
 
         // Stage 2: rerank each modality's candidates, one flush.
-        let started = Instant::now();
+        let started = self.clock.now();
         let mut out = Vec::new();
         for (stage_plan, resolved) in resolved_per_modality {
             let ranked = self.reranker.rerank(object, resolved, stage_plan.final_k);
@@ -337,8 +368,15 @@ impl StagedPipeline {
             timing.candidates_out += ranked.len();
             out.extend(ranked);
         }
-        timing.rerank_ns = started.elapsed().as_nanos() as u64;
+        timing.rerank_ns = ns_between(started, self.clock.now());
         recorder.flush_stage();
+        trace.span(
+            "rerank",
+            timing.rerank_ns,
+            resolved_total,
+            timing.candidates_out,
+            String::new(),
+        );
 
         (out, timing)
     }
@@ -353,13 +391,15 @@ impl StagedPipeline {
         evidence: Vec<(DataInstance, f64)>,
         deadline: Option<Instant>,
         recorder: &mut StageRecorder<'_>,
+        trace: &mut RequestTrace,
     ) -> JudgeOutcome {
-        let started = Instant::now();
+        let started = self.clock.now();
+        let planned = evidence.len();
         let mut verdicts = Vec::with_capacity(evidence.len());
         let mut observations = Vec::with_capacity(evidence.len());
         let mut timed_out = false;
         for (instance, score) in evidence {
-            if deadline.is_some_and(|d| Instant::now() >= d) {
+            if deadline.is_some_and(|d| self.clock.now() >= d) {
                 timed_out = true;
                 break;
             }
@@ -388,8 +428,19 @@ impl StagedPipeline {
                 verifier,
             });
         }
-        let verify_ns = started.elapsed().as_nanos() as u64;
+        let verify_ns = ns_between(started, self.clock.now());
         recorder.flush_stage();
+        trace.span(
+            "verify",
+            verify_ns,
+            planned,
+            verdicts.len(),
+            if timed_out {
+                "deadline".into()
+            } else {
+                String::new()
+            },
+        );
         JudgeOutcome {
             verdicts,
             observations,
@@ -473,8 +524,14 @@ mod tests {
             text: "q",
             vector: None,
         };
-        let (evidence, timing) =
-            pipeline.discover(&object(), query, &plan, &generated.lake, &mut recorder);
+        let (evidence, timing) = pipeline.discover(
+            &object(),
+            query,
+            &plan,
+            &generated.lake,
+            &mut recorder,
+            &mut RequestTrace::disabled(),
+        );
         // The resolvable hit survives with its retrieval score...
         assert_eq!(evidence.len(), 1);
         assert_eq!(evidence[0].0.id(), InstanceId::Tuple(real));
@@ -508,12 +565,66 @@ mod tests {
             text: "q",
             vector: None,
         };
-        let (evidence, _) =
-            pipeline.discover(&object(), query, &plan, &generated.lake, &mut recorder);
+        let (evidence, _) = pipeline.discover(
+            &object(),
+            query,
+            &plan,
+            &generated.lake,
+            &mut recorder,
+            &mut RequestTrace::disabled(),
+        );
         assert_eq!(sink.batches(), 2, "retrieval + rerank, one flush each");
-        let outcome = pipeline.judge(&object(), evidence, None, &mut recorder);
+        let outcome = pipeline.judge(
+            &object(),
+            evidence,
+            None,
+            &mut recorder,
+            &mut RequestTrace::disabled(),
+        );
         assert_eq!(outcome.verdicts.len(), 1);
         assert_eq!(sink.batches(), 3, "verify adds exactly one flush");
+    }
+
+    #[test]
+    fn enabled_trace_captures_all_three_stages() {
+        let generated = verifai_datagen::build(&verifai_datagen::LakeSpec::tiny(5));
+        let real = generated.lake.tuple_ids().next().expect("lake has tuples");
+        let dangling = InstanceId::Tuple(u64::MAX);
+        let pipeline = pipeline_with(vec![
+            SearchHit::new(InstanceId::Tuple(real), 2.0),
+            SearchHit::new(dangling, 1.0),
+        ]);
+        let sink = SharedProvenance::new();
+        let mut recorder = StageRecorder::new(&sink);
+        let plan = [StagePlan {
+            kind: InstanceKind::Tuple,
+            coarse_k: 10,
+            final_k: 10,
+        }];
+        let query = SourceQuery {
+            text: "q",
+            vector: None,
+        };
+        let mut trace = RequestTrace::new(42, 7);
+        let (evidence, _) = pipeline.discover(
+            &object(),
+            query,
+            &plan,
+            &generated.lake,
+            &mut recorder,
+            &mut trace,
+        );
+        pipeline.judge(&object(), evidence, None, &mut recorder, &mut trace);
+        let retrieval = trace.span_for("retrieval").expect("retrieval span");
+        assert_eq!(retrieval.candidates_in, 2, "both hits entered retrieval");
+        assert_eq!(retrieval.candidates_out, 1, "dangling hit dropped");
+        let rerank = trace.span_for("rerank").expect("rerank span");
+        assert_eq!(rerank.candidates_in, 1);
+        assert_eq!(rerank.candidates_out, 1);
+        let verify = trace.span_for("verify").expect("verify span");
+        assert_eq!(verify.candidates_in, 1);
+        assert_eq!(verify.candidates_out, 1);
+        assert_eq!(verify.note, "");
     }
 
     #[test]

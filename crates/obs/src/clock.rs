@@ -1,0 +1,126 @@
+//! Time as a capability.
+//!
+//! Every stage timing, deadline check, and latency sample in the pipeline
+//! goes through a [`Clock`] instead of calling `Instant::now()` directly,
+//! so tests can substitute a [`MockClock`] and assert *exact* durations —
+//! no more "retrieval took > 0ns" assertions that flake on coarse-clock
+//! platforms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A source of monotonic time. The production implementation is
+/// [`SystemClock`]; tests use [`MockClock`].
+///
+/// `Instant` (not a raw nanosecond counter) is the currency so deadlines
+/// (`Option<Instant>`) and durations interoperate with `std::time` without
+/// conversion on the hot path.
+pub trait Clock: Send + Sync {
+    /// The current instant.
+    fn now(&self) -> Instant;
+}
+
+/// The real monotonic clock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// A deterministic test clock: a base instant captured at construction plus
+/// an explicitly-controlled offset.
+///
+/// With a non-zero `auto_step`, every [`Clock::now`] call advances the
+/// offset by that step *before* reading it, so code that brackets a stage
+/// with two `now()` calls observes exactly one step of elapsed time —
+/// stage timings become exact, asserted equalities instead of flaky
+/// `> 0` checks.
+#[derive(Debug)]
+pub struct MockClock {
+    base: Instant,
+    offset_ns: AtomicU64,
+    auto_step_ns: u64,
+}
+
+impl MockClock {
+    /// A mock clock that only moves via [`MockClock::advance`].
+    pub fn new() -> MockClock {
+        MockClock::with_auto_step(Duration::ZERO)
+    }
+
+    /// A mock clock that additionally advances by `step` on every `now()`.
+    pub fn with_auto_step(step: Duration) -> MockClock {
+        MockClock {
+            base: Instant::now(),
+            offset_ns: AtomicU64::new(0),
+            auto_step_ns: step.as_nanos() as u64,
+        }
+    }
+
+    /// Move the clock forward by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        self.offset_ns
+            .fetch_add(delta.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Total simulated time elapsed since construction.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.offset_ns.load(Ordering::SeqCst))
+    }
+}
+
+impl Default for MockClock {
+    fn default() -> MockClock {
+        MockClock::new()
+    }
+}
+
+impl Clock for MockClock {
+    fn now(&self) -> Instant {
+        let offset = if self.auto_step_ns == 0 {
+            self.offset_ns.load(Ordering::SeqCst)
+        } else {
+            self.offset_ns
+                .fetch_add(self.auto_step_ns, Ordering::SeqCst)
+                + self.auto_step_ns
+        };
+        self.base + Duration::from_nanos(offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let clock = SystemClock;
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_moves_only_on_advance() {
+        let clock = MockClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert_eq!(b.duration_since(a), Duration::ZERO);
+        clock.advance(Duration::from_millis(5));
+        let c = clock.now();
+        assert_eq!(c.duration_since(a), Duration::from_millis(5));
+        assert_eq!(clock.elapsed(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn auto_step_advances_per_call() {
+        let clock = MockClock::with_auto_step(Duration::from_micros(100));
+        let a = clock.now();
+        let b = clock.now();
+        assert_eq!(b.duration_since(a), Duration::from_micros(100));
+        assert_eq!(clock.elapsed(), Duration::from_micros(200));
+    }
+}

@@ -1,0 +1,174 @@
+//! Metric exporters: Prometheus text format and JSON snapshots.
+//!
+//! Histograms render as Prometheus *summaries* (quantile series plus
+//! `_sum`/`_count`) rather than `_bucket` series — the internal layout has
+//! 496 buckets, which would drown a scrape; the fixed quantile set is what
+//! dashboards actually chart. Durations are exported in seconds per
+//! Prometheus convention.
+
+use std::fmt::Write;
+
+use crate::registry::{RegistrySnapshot, SeriesValue};
+
+/// Quantiles exported for every histogram series.
+const QUANTILES: [f64; 4] = [0.5, 0.9, 0.95, 0.99];
+
+fn label_block(labels: &[(&'static str, String)], extra: Option<(&str, String)>) -> String {
+    let mut pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Render a registry snapshot in the Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for series in &snapshot.series {
+        // HELP/TYPE once per metric name, ahead of its first series.
+        if !seen.contains(&series.name) {
+            seen.push(series.name);
+            let kind = match series.value {
+                SeriesValue::Counter(_) => "counter",
+                SeriesValue::Gauge(_) => "gauge",
+                SeriesValue::Histogram(_) => "summary",
+            };
+            let _ = writeln!(out, "# HELP {} {}", series.name, series.help);
+            let _ = writeln!(out, "# TYPE {} {}", series.name, kind);
+        }
+        match &series.value {
+            SeriesValue::Counter(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {v}",
+                    series.name,
+                    label_block(&series.labels, None)
+                );
+            }
+            SeriesValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {v}",
+                    series.name,
+                    label_block(&series.labels, None)
+                );
+            }
+            SeriesValue::Histogram(h) => {
+                for q in QUANTILES {
+                    let labels = label_block(&series.labels, Some(("quantile", format!("{q}"))));
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        series.name,
+                        labels,
+                        h.quantile(q).as_secs_f64()
+                    );
+                }
+                let plain = label_block(&series.labels, None);
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    series.name,
+                    plain,
+                    h.sum_micros() as f64 / 1e6
+                );
+                let _ = writeln!(out, "{}_count{} {}", series.name, plain, h.count());
+            }
+        }
+    }
+    out
+}
+
+/// Render a registry snapshot as a JSON object: one key per series
+/// (`name{label=value}` for labeled series), counters and gauges as
+/// numbers, histograms as `{count, mean_us, p50_us, p95_us, p99_us,
+/// max_us}` objects.
+pub fn render_json(snapshot: &RegistrySnapshot) -> serde_json::Value {
+    let mut root = serde_json::Map::new();
+    for series in &snapshot.series {
+        let key = format!("{}{}", series.name, label_block(&series.labels, None));
+        let value = match &series.value {
+            SeriesValue::Counter(v) => serde_json::json!(*v),
+            SeriesValue::Gauge(v) => serde_json::json!(*v),
+            SeriesValue::Histogram(h) => serde_json::json!({
+                "count": h.count(),
+                "mean_us": h.mean().as_micros() as u64,
+                "p50_us": h.quantile(0.50).as_micros() as u64,
+                "p95_us": h.quantile(0.95).as_micros() as u64,
+                "p99_us": h.quantile(0.99).as_micros() as u64,
+                "max_us": h.max().as_micros() as u64,
+            }),
+        };
+        root.insert(key, value);
+    }
+    serde_json::Value::Object(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use std::time::Duration;
+
+    fn sample_registry() -> Registry {
+        let registry = Registry::new();
+        registry
+            .counter(
+                "verifai_requests_total",
+                "requests",
+                &[("outcome", "completed")],
+            )
+            .add(5);
+        registry
+            .counter("verifai_requests_total", "requests", &[("outcome", "shed")])
+            .add(2);
+        registry.gauge("verifai_queue_depth", "queue", &[]).set(3);
+        let hist = registry.histogram(
+            "verifai_stage_latency_seconds",
+            "stage latency",
+            &[("stage", "verify")],
+        );
+        hist.record(Duration::from_millis(10));
+        hist.record(Duration::from_millis(20));
+        registry
+    }
+
+    #[test]
+    fn prometheus_text_format_shape() {
+        let text = render_prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE verifai_requests_total counter"));
+        assert!(text.contains("verifai_requests_total{outcome=\"completed\"} 5"));
+        assert!(text.contains("verifai_requests_total{outcome=\"shed\"} 2"));
+        // HELP/TYPE emitted once despite two series under the name.
+        assert_eq!(text.matches("# TYPE verifai_requests_total").count(), 1);
+        assert!(text.contains("# TYPE verifai_queue_depth gauge"));
+        assert!(text.contains("verifai_queue_depth 3"));
+        assert!(text.contains("# TYPE verifai_stage_latency_seconds summary"));
+        assert!(text.contains("verifai_stage_latency_seconds{stage=\"verify\",quantile=\"0.5\"}"));
+        assert!(text.contains("verifai_stage_latency_seconds_count{stage=\"verify\"} 2"));
+        assert!(text.contains("verifai_stage_latency_seconds_sum{stage=\"verify\"} 0.03"));
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let value = render_json(&sample_registry().snapshot());
+        let object = value.as_object().expect("top-level object");
+        assert_eq!(
+            object
+                .get("verifai_requests_total{outcome=\"completed\"}")
+                .and_then(|v| v.as_u64()),
+            Some(5)
+        );
+        let hist = object
+            .get("verifai_stage_latency_seconds{stage=\"verify\"}")
+            .and_then(|v| v.as_object())
+            .expect("histogram object");
+        assert_eq!(hist.get("count").and_then(|v| v.as_u64()), Some(2));
+        assert!(hist.get("p95_us").and_then(|v| v.as_u64()).expect("p95") >= 10_000);
+    }
+}

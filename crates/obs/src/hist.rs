@@ -1,0 +1,280 @@
+//! Fixed-bucket log-linear histograms.
+//!
+//! The bucket layout (HdrHistogram-style, ~12.5% relative error) is shared
+//! between the lock-free [`Histogram`] here and the single-threaded
+//! `verifai::LatencyHistogram`, so snapshots of either are comparable
+//! bucket for bucket. Values are whole microseconds: 8 exact sub-8µs
+//! buckets, then 8 log-linear sub-buckets per power of two.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of value buckets: 8 exact sub-8µs buckets plus 8 log-linear
+/// sub-buckets per power of two up to `u64::MAX` microseconds.
+pub const BUCKETS: usize = 8 + 61 * 8;
+
+/// The bucket a microsecond value lands in.
+pub fn bucket_of(micros: u64) -> usize {
+    if micros < 8 {
+        return micros as usize;
+    }
+    let msb = 63 - micros.leading_zeros() as u64; // >= 3
+    let sub = (micros >> (msb - 3)) & 7;
+    (8 + (msb - 3) * 8 + sub) as usize
+}
+
+/// Upper edge of a bucket — the value reported for quantiles landing in it,
+/// so quantile estimates never undershoot the recorded value's bucket.
+pub fn bucket_upper(bucket: usize) -> u64 {
+    if bucket < 8 {
+        return bucket as u64;
+    }
+    let msb = (bucket as u64 - 8) / 8 + 3;
+    let sub = (bucket as u64 - 8) % 8;
+    // The top bucket's true upper edge is 2^64 - 1: the shift truncates to
+    // zero there and the wrapping subtraction lands exactly on u64::MAX.
+    ((8 + sub + 1) << (msb - 3)).wrapping_sub(1)
+}
+
+/// A lock-free fixed-bucket histogram: concurrent writers record with
+/// relaxed atomic increments; readers take a consistent-enough
+/// [`HistogramSnapshot`] for quantile queries. Never allocates after
+/// construction.
+pub struct Histogram {
+    counts: Box<[AtomicU64]>,
+    total: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (lock-free, no allocation).
+    pub fn record(&self, value: Duration) {
+        let micros = value.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.record_micros(micros);
+    }
+
+    /// Record one observation given in whole microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.counts[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy supporting quantiles and merging.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            total: self.total.load(Ordering::Relaxed),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, immutable-by-convention histogram state: what exporters and
+/// stats snapshots carry.
+#[derive(Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Box<[u64]>,
+    total: u64,
+    sum_micros: u64,
+    max_micros: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: vec![0; BUCKETS].into_boxed_slice(),
+            total: 0,
+            sum_micros: 0,
+            max_micros: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramSnapshot")
+            .field("count", &self.total)
+            .field("mean", &self.mean())
+            .field("p50", &self.quantile(0.50))
+            .field("p95", &self.quantile(0.95))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &Duration::from_micros(self.max_micros))
+            .finish()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observations, microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros
+    }
+
+    /// The recorded maximum.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_micros)
+    }
+
+    /// Mean value (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.sum_micros / self.total)
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (zero when empty). Estimates
+    /// carry the bucket resolution; the top quantile is exact (the recorded
+    /// maximum).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Duration::from_micros(bucket_upper(bucket).min(self.max_micros));
+            }
+        }
+        Duration::from_micros(self.max_micros)
+    }
+
+    /// Merge another snapshot into this one. Merging is commutative and
+    /// associative (bucket-wise addition; max of maxima).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_micros = self.sum_micros.saturating_add(other.sum_micros);
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.mean(), Duration::ZERO);
+        assert_eq!(snap.quantile(0.5), Duration::ZERO);
+        assert_eq!(snap.quantile(1.0), Duration::ZERO);
+        assert_eq!(snap.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(1234));
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.mean(), Duration::from_micros(1234));
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            let v = snap.quantile(q).as_micros() as u64;
+            // Within one bucket's resolution, clamped at the exact max.
+            assert!(v >= 1234 || (1234 - v) as f64 / 1234.0 < 0.13, "q{q} = {v}");
+            assert!(v <= 1234);
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_percentile_is_the_recorded_max() {
+        let h = Histogram::new();
+        // Saturates the microsecond conversion into the last bucket.
+        h.record(Duration::MAX);
+        h.record(Duration::from_micros(5));
+        let snap = h.snapshot();
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(snap.quantile(1.0), Duration::from_micros(u64::MAX));
+        assert_eq!(snap.quantile(0.25), Duration::from_micros(5));
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_micros(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("recorder thread");
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 4000);
+        assert_eq!(snap.max(), Duration::from_micros(3999));
+    }
+
+    #[test]
+    fn bucket_edges_are_monotone() {
+        let mut prev = 0;
+        for b in 1..BUCKETS {
+            let upper = bucket_upper(b);
+            assert!(upper >= prev, "bucket {b} upper {upper} < {prev}");
+            prev = upper;
+        }
+        // Every value maps into a bucket whose upper edge is >= the value's
+        // lower bucket bound.
+        for v in [0u64, 1, 7, 8, 9, 63, 64, 1000, 123_456, u64::MAX / 2] {
+            let b = bucket_of(v);
+            assert!(bucket_upper(b) >= v || b == BUCKETS - 1);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+//! # verifai-obs
+//!
+//! Observability substrate for the VerifAI pipeline and serving layer:
+//!
+//! * [`Clock`] — time as an injectable capability, so stage timings and
+//!   latency percentiles are testable with a [`MockClock`] instead of
+//!   asserted as "probably nonzero";
+//! * [`Registry`] / [`Counter`] / [`Gauge`] / [`Histogram`] — a lock-free
+//!   metrics registry: sharded atomic counters, gauges, and fixed-bucket
+//!   log-linear histograms, snapshotted for export;
+//! * [`RequestTrace`] / [`SpanEvent`] — span-based request tracing with a
+//!   zero-allocation disabled mode;
+//! * [`FlightRecorder`] — bounded retention of the most recent and the
+//!   slowest full request traces for post-hoc debugging;
+//! * [`render_prometheus`] / [`render_json`] — exporters over registry
+//!   snapshots.
+//!
+//! The crate is deliberately a leaf: it knows nothing about lakes,
+//! indexes, or verdicts, so every layer of the workspace can depend on it.
+
+pub mod clock;
+pub mod config;
+pub mod export;
+pub mod hist;
+pub mod recorder;
+pub mod registry;
+pub mod trace;
+
+pub use clock::{Clock, MockClock, SystemClock};
+pub use config::{ns_between, ObsConfig};
+pub use export::{render_json, render_prometheus};
+pub use hist::{Histogram, HistogramSnapshot};
+pub use recorder::FlightRecorder;
+pub use registry::{Counter, Gauge, Registry, RegistrySnapshot, SeriesValue};
+pub use trace::{RequestTrace, SpanEvent, TraceId};

@@ -1,0 +1,164 @@
+//! The flight recorder: bounded retention of full request traces.
+//!
+//! Two bounded pools under one lock: a ring of the N most *recent* traces
+//! (what just happened) and the N *slowest* traces seen so far (what to
+//! debug). Memory is bounded by `recent + slowest` traces regardless of
+//! how long the service runs; a trace evicted from the recent ring
+//! survives if it is among the slowest.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::trace::{RequestTrace, TraceId};
+
+struct Inner {
+    recent: VecDeque<Arc<RequestTrace>>,
+    /// Sorted descending by `total_ns`, truncated to capacity.
+    slowest: Vec<Arc<RequestTrace>>,
+}
+
+/// Bounded in-memory store of completed request traces.
+pub struct FlightRecorder {
+    recent_capacity: usize,
+    slowest_capacity: usize,
+    recorded: std::sync::atomic::AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the `recent` most recent and `slowest` slowest
+    /// traces.
+    pub fn new(recent: usize, slowest: usize) -> FlightRecorder {
+        FlightRecorder {
+            recent_capacity: recent,
+            slowest_capacity: slowest,
+            recorded: std::sync::atomic::AtomicU64::new(0),
+            inner: Mutex::new(Inner {
+                recent: VecDeque::with_capacity(recent),
+                slowest: Vec::with_capacity(slowest.saturating_add(1)),
+            }),
+        }
+    }
+
+    /// Retain a sealed trace. Disabled traces are ignored.
+    pub fn record(&self, trace: RequestTrace) {
+        if !trace.is_enabled() {
+            return;
+        }
+        self.recorded
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let trace = Arc::new(trace);
+        let mut inner = self.inner.lock();
+        if self.recent_capacity > 0 {
+            if inner.recent.len() == self.recent_capacity {
+                inner.recent.pop_front();
+            }
+            inner.recent.push_back(Arc::clone(&trace));
+        }
+        if self.slowest_capacity > 0 {
+            let at = inner
+                .slowest
+                .partition_point(|t| t.total_ns >= trace.total_ns);
+            if at < self.slowest_capacity {
+                inner.slowest.insert(at, trace);
+                inner.slowest.truncate(self.slowest_capacity);
+            }
+        }
+    }
+
+    /// Total traces ever recorded (not just retained).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Look a trace up by id, searching the recent ring (newest first) and
+    /// then the slowest pool.
+    pub fn lookup(&self, trace_id: TraceId) -> Option<Arc<RequestTrace>> {
+        let inner = self.inner.lock();
+        inner
+            .recent
+            .iter()
+            .rev()
+            .find(|t| t.trace_id == trace_id)
+            .or_else(|| inner.slowest.iter().find(|t| t.trace_id == trace_id))
+            .map(Arc::clone)
+    }
+
+    /// The retained recent traces, oldest first.
+    pub fn recent(&self) -> Vec<Arc<RequestTrace>> {
+        self.inner.lock().recent.iter().map(Arc::clone).collect()
+    }
+
+    /// The retained slowest traces, slowest first.
+    pub fn slowest(&self) -> Vec<Arc<RequestTrace>> {
+        self.inner.lock().slowest.iter().map(Arc::clone).collect()
+    }
+
+    /// Human-readable dump of the slowest pool (post-hoc debugging).
+    pub fn dump_slowest(&self, n: usize) -> String {
+        let mut out = String::new();
+        for trace in self.slowest().iter().take(n) {
+            out.push_str(&trace.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: TraceId, total_ns: u64) -> RequestTrace {
+        let mut t = RequestTrace::new(id, id * 10);
+        t.span("verify", total_ns, 1, 1, "");
+        t.finish("completed", total_ns);
+        t
+    }
+
+    #[test]
+    fn recent_ring_evicts_oldest() {
+        let recorder = FlightRecorder::new(3, 0);
+        for id in 1..=5 {
+            recorder.record(trace(id, 100));
+        }
+        let recent: Vec<TraceId> = recorder.recent().iter().map(|t| t.trace_id).collect();
+        assert_eq!(recent, vec![3, 4, 5]);
+        assert!(recorder.lookup(1).is_none());
+        assert!(recorder.lookup(4).is_some());
+        assert_eq!(recorder.recorded(), 5);
+    }
+
+    #[test]
+    fn slowest_pool_keeps_the_slowest() {
+        let recorder = FlightRecorder::new(2, 2);
+        recorder.record(trace(1, 500));
+        recorder.record(trace(2, 100));
+        recorder.record(trace(3, 900));
+        recorder.record(trace(4, 300));
+        let slowest: Vec<u64> = recorder.slowest().iter().map(|t| t.total_ns).collect();
+        assert_eq!(slowest, vec![900, 500]);
+        // Trace 1 fell out of the 2-deep recent ring but survives as a
+        // slowest entry — retrievable by id either way.
+        assert_eq!(recorder.lookup(1).expect("retained as slow").total_ns, 500);
+        assert!(recorder.lookup(2).is_none(), "fast and old: evicted");
+    }
+
+    #[test]
+    fn disabled_traces_are_ignored() {
+        let recorder = FlightRecorder::new(4, 4);
+        recorder.record(RequestTrace::disabled());
+        assert_eq!(recorder.recorded(), 0);
+        assert!(recorder.recent().is_empty());
+    }
+
+    #[test]
+    fn dump_renders_slowest_first() {
+        let recorder = FlightRecorder::new(4, 4);
+        recorder.record(trace(1, 100));
+        recorder.record(trace(2, 700));
+        let dump = recorder.dump_slowest(1);
+        assert!(dump.starts_with("trace 2"));
+    }
+}

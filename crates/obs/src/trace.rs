@@ -1,0 +1,178 @@
+//! Span-based request tracing.
+//!
+//! Each admitted request gets a [`TraceId`]; the pipeline stages append
+//! one [`SpanEvent`] each (stage name, duration, candidates in/out, note)
+//! into a [`RequestTrace`] that travels with the request. A disabled trace
+//! is free: `RequestTrace::disabled()` never allocates and every
+//! [`RequestTrace::span`] call on it is a branch and a return.
+
+/// Identifies one request end to end. Allocated sequentially per service,
+/// so a seeded, single-submitter run assigns the same ids every time.
+/// `0` means "untraced".
+pub type TraceId = u64;
+
+/// One stage's contribution to a request trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Stage name: `queue`, `cache`, `retrieval`, `rerank`, `verify`.
+    pub stage: &'static str,
+    /// Wall time spent in the stage, nanoseconds.
+    pub duration_ns: u64,
+    /// Candidates entering the stage.
+    pub candidates_in: usize,
+    /// Candidates leaving the stage.
+    pub candidates_out: usize,
+    /// Stage-specific annotation: cache `hit`/`miss`, `deadline`, a failure
+    /// cause — empty when there is nothing to say.
+    pub note: String,
+}
+
+/// The full lifecycle of one request, as recorded by the stages it passed
+/// through. Retained by the flight recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTrace {
+    /// The request's trace id (0 = untraced placeholder).
+    pub trace_id: TraceId,
+    /// The verified object's workload id.
+    pub object_id: u64,
+    /// Final disposition: `completed`, `partial`, `shed`, `failed` —
+    /// empty until [`RequestTrace::finish`].
+    pub outcome: &'static str,
+    /// End-to-end wall time (enqueue to reply), nanoseconds.
+    pub total_ns: u64,
+    /// Stage spans, in execution order.
+    pub spans: Vec<SpanEvent>,
+    enabled: bool,
+}
+
+impl RequestTrace {
+    /// An enabled trace for one request.
+    pub fn new(trace_id: TraceId, object_id: u64) -> RequestTrace {
+        RequestTrace {
+            trace_id,
+            object_id,
+            outcome: "",
+            total_ns: 0,
+            spans: Vec::with_capacity(5),
+            enabled: true,
+        }
+    }
+
+    /// The no-op trace: spans are dropped, nothing allocates. This is what
+    /// untraced entry points (`verify_object` et al.) pass through the
+    /// pipeline.
+    pub fn disabled() -> RequestTrace {
+        RequestTrace {
+            trace_id: 0,
+            object_id: 0,
+            outcome: "",
+            total_ns: 0,
+            spans: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether span events are being retained.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append a span event. A disabled trace drops it without allocating.
+    pub fn span(
+        &mut self,
+        stage: &'static str,
+        duration_ns: u64,
+        candidates_in: usize,
+        candidates_out: usize,
+        note: impl Into<String>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.spans.push(SpanEvent {
+            stage,
+            duration_ns,
+            candidates_in,
+            candidates_out,
+            note: note.into(),
+        });
+    }
+
+    /// The span recorded for `stage`, if any.
+    pub fn span_for(&self, stage: &str) -> Option<&SpanEvent> {
+        self.spans.iter().find(|s| s.stage == stage)
+    }
+
+    /// Seal the trace with its disposition and end-to-end wall time.
+    pub fn finish(&mut self, outcome: &'static str, total_ns: u64) {
+        self.outcome = outcome;
+        self.total_ns = total_ns;
+    }
+
+    /// One-line-per-span human rendering (flight-recorder dumps).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = format!(
+            "trace {} object {} [{}] total {:.3}ms\n",
+            self.trace_id,
+            self.object_id,
+            if self.outcome.is_empty() {
+                "open"
+            } else {
+                self.outcome
+            },
+            self.total_ns as f64 / 1e6,
+        );
+        for span in &self.spans {
+            let _ = write!(
+                out,
+                "  {:<10} {:>10.3}ms  candidates {} -> {}",
+                span.stage,
+                span.duration_ns as f64 / 1e6,
+                span.candidates_in,
+                span.candidates_out,
+            );
+            if !span.note.is_empty() {
+                let _ = write!(out, "  ({})", span.note);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_drops_spans_without_allocating() {
+        let mut trace = RequestTrace::disabled();
+        trace.span("retrieval", 100, 10, 5, "");
+        assert!(trace.spans.is_empty());
+        assert_eq!(
+            trace.spans.capacity(),
+            0,
+            "disabled trace must not allocate"
+        );
+        assert!(!trace.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_keeps_span_order() {
+        let mut trace = RequestTrace::new(7, 42);
+        trace.span("queue", 10, 0, 0, "");
+        trace.span("retrieval", 20, 12, 6, "");
+        trace.span("verify", 30, 6, 6, "deadline");
+        trace.finish("partial", 60);
+        assert_eq!(trace.spans.len(), 3);
+        assert_eq!(
+            trace.span_for("retrieval").map(|s| s.candidates_out),
+            Some(6)
+        );
+        assert_eq!(trace.outcome, "partial");
+        let rendered = trace.render();
+        assert!(rendered.contains("trace 7 object 42 [partial]"));
+        assert!(rendered.contains("(deadline)"));
+    }
+}

@@ -4,9 +4,11 @@
 //! shedding, micro-batching, evidence caching, deadlines, and stats.
 
 pub mod cache;
+pub mod obs;
 pub mod service;
 pub mod stats;
 
 pub use cache::{CacheStats, EvidenceCache};
+pub use obs::ServiceObs;
 pub use service::{RequestOutcome, ServiceConfig, SubmitError, Ticket, VerificationService};
-pub use stats::{ServiceStats, StageTotals};
+pub use stats::{ServiceStats, StageLatency, StageTotals, VerdictCounts};

@@ -1,0 +1,408 @@
+//! Service-side observability: the metrics registry, trace-id allocation,
+//! and the flight recorder, bundled so the request hot path touches one
+//! struct.
+//!
+//! Two tiers, split by [`verifai::ObsConfig::enabled`]:
+//!
+//! * **Always on** — the request outcome counters, queue/in-flight gauges,
+//!   and the per-stage nanosecond/candidate sums behind
+//!   [`crate::StageTotals`]. These predate this module and cost one
+//!   relaxed atomic op each.
+//! * **Gated** — the end-to-end and per-stage latency histograms, the
+//!   per-verdict counters, request traces, and flight-recorder retention.
+//!   With observability off, every gated call is a branch and a return:
+//!   no locks, no allocation, nothing recorded (`ObsConfig::off()` is the
+//!   benchmark baseline).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use verifai::{StageTiming, Verdict};
+use verifai_obs::{
+    Counter, FlightRecorder, Gauge, Histogram, HistogramSnapshot, ObsConfig, Registry,
+    RegistrySnapshot, RequestTrace, TraceId,
+};
+
+use crate::cache::CacheStats;
+use crate::stats::{StageLatency, StageTotals, VerdictCounts};
+
+/// Pipeline stage names, indexed the way [`ServiceObs`] stores their series.
+pub(crate) const STAGES: [&str; 4] = ["queue", "retrieval", "rerank", "verify"];
+
+fn verdict_slot(verdict: Verdict) -> usize {
+    match verdict {
+        Verdict::Verified => 0,
+        Verdict::Refuted => 1,
+        Verdict::NotRelated => 2,
+        Verdict::Unknown => 3,
+    }
+}
+
+/// All metrics, traces, and retention for one [`crate::VerificationService`].
+pub struct ServiceObs {
+    config: ObsConfig,
+    registry: Registry,
+
+    // Always-on request accounting.
+    submitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    shed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    failed: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    in_flight: Arc<Gauge>,
+    index_build_ns: Arc<Gauge>,
+
+    // Always-on stage sums (the `StageTotals` backing store).
+    stage_ns: [Arc<Counter>; 3],
+    candidates_in: Arc<Counter>,
+    candidates_out: Arc<Counter>,
+
+    // Cache gauges, refreshed from `EvidenceCache` at snapshot time.
+    cache_hits: Arc<Gauge>,
+    cache_misses: Arc<Gauge>,
+    cache_evictions: Arc<Gauge>,
+    cache_entries: Arc<Gauge>,
+
+    // Gated distributions and verdict accounting.
+    latency: Arc<Histogram>,
+    stage_latency: [Arc<Histogram>; 4],
+    verdicts: [Arc<Counter>; 4],
+
+    recorder: FlightRecorder,
+    next_trace_id: AtomicU64,
+}
+
+impl ServiceObs {
+    /// Stand up the registry with every series the service exports.
+    pub fn new(config: ObsConfig) -> ServiceObs {
+        let registry = Registry::new();
+        let outcome = |o: &str| {
+            registry.counter(
+                "verifai_requests_total",
+                "Requests by final disposition",
+                &[("outcome", o)],
+            )
+        };
+        let stage_ns = |s: &str| {
+            registry.counter(
+                "verifai_stage_ns_total",
+                "Cumulative wall time per pipeline stage, nanoseconds",
+                &[("stage", s)],
+            )
+        };
+        let stage_hist = |s: &str| {
+            registry.histogram(
+                "verifai_stage_latency_seconds",
+                "Per-request stage latency",
+                &[("stage", s)],
+            )
+        };
+        let verdict = |v: &str| {
+            registry.counter(
+                "verifai_verdicts_total",
+                "Final decisions by verdict",
+                &[("verdict", v)],
+            )
+        };
+        ServiceObs {
+            submitted: outcome("submitted"),
+            completed: outcome("completed"),
+            shed: outcome("shed"),
+            rejected: outcome("rejected"),
+            failed: outcome("failed"),
+            queue_depth: registry.gauge(
+                "verifai_queue_depth",
+                "Requests waiting in the admission queue",
+                &[],
+            ),
+            in_flight: registry.gauge(
+                "verifai_in_flight",
+                "Requests dequeued and being processed",
+                &[],
+            ),
+            index_build_ns: registry.gauge(
+                "verifai_index_build_ns",
+                "One-off lake index construction wall time, nanoseconds",
+                &[],
+            ),
+            stage_ns: [
+                stage_ns("retrieval"),
+                stage_ns("rerank"),
+                stage_ns("verify"),
+            ],
+            candidates_in: registry.counter(
+                "verifai_candidates_total",
+                "Evidence candidates entering / surviving the rerank stage",
+                &[("direction", "in")],
+            ),
+            candidates_out: registry.counter(
+                "verifai_candidates_total",
+                "Evidence candidates entering / surviving the rerank stage",
+                &[("direction", "out")],
+            ),
+            cache_hits: registry.gauge("verifai_cache_hits", "Evidence-cache hits", &[]),
+            cache_misses: registry.gauge("verifai_cache_misses", "Evidence-cache misses", &[]),
+            cache_evictions: registry.gauge(
+                "verifai_cache_evictions",
+                "Evidence-cache evictions",
+                &[],
+            ),
+            cache_entries: registry.gauge(
+                "verifai_cache_entries",
+                "Evidence-cache resident entries",
+                &[],
+            ),
+            latency: registry.histogram(
+                "verifai_request_latency_seconds",
+                "End-to-end latency of completed requests (enqueue to reply)",
+                &[],
+            ),
+            stage_latency: [
+                stage_hist(STAGES[0]),
+                stage_hist(STAGES[1]),
+                stage_hist(STAGES[2]),
+                stage_hist(STAGES[3]),
+            ],
+            verdicts: [
+                verdict("verified"),
+                verdict("refuted"),
+                verdict("not_related"),
+                verdict("unknown"),
+            ],
+            recorder: FlightRecorder::new(config.recent_traces, config.slowest_traces),
+            next_trace_id: AtomicU64::new(1),
+            config,
+            registry,
+        }
+    }
+
+    /// The observability configuration (clock, retention, enablement).
+    pub fn config(&self) -> &ObsConfig {
+        &self.config
+    }
+
+    /// Whether gated collection (histograms, traces, verdicts) is on.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// The flight recorder retaining recent and slowest request traces.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Allocate the next trace id (sequential from 1, so seeded
+    /// single-submitter runs are reproducible); 0 when tracing is off.
+    pub fn allocate_trace_id(&self) -> TraceId {
+        if !self.config.enabled {
+            return 0;
+        }
+        self.next_trace_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// A trace for one admitted request — enabled or the free disabled
+    /// placeholder, per configuration.
+    pub fn begin_trace(&self, trace_id: TraceId, object_id: u64) -> RequestTrace {
+        if self.config.enabled {
+            RequestTrace::new(trace_id, object_id)
+        } else {
+            RequestTrace::disabled()
+        }
+    }
+
+    /// Seal and retain a trace (no-op when tracing is off).
+    pub fn record_trace(&self, trace: RequestTrace) {
+        self.recorder.record(trace);
+    }
+
+    pub(crate) fn on_submitted(&self) {
+        self.submitted.inc();
+    }
+
+    pub(crate) fn on_rejected(&self) {
+        self.rejected.inc();
+    }
+
+    pub(crate) fn on_shed(&self) {
+        self.shed.inc();
+    }
+
+    pub(crate) fn on_failed(&self) {
+        self.failed.inc();
+    }
+
+    /// Account one completed request: outcome counter, end-to-end latency,
+    /// queue-wait distribution, stage sums and distributions, verdict.
+    pub(crate) fn on_completed(
+        &self,
+        timing: &StageTiming,
+        decision: Verdict,
+        queue_ns: u64,
+        latency_ns: u64,
+    ) {
+        self.completed.inc();
+        self.absorb_timing(timing);
+        if !self.config.enabled {
+            return;
+        }
+        self.latency.record(Duration::from_nanos(latency_ns));
+        self.stage_latency[0].record(Duration::from_nanos(queue_ns));
+        self.stage_latency[1].record(Duration::from_nanos(timing.retrieval_ns));
+        self.stage_latency[2].record(Duration::from_nanos(timing.rerank_ns));
+        self.stage_latency[3].record(Duration::from_nanos(timing.verify_ns));
+        self.verdicts[verdict_slot(decision)].inc();
+    }
+
+    /// Fold one report's stage timing into the always-on sums.
+    fn absorb_timing(&self, timing: &StageTiming) {
+        self.stage_ns[0].add(timing.retrieval_ns);
+        self.stage_ns[1].add(timing.rerank_ns);
+        self.stage_ns[2].add(timing.verify_ns);
+        self.candidates_in.add(timing.candidates_in as u64);
+        self.candidates_out.add(timing.candidates_out as u64);
+    }
+
+    pub(crate) fn in_flight_add(&self, delta: i64) {
+        self.in_flight.add(delta);
+    }
+
+    pub(crate) fn set_index_build_ns(&self, ns: u64) {
+        self.index_build_ns.set(ns.min(i64::MAX as u64) as i64);
+    }
+
+    pub(crate) fn counts(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.submitted.get(),
+            self.completed.get(),
+            self.shed.get(),
+            self.rejected.get(),
+            self.failed.get(),
+        )
+    }
+
+    pub(crate) fn in_flight(&self) -> usize {
+        self.in_flight.get().max(0) as usize
+    }
+
+    pub(crate) fn stage_totals(&self) -> StageTotals {
+        StageTotals {
+            retrieval_ns: self.stage_ns[0].get(),
+            rerank_ns: self.stage_ns[1].get(),
+            verify_ns: self.stage_ns[2].get(),
+            candidates_in: self.candidates_in.get(),
+            candidates_out: self.candidates_out.get(),
+        }
+    }
+
+    pub(crate) fn latency_snapshot(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
+    }
+
+    pub(crate) fn stage_latency_snapshot(&self) -> StageLatency {
+        StageLatency {
+            queue: self.stage_latency[0].snapshot(),
+            retrieval: self.stage_latency[1].snapshot(),
+            rerank: self.stage_latency[2].snapshot(),
+            verify: self.stage_latency[3].snapshot(),
+        }
+    }
+
+    pub(crate) fn verdict_counts(&self) -> VerdictCounts {
+        VerdictCounts {
+            verified: self.verdicts[0].get(),
+            refuted: self.verdicts[1].get(),
+            not_related: self.verdicts[2].get(),
+            unknown: self.verdicts[3].get(),
+        }
+    }
+
+    /// Freeze every series for export, refreshing the gauges that mirror
+    /// out-of-registry state (queue depth, cache counters).
+    pub fn snapshot(&self, queue_depth: usize, cache: &CacheStats) -> RegistrySnapshot {
+        self.queue_depth
+            .set(queue_depth.min(i64::MAX as usize) as i64);
+        self.cache_hits.set(cache.hits.min(i64::MAX as u64) as i64);
+        self.cache_misses
+            .set(cache.misses.min(i64::MAX as u64) as i64);
+        self.cache_evictions
+            .set(cache.evictions.min(i64::MAX as u64) as i64);
+        self.cache_entries
+            .set(cache.entries.min(i64::MAX as usize) as i64);
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_obs_allocates_no_trace_and_records_no_histograms() {
+        let obs = ServiceObs::new(ObsConfig::off());
+        assert_eq!(obs.allocate_trace_id(), 0);
+        let trace = obs.begin_trace(0, 9);
+        assert!(!trace.is_enabled());
+        assert_eq!(trace.spans.capacity(), 0);
+        obs.on_completed(&StageTiming::default(), Verdict::Verified, 10, 100);
+        assert_eq!(obs.latency_snapshot().count(), 0, "histograms stay empty");
+        assert_eq!(obs.verdict_counts(), VerdictCounts::default());
+        // The always-on tier still counts.
+        assert_eq!(obs.counts().1, 1);
+    }
+
+    #[test]
+    fn enabled_obs_records_distributions_and_verdicts() {
+        let obs = ServiceObs::new(ObsConfig::default());
+        assert_eq!(obs.allocate_trace_id(), 1);
+        assert_eq!(obs.allocate_trace_id(), 2);
+        let timing = StageTiming {
+            retrieval_ns: 1_000_000,
+            rerank_ns: 2_000_000,
+            verify_ns: 3_000_000,
+            candidates_in: 10,
+            candidates_out: 4,
+        };
+        obs.on_completed(&timing, Verdict::Refuted, 500_000, 7_000_000);
+        assert_eq!(obs.latency_snapshot().count(), 1);
+        let stages = obs.stage_latency_snapshot();
+        assert_eq!(stages.queue.count(), 1);
+        assert_eq!(stages.verify.count(), 1);
+        assert_eq!(obs.verdict_counts().refuted, 1);
+        let totals = obs.stage_totals();
+        assert_eq!(totals.verify_ns, 3_000_000);
+        assert_eq!(totals.candidates_in, 10);
+    }
+
+    #[test]
+    fn snapshot_refreshes_cache_gauges() {
+        let obs = ServiceObs::new(ObsConfig::default());
+        let cache = CacheStats {
+            hits: 3,
+            misses: 2,
+            evictions: 1,
+            entries: 4,
+        };
+        let snap = obs.snapshot(7, &cache);
+        let series = |name: &str, label: Option<(&str, &str)>| {
+            snap.series
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && label.is_none_or(|(k, v)| {
+                            s.labels.iter().any(|(lk, lv)| *lk == k && lv == v)
+                        })
+                })
+                .unwrap_or_else(|| panic!("series {name} missing"))
+        };
+        match series("verifai_queue_depth", None).value {
+            verifai_obs::SeriesValue::Gauge(v) => assert_eq!(v, 7),
+            ref other => panic!("expected gauge, got {other:?}"),
+        }
+        match series("verifai_cache_hits", None).value {
+            verifai_obs::SeriesValue::Gauge(v) => assert_eq!(v, 3),
+            ref other => panic!("expected gauge, got {other:?}"),
+        }
+    }
+}

@@ -18,20 +18,21 @@
 //! once all tickets resolve.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
 use verifai::exec::WorkerPool;
 use verifai::{
-    DataObject, LatencyHistogram, PipelineError, StageTiming, Verdict, VerifAi, VerificationReport,
+    DataObject, ObsConfig, PipelineError, RequestTrace, StageTiming, TraceId, Verdict, VerifAi,
+    VerificationReport,
 };
 use verifai_lake::DataInstance;
+use verifai_obs::{ns_between, render_json, render_prometheus};
 
 use crate::cache::{CachedEvidence, EvidenceCache};
-use crate::stats::{ServiceStats, StageTotals};
+use crate::obs::ServiceObs;
+use crate::stats::ServiceStats;
 
 /// Tuning knobs for a [`VerificationService`].
 #[derive(Debug, Clone)]
@@ -119,6 +120,7 @@ struct Request {
     object: DataObject,
     deadline: Option<Instant>,
     enqueued: Instant,
+    trace_id: TraceId,
     reply: Sender<RequestOutcome>,
 }
 
@@ -126,14 +128,7 @@ struct Inner {
     system: Arc<VerifAi>,
     config: ServiceConfig,
     cache: Option<EvidenceCache>,
-    latency: Mutex<LatencyHistogram>,
-    stages: Mutex<StageTotals>,
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    shed: AtomicU64,
-    rejected: AtomicU64,
-    failed: AtomicU64,
-    in_flight: AtomicUsize,
+    obs: ServiceObs,
 }
 
 /// A long-lived concurrent verification service over a shared [`VerifAi`].
@@ -143,21 +138,28 @@ pub struct VerificationService {
 }
 
 impl VerificationService {
-    /// Stand up workers over `system` with the given tuning.
+    /// Stand up workers over `system` with the given tuning and default
+    /// (enabled) observability.
     pub fn new(system: Arc<VerifAi>, config: ServiceConfig) -> VerificationService {
+        VerificationService::with_obs(system, config, ObsConfig::default())
+    }
+
+    /// [`VerificationService::new`] with explicit observability tuning —
+    /// [`ObsConfig::off`] for a zero-overhead hot path, or a mock clock for
+    /// deterministic latency tests.
+    pub fn with_obs(
+        system: Arc<VerifAi>,
+        config: ServiceConfig,
+        obs_config: ObsConfig,
+    ) -> VerificationService {
         let cache = (config.cache_capacity > 0)
             .then(|| EvidenceCache::new(config.cache_shards, config.cache_capacity));
+        let obs = ServiceObs::new(obs_config);
+        obs.set_index_build_ns(system.build_stats().index_ns);
         let inner = Arc::new(Inner {
             system,
             cache,
-            latency: Mutex::new(LatencyHistogram::new()),
-            stages: Mutex::new(StageTotals::default()),
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            in_flight: AtomicUsize::new(0),
+            obs,
             config: config.clone(),
         });
         let worker_inner = Arc::clone(&inner);
@@ -167,6 +169,12 @@ impl VerificationService {
             move |rx, first| handle_wakeup(&worker_inner, rx, first),
         );
         VerificationService { inner, pool }
+    }
+
+    /// The service's observability bundle (registry, flight recorder,
+    /// clock).
+    pub fn obs(&self) -> &ServiceObs {
+        &self.inner.obs
     }
 
     /// Submit with the configured default deadline.
@@ -182,19 +190,20 @@ impl VerificationService {
         object: DataObject,
         deadline: Option<Duration>,
     ) -> Result<Ticket, SubmitError> {
-        self.inner.submitted.fetch_add(1, Ordering::SeqCst);
-        let now = Instant::now();
+        self.inner.obs.on_submitted();
+        let now = self.inner.obs.config().clock.now();
         let (reply, rx) = bounded(1);
         let request = Request {
             object,
             deadline: deadline.map(|d| now + d),
             enqueued: now,
+            trace_id: self.inner.obs.allocate_trace_id(),
             reply,
         };
         match self.pool.try_submit(request) {
             Ok(()) => Ok(Ticket { rx }),
             Err(_) => {
-                self.inner.rejected.fetch_add(1, Ordering::SeqCst);
+                self.inner.obs.on_rejected();
                 Err(SubmitError::QueueFull)
             }
         }
@@ -202,17 +211,22 @@ impl VerificationService {
 
     /// Current counters, gauges, cache state, and latency quantiles.
     pub fn stats(&self) -> ServiceStats {
-        let latency = self.inner.latency.lock();
+        let obs = &self.inner.obs;
+        let (submitted, completed, shed, rejected, failed) = obs.counts();
+        let latency = obs.latency_snapshot();
         ServiceStats {
-            submitted: self.inner.submitted.load(Ordering::SeqCst),
-            completed: self.inner.completed.load(Ordering::SeqCst),
-            shed: self.inner.shed.load(Ordering::SeqCst),
-            rejected: self.inner.rejected.load(Ordering::SeqCst),
-            failed: self.inner.failed.load(Ordering::SeqCst),
+            submitted,
+            completed,
+            shed,
+            rejected,
+            failed,
             queue_depth: self.pool.queue_len(),
-            in_flight: self.inner.in_flight.load(Ordering::SeqCst),
+            in_flight: obs.in_flight(),
             index_build_ns: self.inner.system.build_stats().index_ns,
-            stages: *self.inner.stages.lock(),
+            stages: obs.stage_totals(),
+            stage_latency: obs.stage_latency_snapshot(),
+            verdicts: obs.verdict_counts(),
+            traces_recorded: obs.recorder().recorded(),
             cache: self
                 .inner
                 .cache
@@ -224,6 +238,28 @@ impl VerificationService {
             latency_p95: latency.quantile(0.95),
             latency_p99: latency.quantile(0.99),
         }
+    }
+
+    /// The current metrics in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let cache = self
+            .inner
+            .cache
+            .as_ref()
+            .map(EvidenceCache::stats)
+            .unwrap_or_default();
+        render_prometheus(&self.inner.obs.snapshot(self.pool.queue_len(), &cache))
+    }
+
+    /// The current metrics as a JSON object (bench artifacts, dashboards).
+    pub fn render_json_snapshot(&self) -> serde_json::Value {
+        let cache = self
+            .inner
+            .cache
+            .as_ref()
+            .map(EvidenceCache::stats)
+            .unwrap_or_default();
+        render_json(&self.inner.obs.snapshot(self.pool.queue_len(), &cache))
     }
 
     /// Stop admitting, drain already-admitted requests, join the workers,
@@ -246,15 +282,20 @@ fn handle_wakeup(inner: &Inner, rx: &Receiver<Request>, first: Request) {
             Err(_) => break,
         }
     }
-    inner.in_flight.fetch_add(batch.len(), Ordering::SeqCst);
+    inner.obs.in_flight_add(batch.len() as i64);
     // Load shedding: everything we dequeued while the backlog behind it
     // still exceeds the high-water mark is dropped unprocessed, which
     // drains an overloaded queue at dequeue speed instead of verify speed.
     let backlog = rx.len();
     if backlog > inner.config.high_water {
         for request in batch {
-            inner.shed.fetch_add(1, Ordering::SeqCst);
-            inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+            inner.obs.on_shed();
+            inner.obs.in_flight_add(-1);
+            let queue_ns = ns_between(request.enqueued, inner.obs.config().clock.now());
+            let mut trace = inner.obs.begin_trace(request.trace_id, request.object.id());
+            trace.span("queue", queue_ns, 0, 0, format!("shed: backlog {backlog}"));
+            trace.finish("shed", queue_ns);
+            inner.obs.record_trace(trace);
             let _ = request.reply.send(RequestOutcome::Shed);
         }
         return;
@@ -269,7 +310,7 @@ fn handle_wakeup(inner: &Inner, rx: &Receiver<Request>, first: Request) {
         let mut local: HashMap<(u8, String), CachedEvidence> = HashMap::new();
         for request in group {
             process(inner, request, &mut local);
-            inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+            inner.obs.in_flight_add(-1);
         }
     }
 }
@@ -300,17 +341,38 @@ fn evidence_for(
     inner: &Inner,
     object: &DataObject,
     local: &mut HashMap<(u8, String), CachedEvidence>,
+    trace: &mut RequestTrace,
 ) -> Result<DiscoveredEvidence, PipelineError> {
+    let clock = &inner.obs.config().clock;
     let key = (object_kind(object), VerifAi::query_of(object));
     if let Some(cache) = &inner.cache {
+        let lookup_start = clock.now();
+        let mut cache_note = "miss";
         if let Some(cached) = cache.get(key.0, &key.1) {
             match inner.system.try_resolve_evidence(&cached) {
-                Ok(evidence) => return Ok((evidence, None)),
-                Err(PipelineError::StaleEvidence { .. }) => {}
+                Ok(evidence) => {
+                    trace.span(
+                        "cache",
+                        ns_between(lookup_start, clock.now()),
+                        0,
+                        evidence.len(),
+                        "hit",
+                    );
+                    return Ok((evidence, None));
+                }
+                // A stale shared-cache entry is rediscovered below.
+                Err(PipelineError::StaleEvidence { .. }) => cache_note = "stale",
                 Err(other) => return Err(other),
             }
         }
-        let (discovered, timing) = inner.system.discover_evidence_timed(object);
+        trace.span(
+            "cache",
+            ns_between(lookup_start, clock.now()),
+            0,
+            0,
+            cache_note,
+        );
+        let (discovered, timing) = inner.system.discover_evidence_traced(object, trace);
         cache.insert(
             key.0,
             key.1,
@@ -319,35 +381,52 @@ fn evidence_for(
         return Ok((discovered, Some(timing)));
     }
     if let Some(cached) = local.get(&key) {
-        return inner
-            .system
-            .try_resolve_evidence(cached)
-            .map(|evidence| (evidence, None));
+        let lookup_start = clock.now();
+        return inner.system.try_resolve_evidence(cached).map(|evidence| {
+            trace.span(
+                "cache",
+                ns_between(lookup_start, clock.now()),
+                0,
+                evidence.len(),
+                "local-hit",
+            );
+            (evidence, None)
+        });
     }
-    let (discovered, timing) = inner.system.discover_evidence_timed(object);
+    let (discovered, timing) = inner.system.discover_evidence_traced(object, trace);
     local.insert(key, discovered.iter().map(|(i, s)| (i.id(), *s)).collect());
     Ok((discovered, Some(timing)))
 }
 
 fn process(inner: &Inner, request: Request, local: &mut HashMap<(u8, String), CachedEvidence>) {
-    let expired = request.deadline.is_some_and(|d| Instant::now() >= d);
+    let clock = &inner.obs.config().clock;
+    let started = clock.now();
+    let queue_ns = ns_between(request.enqueued, started);
+    let mut trace = inner.obs.begin_trace(request.trace_id, request.object.id());
+    trace.span("queue", queue_ns, 0, 0, "");
+    let expired = request.deadline.is_some_and(|d| started >= d);
     let outcome = if expired {
         // The deadline passed before evidence discovery even started (e.g. a
         // zero budget, or long queueing): answer immediately with an empty
         // partial report rather than doing work the caller gave no time for.
-        Ok(VerificationReport {
-            object_id: request.object.id(),
-            evidence: Vec::new(),
-            decision: Verdict::Unknown,
-            confidence: 0.0,
-            timing: StageTiming::default(),
-        })
+        Ok((
+            VerificationReport {
+                object_id: request.object.id(),
+                evidence: Vec::new(),
+                decision: Verdict::Unknown,
+                confidence: 0.0,
+                timing: StageTiming::default(),
+                trace_id: request.trace_id,
+            },
+            true,
+        ))
     } else {
-        evidence_for(inner, &request.object, local).map(|(evidence, discovered)| {
-            let mut report = inner.system.verify_with_evidence_until(
+        evidence_for(inner, &request.object, local, &mut trace).map(|(evidence, discovered)| {
+            let mut report = inner.system.verify_with_evidence_traced(
                 &request.object,
                 evidence,
                 request.deadline,
+                &mut trace,
             );
             // When this request paid for discovery, its report carries the
             // discovery-side timing too, same as `verify_object` would.
@@ -357,18 +436,29 @@ fn process(inner: &Inner, request: Request, local: &mut HashMap<(u8, String), Ca
                 report.timing.candidates_in = timing.candidates_in;
                 report.timing.candidates_out = timing.candidates_out;
             }
-            report
+            // Deadline-partial reports carry `Unknown` at zero confidence.
+            let partial = request.deadline.is_some()
+                && report.decision == Verdict::Unknown
+                && report.confidence == 0.0;
+            (report, partial)
         })
     };
     match outcome {
-        Ok(report) => {
-            inner.stages.lock().absorb(&report.timing);
-            inner.latency.lock().record(request.enqueued.elapsed());
-            inner.completed.fetch_add(1, Ordering::SeqCst);
+        Ok((report, partial)) => {
+            let latency_ns = ns_between(request.enqueued, clock.now());
+            inner
+                .obs
+                .on_completed(&report.timing, report.decision, queue_ns, latency_ns);
+            trace.finish(if partial { "partial" } else { "completed" }, latency_ns);
+            inner.obs.record_trace(trace);
             let _ = request.reply.send(RequestOutcome::Completed(report));
         }
         Err(error) => {
-            inner.failed.fetch_add(1, Ordering::SeqCst);
+            inner.obs.on_failed();
+            let latency_ns = ns_between(request.enqueued, clock.now());
+            trace.span("error", 0, 0, 0, error.to_string());
+            trace.finish("failed", latency_ns);
+            inner.obs.record_trace(trace);
             let _ = request.reply.send(RequestOutcome::Failed(error));
         }
     }

@@ -3,7 +3,45 @@
 use std::fmt;
 use std::time::Duration;
 
+use verifai_obs::HistogramSnapshot;
+
 use crate::cache::CacheStats;
+
+/// Final-decision counts by verdict across completed requests (empty when
+/// observability is disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerdictCounts {
+    /// Decisions of `Verified`.
+    pub verified: u64,
+    /// Decisions of `Refuted`.
+    pub refuted: u64,
+    /// Decisions of `NotRelated`.
+    pub not_related: u64,
+    /// Decisions of `Unknown` (deadline-partial reports).
+    pub unknown: u64,
+}
+
+impl VerdictCounts {
+    /// Total decisions counted.
+    pub fn total(&self) -> u64 {
+        self.verified + self.refuted + self.not_related + self.unknown
+    }
+}
+
+/// Per-request latency distributions per pipeline stage (empty when
+/// observability is disabled). Unlike [`StageTotals`] — which sums wall
+/// time — these answer quantile questions ("p95 of the verify stage").
+#[derive(Debug, Clone, Default)]
+pub struct StageLatency {
+    /// Time spent waiting in the admission queue.
+    pub queue: HistogramSnapshot,
+    /// Retrieval + instance resolution.
+    pub retrieval: HistogramSnapshot,
+    /// The rerank stage.
+    pub rerank: HistogramSnapshot,
+    /// The verify stage.
+    pub verify: HistogramSnapshot,
+}
 
 /// Aggregated per-stage pipeline instrumentation across every completed
 /// request — the service-level roll-up of each report's
@@ -39,7 +77,7 @@ impl StageTotals {
 /// Invariant (checked by the integration tests): once every submitted
 /// request's ticket has resolved, `completed + shed + rejected + failed ==
 /// submitted` — no request is ever lost.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
     /// Submission attempts, including rejected ones.
     pub submitted: u64,
@@ -65,6 +103,12 @@ pub struct ServiceStats {
     pub cache: CacheStats,
     /// Per-stage time and candidate totals across completed requests.
     pub stages: StageTotals,
+    /// Per-stage latency distributions (empty when observability is off).
+    pub stage_latency: StageLatency,
+    /// Final decisions by verdict (empty when observability is off).
+    pub verdicts: VerdictCounts,
+    /// Request traces the flight recorder has seen (retained or not).
+    pub traces_recorded: u64,
     /// Mean end-to-end latency of completed requests.
     pub latency_mean: Duration,
     /// Median end-to-end latency.
@@ -113,6 +157,26 @@ impl fmt::Display for ServiceStats {
             self.stages.candidates_in,
             self.stages.candidates_out
         )?;
+        if self.verdicts.total() > 0 {
+            writeln!(
+                f,
+                "verdicts: verified {} | refuted {} | not-related {} | unknown {}",
+                self.verdicts.verified,
+                self.verdicts.refuted,
+                self.verdicts.not_related,
+                self.verdicts.unknown
+            )?;
+        }
+        if self.stage_latency.verify.count() > 0 {
+            writeln!(
+                f,
+                "stage p95: queue {:?} | retrieval {:?} | rerank {:?} | verify {:?}",
+                self.stage_latency.queue.quantile(0.95),
+                self.stage_latency.retrieval.quantile(0.95),
+                self.stage_latency.rerank.quantile(0.95),
+                self.stage_latency.verify.quantile(0.95)
+            )?;
+        }
         writeln!(
             f,
             "startup:  index build {:?}",
@@ -123,5 +187,34 @@ impl fmt::Display for ServiceStats {
             "latency:  mean {:?} | p50 {:?} | p95 {:?} | p99 {:?}",
             self.latency_mean, self.latency_p50, self.latency_p95, self.latency_p99
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression guard for the zero-lookup case: a freshly-defaulted stats
+    /// banner (no requests, no cache traffic) must render finite numbers —
+    /// never `NaN%` from a 0/0 hit rate.
+    #[test]
+    fn default_stats_banner_has_no_nan() {
+        let stats = ServiceStats::default();
+        assert_eq!(stats.cache.hit_rate(), 0.0);
+        let banner = stats.to_string();
+        assert!(!banner.contains("NaN"), "banner: {banner}");
+        assert!(banner.contains("hit rate 0.0%"));
+        assert_eq!(stats.accounted(), 0);
+    }
+
+    #[test]
+    fn verdict_totals_sum() {
+        let verdicts = VerdictCounts {
+            verified: 3,
+            refuted: 1,
+            not_related: 2,
+            unknown: 4,
+        };
+        assert_eq!(verdicts.total(), 10);
     }
 }

@@ -10,6 +10,11 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The observability crate sits on every hot path; lint it explicitly so a
+# narrowed workspace never drops it from the gate.
+echo "==> cargo clippy -p verifai-obs -D warnings"
+cargo clippy -p verifai-obs --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 

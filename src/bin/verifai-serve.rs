@@ -39,6 +39,8 @@ struct Args {
     deadline_ms: Option<u64>,
     distinct: usize,
     window: Option<usize>,
+    metrics_every: usize,
+    slowest: usize,
 }
 
 impl Default for Args {
@@ -54,13 +56,15 @@ impl Default for Args {
             deadline_ms: None,
             distinct: 32,
             window: None,
+            metrics_every: 0,
+            slowest: 3,
         }
     }
 }
 
 const USAGE: &str = "verifai-serve [--requests N] [--workers N] [--seed N] \
 [--queue-capacity N] [--high-water N] [--max-batch N] [--cache-capacity N] \
-[--deadline-ms N] [--distinct N] [--window N]";
+[--deadline-ms N] [--distinct N] [--window N] [--metrics-every N] [--slowest N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -86,6 +90,8 @@ fn parse_args() -> Result<Args, String> {
             "--deadline-ms" => args.deadline_ms = Some(parsed),
             "--distinct" => args.distinct = (parsed as usize).max(1),
             "--window" => args.window = Some((parsed as usize).max(1)),
+            "--metrics-every" => args.metrics_every = parsed as usize,
+            "--slowest" => args.slowest = parsed as usize,
             other => return Err(format!("unknown flag {other}\nusage: {USAGE}")),
         }
     }
@@ -171,7 +177,7 @@ fn main() -> ExitCode {
         }
     };
     let t_run = Instant::now();
-    for _ in 0..args.requests {
+    for i in 0..args.requests {
         let object = pool[rng.gen_range(0..pool.len())].clone();
         if outstanding.len() >= window {
             let ticket = outstanding.pop_front().expect("window non-empty");
@@ -181,11 +187,28 @@ fn main() -> ExitCode {
             Ok(ticket) => outstanding.push_back(ticket),
             Err(_) => rejected += 1,
         }
+        // Periodic live metrics dump: one compact JSON snapshot line.
+        if args.metrics_every > 0 && (i + 1) % args.metrics_every == 0 {
+            println!("metrics @ {}: {}", i + 1, service.render_json_snapshot());
+        }
     }
     for ticket in outstanding {
         drain(ticket, &mut completed, &mut shed, &mut failed);
     }
     let elapsed = t_run.elapsed();
+
+    // Final observability report, rendered while the service is still
+    // alive: the full Prometheus exposition and the flight recorder's
+    // slowest traces.
+    println!("\n==> prometheus");
+    print!("{}", service.render_prometheus());
+    if args.slowest > 0 {
+        let dump = service.obs().recorder().dump_slowest(args.slowest);
+        if !dump.is_empty() {
+            println!("\n==> slowest traces (top {})", args.slowest);
+            print!("{dump}");
+        }
+    }
 
     let stats = service.shutdown();
     println!(

@@ -156,6 +156,64 @@ proptest! {
         assert_unit(&tup.embed(&tuple), "tuple embed")?;
     }
 
+    /// Histogram merging is associative: folding three sample sets as
+    /// `(a ⊕ b) ⊕ c` or `a ⊕ (b ⊕ c)` yields identical snapshots, so
+    /// per-worker histograms can be combined in any order.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(0u64..50_000_000, 0..40),
+        b in proptest::collection::vec(0u64..50_000_000, 0..40),
+        c in proptest::collection::vec(0u64..50_000_000, 0..40),
+    ) {
+        use verifai_obs::Histogram;
+        let snap = |samples: &[u64]| {
+            let h = Histogram::new();
+            for &s in samples {
+                h.record_micros(s);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.count(), (a.len() + b.len() + c.len()) as u64);
+        // Merging with the identity (empty snapshot) changes nothing.
+        let mut with_empty = left.clone();
+        with_empty.merge(&verifai_obs::HistogramSnapshot::default());
+        prop_assert_eq!(&with_empty, &left);
+    }
+
+    /// The lock-free atomic histogram and the single-threaded
+    /// `LatencyHistogram` share one bucket layout: fed the same samples they
+    /// report identical counts, means, and quantiles.
+    #[test]
+    fn atomic_and_serial_histograms_agree(
+        samples in proptest::collection::vec(0u64..u64::from(u32::MAX), 1..80),
+    ) {
+        use std::time::Duration;
+        let atomic = verifai_obs::Histogram::new();
+        let mut serial = verifai::LatencyHistogram::new();
+        for &s in &samples {
+            atomic.record_micros(s);
+            serial.record(Duration::from_micros(s));
+        }
+        let snap = atomic.snapshot();
+        prop_assert_eq!(snap.count(), serial.count());
+        prop_assert_eq!(snap.mean(), serial.mean());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(snap.quantile(q), serial.quantile(q), "quantile {}", q);
+        }
+    }
+
     /// Verdict observations aggregate sanely: the trust-weighted decision is
     /// never an outcome that no verifier produced.
     #[test]

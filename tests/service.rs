@@ -5,7 +5,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use verifai::{DataObject, Verdict, VerifAi, VerifAiConfig};
+use verifai::{DataObject, ObsConfig, Verdict, VerifAi, VerifAiConfig};
 use verifai_claims::ClaimGenConfig;
 use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
 use verifai_service::{RequestOutcome, ServiceConfig, Ticket, VerificationService};
@@ -176,4 +176,133 @@ fn cache_does_not_change_reports() {
     );
     assert_eq!(cold_stats.cache.hits, 0);
     assert_eq!(cached, cold, "cache changed verification results");
+}
+
+/// Tentpole acceptance: a completed request's full span trace — all three
+/// pipeline stages, with candidate counts matching the report — is
+/// retrievable from the flight recorder by the trace id its report carries.
+#[test]
+fn flight_recorder_retrieves_full_trace_by_id() {
+    let sys = system(15);
+    let objects = mixed_objects(&sys, 3, 15);
+    let service = VerificationService::new(Arc::clone(&sys), ServiceConfig::default());
+    let tickets: Vec<Ticket> = objects
+        .iter()
+        .map(|o| service.submit(o.clone()).expect("admitted"))
+        .collect();
+    let reports: Vec<_> = tickets
+        .into_iter()
+        .map(|t| match t.wait() {
+            RequestOutcome::Completed(report) => report,
+            other => panic!("expected completion, got {other:?}"),
+        })
+        .collect();
+    for report in &reports {
+        assert_ne!(report.trace_id, 0, "enabled obs must stamp a trace id");
+        let trace = service
+            .obs()
+            .recorder()
+            .lookup(report.trace_id)
+            .unwrap_or_else(|| panic!("trace {} not retained", report.trace_id));
+        assert_eq!(trace.object_id, report.object_id);
+        assert_eq!(trace.outcome, "completed");
+        // Every lifecycle stage left a span, in execution order.
+        let stages: Vec<&str> = trace.spans.iter().map(|s| s.stage).collect();
+        assert_eq!(stages, ["queue", "cache", "retrieval", "rerank", "verify"]);
+        // Span candidate counts agree with the report's instrumentation.
+        let retrieval = trace.span_for("retrieval").expect("retrieval span");
+        assert_eq!(retrieval.candidates_in, report.timing.candidates_in);
+        assert_eq!(retrieval.duration_ns, report.timing.retrieval_ns);
+        let rerank = trace.span_for("rerank").expect("rerank span");
+        assert_eq!(rerank.candidates_out, report.timing.candidates_out);
+        assert_eq!(rerank.duration_ns, report.timing.rerank_ns);
+        let verify = trace.span_for("verify").expect("verify span");
+        assert_eq!(verify.candidates_out, report.evidence.len());
+        assert_eq!(verify.duration_ns, report.timing.verify_ns);
+        // Distinct objects: every discovery was a cache miss.
+        assert_eq!(trace.span_for("cache").expect("cache span").note, "miss");
+    }
+    // Trace ids are distinct per request.
+    let mut ids: Vec<u64> = reports.iter().map(|r| r.trace_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), reports.len());
+    let stats = service.shutdown();
+    assert_eq!(stats.traces_recorded, reports.len() as u64);
+    assert_eq!(stats.verdicts.total(), reports.len() as u64);
+    assert!(stats.stage_latency.verify.count() >= reports.len() as u64);
+}
+
+/// With observability off, the hot path records nothing — no traces, no
+/// histograms, no verdict counts — while the always-on accounting still
+/// balances.
+#[test]
+fn disabled_observability_records_nothing() {
+    let sys = system(16);
+    let objects = mixed_objects(&sys, 2, 16);
+    let service =
+        VerificationService::with_obs(Arc::clone(&sys), ServiceConfig::default(), ObsConfig::off());
+    let tickets: Vec<Ticket> = objects
+        .iter()
+        .map(|o| service.submit(o.clone()).expect("admitted"))
+        .collect();
+    for ticket in tickets {
+        match ticket.wait() {
+            RequestOutcome::Completed(report) => {
+                assert_eq!(report.trace_id, 0, "disabled obs must not stamp trace ids");
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, objects.len() as u64);
+    assert_eq!(stats.accounted(), stats.submitted);
+    assert_eq!(stats.traces_recorded, 0);
+    assert_eq!(stats.verdicts.total(), 0);
+    assert_eq!(stats.latency_p50, Duration::ZERO);
+    assert_eq!(stats.stage_latency.verify.count(), 0);
+    // The always-on sums still aggregate.
+    assert!(stats.stages.verify_ns > 0);
+}
+
+/// The Prometheus and JSON exporters cover the service's series and agree
+/// with the stats snapshot.
+#[test]
+fn exporters_render_service_metrics() {
+    let sys = system(17);
+    let objects = mixed_objects(&sys, 2, 17);
+    let service = VerificationService::new(Arc::clone(&sys), ServiceConfig::default());
+    let tickets: Vec<Ticket> = objects
+        .iter()
+        .map(|o| service.submit(o.clone()).expect("admitted"))
+        .collect();
+    for ticket in tickets {
+        assert!(matches!(ticket.wait(), RequestOutcome::Completed(_)));
+    }
+    let text = service.render_prometheus();
+    assert!(text.contains("# TYPE verifai_requests_total counter"));
+    assert!(text.contains(&format!(
+        "verifai_requests_total{{outcome=\"completed\"}} {}",
+        objects.len()
+    )));
+    assert!(text.contains("# TYPE verifai_request_latency_seconds summary"));
+    assert!(text.contains("verifai_stage_latency_seconds{stage=\"verify\",quantile=\"0.5\"}"));
+    assert!(text.contains("verifai_queue_depth 0"));
+    let json = service.render_json_snapshot();
+    let object = json.as_object().expect("top-level object");
+    assert_eq!(
+        object
+            .get("verifai_requests_total{outcome=\"completed\"}")
+            .and_then(|v| v.as_u64()),
+        Some(objects.len() as u64)
+    );
+    let latency = object
+        .get("verifai_request_latency_seconds")
+        .and_then(|v| v.as_object())
+        .expect("latency histogram");
+    assert_eq!(
+        latency.get("count").and_then(|v| v.as_u64()),
+        Some(objects.len() as u64)
+    );
+    service.shutdown();
 }

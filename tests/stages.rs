@@ -176,3 +176,34 @@ fn provenance_lock_count_is_per_stage_not_per_record() {
     sys.verify_with_evidence(&objects[0], evidence);
     assert_eq!(sys.provenance_batches() - before, 2);
 }
+
+/// Stage timings are *exact* under an injected auto-step mock clock: each
+/// stage brackets its work with exactly two clock reads, so every stage
+/// observes precisely one step — an asserted equality, not a flaky `> 0`.
+#[test]
+fn mock_clock_makes_stage_timings_exact() {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use verifai::{MockClock, RequestTrace};
+
+    let step = Duration::from_micros(250);
+    let step_ns = step.as_nanos() as u64;
+    let sys = VerifAi::build_with_clock(
+        build(&LakeSpec::tiny(27)),
+        VerifAiConfig::default(),
+        Arc::new(MockClock::with_auto_step(step)),
+    );
+    for (i, object) in mixed_objects(&sys, 2, 27).iter().enumerate() {
+        let mut trace = RequestTrace::new(i as u64 + 1, object.id());
+        let report = sys.verify_object_traced(object, &mut trace);
+        assert_eq!(report.timing.retrieval_ns, step_ns);
+        assert_eq!(report.timing.rerank_ns, step_ns);
+        assert_eq!(report.timing.verify_ns, step_ns);
+        // The spans carry the same exact durations as the report.
+        for stage in ["retrieval", "rerank", "verify"] {
+            let span = trace.span_for(stage).expect("stage span");
+            assert_eq!(span.duration_ns, step_ns, "{stage} span duration");
+        }
+        assert_eq!(report.trace_id, i as u64 + 1);
+    }
+}
