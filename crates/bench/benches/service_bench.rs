@@ -14,13 +14,15 @@
 //! registered benchmarks.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use verifai::{DataObject, ObsConfig, VerifAi, VerifAiConfig};
 use verifai_claims::ClaimGenConfig;
 use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
-use verifai_service::{RequestOutcome, ServiceConfig, ServiceStats, Ticket, VerificationService};
+use verifai_service::{
+    QualityConfig, RequestOutcome, ServiceConfig, ServiceStats, Ticket, VerificationService,
+};
 
 fn workload(sys: &VerifAi, n_each: usize, repeats: usize, seed: u64) -> Vec<DataObject> {
     let mut pool: Vec<DataObject> = completion_workload(sys.generated(), n_each, seed)
@@ -200,6 +202,37 @@ fn bench_obs_overhead(c: &mut Criterion) {
         requests.len(),
     );
 
+    // Alert-path overhead: observability on in both runs, quality
+    // monitoring (windows, drift scoring, SLO burn, alert log) on vs off —
+    // with a window short enough that real rolls happen mid-run, so the
+    // roll path itself is inside the measurement, not just the absorbers.
+    let quality_on = ServiceConfig {
+        quality: QualityConfig {
+            window: Duration::from_millis(5),
+            ..QualityConfig::default()
+        },
+        ..config.clone()
+    };
+    let quality_off = ServiceConfig {
+        quality: QualityConfig::off(),
+        ..config.clone()
+    };
+    let quality_on_ns = best_ns(reps, || {
+        serve_with_obs(&sys, &quality_on, ObsConfig::default(), &requests);
+    });
+    let quality_off_ns = best_ns(reps, || {
+        serve_with_obs(&sys, &quality_off, ObsConfig::default(), &requests);
+    });
+    let quality_overhead_pct = (quality_on_ns as f64 / quality_off_ns.max(1) as f64 - 1.0) * 100.0;
+    let quality_stats = serve_with_obs(&sys, &quality_on, ObsConfig::default(), &requests);
+    eprintln!(
+        "quality/alert-path overhead: on {:.2} ms vs off {:.2} ms (best of {reps}) \
+         = {quality_overhead_pct:+.2}% across {} windows",
+        quality_on_ns as f64 / 1e6,
+        quality_off_ns as f64 / 1e6,
+        quality_stats.quality.windows,
+    );
+
     let artifact = serde_json::json!({
         "workload": {
             "requests": requests.len(),
@@ -211,6 +244,14 @@ fn bench_obs_overhead(c: &mut Criterion) {
             "disabled_ms": disabled_ns as f64 / 1e6,
             "overhead_pct": overhead_pct,
             "target_pct": 2.0,
+        },
+        "quality_overhead": {
+            "reps": reps,
+            "on_ms": quality_on_ns as f64 / 1e6,
+            "off_ms": quality_off_ns as f64 / 1e6,
+            "overhead_pct": quality_overhead_pct,
+            "windows_rolled": quality_stats.quality.windows,
+            "window_ms": 5,
         },
         "enabled_run": {
             "completed": stats.completed,

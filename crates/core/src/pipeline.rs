@@ -66,6 +66,31 @@ pub struct VerificationReport {
     pub trace_id: TraceId,
 }
 
+impl VerificationReport {
+    /// The reranker score of the top-ranked evidence (`evidence` is in
+    /// rerank order), or `None` for evidence-free reports — the quality
+    /// monitor pairs this with the final decision for calibration
+    /// tracking.
+    pub fn top_score(&self) -> Option<f64> {
+        self.evidence.first().map(|e| e.score)
+    }
+
+    /// Per-evidence verdict counts in verified/refuted/not-related/unknown
+    /// order — the verify stage's contribution to windowed quality signals.
+    pub fn evidence_verdict_counts(&self) -> [u64; 4] {
+        let mut counts = [0u64; 4];
+        for e in &self.evidence {
+            counts[match e.verdict {
+                Verdict::Verified => 0,
+                Verdict::Refuted => 1,
+                Verdict::NotRelated => 2,
+                Verdict::Unknown => 3,
+            }] += 1;
+        }
+        counts
+    }
+}
+
 /// Report equality is semantic — wall-clock [`StageTiming`] is excluded so
 /// that bit-identical pipeline runs compare equal across machines and
 /// repeated executions (the determinism contracts depend on this).

@@ -1,0 +1,259 @@
+//! Severity-leveled alerts with a bounded log and an active set.
+//!
+//! Quality evaluators (drift, canary, SLO burn) emit [`Alert`]s into an
+//! [`AlertLog`]: one *active* slot per alert kind (latest evaluation wins,
+//! re-firing updates in place, a clean evaluation resolves it) plus a
+//! bounded *history* ring of every transition for post-hoc inspection.
+//! Severity counters are monotonic, so exporters can publish
+//! `alerts_total{severity=...}` without replaying the log.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+/// How loud an alert is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational — worth a log line, not a page.
+    Info,
+    /// Degradation that needs attention soon.
+    Warning,
+    /// Actively violating the service's quality contract.
+    Critical,
+}
+
+impl Severity {
+    /// Lowercase label for exports and banners.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What fired. One active alert per kind; kinds are the quality
+/// subsystem's vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertKind {
+    /// The verdict mix drifted from the frozen baseline (G-test).
+    VerdictDrift,
+    /// Golden-set canary pass rate fell below threshold.
+    CanaryFailure,
+    /// Latency SLO burn rate exceeded both alerting windows.
+    SloBurn,
+}
+
+impl AlertKind {
+    /// Stable snake_case label for exports and banners.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlertKind::VerdictDrift => "verdict_drift",
+            AlertKind::CanaryFailure => "canary_failure",
+            AlertKind::SloBurn => "slo_burn",
+        }
+    }
+}
+
+impl std::fmt::Display for AlertKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One fired alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// What fired.
+    pub kind: AlertKind,
+    /// How loud.
+    pub severity: Severity,
+    /// Human-readable cause, with the numbers that crossed the line.
+    pub message: String,
+    /// Quality-window index the evaluation ran at.
+    pub window: u64,
+    /// Nanoseconds since the monitor's epoch when the alert fired.
+    pub at_ns: u64,
+}
+
+impl std::fmt::Display for Alert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} (window {}): {}",
+            self.severity, self.kind, self.window, self.message
+        )
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    active: Vec<Alert>,
+    history: VecDeque<Alert>,
+}
+
+/// Bounded sink of quality alerts: an active set keyed by [`AlertKind`]
+/// and a capped transition history.
+pub struct AlertLog {
+    capacity: usize,
+    fired: [std::sync::atomic::AtomicU64; 3],
+    inner: Mutex<Inner>,
+}
+
+impl AlertLog {
+    /// A log retaining at most `capacity` historical alerts.
+    pub fn new(capacity: usize) -> AlertLog {
+        AlertLog {
+            capacity: capacity.max(1),
+            fired: Default::default(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Fire (or refresh) the active alert for `alert.kind`. A new firing —
+    /// the kind was clear, or escalated in severity — is appended to the
+    /// history ring and counted; a same-or-lower-severity refresh only
+    /// updates the active entry's message and window.
+    pub fn fire(&self, alert: Alert) {
+        let mut inner = self.inner.lock();
+        let newly = match inner.active.iter_mut().find(|a| a.kind == alert.kind) {
+            Some(existing) => {
+                let escalated = alert.severity > existing.severity;
+                *existing = alert.clone();
+                escalated
+            }
+            None => {
+                inner.active.push(alert.clone());
+                true
+            }
+        };
+        if newly {
+            let slot = match alert.severity {
+                Severity::Info => 0,
+                Severity::Warning => 1,
+                Severity::Critical => 2,
+            };
+            self.fired[slot].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if inner.history.len() == self.capacity {
+                inner.history.pop_front();
+            }
+            inner.history.push_back(alert);
+        }
+    }
+
+    /// Clear the active alert for `kind` (no-op when not firing).
+    pub fn resolve(&self, kind: AlertKind) {
+        self.inner.lock().active.retain(|a| a.kind != kind);
+    }
+
+    /// The currently-firing alerts, in first-fired order.
+    pub fn active(&self) -> Vec<Alert> {
+        self.inner.lock().active.clone()
+    }
+
+    /// Whether any active alert is [`Severity::Critical`].
+    pub fn has_critical(&self) -> bool {
+        self.inner
+            .lock()
+            .active
+            .iter()
+            .any(|a| a.severity == Severity::Critical)
+    }
+
+    /// Lifetime count of new firings at `severity` (refreshes excluded).
+    pub fn fired(&self, severity: Severity) -> u64 {
+        let slot = match severity {
+            Severity::Info => 0,
+            Severity::Warning => 1,
+            Severity::Critical => 2,
+        };
+        self.fired[slot].load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The retained alert history, oldest first.
+    pub fn history(&self) -> Vec<Alert> {
+        self.inner.lock().history.iter().cloned().collect()
+    }
+}
+
+impl std::fmt::Debug for AlertLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlertLog")
+            .field("active", &self.inner.lock().active)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(kind: AlertKind, severity: Severity, window: u64) -> Alert {
+        Alert {
+            kind,
+            severity,
+            message: format!("{kind} at window {window}"),
+            window,
+            at_ns: window * 1_000,
+        }
+    }
+
+    #[test]
+    fn fire_resolve_lifecycle() {
+        let log = AlertLog::new(8);
+        log.fire(alert(AlertKind::VerdictDrift, Severity::Warning, 1));
+        assert_eq!(log.active().len(), 1);
+        assert!(!log.has_critical());
+        // Refresh at the same severity: active updates, no new firing.
+        log.fire(alert(AlertKind::VerdictDrift, Severity::Warning, 2));
+        assert_eq!(log.active()[0].window, 2);
+        assert_eq!(log.fired(Severity::Warning), 1);
+        // Escalation counts as a new firing.
+        log.fire(alert(AlertKind::VerdictDrift, Severity::Critical, 3));
+        assert!(log.has_critical());
+        assert_eq!(log.fired(Severity::Critical), 1);
+        log.resolve(AlertKind::VerdictDrift);
+        assert!(log.active().is_empty());
+        assert_eq!(log.history().len(), 2, "history keeps both transitions");
+    }
+
+    #[test]
+    fn kinds_fire_independently() {
+        let log = AlertLog::new(8);
+        log.fire(alert(AlertKind::CanaryFailure, Severity::Critical, 1));
+        log.fire(alert(AlertKind::SloBurn, Severity::Warning, 1));
+        assert_eq!(log.active().len(), 2);
+        log.resolve(AlertKind::CanaryFailure);
+        assert_eq!(log.active().len(), 1);
+        assert_eq!(log.active()[0].kind, AlertKind::SloBurn);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let log = AlertLog::new(2);
+        for window in 0..5 {
+            log.fire(alert(AlertKind::SloBurn, Severity::Warning, window));
+            log.resolve(AlertKind::SloBurn);
+        }
+        let history = log.history();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[1].window, 4);
+        assert_eq!(log.fired(Severity::Warning), 5);
+    }
+
+    #[test]
+    fn alert_renders_severity_and_kind() {
+        let a = alert(AlertKind::VerdictDrift, Severity::Critical, 7);
+        let rendered = a.to_string();
+        assert!(rendered.contains("[critical]"));
+        assert!(rendered.contains("verdict_drift"));
+        assert!(rendered.contains("window 7"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Golden-set canary scheduling and pass-rate tracking.
+//!
+//! A canary is a probe with a *known correct answer* (sampled from ground
+//! truth and pre-screened healthy) injected into live traffic: if the
+//! pipeline stops reproducing known answers, quality regressed — no
+//! statistics required, just "the thing that always passed now fails".
+//! This module is the generic half: a deterministic every-N-requests
+//! [`CanarySchedule`] and a lock-free [`CanaryTracker`] of cumulative and
+//! per-window outcomes (plus a bounded ring of recent failure notes for
+//! post-hoc debugging). What a probe *is* and what "pass" means belong to
+//! the caller — this crate stays verdict-agnostic.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Deterministic probe scheduler: fires on every `every`-th tick.
+/// `every == 0` disables scheduling entirely.
+#[derive(Debug)]
+pub struct CanarySchedule {
+    every: u64,
+    ticks: AtomicU64,
+}
+
+impl CanarySchedule {
+    /// A schedule firing once per `every` ticks (0 = never).
+    pub fn new(every: u64) -> CanarySchedule {
+        CanarySchedule {
+            every,
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether scheduling is enabled at all.
+    pub fn is_enabled(&self) -> bool {
+        self.every > 0
+    }
+
+    /// Count one unit of traffic; returns `true` when a probe is due.
+    pub fn tick(&self) -> bool {
+        if self.every == 0 {
+            return false;
+        }
+        (self.ticks.fetch_add(1, Ordering::Relaxed) + 1).is_multiple_of(self.every)
+    }
+}
+
+/// How many failure notes the tracker retains for debugging.
+const FAILURE_NOTES: usize = 16;
+
+/// Lock-free pass/fail accounting for canary probes: lifetime totals,
+/// current-window totals (drained at each quality-window roll), and a
+/// bounded ring of the most recent failure notes.
+#[derive(Debug, Default)]
+pub struct CanaryTracker {
+    passed: AtomicU64,
+    failed: AtomicU64,
+    window_passed: AtomicU64,
+    window_failed: AtomicU64,
+    failures: Mutex<VecDeque<String>>,
+}
+
+/// One drained window of canary outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CanaryWindow {
+    /// Probes that passed in the window.
+    pub passed: u64,
+    /// Probes that failed in the window.
+    pub failed: u64,
+}
+
+impl CanaryWindow {
+    /// Probes in the window.
+    pub fn total(&self) -> u64 {
+        self.passed + self.failed
+    }
+
+    /// Pass share; `1.0` for an empty window (vacuously passing — callers
+    /// gate on [`CanaryWindow::total`] before alerting, and the neutral
+    /// value keeps banners and gauges NaN-free).
+    pub fn pass_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        self.passed as f64 / total as f64
+    }
+}
+
+impl CanaryTracker {
+    /// A zeroed tracker.
+    pub fn new() -> CanaryTracker {
+        CanaryTracker::default()
+    }
+
+    /// Record one probe outcome; failed probes keep `note` (bounded ring).
+    pub fn record(&self, pass: bool, note: impl Into<String>) {
+        if pass {
+            self.passed.fetch_add(1, Ordering::Relaxed);
+            self.window_passed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            self.window_failed.fetch_add(1, Ordering::Relaxed);
+            let mut failures = self.failures.lock();
+            if failures.len() == FAILURE_NOTES {
+                failures.pop_front();
+            }
+            failures.push_back(note.into());
+        }
+    }
+
+    /// Lifetime (passed, failed) totals.
+    pub fn totals(&self) -> (u64, u64) {
+        (
+            self.passed.load(Ordering::Relaxed),
+            self.failed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Lifetime pass share (`1.0` before any probe ran — vacuously passing,
+    /// never NaN).
+    pub fn pass_rate(&self) -> f64 {
+        let (passed, failed) = self.totals();
+        CanaryWindow { passed, failed }.pass_rate()
+    }
+
+    /// Current-window outcomes without resetting.
+    pub fn window(&self) -> CanaryWindow {
+        CanaryWindow {
+            passed: self.window_passed.load(Ordering::Relaxed),
+            failed: self.window_failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Take and reset the current window's outcomes (one window roll).
+    pub fn drain_window(&self) -> CanaryWindow {
+        CanaryWindow {
+            passed: self.window_passed.swap(0, Ordering::Relaxed),
+            failed: self.window_failed.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    /// The retained failure notes, oldest first.
+    pub fn recent_failures(&self) -> Vec<String> {
+        self.failures.lock().iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_fires_every_n_ticks() {
+        let schedule = CanarySchedule::new(3);
+        let fired: Vec<bool> = (0..7).map(|_| schedule.tick()).collect();
+        assert_eq!(fired, [false, false, true, false, false, true, false]);
+        assert!(schedule.is_enabled());
+    }
+
+    #[test]
+    fn zero_schedule_never_fires() {
+        let schedule = CanarySchedule::new(0);
+        assert!(!schedule.is_enabled());
+        assert!((0..10).all(|_| !schedule.tick()));
+    }
+
+    #[test]
+    fn tracker_windows_drain_independently_of_totals() {
+        let tracker = CanaryTracker::new();
+        tracker.record(true, "");
+        tracker.record(true, "");
+        tracker.record(false, "expected Verified, got Refuted");
+        let window = tracker.drain_window();
+        assert_eq!(
+            window,
+            CanaryWindow {
+                passed: 2,
+                failed: 1
+            }
+        );
+        assert!((window.pass_rate() - 2.0 / 3.0).abs() < 1e-12);
+        // Totals survive the drain; the window resets.
+        assert_eq!(tracker.totals(), (2, 1));
+        assert_eq!(tracker.drain_window().total(), 0);
+        assert_eq!(
+            tracker.recent_failures(),
+            vec!["expected Verified, got Refuted".to_string()]
+        );
+    }
+
+    #[test]
+    fn empty_tracker_pass_rate_is_one_not_nan() {
+        let tracker = CanaryTracker::new();
+        assert_eq!(tracker.pass_rate(), 1.0);
+        assert_eq!(tracker.window().pass_rate(), 1.0);
+    }
+
+    #[test]
+    fn failure_notes_are_bounded() {
+        let tracker = CanaryTracker::new();
+        for i in 0..40 {
+            tracker.record(false, format!("failure {i}"));
+        }
+        let notes = tracker.recent_failures();
+        assert_eq!(notes.len(), FAILURE_NOTES);
+        assert_eq!(notes.last().expect("non-empty"), "failure 39");
+    }
+}

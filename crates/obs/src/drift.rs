@@ -1,0 +1,202 @@
+//! Verdict-mix drift scoring against a frozen baseline.
+//!
+//! The drift monitor answers "does the category mix of the latest window
+//! look like the mix we froze when the service was known healthy?" with a
+//! log-likelihood-ratio **G-test** (the chi-square test's better-behaved
+//! sibling for small counts): `G = 2 Σ Oᵢ ln(Oᵢ / Eᵢ)`, where `Eᵢ` is the
+//! baseline proportion scaled to the window's total. Under the null
+//! hypothesis G is χ²-distributed with `k − 1` degrees of freedom, so a
+//! fixed threshold (default: the χ² critical value at p ≈ 0.001 for the
+//! four-verdict case) converts the score into a deterministic fire/clear
+//! decision — no randomness, no tuning loop on the hot path.
+
+use crate::window::WindowCounts;
+
+/// χ² critical value at p = 0.001 for 3 degrees of freedom — the default
+/// firing threshold for a four-category (verdict) mix.
+pub const CHI2_P001_DF3: f64 = 16.266;
+
+/// A frozen healthy category mix, smoothed so no expected cell is zero
+/// (a zero expectation makes G undefined the moment that category shows
+/// up at all).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftBaseline {
+    proportions: Vec<f64>,
+}
+
+impl DriftBaseline {
+    /// Freeze a baseline from observed healthy counts, with add-one
+    /// (Laplace) smoothing so every category keeps a nonzero expectation.
+    pub fn from_counts(counts: &WindowCounts) -> DriftBaseline {
+        let k = counts.counts().len().max(1) as f64;
+        let total = counts.total() as f64;
+        DriftBaseline {
+            proportions: counts
+                .counts()
+                .iter()
+                .map(|&c| (c as f64 + 1.0) / (total + k))
+                .collect(),
+        }
+    }
+
+    /// Freeze a baseline from explicit proportions (e.g. a `--baseline`
+    /// flag). Values are clamped positive and renormalized to sum to one.
+    pub fn from_proportions(proportions: &[f64]) -> DriftBaseline {
+        let floored: Vec<f64> = proportions
+            .iter()
+            .map(|&p| if p.is_finite() { p.max(1e-9) } else { 1e-9 })
+            .collect();
+        let sum: f64 = floored.iter().sum();
+        DriftBaseline {
+            proportions: floored.iter().map(|&p| p / sum).collect(),
+        }
+    }
+
+    /// The smoothed baseline proportions (sum to one).
+    pub fn proportions(&self) -> &[f64] {
+        &self.proportions
+    }
+
+    /// The G statistic of an observed window against this baseline
+    /// (zero for an empty window).
+    pub fn g_statistic(&self, observed: &WindowCounts) -> f64 {
+        let total = observed.total() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mut g = 0.0;
+        for (&o, &p) in observed.counts().iter().zip(self.proportions.iter()) {
+            if o == 0 {
+                continue; // lim x→0 of x·ln(x/e) is 0
+            }
+            let o = o as f64;
+            g += o * (o / (p * total)).ln();
+        }
+        2.0 * g
+    }
+}
+
+/// Drift evaluation of one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftAssessment {
+    /// The window's G statistic against the baseline.
+    pub score: f64,
+    /// Observations in the window.
+    pub samples: u64,
+    /// Whether the window had enough samples to judge at all.
+    pub judged: bool,
+    /// `judged` and the score exceeded the threshold.
+    pub drifted: bool,
+}
+
+/// A baseline plus firing policy: windows below `min_samples` are recorded
+/// but never fire (small windows make G noisy), larger windows fire when G
+/// crosses `threshold`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftDetector {
+    baseline: DriftBaseline,
+    threshold: f64,
+    min_samples: u64,
+}
+
+impl DriftDetector {
+    /// A detector over `baseline` firing at `threshold` once a window holds
+    /// at least `min_samples` observations.
+    pub fn new(baseline: DriftBaseline, threshold: f64, min_samples: u64) -> DriftDetector {
+        DriftDetector {
+            baseline,
+            threshold,
+            min_samples: min_samples.max(1),
+        }
+    }
+
+    /// The frozen baseline.
+    pub fn baseline(&self) -> &DriftBaseline {
+        &self.baseline
+    }
+
+    /// The firing threshold on the G statistic.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Score one window and decide whether it drifted.
+    pub fn evaluate(&self, observed: &WindowCounts) -> DriftAssessment {
+        let samples = observed.total();
+        let score = self.baseline.g_statistic(observed);
+        let judged = samples >= self.min_samples;
+        DriftAssessment {
+            score,
+            samples,
+            judged,
+            drifted: judged && score > self.threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_mix_scores_near_zero() {
+        let baseline = DriftBaseline::from_counts(&WindowCounts::from_counts(&[80, 10, 8, 2]));
+        let same = WindowCounts::from_counts(&[160, 20, 16, 4]);
+        let g = baseline.g_statistic(&same);
+        assert!(g < 1.0, "identical mix scored {g}");
+    }
+
+    #[test]
+    fn inverted_mix_scores_high() {
+        let baseline = DriftBaseline::from_counts(&WindowCounts::from_counts(&[80, 10, 8, 2]));
+        let inverted = WindowCounts::from_counts(&[2, 8, 10, 80]);
+        let g = baseline.g_statistic(&inverted);
+        assert!(g > CHI2_P001_DF3, "inverted mix scored only {g}");
+    }
+
+    #[test]
+    fn empty_window_scores_zero() {
+        let baseline = DriftBaseline::from_counts(&WindowCounts::from_counts(&[1, 1, 1, 1]));
+        assert_eq!(baseline.g_statistic(&WindowCounts::zeroed(4)), 0.0);
+    }
+
+    #[test]
+    fn novel_category_is_finite_thanks_to_smoothing() {
+        // The baseline never saw category 3; smoothing keeps its expected
+        // share nonzero so a window full of it scores high but finite.
+        let baseline = DriftBaseline::from_counts(&WindowCounts::from_counts(&[50, 50, 0, 0]));
+        let novel = WindowCounts::from_counts(&[0, 0, 0, 100]);
+        let g = baseline.g_statistic(&novel);
+        assert!(g.is_finite());
+        assert!(g > CHI2_P001_DF3);
+    }
+
+    #[test]
+    fn detector_guards_small_windows() {
+        let detector = DriftDetector::new(
+            DriftBaseline::from_counts(&WindowCounts::from_counts(&[90, 5, 4, 1])),
+            CHI2_P001_DF3,
+            20,
+        );
+        // Wildly different but tiny: scored, not fired.
+        let tiny = detector.evaluate(&WindowCounts::from_counts(&[0, 3, 0, 0]));
+        assert!(!tiny.judged);
+        assert!(!tiny.drifted);
+        // Same shift at volume: fires.
+        let big = detector.evaluate(&WindowCounts::from_counts(&[0, 120, 0, 0]));
+        assert!(big.judged);
+        assert!(big.drifted, "score {}", big.score);
+        // Healthy mix at volume: judged, clear.
+        let healthy = detector.evaluate(&WindowCounts::from_counts(&[180, 10, 8, 2]));
+        assert!(healthy.judged);
+        assert!(!healthy.drifted, "score {}", healthy.score);
+    }
+
+    #[test]
+    fn explicit_proportions_renormalize() {
+        let baseline = DriftBaseline::from_proportions(&[8.0, 1.0, 0.5, 0.5]);
+        let sum: f64 = baseline.proportions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((baseline.proportions()[0] - 0.8).abs() < 1e-12);
+    }
+}

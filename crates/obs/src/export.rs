@@ -13,10 +13,30 @@ use crate::registry::{RegistrySnapshot, SeriesValue};
 /// Quantiles exported for every histogram series.
 const QUANTILES: [f64; 4] = [0.5, 0.9, 0.95, 0.99];
 
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double quote, and line feed must be written as `\\`, `\"`,
+/// and `\n` — a raw newline or quote in a value corrupts every series
+/// after it in the scrape.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 fn label_block(labels: &[(&'static str, String)], extra: Option<(&str, String)>) -> String {
-    let mut pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
     if let Some((k, v)) = extra {
-        pairs.push(format!("{k}=\"{v}\""));
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(&v)));
     }
     if pairs.is_empty() {
         String::new()
@@ -35,7 +55,7 @@ pub fn render_prometheus(snapshot: &RegistrySnapshot) -> String {
             seen.push(series.name);
             let kind = match series.value {
                 SeriesValue::Counter(_) => "counter",
-                SeriesValue::Gauge(_) => "gauge",
+                SeriesValue::Gauge(_) | SeriesValue::Float(_) => "gauge",
                 SeriesValue::Histogram(_) => "summary",
             };
             let _ = writeln!(out, "# HELP {} {}", series.name, series.help);
@@ -51,6 +71,14 @@ pub fn render_prometheus(snapshot: &RegistrySnapshot) -> String {
                 );
             }
             SeriesValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {v}",
+                    series.name,
+                    label_block(&series.labels, None)
+                );
+            }
+            SeriesValue::Float(v) => {
                 let _ = writeln!(
                     out,
                     "{}{} {v}",
@@ -95,6 +123,7 @@ pub fn render_json(snapshot: &RegistrySnapshot) -> serde_json::Value {
         let value = match &series.value {
             SeriesValue::Counter(v) => serde_json::json!(*v),
             SeriesValue::Gauge(v) => serde_json::json!(*v),
+            SeriesValue::Float(v) => serde_json::json!(*v),
             SeriesValue::Histogram(h) => serde_json::json!({
                 "count": h.count(),
                 "mean_us": h.mean().as_micros() as u64,
@@ -152,6 +181,51 @@ mod tests {
         assert!(text.contains("verifai_stage_latency_seconds{stage=\"verify\",quantile=\"0.5\"}"));
         assert!(text.contains("verifai_stage_latency_seconds_count{stage=\"verify\"} 2"));
         assert!(text.contains("verifai_stage_latency_seconds_sum{stage=\"verify\"} 0.03"));
+    }
+
+    #[test]
+    fn pathological_label_values_are_escaped() {
+        let registry = Registry::new();
+        // A value exercising all three escapes: backslash, quote, newline.
+        let pathological = "C:\\lake\"prod\"\nline2";
+        registry
+            .counter("verifai_paths_total", "paths", &[("path", pathological)])
+            .add(1);
+        let text = render_prometheus(&registry.snapshot());
+        assert!(
+            text.contains(r#"verifai_paths_total{path="C:\\lake\"prod\"\nline2"} 1"#),
+            "escaped series line missing from:\n{text}"
+        );
+        // The raw newline must not split the series across lines: exactly
+        // HELP + TYPE + one sample line.
+        assert_eq!(text.lines().count(), 3, "scrape corrupted:\n{text}");
+    }
+
+    #[test]
+    fn escape_label_value_handles_each_special() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn float_gauge_renders_in_both_exporters() {
+        let registry = Registry::new();
+        registry
+            .float_gauge("verifai_quality_canary_pass_rate", "pass rate", &[])
+            .set(0.75);
+        let snap = registry.snapshot();
+        let text = render_prometheus(&snap);
+        assert!(text.contains("# TYPE verifai_quality_canary_pass_rate gauge"));
+        assert!(text.contains("verifai_quality_canary_pass_rate 0.75"));
+        let json = render_json(&snap);
+        assert_eq!(
+            json.as_object()
+                .and_then(|o| o.get("verifai_quality_canary_pass_rate"))
+                .and_then(|v| v.as_f64()),
+            Some(0.75)
+        );
     }
 
     #[test]

@@ -15,23 +15,42 @@
 //! * [`FlightRecorder`] — bounded retention of the most recent and the
 //!   slowest full request traces for post-hoc debugging;
 //! * [`render_prometheus`] / [`render_json`] — exporters over registry
-//!   snapshots.
+//!   snapshots;
+//! * quality-health primitives — [`CategoryWindow`] tumbling windows,
+//!   [`DriftDetector`] G-test drift scoring against a frozen baseline,
+//!   [`CanarySchedule`] / [`CanaryTracker`] golden-set probes,
+//!   [`BurnRateTracker`] multi-window SLO burn rates, and a severity-
+//!   leveled [`AlertLog`].
 //!
 //! The crate is deliberately a leaf: it knows nothing about lakes,
 //! indexes, or verdicts, so every layer of the workspace can depend on it.
+//! The quality primitives follow the same rule — windows count opaque
+//! category slots and canaries count opaque pass/fail outcomes; mapping
+//! verdicts onto slots and golden probes onto requests is the serving
+//! layer's business.
 
+pub mod alert;
+pub mod canary;
 pub mod clock;
 pub mod config;
+pub mod drift;
 pub mod export;
 pub mod hist;
 pub mod recorder;
 pub mod registry;
+pub mod slo;
 pub mod trace;
+pub mod window;
 
+pub use alert::{Alert, AlertKind, AlertLog, Severity};
+pub use canary::{CanarySchedule, CanaryTracker, CanaryWindow};
 pub use clock::{Clock, MockClock, SystemClock};
 pub use config::{ns_between, ObsConfig};
+pub use drift::{DriftAssessment, DriftBaseline, DriftDetector, CHI2_P001_DF3};
 pub use export::{render_json, render_prometheus};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use recorder::FlightRecorder;
-pub use registry::{Counter, Gauge, Registry, RegistrySnapshot, SeriesValue};
+pub use registry::{Counter, FloatGauge, Gauge, Registry, RegistrySnapshot, SeriesValue};
+pub use slo::{BurnRateTracker, SloAssessment, SloConfig};
 pub use trace::{RequestTrace, SpanEvent, TraceId};
+pub use window::{CalibrationBins, CalibrationSnapshot, CategoryWindow, WindowCounts};

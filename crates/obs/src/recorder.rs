@@ -5,8 +5,14 @@
 //! debug). Memory is bounded by `recent + slowest` traces regardless of
 //! how long the service runs; a trace evicted from the recent ring
 //! survives if it is among the slowest.
+//!
+//! Lookups by trace id are O(1) through a side map maintained on every
+//! record and eviction: each retained trace carries a pool refcount, so a
+//! trace leaves the map exactly when the last pool lets go of it. Trace
+//! ids are allocator-unique within a process, which is what keeps one map
+//! entry per trace sufficient.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -17,6 +23,29 @@ struct Inner {
     recent: VecDeque<Arc<RequestTrace>>,
     /// Sorted descending by `total_ns`, truncated to capacity.
     slowest: Vec<Arc<RequestTrace>>,
+    /// Trace id → (trace, number of pools retaining it). Sized by the two
+    /// pool capacities, like the pools themselves.
+    by_id: HashMap<TraceId, (Arc<RequestTrace>, u8)>,
+}
+
+impl Inner {
+    /// One more pool holds `trace`.
+    fn retain_id(&mut self, trace: &Arc<RequestTrace>) {
+        self.by_id
+            .entry(trace.trace_id)
+            .or_insert_with(|| (Arc::clone(trace), 0))
+            .1 += 1;
+    }
+
+    /// One pool evicted `trace`; drop the map entry with the last holder.
+    fn release_id(&mut self, trace: &Arc<RequestTrace>) {
+        if let Some(entry) = self.by_id.get_mut(&trace.trace_id) {
+            entry.1 -= 1;
+            if entry.1 == 0 {
+                self.by_id.remove(&trace.trace_id);
+            }
+        }
+    }
 }
 
 /// Bounded in-memory store of completed request traces.
@@ -38,6 +67,7 @@ impl FlightRecorder {
             inner: Mutex::new(Inner {
                 recent: VecDeque::with_capacity(recent),
                 slowest: Vec::with_capacity(slowest.saturating_add(1)),
+                by_id: HashMap::with_capacity(recent.saturating_add(slowest)),
             }),
         }
     }
@@ -53,8 +83,11 @@ impl FlightRecorder {
         let mut inner = self.inner.lock();
         if self.recent_capacity > 0 {
             if inner.recent.len() == self.recent_capacity {
-                inner.recent.pop_front();
+                if let Some(evicted) = inner.recent.pop_front() {
+                    inner.release_id(&evicted);
+                }
             }
+            inner.retain_id(&trace);
             inner.recent.push_back(Arc::clone(&trace));
         }
         if self.slowest_capacity > 0 {
@@ -62,8 +95,16 @@ impl FlightRecorder {
                 .slowest
                 .partition_point(|t| t.total_ns >= trace.total_ns);
             if at < self.slowest_capacity {
+                inner.retain_id(&trace);
                 inner.slowest.insert(at, trace);
-                inner.slowest.truncate(self.slowest_capacity);
+                // The insert index is strictly below capacity, so the entry
+                // squeezed out is always the previous last — never the one
+                // just inserted.
+                if inner.slowest.len() > self.slowest_capacity {
+                    if let Some(dropped) = inner.slowest.pop() {
+                        inner.release_id(&dropped);
+                    }
+                }
             }
         }
     }
@@ -73,17 +114,14 @@ impl FlightRecorder {
         self.recorded.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Look a trace up by id, searching the recent ring (newest first) and
-    /// then the slowest pool.
+    /// Look a retained trace up by id — O(1) via the side map, regardless
+    /// of pool sizes.
     pub fn lookup(&self, trace_id: TraceId) -> Option<Arc<RequestTrace>> {
-        let inner = self.inner.lock();
-        inner
-            .recent
-            .iter()
-            .rev()
-            .find(|t| t.trace_id == trace_id)
-            .or_else(|| inner.slowest.iter().find(|t| t.trace_id == trace_id))
-            .map(Arc::clone)
+        self.inner
+            .lock()
+            .by_id
+            .get(&trace_id)
+            .map(|(trace, _)| Arc::clone(trace))
     }
 
     /// The retained recent traces, oldest first.
@@ -143,6 +181,61 @@ mod tests {
         // slowest entry — retrievable by id either way.
         assert_eq!(recorder.lookup(1).expect("retained as slow").total_ns, 500);
         assert!(recorder.lookup(2).is_none(), "fast and old: evicted");
+    }
+
+    #[test]
+    fn zero_capacity_recorder_counts_but_retains_nothing() {
+        let recorder = FlightRecorder::new(0, 0);
+        recorder.record(trace(1, 100));
+        recorder.record(trace(2, 900));
+        assert_eq!(recorder.recorded(), 2);
+        assert!(recorder.recent().is_empty());
+        assert!(recorder.slowest().is_empty());
+        assert!(recorder.lookup(1).is_none());
+        assert!(recorder.lookup(2).is_none());
+        assert!(
+            recorder.inner.lock().by_id.is_empty(),
+            "id map must not leak"
+        );
+    }
+
+    #[test]
+    fn slowest_ties_keep_earlier_arrivals() {
+        let recorder = FlightRecorder::new(0, 2);
+        recorder.record(trace(1, 500));
+        recorder.record(trace(2, 500));
+        // A third tie has no room: every retained entry sorts at-or-before
+        // it, so it lands exactly at capacity and is rejected.
+        recorder.record(trace(3, 500));
+        let ids: Vec<TraceId> = recorder.slowest().iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert!(recorder.lookup(2).is_some());
+        assert!(recorder.lookup(3).is_none());
+        // A strictly slower trace still displaces the newest tie.
+        recorder.record(trace(4, 501));
+        let ids: Vec<TraceId> = recorder.slowest().iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, vec![4, 1]);
+        assert!(recorder.lookup(2).is_none(), "displaced tie must evict");
+        assert_eq!(recorder.inner.lock().by_id.len(), 2);
+    }
+
+    #[test]
+    fn lookup_map_stays_bounded_by_pool_capacities() {
+        let recorder = FlightRecorder::new(3, 2);
+        for id in 1..=100 {
+            recorder.record(trace(id, id * 7 % 13));
+        }
+        let inner = recorder.inner.lock();
+        assert!(
+            inner.by_id.len() <= 5,
+            "{} ids retained for 3+2 slots",
+            inner.by_id.len()
+        );
+        // Every retained trace is reachable; every map entry is retained.
+        drop(inner);
+        for t in recorder.recent().iter().chain(recorder.slowest().iter()) {
+            assert!(recorder.lookup(t.trace_id).is_some());
+        }
     }
 
     #[test]

@@ -111,11 +111,45 @@ impl Gauge {
     }
 }
 
+/// An instantaneous floating-point value (pass rates, drift scores, burn
+/// rates) stored as its IEEE-754 bit pattern in an atomic — lock-free set
+/// and get, no NaN ever written by the quality paths that feed it.
+#[derive(Default)]
+pub struct FloatGauge {
+    bits: AtomicU64,
+}
+
+impl std::fmt::Debug for FloatGauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FloatGauge")
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+impl FloatGauge {
+    /// A zeroed gauge.
+    pub fn new() -> FloatGauge {
+        FloatGauge::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
 /// The value side of one registered metric.
 #[derive(Clone)]
 enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
+    FloatGauge(Arc<FloatGauge>),
     Histogram(Arc<Histogram>),
 }
 
@@ -166,6 +200,18 @@ impl Registry {
         gauge
     }
 
+    /// Register a floating-point gauge series.
+    pub fn float_gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<FloatGauge> {
+        let gauge = Arc::new(FloatGauge::new());
+        self.push(name, help, labels, Metric::FloatGauge(Arc::clone(&gauge)));
+        gauge
+    }
+
     /// Register a histogram series.
     pub fn histogram(
         &self,
@@ -212,6 +258,7 @@ impl Registry {
                     value: match &e.metric {
                         Metric::Counter(c) => SeriesValue::Counter(c.get()),
                         Metric::Gauge(g) => SeriesValue::Gauge(g.get()),
+                        Metric::FloatGauge(g) => SeriesValue::Float(g.get()),
                         Metric::Histogram(h) => SeriesValue::Histogram(h.snapshot()),
                     },
                 })
@@ -240,6 +287,8 @@ pub enum SeriesValue {
     Counter(u64),
     /// Instantaneous value.
     Gauge(i64),
+    /// Instantaneous floating-point value.
+    Float(f64),
     /// Distribution snapshot.
     Histogram(HistogramSnapshot),
 }
@@ -281,6 +330,16 @@ mod tests {
         gauge.set(5);
         gauge.add(-2);
         assert_eq!(gauge.get(), 3);
+    }
+
+    #[test]
+    fn float_gauge_round_trips_fractional_values() {
+        let gauge = FloatGauge::new();
+        assert_eq!(gauge.get(), 0.0);
+        gauge.set(0.875);
+        assert_eq!(gauge.get(), 0.875);
+        gauge.set(-3.5);
+        assert_eq!(gauge.get(), -3.5);
     }
 
     #[test]

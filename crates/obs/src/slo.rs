@@ -1,0 +1,242 @@
+//! Multi-window SLO burn-rate evaluation.
+//!
+//! An SLO of the form "`objective` of requests finish under `threshold`"
+//! defines an error budget of `1 − objective`. The **burn rate** over a
+//! lookback window is the observed violation ratio divided by that budget:
+//! burn 1.0 spends the budget exactly on schedule, burn 10 exhausts a
+//! 30-day budget in 3 days. Following the standard multi-window alerting
+//! discipline, an alert fires only when *both* a fast window (catches
+//! sudden breakage, recovers quickly) and a slow window (filters blips)
+//! exceed their burn thresholds.
+//!
+//! The tracker consumes cumulative `(total, over-threshold)` request
+//! counts sampled at quality ticks — deltas between samples reconstruct
+//! any window without per-request bookkeeping. Time comes from the caller
+//! as nanoseconds since its epoch, so a `MockClock`-driven service
+//! evaluates burn rates deterministically.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// The latency objective and the two alerting windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// Share of requests that must finish under [`SloConfig::threshold`]
+    /// (e.g. `0.99`).
+    pub objective: f64,
+    /// The per-request latency bound.
+    pub threshold: Duration,
+    /// Fast lookback window.
+    pub fast_window: Duration,
+    /// Slow lookback window.
+    pub slow_window: Duration,
+    /// Burn-rate threshold the fast window must exceed to fire.
+    pub fast_burn: f64,
+    /// Burn-rate threshold the slow window must exceed to fire.
+    pub slow_burn: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            objective: 0.99,
+            threshold: Duration::from_millis(250),
+            fast_window: Duration::from_secs(10),
+            slow_window: Duration::from_secs(60),
+            fast_burn: 10.0,
+            slow_burn: 2.0,
+        }
+    }
+}
+
+impl SloConfig {
+    /// The error budget `1 − objective`, floored away from zero so burn
+    /// rates stay finite even for a (nonsensical) 100% objective.
+    pub fn budget(&self) -> f64 {
+        (1.0 - self.objective).max(1e-9)
+    }
+}
+
+/// One cumulative sample: counts as of `at_ns` on the caller's clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Sample {
+    at_ns: u64,
+    total: u64,
+    over: u64,
+}
+
+/// Burn-rate evaluation of both windows at one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloAssessment {
+    /// Burn rate over the fast window (0 with no traffic — never NaN).
+    pub fast_burn: f64,
+    /// Burn rate over the slow window.
+    pub slow_burn: f64,
+    /// Both windows exceeded their thresholds.
+    pub firing: bool,
+}
+
+/// Ring of cumulative samples supporting windowed burn-rate queries.
+#[derive(Debug)]
+pub struct BurnRateTracker {
+    config: SloConfig,
+    samples: VecDeque<Sample>,
+}
+
+impl BurnRateTracker {
+    /// An empty tracker for `config`.
+    pub fn new(config: SloConfig) -> BurnRateTracker {
+        BurnRateTracker {
+            config,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// The configuration under evaluation.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Record the cumulative counters as of `at_ns` and evaluate both
+    /// windows. Samples older than twice the slow window are pruned, so
+    /// memory stays bounded for arbitrarily long runs.
+    pub fn observe(&mut self, at_ns: u64, total: u64, over: u64) -> SloAssessment {
+        self.samples.push_back(Sample { at_ns, total, over });
+        let horizon = at_ns.saturating_sub(2 * self.config.slow_window.as_nanos() as u64);
+        while self
+            .samples
+            .front()
+            .is_some_and(|s| s.at_ns < horizon && self.samples.len() > 1)
+        {
+            self.samples.pop_front();
+        }
+        let fast_burn = self.burn_rate(at_ns, self.config.fast_window);
+        let slow_burn = self.burn_rate(at_ns, self.config.slow_window);
+        SloAssessment {
+            fast_burn,
+            slow_burn,
+            firing: fast_burn > self.config.fast_burn && slow_burn > self.config.slow_burn,
+        }
+    }
+
+    /// The burn rate over the trailing `window` ending at `now_ns`: the
+    /// violation ratio between the newest sample and the sample at (or
+    /// nearest before) the window start, divided by the error budget.
+    /// Returns 0 when the window saw no requests (never NaN). A tracker
+    /// younger than the window evaluates over its full history — burn can
+    /// fire early in a badly broken run, which is the point of the fast
+    /// window; the slow window's gate filters start-up blips.
+    pub fn burn_rate(&self, now_ns: u64, window: Duration) -> f64 {
+        let newest = match self.samples.back() {
+            Some(sample) => *sample,
+            None => return 0.0,
+        };
+        let boundary = now_ns.saturating_sub(window.as_nanos() as u64);
+        // Newest sample at or before the boundary; else the oldest we have.
+        let start = self
+            .samples
+            .iter()
+            .rev()
+            .find(|s| s.at_ns <= boundary)
+            .or_else(|| self.samples.front())
+            .copied()
+            .unwrap_or(newest);
+        let total = newest.total.saturating_sub(start.total);
+        if total == 0 {
+            return 0.0;
+        }
+        let over = newest.over.saturating_sub(start.over);
+        (over as f64 / total as f64) / self.config.budget()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SloConfig {
+        SloConfig {
+            objective: 0.9,
+            threshold: Duration::from_millis(100),
+            fast_window: Duration::from_secs(2),
+            slow_window: Duration::from_secs(10),
+            fast_burn: 5.0,
+            slow_burn: 2.0,
+        }
+    }
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn no_traffic_burns_nothing() {
+        let mut tracker = BurnRateTracker::new(config());
+        let a = tracker.observe(0, 0, 0);
+        assert_eq!(a.fast_burn, 0.0);
+        assert!(!a.firing);
+        let b = tracker.observe(SEC, 0, 0);
+        assert_eq!(b.slow_burn, 0.0);
+        assert!(b.fast_burn.is_finite());
+    }
+
+    #[test]
+    fn healthy_traffic_burns_under_one() {
+        let mut tracker = BurnRateTracker::new(config());
+        // 1% violations against a 10% budget: burn 0.1.
+        let mut last = SloAssessment {
+            fast_burn: 0.0,
+            slow_burn: 0.0,
+            firing: false,
+        };
+        for tick in 0..20u64 {
+            last = tracker.observe(tick * SEC, tick * 100, tick);
+        }
+        assert!((last.fast_burn - 0.1).abs() < 1e-9, "{last:?}");
+        assert!((last.slow_burn - 0.1).abs() < 1e-9);
+        assert!(!last.firing);
+    }
+
+    #[test]
+    fn sustained_violations_fire_both_windows() {
+        let mut tracker = BurnRateTracker::new(config());
+        // All requests violate: ratio 1.0 against budget 0.1 → burn 10.
+        let mut fired = false;
+        for tick in 0..20u64 {
+            fired = tracker.observe(tick * SEC, tick * 100, tick * 100).firing;
+        }
+        assert!(fired);
+        assert!((tracker.burn_rate(19 * SEC, Duration::from_secs(2)) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_window_recovers_while_slow_remembers() {
+        let mut tracker = BurnRateTracker::new(config());
+        // 5 bad seconds, then 5 clean ones.
+        for tick in 0..5u64 {
+            tracker.observe(tick * SEC, tick * 100, tick * 100);
+        }
+        let mut last = None;
+        for tick in 5..10u64 {
+            last = Some(tracker.observe(tick * SEC, (tick) * 100 + 400, 400));
+        }
+        let last = last.expect("observed");
+        // Fast (2s) window saw only clean traffic; slow window still burns.
+        assert_eq!(last.fast_burn, 0.0);
+        assert!(last.slow_burn > 2.0);
+        assert!(!last.firing, "recovered fast window must clear the alert");
+    }
+
+    #[test]
+    fn sample_ring_is_bounded() {
+        let mut tracker = BurnRateTracker::new(config());
+        for tick in 0..10_000u64 {
+            tracker.observe(tick * SEC, tick, 0);
+        }
+        // Horizon is 2× the 10s slow window: ~20 one-second samples plus
+        // slack, not ten thousand.
+        assert!(
+            tracker.samples.len() < 64,
+            "{} retained",
+            tracker.samples.len()
+        );
+    }
+}

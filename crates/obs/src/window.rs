@@ -1,0 +1,323 @@
+//! Windowed category counting and calibration binning.
+//!
+//! Quality signals are ratios over *recent* traffic, not lifetime totals —
+//! a verifier that degraded an hour ago is invisible in cumulative
+//! counters. [`CategoryWindow`] accumulates per-category counts lock-free
+//! and is periodically drained into an owned [`WindowCounts`] (one tumbling
+//! window) by whoever drives the roll cadence. [`CalibrationBins`] does the
+//! same for (score, outcome) pairs: fixed score bins, each tracking mean
+//! score and positive rate, so a divergence between "how confident the
+//! reranker was" and "how often the verifier agreed" is observable.
+//!
+//! Both snapshots merge bucket-wise (commutative and associative), so
+//! per-worker accumulators combine in any order — the same contract the
+//! histogram snapshots carry, and property-tested the same way.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free accumulator of counts over a fixed set of categories (e.g.
+/// the four verdicts). Writers [`CategoryWindow::absorb`] by slot index;
+/// the window driver [`CategoryWindow::drain`]s it at each window boundary.
+#[derive(Debug)]
+pub struct CategoryWindow {
+    counts: Box<[AtomicU64]>,
+}
+
+impl CategoryWindow {
+    /// A zeroed window over `categories` slots.
+    pub fn new(categories: usize) -> CategoryWindow {
+        CategoryWindow {
+            counts: (0..categories).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of category slots.
+    pub fn categories(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count one observation of category `slot` (lock-free, no allocation).
+    /// Out-of-range slots are ignored rather than panicking on the hot path.
+    pub fn absorb(&self, slot: usize) {
+        if let Some(count) = self.counts.get(slot) {
+            count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy without resetting.
+    pub fn snapshot(&self) -> WindowCounts {
+        WindowCounts {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Take the accumulated counts and reset to zero — one tumbling-window
+    /// roll. Concurrent absorbs land in either the drained window or the
+    /// next one, never both and never lost.
+    pub fn drain(&self) -> WindowCounts {
+        WindowCounts {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.swap(0, Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Owned per-category counts of one (or several merged) windows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowCounts {
+    counts: Box<[u64]>,
+}
+
+impl WindowCounts {
+    /// A zeroed count vector over `categories` slots.
+    pub fn zeroed(categories: usize) -> WindowCounts {
+        WindowCounts {
+            counts: vec![0; categories].into_boxed_slice(),
+        }
+    }
+
+    /// Counts from explicit values (tests, baselines).
+    pub fn from_counts(counts: &[u64]) -> WindowCounts {
+        WindowCounts {
+            counts: counts.to_vec().into_boxed_slice(),
+        }
+    }
+
+    /// The per-category counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations across categories.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Category shares, uniform when the window is empty (never NaN).
+    pub fn proportions(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            let k = self.counts.len().max(1);
+            return vec![1.0 / k as f64; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Merge another window into this one (slot-wise addition; commutative
+    /// and associative). Mismatched widths merge over the shared prefix.
+    pub fn merge(&mut self, other: &WindowCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Fixed-point scale for score sums: six decimal digits survive the u64
+/// accumulation without float non-associativity breaking merge equality.
+const SCORE_SCALE: f64 = 1e6;
+
+/// One calibration bin's lock-free accumulator.
+#[derive(Debug, Default)]
+struct Bin {
+    count: AtomicU64,
+    score_sum: AtomicU64,
+    positives: AtomicU64,
+}
+
+/// Lock-free calibration tracker: scores in `[0, 1]` (clamped) land in one
+/// of `bins` uniform bins; each bin accumulates its observation count, mean
+/// score, and positive-outcome rate. The quality monitor feeds it the
+/// reranker's top evidence score paired with "did the decision come out
+/// Verified", so a well-calibrated pipeline shows positive rate rising
+/// with the bin's mean score.
+#[derive(Debug)]
+pub struct CalibrationBins {
+    bins: Box<[Bin]>,
+}
+
+impl CalibrationBins {
+    /// A tracker with `bins` uniform score bins (at least one).
+    pub fn new(bins: usize) -> CalibrationBins {
+        CalibrationBins {
+            bins: (0..bins.max(1)).map(|_| Bin::default()).collect(),
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Record one (score, outcome) observation. Scores are clamped into
+    /// `[0, 1]`; NaN scores are dropped.
+    pub fn absorb(&self, score: f64, positive: bool) {
+        if score.is_nan() {
+            return;
+        }
+        let score = score.clamp(0.0, 1.0);
+        let k = self.bins.len();
+        let index = ((score * k as f64) as usize).min(k - 1);
+        let bin = &self.bins[index];
+        bin.count.fetch_add(1, Ordering::Relaxed);
+        bin.score_sum
+            .fetch_add((score * SCORE_SCALE) as u64, Ordering::Relaxed);
+        if positive {
+            bin.positives.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of every bin.
+    pub fn snapshot(&self) -> CalibrationSnapshot {
+        CalibrationSnapshot {
+            bins: self
+                .bins
+                .iter()
+                .map(|b| CalibrationBin {
+                    count: b.count.load(Ordering::Relaxed),
+                    score_sum: b.score_sum.load(Ordering::Relaxed),
+                    positives: b.positives.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One frozen calibration bin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CalibrationBin {
+    /// Observations that landed in this bin.
+    pub count: u64,
+    /// Fixed-point (×1e6) sum of scores in this bin.
+    score_sum: u64,
+    /// Observations with a positive outcome (decision Verified).
+    pub positives: u64,
+}
+
+impl CalibrationBin {
+    /// Mean score of the bin's observations (zero when empty — never NaN).
+    pub fn mean_score(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.score_sum as f64 / SCORE_SCALE / self.count as f64
+    }
+
+    /// Share of positive outcomes (zero when empty — never NaN).
+    pub fn positive_rate(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.positives as f64 / self.count as f64
+    }
+
+    fn merge(&mut self, other: &CalibrationBin) {
+        self.count += other.count;
+        self.score_sum += other.score_sum;
+        self.positives += other.positives;
+    }
+}
+
+/// Frozen calibration state across all bins.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CalibrationSnapshot {
+    /// Per-bin aggregates, lowest score bin first.
+    pub bins: Vec<CalibrationBin>,
+}
+
+impl CalibrationSnapshot {
+    /// Total observations across bins.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().map(|b| b.count).sum()
+    }
+
+    /// Merge another snapshot into this one (bin-wise; commutative and
+    /// associative). Mismatched widths merge over the shared prefix.
+    pub fn merge(&mut self, other: &CalibrationSnapshot) {
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            a.merge(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_takes_and_resets() {
+        let window = CategoryWindow::new(4);
+        window.absorb(0);
+        window.absorb(0);
+        window.absorb(3);
+        window.absorb(9); // out of range: dropped, not a panic
+        let first = window.drain();
+        assert_eq!(first.counts(), &[2, 0, 0, 1]);
+        assert_eq!(first.total(), 3);
+        assert_eq!(window.drain().total(), 0, "drain resets");
+    }
+
+    #[test]
+    fn empty_window_proportions_are_uniform_not_nan() {
+        let empty = WindowCounts::zeroed(4);
+        let p = empty.proportions();
+        assert_eq!(p, vec![0.25; 4]);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn window_merge_is_slotwise_addition() {
+        let mut a = WindowCounts::from_counts(&[1, 2, 3, 4]);
+        a.merge(&WindowCounts::from_counts(&[10, 0, 0, 1]));
+        assert_eq!(a.counts(), &[11, 2, 3, 5]);
+    }
+
+    #[test]
+    fn calibration_bins_track_mean_and_rate() {
+        let cal = CalibrationBins::new(4);
+        cal.absorb(0.1, false);
+        cal.absorb(0.15, false);
+        cal.absorb(0.9, true);
+        cal.absorb(0.95, true);
+        cal.absorb(2.0, true); // clamped into the top bin
+        cal.absorb(f64::NAN, true); // dropped
+        let snap = cal.snapshot();
+        assert_eq!(snap.total(), 5);
+        assert_eq!(snap.bins[0].count, 2);
+        assert!((snap.bins[0].mean_score() - 0.125).abs() < 1e-6);
+        assert_eq!(snap.bins[0].positive_rate(), 0.0);
+        assert_eq!(snap.bins[3].count, 3);
+        assert_eq!(snap.bins[3].positive_rate(), 1.0);
+        // Empty bins report finite zeros, never NaN.
+        assert_eq!(snap.bins[1].mean_score(), 0.0);
+        assert_eq!(snap.bins[1].positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_absorbs_are_all_counted() {
+        let window = std::sync::Arc::new(CategoryWindow::new(4));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let window = std::sync::Arc::clone(&window);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        window.absorb(t % 4);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("absorber thread");
+        }
+        assert_eq!(window.snapshot().counts(), &[1000, 1000, 1000, 1000]);
+    }
+}

@@ -5,10 +5,12 @@
 
 pub mod cache;
 pub mod obs;
+pub mod quality;
 pub mod service;
 pub mod stats;
 
 pub use cache::{CacheStats, EvidenceCache};
 pub use obs::ServiceObs;
+pub use quality::{QualityConfig, QualityMonitor, QualityStats};
 pub use service::{RequestOutcome, ServiceConfig, SubmitError, Ticket, VerificationService};
 pub use stats::{ServiceStats, StageLatency, StageTotals, VerdictCounts};

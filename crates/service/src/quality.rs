@@ -1,0 +1,509 @@
+//! Online quality monitoring: verdict-drift, canaries, calibration, SLO.
+//!
+//! Latency tells you the service is *fast*; nothing so far told you it is
+//! *right*. This module watches correctness-adjacent signals over recent
+//! traffic and turns them into [`Alert`]s:
+//!
+//! * **Verdict drift** — per-window verdict counts scored against a frozen
+//!   healthy baseline with a G-test ([`verifai_obs::drift`]). A corrupted
+//!   verifier shifts the verdict mix long before anyone reads a report.
+//! * **Golden-set canaries** — known-truth probes injected by the serving
+//!   binary; [`QualityMonitor::record_canary`] tracks pass rates and fires
+//!   when the pipeline stops reproducing answers it always got right.
+//! * **Calibration** — the reranker's top evidence score paired with "did
+//!   the decision come out Verified", binned so score/outcome divergence
+//!   is visible in exports.
+//! * **SLO burn rate** — multi-window burn over the existing end-to-end
+//!   latency histogram ([`HistogramSnapshot::count_over`]).
+//!
+//! All state is driven by the observability clock: windows roll when
+//! request completions observe that the window duration elapsed, and a
+//! [`QualityMonitor::finalize`] at shutdown force-rolls the last partial
+//! window (guarded by `drift_min_samples` so a thin tail never fires a
+//! spurious drift alert). Under a `MockClock` every roll, score, and alert
+//! is deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use verifai_obs::{
+    Alert, AlertKind, AlertLog, CalibrationBins, CalibrationSnapshot, CanaryTracker, CanaryWindow,
+    CategoryWindow, DriftAssessment, DriftBaseline, DriftDetector, HistogramSnapshot, Severity,
+    SloAssessment, SloConfig, CHI2_P001_DF3,
+};
+
+use crate::obs::VERDICT_CATEGORIES;
+
+/// Tuning for a [`QualityMonitor`].
+#[derive(Debug, Clone)]
+pub struct QualityConfig {
+    /// Collect quality signals at all. Disabled costs nothing on the hot
+    /// path (the monitor is simply not constructed).
+    pub enabled: bool,
+    /// Tumbling window length; every quality signal is evaluated once per
+    /// window.
+    pub window: Duration,
+    /// Explicit healthy verdict-mix proportions
+    /// (verified/refuted/not-related/unknown). `None` freezes the baseline
+    /// from the first window holding at least `drift_min_samples` requests.
+    pub baseline: Option<Vec<f64>>,
+    /// G-statistic firing threshold (default: χ² at p ≈ 0.001, df 3).
+    pub drift_threshold: f64,
+    /// Windows below this many requests are scored but never fire.
+    pub drift_min_samples: u64,
+    /// Uniform score bins for the calibration tracker.
+    pub calibration_bins: usize,
+    /// Fire [`AlertKind::CanaryFailure`] when a window's canary pass rate
+    /// drops below this (windows without probes are skipped).
+    pub canary_pass_threshold: f64,
+    /// Latency objective and burn-rate windows.
+    pub slo: SloConfig,
+    /// Retained alert-history transitions.
+    pub alert_history: usize,
+}
+
+impl Default for QualityConfig {
+    fn default() -> QualityConfig {
+        QualityConfig {
+            enabled: true,
+            window: Duration::from_secs(10),
+            baseline: None,
+            drift_threshold: CHI2_P001_DF3,
+            drift_min_samples: 32,
+            calibration_bins: 10,
+            canary_pass_threshold: 0.99,
+            slo: SloConfig::default(),
+            alert_history: 64,
+        }
+    }
+}
+
+impl QualityConfig {
+    /// Quality monitoring disabled.
+    pub fn off() -> QualityConfig {
+        QualityConfig {
+            enabled: false,
+            ..QualityConfig::default()
+        }
+    }
+}
+
+/// Window-roll state the hot path never touches.
+struct RollState {
+    windows: u64,
+    detector: Option<DriftDetector>,
+    slo: verifai_obs::BurnRateTracker,
+    last_drift: Option<DriftAssessment>,
+    last_canary: CanaryWindow,
+    last_slo: SloAssessment,
+}
+
+/// The service's quality monitor: lock-free absorbers fed per completed
+/// request, rolled into per-window evaluations that fire and resolve
+/// alerts.
+pub struct QualityMonitor {
+    config: QualityConfig,
+    epoch: Instant,
+    window_ns: u64,
+    next_roll_ns: AtomicU64,
+    verdicts: CategoryWindow,
+    calibration: CalibrationBins,
+    canaries: CanaryTracker,
+    alerts: AlertLog,
+    roll: Mutex<RollState>,
+}
+
+impl QualityMonitor {
+    /// A monitor whose first window starts at `epoch` (read from the
+    /// observability clock by the caller, so mock time works).
+    pub fn new(config: QualityConfig, epoch: Instant) -> QualityMonitor {
+        let window_ns = (config.window.as_nanos() as u64).max(1);
+        let detector = config.baseline.as_ref().map(|p| {
+            DriftDetector::new(
+                DriftBaseline::from_proportions(p),
+                config.drift_threshold,
+                config.drift_min_samples,
+            )
+        });
+        QualityMonitor {
+            epoch,
+            window_ns,
+            next_roll_ns: AtomicU64::new(window_ns),
+            verdicts: CategoryWindow::new(VERDICT_CATEGORIES),
+            calibration: CalibrationBins::new(config.calibration_bins),
+            canaries: CanaryTracker::new(),
+            alerts: AlertLog::new(config.alert_history),
+            roll: Mutex::new(RollState {
+                windows: 0,
+                detector,
+                slo: verifai_obs::BurnRateTracker::new(config.slo),
+                last_drift: None,
+                last_canary: CanaryWindow::default(),
+                last_slo: SloAssessment {
+                    fast_burn: 0.0,
+                    slow_burn: 0.0,
+                    firing: false,
+                },
+            }),
+            config,
+        }
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &QualityConfig {
+        &self.config
+    }
+
+    /// The instant window 0 started.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// The alert sink (active set, history, severity counters).
+    pub fn alerts(&self) -> &AlertLog {
+        &self.alerts
+    }
+
+    /// Absorb one completed request: its verdict slot and, when evidence
+    /// was scored, the reranker's top score paired with whether the
+    /// decision came out in the positive slot. Lock-free, allocation-free.
+    pub fn observe(&self, verdict_slot: usize, top_score: Option<f64>) {
+        self.verdicts.absorb(verdict_slot);
+        if let Some(score) = top_score {
+            self.calibration.absorb(score, verdict_slot == 0);
+        }
+    }
+
+    /// Record one canary probe outcome.
+    pub fn record_canary(&self, pass: bool, note: &str) {
+        self.canaries.record(pass, note);
+    }
+
+    /// Whether `now_ns` (nanoseconds since [`QualityMonitor::epoch`]) is
+    /// past the current window's end — the hot path's one-atomic-load gate.
+    pub fn due(&self, now_ns: u64) -> bool {
+        now_ns >= self.next_roll_ns.load(Ordering::Relaxed)
+    }
+
+    /// Roll the window if it is due. `latency` is only invoked when a roll
+    /// actually happens (it snapshots the end-to-end histogram, which is
+    /// too expensive for the per-request path). Returns whether a window
+    /// rolled.
+    pub fn maybe_roll(&self, now_ns: u64, latency: impl FnOnce() -> HistogramSnapshot) -> bool {
+        if !self.due(now_ns) {
+            return false;
+        }
+        let mut state = self.roll.lock();
+        // Recheck under the lock: another worker may have rolled already.
+        if !self.due(now_ns) {
+            return false;
+        }
+        self.next_roll_ns
+            .store(now_ns.saturating_add(self.window_ns), Ordering::Relaxed);
+        self.roll_locked(&mut state, now_ns, &latency());
+        true
+    }
+
+    /// Force-roll the current (possibly partial) window — called at
+    /// shutdown so short real-clock runs still evaluate once. The
+    /// `drift_min_samples` guard keeps a thin final window from firing.
+    pub fn finalize(&self, now_ns: u64, latency: &HistogramSnapshot) {
+        let mut state = self.roll.lock();
+        self.next_roll_ns
+            .store(now_ns.saturating_add(self.window_ns), Ordering::Relaxed);
+        self.roll_locked(&mut state, now_ns, latency);
+    }
+
+    fn roll_locked(&self, state: &mut RollState, now_ns: u64, latency: &HistogramSnapshot) {
+        state.windows += 1;
+        let window = self.verdicts.drain();
+
+        // Verdict drift. Without an explicit baseline the first
+        // sufficiently-full window is frozen as "healthy" and is not scored
+        // against itself.
+        match &state.detector {
+            None => {
+                if window.total() >= self.config.drift_min_samples {
+                    state.detector = Some(DriftDetector::new(
+                        DriftBaseline::from_counts(&window),
+                        self.config.drift_threshold,
+                        self.config.drift_min_samples,
+                    ));
+                }
+                state.last_drift = None;
+            }
+            Some(detector) => {
+                let assessment = detector.evaluate(&window);
+                if assessment.drifted {
+                    self.alerts.fire(Alert {
+                        kind: AlertKind::VerdictDrift,
+                        severity: Severity::Critical,
+                        message: format!(
+                            "verdict mix G {:.2} > {:.2} over {} requests (baseline {:?})",
+                            assessment.score,
+                            detector.threshold(),
+                            assessment.samples,
+                            detector
+                                .baseline()
+                                .proportions()
+                                .iter()
+                                .map(|p| (p * 100.0).round() / 100.0)
+                                .collect::<Vec<_>>(),
+                        ),
+                        window: state.windows,
+                        at_ns: now_ns,
+                    });
+                } else if assessment.judged {
+                    self.alerts.resolve(AlertKind::VerdictDrift);
+                }
+                state.last_drift = Some(assessment);
+            }
+        }
+
+        // Canaries: only windows that actually ran probes are judged.
+        let canary_window = self.canaries.drain_window();
+        if canary_window.total() > 0 {
+            if canary_window.pass_rate() < self.config.canary_pass_threshold {
+                self.alerts.fire(Alert {
+                    kind: AlertKind::CanaryFailure,
+                    severity: Severity::Critical,
+                    message: format!(
+                        "canary pass rate {:.1}% ({}/{}) below {:.1}%",
+                        canary_window.pass_rate() * 100.0,
+                        canary_window.passed,
+                        canary_window.total(),
+                        self.config.canary_pass_threshold * 100.0,
+                    ),
+                    window: state.windows,
+                    at_ns: now_ns,
+                });
+            } else {
+                self.alerts.resolve(AlertKind::CanaryFailure);
+            }
+            state.last_canary = canary_window;
+        }
+
+        // SLO burn over the cumulative latency histogram.
+        let assessment = state.slo.observe(
+            now_ns,
+            latency.count(),
+            latency.count_over(self.config.slo.threshold),
+        );
+        if assessment.firing {
+            self.alerts.fire(Alert {
+                kind: AlertKind::SloBurn,
+                severity: Severity::Warning,
+                message: format!(
+                    "latency burn fast {:.1} / slow {:.1} against {:.1}% under {:?}",
+                    assessment.fast_burn,
+                    assessment.slow_burn,
+                    self.config.slo.objective * 100.0,
+                    self.config.slo.threshold,
+                ),
+                window: state.windows,
+                at_ns: now_ns,
+            });
+        } else {
+            self.alerts.resolve(AlertKind::SloBurn);
+        }
+        state.last_slo = assessment;
+    }
+
+    /// A point-in-time quality summary for stats banners and exports.
+    pub fn stats(&self) -> QualityStats {
+        let state = self.roll.lock();
+        let (passed, failed) = self.canaries.totals();
+        QualityStats {
+            enabled: true,
+            windows: state.windows,
+            baseline_frozen: state.detector.is_some(),
+            drift: state.last_drift,
+            canary_lifetime: CanaryWindow { passed, failed },
+            canary_window: state.last_canary,
+            slo: state.last_slo,
+            calibration: self.calibration.snapshot(),
+            active_alerts: self.alerts.active(),
+            alerts_fired: [
+                self.alerts.fired(Severity::Info),
+                self.alerts.fired(Severity::Warning),
+                self.alerts.fired(Severity::Critical),
+            ],
+        }
+    }
+}
+
+/// Frozen quality state, embedded in [`crate::ServiceStats`].
+#[derive(Debug, Clone)]
+pub struct QualityStats {
+    /// Whether a monitor was running at all.
+    pub enabled: bool,
+    /// Windows rolled so far.
+    pub windows: u64,
+    /// Whether a drift baseline is frozen (explicit or learned).
+    pub baseline_frozen: bool,
+    /// The last rolled window's drift assessment (`None` until a baseline
+    /// exists and a window has been scored against it).
+    pub drift: Option<DriftAssessment>,
+    /// Lifetime canary outcomes.
+    pub canary_lifetime: CanaryWindow,
+    /// The most recent probe-carrying window's outcomes.
+    pub canary_window: CanaryWindow,
+    /// The last window's SLO burn assessment.
+    pub slo: SloAssessment,
+    /// Cumulative calibration bins (top reranker score vs. Verified rate).
+    pub calibration: CalibrationSnapshot,
+    /// Currently-firing alerts.
+    pub active_alerts: Vec<Alert>,
+    /// Lifetime alert firings by severity (info, warning, critical).
+    pub alerts_fired: [u64; 3],
+}
+
+impl Default for QualityStats {
+    fn default() -> QualityStats {
+        QualityStats {
+            enabled: false,
+            windows: 0,
+            baseline_frozen: false,
+            drift: None,
+            canary_lifetime: CanaryWindow::default(),
+            canary_window: CanaryWindow::default(),
+            slo: SloAssessment {
+                fast_burn: 0.0,
+                slow_burn: 0.0,
+                firing: false,
+            },
+            calibration: CalibrationSnapshot::default(),
+            active_alerts: Vec::new(),
+            alerts_fired: [0; 3],
+        }
+    }
+}
+
+impl QualityStats {
+    /// Whether any active alert is critical.
+    pub fn has_critical(&self) -> bool {
+        self.active_alerts
+            .iter()
+            .any(|a| a.severity == Severity::Critical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor(config: QualityConfig) -> QualityMonitor {
+        QualityMonitor::new(config, Instant::now())
+    }
+
+    fn fill(m: &QualityMonitor, counts: [u64; 4]) {
+        for (slot, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                m.observe(slot, Some(0.9));
+            }
+        }
+    }
+
+    #[test]
+    fn learns_baseline_then_fires_on_inverted_mix() {
+        let m = monitor(QualityConfig {
+            window: Duration::from_millis(1),
+            drift_min_samples: 10,
+            ..QualityConfig::default()
+        });
+        // Window 1: healthy mix, becomes the baseline.
+        fill(&m, [80, 10, 8, 2]);
+        assert!(m.maybe_roll(2_000_000, HistogramSnapshot::default));
+        assert!(m.stats().baseline_frozen);
+        assert!(m.alerts().active().is_empty());
+        // Window 2: same mix — judged, clear.
+        fill(&m, [80, 10, 8, 2]);
+        assert!(m.maybe_roll(4_000_000, HistogramSnapshot::default));
+        let drift = m.stats().drift.expect("judged against baseline");
+        assert!(drift.judged && !drift.drifted, "{drift:?}");
+        // Window 3: inverted mix — fires critical drift.
+        fill(&m, [2, 8, 10, 80]);
+        assert!(m.maybe_roll(6_000_000, HistogramSnapshot::default));
+        let active = m.alerts().active();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].kind, AlertKind::VerdictDrift);
+        assert_eq!(active[0].severity, Severity::Critical);
+        // Window 4: healthy again — resolves.
+        fill(&m, [80, 10, 8, 2]);
+        assert!(m.maybe_roll(8_000_000, HistogramSnapshot::default));
+        assert!(m.alerts().active().is_empty());
+    }
+
+    #[test]
+    fn explicit_baseline_skips_learning() {
+        let m = monitor(QualityConfig {
+            window: Duration::from_millis(1),
+            baseline: Some(vec![0.8, 0.1, 0.08, 0.02]),
+            drift_min_samples: 10,
+            ..QualityConfig::default()
+        });
+        assert!(m.stats().baseline_frozen);
+        fill(&m, [2, 8, 10, 80]);
+        m.maybe_roll(2_000_000, HistogramSnapshot::default);
+        assert!(m.stats().drift.expect("judged immediately").drifted);
+    }
+
+    #[test]
+    fn thin_final_window_never_fires() {
+        let m = monitor(QualityConfig {
+            window: Duration::from_millis(1),
+            baseline: Some(vec![0.8, 0.1, 0.08, 0.02]),
+            drift_min_samples: 32,
+            ..QualityConfig::default()
+        });
+        // Wildly off-baseline but tiny: finalize must not fire.
+        fill(&m, [0, 3, 0, 0]);
+        m.finalize(500_000, &HistogramSnapshot::default());
+        let drift = m.stats().drift.expect("scored");
+        assert!(!drift.judged && !drift.drifted);
+        assert!(m.alerts().active().is_empty());
+    }
+
+    #[test]
+    fn canary_window_failure_fires_and_recovers() {
+        let m = monitor(QualityConfig {
+            window: Duration::from_millis(1),
+            canary_pass_threshold: 0.9,
+            ..QualityConfig::default()
+        });
+        m.record_canary(true, "");
+        m.record_canary(false, "probe 7: expected Verified, got Refuted");
+        m.maybe_roll(2_000_000, HistogramSnapshot::default);
+        let stats = m.stats();
+        assert!(stats.has_critical());
+        assert_eq!(stats.canary_window.failed, 1);
+        // A clean probe window resolves the alert; a probe-free window
+        // leaves it untouched.
+        m.maybe_roll(4_000_000, HistogramSnapshot::default);
+        assert!(m.stats().has_critical(), "no probes: alert must persist");
+        m.record_canary(true, "");
+        m.maybe_roll(6_000_000, HistogramSnapshot::default);
+        assert!(!m.stats().has_critical());
+    }
+
+    #[test]
+    fn rolls_are_edge_triggered_not_repeated() {
+        let m = monitor(QualityConfig {
+            window: Duration::from_secs(1),
+            ..QualityConfig::default()
+        });
+        assert!(!m.maybe_roll(999_999_999, HistogramSnapshot::default));
+        assert!(m.maybe_roll(1_000_000_000, HistogramSnapshot::default));
+        assert!(!m.maybe_roll(1_000_000_001, HistogramSnapshot::default));
+        assert_eq!(m.stats().windows, 1);
+    }
+
+    #[test]
+    fn default_quality_stats_are_nan_free() {
+        let stats = QualityStats::default();
+        assert!(stats.slo.fast_burn.is_finite());
+        assert_eq!(stats.canary_lifetime.pass_rate(), 1.0);
+        assert!(!stats.has_critical());
+    }
+}

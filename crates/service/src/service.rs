@@ -32,6 +32,7 @@ use verifai_obs::{ns_between, render_json, render_prometheus};
 
 use crate::cache::{CachedEvidence, EvidenceCache};
 use crate::obs::ServiceObs;
+use crate::quality::QualityConfig;
 use crate::stats::ServiceStats;
 
 /// Tuning knobs for a [`VerificationService`].
@@ -52,6 +53,8 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Deadline applied to requests submitted without an explicit one.
     pub default_deadline: Option<Duration>,
+    /// Quality-monitoring tuning (drift windows, canaries, SLO burn).
+    pub quality: QualityConfig,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +67,7 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             cache_capacity: 1024,
             default_deadline: None,
+            quality: QualityConfig::default(),
         }
     }
 }
@@ -154,7 +158,7 @@ impl VerificationService {
     ) -> VerificationService {
         let cache = (config.cache_capacity > 0)
             .then(|| EvidenceCache::new(config.cache_shards, config.cache_capacity));
-        let obs = ServiceObs::new(obs_config);
+        let obs = ServiceObs::with_quality(obs_config, config.quality.clone());
         obs.set_index_build_ns(system.build_stats().index_ns);
         let inner = Arc::new(Inner {
             system,
@@ -227,6 +231,7 @@ impl VerificationService {
             stage_latency: obs.stage_latency_snapshot(),
             verdicts: obs.verdict_counts(),
             traces_recorded: obs.recorder().recorded(),
+            quality: obs.quality_stats(),
             cache: self
                 .inner
                 .cache
@@ -267,6 +272,10 @@ impl VerificationService {
     /// performs the same drain.
     pub fn shutdown(mut self) -> ServiceStats {
         self.pool.shutdown();
+        // Evaluate whatever the last partial quality window accumulated —
+        // without this, short runs would exit with signals collected but
+        // never judged.
+        self.inner.obs.finalize_quality();
         self.stats()
     }
 }
@@ -446,9 +455,13 @@ fn process(inner: &Inner, request: Request, local: &mut HashMap<(u8, String), Ca
     match outcome {
         Ok((report, partial)) => {
             let latency_ns = ns_between(request.enqueued, clock.now());
-            inner
-                .obs
-                .on_completed(&report.timing, report.decision, queue_ns, latency_ns);
+            inner.obs.on_completed(
+                &report.timing,
+                report.decision,
+                queue_ns,
+                latency_ns,
+                report.top_score(),
+            );
             trace.finish(if partial { "partial" } else { "completed" }, latency_ns);
             inner.obs.record_trace(trace);
             let _ = request.reply.send(RequestOutcome::Completed(report));

@@ -5,8 +5,10 @@
 # the chunked dot kernel, flat scan, HNSW build, MaxSim, and the
 # sequential-vs-parallel lake index build, and writes BENCH_kernels.json
 # to the repository root. Then runs the service_bench obs-overhead
-# measurement (ObsConfig::default() vs ObsConfig::off() over the same
-# closed-loop workload), which writes BENCH_service.json alongside it.
+# measurement (ObsConfig::default() vs ObsConfig::off(), plus the
+# quality/alert-path overhead: quality monitoring on with 5 ms windows vs
+# QualityConfig::off(), over the same closed-loop workload), which writes
+# BENCH_service.json alongside it.
 #
 # Numbers at tiny scale are smoke-level only — use small/paper scale on a
 # quiet multi-core host for reportable figures.

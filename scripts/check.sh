@@ -10,16 +10,27 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# The observability crate sits on every hot path; lint it explicitly so a
-# narrowed workspace never drops it from the gate.
+# The observability and serving crates sit on every hot path (and carry
+# the quality-monitoring subsystem); lint them explicitly so a narrowed
+# workspace never drops them from the gate.
 echo "==> cargo clippy -p verifai-obs -D warnings"
 cargo clippy -p verifai-obs --all-targets -- -D warnings
+
+echo "==> cargo clippy -p verifai-service -D warnings"
+cargo clippy -p verifai-service --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q --workspace
+
+# Gating canary smoke: a short healthy serving run with golden-set canaries
+# must exit 0 — a nonzero exit means a critical quality alert (drift or
+# canary failure) was active at shutdown on a known-good configuration.
+echo "==> canary smoke (gating)"
+cargo run -q --release --bin verifai-serve -- \
+  --requests 120 --canary-every 10 --slowest 0 > /dev/null
 
 # Non-gating: refresh the kernel benchmark artifact. Numbers are
 # smoke-level at tiny scale; failures here don't fail the gate.

@@ -10,11 +10,20 @@
 //! rejected — none lost.
 //!
 //! ```text
-//! verifai-serve --requests 500 --workers 4 --seed 7
+//! verifai-serve --requests 500 --workers 4 --seed 7 --canary-every 20
 //! ```
 //!
 //! The run is deterministic in its request sequence: the same seed yields
 //! the same lake, the same object pool, and the same submission order.
+//!
+//! With `--canary-every N`, every Nth submission is followed by a
+//! golden-set canary probe: an object whose healthy verdict was
+//! pre-screened at startup, so a probe that stops verifying signals a
+//! quality regression, not a flaky input. `--baseline p0,p1,p2,p3` freezes
+//! an explicit healthy verdict-mix for the drift monitor (proportions of
+//! verified/refuted/not-related/unknown); without it the baseline is
+//! learned from the first full window. The process exits nonzero when any
+//! critical quality alert is still active at shutdown.
 
 use std::collections::VecDeque;
 use std::process::ExitCode;
@@ -23,10 +32,11 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use verifai::{DataObject, VerifAi, VerifAiConfig};
+use verifai::{DataObject, Verdict, VerifAi, VerifAiConfig};
 use verifai_claims::ClaimGenConfig;
 use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
-use verifai_service::{RequestOutcome, ServiceConfig, Ticket, VerificationService};
+use verifai_obs::CanarySchedule;
+use verifai_service::{QualityConfig, RequestOutcome, ServiceConfig, Ticket, VerificationService};
 
 struct Args {
     requests: usize,
@@ -41,6 +51,8 @@ struct Args {
     window: Option<usize>,
     metrics_every: usize,
     slowest: usize,
+    canary_every: u64,
+    baseline: Option<Vec<f64>>,
 }
 
 impl Default for Args {
@@ -58,13 +70,16 @@ impl Default for Args {
             window: None,
             metrics_every: 0,
             slowest: 3,
+            canary_every: 0,
+            baseline: None,
         }
     }
 }
 
 const USAGE: &str = "verifai-serve [--requests N] [--workers N] [--seed N] \
 [--queue-capacity N] [--high-water N] [--max-batch N] [--cache-capacity N] \
-[--deadline-ms N] [--distinct N] [--window N] [--metrics-every N] [--slowest N]";
+[--deadline-ms N] [--distinct N] [--window N] [--metrics-every N] [--slowest N] \
+[--canary-every N] [--baseline p0,p1,p2,p3]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -76,6 +91,28 @@ fn parse_args() -> Result<Args, String> {
         let value = it
             .next()
             .ok_or_else(|| format!("{flag} needs a value\nusage: {USAGE}"))?;
+        // Flags with non-integer values parse their own.
+        if flag == "--baseline" {
+            let proportions: Vec<f64> = value
+                .split(',')
+                .map(|p| {
+                    p.trim().parse::<f64>().map_err(|_| {
+                        format!("--baseline needs comma-separated floats, got '{value}'")
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            if proportions.len() != 4 {
+                return Err(format!(
+                    "--baseline needs exactly 4 proportions (verified,refuted,not-related,unknown), got {}",
+                    proportions.len()
+                ));
+            }
+            if proportions.iter().any(|p| !p.is_finite() || *p < 0.0) {
+                return Err("--baseline proportions must be finite and non-negative".to_string());
+            }
+            args.baseline = Some(proportions);
+            continue;
+        }
         let parsed: u64 = value
             .parse()
             .map_err(|_| format!("{flag} needs an integer, got '{value}'"))?;
@@ -92,6 +129,7 @@ fn parse_args() -> Result<Args, String> {
             "--window" => args.window = Some((parsed as usize).max(1)),
             "--metrics-every" => args.metrics_every = parsed as usize,
             "--slowest" => args.slowest = parsed as usize,
+            "--canary-every" => args.canary_every = parsed,
             other => return Err(format!("unknown flag {other}\nusage: {USAGE}")),
         }
     }
@@ -118,6 +156,25 @@ fn object_pool(sys: &VerifAi, distinct: usize, seed: u64) -> Vec<DataObject> {
         pool.push(sys.claim_object(&claim));
     }
     pool
+}
+
+/// The golden canary set: masked-tuple imputations drawn from a seed offset
+/// away from the traffic pool and pre-screened against the live pipeline —
+/// only objects the (deterministic) pipeline verifies *today* are kept, so
+/// a probe failing later in the run is a quality regression, never a flaky
+/// input.
+fn golden_set(sys: &VerifAi, seed: u64, want: usize) -> Vec<DataObject> {
+    let mut golden = Vec::with_capacity(want);
+    for task in completion_workload(sys.generated(), want * 2, seed.wrapping_add(0x9e37)) {
+        let object = sys.impute(&task);
+        if sys.verify_object(&object).decision == Verdict::Verified {
+            golden.push(object);
+            if golden.len() == want {
+                break;
+            }
+        }
+    }
+    golden
 }
 
 fn main() -> ExitCode {
@@ -151,49 +208,120 @@ fn main() -> ExitCode {
             max_batch: args.max_batch,
             cache_capacity: args.cache_capacity,
             default_deadline: args.deadline_ms.map(Duration::from_millis),
+            quality: QualityConfig {
+                baseline: args.baseline.clone(),
+                ..QualityConfig::default()
+            },
             ..ServiceConfig::default()
         },
     );
 
+    // Golden canary set, screened before traffic starts.
+    let golden = if args.canary_every > 0 {
+        let golden = golden_set(&sys, args.seed, 8);
+        if golden.is_empty() {
+            eprintln!("no golden probes screened Verified; canaries disabled");
+        } else {
+            println!(
+                "canaries: {} golden probes, one per {} requests",
+                golden.len(),
+                args.canary_every
+            );
+        }
+        golden
+    } else {
+        Vec::new()
+    };
+    let schedule = CanarySchedule::new(if golden.is_empty() {
+        0
+    } else {
+        args.canary_every
+    });
+
     // Closed loop: at most `window` requests outstanding; when the window is
     // full, block on the oldest ticket before submitting the next request.
+    // Canary probes ride the same window, tagged so their outcomes feed the
+    // quality monitor instead of the client counters.
     let window = args
         .window
         .unwrap_or(args.workers.max(1) * args.max_batch.max(1));
     let mut rng = StdRng::seed_from_u64(args.seed);
-    let mut outstanding: VecDeque<Ticket> = VecDeque::with_capacity(window);
+    let mut outstanding: VecDeque<(Ticket, bool)> = VecDeque::with_capacity(window);
     let mut completed = 0u64;
     let mut shed = 0u64;
     let mut rejected = 0u64;
     let mut failed = 0u64;
-    let drain = |ticket: Ticket, completed: &mut u64, shed: &mut u64, failed: &mut u64| match ticket
-        .wait()
-    {
-        RequestOutcome::Completed(_) => *completed += 1,
-        RequestOutcome::Shed => *shed += 1,
-        RequestOutcome::Failed(error) => {
-            eprintln!("request failed: {error}");
-            *failed += 1;
+    let mut probe_idx = 0usize;
+    let mut canary_submissions = 0u64;
+    let drain = |(ticket, canary): (Ticket, bool),
+                 completed: &mut u64,
+                 shed: &mut u64,
+                 failed: &mut u64| {
+        match ticket.wait() {
+            RequestOutcome::Completed(report) => {
+                if canary {
+                    service.obs().record_canary(
+                        report.decision == Verdict::Verified,
+                        &format!(
+                            "probe object {}: expected Verified, got {:?}",
+                            report.object_id, report.decision
+                        ),
+                    );
+                } else {
+                    *completed += 1;
+                }
+            }
+            // A shed probe carries no quality signal — the pipeline never
+            // judged it.
+            RequestOutcome::Shed => {
+                if !canary {
+                    *shed += 1;
+                }
+            }
+            RequestOutcome::Failed(error) => {
+                eprintln!("request failed: {error}");
+                if canary {
+                    service
+                        .obs()
+                        .record_canary(false, &format!("probe failed: {error}"));
+                } else {
+                    *failed += 1;
+                }
+            }
         }
     };
     let t_run = Instant::now();
     for i in 0..args.requests {
         let object = pool[rng.gen_range(0..pool.len())].clone();
         if outstanding.len() >= window {
-            let ticket = outstanding.pop_front().expect("window non-empty");
-            drain(ticket, &mut completed, &mut shed, &mut failed);
+            let entry = outstanding.pop_front().expect("window non-empty");
+            drain(entry, &mut completed, &mut shed, &mut failed);
         }
         match service.submit(object) {
-            Ok(ticket) => outstanding.push_back(ticket),
+            Ok(ticket) => outstanding.push_back((ticket, false)),
             Err(_) => rejected += 1,
+        }
+        // Interleave a golden probe when due. Probes are deadline-free so
+        // an overloaded run cannot turn them into partial Unknowns.
+        if schedule.tick() {
+            if outstanding.len() >= window {
+                let entry = outstanding.pop_front().expect("window non-empty");
+                drain(entry, &mut completed, &mut shed, &mut failed);
+            }
+            let probe = golden[probe_idx % golden.len()].clone();
+            probe_idx += 1;
+            canary_submissions += 1;
+            if let Ok(ticket) = service.submit_with_deadline(probe, None) {
+                outstanding.push_back((ticket, true));
+            }
         }
         // Periodic live metrics dump: one compact JSON snapshot line.
         if args.metrics_every > 0 && (i + 1) % args.metrics_every == 0 {
             println!("metrics @ {}: {}", i + 1, service.render_json_snapshot());
         }
     }
-    for ticket in outstanding {
-        drain(ticket, &mut completed, &mut shed, &mut failed);
+    for entry in outstanding {
+        drain(entry, &mut completed, &mut shed, &mut failed);
     }
     let elapsed = t_run.elapsed();
 
@@ -223,13 +351,33 @@ fn main() -> ExitCode {
     println!(
         "\nclient view: completed {completed} | shed {shed} | rejected {rejected} | failed {failed}"
     );
+    if canary_submissions > 0 {
+        println!(
+            "canaries: {} submitted | {} passed | {} failed (window pass rate {:.1}%)",
+            canary_submissions,
+            stats.quality.canary_lifetime.passed,
+            stats.quality.canary_lifetime.failed,
+            stats.quality.canary_lifetime.pass_rate() * 100.0
+        );
+    }
     println!("lost requests: {lost}");
-    if lost != 0 || stats.submitted != args.requests as u64 {
+    if lost != 0 || stats.submitted != args.requests as u64 + canary_submissions {
         eprintln!(
-            "accounting violated: {} submitted, {} accounted",
+            "accounting violated: {} submitted ({} traffic + {} canaries), {} accounted",
             stats.submitted,
+            args.requests,
+            canary_submissions,
             stats.accounted()
         );
+        return ExitCode::FAILURE;
+    }
+    // A run that ends with a critical quality alert still active is a
+    // failed run — this is what lets check.sh gate on canary health.
+    if stats.quality.has_critical() {
+        eprintln!("critical quality alerts active at shutdown:");
+        for alert in &stats.quality.active_alerts {
+            eprintln!("  {alert}");
+        }
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

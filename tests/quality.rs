@@ -1,0 +1,251 @@
+//! End-to-end quality observability: a corrupted verifier twin fires a
+//! verdict-drift alert within bounded windows under a mock clock, while an
+//! identically-driven healthy twin stays silent — plus export coverage for
+//! the `verifai_quality_*` series.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use verifai::{DataObject, ObsConfig, Verdict, VerifAi, VerifAiConfig};
+use verifai_datagen::{build, completion_workload, LakeSpec};
+use verifai_llm::SimLlmConfig;
+use verifai_obs::{AlertKind, MockClock, Severity};
+use verifai_service::{
+    QualityConfig, RequestOutcome, ServiceConfig, ServiceStats, Ticket, VerificationService,
+};
+
+const SEED: u64 = 0xd41f;
+
+/// Build a system over the seeded lake with the given LLM behaviour.
+fn system(llm: SimLlmConfig) -> Arc<VerifAi> {
+    Arc::new(VerifAi::build(
+        build(&LakeSpec::tiny(SEED)),
+        VerifAiConfig {
+            llm,
+            ..VerifAiConfig::default()
+        },
+    ))
+}
+
+/// A verifier whose evidence judgements are mostly wrong: the paper's
+/// silent-regression scenario (a bad model push), which shifts the verdict
+/// mix without raising a single error.
+fn corrupted_llm() -> SimLlmConfig {
+    SimLlmConfig {
+        tuple_verify_error_rate: 0.9,
+        relatedness_error_rate: 0.6,
+        misread_rate: 0.4,
+        ..SimLlmConfig::oracle(7)
+    }
+}
+
+/// The healthy verdict-mix proportions, measured sequentially so the twin
+/// services can be given the same explicit baseline.
+fn healthy_baseline(sys: &VerifAi, objects: &[DataObject]) -> Vec<f64> {
+    let mut counts = [0u64; 4];
+    for object in objects {
+        let slot = match sys.verify_object(object).decision {
+            Verdict::Verified => 0,
+            Verdict::Refuted => 1,
+            Verdict::NotRelated => 2,
+            Verdict::Unknown => 3,
+        };
+        counts[slot] += 1;
+    }
+    let total = objects.len() as f64;
+    counts.iter().map(|&c| c as f64 / total).collect()
+}
+
+/// Drive `objects` through a quality-monitored service in two batches with
+/// a mock-clock window roll between them, and return the final stats.
+fn run_twin(sys: Arc<VerifAi>, baseline: Vec<f64>, objects: &[DataObject]) -> ServiceStats {
+    let clock = Arc::new(MockClock::new());
+    let service = VerificationService::with_obs(
+        sys,
+        ServiceConfig {
+            workers: 2,
+            quality: QualityConfig {
+                window: Duration::from_secs(1),
+                baseline: Some(baseline),
+                drift_min_samples: 16,
+                ..QualityConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+        ObsConfig::default().with_clock(clock.clone()),
+    );
+    let wait_all = |tickets: Vec<Ticket>| {
+        for ticket in tickets {
+            match ticket.wait() {
+                RequestOutcome::Completed(_) => {}
+                RequestOutcome::Shed => panic!("unloaded twin shed a request"),
+                RequestOutcome::Failed(error) => panic!("request failed: {error}"),
+            }
+        }
+    };
+    let half = objects.len() / 2;
+    // Window 0: the first half of the traffic, entirely inside the window.
+    wait_all(
+        objects[..half]
+            .iter()
+            .map(|o| service.submit(o.clone()).expect("queue admits"))
+            .collect(),
+    );
+    // Past the window's end: the second half's completions observe the
+    // elapsed window and roll it — scoring window 0 against the baseline.
+    clock.advance(Duration::from_millis(1500));
+    wait_all(
+        objects[half..]
+            .iter()
+            .map(|o| service.submit(o.clone()).expect("queue admits"))
+            .collect(),
+    );
+    // Shutdown finalizes (force-rolls) the second, partial window.
+    service.shutdown()
+}
+
+/// The tentpole acceptance test: identical traffic, mock-clock-driven
+/// windows, explicit healthy baseline. The corrupted twin must fire
+/// [`AlertKind::VerdictDrift`] within the run's two windows; the healthy
+/// twin must finish with zero alerts ever fired.
+#[test]
+fn corrupted_twin_fires_verdict_drift_healthy_twin_stays_silent() {
+    let healthy_sys = system(SimLlmConfig::oracle(7));
+    let corrupted_sys = system(corrupted_llm());
+    let tasks = completion_workload(healthy_sys.generated(), 40, 9);
+    let objects: Vec<DataObject> = tasks.iter().map(|t| healthy_sys.impute(t)).collect();
+    let baseline = healthy_baseline(&healthy_sys, &objects);
+
+    let healthy = run_twin(Arc::clone(&healthy_sys), baseline.clone(), &objects);
+    let corrupted = run_twin(Arc::clone(&corrupted_sys), baseline, &objects);
+
+    // Both twins rolled the same bounded number of windows.
+    assert!(
+        healthy.quality.windows >= 2,
+        "expected the mid-run roll plus the finalize roll, got {}",
+        healthy.quality.windows
+    );
+    assert_eq!(healthy.quality.windows, corrupted.quality.windows);
+
+    // Healthy twin: drift was judged and cleared; nothing ever fired.
+    assert_eq!(
+        healthy.quality.alerts_fired,
+        [0, 0, 0],
+        "healthy twin fired alerts: {:?}",
+        healthy.quality.active_alerts
+    );
+    assert!(healthy.quality.active_alerts.is_empty());
+    let healthy_drift = healthy.quality.drift.expect("healthy windows were judged");
+    assert!(
+        !healthy_drift.drifted,
+        "healthy twin drifted: {healthy_drift:?}"
+    );
+
+    // Corrupted twin: a critical verdict-drift alert is active at shutdown,
+    // fired within the bounded window count above.
+    assert!(corrupted.quality.has_critical());
+    let drift_alert = corrupted
+        .quality
+        .active_alerts
+        .iter()
+        .find(|a| a.kind == AlertKind::VerdictDrift)
+        .expect("corrupted twin never fired VerdictDrift");
+    assert_eq!(drift_alert.severity, Severity::Critical);
+    assert!(
+        drift_alert.window <= corrupted.quality.windows,
+        "alert window {} out of range",
+        drift_alert.window
+    );
+    let drift = corrupted
+        .quality
+        .drift
+        .expect("corrupted windows were judged");
+    assert!(drift.drifted && drift.judged);
+    assert!(
+        drift.score > healthy_drift.score,
+        "corruption did not raise the G statistic ({} vs {})",
+        drift.score,
+        healthy_drift.score
+    );
+}
+
+/// Canary outcomes recorded against a quality-monitored service surface in
+/// the stats (lifetime and window pass rates) and fire/resolve the canary
+/// alert across window rolls.
+#[test]
+fn canary_failures_fire_and_surface_in_stats() {
+    let sys = system(SimLlmConfig::oracle(3));
+    let clock = Arc::new(MockClock::new());
+    let service = VerificationService::with_obs(
+        Arc::clone(&sys),
+        ServiceConfig {
+            workers: 1,
+            quality: QualityConfig {
+                window: Duration::from_secs(1),
+                baseline: Some(vec![1.0, 0.0, 0.0, 0.0]),
+                ..QualityConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+        ObsConfig::default().with_clock(clock.clone()),
+    );
+    service.obs().record_canary(true, "");
+    service
+        .obs()
+        .record_canary(false, "probe 2 stopped verifying");
+    let stats = service.shutdown();
+    assert_eq!(stats.quality.canary_lifetime.passed, 1);
+    assert_eq!(stats.quality.canary_lifetime.failed, 1);
+    assert!((stats.quality.canary_window.pass_rate() - 0.5).abs() < 1e-12);
+    assert!(
+        stats
+            .quality
+            .active_alerts
+            .iter()
+            .any(|a| a.kind == AlertKind::CanaryFailure),
+        "50% canary pass rate did not fire: {:?}",
+        stats.quality.active_alerts
+    );
+    assert!(stats.quality.has_critical());
+}
+
+/// The `verifai_quality_*` series appear in both the Prometheus exposition
+/// and the JSON snapshot of a live quality-monitored service.
+#[test]
+fn quality_series_render_in_both_exports() {
+    let sys = system(SimLlmConfig::oracle(5));
+    let tasks = completion_workload(sys.generated(), 6, 4);
+    let service = VerificationService::new(Arc::clone(&sys), ServiceConfig::default());
+    let tickets: Vec<Ticket> = tasks
+        .iter()
+        .map(|t| {
+            service
+                .submit(sys.impute(t))
+                .expect("unloaded queue admits")
+        })
+        .collect();
+    for ticket in tickets {
+        assert!(matches!(ticket.wait(), RequestOutcome::Completed(_)));
+    }
+    service.obs().record_canary(true, "");
+
+    let prometheus = service.render_prometheus();
+    let json = service.render_json_snapshot().to_string();
+    for series in [
+        "verifai_quality_windows_total",
+        "verifai_quality_drift_score",
+        "verifai_quality_canaries_total",
+        "verifai_quality_canary_pass_rate",
+        "verifai_quality_slo_fast_burn",
+        "verifai_quality_slo_slow_burn",
+        "verifai_quality_alerts_active",
+        "verifai_quality_alerts_fired",
+        "verifai_quality_calibration_count",
+        "verifai_quality_calibration_verified_rate",
+    ] {
+        assert!(prometheus.contains(series), "prometheus missing {series}");
+        assert!(json.contains(series), "json missing {series}");
+    }
+    assert!(prometheus.contains("verifai_quality_canaries_total{result=\"passed\"} 1"));
+    service.shutdown();
+}
