@@ -10,16 +10,19 @@
 //! Besides the usual criterion report, `bench_obs_overhead` writes
 //! `BENCH_service.json` to the repository root (see
 //! `scripts/bench_smoke.sh`) recording the measured obs-on/obs-off
-//! overhead; that measurement runs even when a criterion filter skips the
+//! overhead and the scatter/gather routing overhead at 1/2/4/8 shards;
+//! those measurements run even when a criterion filter skips the
 //! registered benchmarks.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use verifai::{DataObject, ObsConfig, VerifAi, VerifAiConfig};
+use verifai::{DataObject, ObsConfig, SemanticBackend, VerifAi, VerifAiConfig};
 use verifai_claims::ClaimGenConfig;
+use verifai_cluster::{build_cluster, ClusterConfig};
 use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
+use verifai_lake::InstanceKind;
 use verifai_service::{
     QualityConfig, RequestOutcome, ServiceConfig, ServiceStats, Ticket, VerificationService,
 };
@@ -233,6 +236,52 @@ fn bench_obs_overhead(c: &mut Criterion) {
         quality_stats.quality.windows,
     );
 
+    // Scatter/gather overhead: per-modality retrieval through the sharded
+    // router (1/2/4/8 shards) vs the single-lake build, both on the exact
+    // flat backend so every topology returns identical hits and the delta
+    // is pure routing cost (fan-out, per-shard search, k-way merge).
+    let flat = VerifAiConfig {
+        semantic_backend: SemanticBackend::Flat,
+        ..VerifAiConfig::default()
+    };
+    let spec = LakeSpec::tiny(8);
+    let single = VerifAi::build(build(&spec), flat);
+    let queries: Vec<String> = workload(&Arc::new(VerifAi::build(build(&spec), flat)), 8, 1, 8)
+        .iter()
+        .map(VerifAi::query_of)
+        .collect();
+    let kinds = [
+        InstanceKind::Tuple,
+        InstanceKind::Table,
+        InstanceKind::Text,
+        InstanceKind::Kg,
+    ];
+    let retrieval_pass = |sys: &VerifAi| {
+        for query in &queries {
+            for kind in kinds {
+                std::hint::black_box(sys.retrieve(query, kind, 12));
+            }
+        }
+    };
+    let single_ns = best_ns(reps, || retrieval_pass(&single));
+    let mut scatter_rows = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let cluster = build_cluster(build(&spec), flat, ClusterConfig::with_shards(shards));
+        let routed_ns = best_ns(reps, || retrieval_pass(&cluster.system));
+        let overhead = (routed_ns as f64 / single_ns.max(1) as f64 - 1.0) * 100.0;
+        eprintln!(
+            "scatter/gather: {shards} shard(s) {:.2} ms vs single-lake {:.2} ms \
+             (best of {reps}) = {overhead:+.2}%",
+            routed_ns as f64 / 1e6,
+            single_ns as f64 / 1e6,
+        );
+        scatter_rows.push(serde_json::json!({
+            "shards": shards,
+            "routed_ms": routed_ns as f64 / 1e6,
+            "overhead_vs_single_pct": overhead,
+        }));
+    }
+
     let artifact = serde_json::json!({
         "workload": {
             "requests": requests.len(),
@@ -244,6 +293,12 @@ fn bench_obs_overhead(c: &mut Criterion) {
             "disabled_ms": disabled_ns as f64 / 1e6,
             "overhead_pct": overhead_pct,
             "target_pct": 2.0,
+        },
+        "scatter_gather": {
+            "reps": reps,
+            "queries": queries.len() * kinds.len(),
+            "single_lake_ms": single_ns as f64 / 1e6,
+            "per_shard_count": scatter_rows,
         },
         "quality_overhead": {
             "reps": reps,

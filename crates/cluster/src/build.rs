@@ -1,0 +1,216 @@
+//! Partition a generated lake into shards and assemble the routed system.
+
+use std::sync::Arc;
+
+use verifai::corpus::{embedder_for, modality_corpus, ModalityCorpus};
+use verifai::{BuildStats, SemanticBackend, VerifAi, VerifAiConfig};
+use verifai_datagen::GeneratedLake;
+use verifai_index::{
+    Bm25Params, Combiner, CorpusStats, EvidenceSource, FlatIndex, InvertedIndex, VectorIndex,
+};
+use verifai_lake::InstanceKind;
+use verifai_obs::{ns_between, Clock, SloConfig, SystemClock};
+use verifai_text::Analyzer;
+
+use crate::partition::shard_of;
+use crate::router::{RoutedSource, Router};
+use crate::shard::Shard;
+
+/// Shape of the in-process cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of shards the lake is partitioned into (min 1).
+    pub shards: usize,
+    /// Worker threads per shard pool.
+    pub shard_workers: usize,
+    /// Bounded job-queue depth per shard pool; overflow runs inline on the
+    /// router thread (backpressure, not loss).
+    pub shard_queue: usize,
+    /// Per-shard latency SLO driving the `{shard}`-labeled burn alerts.
+    pub slo: SloConfig,
+}
+
+impl ClusterConfig {
+    /// An `n`-shard cluster with one worker and a 64-deep queue per shard.
+    pub fn with_shards(n: usize) -> ClusterConfig {
+        ClusterConfig {
+            shards: n.max(1),
+            shard_workers: 1,
+            shard_queue: 64,
+            slo: SloConfig::default(),
+        }
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig::with_shards(4)
+    }
+}
+
+/// A built cluster: the assembled [`VerifAi`] system retrieving through the
+/// router, plus the router itself for shard-level introspection.
+pub struct ClusterBuild {
+    /// The system; drop-in for a single-lake build everywhere (including
+    /// behind `verifai_service::VerificationService`).
+    pub system: VerifAi,
+    /// The scatter/gather front end (shared with the system's sources).
+    pub router: Arc<Router>,
+}
+
+/// Build a sharded system over `generated`: enumerate the corpus exactly as
+/// [`VerifAi::build`] does, hash-partition every instance with
+/// [`shard_of`], build per-shard content + semantic indexes in parallel,
+/// install the merged [`CorpusStats`] so shard-local BM25 scores globally,
+/// and assemble a [`VerifAi`] whose four modality sources scatter/gather
+/// through a [`Router`].
+///
+/// The semantic backend is forced to [`SemanticBackend::Flat`]: HNSW
+/// results depend on the graph's insertion history, so only the exact
+/// backend keeps N-shard results identical to the single-lake reference
+/// (build that reference with `semantic_backend: Flat` to compare).
+pub fn build_cluster(
+    generated: GeneratedLake,
+    config: VerifAiConfig,
+    cluster: ClusterConfig,
+) -> ClusterBuild {
+    build_cluster_with_clock(generated, config, cluster, Arc::new(SystemClock))
+}
+
+/// [`build_cluster`] with an explicit clock for build timings, stage
+/// timings, and the router's SLO evaluation.
+pub fn build_cluster_with_clock(
+    generated: GeneratedLake,
+    mut config: VerifAiConfig,
+    cluster: ClusterConfig,
+    clock: Arc<dyn Clock>,
+) -> ClusterBuild {
+    config.semantic_backend = SemanticBackend::Flat;
+    let build_start = clock.now();
+    let n = cluster.shards.max(1);
+    let threads = if config.build_threads == 0 {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    } else {
+        config.build_threads
+    };
+    let embedder = embedder_for(&config);
+    let want_semantic = config.use_semantic_index;
+    let index_start = clock.now();
+
+    // Enumerate each modality once (identical to the single-lake build) and
+    // partition its entries by instance id. Partitioning is stable: within
+    // a shard, entries keep lake order, so per-shard flat indexes insert in
+    // the same relative order the single-lake index would.
+    let lake = &generated.lake;
+    let mut partitions: Vec<ModalityCorpus> = Vec::with_capacity(4 * n);
+    for modality in 0..4 {
+        let corpus = modality_corpus(lake, modality, want_semantic);
+        let mut per_shard: Vec<ModalityCorpus> = vec![ModalityCorpus::default(); n];
+        for (id, text) in corpus.content {
+            per_shard[shard_of(id, n)].content.push((id, text));
+        }
+        for (id, text) in corpus.semantic {
+            per_shard[shard_of(id, n)].semantic.push((id, text));
+        }
+        partitions.extend(per_shard);
+    }
+    let embedded: usize = partitions.iter().map(|p| p.semantic.len()).sum();
+
+    // Build every (modality, shard) index pair in parallel.
+    type BuiltPair = (InvertedIndex, Option<FlatIndex>);
+    let mut built: Vec<Option<BuiltPair>> = (0..4 * n).map(|_| None).collect();
+    {
+        let embedder = &embedder;
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = built
+            .iter_mut()
+            .zip(partitions)
+            .map(|(slot, corpus)| {
+                let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                    let mut content =
+                        InvertedIndex::new(Analyzer::standard(), Bm25Params::default());
+                    for (id, text) in &corpus.content {
+                        content.add(*id, text);
+                    }
+                    let semantic = want_semantic.then(|| {
+                        let mut flat = FlatIndex::new();
+                        for (id, text) in &corpus.semantic {
+                            flat.add(*id, embedder.embed(text));
+                        }
+                        flat
+                    });
+                    *slot = Some((content, semantic));
+                });
+                job
+            })
+            .collect();
+        verifai::exec::run_scoped(threads, jobs);
+    }
+    let mut built: Vec<BuiltPair> = built
+        .into_iter()
+        .map(|slot| slot.expect("every shard job filled its slot"))
+        .collect();
+
+    // Merge per-modality corpus statistics and install them on every shard
+    // index: shard-local BM25 then scores with global idf and average
+    // length, making per-shard scores exactly the single-index scores.
+    for modality in 0..4 {
+        let mut merged = CorpusStats::default();
+        for s in 0..n {
+            merged.merge(&built[modality * n + s].0.corpus_stats());
+        }
+        let merged = Arc::new(merged);
+        for s in 0..n {
+            built[modality * n + s].0.set_shared_stats(merged.clone());
+        }
+    }
+
+    // Regroup per shard and stand up the worker pools.
+    let mut built: Vec<Option<BuiltPair>> = built.into_iter().map(Some).collect();
+    let shards: Vec<Shard> = (0..n)
+        .map(|s| {
+            let mut content: [Option<Arc<InvertedIndex>>; 4] = Default::default();
+            let mut semantic: [Option<Arc<FlatIndex>>; 4] = Default::default();
+            for (modality, (c_slot, s_slot)) in
+                content.iter_mut().zip(semantic.iter_mut()).enumerate()
+            {
+                let (c, f) = built[modality * n + s]
+                    .take()
+                    .expect("each pair taken once");
+                *c_slot = config.use_content_index.then(|| Arc::new(c));
+                *s_slot = f.map(Arc::new);
+            }
+            Shard::new(
+                content,
+                semantic,
+                cluster.shard_workers,
+                cluster.shard_queue,
+            )
+        })
+        .collect();
+    let index_ns = ns_between(index_start, clock.now());
+
+    let router = Arc::new(Router::new(
+        shards,
+        Combiner::new(config.fusion),
+        config.use_content_index,
+        want_semantic,
+        cluster.slo,
+        clock.clone(),
+    ));
+    let sources: [Box<dyn EvidenceSource>; 4] = [
+        Box::new(RoutedSource::new(router.clone(), InstanceKind::Tuple)),
+        Box::new(RoutedSource::new(router.clone(), InstanceKind::Table)),
+        Box::new(RoutedSource::new(router.clone(), InstanceKind::Text)),
+        Box::new(RoutedSource::new(router.clone(), InstanceKind::Kg)),
+    ];
+    let build_stats = BuildStats {
+        wall_ns: ns_between(build_start, clock.now()),
+        index_ns,
+        embedded,
+        threads,
+    };
+    let system = VerifAi::with_sources_and_clock(generated, config, sources, build_stats, clock);
+    ClusterBuild { system, router }
+}

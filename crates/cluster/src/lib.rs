@@ -1,0 +1,33 @@
+//! # verifai-cluster — sharded, scatter/gather serving tier
+//!
+//! Partitions a generated lake into N shards (deterministic hash
+//! placement, [`shard_of`]), builds per-shard content + semantic indexes,
+//! and fronts them with a [`Router`] that scatters each query to every
+//! shard, gathers per-shard top-k, k-way-merges ([`merge_topk`]) and fuses
+//! exactly as the single-lake pipeline would.
+//!
+//! The headline invariant: for any shard count N, the routed system
+//! returns *identical* results to a single-lake build (same hits, same
+//! order under the total tie-break). Three mechanisms carry it:
+//!
+//! 1. **Global BM25 statistics** — per-shard corpus stats are merged and
+//!    re-injected ([`verifai_index::CorpusStats`]) so shard-local scoring
+//!    uses whole-corpus idf and average length.
+//! 2. **Exact semantic backend** — shards use the flat index, not HNSW
+//!    (whose results depend on insertion history).
+//! 3. **Member-level merge before fusion** — rank fusion is not
+//!    distributive over shards, so the router merges each index family
+//!    globally first, then fuses.
+#![warn(missing_docs)]
+
+mod build;
+mod merge;
+mod partition;
+mod router;
+mod shard;
+
+pub use build::{build_cluster, build_cluster_with_clock, ClusterBuild, ClusterConfig};
+pub use merge::merge_topk;
+pub use partition::shard_of;
+pub use router::{RoutedSource, Router};
+pub use shard::Shard;

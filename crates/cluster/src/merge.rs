@@ -1,0 +1,168 @@
+//! Bounded k-way merge of per-shard top-k lists.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use verifai_index::SearchHit;
+
+/// One cursor position in the k-way merge: the head hit of list `list` at
+/// offset `pos`. Max-heap order pops the *best* hit first — highest score,
+/// then smallest id (the `sort_hits` total order), then lowest list index
+/// so exact duplicates pop deterministically.
+struct Cursor {
+    score: f64,
+    id: verifai_lake::InstanceId,
+    list: usize,
+    pos: usize,
+}
+
+impl PartialEq for Cursor {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Cursor {}
+impl PartialOrd for Cursor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cursor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.id.cmp(&self.id))
+            .then_with(|| other.list.cmp(&self.list))
+    }
+}
+
+/// Merge per-shard ranked lists into the global top-`k`.
+///
+/// Each input list must be sorted by the [`verifai_index::hit::sort_hits`]
+/// total order (score descending, id ascending) — which every index's
+/// `search` guarantees. The merge is a classic bounded k-way heap: one
+/// cursor per list, so the heap never exceeds `lists.len()` entries and the
+/// cost is `O(k · log s)` for `s` shards, independent of list lengths.
+///
+/// When every shard reports its *local* top-k over a disjoint partition,
+/// the merged result is exactly the *global* top-k — the property test in
+/// this module is the proof obligation for the cluster's headline
+/// invariant.
+pub fn merge_topk(lists: &[Vec<SearchHit>], k: usize) -> Vec<SearchHit> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Cursor> = BinaryHeap::with_capacity(lists.len());
+    for (list, hits) in lists.iter().enumerate() {
+        if let Some(first) = hits.first() {
+            heap.push(Cursor {
+                score: first.score,
+                id: first.id,
+                list,
+                pos: 0,
+            });
+        }
+    }
+    let mut merged = Vec::with_capacity(k.min(lists.iter().map(Vec::len).sum()));
+    while let Some(cursor) = heap.pop() {
+        let hits = &lists[cursor.list];
+        merged.push(hits[cursor.pos]);
+        if merged.len() == k {
+            break;
+        }
+        if let Some(next) = hits.get(cursor.pos + 1) {
+            heap.push(Cursor {
+                score: next.score,
+                id: next.id,
+                list: cursor.list,
+                pos: cursor.pos + 1,
+            });
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifai_index::hit::sort_hits;
+    use verifai_lake::InstanceId;
+
+    fn hit(id: u64, score: f64) -> SearchHit {
+        SearchHit::new(InstanceId::Text(id), score)
+    }
+
+    #[test]
+    fn merges_sorted_lists_in_total_order() {
+        let a = vec![hit(1, 0.9), hit(3, 0.5)];
+        let b = vec![hit(2, 0.7), hit(4, 0.5)];
+        let merged = merge_topk(&[a, b], 3);
+        assert_eq!(merged, vec![hit(1, 0.9), hit(2, 0.7), hit(3, 0.5)]);
+    }
+
+    #[test]
+    fn ties_break_on_id_ascending() {
+        let a = vec![hit(5, 1.0)];
+        let b = vec![hit(2, 1.0)];
+        let c = vec![hit(9, 1.0)];
+        let merged = merge_topk(&[a, b, c], 2);
+        assert_eq!(merged, vec![hit(2, 1.0), hit(5, 1.0)]);
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        assert!(merge_topk(&[], 5).is_empty());
+        assert!(merge_topk(&[vec![], vec![]], 5).is_empty());
+        assert!(merge_topk(&[vec![hit(1, 1.0)]], 0).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_total_returns_all() {
+        let merged = merge_topk(&[vec![hit(1, 0.3)], vec![hit(2, 0.8)]], 10);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].id, InstanceId::Text(2));
+    }
+
+    /// The satellite property: partition a random scored corpus (with
+    /// deliberate duplicate scores) across 1..8 shards, take each shard's
+    /// local top-k, and the merge must equal the global top-k.
+    mod prop {
+        use super::*;
+        use crate::shard_of;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn merged_shard_topk_equals_global_topk(
+                // Scores from a tiny alphabet to force cross-shard ties.
+                entries in proptest::collection::vec((0u64..500, 0u8..8), 0..120),
+                shards in 1usize..9,
+                k in 0usize..24,
+            ) {
+                let corpus: Vec<SearchHit> = entries
+                    .iter()
+                    .map(|&(id, s)| hit(id, s as f64 / 4.0))
+                    .collect();
+                // Global reference: sort everything, truncate to k.
+                let mut global = corpus.clone();
+                sort_hits(&mut global);
+                global.truncate(k);
+                // Per-shard lists: partition by id, sort, truncate to k.
+                let mut per_shard: Vec<Vec<SearchHit>> = vec![Vec::new(); shards];
+                for h in &corpus {
+                    per_shard[shard_of(h.id, shards)].push(*h);
+                }
+                for list in &mut per_shard {
+                    sort_hits(list);
+                    list.truncate(k);
+                }
+                let merged = merge_topk(&per_shard, k);
+                // Same multiset in the same score order. Entries with equal
+                // (score, id) are indistinguishable values, so plain Vec
+                // equality is exactly multiset-plus-order equality here.
+                prop_assert_eq!(merged, global);
+            }
+        }
+    }
+}

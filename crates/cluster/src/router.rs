@@ -1,0 +1,322 @@
+//! The scatter/gather front end: fan a query out to every shard, gather
+//! per-shard top-k, merge, and fuse — behind the same [`EvidenceSource`]
+//! trait the single-lake pipeline retrieves through.
+
+use std::sync::Arc;
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use verifai_embed::Vector;
+use verifai_index::{
+    Combiner, EvidenceSource, FlatIndex, InvertedIndex, SearchHit, SourceQuery, VectorIndex,
+};
+use verifai_lake::InstanceKind;
+use verifai_obs::{
+    ns_between, Alert, AlertKind, AlertLog, BurnRateTracker, Clock, Counter, FloatGauge, Histogram,
+    Registry, RegistrySnapshot, Severity, SloConfig,
+};
+
+use crate::merge::merge_topk;
+use crate::shard::{Shard, ShardJob};
+
+/// Which member index of a fused modality source a scatter targets.
+#[derive(Debug, Clone, Copy)]
+enum Member {
+    Content,
+    Semantic,
+}
+
+/// Per-shard observability: request/latency series plus an SLO burn
+/// tracker, all labeled `{shard="i"}` so PR 5's alerting discipline fires
+/// *per shard* instead of hiding a sick shard inside a cluster average.
+struct ShardSeries {
+    searches: Arc<Counter>,
+    inline_runs: Arc<Counter>,
+    latency: Arc<Histogram>,
+    fast_burn: Arc<FloatGauge>,
+    slow_burn: Arc<FloatGauge>,
+    tracker: Mutex<BurnRateTracker>,
+    alerts: AlertLog,
+}
+
+/// Router-owned metrics registry (separate from the serving tier's so the
+/// cluster layer stays usable without a service in front of it).
+struct RouterObs {
+    registry: Registry,
+    epoch: std::time::Instant,
+    shards: Vec<ShardSeries>,
+}
+
+impl RouterObs {
+    fn new(n: usize, slo: SloConfig, epoch: std::time::Instant) -> RouterObs {
+        let registry = Registry::new();
+        let shards = (0..n)
+            .map(|i| {
+                let shard = i.to_string();
+                let labels: &[(&'static str, &str)] = &[("shard", &shard)];
+                ShardSeries {
+                    searches: registry.counter(
+                        "verifai_shard_searches_total",
+                        "Member searches executed by this shard",
+                        labels,
+                    ),
+                    inline_runs: registry.counter(
+                        "verifai_shard_inline_total",
+                        "Searches run inline on the router thread because the shard queue was full",
+                        labels,
+                    ),
+                    latency: registry.histogram(
+                        "verifai_shard_latency_seconds",
+                        "Per-shard member search latency",
+                        labels,
+                    ),
+                    fast_burn: registry.float_gauge(
+                        "verifai_quality_shard_slo_fast_burn",
+                        "Fast-window SLO burn rate of this shard",
+                        labels,
+                    ),
+                    slow_burn: registry.float_gauge(
+                        "verifai_quality_shard_slo_slow_burn",
+                        "Slow-window SLO burn rate of this shard",
+                        labels,
+                    ),
+                    tracker: Mutex::new(BurnRateTracker::new(slo)),
+                    alerts: AlertLog::new(32),
+                }
+            })
+            .collect();
+        RouterObs {
+            registry,
+            epoch,
+            shards,
+        }
+    }
+}
+
+/// Scatter/gather retrieval over a set of [`Shard`]s.
+///
+/// For each member index family (content, semantic) the router fans the
+/// query out to every shard's worker pool, gathers the per-shard top-k
+/// lists, and k-way-merges them ([`merge_topk`]); the merged *member*
+/// lists are then fused by the same [`Combiner`] the single-lake pipeline
+/// uses. Merging per member **before** fusion matters: reciprocal-rank
+/// fusion is rank-based, so fusing per shard and merging afterwards would
+/// compute ranks over partial lists and break the identity invariant.
+pub struct Router {
+    shards: Vec<Shard>,
+    combiner: Combiner,
+    use_content: bool,
+    use_semantic: bool,
+    obs: RouterObs,
+    clock: Arc<dyn Clock>,
+}
+
+impl Router {
+    /// A router over `shards` fusing member results with `combiner`.
+    pub(crate) fn new(
+        shards: Vec<Shard>,
+        combiner: Combiner,
+        use_content: bool,
+        use_semantic: bool,
+        slo: SloConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Router {
+        let obs = RouterObs::new(shards.len(), slo, clock.now());
+        Router {
+            shards,
+            combiner,
+            use_content,
+            use_semantic,
+            obs,
+            clock,
+        }
+    }
+
+    /// Number of shards behind this router.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Instances owned by each shard, in shard order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(Shard::instances).collect()
+    }
+
+    /// Member searches each shard has executed, in shard order.
+    pub fn searches_per_shard(&self) -> Vec<u64> {
+        self.obs.shards.iter().map(|s| s.searches.get()).collect()
+    }
+
+    /// Scatter one member search to every shard and merge the results.
+    fn scatter_member(
+        &self,
+        slot: usize,
+        member: Member,
+        query: SourceQuery<'_>,
+        k: usize,
+    ) -> Vec<SearchHit> {
+        // Semantic members without a query vector return nothing anywhere;
+        // skip the fan-out entirely.
+        if matches!(member, Member::Semantic) && query.vector.is_none() {
+            return Vec::new();
+        }
+        let n = self.shards.len();
+        let (tx, rx) = channel::bounded::<(usize, Vec<SearchHit>, u64)>(n);
+        let text: Arc<str> = Arc::from(query.text);
+        let vector: Option<Arc<Vector>> = query.vector.map(|v| Arc::new(v.clone()));
+        enum Target {
+            Content(Arc<InvertedIndex>),
+            Semantic(Arc<FlatIndex>),
+        }
+        let mut expected = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let target = match member {
+                Member::Content => shard.content[slot].clone().map(Target::Content),
+                Member::Semantic => shard.semantic[slot].clone().map(Target::Semantic),
+            };
+            let Some(target) = target else { continue };
+            expected += 1;
+            let tx = tx.clone();
+            let text = text.clone();
+            let vector = vector.clone();
+            let clock = self.clock.clone();
+            let job: ShardJob = Box::new(move || {
+                let start = clock.now();
+                let hits = match &target {
+                    Target::Content(index) => index.search(&text, k),
+                    Target::Semantic(index) => match &vector {
+                        Some(v) => VectorIndex::search(index.as_ref(), v, k),
+                        None => Vec::new(),
+                    },
+                };
+                let _ = tx.send((i, hits, ns_between(start, clock.now())));
+            });
+            if let Err(job) = shard.try_submit(job) {
+                // Bounded-queue backpressure: the query still completes, it
+                // just pays for this shard's scan on the router thread.
+                self.obs.shards[i].inline_runs.inc();
+                job();
+            }
+        }
+        drop(tx);
+        let mut lists = vec![Vec::new(); n];
+        for _ in 0..expected {
+            let Ok((i, hits, dur_ns)) = rx.recv() else {
+                break;
+            };
+            let series = &self.obs.shards[i];
+            series.searches.inc();
+            series
+                .latency
+                .record(std::time::Duration::from_nanos(dur_ns));
+            lists[i] = hits;
+        }
+        merge_topk(&lists, k)
+    }
+
+    /// Scatter/gather retrieval for one modality: the routed equivalent of
+    /// the single-lake fused source's `search`.
+    pub fn search(&self, kind: InstanceKind, query: SourceQuery<'_>, k: usize) -> Vec<SearchHit> {
+        let slot = slot_of(kind);
+        let mut lists: Vec<Vec<SearchHit>> = Vec::with_capacity(2);
+        if self.use_content {
+            let merged = self.scatter_member(slot, Member::Content, query, k);
+            if !merged.is_empty() {
+                lists.push(merged);
+            }
+        }
+        if self.use_semantic {
+            let merged = self.scatter_member(slot, Member::Semantic, query, k);
+            if !merged.is_empty() {
+                lists.push(merged);
+            }
+        }
+        self.combiner.combine(&lists, k)
+    }
+
+    /// Evaluate every shard's SLO burn (multi-window, against the per-shard
+    /// latency series), update the burn gauges, and fire/resolve per-shard
+    /// [`AlertKind::SloBurn`] alerts. Call at quality ticks or before
+    /// snapshots.
+    pub fn assess_slo(&self) {
+        let now_ns = ns_between(self.obs.epoch, self.clock.now());
+        for (i, series) in self.obs.shards.iter().enumerate() {
+            let snapshot = series.latency.snapshot();
+            let mut tracker = series.tracker.lock();
+            let threshold = tracker.config().threshold;
+            let assessment =
+                tracker.observe(now_ns, snapshot.count(), snapshot.count_over(threshold));
+            drop(tracker);
+            series.fast_burn.set(assessment.fast_burn);
+            series.slow_burn.set(assessment.slow_burn);
+            if assessment.firing {
+                series.alerts.fire(Alert {
+                    kind: AlertKind::SloBurn,
+                    severity: Severity::Critical,
+                    message: format!(
+                        "shard {i}: fast burn {:.1}, slow burn {:.1}",
+                        assessment.fast_burn, assessment.slow_burn
+                    ),
+                    window: 0,
+                    at_ns: now_ns,
+                });
+            } else {
+                series.alerts.resolve(AlertKind::SloBurn);
+            }
+        }
+    }
+
+    /// Currently-firing per-shard alerts as `(shard, alert)` pairs.
+    pub fn active_alerts(&self) -> Vec<(usize, Alert)> {
+        self.obs
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| s.alerts.active().into_iter().map(move |a| (i, a)))
+            .collect()
+    }
+
+    /// Snapshot the router's per-shard metric series (after refreshing the
+    /// SLO burn gauges). Render with [`verifai_obs::render_prometheus`] or
+    /// [`verifai_obs::render_json`] — series carry `{shard="i"}` labels.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.assess_slo();
+        self.obs.registry.snapshot()
+    }
+}
+
+/// The staged pipeline's modality slot for `kind` (same mapping as
+/// `StagedPipeline`: tuples, tables, texts, kg).
+fn slot_of(kind: InstanceKind) -> usize {
+    match kind {
+        InstanceKind::Tuple => 0,
+        InstanceKind::Table => 1,
+        InstanceKind::Text => 2,
+        InstanceKind::Kg => 3,
+    }
+}
+
+/// One modality of a [`Router`] exposed as an [`EvidenceSource`]: the
+/// staged pipeline retrieves through this exactly as it would through the
+/// single-lake fused index source.
+pub struct RoutedSource {
+    router: Arc<Router>,
+    kind: InstanceKind,
+}
+
+impl RoutedSource {
+    /// The `kind` modality of `router` as a pipeline source.
+    pub fn new(router: Arc<Router>, kind: InstanceKind) -> RoutedSource {
+        RoutedSource { router, kind }
+    }
+}
+
+impl EvidenceSource for RoutedSource {
+    fn name(&self) -> &'static str {
+        "routed"
+    }
+
+    fn search(&self, query: SourceQuery<'_>, k: usize) -> Vec<SearchHit> {
+        self.router.search(self.kind, query, k)
+    }
+}

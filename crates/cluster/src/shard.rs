@@ -1,0 +1,69 @@
+//! One shard: its slice of the partitioned indexes plus a worker pool.
+
+use std::sync::Arc;
+
+use verifai::exec::WorkerPool;
+use verifai_index::{FlatIndex, InvertedIndex};
+
+/// A unit of shard work: a boxed search closure the router scatters.
+pub(crate) type ShardJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// One partition of the lake: per-modality content (BM25) and semantic
+/// (exact flat) indexes over the instances this shard owns, plus the worker
+/// pool that executes scattered searches. Indexes are `Arc`-shared so
+/// search jobs borrow nothing from the router thread.
+pub struct Shard {
+    /// Modality slot (tuples, tables, texts, kg) → content index.
+    pub(crate) content: [Option<Arc<InvertedIndex>>; 4],
+    /// Modality slot → semantic index.
+    pub(crate) semantic: [Option<Arc<FlatIndex>>; 4],
+    pool: WorkerPool<ShardJob>,
+    instances: usize,
+}
+
+impl Shard {
+    /// Assemble a shard over its built indexes with `workers` pool threads
+    /// and a bounded job queue of `queue` entries.
+    pub(crate) fn new(
+        content: [Option<Arc<InvertedIndex>>; 4],
+        semantic: [Option<Arc<FlatIndex>>; 4],
+        workers: usize,
+        queue: usize,
+    ) -> Shard {
+        let instances = content
+            .iter()
+            .flatten()
+            .map(|idx| idx.len())
+            .sum::<usize>()
+            .max(
+                semantic
+                    .iter()
+                    .flatten()
+                    .map(|idx| {
+                        use verifai_index::VectorIndex;
+                        idx.len()
+                    })
+                    .sum(),
+            );
+        Shard {
+            content,
+            semantic,
+            pool: WorkerPool::new(workers.max(1), Some(queue.max(1)), |_rx, job: ShardJob| {
+                job()
+            }),
+            instances,
+        }
+    }
+
+    /// Submit a search job to this shard's pool; on a full queue the job is
+    /// handed back for the caller to run inline (backpressure, not loss).
+    pub(crate) fn try_submit(&self, job: ShardJob) -> Result<(), ShardJob> {
+        self.pool.try_submit(job)
+    }
+
+    /// Number of instances this shard owns (max across index families —
+    /// content and semantic cover the same instances when both are on).
+    pub fn instances(&self) -> usize {
+        self.instances
+    }
+}

@@ -1,0 +1,125 @@
+//! The cluster's headline invariant: for any shard count N, the routed
+//! scatter/gather system returns results *identical* to a single-lake
+//! build — same hits, same order under the total tie-break, and
+//! byte-for-byte equal verification reports.
+//!
+//! The single-lake reference is built with the exact (flat) semantic
+//! backend, since HNSW results depend on insertion history and no sharded
+//! layout can reproduce them.
+
+use verifai::{DataObject, SemanticBackend, VerifAi, VerifAiConfig};
+use verifai_claims::ClaimGenConfig;
+use verifai_cluster::{build_cluster, ClusterConfig};
+use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
+use verifai_lake::InstanceKind;
+
+fn flat_config() -> VerifAiConfig {
+    VerifAiConfig {
+        semantic_backend: SemanticBackend::Flat,
+        ..VerifAiConfig::default()
+    }
+}
+
+/// Workload objects plus free-text queries covering every modality slot.
+fn probes(sys: &VerifAi) -> (Vec<DataObject>, Vec<String>) {
+    let tasks = completion_workload(sys.generated(), 6, 3);
+    let claims = claim_workload(sys.generated(), 6, ClaimGenConfig::default());
+    let mut objects: Vec<DataObject> = tasks.iter().map(|t| sys.impute(t)).collect();
+    objects.extend(claims.iter().map(|c| sys.claim_object(c)));
+    let queries = objects.iter().map(VerifAi::query_of).collect();
+    (objects, queries)
+}
+
+#[test]
+fn routed_results_identical_to_single_lake_for_all_shard_counts() {
+    let spec = LakeSpec::tiny(31);
+    let reference = VerifAi::build(build(&spec), flat_config());
+    let (objects, queries) = probes(&reference);
+    let kinds = [
+        InstanceKind::Tuple,
+        InstanceKind::Table,
+        InstanceKind::Text,
+        InstanceKind::Kg,
+    ];
+    for shards in 1..=8 {
+        let cluster = build_cluster(
+            build(&spec),
+            flat_config(),
+            ClusterConfig::with_shards(shards),
+        );
+        // Raw per-modality retrieval: same hits, same scores, same order.
+        for query in &queries {
+            for kind in kinds {
+                let want = reference.retrieve(query, kind, 12);
+                let got = cluster.system.retrieve(query, kind, 12);
+                assert_eq!(
+                    got, want,
+                    "retrieve diverged: shards={shards} kind={kind:?} query={query:?}"
+                );
+            }
+        }
+        // End-to-end verification: rerank, verify, decide over routed
+        // evidence must produce the same (timing-excluded) report.
+        for object in &objects {
+            let want = reference.verify_object(object);
+            let got = cluster.system.verify_object(object);
+            assert_eq!(got, want, "report diverged at shards={shards}");
+        }
+        // Sanity: for N > 1 the work was actually spread out.
+        if shards > 1 {
+            let active = cluster
+                .router
+                .searches_per_shard()
+                .iter()
+                .filter(|&&c| c > 0)
+                .count();
+            assert!(active > 1, "all searches landed on one shard");
+        }
+    }
+}
+
+#[test]
+fn shard_sizes_cover_the_lake() {
+    let spec = LakeSpec::tiny(7);
+    let single = build_cluster(build(&spec), flat_config(), ClusterConfig::with_shards(1));
+    let total: usize = single.router.shard_sizes().iter().sum();
+    for shards in 2..=5 {
+        let cluster = build_cluster(
+            build(&spec),
+            flat_config(),
+            ClusterConfig::with_shards(shards),
+        );
+        let sizes = cluster.router.shard_sizes();
+        assert_eq!(sizes.len(), shards);
+        assert_eq!(
+            sizes.iter().sum::<usize>(),
+            total,
+            "instances lost or duplicated"
+        );
+    }
+}
+
+#[test]
+fn router_snapshot_carries_shard_labels() {
+    let spec = LakeSpec::tiny(11);
+    let cluster = build_cluster(build(&spec), flat_config(), ClusterConfig::with_shards(3));
+    let (_, queries) = probes(&cluster.system);
+    for query in &queries {
+        cluster.system.retrieve(query, InstanceKind::Tuple, 8);
+    }
+    let text = verifai_obs::render_prometheus(&cluster.router.snapshot());
+    for shard in 0..3 {
+        assert!(
+            text.contains(&format!(
+                "verifai_shard_searches_total{{shard=\"{shard}\"}}"
+            )),
+            "missing shard {shard} series in:\n{text}"
+        );
+    }
+    assert!(text.contains("verifai_quality_shard_slo_fast_burn"));
+    let json = verifai_obs::render_json(&cluster.router.snapshot()).to_string();
+    assert!(
+        json.contains("verifai_shard_searches_total{shard=\\\"2\\\"}"),
+        "labeled series key missing from JSON export: {json}"
+    );
+}

@@ -4,6 +4,19 @@ use verifai_index::FusionStrategy;
 use verifai_llm::SimLlmConfig;
 use verifai_verify::AgentPolicy;
 
+/// Which structure backs the per-modality semantic index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemanticBackend {
+    /// HNSW approximate graph — what a real deployment runs at the paper's
+    /// corpus scale.
+    Hnsw,
+    /// Exact flat scan — the recall reference, and the backend sharded
+    /// serving uses: HNSW results depend on the graph's insertion history,
+    /// so only an exact backend keeps N-shard scatter/gather results
+    /// identical to the single-lake build.
+    Flat,
+}
+
 /// Configuration of a [`crate::VerifAi`] instance.
 ///
 /// Defaults follow the paper's §4 setting: top-3 tuples and top-3 text files
@@ -31,6 +44,8 @@ pub struct VerifAiConfig {
     pub use_content_index: bool,
     /// Enable the semantic (vector) index alongside the content index.
     pub use_semantic_index: bool,
+    /// Structure backing the semantic index (ignored when it is disabled).
+    pub semantic_backend: SemanticBackend,
     /// Enable the task-specific reranking stage. When disabled, the combined
     /// coarse ranking feeds the verifier directly (paper's §4 setting reports
     /// Elasticsearch-only retrieval).
@@ -65,6 +80,7 @@ impl Default for VerifAiConfig {
             k_kg: 0,
             use_content_index: true,
             use_semantic_index: true,
+            semantic_backend: SemanticBackend::Hnsw,
             use_reranker: true,
             fusion: FusionStrategy::ReciprocalRank { k0: 60.0 },
             agent_policy: AgentPolicy::LlmOnly,

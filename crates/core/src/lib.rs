@@ -54,6 +54,7 @@
 //! see EXPERIMENTS.md at the repository root for paper-vs-measured numbers.
 
 pub mod config;
+pub mod corpus;
 pub mod exec;
 pub mod experiments;
 pub mod metrics;
@@ -61,7 +62,7 @@ pub mod pipeline;
 pub mod report;
 pub mod stages;
 
-pub use config::VerifAiConfig;
+pub use config::{SemanticBackend, VerifAiConfig};
 pub use metrics::{paper_correct, recall_at_k, Accuracy, LatencyHistogram};
 pub use pipeline::{BuildStats, EvidenceVerdict, VerifAi, VerificationReport};
 pub use stages::{

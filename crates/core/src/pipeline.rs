@@ -9,17 +9,18 @@
 
 use std::sync::Arc;
 
-use crate::config::VerifAiConfig;
+use crate::config::{SemanticBackend, VerifAiConfig};
+use crate::corpus::modality_corpus;
 use crate::stages::{
     PipelineError, RerankStage, ScoreRerank, StagePlan, StageTiming, StagedPipeline,
     TopKPassthrough,
 };
 use parking_lot::MutexGuard;
 use verifai_datagen::{GeneratedLake, MaskedTupleTask};
-use verifai_embed::{TextEmbedder, TextEmbedderConfig, Vector};
+use verifai_embed::{TextEmbedder, Vector};
 use verifai_index::{
-    Bm25Params, Combiner, EvidenceSource, FusedSource, HnswConfig, HnswIndex, InvertedIndex,
-    SearchHit, SourceQuery, VectorIndex,
+    Bm25Params, Combiner, EvidenceSource, FlatIndex, FusedSource, HnswConfig, HnswIndex,
+    InvertedIndex, SearchHit, SourceQuery, VectorIndex,
 };
 use verifai_lake::{DataInstance, DataLake, InstanceId, InstanceKind, SourceId};
 use verifai_llm::{DataObject, ImputedCell, SimLlm, TextClaim, Verdict};
@@ -120,6 +121,31 @@ pub struct BuildStats {
     pub threads: usize,
 }
 
+/// Build-time abstraction over the semantic backends: entry-order insertion
+/// plus conversion into the retrieval-stage trait object.
+trait SemanticIndex: Send {
+    fn add(&mut self, id: InstanceId, vector: Vector);
+    fn into_source(self: Box<Self>) -> Box<dyn EvidenceSource>;
+}
+
+impl SemanticIndex for HnswIndex {
+    fn add(&mut self, id: InstanceId, vector: Vector) {
+        VectorIndex::add(self, id, vector);
+    }
+    fn into_source(self: Box<Self>) -> Box<dyn EvidenceSource> {
+        self
+    }
+}
+
+impl SemanticIndex for FlatIndex {
+    fn add(&mut self, id: InstanceId, vector: Vector) {
+        VectorIndex::add(self, id, vector);
+    }
+    fn into_source(self: Box<Self>) -> Box<dyn EvidenceSource> {
+        self
+    }
+}
+
 /// The assembled VerifAI system: lake + staged pipeline + trust model.
 pub struct VerifAi {
     generated: GeneratedLake,
@@ -168,11 +194,7 @@ impl VerifAi {
         clock: Arc<dyn Clock>,
     ) -> VerifAi {
         let build_start = clock.now();
-        let embedder = TextEmbedder::new(TextEmbedderConfig {
-            dim: config.embed_dim,
-            seed: config.seed ^ 0xe3bd,
-            ..TextEmbedderConfig::default()
-        });
+        let embedder = crate::corpus::embedder_for(&config);
         let threads = if config.build_threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -195,60 +217,13 @@ impl VerifAi {
                 .enumerate()
                 .map(|(modality, slot)| {
                     let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                        let corpus = modality_corpus(lake, modality, want_semantic);
                         let mut content =
                             InvertedIndex::new(Analyzer::standard(), Bm25Params::default());
-                        let mut semantic: Vec<(InstanceId, String)> = Vec::new();
-                        let mut add = |id: InstanceId, text: String| {
-                            content.add(id, &text);
-                            if want_semantic {
-                                semantic.push((id, text));
-                            }
-                        };
-                        match modality {
-                            0 => {
-                                for tuple_id in lake.tuple_ids() {
-                                    let tuple = lake.tuple(tuple_id).expect("registered tuple");
-                                    add(
-                                        InstanceId::Tuple(tuple_id),
-                                        verifai_text::serialize_tuple(&tuple),
-                                    );
-                                }
-                            }
-                            1 => {
-                                for table in lake.tables() {
-                                    add(
-                                        InstanceId::Table(table.id),
-                                        verifai_text::serialize_table(table),
-                                    );
-                                }
-                            }
-                            2 => {
-                                for doc in lake.docs() {
-                                    // Content index sees the whole document;
-                                    // the semantic index embeds overlapping
-                                    // sentence chunks (paper §3.1: "chunked
-                                    // text files"), each under the document's
-                                    // id — the Combiner's dedup collapses
-                                    // multi-chunk hits.
-                                    let full = doc.full_text();
-                                    content.add(InstanceId::Text(doc.id), &full);
-                                    if want_semantic {
-                                        for chunk in verifai_text::chunk_sentences(&full, 3, 1) {
-                                            semantic.push((InstanceId::Text(doc.id), chunk.text));
-                                        }
-                                    }
-                                }
-                            }
-                            _ => {
-                                for entity in lake.kg_entities() {
-                                    add(
-                                        InstanceId::Kg(entity.id),
-                                        verifai_text::serialize_kg(entity),
-                                    );
-                                }
-                            }
+                        for (id, text) in &corpus.content {
+                            content.add(*id, text);
                         }
-                        *slot = Some((content, semantic));
+                        *slot = Some((content, corpus.semantic));
                     });
                     job
                 })
@@ -284,25 +259,31 @@ impl VerifAi {
             crate::exec::run_scoped(threads, jobs);
         }
 
-        // Phase 3: per-modality HNSW construction — parallel across
-        // modalities, strictly sequential (entry-order) insertion within one.
-        let mut semantic_built: [Option<HnswIndex>; 4] = [None, None, None, None];
+        // Phase 3: per-modality semantic index construction — parallel
+        // across modalities, strictly sequential (entry-order) insertion
+        // within one. The backend is configurable: HNSW by default, exact
+        // flat scan for recall-reference and sharded-identity builds.
+        let mut semantic_built: [Option<Box<dyn EvidenceSource>>; 4] = [None, None, None, None];
         if want_semantic {
             let seed = config.seed ^ 0x45a1;
+            let backend = config.semantic_backend;
             let jobs: Vec<Box<dyn FnOnce() + Send>> = semantic_built
                 .iter_mut()
                 .zip(modalities.iter())
                 .zip(vectors)
                 .map(|((slot, (_, entries)), vecs)| {
                     let job: Box<dyn FnOnce() + Send> = Box::new(move || {
-                        let mut graph = HnswIndex::new(HnswConfig {
-                            seed,
-                            ..HnswConfig::default()
-                        });
+                        let mut index: Box<dyn SemanticIndex> = match backend {
+                            SemanticBackend::Hnsw => Box::new(HnswIndex::new(HnswConfig {
+                                seed,
+                                ..HnswConfig::default()
+                            })),
+                            SemanticBackend::Flat => Box::new(FlatIndex::new()),
+                        };
                         for ((id, _), vector) in entries.iter().zip(vecs) {
-                            graph.add(*id, vector.expect("phase 2 filled every slot"));
+                            index.add(*id, vector.expect("phase 2 filled every slot"));
                         }
-                        *slot = Some(graph);
+                        *slot = Some(index.into_source());
                     });
                     job
                 })
@@ -315,27 +296,68 @@ impl VerifAi {
         // comes before semantic: the Combiner's list order is the historical
         // ranking order.
         let combiner = Combiner::new(config.fusion);
-        let fuse =
-            |content: InvertedIndex, semantic: Option<HnswIndex>| -> Box<dyn EvidenceSource> {
-                let mut members: Vec<Box<dyn EvidenceSource>> = Vec::with_capacity(2);
-                if config.use_content_index {
-                    members.push(Box::new(content));
-                }
-                if let Some(sem) = semantic {
-                    members.push(Box::new(sem));
-                }
-                Box::new(FusedSource::new(members, combiner))
-            };
+        let fuse = |content: InvertedIndex,
+                    semantic: Option<Box<dyn EvidenceSource>>|
+         -> Box<dyn EvidenceSource> {
+            let mut members: Vec<Box<dyn EvidenceSource>> = Vec::with_capacity(2);
+            if config.use_content_index {
+                members.push(Box::new(content));
+            }
+            if let Some(sem) = semantic {
+                members.push(sem);
+            }
+            Box::new(FusedSource::new(members, combiner))
+        };
         let [(c0, _), (c1, _), (c2, _), (c3, _)] = modalities;
         let [s0, s1, s2, s3] = semantic_built;
         let sources = [fuse(c0, s0), fuse(c1, s1), fuse(c2, s2), fuse(c3, s3)];
 
+        let build_stats = BuildStats {
+            wall_ns: ns_between(build_start, clock.now()),
+            index_ns,
+            embedded,
+            threads,
+        };
+        VerifAi::with_sources_and_clock(generated, config, sources, build_stats, clock)
+    }
+
+    /// Assemble a system over externally-built retrieval sources — the
+    /// pipeline entry for *routed* retrieval. `sources` is one
+    /// [`EvidenceSource`] per modality in staged-pipeline slot order
+    /// (tuples, tables, texts, knowledge graph); everything downstream of
+    /// retrieval — reranker, verifier agent, trust model, provenance —
+    /// is assembled exactly as [`VerifAi::build`] does, so a cluster router
+    /// standing in for the fused indexes reranks and verifies identically
+    /// to the single-lake pipeline.
+    pub fn with_sources(
+        generated: GeneratedLake,
+        config: VerifAiConfig,
+        sources: [Box<dyn EvidenceSource>; 4],
+        build_stats: BuildStats,
+    ) -> VerifAi {
+        VerifAi::with_sources_and_clock(
+            generated,
+            config,
+            sources,
+            build_stats,
+            Arc::new(SystemClock),
+        )
+    }
+
+    /// [`VerifAi::with_sources`] with an explicit [`Clock`] for the staged
+    /// pipeline's stage timings.
+    pub fn with_sources_and_clock(
+        generated: GeneratedLake,
+        config: VerifAiConfig,
+        sources: [Box<dyn EvidenceSource>; 4],
+        build_stats: BuildStats,
+        clock: Arc<dyn Clock>,
+    ) -> VerifAi {
         let rerank_stage: Box<dyn RerankStage> = if config.use_reranker {
             Box::new(ScoreRerank::new(CompositeReranker::with_defaults()))
         } else {
             Box::new(TopKPassthrough)
         };
-
         let llm = SimLlm::new(config.llm, generated.world.clone());
         let agent = Agent::new(
             vec![
@@ -348,21 +370,18 @@ impl VerifAi {
         );
         let trust =
             TrustModel::with_priors(generated.lake.sources().iter().map(|s| (s.id, s.trust)));
-        let wall_ns = ns_between(build_start, clock.now());
+        let embedder = config
+            .use_semantic_index
+            .then(|| crate::corpus::embedder_for(&config));
         VerifAi {
             generated,
             llm,
             stages: StagedPipeline::with_clock(sources, rerank_stage, Box::new(agent), clock),
-            embedder: config.use_semantic_index.then_some(embedder),
+            embedder,
             config,
             provenance: SharedProvenance::new(),
             trust,
-            build_stats: BuildStats {
-                wall_ns,
-                index_ns,
-                embedded,
-                threads,
-            },
+            build_stats,
         }
     }
 

@@ -10,8 +10,43 @@ use bytes::{BufMut, Bytes, BytesMut};
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 use verifai_lake::InstanceId;
 use verifai_text::{Analyzer, AnalyzerConfig};
+
+/// Corpus-wide statistics BM25 scoring depends on: document count, total
+/// analyzed length, and per-term document frequencies.
+///
+/// A single index computes these from its own postings. A *sharded* corpus
+/// cannot — each shard sees only its partition, and shard-local idf /
+/// average-length would score the same document differently depending on
+/// which shard it landed on. Shard builders therefore [`merge`] the stats
+/// of every partition and hand the global totals back to each shard via
+/// [`InvertedIndex::set_shared_stats`], making per-shard scores exactly
+/// equal to a single whole-corpus index.
+///
+/// [`merge`]: CorpusStats::merge
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CorpusStats {
+    /// Number of indexed documents.
+    pub docs: u64,
+    /// Sum of analyzed document lengths.
+    pub total_len: u64,
+    /// Analyzed term → number of documents containing it.
+    pub doc_freqs: HashMap<String, u64>,
+}
+
+impl CorpusStats {
+    /// Fold another partition's statistics into this one. Commutative and
+    /// associative, so shard merge order does not matter.
+    pub fn merge(&mut self, other: &CorpusStats) {
+        self.docs += other.docs;
+        self.total_len += other.total_len;
+        for (term, df) in &other.doc_freqs {
+            *self.doc_freqs.entry(term.clone()).or_insert(0) += df;
+        }
+    }
+}
 
 /// BM25 tuning parameters (Elasticsearch defaults).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,17 +81,22 @@ pub struct InvertedIndex {
     /// doc ordinal -> analyzed length.
     lengths: Vec<u32>,
     total_len: u64,
+    /// Global corpus statistics overriding the local ones during scoring.
+    /// `None` (the default, and what snapshots reload to) means this index
+    /// IS the whole corpus. Set by shard builders after a cross-shard merge.
+    shared_stats: Option<Arc<CorpusStats>>,
 }
 
 /// Heap entry for top-k selection (min-heap on score).
 struct HeapEntry {
     score: f64,
     doc: u32,
+    id: InstanceId,
 }
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.score == other.score && self.doc == other.doc
+        self.score == other.score && self.id == other.id
     }
 }
 impl Eq for HeapEntry {}
@@ -67,12 +107,16 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: smaller scores at the top of the heap so we can evict them.
+        // Reverse: smaller scores at the top of the heap so we can evict
+        // them. Ties evict the *largest external id*, mirroring
+        // `sort_hits`' total order (score desc, id asc) — the survivors at
+        // a tied k-boundary are then the same set a whole-corpus index
+        // keeps, which is what makes sharded top-k merge exact.
         other
             .score
             .partial_cmp(&self.score)
             .unwrap_or(Ordering::Equal)
-            .then_with(|| self.doc.cmp(&other.doc))
+            .then_with(|| self.id.cmp(&other.id))
     }
 }
 
@@ -92,7 +136,30 @@ impl InvertedIndex {
             ids: Vec::new(),
             lengths: Vec::new(),
             total_len: 0,
+            shared_stats: None,
         }
+    }
+
+    /// This index's own corpus statistics, for cross-shard merging.
+    pub fn corpus_stats(&self) -> CorpusStats {
+        CorpusStats {
+            docs: self.ids.len() as u64,
+            total_len: self.total_len,
+            doc_freqs: self
+                .postings
+                .iter()
+                .map(|(term, postings)| (term.clone(), postings.len() as u64))
+                .collect(),
+        }
+    }
+
+    /// Score against corpus-wide statistics instead of this index's own.
+    ///
+    /// With the merged stats of every shard installed, a shard-local index
+    /// scores each of its documents identically to a single index over the
+    /// whole corpus — the invariant sharded scatter/gather relies on.
+    pub fn set_shared_stats(&mut self, stats: Arc<CorpusStats>) {
+        self.shared_stats = Some(stats);
     }
 
     /// Number of indexed documents.
@@ -133,10 +200,8 @@ impl InvertedIndex {
         doc
     }
 
-    /// BM25 inverse document frequency of a term.
-    fn idf(&self, df: usize) -> f64 {
-        let n = self.ids.len() as f64;
-        let df = df as f64;
+    /// BM25 inverse document frequency of a term in a corpus of `n` docs.
+    fn idf(n: f64, df: f64) -> f64 {
         // The "+1" form used by Lucene: always positive.
         ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
     }
@@ -150,7 +215,13 @@ impl InvertedIndex {
         if qterms.is_empty() {
             return Vec::new();
         }
-        let avg_len = self.total_len as f64 / self.ids.len() as f64;
+        // Corpus-wide doc count and average length: the shared (merged)
+        // statistics when installed, this index's own otherwise.
+        let (n_docs, total_len) = match &self.shared_stats {
+            Some(stats) if stats.docs > 0 => (stats.docs as f64, stats.total_len as f64),
+            _ => (self.ids.len() as f64, self.total_len as f64),
+        };
+        let avg_len = total_len / n_docs;
         let mut scores: HashMap<u32, f64> = HashMap::new();
         // Stable term order for reproducible floating-point accumulation.
         let mut qvec: Vec<(&String, &u32)> = qterms.iter().collect();
@@ -159,7 +230,15 @@ impl InvertedIndex {
             let Some(postings) = self.postings.get(term) else {
                 continue;
             };
-            let idf = self.idf(postings.len());
+            let df = match &self.shared_stats {
+                Some(stats) => stats
+                    .doc_freqs
+                    .get(term)
+                    .copied()
+                    .unwrap_or(postings.len() as u64) as f64,
+                None => postings.len() as f64,
+            };
+            let idf = Self::idf(n_docs, df);
             for p in postings {
                 let dl = self.lengths[p.doc as usize] as f64;
                 let tf = p.tf as f64;
@@ -172,7 +251,11 @@ impl InvertedIndex {
         // Top-k selection with a size-k min-heap.
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
         for (doc, score) in scores {
-            heap.push(HeapEntry { score, doc });
+            heap.push(HeapEntry {
+                score,
+                doc,
+                id: self.ids[doc as usize],
+            });
             if heap.len() > k {
                 heap.pop();
             }
@@ -257,6 +340,9 @@ impl InvertedIndex {
             ids,
             lengths,
             total_len,
+            // Shared stats are runtime wiring, not part of the snapshot; a
+            // reloaded shard gets them re-installed by its builder.
+            shared_stats: None,
         })
     }
 
@@ -406,6 +492,55 @@ mod tests {
         let full = small_index().to_bytes();
         let cut = full.slice(0..full.len() / 2);
         assert!(InvertedIndex::from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn shared_stats_make_shard_scores_global() {
+        // Split the corpus across two "shards"; with merged CorpusStats
+        // installed, each shard scores its documents exactly as the
+        // whole-corpus index does.
+        let global = small_index();
+        let texts = [
+            "Meagan Good is an American actress born in Panorama City",
+            "Stomp the Yard is a 2007 dance drama film starring Columbus Short",
+            "Michael Jordan played basketball for the Chicago Bulls",
+            "The 1959 NCAA track and field championships were held in June",
+        ];
+        let mut shard_a = InvertedIndex::default();
+        let mut shard_b = InvertedIndex::default();
+        for (i, text) in texts.iter().enumerate() {
+            let shard = if i % 2 == 0 {
+                &mut shard_a
+            } else {
+                &mut shard_b
+            };
+            shard.add(tid(i as u64), text);
+        }
+        let mut merged = shard_a.corpus_stats();
+        merged.merge(&shard_b.corpus_stats());
+        assert_eq!(merged, global.corpus_stats());
+        let merged = Arc::new(merged);
+        shard_a.set_shared_stats(merged.clone());
+        shard_b.set_shared_stats(merged);
+        for q in ["Meagan Good actress", "basketball film", "championship"] {
+            let mut sharded: Vec<SearchHit> = shard_a.search(q, 10);
+            sharded.extend(shard_b.search(q, 10));
+            sort_hits(&mut sharded);
+            assert_eq!(sharded, global.search(q, 10), "query {q}");
+        }
+    }
+
+    #[test]
+    fn tied_scores_keep_smallest_ids_at_k_boundary() {
+        // Identical documents tie exactly; the k survivors must be the
+        // smallest ids (sort_hits' total order), not heap-insertion order.
+        let mut idx = InvertedIndex::default();
+        for i in 0..10 {
+            idx.add(tid(i), "identical zebra document");
+        }
+        let hits = idx.search("zebra", 4);
+        let ids: Vec<InstanceId> = hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![tid(0), tid(1), tid(2), tid(3)]);
     }
 
     #[test]

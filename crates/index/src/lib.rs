@@ -32,7 +32,7 @@ pub mod trie;
 pub mod vector;
 
 pub use combiner::{Combiner, FusionStrategy};
-pub use content::{Bm25Params, InvertedIndex};
+pub use content::{Bm25Params, CorpusStats, InvertedIndex};
 pub use hit::SearchHit;
 pub use persist::PersistError;
 pub use source::{EvidenceSource, FusedSource, SourceQuery};

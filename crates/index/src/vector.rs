@@ -68,6 +68,7 @@ impl FlatIndex {
 struct MinEntry {
     score: f64,
     ord: usize,
+    id: InstanceId,
 }
 impl PartialEq for MinEntry {
     fn eq(&self, other: &Self) -> bool {
@@ -82,10 +83,16 @@ impl PartialOrd for MinEntry {
 }
 impl Ord for MinEntry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Evict smallest score first; among score ties, the largest
+        // external id — the same total order `sort_hits` uses, so the k
+        // survivors at a tied boundary match a whole-corpus scan's and
+        // sharded top-k merge stays exact. The insertion ordinal breaks
+        // the remaining (score, id) duplicates deterministically.
         other
             .score
             .partial_cmp(&self.score)
             .unwrap_or(Ordering::Equal)
+            .then_with(|| self.id.cmp(&other.id))
             .then_with(|| self.ord.cmp(&other.ord))
     }
 }
@@ -162,7 +169,11 @@ impl VectorIndex for FlatIndex {
         let mut heap: BinaryHeap<MinEntry> = BinaryHeap::with_capacity(k + 1);
         for (ord, v) in self.vectors.iter().enumerate() {
             let score = v.dot_unit(&q) as f64;
-            heap.push(MinEntry { score, ord });
+            heap.push(MinEntry {
+                score,
+                ord,
+                id: self.ids[ord],
+            });
             if heap.len() > k {
                 heap.pop();
             }

@@ -26,7 +26,7 @@ use verifai_obs::{
 
 use crate::cache::CacheStats;
 use crate::quality::{QualityConfig, QualityMonitor, QualityStats};
-use crate::stats::{StageLatency, StageTotals, VerdictCounts};
+use crate::stats::{StageLatency, StageTotals, TenantStats, VerdictCounts};
 
 /// Pipeline stage names, indexed the way [`ServiceObs`] stores their series.
 pub(crate) const STAGES: [&str; 4] = ["queue", "retrieval", "rerank", "verify"];
@@ -205,6 +205,44 @@ impl QualityObs {
     }
 }
 
+/// Per-tenant accounting: outcome counters plus an end-to-end latency
+/// histogram, every series labeled `{tenant="name"}` (and the counters
+/// additionally by `{outcome=...}`).
+struct TenantSeries {
+    name: String,
+    completed: Arc<Counter>,
+    shed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    throttled: Arc<Counter>,
+    failed: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+impl TenantSeries {
+    fn new(registry: &Registry, name: &str) -> TenantSeries {
+        let outcome = |o: &str| {
+            registry.counter(
+                "verifai_tenant_requests_total",
+                "Requests by tenant and final disposition",
+                &[("tenant", name), ("outcome", o)],
+            )
+        };
+        TenantSeries {
+            name: name.to_string(),
+            completed: outcome("completed"),
+            shed: outcome("shed"),
+            rejected: outcome("rejected"),
+            throttled: outcome("throttled"),
+            failed: outcome("failed"),
+            latency: registry.histogram(
+                "verifai_tenant_latency_seconds",
+                "End-to-end latency of completed requests, per tenant",
+                &[("tenant", name)],
+            ),
+        }
+    }
+}
+
 /// All metrics, traces, and retention for one [`crate::VerificationService`].
 pub struct ServiceObs {
     config: ObsConfig,
@@ -215,7 +253,9 @@ pub struct ServiceObs {
     completed: Arc<Counter>,
     shed: Arc<Counter>,
     rejected: Arc<Counter>,
+    throttled: Arc<Counter>,
     failed: Arc<Counter>,
+    tenants: Vec<TenantSeries>,
     queue_depth: Arc<Gauge>,
     in_flight: Arc<Gauge>,
     index_build_ns: Arc<Gauge>,
@@ -255,6 +295,16 @@ impl ServiceObs {
     /// gated tier: it runs only when observability is enabled (its SLO
     /// signal reads the gated latency histogram).
     pub fn with_quality(config: ObsConfig, quality: QualityConfig) -> ServiceObs {
+        ServiceObs::with_quality_and_tenants(config, quality, &[])
+    }
+
+    /// [`ServiceObs::with_quality`] plus per-tenant accounting series, one
+    /// `{tenant="name"}` family per entry of `tenant_names`.
+    pub fn with_quality_and_tenants(
+        config: ObsConfig,
+        quality: QualityConfig,
+        tenant_names: &[String],
+    ) -> ServiceObs {
         let registry = Registry::new();
         let quality = (config.enabled && quality.enabled)
             .then(|| QualityObs::new(&registry, quality, config.clock.now()));
@@ -291,7 +341,12 @@ impl ServiceObs {
             completed: outcome("completed"),
             shed: outcome("shed"),
             rejected: outcome("rejected"),
+            throttled: outcome("throttled"),
             failed: outcome("failed"),
+            tenants: tenant_names
+                .iter()
+                .map(|name| TenantSeries::new(&registry, name))
+                .collect(),
             queue_depth: registry.gauge(
                 "verifai_queue_depth",
                 "Requests waiting in the admission queue",
@@ -444,8 +499,67 @@ impl ServiceObs {
         self.shed.inc();
     }
 
+    pub(crate) fn on_throttled(&self) {
+        self.throttled.inc();
+    }
+
     pub(crate) fn on_failed(&self) {
         self.failed.inc();
+    }
+
+    // Per-tenant mirrors of the outcome counters — no-ops without tenant
+    // series (the legacy single-queue mode).
+
+    pub(crate) fn tenant_completed(&self, tenant: usize, latency_ns: u64) {
+        if let Some(series) = self.tenants.get(tenant) {
+            series.completed.inc();
+            if self.config.enabled {
+                series.latency.record(Duration::from_nanos(latency_ns));
+            }
+        }
+    }
+
+    pub(crate) fn tenant_shed(&self, tenant: usize) {
+        if let Some(series) = self.tenants.get(tenant) {
+            series.shed.inc();
+        }
+    }
+
+    pub(crate) fn tenant_rejected(&self, tenant: usize) {
+        if let Some(series) = self.tenants.get(tenant) {
+            series.rejected.inc();
+        }
+    }
+
+    pub(crate) fn tenant_throttled(&self, tenant: usize) {
+        if let Some(series) = self.tenants.get(tenant) {
+            series.throttled.inc();
+        }
+    }
+
+    pub(crate) fn tenant_failed(&self, tenant: usize) {
+        if let Some(series) = self.tenants.get(tenant) {
+            series.failed.inc();
+        }
+    }
+
+    /// Frozen per-tenant accounting (empty without tenants). `queued` is
+    /// zero here — the scheduler owns queue depth and the service fills it
+    /// in.
+    pub(crate) fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.tenants
+            .iter()
+            .map(|series| TenantStats {
+                name: series.name.clone(),
+                completed: series.completed.get(),
+                shed: series.shed.get(),
+                rejected: series.rejected.get(),
+                throttled: series.throttled.get(),
+                failed: series.failed.get(),
+                queued: 0,
+                latency: series.latency.snapshot(),
+            })
+            .collect()
     }
 
     /// Account one completed request: outcome counter, end-to-end latency,
@@ -499,12 +613,13 @@ impl ServiceObs {
         self.index_build_ns.set(ns.min(i64::MAX as u64) as i64);
     }
 
-    pub(crate) fn counts(&self) -> (u64, u64, u64, u64, u64) {
+    pub(crate) fn counts(&self) -> (u64, u64, u64, u64, u64, u64) {
         (
             self.submitted.get(),
             self.completed.get(),
             self.shed.get(),
             self.rejected.get(),
+            self.throttled.get(),
             self.failed.get(),
         )
     }

@@ -34,6 +34,7 @@ use crate::cache::{CachedEvidence, EvidenceCache};
 use crate::obs::ServiceObs;
 use crate::quality::QualityConfig;
 use crate::stats::ServiceStats;
+use crate::tenants::{EnqueueError, TenantScheduler, TenantSpec};
 
 /// Tuning knobs for a [`VerificationService`].
 #[derive(Debug, Clone)]
@@ -55,6 +56,12 @@ pub struct ServiceConfig {
     pub default_deadline: Option<Duration>,
     /// Quality-monitoring tuning (drift windows, canaries, SLO burn).
     pub quality: QualityConfig,
+    /// Tenant QoS contracts. Empty (the default) keeps the single shared
+    /// FIFO; non-empty splits admission into weighted-fair per-tenant
+    /// queues with token-bucket rate quotas — `queue_capacity` and
+    /// `high_water` are then divided among tenants in weight proportion,
+    /// and [`VerificationService::submit`] maps to the first tenant.
+    pub tenants: Vec<TenantSpec>,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +75,7 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             default_deadline: None,
             quality: QualityConfig::default(),
+            tenants: Vec::new(),
         }
     }
 }
@@ -75,14 +83,21 @@ impl Default for ServiceConfig {
 /// Why a submission was not admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The bounded queue is at capacity (or the service is shutting down).
+    /// The bounded queue (or the tenant's share of it) is at capacity, or
+    /// the service is shutting down.
     QueueFull,
+    /// The tenant's token-bucket rate quota is exhausted.
+    Throttled,
+    /// No tenant with the submitted name is configured.
+    UnknownTenant,
 }
 
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::QueueFull => f.write_str("verification queue is full"),
+            SubmitError::Throttled => f.write_str("tenant rate quota exhausted"),
+            SubmitError::UnknownTenant => f.write_str("unknown tenant"),
         }
     }
 }
@@ -125,7 +140,18 @@ struct Request {
     deadline: Option<Instant>,
     enqueued: Instant,
     trace_id: TraceId,
+    tenant: usize,
     reply: Sender<RequestOutcome>,
+}
+
+/// What travels through the worker channel. Without tenants, requests ride
+/// the channel directly (it *is* the admission queue). With tenants,
+/// requests wait in the scheduler's per-tenant queues and the channel
+/// carries wake tokens — one per enqueue — so workers pull in
+/// weighted-fair order instead of channel FIFO order.
+enum Job {
+    Direct(Box<Request>),
+    Wake,
 }
 
 struct Inner {
@@ -133,12 +159,13 @@ struct Inner {
     config: ServiceConfig,
     cache: Option<EvidenceCache>,
     obs: ServiceObs,
+    scheduler: Option<TenantScheduler<Request>>,
 }
 
 /// A long-lived concurrent verification service over a shared [`VerifAi`].
 pub struct VerificationService {
     inner: Arc<Inner>,
-    pool: WorkerPool<Request>,
+    pool: WorkerPool<Job>,
 }
 
 impl VerificationService {
@@ -158,20 +185,36 @@ impl VerificationService {
     ) -> VerificationService {
         let cache = (config.cache_capacity > 0)
             .then(|| EvidenceCache::new(config.cache_shards, config.cache_capacity));
-        let obs = ServiceObs::with_quality(obs_config, config.quality.clone());
+        let tenant_names: Vec<String> = config.tenants.iter().map(|t| t.name.clone()).collect();
+        let obs =
+            ServiceObs::with_quality_and_tenants(obs_config, config.quality.clone(), &tenant_names);
         obs.set_index_build_ns(system.build_stats().index_ns);
+        let scheduler = (!config.tenants.is_empty()).then(|| {
+            TenantScheduler::new(
+                config.tenants.clone(),
+                config.queue_capacity,
+                config.high_water,
+                obs.config().clock.clone(),
+            )
+        });
+        // With tenants, the channel carries one wake token per queued
+        // request, so it must hold as many tokens as the tenant queues hold
+        // requests.
+        let channel_capacity = scheduler
+            .as_ref()
+            .map(TenantScheduler::total_capacity)
+            .unwrap_or(config.queue_capacity);
         let inner = Arc::new(Inner {
             system,
             cache,
             obs,
+            scheduler,
             config: config.clone(),
         });
         let worker_inner = Arc::clone(&inner);
-        let pool = WorkerPool::new(
-            config.workers,
-            Some(config.queue_capacity),
-            move |rx, first| handle_wakeup(&worker_inner, rx, first),
-        );
+        let pool = WorkerPool::new(config.workers, Some(channel_capacity), move |rx, first| {
+            handle_wakeup(&worker_inner, rx, first)
+        });
         VerificationService { inner, pool }
     }
 
@@ -181,9 +224,36 @@ impl VerificationService {
         &self.inner.obs
     }
 
-    /// Submit with the configured default deadline.
+    /// Submit with the configured default deadline. With tenants
+    /// configured, the request is accounted to the first tenant.
     pub fn submit(&self, object: DataObject) -> Result<Ticket, SubmitError> {
         self.submit_with_deadline(object, self.inner.config.default_deadline)
+    }
+
+    /// Submit on behalf of a named tenant, with the default deadline.
+    pub fn submit_for(&self, tenant: &str, object: DataObject) -> Result<Ticket, SubmitError> {
+        self.submit_for_with_deadline(tenant, object, self.inner.config.default_deadline)
+    }
+
+    /// Submit on behalf of a named tenant with an explicit deadline. The
+    /// tenant's token bucket and queue share gate admission; an unknown
+    /// name is rejected. Without configured tenants this falls back to the
+    /// shared queue.
+    pub fn submit_for_with_deadline(
+        &self,
+        tenant: &str,
+        object: DataObject,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
+        let Some(scheduler) = &self.inner.scheduler else {
+            return self.submit_with_deadline(object, deadline);
+        };
+        let Some(index) = scheduler.resolve(tenant) else {
+            self.inner.obs.on_submitted();
+            self.inner.obs.on_rejected();
+            return Err(SubmitError::UnknownTenant);
+        };
+        self.submit_tenant(index, object, deadline)
     }
 
     /// Submit with an explicit per-request deadline budget (`None` = no
@@ -194,6 +264,9 @@ impl VerificationService {
         object: DataObject,
         deadline: Option<Duration>,
     ) -> Result<Ticket, SubmitError> {
+        if self.inner.scheduler.is_some() {
+            return self.submit_tenant(0, object, deadline);
+        }
         self.inner.obs.on_submitted();
         let now = self.inner.obs.config().clock.now();
         let (reply, rx) = bounded(1);
@@ -202,9 +275,10 @@ impl VerificationService {
             deadline: deadline.map(|d| now + d),
             enqueued: now,
             trace_id: self.inner.obs.allocate_trace_id(),
+            tenant: 0,
             reply,
         };
-        match self.pool.try_submit(request) {
+        match self.pool.try_submit(Job::Direct(Box::new(request))) {
             Ok(()) => Ok(Ticket { rx }),
             Err(_) => {
                 self.inner.obs.on_rejected();
@@ -213,18 +287,81 @@ impl VerificationService {
         }
     }
 
+    /// Tenant-mode admission: token bucket, then the tenant's queue share,
+    /// then a worker wake token.
+    fn submit_tenant(
+        &self,
+        tenant: usize,
+        object: DataObject,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
+        let scheduler = self
+            .inner
+            .scheduler
+            .as_ref()
+            .expect("tenant submit requires a scheduler");
+        self.inner.obs.on_submitted();
+        let now = self.inner.obs.config().clock.now();
+        let (reply, rx) = bounded(1);
+        let request = Request {
+            object,
+            deadline: deadline.map(|d| now + d),
+            enqueued: now,
+            trace_id: self.inner.obs.allocate_trace_id(),
+            tenant,
+            reply,
+        };
+        match scheduler.try_enqueue(tenant, request) {
+            Ok(()) => {
+                // One wake per enqueue. The channel holds `total_capacity`
+                // tokens — at least as many as requests can be queued — so
+                // a refused wake means enough wakes are already pending to
+                // drain every queued request.
+                let _ = self.pool.try_submit(Job::Wake);
+                Ok(Ticket { rx })
+            }
+            Err((EnqueueError::Throttled, _)) => {
+                self.inner.obs.on_throttled();
+                self.inner.obs.tenant_throttled(tenant);
+                Err(SubmitError::Throttled)
+            }
+            Err((EnqueueError::QueueFull, _)) => {
+                self.inner.obs.on_rejected();
+                self.inner.obs.tenant_rejected(tenant);
+                Err(SubmitError::QueueFull)
+            }
+        }
+    }
+
+    /// Requests waiting for a worker — the shared channel without tenants,
+    /// the scheduler's per-tenant queues with them.
+    fn queue_depth(&self) -> usize {
+        match &self.inner.scheduler {
+            Some(scheduler) => scheduler.queued(),
+            None => self.pool.queue_len(),
+        }
+    }
+
     /// Current counters, gauges, cache state, and latency quantiles.
     pub fn stats(&self) -> ServiceStats {
         let obs = &self.inner.obs;
-        let (submitted, completed, shed, rejected, failed) = obs.counts();
+        let (submitted, completed, shed, rejected, throttled, failed) = obs.counts();
         let latency = obs.latency_snapshot();
+        let mut tenants = obs.tenant_stats();
+        if let Some(scheduler) = &self.inner.scheduler {
+            for (index, tenant) in tenants.iter_mut().enumerate() {
+                tenant.queued = scheduler.queued_for(index);
+            }
+        }
         ServiceStats {
             submitted,
             completed,
             shed,
             rejected,
+            throttled,
             failed,
-            queue_depth: self.pool.queue_len(),
+            tenants,
+            queue_depth: self.queue_depth(),
             in_flight: obs.in_flight(),
             index_build_ns: self.inner.system.build_stats().index_ns,
             stages: obs.stage_totals(),
@@ -242,6 +379,7 @@ impl VerificationService {
             latency_p50: latency.quantile(0.50),
             latency_p95: latency.quantile(0.95),
             latency_p99: latency.quantile(0.99),
+            latency,
         }
     }
 
@@ -253,7 +391,7 @@ impl VerificationService {
             .as_ref()
             .map(EvidenceCache::stats)
             .unwrap_or_default();
-        render_prometheus(&self.inner.obs.snapshot(self.pool.queue_len(), &cache))
+        render_prometheus(&self.inner.obs.snapshot(self.queue_depth(), &cache))
     }
 
     /// The current metrics as a JSON object (bench artifacts, dashboards).
@@ -264,7 +402,7 @@ impl VerificationService {
             .as_ref()
             .map(EvidenceCache::stats)
             .unwrap_or_default();
-        render_json(&self.inner.obs.snapshot(self.pool.queue_len(), &cache))
+        render_json(&self.inner.obs.snapshot(self.queue_depth(), &cache))
     }
 
     /// Stop admitting, drain already-admitted requests, join the workers,
@@ -272,6 +410,18 @@ impl VerificationService {
     /// performs the same drain.
     pub fn shutdown(mut self) -> ServiceStats {
         self.pool.shutdown();
+        // Tenant mode: every queued request carried a wake token, so the
+        // drain above has already emptied the scheduler — but wake
+        // conservation is a cross-thread argument, not a local invariant,
+        // so sweep defensively: any straggler still gets its answer.
+        if let Some(scheduler) = &self.inner.scheduler {
+            let mut local = HashMap::new();
+            while let Some((_, request, _)) = scheduler.pop() {
+                self.inner.obs.in_flight_add(1);
+                process(&self.inner, request, &mut local);
+                self.inner.obs.in_flight_add(-1);
+            }
+        }
         // Evaluate whatever the last partial quality window accumulated —
         // without this, short runs would exit with signals collected but
         // never judged.
@@ -280,14 +430,26 @@ impl VerificationService {
     }
 }
 
-/// One worker wakeup: coalesce up to `max_batch` pending requests, group
+/// One worker wakeup, dispatched on what woke it: a request riding the
+/// channel directly (single-queue mode), or a wake token standing in for a
+/// request waiting in the tenant scheduler.
+fn handle_wakeup(inner: &Inner, rx: &Receiver<Job>, first: Job) {
+    match first {
+        Job::Direct(request) => handle_direct(inner, rx, *request),
+        Job::Wake => handle_tenant_wakeup(inner),
+    }
+}
+
+/// Single-queue mode: coalesce up to `max_batch` pending requests, group
 /// them by object kind (same evidence plan), and process each group with
 /// batch-local query coalescing.
-fn handle_wakeup(inner: &Inner, rx: &Receiver<Request>, first: Request) {
+fn handle_direct(inner: &Inner, rx: &Receiver<Job>, first: Request) {
     let mut batch = vec![first];
     while batch.len() < inner.config.max_batch.max(1) {
         match rx.try_recv() {
-            Ok(request) => batch.push(request),
+            Ok(Job::Direct(request)) => batch.push(*request),
+            // Wake tokens never share a channel with direct requests.
+            Ok(Job::Wake) => {}
             Err(_) => break,
         }
     }
@@ -298,20 +460,53 @@ fn handle_wakeup(inner: &Inner, rx: &Receiver<Request>, first: Request) {
     let backlog = rx.len();
     if backlog > inner.config.high_water {
         for request in batch {
-            inner.obs.on_shed();
             inner.obs.in_flight_add(-1);
-            let queue_ns = ns_between(request.enqueued, inner.obs.config().clock.now());
-            let mut trace = inner.obs.begin_trace(request.trace_id, request.object.id());
-            trace.span("queue", queue_ns, 0, 0, format!("shed: backlog {backlog}"));
-            trace.finish("shed", queue_ns);
-            inner.obs.record_trace(trace);
-            let _ = request.reply.send(RequestOutcome::Shed);
+            shed_request(inner, request, backlog);
         }
         return;
     }
-    // Stable partition into same-kind groups: within a group every object
-    // shares an evidence plan, so identical queries coalesce to one
-    // discovery even when the cross-request cache is disabled.
+    process_batch(inner, batch);
+}
+
+/// Tenant mode: pull up to `max_batch` requests in weighted-fair order,
+/// applying each tenant's own high-water shedding at dequeue — an
+/// overloaded tenant drains at dequeue speed while its neighbors' queues
+/// are untouched.
+fn handle_tenant_wakeup(inner: &Inner) {
+    let Some(scheduler) = &inner.scheduler else {
+        return;
+    };
+    let mut batch = Vec::new();
+    while batch.len() < inner.config.max_batch.max(1) {
+        let Some((tenant, request, remaining)) = scheduler.pop() else {
+            break;
+        };
+        if remaining > scheduler.high_water(tenant) {
+            inner.obs.tenant_shed(tenant);
+            shed_request(inner, request, remaining);
+        } else {
+            batch.push(request);
+        }
+    }
+    inner.obs.in_flight_add(batch.len() as i64);
+    process_batch(inner, batch);
+}
+
+/// Answer one dequeued request with `Shed`, tracing the queue wait.
+fn shed_request(inner: &Inner, request: Request, backlog: usize) {
+    inner.obs.on_shed();
+    let queue_ns = ns_between(request.enqueued, inner.obs.config().clock.now());
+    let mut trace = inner.obs.begin_trace(request.trace_id, request.object.id());
+    trace.span("queue", queue_ns, 0, 0, format!("shed: backlog {backlog}"));
+    trace.finish("shed", queue_ns);
+    inner.obs.record_trace(trace);
+    let _ = request.reply.send(RequestOutcome::Shed);
+}
+
+/// Stable partition into same-kind groups: within a group every object
+/// shares an evidence plan, so identical queries coalesce to one discovery
+/// even when the cross-request cache is disabled.
+fn process_batch(inner: &Inner, batch: Vec<Request>) {
     let (cells, claims): (Vec<Request>, Vec<Request>) = batch
         .into_iter()
         .partition(|r| matches!(r.object, DataObject::ImputedCell(_)));
@@ -462,12 +657,14 @@ fn process(inner: &Inner, request: Request, local: &mut HashMap<(u8, String), Ca
                 latency_ns,
                 report.top_score(),
             );
+            inner.obs.tenant_completed(request.tenant, latency_ns);
             trace.finish(if partial { "partial" } else { "completed" }, latency_ns);
             inner.obs.record_trace(trace);
             let _ = request.reply.send(RequestOutcome::Completed(report));
         }
         Err(error) => {
             inner.obs.on_failed();
+            inner.obs.tenant_failed(request.tenant);
             let latency_ns = ns_between(request.enqueued, clock.now());
             trace.span("error", 0, 0, 0, error.to_string());
             trace.finish("failed", latency_ns);

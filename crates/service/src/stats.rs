@@ -72,12 +72,48 @@ impl StageTotals {
     }
 }
 
+/// Per-tenant slice of the service counters (empty without configured
+/// tenants).
+#[derive(Debug, Clone, Default)]
+pub struct TenantStats {
+    /// The tenant's configured name.
+    pub name: String,
+    /// Requests fully processed.
+    pub completed: u64,
+    /// Requests dropped by this tenant's share of load shedding.
+    pub shed: u64,
+    /// Requests refused because the tenant's queue share was full.
+    pub rejected: u64,
+    /// Requests refused by the tenant's token-bucket rate quota.
+    pub throttled: u64,
+    /// Requests that hit a typed pipeline error.
+    pub failed: u64,
+    /// Requests waiting in the tenant's queue right now.
+    pub queued: usize,
+    /// End-to-end latency distribution of this tenant's completed requests
+    /// (empty when observability is off).
+    pub latency: HistogramSnapshot,
+}
+
+impl TenantStats {
+    /// Fold another snapshot of the same tenant into this one.
+    pub fn merge(&mut self, other: &TenantStats) {
+        self.completed += other.completed;
+        self.shed += other.shed;
+        self.rejected += other.rejected;
+        self.throttled += other.throttled;
+        self.failed += other.failed;
+        self.queued += other.queued;
+        self.latency.merge(&other.latency);
+    }
+}
+
 /// Snapshot of a [`crate::VerificationService`]'s counters, gauges, cache
 /// state, and latency distribution.
 ///
 /// Invariant (checked by the integration tests): once every submitted
-/// request's ticket has resolved, `completed + shed + rejected + failed ==
-/// submitted` — no request is ever lost.
+/// request's ticket has resolved, `completed + shed + rejected + throttled
+/// + failed == submitted` — no request is ever lost.
 #[derive(Debug, Clone, Default)]
 pub struct ServiceStats {
     /// Submission attempts, including rejected ones.
@@ -88,6 +124,8 @@ pub struct ServiceStats {
     pub shed: u64,
     /// Requests refused at submit because the queue was full.
     pub rejected: u64,
+    /// Requests refused at submit by a tenant's rate quota.
+    pub throttled: u64,
     /// Requests that hit a typed pipeline error (e.g. stale cached
     /// evidence) — distinguishable from shedding and from deadline-partial
     /// `Unknown` reports.
@@ -112,6 +150,12 @@ pub struct ServiceStats {
     pub traces_recorded: u64,
     /// Quality-monitoring state (disabled default when no monitor runs).
     pub quality: QualityStats,
+    /// Per-tenant accounting, in configuration order (empty without
+    /// tenants).
+    pub tenants: Vec<TenantStats>,
+    /// Raw end-to-end latency distribution — the mergeable form behind the
+    /// derived quantile fields below.
+    pub latency: HistogramSnapshot,
     /// Mean end-to-end latency of completed requests.
     pub latency_mean: Duration,
     /// Median end-to-end latency.
@@ -126,7 +170,79 @@ impl ServiceStats {
     /// Requests with a final disposition; equals `submitted` once every
     /// outstanding ticket has resolved.
     pub fn accounted(&self) -> u64 {
-        self.completed + self.shed + self.rejected + self.failed
+        self.completed + self.shed + self.rejected + self.throttled + self.failed
+    }
+
+    /// Fold another service's (or shard's) stats into this one, producing a
+    /// cluster-wide roll-up.
+    ///
+    /// Counters, stage sums, verdicts, and cache traffic add; latency
+    /// distributions merge bucket-wise and the derived quantiles are
+    /// recomputed from the merged histogram (quantiles themselves do not
+    /// add). `queue_depth` and `in_flight` sum because each service owns a
+    /// distinct queue — nothing is double-counted. `index_build_ns` takes
+    /// the max: parallel builds overlap, so the slowest one bounds startup.
+    /// Tenants merge by name, so the same tenant served by several shards
+    /// rolls up into one row.
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.shed += other.shed;
+        self.rejected += other.rejected;
+        self.throttled += other.throttled;
+        self.failed += other.failed;
+        self.queue_depth += other.queue_depth;
+        self.in_flight += other.in_flight;
+        self.index_build_ns = self.index_build_ns.max(other.index_build_ns);
+        self.cache.hits += other.cache.hits;
+        self.cache.misses += other.cache.misses;
+        self.cache.evictions += other.cache.evictions;
+        self.cache.entries += other.cache.entries;
+        self.stages.retrieval_ns += other.stages.retrieval_ns;
+        self.stages.rerank_ns += other.stages.rerank_ns;
+        self.stages.verify_ns += other.stages.verify_ns;
+        self.stages.candidates_in += other.stages.candidates_in;
+        self.stages.candidates_out += other.stages.candidates_out;
+        self.stage_latency.queue.merge(&other.stage_latency.queue);
+        self.stage_latency
+            .retrieval
+            .merge(&other.stage_latency.retrieval);
+        self.stage_latency.rerank.merge(&other.stage_latency.rerank);
+        self.stage_latency.verify.merge(&other.stage_latency.verify);
+        self.verdicts.verified += other.verdicts.verified;
+        self.verdicts.refuted += other.verdicts.refuted;
+        self.verdicts.not_related += other.verdicts.not_related;
+        self.verdicts.unknown += other.verdicts.unknown;
+        self.traces_recorded += other.traces_recorded;
+        self.quality.enabled |= other.quality.enabled;
+        self.quality.windows += other.quality.windows;
+        self.quality.canary_lifetime.passed += other.quality.canary_lifetime.passed;
+        self.quality.canary_lifetime.failed += other.quality.canary_lifetime.failed;
+        self.quality
+            .active_alerts
+            .extend(other.quality.active_alerts.iter().cloned());
+        for (mine, theirs) in self
+            .quality
+            .alerts_fired
+            .iter_mut()
+            .zip(other.quality.alerts_fired)
+        {
+            *mine += theirs;
+        }
+        self.quality.slo.fast_burn = self.quality.slo.fast_burn.max(other.quality.slo.fast_burn);
+        self.quality.slo.slow_burn = self.quality.slo.slow_burn.max(other.quality.slo.slow_burn);
+        self.quality.slo.firing |= other.quality.slo.firing;
+        for tenant in &other.tenants {
+            match self.tenants.iter_mut().find(|t| t.name == tenant.name) {
+                Some(mine) => mine.merge(tenant),
+                None => self.tenants.push(tenant.clone()),
+            }
+        }
+        self.latency.merge(&other.latency);
+        self.latency_mean = self.latency.mean();
+        self.latency_p50 = self.latency.quantile(0.50);
+        self.latency_p95 = self.latency.quantile(0.95);
+        self.latency_p99 = self.latency.quantile(0.99);
     }
 }
 
@@ -134,9 +250,22 @@ impl fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "requests: submitted {} | completed {} | shed {} | rejected {} | failed {}",
-            self.submitted, self.completed, self.shed, self.rejected, self.failed
+            "requests: submitted {} | completed {} | shed {} | rejected {} | throttled {} | failed {}",
+            self.submitted, self.completed, self.shed, self.rejected, self.throttled, self.failed
         )?;
+        for tenant in &self.tenants {
+            writeln!(
+                f,
+                "tenant:   {} | completed {} | shed {} | rejected {} | throttled {} | queued {} | p99 {:?}",
+                tenant.name,
+                tenant.completed,
+                tenant.shed,
+                tenant.rejected,
+                tenant.throttled,
+                tenant.queued,
+                tenant.latency.quantile(0.99)
+            )?;
+        }
         writeln!(
             f,
             "queue:    depth {} | in-flight {}",

@@ -7,8 +7,9 @@
 # to the repository root. Then runs the service_bench obs-overhead
 # measurement (ObsConfig::default() vs ObsConfig::off(), plus the
 # quality/alert-path overhead: quality monitoring on with 5 ms windows vs
-# QualityConfig::off(), over the same closed-loop workload), which writes
-# BENCH_service.json alongside it.
+# QualityConfig::off(), over the same closed-loop workload, plus the
+# scatter/gather routing overhead at 1/2/4/8 shards vs the single-lake
+# build), which writes BENCH_service.json alongside it.
 #
 # Numbers at tiny scale are smoke-level only — use small/paper scale on a
 # quiet multi-core host for reportable figures.

@@ -19,6 +19,9 @@ cargo clippy -p verifai-obs --all-targets -- -D warnings
 echo "==> cargo clippy -p verifai-service -D warnings"
 cargo clippy -p verifai-service --all-targets -- -D warnings
 
+echo "==> cargo clippy -p verifai-cluster -D warnings"
+cargo clippy -p verifai-cluster --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -31,6 +34,16 @@ cargo test -q --workspace
 echo "==> canary smoke (gating)"
 cargo run -q --release --bin verifai-serve -- \
   --requests 120 --canary-every 10 --slowest 0 > /dev/null
+
+# Gating sharded/multi-tenant smoke: the same run over a 4-shard
+# scatter/gather cluster with three weighted tenants must also exit 0 —
+# it exercises routed retrieval, WFQ admission, and per-tenant accounting
+# in one pass. Rates are left unlimited so the gate never depends on
+# wall-clock timing.
+echo "==> sharded multi-tenant smoke (gating)"
+cargo run -q --release --bin verifai-serve -- \
+  --requests 120 --shards 4 --tenants acme:3,beta:1,free:1 \
+  --canary-every 10 --slowest 0 > /dev/null
 
 # Non-gating: refresh the kernel benchmark artifact. Numbers are
 # smoke-level at tiny scale; failures here don't fail the gate.

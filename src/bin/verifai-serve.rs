@@ -24,6 +24,13 @@
 //! verified/refuted/not-related/unknown); without it the baseline is
 //! learned from the first full window. The process exits nonzero when any
 //! critical quality alert is still active at shutdown.
+//!
+//! `--shards N` (N >= 2) partitions the lake into N shards behind a
+//! scatter/gather router; results are identical to the single-lake build.
+//! `--tenants name:weight[:rate[:burst]],...` turns on tenant-aware QoS:
+//! requests are attributed to tenants by weighted random draw, weighted
+//! fair scheduling isolates tenants from each other's backlogs, and
+//! token-bucket quotas throttle tenants past their sustained rate.
 
 use std::collections::VecDeque;
 use std::process::ExitCode;
@@ -32,11 +39,15 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use verifai::{DataObject, Verdict, VerifAi, VerifAiConfig};
+use verifai::{DataObject, SemanticBackend, Verdict, VerifAi, VerifAiConfig};
 use verifai_claims::ClaimGenConfig;
+use verifai_cluster::{build_cluster, ClusterConfig, Router};
 use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
 use verifai_obs::CanarySchedule;
-use verifai_service::{QualityConfig, RequestOutcome, ServiceConfig, Ticket, VerificationService};
+use verifai_service::{
+    QualityConfig, RequestOutcome, ServiceConfig, SubmitError, TenantSpec, Ticket,
+    VerificationService,
+};
 
 struct Args {
     requests: usize,
@@ -53,6 +64,8 @@ struct Args {
     slowest: usize,
     canary_every: u64,
     baseline: Option<Vec<f64>>,
+    shards: usize,
+    tenants: Vec<TenantSpec>,
 }
 
 impl Default for Args {
@@ -72,6 +85,8 @@ impl Default for Args {
             slowest: 3,
             canary_every: 0,
             baseline: None,
+            shards: 0,
+            tenants: Vec::new(),
         }
     }
 }
@@ -79,7 +94,45 @@ impl Default for Args {
 const USAGE: &str = "verifai-serve [--requests N] [--workers N] [--seed N] \
 [--queue-capacity N] [--high-water N] [--max-batch N] [--cache-capacity N] \
 [--deadline-ms N] [--distinct N] [--window N] [--metrics-every N] [--slowest N] \
-[--canary-every N] [--baseline p0,p1,p2,p3]";
+[--canary-every N] [--baseline p0,p1,p2,p3] [--shards N] \
+[--tenants name:weight[:rate[:burst]],...]";
+
+/// Parse `--tenants acme:3,beta:1:5.0,free:1:2.0:4.0` — name, fair-share
+/// weight, optional sustained rate (req/s, 0 = unlimited) and burst.
+fn parse_tenants(value: &str) -> Result<Vec<TenantSpec>, String> {
+    let mut tenants = Vec::new();
+    for entry in value.split(',').filter(|e| !e.trim().is_empty()) {
+        let parts: Vec<&str> = entry.trim().split(':').collect();
+        if parts.len() < 2 || parts.len() > 4 || parts[0].is_empty() {
+            return Err(format!(
+                "--tenants entries are name:weight[:rate[:burst]], got '{entry}'"
+            ));
+        }
+        let weight: u32 = parts[1].parse().map_err(|_| {
+            format!(
+                "tenant '{}' needs an integer weight, got '{}'",
+                parts[0], parts[1]
+            )
+        })?;
+        let rate: f64 = match parts.get(2) {
+            Some(p) => p
+                .parse()
+                .map_err(|_| format!("tenant '{}' rate must be a number, got '{p}'", parts[0]))?,
+            None => 0.0,
+        };
+        let burst: f64 = match parts.get(3) {
+            Some(p) => p
+                .parse()
+                .map_err(|_| format!("tenant '{}' burst must be a number, got '{p}'", parts[0]))?,
+            None => 0.0,
+        };
+        tenants.push(TenantSpec::new(parts[0], weight).with_rate(rate, burst));
+    }
+    if tenants.is_empty() {
+        return Err("--tenants needs at least one name:weight entry".to_string());
+    }
+    Ok(tenants)
+}
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -92,6 +145,10 @@ fn parse_args() -> Result<Args, String> {
             .next()
             .ok_or_else(|| format!("{flag} needs a value\nusage: {USAGE}"))?;
         // Flags with non-integer values parse their own.
+        if flag == "--tenants" {
+            args.tenants = parse_tenants(&value)?;
+            continue;
+        }
         if flag == "--baseline" {
             let proportions: Vec<f64> = value
                 .split(',')
@@ -130,6 +187,7 @@ fn parse_args() -> Result<Args, String> {
             "--metrics-every" => args.metrics_every = parsed as usize,
             "--slowest" => args.slowest = parsed as usize,
             "--canary-every" => args.canary_every = parsed,
+            "--shards" => args.shards = parsed as usize,
             other => return Err(format!("unknown flag {other}\nusage: {USAGE}")),
         }
     }
@@ -187,17 +245,43 @@ fn main() -> ExitCode {
     };
 
     let t_build = Instant::now();
-    let sys = Arc::new(VerifAi::build(
-        build(&LakeSpec::tiny(args.seed)),
-        VerifAiConfig::default(),
-    ));
+    // With `--shards N` (N >= 2) the lake is partitioned into N shards
+    // behind a scatter/gather router; retrieval results are identical to
+    // the single-lake build (exact flat semantic backend, global BM25
+    // stats), so the rest of the harness is oblivious to the topology.
+    let (sys, router): (Arc<VerifAi>, Option<Arc<Router>>) = if args.shards >= 2 {
+        let cluster = build_cluster(
+            build(&LakeSpec::tiny(args.seed)),
+            VerifAiConfig {
+                semantic_backend: SemanticBackend::Flat,
+                ..VerifAiConfig::default()
+            },
+            ClusterConfig::with_shards(args.shards),
+        );
+        (Arc::new(cluster.system), Some(cluster.router))
+    } else {
+        let sys = VerifAi::build(build(&LakeSpec::tiny(args.seed)), VerifAiConfig::default());
+        (Arc::new(sys), None)
+    };
     let pool = object_pool(&sys, args.distinct, args.seed);
     println!(
-        "lake + indexes built in {:?}; object pool: {} distinct ({} requests over them)",
+        "lake + indexes built in {:?} ({}); object pool: {} distinct ({} requests over them)",
         t_build.elapsed(),
+        match &router {
+            Some(r) => format!("{} shards, sizes {:?}", r.shard_count(), r.shard_sizes()),
+            None => "single lake".to_string(),
+        },
         pool.len(),
         args.requests
     );
+    if !args.tenants.is_empty() {
+        let mix: Vec<String> = args
+            .tenants
+            .iter()
+            .map(|t| format!("{}:w{}", t.name, t.weight))
+            .collect();
+        println!("tenants: {}", mix.join(", "));
+    }
 
     let service = VerificationService::new(
         Arc::clone(&sys),
@@ -212,6 +296,7 @@ fn main() -> ExitCode {
                 baseline: args.baseline.clone(),
                 ..QualityConfig::default()
             },
+            tenants: args.tenants.clone(),
             ..ServiceConfig::default()
         },
     );
@@ -250,7 +335,27 @@ fn main() -> ExitCode {
     let mut completed = 0u64;
     let mut shed = 0u64;
     let mut rejected = 0u64;
+    let mut throttled = 0u64;
     let mut failed = 0u64;
+    // Weighted-random tenant assignment: each request is attributed to a
+    // tenant in proportion to its fair-share weight, from the same seeded
+    // RNG as the object draw so the mix is reproducible.
+    let tenant_weights: Vec<u64> = args
+        .tenants
+        .iter()
+        .map(|t| u64::from(t.weight.max(1)))
+        .collect();
+    let total_weight: u64 = tenant_weights.iter().sum();
+    let pick_tenant = |rng: &mut StdRng| -> &str {
+        let mut pick = rng.gen_range(0..total_weight);
+        for (spec, weight) in args.tenants.iter().zip(&tenant_weights) {
+            if pick < *weight {
+                return &spec.name;
+            }
+            pick -= *weight;
+        }
+        unreachable!("weights sum to total_weight")
+    };
     let mut probe_idx = 0usize;
     let mut canary_submissions = 0u64;
     let drain = |(ticket, canary): (Ticket, bool),
@@ -297,8 +402,14 @@ fn main() -> ExitCode {
             let entry = outstanding.pop_front().expect("window non-empty");
             drain(entry, &mut completed, &mut shed, &mut failed);
         }
-        match service.submit(object) {
+        let submitted = if args.tenants.is_empty() {
+            service.submit(object)
+        } else {
+            service.submit_for(pick_tenant(&mut rng), object)
+        };
+        match submitted {
             Ok(ticket) => outstanding.push_back((ticket, false)),
+            Err(SubmitError::Throttled) => throttled += 1,
             Err(_) => rejected += 1,
         }
         // Interleave a golden probe when due. Probes are deadline-free so
@@ -330,6 +441,11 @@ fn main() -> ExitCode {
     // slowest traces.
     println!("\n==> prometheus");
     print!("{}", service.render_prometheus());
+    if let Some(router) = &router {
+        println!("\n==> prometheus (shards)");
+        print!("{}", verifai_obs::render_prometheus(&router.snapshot()));
+        println!("searches per shard: {:?}", router.searches_per_shard());
+    }
     if args.slowest > 0 {
         let dump = service.obs().recorder().dump_slowest(args.slowest);
         if !dump.is_empty() {
@@ -349,7 +465,7 @@ fn main() -> ExitCode {
 
     let lost = stats.submitted - stats.accounted();
     println!(
-        "\nclient view: completed {completed} | shed {shed} | rejected {rejected} | failed {failed}"
+        "\nclient view: completed {completed} | shed {shed} | rejected {rejected} | throttled {throttled} | failed {failed}"
     );
     if canary_submissions > 0 {
         println!(
