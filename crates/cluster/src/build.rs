@@ -2,11 +2,13 @@
 
 use std::sync::Arc;
 
+use parking_lot::RwLock;
 use verifai::corpus::{embedder_for, modality_corpus, ModalityCorpus};
 use verifai::{BuildStats, SemanticBackend, VerifAi, VerifAiConfig};
 use verifai_datagen::GeneratedLake;
 use verifai_index::{
-    Bm25Params, Combiner, CorpusStats, EvidenceSource, FlatIndex, InvertedIndex, VectorIndex,
+    AnyVectorIndex, Bm25Params, Combiner, CorpusStats, EvidenceSource, FlatIndex, HnswConfig,
+    HnswIndex, SegmentedInvertedIndex, VectorIndex,
 };
 use verifai_lake::InstanceKind;
 use verifai_obs::{ns_between, Clock, SloConfig, SystemClock};
@@ -14,7 +16,7 @@ use verifai_text::Analyzer;
 
 use crate::partition::shard_of;
 use crate::router::{RoutedSource, Router};
-use crate::shard::Shard;
+use crate::shard::{Shard, ShardContent, ShardSemantic};
 
 /// Shape of the in-process cluster.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,13 +51,30 @@ impl Default for ClusterConfig {
 }
 
 /// A built cluster: the assembled [`VerifAi`] system retrieving through the
-/// router, plus the router itself for shard-level introspection.
+/// router, plus the router itself for shard-level introspection and live
+/// mutation routing ([`ClusterBuild::apply`]).
 pub struct ClusterBuild {
     /// The system; drop-in for a single-lake build everywhere (including
     /// behind `verifai_service::VerificationService`).
     pub system: VerifAi,
     /// The scatter/gather front end (shared with the system's sources).
     pub router: Arc<Router>,
+}
+
+impl ClusterBuild {
+    /// Apply one streaming mutation to the sharded system: change the lake,
+    /// route every affected instance's index ops to the owning shard
+    /// ([`shard_of`]), re-merge the global BM25 statistics, and advance the
+    /// cluster's generation watermark to the lake's new generation.
+    pub fn apply(
+        &mut self,
+        mutation: verifai::LakeMutation,
+    ) -> Result<verifai::MutationOutcome, verifai::MutationError> {
+        let lake = self.system.routed_lake_mut()?;
+        let ops = verifai::mutate_lake(lake, mutation)?;
+        let generation = self.system.lake().generation();
+        Ok(self.router.apply_ops(ops, generation))
+    }
 }
 
 /// Build a sharded system over `generated`: enumerate the corpus exactly as
@@ -65,10 +84,12 @@ pub struct ClusterBuild {
 /// and assemble a [`VerifAi`] whose four modality sources scatter/gather
 /// through a [`Router`].
 ///
-/// The semantic backend is forced to [`SemanticBackend::Flat`]: HNSW
-/// results depend on the graph's insertion history, so only the exact
-/// backend keeps N-shard results identical to the single-lake reference
-/// (build that reference with `semantic_backend: Flat` to compare).
+/// The semantic backend follows `config.semantic_backend`. With
+/// [`SemanticBackend::Flat`] (exact scan) the routed results are
+/// *byte-identical* to a single-lake flat reference. With HNSW the per-shard
+/// graphs have their own insertion histories, so sharded results match the
+/// single-lake build only in recall terms — prefer flat when asserting
+/// identity, HNSW when throughput matters.
 pub fn build_cluster(
     generated: GeneratedLake,
     config: VerifAiConfig,
@@ -81,11 +102,10 @@ pub fn build_cluster(
 /// timings, and the router's SLO evaluation.
 pub fn build_cluster_with_clock(
     generated: GeneratedLake,
-    mut config: VerifAiConfig,
+    config: VerifAiConfig,
     cluster: ClusterConfig,
     clock: Arc<dyn Clock>,
 ) -> ClusterBuild {
-    config.semantic_backend = SemanticBackend::Flat;
     let build_start = clock.now();
     let n = cluster.shards.max(1);
     let threads = if config.build_threads == 0 {
@@ -101,8 +121,8 @@ pub fn build_cluster_with_clock(
 
     // Enumerate each modality once (identical to the single-lake build) and
     // partition its entries by instance id. Partitioning is stable: within
-    // a shard, entries keep lake order, so per-shard flat indexes insert in
-    // the same relative order the single-lake index would.
+    // a shard, entries keep lake order, so per-shard indexes insert in the
+    // same relative order the single-lake index would.
     let lake = &generated.lake;
     let mut partitions: Vec<ModalityCorpus> = Vec::with_capacity(4 * n);
     for modality in 0..4 {
@@ -119,7 +139,9 @@ pub fn build_cluster_with_clock(
     let embedded: usize = partitions.iter().map(|p| p.semantic.len()).sum();
 
     // Build every (modality, shard) index pair in parallel.
-    type BuiltPair = (InvertedIndex, Option<FlatIndex>);
+    type BuiltPair = (SegmentedInvertedIndex, Option<AnyVectorIndex>);
+    let backend = config.semantic_backend;
+    let seed = config.seed ^ 0x45a1;
     let mut built: Vec<Option<BuiltPair>> = (0..4 * n).map(|_| None).collect();
     {
         let embedder = &embedder;
@@ -129,16 +151,24 @@ pub fn build_cluster_with_clock(
             .map(|(slot, corpus)| {
                 let job: Box<dyn FnOnce() + Send> = Box::new(move || {
                     let mut content =
-                        InvertedIndex::new(Analyzer::standard(), Bm25Params::default());
+                        SegmentedInvertedIndex::new(Analyzer::standard(), Bm25Params::default());
                     for (id, text) in &corpus.content {
                         content.add(*id, text);
                     }
                     let semantic = want_semantic.then(|| {
-                        let mut flat = FlatIndex::new();
+                        let mut index = match backend {
+                            SemanticBackend::Hnsw => {
+                                AnyVectorIndex::Hnsw(HnswIndex::new(HnswConfig {
+                                    seed,
+                                    ..HnswConfig::default()
+                                }))
+                            }
+                            SemanticBackend::Flat => AnyVectorIndex::Flat(FlatIndex::new()),
+                        };
                         for (id, text) in &corpus.semantic {
-                            flat.add(*id, embedder.embed(text));
+                            index.add(*id, embedder.embed(text));
                         }
-                        flat
+                        index
                     });
                     *slot = Some((content, semantic));
                 });
@@ -170,16 +200,16 @@ pub fn build_cluster_with_clock(
     let mut built: Vec<Option<BuiltPair>> = built.into_iter().map(Some).collect();
     let shards: Vec<Shard> = (0..n)
         .map(|s| {
-            let mut content: [Option<Arc<InvertedIndex>>; 4] = Default::default();
-            let mut semantic: [Option<Arc<FlatIndex>>; 4] = Default::default();
+            let mut content: [Option<ShardContent>; 4] = Default::default();
+            let mut semantic: [Option<ShardSemantic>; 4] = Default::default();
             for (modality, (c_slot, s_slot)) in
                 content.iter_mut().zip(semantic.iter_mut()).enumerate()
             {
                 let (c, f) = built[modality * n + s]
                     .take()
                     .expect("each pair taken once");
-                *c_slot = config.use_content_index.then(|| Arc::new(c));
-                *s_slot = f.map(Arc::new);
+                *c_slot = config.use_content_index.then(|| Arc::new(RwLock::new(c)));
+                *s_slot = f.map(|i| Arc::new(RwLock::new(i)));
             }
             Shard::new(
                 content,
@@ -196,6 +226,8 @@ pub fn build_cluster_with_clock(
         Combiner::new(config.fusion),
         config.use_content_index,
         want_semantic,
+        want_semantic.then_some(embedder),
+        generated.lake.generation(),
         cluster.slo,
         clock.clone(),
     ));

@@ -6,18 +6,26 @@
 //! shard, gathers per-shard top-k, k-way-merges ([`merge_topk`]) and fuses
 //! exactly as the single-lake pipeline would.
 //!
-//! The headline invariant: for any shard count N, the routed system
-//! returns *identical* results to a single-lake build (same hits, same
-//! order under the total tie-break). Three mechanisms carry it:
+//! The headline invariant: for any shard count N, the routed system with
+//! the **exact (flat) semantic backend** returns *identical* results to a
+//! single-lake build (same hits, same order under the total tie-break).
+//! Three mechanisms carry it:
 //!
 //! 1. **Global BM25 statistics** — per-shard corpus stats are merged and
 //!    re-injected ([`verifai_index::CorpusStats`]) so shard-local scoring
 //!    uses whole-corpus idf and average length.
-//! 2. **Exact semantic backend** — shards use the flat index, not HNSW
-//!    (whose results depend on insertion history).
+//! 2. **Exact semantic backend** — byte-identity holds under the flat
+//!    index; with HNSW (per-shard graphs, own insertion histories) the
+//!    invariant weakens to recall-equivalence, which the identity suite
+//!    asserts separately.
 //! 3. **Member-level merge before fusion** — rank fusion is not
 //!    distributive over shards, so the router merges each index family
 //!    globally first, then fuses.
+//!
+//! The tier is **live**: [`ClusterBuild::apply`] routes streaming lake
+//! mutations to the owning shard's indexes ([`shard_of`]), re-merges the
+//! global statistics, and advances a cluster-wide generation watermark
+//! ([`Router::generation_watermark`]).
 #![warn(missing_docs)]
 
 mod build;

@@ -2,22 +2,23 @@
 //! per-shard top-k, merge, and fuse — behind the same [`EvidenceSource`]
 //! trait the single-lake pipeline retrieves through.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel;
 use parking_lot::Mutex;
-use verifai_embed::Vector;
-use verifai_index::{
-    Combiner, EvidenceSource, FlatIndex, InvertedIndex, SearchHit, SourceQuery, VectorIndex,
-};
+use verifai::{IndexOp, MutationOutcome};
+use verifai_embed::{TextEmbedder, Vector};
+use verifai_index::{Combiner, CorpusStats, EvidenceSource, SearchHit, SourceQuery, VectorIndex};
 use verifai_lake::InstanceKind;
 use verifai_obs::{
-    ns_between, Alert, AlertKind, AlertLog, BurnRateTracker, Clock, Counter, FloatGauge, Histogram,
-    Registry, RegistrySnapshot, Severity, SloConfig,
+    ns_between, Alert, AlertKind, AlertLog, BurnRateTracker, Clock, Counter, FloatGauge, Gauge,
+    Histogram, Registry, RegistrySnapshot, Severity, SloConfig,
 };
 
 use crate::merge::merge_topk;
-use crate::shard::{Shard, ShardJob};
+use crate::partition::shard_of;
+use crate::shard::{Shard, ShardContent, ShardJob, ShardSemantic};
 
 /// Which member index of a fused modality source a scatter targets.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +33,7 @@ enum Member {
 struct ShardSeries {
     searches: Arc<Counter>,
     inline_runs: Arc<Counter>,
+    mutations: Arc<Counter>,
     latency: Arc<Histogram>,
     fast_burn: Arc<FloatGauge>,
     slow_burn: Arc<FloatGauge>,
@@ -45,11 +47,19 @@ struct RouterObs {
     registry: Registry,
     epoch: std::time::Instant,
     shards: Vec<ShardSeries>,
+    /// Cluster-wide generation watermark mirror (the authoritative value is
+    /// the router's atomic).
+    watermark: Arc<Gauge>,
 }
 
 impl RouterObs {
     fn new(n: usize, slo: SloConfig, epoch: std::time::Instant) -> RouterObs {
         let registry = Registry::new();
+        let watermark = registry.gauge(
+            "verifai_lake_generation_watermark",
+            "Highest lake generation every shard index has applied",
+            &[],
+        );
         let shards = (0..n)
             .map(|i| {
                 let shard = i.to_string();
@@ -63,6 +73,11 @@ impl RouterObs {
                     inline_runs: registry.counter(
                         "verifai_shard_inline_total",
                         "Searches run inline on the router thread because the shard queue was full",
+                        labels,
+                    ),
+                    mutations: registry.counter(
+                        "verifai_shard_mutations_total",
+                        "Live index mutations routed to this shard",
                         labels,
                     ),
                     latency: registry.histogram(
@@ -89,6 +104,7 @@ impl RouterObs {
             registry,
             epoch,
             shards,
+            watermark,
         }
     }
 }
@@ -107,26 +123,42 @@ pub struct Router {
     combiner: Combiner,
     use_content: bool,
     use_semantic: bool,
+    /// Embeds mutated instances' semantic entries; `None` when semantic
+    /// retrieval is disabled.
+    embedder: Option<TextEmbedder>,
+    /// Cluster-wide generation watermark: the highest lake generation whose
+    /// index consequences every owning shard has applied. Readers seeing
+    /// watermark ≥ G observe all mutations up to G.
+    watermark: AtomicU64,
+    /// Serializes mutation application (stats re-merge must not interleave).
+    mutate_lock: Mutex<()>,
     obs: RouterObs,
     clock: Arc<dyn Clock>,
 }
 
 impl Router {
     /// A router over `shards` fusing member results with `combiner`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         shards: Vec<Shard>,
         combiner: Combiner,
         use_content: bool,
         use_semantic: bool,
+        embedder: Option<TextEmbedder>,
+        generation: u64,
         slo: SloConfig,
         clock: Arc<dyn Clock>,
     ) -> Router {
         let obs = RouterObs::new(shards.len(), slo, clock.now());
+        obs.watermark.set(generation as i64);
         Router {
             shards,
             combiner,
             use_content,
             use_semantic,
+            embedder,
+            watermark: AtomicU64::new(generation),
+            mutate_lock: Mutex::new(()),
             obs,
             clock,
         }
@@ -135,6 +167,86 @@ impl Router {
     /// Number of shards behind this router.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The cluster-wide generation watermark: every mutation up to this
+    /// lake generation is visible on all shards.
+    pub fn generation_watermark(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// Route a batch of index ops (one lake mutation's consequences) to the
+    /// owning shards, re-merge the global BM25 statistics for the touched
+    /// modalities, and advance the watermark to `generation`.
+    ///
+    /// Serialized internally: concurrent calls apply one at a time, so the
+    /// shared statistics every shard scores with always describe a
+    /// mutation-boundary state.
+    pub fn apply_ops(&self, ops: Vec<IndexOp>, generation: u64) -> MutationOutcome {
+        let _guard = self.mutate_lock.lock();
+        let n = self.shards.len();
+        let mut content_ops = 0;
+        let mut embedded = 0;
+        let mut touched = [false; 4];
+        for op in ops {
+            let slot = slot_of(op.id.kind());
+            let owner = shard_of(op.id, n);
+            let shard = &self.shards[owner];
+            if let Some(content) = &shard.content[slot] {
+                let mut index = content.write();
+                if let Some(old) = &op.remove {
+                    index.remove(op.id, old);
+                    content_ops += 1;
+                }
+                if let Some(new) = &op.add {
+                    index.add(op.id, new);
+                    content_ops += 1;
+                }
+                touched[slot] = true;
+            }
+            if let (Some(semantic), Some(embedder)) = (&shard.semantic[slot], &self.embedder) {
+                let mut index = semantic.write();
+                if op.remove.is_some() {
+                    index.remove(op.id);
+                }
+                if let Some(new) = &op.add {
+                    for text in verifai::semantic_texts(op.id, new) {
+                        index.add(op.id, embedder.embed(&text));
+                        embedded += 1;
+                    }
+                }
+            }
+            self.obs.shards[owner].mutations.inc();
+        }
+        // Re-merge global BM25 statistics for every touched modality, so
+        // shard-local scoring keeps using whole-corpus idf and average
+        // length (the identity invariant's first mechanism).
+        for (slot, touched) in touched.iter().enumerate() {
+            if !touched {
+                continue;
+            }
+            let mut merged = CorpusStats::default();
+            for shard in &self.shards {
+                if let Some(content) = &shard.content[slot] {
+                    merged.merge(&content.read().corpus_stats());
+                }
+            }
+            let merged = Arc::new(merged);
+            for shard in &self.shards {
+                if let Some(content) = &shard.content[slot] {
+                    content.write().set_shared_stats(merged.clone());
+                }
+            }
+        }
+        self.watermark.fetch_max(generation, Ordering::AcqRel);
+        self.obs
+            .watermark
+            .set(self.watermark.load(Ordering::Acquire) as i64);
+        MutationOutcome {
+            generation,
+            content_ops,
+            embedded,
+        }
     }
 
     /// Instances owned by each shard, in shard order.
@@ -165,8 +277,8 @@ impl Router {
         let text: Arc<str> = Arc::from(query.text);
         let vector: Option<Arc<Vector>> = query.vector.map(|v| Arc::new(v.clone()));
         enum Target {
-            Content(Arc<InvertedIndex>),
-            Semantic(Arc<FlatIndex>),
+            Content(ShardContent),
+            Semantic(ShardSemantic),
         }
         let mut expected = 0usize;
         for (i, shard) in self.shards.iter().enumerate() {
@@ -183,9 +295,9 @@ impl Router {
             let job: ShardJob = Box::new(move || {
                 let start = clock.now();
                 let hits = match &target {
-                    Target::Content(index) => index.search(&text, k),
+                    Target::Content(index) => index.read().search(&text, k),
                     Target::Semantic(index) => match &vector {
-                        Some(v) => VectorIndex::search(index.as_ref(), v, k),
+                        Some(v) => VectorIndex::search(&*index.read(), v, k),
                         None => Vec::new(),
                     },
                 };

@@ -2,56 +2,47 @@
 
 use std::sync::Arc;
 
+use parking_lot::RwLock;
 use verifai::exec::WorkerPool;
-use verifai_index::{FlatIndex, InvertedIndex};
+use verifai_index::{AnyVectorIndex, SegmentedInvertedIndex, VectorIndex};
 
 /// A unit of shard work: a boxed search closure the router scatters.
 pub(crate) type ShardJob = Box<dyn FnOnce() + Send + 'static>;
 
+/// A shard's content index handle: shared and lockable, so the router can
+/// apply live mutations while search jobs read concurrently.
+pub(crate) type ShardContent = Arc<RwLock<SegmentedInvertedIndex>>;
+/// A shard's semantic index handle.
+pub(crate) type ShardSemantic = Arc<RwLock<AnyVectorIndex>>;
+
 /// One partition of the lake: per-modality content (BM25) and semantic
-/// (exact flat) indexes over the instances this shard owns, plus the worker
-/// pool that executes scattered searches. Indexes are `Arc`-shared so
-/// search jobs borrow nothing from the router thread.
+/// indexes over the instances this shard owns, plus the worker pool that
+/// executes scattered searches. Indexes are `Arc<RwLock>`-shared: search
+/// jobs take read locks off the router thread, and the router's mutation
+/// path takes short write locks to keep the shard live.
 pub struct Shard {
     /// Modality slot (tuples, tables, texts, kg) → content index.
-    pub(crate) content: [Option<Arc<InvertedIndex>>; 4],
+    pub(crate) content: [Option<ShardContent>; 4],
     /// Modality slot → semantic index.
-    pub(crate) semantic: [Option<Arc<FlatIndex>>; 4],
+    pub(crate) semantic: [Option<ShardSemantic>; 4],
     pool: WorkerPool<ShardJob>,
-    instances: usize,
 }
 
 impl Shard {
     /// Assemble a shard over its built indexes with `workers` pool threads
     /// and a bounded job queue of `queue` entries.
     pub(crate) fn new(
-        content: [Option<Arc<InvertedIndex>>; 4],
-        semantic: [Option<Arc<FlatIndex>>; 4],
+        content: [Option<ShardContent>; 4],
+        semantic: [Option<ShardSemantic>; 4],
         workers: usize,
         queue: usize,
     ) -> Shard {
-        let instances = content
-            .iter()
-            .flatten()
-            .map(|idx| idx.len())
-            .sum::<usize>()
-            .max(
-                semantic
-                    .iter()
-                    .flatten()
-                    .map(|idx| {
-                        use verifai_index::VectorIndex;
-                        idx.len()
-                    })
-                    .sum(),
-            );
         Shard {
             content,
             semantic,
             pool: WorkerPool::new(workers.max(1), Some(queue.max(1)), |_rx, job: ShardJob| {
                 job()
             }),
-            instances,
         }
     }
 
@@ -61,9 +52,22 @@ impl Shard {
         self.pool.try_submit(job)
     }
 
-    /// Number of instances this shard owns (max across index families —
+    /// Number of live instances this shard owns (max across index families —
     /// content and semantic cover the same instances when both are on).
+    /// Recomputed per call, since mutations move the number.
     pub fn instances(&self) -> usize {
-        self.instances
+        let content: usize = self
+            .content
+            .iter()
+            .flatten()
+            .map(|idx| idx.read().len())
+            .sum();
+        let semantic: usize = self
+            .semantic
+            .iter()
+            .flatten()
+            .map(|idx| VectorIndex::len(&*idx.read()))
+            .sum();
+        content.max(semantic)
     }
 }

@@ -99,6 +99,136 @@ fn shard_sizes_cover_the_lake() {
     }
 }
 
+/// HNSW shards are *exercised* (not just flat): per-shard graphs have
+/// their own insertion histories, so byte-identity cannot hold — the
+/// invariant weakens to recall against the exact flat reference. This is
+/// deliberately recall-based, not order-based.
+#[test]
+fn hnsw_shards_recall_the_flat_reference() {
+    let spec = LakeSpec::tiny(31);
+    let reference = VerifAi::build(build(&spec), flat_config());
+    let (_, queries) = probes(&reference);
+    // Default config keeps the HNSW backend — previously the builder forced
+    // Flat, leaving sharded HNSW untested.
+    let cluster = build_cluster(
+        build(&spec),
+        VerifAiConfig::default(),
+        ClusterConfig::with_shards(3),
+    );
+    let kinds = [
+        InstanceKind::Tuple,
+        InstanceKind::Table,
+        InstanceKind::Text,
+        InstanceKind::Kg,
+    ];
+    let (mut found, mut wanted) = (0usize, 0usize);
+    for query in &queries {
+        for kind in kinds {
+            let want = reference.retrieve(query, kind, 8);
+            let got = cluster.system.retrieve(query, kind, 8);
+            wanted += want.len();
+            found += want
+                .iter()
+                .filter(|w| got.iter().any(|g| g.id == w.id))
+                .count();
+        }
+    }
+    assert!(wanted > 0, "reference returned nothing");
+    let recall = found as f64 / wanted as f64;
+    assert!(
+        recall >= 0.7,
+        "sharded HNSW recall vs flat reference too low: {recall:.3} ({found}/{wanted})"
+    );
+}
+
+/// Live mutations routed through the cluster keep the byte-identity
+/// invariant: a single-lake live system fed the same mutation stream
+/// retrieves identically (flat backend on both sides).
+#[test]
+fn routed_mutations_match_single_lake_live_system() {
+    use verifai::LakeMutation;
+    use verifai_lake::TextDocument;
+
+    let spec = LakeSpec::tiny(43);
+    let mut reference = VerifAi::build(build(&spec), flat_config());
+    let mut cluster = build_cluster(build(&spec), flat_config(), ClusterConfig::with_shards(3));
+
+    // A mutation stream touching every op family: doc add/update/remove,
+    // tuple add/remove.
+    let table_id = reference
+        .lake()
+        .tables()
+        .next()
+        .expect("lake has tables")
+        .id;
+    let arity = reference.lake().table(table_id).unwrap().schema.arity();
+    let victim_doc = reference.lake().docs().next().expect("lake has docs").id;
+    let mutations = vec![
+        LakeMutation::AddDoc(TextDocument::new(
+            7700,
+            "Breaking update",
+            "A freshly streamed document about district incumbents.",
+            0,
+        )),
+        LakeMutation::UpdateDoc {
+            id: 7700,
+            title: "Corrected update".into(),
+            body: "The corrected streamed document names a different incumbent.".into(),
+        },
+        LakeMutation::AddTuple {
+            table: table_id,
+            values: (0..arity)
+                .map(|c| verifai_lake::Value::text(format!("streamed{c}")))
+                .collect(),
+        },
+        LakeMutation::RemoveDoc(victim_doc),
+    ];
+    for m in mutations {
+        let want = reference.apply(m.clone()).expect("reference applies");
+        let got = cluster.apply(m).expect("cluster applies");
+        assert_eq!(got.generation, want.generation, "generations diverged");
+    }
+    // Remove one tuple (the freshly streamed one) on both sides.
+    let new_tuple = reference
+        .lake()
+        .tuples_of_table(table_id)
+        .into_iter()
+        .next_back()
+        .expect("table has tuples");
+    reference
+        .apply(LakeMutation::RemoveTuple(new_tuple))
+        .expect("reference removes");
+    cluster
+        .apply(LakeMutation::RemoveTuple(new_tuple))
+        .expect("cluster removes");
+    assert_eq!(
+        cluster.router.generation_watermark(),
+        reference.lake().generation(),
+        "watermark must reach the lake generation"
+    );
+
+    let (_, queries) = probes(&reference);
+    let kinds = [
+        InstanceKind::Tuple,
+        InstanceKind::Table,
+        InstanceKind::Text,
+        InstanceKind::Kg,
+    ];
+    for query in queries.iter().chain([
+        &"freshly streamed document incumbents".to_string(),
+        &"streamed0 streamed1".to_string(),
+    ]) {
+        for kind in kinds {
+            let want = reference.retrieve(query, kind, 12);
+            let got = cluster.system.retrieve(query, kind, 12);
+            assert_eq!(
+                got, want,
+                "post-mutation retrieve diverged: kind={kind:?} query={query:?}"
+            );
+        }
+    }
+}
+
 #[test]
 fn router_snapshot_carries_shard_labels() {
     let spec = LakeSpec::tiny(11);

@@ -57,12 +57,18 @@ pub mod config;
 pub mod corpus;
 pub mod exec;
 pub mod experiments;
+pub mod live;
 pub mod metrics;
 pub mod pipeline;
 pub mod report;
 pub mod stages;
 
 pub use config::{SemanticBackend, VerifAiConfig};
+pub use live::{
+    mutate_lake, semantic_texts, IndexOp, LakeMutation, LiveContentSource, LiveIndexes,
+    LiveLakeStats, LiveSemanticSource, MutationError, MutationOutcome, SharedContent,
+    SharedSemantic,
+};
 pub use metrics::{paper_correct, recall_at_k, Accuracy, LatencyHistogram};
 pub use pipeline::{BuildStats, EvidenceVerdict, VerifAi, VerificationReport};
 pub use stages::{

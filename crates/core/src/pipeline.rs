@@ -11,16 +11,20 @@ use std::sync::Arc;
 
 use crate::config::{SemanticBackend, VerifAiConfig};
 use crate::corpus::modality_corpus;
+use crate::live::{
+    apply_ops, mutate_lake, LakeMutation, LiveContentSource, LiveIndexes, LiveLakeStats,
+    LiveSemanticSource, MutationError, MutationOutcome,
+};
 use crate::stages::{
     PipelineError, RerankStage, ScoreRerank, StagePlan, StageTiming, StagedPipeline,
     TopKPassthrough,
 };
-use parking_lot::MutexGuard;
+use parking_lot::{MutexGuard, RwLock};
 use verifai_datagen::{GeneratedLake, MaskedTupleTask};
 use verifai_embed::{TextEmbedder, Vector};
 use verifai_index::{
-    Bm25Params, Combiner, EvidenceSource, FlatIndex, FusedSource, HnswConfig, HnswIndex,
-    InvertedIndex, SearchHit, SourceQuery, VectorIndex,
+    AnyVectorIndex, Bm25Params, Combiner, EvidenceSource, FlatIndex, FusedSource, HnswConfig,
+    HnswIndex, SearchHit, SegmentedInvertedIndex, SourceQuery, VectorIndex,
 };
 use verifai_lake::{DataInstance, DataLake, InstanceId, InstanceKind, SourceId};
 use verifai_llm::{DataObject, ImputedCell, SimLlm, TextClaim, Verdict};
@@ -121,28 +125,14 @@ pub struct BuildStats {
     pub threads: usize,
 }
 
-/// Build-time abstraction over the semantic backends: entry-order insertion
-/// plus conversion into the retrieval-stage trait object.
-trait SemanticIndex: Send {
-    fn add(&mut self, id: InstanceId, vector: Vector);
-    fn into_source(self: Box<Self>) -> Box<dyn EvidenceSource>;
-}
-
-impl SemanticIndex for HnswIndex {
-    fn add(&mut self, id: InstanceId, vector: Vector) {
-        VectorIndex::add(self, id, vector);
-    }
-    fn into_source(self: Box<Self>) -> Box<dyn EvidenceSource> {
-        self
-    }
-}
-
-impl SemanticIndex for FlatIndex {
-    fn add(&mut self, id: InstanceId, vector: Vector) {
-        VectorIndex::add(self, id, vector);
-    }
-    fn into_source(self: Box<Self>) -> Box<dyn EvidenceSource> {
-        self
+/// The empty semantic backend for one modality, per the configured backend.
+fn empty_semantic(backend: SemanticBackend, seed: u64) -> AnyVectorIndex {
+    match backend {
+        SemanticBackend::Hnsw => AnyVectorIndex::Hnsw(HnswIndex::new(HnswConfig {
+            seed,
+            ..HnswConfig::default()
+        })),
+        SemanticBackend::Flat => AnyVectorIndex::Flat(FlatIndex::new()),
     }
 }
 
@@ -159,6 +149,12 @@ pub struct VerifAi {
     provenance: SharedProvenance,
     trust: TrustModel,
     build_stats: BuildStats,
+    /// Shared handles into the standing indexes; `None` when the system was
+    /// assembled over external sources ([`VerifAi::with_sources`]), in which
+    /// case mutations must be routed through the owning layer.
+    live: Option<LiveIndexes>,
+    /// Mutations applied through [`VerifAi::apply`].
+    mutations: u64,
 }
 
 impl VerifAi {
@@ -206,10 +202,13 @@ impl VerifAi {
 
         // Phase 1: per-modality content indexing + semantic entry collection.
         // Entry lists keep lake iteration order — the order a sequential
-        // build would embed and insert in.
+        // build would embed and insert in. The batch build IS the
+        // incremental path: every instance streams through
+        // `SegmentedInvertedIndex::add`, sealing segments as it goes, so
+        // bulk ingest and live mutation share one code path.
         let lake = &generated.lake;
         let want_semantic = config.use_semantic_index;
-        type ModalityBuilt = (InvertedIndex, Vec<(InstanceId, String)>);
+        type ModalityBuilt = (SegmentedInvertedIndex, Vec<(InstanceId, String)>);
         let mut built: [Option<ModalityBuilt>; 4] = [None, None, None, None];
         {
             let jobs: Vec<Box<dyn FnOnce() + Send>> = built
@@ -218,8 +217,10 @@ impl VerifAi {
                 .map(|(modality, slot)| {
                     let job: Box<dyn FnOnce() + Send> = Box::new(move || {
                         let corpus = modality_corpus(lake, modality, want_semantic);
-                        let mut content =
-                            InvertedIndex::new(Analyzer::standard(), Bm25Params::default());
+                        let mut content = SegmentedInvertedIndex::new(
+                            Analyzer::standard(),
+                            Bm25Params::default(),
+                        );
                         for (id, text) in &corpus.content {
                             content.add(*id, text);
                         }
@@ -262,8 +263,9 @@ impl VerifAi {
         // Phase 3: per-modality semantic index construction — parallel
         // across modalities, strictly sequential (entry-order) insertion
         // within one. The backend is configurable: HNSW by default, exact
-        // flat scan for recall-reference and sharded-identity builds.
-        let mut semantic_built: [Option<Box<dyn EvidenceSource>>; 4] = [None, None, None, None];
+        // flat scan for recall-reference and sharded-identity builds. Like
+        // phase 1, bulk ingest is the incremental `VectorIndex::add` path.
+        let mut semantic_built: [Option<AnyVectorIndex>; 4] = [None, None, None, None];
         if want_semantic {
             let seed = config.seed ^ 0x45a1;
             let backend = config.semantic_backend;
@@ -273,17 +275,11 @@ impl VerifAi {
                 .zip(vectors)
                 .map(|((slot, (_, entries)), vecs)| {
                     let job: Box<dyn FnOnce() + Send> = Box::new(move || {
-                        let mut index: Box<dyn SemanticIndex> = match backend {
-                            SemanticBackend::Hnsw => Box::new(HnswIndex::new(HnswConfig {
-                                seed,
-                                ..HnswConfig::default()
-                            })),
-                            SemanticBackend::Flat => Box::new(FlatIndex::new()),
-                        };
+                        let mut index = empty_semantic(backend, seed);
                         for ((id, _), vector) in entries.iter().zip(vecs) {
                             index.add(*id, vector.expect("phase 2 filled every slot"));
                         }
-                        *slot = Some(index.into_source());
+                        *slot = Some(index);
                     });
                     job
                 })
@@ -292,25 +288,30 @@ impl VerifAi {
         }
         let index_ns = ns_between(index_start, clock.now());
 
-        // Fuse each modality's indexes into one retrieval source. Content
-        // comes before semantic: the Combiner's list order is the historical
+        // Wrap the built indexes in shared handles: the pipeline's retrieval
+        // sources and `VerifAi::apply` both hold the same `Arc`s, so live
+        // mutations are visible to the next search. Content comes before
+        // semantic in fusion: the Combiner's list order is the historical
         // ranking order.
+        let [(c0, _), (c1, _), (c2, _), (c3, _)] = modalities;
+        let live = LiveIndexes {
+            content: [c0, c1, c2, c3].map(|c| Arc::new(RwLock::new(c))),
+            semantic: semantic_built.map(|s| s.map(|i| Arc::new(RwLock::new(i)))),
+        };
         let combiner = Combiner::new(config.fusion);
-        let fuse = |content: InvertedIndex,
-                    semantic: Option<Box<dyn EvidenceSource>>|
-         -> Box<dyn EvidenceSource> {
+        let fuse = |slot: usize| -> Box<dyn EvidenceSource> {
             let mut members: Vec<Box<dyn EvidenceSource>> = Vec::with_capacity(2);
             if config.use_content_index {
-                members.push(Box::new(content));
+                members.push(Box::new(LiveContentSource::new(Arc::clone(
+                    &live.content[slot],
+                ))));
             }
-            if let Some(sem) = semantic {
-                members.push(sem);
+            if let Some(sem) = &live.semantic[slot] {
+                members.push(Box::new(LiveSemanticSource::new(Arc::clone(sem))));
             }
             Box::new(FusedSource::new(members, combiner))
         };
-        let [(c0, _), (c1, _), (c2, _), (c3, _)] = modalities;
-        let [s0, s1, s2, s3] = semantic_built;
-        let sources = [fuse(c0, s0), fuse(c1, s1), fuse(c2, s2), fuse(c3, s3)];
+        let sources = [fuse(0), fuse(1), fuse(2), fuse(3)];
 
         let build_stats = BuildStats {
             wall_ns: ns_between(build_start, clock.now()),
@@ -318,7 +319,10 @@ impl VerifAi {
             embedded,
             threads,
         };
-        VerifAi::with_sources_and_clock(generated, config, sources, build_stats, clock)
+        let mut system =
+            VerifAi::with_sources_and_clock(generated, config, sources, build_stats, clock);
+        system.live = Some(live);
+        system
     }
 
     /// Assemble a system over externally-built retrieval sources — the
@@ -382,6 +386,71 @@ impl VerifAi {
             provenance: SharedProvenance::new(),
             trust,
             build_stats,
+            live: None,
+            mutations: 0,
+        }
+    }
+
+    /// Apply one streaming mutation: change the lake, then retire/re-index
+    /// the affected instances in the standing content and semantic indexes.
+    /// Returns what was done; the next search observes the change.
+    ///
+    /// Fails with [`MutationError::ImmutableSources`] on systems assembled
+    /// over external sources ([`VerifAi::with_sources`]) — those route
+    /// mutations through the layer that owns the indexes (e.g. the cluster
+    /// router). The lake is NOT mutated in that case either: the error is
+    /// checked before any change lands, so a rejected mutation is a no-op.
+    pub fn apply(&mut self, mutation: LakeMutation) -> Result<MutationOutcome, MutationError> {
+        let live = self.live.as_ref().ok_or(MutationError::ImmutableSources)?;
+        let ops = mutate_lake(&mut self.generated.lake, mutation)?;
+        let (content_ops, embedded) = apply_ops(live, self.embedder.as_ref(), ops);
+        self.mutations += 1;
+        Ok(MutationOutcome {
+            generation: self.generated.lake.generation(),
+            content_ops,
+            embedded,
+        })
+    }
+
+    /// The shared live index handles, when this system owns its indexes.
+    pub fn live(&self) -> Option<&LiveIndexes> {
+        self.live.as_ref()
+    }
+
+    /// Mutable lake access for an external routing layer that owns the
+    /// indexes (the cluster router): pair with
+    /// [`crate::live::mutate_lake`] and apply the returned ops to the
+    /// owning shards. Rejected on live systems — their lake must change
+    /// through [`VerifAi::apply`] so the owned indexes stay consistent.
+    pub fn routed_lake_mut(&mut self) -> Result<&mut DataLake, MutationError> {
+        if self.live.is_some() {
+            return Err(MutationError::OwnsLiveIndexes);
+        }
+        Ok(&mut self.generated.lake)
+    }
+
+    /// Aggregate live-lake health: lake generation and tombstones plus
+    /// per-index segment/tombstone/compaction counters, summed across
+    /// modalities. All-zero (except lake fields) for externally-sourced
+    /// systems.
+    pub fn live_stats(&self) -> LiveLakeStats {
+        let mut stats = self
+            .live
+            .as_ref()
+            .map(LiveIndexes::stats)
+            .unwrap_or_default();
+        stats.generation = self.generated.lake.generation();
+        stats.lake_tombstones = self.generated.lake.num_tombstones();
+        stats.mutations = self.mutations;
+        stats
+    }
+
+    /// Force-compact every standing index off the query path (seal + merge
+    /// content segments, drop tombstoned vectors), fanned out over
+    /// `threads` workers. No-op for externally-sourced systems.
+    pub fn compact_live(&self, threads: usize) {
+        if let Some(live) = &self.live {
+            live.compact(threads);
         }
     }
 

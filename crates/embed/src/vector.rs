@@ -1,42 +1,108 @@
 //! Dense vectors and their operations.
 
 use std::ops::{Deref, Index};
+use std::sync::Arc;
+
+/// Storage behind a [`Vector`]: either an owned buffer or a view into a
+/// shared slab.
+///
+/// The shared form is what makes warm snapshot loads cheap: a v3 index
+/// snapshot decodes *all* of its vector payload into one contiguous
+/// `Arc<Vec<f32>>` and hands each vector a `(start, len)` view — one bulk
+/// allocation instead of one heap allocation per vector, and cloning a
+/// loaded vector is an `Arc` bump. Mutation (`normalize`, `as_mut_slice`,
+/// `add_scaled`) transparently copies the view out into an owned buffer
+/// first, so the slab itself is immutable for its whole life.
+#[derive(Debug, Clone)]
+enum Repr {
+    Owned(Vec<f32>),
+    Shared {
+        slab: Arc<Vec<f32>>,
+        start: usize,
+        len: usize,
+    },
+}
 
 /// A dense `f32` vector, the unit the semantic index stores.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Vector(Vec<f32>);
+#[derive(Debug, Clone)]
+pub struct Vector(Repr);
+
+/// Equality is by components, regardless of representation — an owned
+/// vector and a slab view over the same values compare equal.
+impl PartialEq for Vector {
+    fn eq(&self, other: &Vector) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
 
 impl Vector {
     /// Zero vector of the given dimension.
     pub fn zeros(dim: usize) -> Vector {
-        Vector(vec![0.0; dim])
+        Vector(Repr::Owned(vec![0.0; dim]))
     }
 
     /// Wrap raw components.
     pub fn from_vec(v: Vec<f32>) -> Vector {
-        Vector(v)
+        Vector(Repr::Owned(v))
+    }
+
+    /// A view of `len` components of `slab` starting at `start`, without
+    /// copying. Panics when the range is out of bounds — callers (the v3
+    /// snapshot loaders) size the slab themselves.
+    pub fn from_slab(slab: Arc<Vec<f32>>, start: usize, len: usize) -> Vector {
+        assert!(
+            start + len <= slab.len(),
+            "slab view {start}..{} out of bounds (slab len {})",
+            start + len,
+            slab.len()
+        );
+        Vector(Repr::Shared { slab, start, len })
+    }
+
+    /// Whether this vector borrows a shared slab (true after a zero-copy
+    /// snapshot load) rather than owning its buffer.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.0, Repr::Shared { .. })
     }
 
     /// Dimension.
     pub fn dim(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Owned(v) => v.len(),
+            Repr::Shared { len, .. } => *len,
+        }
     }
 
     /// Raw slice.
     pub fn as_slice(&self) -> &[f32] {
-        &self.0
+        match &self.0 {
+            Repr::Owned(v) => v,
+            Repr::Shared { slab, start, len } => &slab[*start..*start + *len],
+        }
     }
 
-    /// Mutable raw slice.
+    /// Copy a shared view out into an owned buffer (no-op when already
+    /// owned), so mutation never writes through the slab.
+    fn make_owned(&mut self) -> &mut Vec<f32> {
+        if let Repr::Shared { slab, start, len } = &self.0 {
+            self.0 = Repr::Owned(slab[*start..*start + *len].to_vec());
+        }
+        match &mut self.0 {
+            Repr::Owned(v) => v,
+            Repr::Shared { .. } => unreachable!("just converted to owned"),
+        }
+    }
+
+    /// Mutable raw slice (copies out of a shared slab first).
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.0
+        self.make_owned()
     }
 
     /// Dot product via the chunked 8-lane kernel. Panics in debug builds on
     /// dimension mismatch.
     pub fn dot(&self, other: &Vector) -> f32 {
         debug_assert_eq!(self.dim(), other.dim());
-        crate::kernel::dot(&self.0, &other.0)
+        crate::kernel::dot(self.as_slice(), other.as_slice())
     }
 
     /// Dot product of two unit (or zero) vectors — their cosine similarity
@@ -45,12 +111,12 @@ impl Vector {
     /// by construction and the vector indexes normalize on `add`/load.
     pub fn dot_unit(&self, other: &Vector) -> f32 {
         debug_assert_eq!(self.dim(), other.dim());
-        crate::kernel::dot_unit(&self.0, &other.0)
+        crate::kernel::dot_unit(self.as_slice(), other.as_slice())
     }
 
     /// Euclidean norm (fused chunked self-dot).
     pub fn norm(&self) -> f32 {
-        crate::kernel::norm(&self.0)
+        crate::kernel::norm(self.as_slice())
     }
 
     /// Cosine similarity; 0 when either vector is zero.
@@ -70,18 +136,20 @@ impl Vector {
     /// Squared Euclidean distance.
     pub fn l2_sq(&self, other: &Vector) -> f32 {
         debug_assert_eq!(self.dim(), other.dim());
-        self.0
+        self.as_slice()
             .iter()
-            .zip(other.0.iter())
+            .zip(other.as_slice().iter())
             .map(|(a, b)| (a - b) * (a - b))
             .sum()
     }
 
-    /// Normalize in place to unit length (no-op for the zero vector).
+    /// Normalize in place to unit length (no-op for the zero vector, and —
+    /// to keep slab-backed loads zero-copy — for vectors that are already
+    /// unit within float tolerance).
     pub fn normalize(&mut self) {
         let n = self.norm();
-        if n > 0.0 {
-            for x in &mut self.0 {
+        if n > 0.0 && (n - 1.0).abs() > f32::EPSILON {
+            for x in self.make_owned() {
                 *x /= n;
             }
         }
@@ -90,8 +158,12 @@ impl Vector {
     /// Accumulate `scale * other` into self.
     pub fn add_scaled(&mut self, other: &Vector, scale: f32) {
         debug_assert_eq!(self.dim(), other.dim());
-        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
-            *a += scale * b;
+        let o = other.as_slice();
+        // `other` cannot alias `self.make_owned()`'s buffer through the
+        // borrow checker, but a Shared `other` over a slab `self` also views
+        // is fine: make_owned copies out before writing.
+        for (i, a) in self.make_owned().iter_mut().enumerate() {
+            *a += scale * o[i];
         }
     }
 }
@@ -151,14 +223,14 @@ impl NormedVector {
 impl Deref for Vector {
     type Target = [f32];
     fn deref(&self) -> &[f32] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl Index<usize> for Vector {
     type Output = f32;
     fn index(&self, i: usize) -> &f32 {
-        &self.0[i]
+        &self.as_slice()[i]
     }
 }
 

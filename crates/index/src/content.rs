@@ -9,7 +9,7 @@ use crate::persist::{self, PersistError, SnapshotKind};
 use bytes::{BufMut, Bytes, BytesMut};
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 use verifai_lake::InstanceId;
 use verifai_text::{Analyzer, AnalyzerConfig};
@@ -208,6 +208,27 @@ impl InvertedIndex {
 
     /// Search the index, returning the top-k hits by BM25 score.
     pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        self.search_with(query, k, None, None)
+    }
+
+    /// Search with explicit overrides: `stats` forces the corpus-wide
+    /// statistics BM25 uses (taking precedence over any installed shared
+    /// stats), and `skip` suppresses documents by internal ordinal.
+    ///
+    /// This is the segmented-index primitive: each sealed segment is scored
+    /// against the *live* corpus statistics with its tombstoned ordinals
+    /// skipped, which makes the per-segment scores — and therefore the
+    /// merged top-k — bit-identical to one monolithic index over the
+    /// surviving corpus. With explicit stats, a term whose corpus-wide
+    /// document frequency is zero (every holder deleted) is skipped
+    /// outright: its postings here are all dead.
+    pub fn search_with(
+        &self,
+        query: &str,
+        k: usize,
+        stats: Option<&CorpusStats>,
+        skip: Option<&HashSet<u32>>,
+    ) -> Vec<SearchHit> {
         if k == 0 || self.ids.is_empty() {
             return Vec::new();
         }
@@ -215,12 +236,17 @@ impl InvertedIndex {
         if qterms.is_empty() {
             return Vec::new();
         }
-        // Corpus-wide doc count and average length: the shared (merged)
-        // statistics when installed, this index's own otherwise.
-        let (n_docs, total_len) = match &self.shared_stats {
-            Some(stats) if stats.docs > 0 => (stats.docs as f64, stats.total_len as f64),
+        // Corpus-wide doc count and average length: explicit stats first,
+        // then the shared (merged) statistics when installed, then this
+        // index's own.
+        let (n_docs, total_len) = match (stats, &self.shared_stats) {
+            (Some(s), _) => (s.docs as f64, s.total_len as f64),
+            (None, Some(s)) if s.docs > 0 => (s.docs as f64, s.total_len as f64),
             _ => (self.ids.len() as f64, self.total_len as f64),
         };
+        if n_docs <= 0.0 {
+            return Vec::new();
+        }
         let avg_len = total_len / n_docs;
         let mut scores: HashMap<u32, f64> = HashMap::new();
         // Stable term order for reproducible floating-point accumulation.
@@ -230,16 +256,26 @@ impl InvertedIndex {
             let Some(postings) = self.postings.get(term) else {
                 continue;
             };
-            let df = match &self.shared_stats {
-                Some(stats) => stats
+            let df = match (stats, &self.shared_stats) {
+                (Some(s), _) => {
+                    let live = s.doc_freqs.get(term).copied().unwrap_or(0);
+                    if live == 0 {
+                        continue;
+                    }
+                    live as f64
+                }
+                (None, Some(s)) => s
                     .doc_freqs
                     .get(term)
                     .copied()
                     .unwrap_or(postings.len() as u64) as f64,
-                None => postings.len() as f64,
+                (None, None) => postings.len() as f64,
             };
             let idf = Self::idf(n_docs, df);
             for p in postings {
+                if skip.is_some_and(|dead| dead.contains(&p.doc)) {
+                    continue;
+                }
                 let dl = self.lengths[p.doc as usize] as f64;
                 let tf = p.tf as f64;
                 let denom =
@@ -354,6 +390,75 @@ impl InvertedIndex {
             .and_then(|t| self.postings.get(t))
             .map(|p| p.len())
             .unwrap_or(0)
+    }
+
+    /// The external ids in internal-ordinal order.
+    pub fn doc_ids(&self) -> &[InstanceId] {
+        &self.ids
+    }
+
+    /// The analyzer this index tokenizes with.
+    pub fn analyzer(&self) -> Analyzer {
+        self.analyzer
+    }
+
+    /// The BM25 parameters this index scores with.
+    pub fn params(&self) -> Bm25Params {
+        self.params
+    }
+
+    /// Merge segments into one compacted index, dropping each segment's
+    /// dead ordinals.
+    ///
+    /// Surviving documents are renumbered in `(segment, ordinal)` order, so
+    /// the result is exactly the index a fresh sequential build over the
+    /// surviving documents (in that order) would produce: posting lists stay
+    /// sorted by document ordinal, per-document term frequencies and lengths
+    /// are carried over verbatim, and no re-analysis happens. The merge is
+    /// pure posting-list surgery — O(total postings), not O(total text).
+    pub fn merge_compact(parts: &[(&InvertedIndex, &HashSet<u32>)]) -> InvertedIndex {
+        let (analyzer, params) = parts
+            .first()
+            .map(|(seg, _)| (seg.analyzer, seg.params))
+            .unwrap_or_else(|| (Analyzer::standard(), Bm25Params::default()));
+        let mut merged = InvertedIndex::new(analyzer, params);
+        // Per-segment remap: old ordinal -> new ordinal (dead -> None).
+        let mut remaps: Vec<Vec<Option<u32>>> = Vec::with_capacity(parts.len());
+        for (seg, dead) in parts {
+            let mut remap = Vec::with_capacity(seg.ids.len());
+            for (ord, (&id, &len)) in seg.ids.iter().zip(seg.lengths.iter()).enumerate() {
+                if dead.contains(&(ord as u32)) {
+                    remap.push(None);
+                } else {
+                    remap.push(Some(merged.ids.len() as u32));
+                    merged.ids.push(id);
+                    merged.lengths.push(len);
+                    merged.total_len += len as u64;
+                }
+            }
+            remaps.push(remap);
+        }
+        for ((seg, _), remap) in parts.iter().zip(remaps.iter()) {
+            for (term, postings) in &seg.postings {
+                let list = merged.postings.entry(term.clone()).or_default();
+                for p in postings {
+                    if let Some(doc) = remap[p.doc as usize] {
+                        list.push(Posting { doc, tf: p.tf });
+                    }
+                }
+            }
+        }
+        // A term may exist only in dead documents; drop its empty list so
+        // vocabulary and snapshots match a fresh build exactly.
+        merged.postings.retain(|_, list| !list.is_empty());
+        // Posting lists were appended per segment in segment order; within a
+        // segment they are ordinal-sorted already, and later segments map to
+        // larger ordinals, so each list is sorted. Debug-check the invariant.
+        debug_assert!(merged
+            .postings
+            .values()
+            .all(|l| l.windows(2).all(|w| w[0].doc < w[1].doc)));
+        merged
     }
 }
 

@@ -27,6 +27,7 @@ pub mod combiner;
 pub mod content;
 pub mod hit;
 pub mod persist;
+pub mod segment;
 pub mod source;
 pub mod trie;
 pub mod vector;
@@ -34,7 +35,8 @@ pub mod vector;
 pub use combiner::{Combiner, FusionStrategy};
 pub use content::{Bm25Params, CorpusStats, InvertedIndex};
 pub use hit::SearchHit;
-pub use persist::PersistError;
+pub use persist::{save_atomic, PersistError};
+pub use segment::SegmentedInvertedIndex;
 pub use source::{EvidenceSource, FusedSource, SourceQuery};
 pub use trie::TrieIndex;
-pub use vector::{FlatIndex, HnswConfig, HnswIndex, VectorIndex};
+pub use vector::{AnyVectorIndex, FlatIndex, HnswConfig, HnswIndex, VectorIndex};

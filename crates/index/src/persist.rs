@@ -12,10 +12,20 @@ use verifai_lake::InstanceId;
 
 /// Magic prefix of every snapshot.
 pub const MAGIC: &[u8; 4] = b"VFAI";
-/// Current format version. Version 2 appends a flags byte to the header;
-/// version-1 snapshots (no flags byte) are still decoded, with all flags
-/// treated as unset.
-pub const VERSION: u8 = 2;
+/// Current format version.
+///
+/// * Version 1 — no flags byte; vector payloads eagerly decoded.
+/// * Version 2 — appends a flags byte to the header.
+/// * Version 3 — the live-lake format: every snapshot carries a `u64`
+///   generation immediately after the header; vector indexes carry
+///   per-entry tombstone bytes and store their vector payload as one
+///   contiguous `f32` slab (loaded in bulk into a shared allocation,
+///   [`verifai_embed::Vector::from_slab`]); HNSW additionally persists its
+///   cached edge distances so load skips the re-derivation pass.
+///
+/// Version 1 and 2 snapshots are still decoded (migrated on load); their
+/// generation is 0 and they carry no tombstones.
+pub const VERSION: u8 = 3;
 /// Header flag: every stored vector is unit-normalized, so similarity is a
 /// single fused dot. Vector snapshots without this flag are migrated by
 /// normalizing on load — never silently mis-scored.
@@ -32,6 +42,8 @@ pub enum SnapshotKind {
     Flat = 2,
     /// An [`crate::HnswIndex`].
     Hnsw = 3,
+    /// A [`crate::SegmentedInvertedIndex`] (v3+ only).
+    Segmented = 4,
 }
 
 /// Errors decoding a snapshot.
@@ -78,20 +90,31 @@ impl fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
-/// Write the (version 2) snapshot header: magic, version, kind, flags.
+/// Write the current-version snapshot header: magic, version, kind, flags.
 pub(crate) fn put_header(buf: &mut BytesMut, kind: SnapshotKind, flags: u8) {
-    buf.put_slice(MAGIC);
-    buf.put_u8(VERSION);
-    buf.put_u8(kind as u8);
-    buf.put_u8(flags);
+    put_header_versioned(buf, kind, flags, VERSION);
 }
 
-/// Check and consume the snapshot header, returning its flags byte.
+/// Write a snapshot header at an explicit `version` — the legacy encoders
+/// (`to_bytes_v2`) use this to produce migration-test and cold-load-bench
+/// fixtures in the older wire formats.
+pub(crate) fn put_header_versioned(buf: &mut BytesMut, kind: SnapshotKind, flags: u8, version: u8) {
+    buf.put_slice(MAGIC);
+    buf.put_u8(version);
+    buf.put_u8(kind as u8);
+    if version >= 2 {
+        buf.put_u8(flags);
+    }
+}
+
+/// Check and consume the snapshot header, returning `(version, flags)`.
 ///
-/// Accepts version 1 (pre-flags) snapshots — their flags decode as `0`, so
-/// vector decoders see the unit-norm invariant as *not* guaranteed and
-/// migrate by normalizing. Unknown flag bits are rejected outright.
-pub(crate) fn check_header(buf: &mut Bytes, kind: SnapshotKind) -> Result<u8, PersistError> {
+/// Accepts versions 1 through [`VERSION`]. Version-1 (pre-flags) headers
+/// decode with flags `0`, so vector decoders see the unit-norm invariant as
+/// *not* guaranteed and migrate by normalizing. Unknown flag bits are
+/// rejected outright; decoders branch on the returned version to pick the
+/// body format.
+pub(crate) fn check_header(buf: &mut Bytes, kind: SnapshotKind) -> Result<(u8, u8), PersistError> {
     if buf.remaining() < 6 {
         return Err(PersistError::Truncated);
     }
@@ -101,7 +124,7 @@ pub(crate) fn check_header(buf: &mut Bytes, kind: SnapshotKind) -> Result<u8, Pe
         return Err(PersistError::BadMagic);
     }
     let version = buf.get_u8();
-    if version != 1 && version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(PersistError::BadVersion(version));
     }
     let got = buf.get_u8();
@@ -115,7 +138,35 @@ pub(crate) fn check_header(buf: &mut Bytes, kind: SnapshotKind) -> Result<u8, Pe
     if flags & !KNOWN_FLAGS != 0 {
         return Err(PersistError::BadFlags(flags));
     }
-    Ok(flags)
+    Ok((version, flags))
+}
+
+/// The kind tag of a snapshot without consuming it, so composite decoders
+/// (the segmented index, the live-lake loader) can dispatch on what a blob
+/// holds before handing it to the matching typed decoder.
+pub fn peek_kind(buf: &[u8]) -> Result<u8, PersistError> {
+    if buf.len() < 6 {
+        return Err(PersistError::Truncated);
+    }
+    if &buf[..4] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    Ok(buf[5])
+}
+
+/// Write `bytes` to `path` crash-safely: the payload goes to a sibling
+/// temporary file which is fsynced and atomically renamed over the target,
+/// so a crash mid-write leaves either the old snapshot or the new one,
+/// never a torn file.
+pub fn save_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 /// Encode a string as `u32 length + UTF-8 bytes`.
@@ -210,7 +261,7 @@ mod tests {
         let mut b = buf.clone().freeze();
         assert_eq!(
             check_header(&mut b, SnapshotKind::Inverted),
-            Ok(FLAG_UNIT_NORM)
+            Ok((VERSION, FLAG_UNIT_NORM))
         );
         let mut b = buf.freeze();
         assert_eq!(
@@ -226,7 +277,7 @@ mod tests {
     fn version_one_headers_decode_with_zero_flags() {
         // A pre-invariant header: magic, version 1, kind — no flags byte.
         let mut b = Bytes::from_static(b"VFAI\x01\x02");
-        assert_eq!(check_header(&mut b, SnapshotKind::Flat), Ok(0));
+        assert_eq!(check_header(&mut b, SnapshotKind::Flat), Ok((1, 0)));
         assert_eq!(b.remaining(), 0, "v1 header consumes exactly six bytes");
     }
 
@@ -237,10 +288,15 @@ mod tests {
             check_header(&mut b, SnapshotKind::Flat),
             Err(PersistError::BadFlags(0x80))
         );
-        let mut b = Bytes::from_static(b"VFAI\x03\x02\x00");
+        let mut b = Bytes::from_static(b"VFAI\x04\x02\x00");
         assert_eq!(
             check_header(&mut b, SnapshotKind::Flat),
-            Err(PersistError::BadVersion(3))
+            Err(PersistError::BadVersion(4))
+        );
+        let mut b = Bytes::from_static(b"VFAI\x00\x02\x00");
+        assert_eq!(
+            check_header(&mut b, SnapshotKind::Flat),
+            Err(PersistError::BadVersion(0))
         );
         // A v2 header truncated before its flags byte.
         let mut b = Bytes::from_static(b"VFAI\x02\x02");

@@ -1,0 +1,655 @@
+//! Segmented inverted index: the live-mutable BM25 index.
+//!
+//! A monolithic [`InvertedIndex`] is append-only — deleting or updating a
+//! document means rebuilding the whole index. This wrapper gives the content
+//! path a log-structured lifecycle instead: writes land in one small mutable
+//! **memtable** segment; when it reaches the seal threshold it is frozen
+//! into the list of immutable **sealed** segments and a fresh memtable
+//! starts. Deletes tombstone the document's ordinal inside whichever
+//! segment holds it; once tombstones outnumber live documents, every
+//! segment is merged into one compacted segment by pure posting-list
+//! surgery ([`InvertedIndex::merge_compact`] — no re-analysis).
+//!
+//! ## Score equivalence with a monolithic index
+//!
+//! BM25 is corpus-relative, so naive per-segment scoring would drift as
+//! segments fill. The index therefore maintains **live corpus statistics**
+//! (document count, total length, per-term document frequencies over
+//! non-tombstoned documents only) incrementally on every add/remove, and
+//! every segment scores against those via
+//! [`InvertedIndex::search_with`] with its tombstoned ordinals skipped.
+//! Identical integer statistics, identical per-document term frequencies,
+//! and the same sorted-term accumulation order make each document's score
+//! **bit-identical** to a fresh monolithic index over the surviving corpus;
+//! per-segment top-k then unions to the same global top-k under
+//! [`sort_hits`]' total order. The interleaved-history property test in
+//! `verifai` holds the system to exactly this.
+
+use crate::content::{Bm25Params, CorpusStats, InvertedIndex};
+use crate::hit::{sort_hits, SearchHit};
+use crate::persist::{self, PersistError, SnapshotKind};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use verifai_lake::InstanceId;
+use verifai_text::Analyzer;
+
+/// Memtable size at which it is sealed into an immutable segment.
+const DEFAULT_SEAL_THRESHOLD: usize = 256;
+/// Sealed-segment count above which a merge runs even without tombstones.
+const MAX_SEALED_SEGMENTS: usize = 8;
+
+/// A mutable, segment-based BM25 index: one writable memtable, immutable
+/// sealed segments, tombstoned deletes, and merge-based compaction. See the
+/// module docs for the score-equivalence argument.
+///
+/// Invariant: every live external id is held by exactly one segment. Updates
+/// are expressed as remove + add by the caller (the live lake layer).
+#[derive(Debug)]
+pub struct SegmentedInvertedIndex {
+    analyzer: Analyzer,
+    params: Bm25Params,
+    memtable: InvertedIndex,
+    /// id -> memtable ordinal, for live memtable documents.
+    mem_locations: HashMap<InstanceId, u32>,
+    mem_dead: HashSet<u32>,
+    sealed: Vec<Arc<InvertedIndex>>,
+    /// Tombstoned ordinals per sealed segment (parallel to `sealed`).
+    dead: Vec<HashSet<u32>>,
+    /// id -> (sealed segment index, ordinal), for live sealed documents.
+    locations: HashMap<InstanceId, (usize, u32)>,
+    /// Statistics of the *live* documents only, maintained incrementally.
+    live: CorpusStats,
+    /// Cluster-installed global stats overriding `live` during scoring.
+    shared_stats: Option<Arc<CorpusStats>>,
+    seal_threshold: usize,
+    generation: u64,
+    compactions: u64,
+}
+
+impl Default for SegmentedInvertedIndex {
+    fn default() -> Self {
+        SegmentedInvertedIndex::new(Analyzer::standard(), Bm25Params::default())
+    }
+}
+
+impl SegmentedInvertedIndex {
+    /// Empty index with the given analyzer and BM25 parameters.
+    pub fn new(analyzer: Analyzer, params: Bm25Params) -> SegmentedInvertedIndex {
+        SegmentedInvertedIndex {
+            analyzer,
+            params,
+            memtable: InvertedIndex::new(analyzer, params),
+            mem_locations: HashMap::new(),
+            mem_dead: HashSet::new(),
+            sealed: Vec::new(),
+            dead: Vec::new(),
+            locations: HashMap::new(),
+            live: CorpusStats::default(),
+            shared_stats: None,
+            seal_threshold: DEFAULT_SEAL_THRESHOLD,
+            generation: 0,
+            compactions: 0,
+        }
+    }
+
+    /// Override the memtable seal threshold (builder-style). Small values
+    /// force multi-segment layouts in tests.
+    pub fn with_seal_threshold(mut self, threshold: usize) -> SegmentedInvertedIndex {
+        self.seal_threshold = threshold.max(1);
+        self
+    }
+
+    /// Number of live documents.
+    pub fn len(&self) -> usize {
+        self.locations.len() + self.mem_locations.len()
+    }
+
+    /// True when no live documents remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Segments currently backing the index (sealed + non-empty memtable).
+    pub fn segments(&self) -> usize {
+        self.sealed.len() + usize::from(!self.memtable.is_empty())
+    }
+
+    /// Tombstoned documents not yet compacted away.
+    pub fn tombstones(&self) -> usize {
+        self.mem_dead.len() + self.dead.iter().map(HashSet::len).sum::<usize>()
+    }
+
+    /// Mutation generation: bumped on every add/remove, persisted.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Times compaction has merged the segments.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Live-corpus statistics, for cross-shard merging.
+    pub fn corpus_stats(&self) -> CorpusStats {
+        self.live.clone()
+    }
+
+    /// Score against corpus-wide statistics instead of the live-local ones
+    /// (the sharded invariant — see [`InvertedIndex::set_shared_stats`]).
+    pub fn set_shared_stats(&mut self, stats: Arc<CorpusStats>) {
+        self.shared_stats = Some(stats);
+    }
+
+    /// Add a document. The id must not be live in the index (updates are
+    /// remove + add).
+    pub fn add(&mut self, id: InstanceId, text: &str) {
+        debug_assert!(
+            !self.locations.contains_key(&id) && !self.mem_locations.contains_key(&id),
+            "id {id:?} is already live; remove it before re-adding"
+        );
+        let ord = self.memtable.add(id, text);
+        self.mem_locations.insert(id, ord);
+        let tf = self.analyzer.term_frequencies(text);
+        self.live.docs += 1;
+        self.live.total_len += tf.values().map(|&f| f as u64).sum::<u64>();
+        for term in tf.into_keys() {
+            *self.live.doc_freqs.entry(term).or_insert(0) += 1;
+        }
+        self.generation += 1;
+        if self.memtable.len() >= self.seal_threshold {
+            self.seal();
+        }
+    }
+
+    /// Tombstone the document live under `id`. `text` must be the exact
+    /// text it was added with — it is re-analyzed to subtract the document's
+    /// contribution from the live statistics (the index stores no text).
+    /// Returns false (and changes nothing) when the id is not live.
+    pub fn remove(&mut self, id: InstanceId, text: &str) -> bool {
+        if let Some(ord) = self.mem_locations.remove(&id) {
+            self.mem_dead.insert(ord);
+        } else if let Some((seg, ord)) = self.locations.remove(&id) {
+            self.dead[seg].insert(ord);
+        } else {
+            return false;
+        }
+        let tf = self.analyzer.term_frequencies(text);
+        self.live.docs -= 1;
+        self.live.total_len -= tf.values().map(|&f| f as u64).sum::<u64>();
+        for term in tf.into_keys() {
+            if let Some(df) = self.live.doc_freqs.get_mut(&term) {
+                *df -= 1;
+                if *df == 0 {
+                    self.live.doc_freqs.remove(&term);
+                }
+            }
+        }
+        self.generation += 1;
+        if self.should_compact() {
+            self.compact();
+        }
+        true
+    }
+
+    /// Freeze the memtable into an immutable sealed segment and start a
+    /// fresh one. No-op when the memtable is empty.
+    pub fn seal(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let seg = self.sealed.len();
+        let full = std::mem::replace(
+            &mut self.memtable,
+            InvertedIndex::new(self.analyzer, self.params),
+        );
+        self.sealed.push(Arc::new(full));
+        self.dead.push(std::mem::take(&mut self.mem_dead));
+        for (id, ord) in self.mem_locations.drain() {
+            self.locations.insert(id, (seg, ord));
+        }
+    }
+
+    /// Whether dead weight justifies a merge: tombstones outnumber live
+    /// documents, or the sealed-segment count passed the fan-out cap.
+    pub fn should_compact(&self) -> bool {
+        let stored = self.memtable.len() + self.sealed.iter().map(|s| s.len()).sum::<usize>();
+        let dead = self.tombstones();
+        (dead > 0 && dead * 2 > stored) || self.sealed.len() > MAX_SEALED_SEGMENTS
+    }
+
+    /// Merge every segment (and the memtable) into one compacted sealed
+    /// segment, dropping tombstones. Live insertion order is preserved, so
+    /// the merged segment equals a fresh sequential build of the survivors.
+    pub fn compact(&mut self) {
+        if self.sealed.is_empty() && self.mem_dead.is_empty() {
+            return;
+        }
+        let mut parts: Vec<(&InvertedIndex, &HashSet<u32>)> = self
+            .sealed
+            .iter()
+            .map(|s| &**s)
+            .zip(self.dead.iter())
+            .collect();
+        parts.push((&self.memtable, &self.mem_dead));
+        let merged = InvertedIndex::merge_compact(&parts);
+        self.locations = merged
+            .doc_ids()
+            .iter()
+            .enumerate()
+            .map(|(ord, &id)| (id, (0usize, ord as u32)))
+            .collect();
+        self.sealed = vec![Arc::new(merged)];
+        self.dead = vec![HashSet::new()];
+        self.memtable = InvertedIndex::new(self.analyzer, self.params);
+        self.mem_locations.clear();
+        self.mem_dead.clear();
+        self.compactions += 1;
+    }
+
+    /// Top-k hits by BM25 over the live corpus: every segment scored
+    /// against the same (shared or live) statistics with its tombstones
+    /// skipped, merged under [`sort_hits`]' total order.
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let stats: &CorpusStats = self.shared_stats.as_deref().unwrap_or(&self.live);
+        let mut hits: Vec<SearchHit> = Vec::new();
+        for (seg, dead) in self.sealed.iter().zip(self.dead.iter()) {
+            hits.extend(seg.search_with(query, k, Some(stats), Some(dead)));
+        }
+        hits.extend(
+            self.memtable
+                .search_with(query, k, Some(stats), Some(&self.mem_dead)),
+        );
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        hits
+    }
+
+    /// Serialize into a version-3 snapshot (kind
+    /// [`SnapshotKind::Segmented`]): generation, every segment (memtable
+    /// last) as a length-prefixed [`InvertedIndex`] blob plus its sorted
+    /// tombstone ordinals, then the live statistics in sorted term order.
+    /// Deterministic for a given index state.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        persist::put_header(&mut buf, SnapshotKind::Segmented, 0);
+        buf.put_u64_le(self.generation);
+        buf.put_u64_le(self.compactions);
+        let include_mem = !self.memtable.is_empty();
+        buf.put_u32_le((self.sealed.len() + usize::from(include_mem)) as u32);
+        let write_segment = |buf: &mut BytesMut, seg: &InvertedIndex, dead: &HashSet<u32>| {
+            let blob = seg.to_bytes();
+            buf.put_u32_le(blob.len() as u32);
+            buf.put_slice(&blob);
+            let mut ords: Vec<u32> = dead.iter().copied().collect();
+            ords.sort_unstable();
+            buf.put_u32_le(ords.len() as u32);
+            for o in ords {
+                buf.put_u32_le(o);
+            }
+        };
+        for (seg, dead) in self.sealed.iter().zip(self.dead.iter()) {
+            write_segment(&mut buf, seg, dead);
+        }
+        if include_mem {
+            write_segment(&mut buf, &self.memtable, &self.mem_dead);
+        }
+        buf.put_u64_le(self.live.docs);
+        buf.put_u64_le(self.live.total_len);
+        let mut terms: Vec<(&String, &u64)> = self.live.doc_freqs.iter().collect();
+        terms.sort_unstable();
+        buf.put_u32_le(terms.len() as u32);
+        for (term, &df) in terms {
+            persist::put_str(&mut buf, term);
+            buf.put_u64_le(df);
+        }
+        buf.freeze()
+    }
+
+    /// Reconstruct from a snapshot.
+    ///
+    /// Accepts two shapes: a [`SnapshotKind::Segmented`] snapshot produced
+    /// by [`Self::to_bytes`], or — the migration path — any monolithic
+    /// [`SnapshotKind::Inverted`] snapshot (v1/v2/v3), which loads as a
+    /// single sealed segment with generation 0 and its statistics derived
+    /// from the postings. Loaded segments are all sealed; the memtable
+    /// starts fresh.
+    pub fn from_bytes(buf: Bytes) -> Result<SegmentedInvertedIndex, PersistError> {
+        if persist::peek_kind(&buf)? == SnapshotKind::Inverted as u8 {
+            let seg = InvertedIndex::from_bytes(buf)?;
+            return Ok(SegmentedInvertedIndex::from_monolith(seg));
+        }
+        let mut buf = buf;
+        let _ = persist::check_header(&mut buf, SnapshotKind::Segmented)?;
+        let generation = persist::get_u64(&mut buf)?;
+        let compactions = persist::get_u64(&mut buf)?;
+        let nsegs = persist::get_u32(&mut buf)? as usize;
+        let mut sealed = Vec::with_capacity(nsegs);
+        let mut dead = Vec::with_capacity(nsegs);
+        let mut locations = HashMap::new();
+        for seg_idx in 0..nsegs {
+            let blob_len = persist::get_u32(&mut buf)? as usize;
+            if buf.remaining() < blob_len {
+                return Err(PersistError::Truncated);
+            }
+            let blob = buf.copy_to_bytes(blob_len);
+            let seg = InvertedIndex::from_bytes(blob)?;
+            let ndead = persist::get_u32(&mut buf)? as usize;
+            let mut dead_set = HashSet::with_capacity(ndead);
+            for _ in 0..ndead {
+                let ord = persist::get_u32(&mut buf)?;
+                if ord as usize >= seg.len() {
+                    return Err(PersistError::BadTag(ord as u8));
+                }
+                dead_set.insert(ord);
+            }
+            for (ord, &id) in seg.doc_ids().iter().enumerate() {
+                if !dead_set.contains(&(ord as u32)) {
+                    locations.insert(id, (seg_idx, ord as u32));
+                }
+            }
+            sealed.push(Arc::new(seg));
+            dead.push(dead_set);
+        }
+        let docs = persist::get_u64(&mut buf)?;
+        let total_len = persist::get_u64(&mut buf)?;
+        let nterms = persist::get_u32(&mut buf)? as usize;
+        let mut doc_freqs = HashMap::with_capacity(nterms);
+        for _ in 0..nterms {
+            let term = persist::get_str(&mut buf)?;
+            doc_freqs.insert(term, persist::get_u64(&mut buf)?);
+        }
+        let (analyzer, params) = sealed
+            .first()
+            .map(|s| (s.analyzer(), s.params()))
+            .unwrap_or_else(|| (Analyzer::standard(), Bm25Params::default()));
+        Ok(SegmentedInvertedIndex {
+            analyzer,
+            params,
+            memtable: InvertedIndex::new(analyzer, params),
+            mem_locations: HashMap::new(),
+            mem_dead: HashSet::new(),
+            sealed,
+            dead,
+            locations,
+            live: CorpusStats {
+                docs,
+                total_len,
+                doc_freqs,
+            },
+            shared_stats: None,
+            seal_threshold: DEFAULT_SEAL_THRESHOLD,
+            generation,
+            compactions,
+        })
+    }
+
+    /// Wrap a monolithic index as a single sealed segment (the v1/v2
+    /// migration path and the batch-build fast path).
+    pub fn from_monolith(seg: InvertedIndex) -> SegmentedInvertedIndex {
+        let analyzer = seg.analyzer();
+        let params = seg.params();
+        let live = seg.corpus_stats();
+        let locations: HashMap<InstanceId, (usize, u32)> = seg
+            .doc_ids()
+            .iter()
+            .enumerate()
+            .map(|(ord, &id)| (id, (0usize, ord as u32)))
+            .collect();
+        let empty = seg.is_empty();
+        SegmentedInvertedIndex {
+            analyzer,
+            params,
+            memtable: InvertedIndex::new(analyzer, params),
+            mem_locations: HashMap::new(),
+            mem_dead: HashSet::new(),
+            sealed: if empty {
+                Vec::new()
+            } else {
+                vec![Arc::new(seg)]
+            },
+            dead: if empty {
+                Vec::new()
+            } else {
+                vec![HashSet::new()]
+            },
+            locations,
+            live,
+            shared_stats: None,
+            seal_threshold: DEFAULT_SEAL_THRESHOLD,
+            generation: 0,
+            compactions: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u64) -> InstanceId {
+        InstanceId::Text(i)
+    }
+
+    fn texts() -> Vec<String> {
+        (0..40u64)
+            .map(|i| {
+                format!(
+                    "document {} about {} with extra {} words",
+                    i,
+                    [
+                        "jordan basketball",
+                        "election district",
+                        "film actress",
+                        "championship track"
+                    ][(i % 4) as usize],
+                    ["chicago", "york", "stomp", "ncaa"][(i % 4) as usize]
+                )
+            })
+            .collect()
+    }
+
+    fn monolith_of(surviving: &[(u64, &str)]) -> InvertedIndex {
+        let mut idx = InvertedIndex::default();
+        for &(i, t) in surviving {
+            idx.add(tid(i), t);
+        }
+        idx
+    }
+
+    #[test]
+    fn segmented_matches_monolith_bit_exact() {
+        // Multi-segment layout (tiny seal threshold) with interleaved
+        // deletes must score bit-identically to a fresh monolithic build of
+        // the survivors.
+        let all = texts();
+        let mut seg = SegmentedInvertedIndex::default().with_seal_threshold(7);
+        for (i, t) in all.iter().enumerate() {
+            seg.add(tid(i as u64), t);
+        }
+        let mut survivors: Vec<(u64, &str)> = Vec::new();
+        for (i, t) in all.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(seg.remove(tid(i as u64), t));
+            } else {
+                survivors.push((i as u64, t));
+            }
+        }
+        let mono = monolith_of(&survivors);
+        assert_eq!(seg.len(), mono.len());
+        for q in [
+            "jordan basketball chicago",
+            "election district york",
+            "film actress stomp",
+            "document words",
+        ] {
+            assert_eq!(seg.search(q, 10), mono.search(q, 10), "query {q}");
+        }
+    }
+
+    #[test]
+    fn update_is_remove_then_add() {
+        let mut seg = SegmentedInvertedIndex::default().with_seal_threshold(3);
+        for i in 0..9u64 {
+            seg.add(tid(i), &format!("original text number {i}"));
+        }
+        assert!(seg.remove(tid(4), "original text number 4"));
+        seg.add(tid(4), "completely replaced zebra content");
+        let hits = seg.search("zebra", 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, tid(4));
+        // The monolith of the surviving state agrees.
+        let mut mono = InvertedIndex::default();
+        for i in (0..9u64).filter(|&i| i != 4) {
+            mono.add(tid(i), &format!("original text number {i}"));
+        }
+        mono.add(tid(4), "completely replaced zebra content");
+        assert_eq!(
+            seg.search("original number", 10),
+            mono.search("original number", 10)
+        );
+    }
+
+    #[test]
+    fn compaction_triggers_and_preserves_scores() {
+        let all = texts();
+        let mut seg = SegmentedInvertedIndex::default().with_seal_threshold(5);
+        for (i, t) in all.iter().enumerate() {
+            seg.add(tid(i as u64), t);
+        }
+        let before_segments = seg.segments();
+        assert!(before_segments > 1, "tiny threshold must create segments");
+        // Delete until tombstones dominate — compaction must fire.
+        for (i, t) in all.iter().enumerate().take(24) {
+            seg.remove(tid(i as u64), t);
+        }
+        assert!(seg.compactions() >= 1, "compaction should have triggered");
+        // Removes after the last auto-compaction may have re-accumulated a
+        // few tombstones; an explicit merge sheds them all.
+        seg.compact();
+        assert_eq!(seg.tombstones(), 0);
+        let survivors: Vec<(u64, &str)> = all
+            .iter()
+            .enumerate()
+            .skip(24)
+            .map(|(i, t)| (i as u64, t.as_str()))
+            .collect();
+        let mono = monolith_of(&survivors);
+        for q in ["jordan basketball", "championship ncaa"] {
+            assert_eq!(seg.search(q, 10), mono.search(q, 10), "query {q}");
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let all = texts();
+        let mut seg = SegmentedInvertedIndex::default().with_seal_threshold(7);
+        for (i, t) in all.iter().enumerate() {
+            seg.add(tid(i as u64), t);
+        }
+        for (i, t) in all.iter().enumerate().take(5) {
+            seg.remove(tid(i as u64), t);
+        }
+        let bytes = seg.to_bytes();
+        let back = SegmentedInvertedIndex::from_bytes(bytes.clone()).unwrap();
+        assert_eq!(back.len(), seg.len());
+        assert_eq!(back.generation(), seg.generation());
+        assert_eq!(back.corpus_stats(), seg.corpus_stats());
+        for q in ["jordan basketball", "film actress stomp"] {
+            assert_eq!(back.search(q, 10), seg.search(q, 10), "query {q}");
+        }
+        // Deterministic encoding.
+        assert_eq!(
+            bytes,
+            SegmentedInvertedIndex::from_bytes(bytes.clone())
+                .unwrap()
+                .to_bytes()
+        );
+        // A reloaded index keeps mutating correctly.
+        let mut back = back;
+        back.add(tid(999), "fresh post-reload zebra document");
+        assert_eq!(back.search("zebra", 2)[0].id, tid(999));
+    }
+
+    #[test]
+    fn monolith_snapshots_migrate_to_single_segment() {
+        let mut mono = InvertedIndex::default();
+        mono.add(tid(0), "alpha beta gamma");
+        mono.add(tid(1), "delta epsilon zeta");
+        // v3 monolith blob.
+        let seg = SegmentedInvertedIndex::from_bytes(mono.to_bytes()).unwrap();
+        assert_eq!(seg.segments(), 1);
+        assert_eq!(seg.len(), 2);
+        assert_eq!(seg.search("alpha", 2), mono.search("alpha", 2));
+        // And the index is mutable after migration.
+        let mut seg = seg;
+        assert!(seg.remove(tid(0), "alpha beta gamma"));
+        assert!(seg.search("alpha", 2).is_empty());
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage_and_truncation() {
+        assert!(SegmentedInvertedIndex::from_bytes(Bytes::from_static(b"nah")).is_err());
+        let mut seg = SegmentedInvertedIndex::default().with_seal_threshold(3);
+        for i in 0..7u64 {
+            seg.add(tid(i), &format!("words {i} here"));
+        }
+        let full = seg.to_bytes();
+        for cut in (0..full.len()).step_by(3) {
+            assert!(
+                SegmentedInvertedIndex::from_bytes(full.slice(0..cut)).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_stats_make_sharded_segmented_scores_global() {
+        // Two segmented "shards" with merged stats installed must together
+        // equal one whole-corpus monolith, mutations included.
+        let all = texts();
+        let mut a = SegmentedInvertedIndex::default().with_seal_threshold(4);
+        let mut b = SegmentedInvertedIndex::default().with_seal_threshold(4);
+        for (i, t) in all.iter().enumerate() {
+            if i % 2 == 0 {
+                a.add(tid(i as u64), t);
+            } else {
+                b.add(tid(i as u64), t);
+            }
+        }
+        a.remove(tid(6), &all[6]);
+        b.remove(tid(9), &all[9]);
+        let mut merged = a.corpus_stats();
+        merged.merge(&b.corpus_stats());
+        let merged = Arc::new(merged);
+        a.set_shared_stats(merged.clone());
+        b.set_shared_stats(merged);
+        let survivors: Vec<(u64, &str)> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 6 && *i != 9)
+            .map(|(i, t)| (i as u64, t.as_str()))
+            .collect();
+        let mono = monolith_of(&survivors);
+        for q in ["jordan basketball chicago", "election district"] {
+            let mut hits = a.search(q, 10);
+            hits.extend(b.search(q, 10));
+            sort_hits(&mut hits);
+            hits.truncate(10);
+            assert_eq!(hits, mono.search(q, 10), "query {q}");
+        }
+    }
+
+    #[test]
+    fn remove_missing_id_is_noop() {
+        let mut seg = SegmentedInvertedIndex::default();
+        seg.add(tid(0), "something here");
+        let g = seg.generation();
+        assert!(!seg.remove(tid(99), "whatever"));
+        assert_eq!(seg.generation(), g);
+        assert_eq!(seg.len(), 1);
+    }
+}

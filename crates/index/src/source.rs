@@ -77,6 +77,31 @@ impl EvidenceSource for crate::FlatIndex {
     }
 }
 
+impl EvidenceSource for crate::SegmentedInvertedIndex {
+    fn name(&self) -> &'static str {
+        // Same name as the monolithic index: provenance records describe
+        // the ranking function, and segmented BM25 scores identically.
+        "bm25"
+    }
+
+    fn search(&self, query: SourceQuery<'_>, k: usize) -> Vec<SearchHit> {
+        crate::SegmentedInvertedIndex::search(self, query.text, k)
+    }
+}
+
+impl EvidenceSource for crate::AnyVectorIndex {
+    fn name(&self) -> &'static str {
+        self.backend_name()
+    }
+
+    fn search(&self, query: SourceQuery<'_>, k: usize) -> Vec<SearchHit> {
+        match query.vector {
+            Some(vector) => crate::VectorIndex::search(self, vector, k),
+            None => Vec::new(),
+        }
+    }
+}
+
 /// Fuses the top-`k` lists of several sources with a [`Combiner`] (paper
 /// §3.1: "a Combiner that merges results and removes duplicates").
 ///

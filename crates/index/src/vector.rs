@@ -19,9 +19,10 @@
 
 use crate::hit::{sort_hits, SearchHit};
 use crate::persist::{self, PersistError, SnapshotKind, FLAG_UNIT_NORM};
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
 use verifai_embed::Vector;
 use verifai_lake::InstanceId;
 
@@ -37,11 +38,14 @@ fn unit_query(query: &Vector) -> Vector {
 pub trait VectorIndex {
     /// Insert a vector under an id.
     fn add(&mut self, id: InstanceId, vector: Vector);
+    /// Tombstone every entry stored under `id`; true when anything was
+    /// removed. Tombstoned entries never appear in search results.
+    fn remove(&mut self, id: InstanceId) -> bool;
     /// Top-k most similar entries (cosine).
     fn search(&self, query: &Vector, k: usize) -> Vec<SearchHit>;
-    /// Number of indexed vectors.
+    /// Number of **live** (non-tombstoned) vectors.
     fn len(&self) -> usize;
-    /// True when empty.
+    /// True when no live vectors remain.
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -52,16 +56,62 @@ pub trait VectorIndex {
 // ---------------------------------------------------------------------------
 
 /// Exact nearest-neighbour index: brute-force cosine scan with a top-k heap.
+///
+/// Deletion is mark-and-skip: [`VectorIndex::remove`] tombstones the entry
+/// and the scan skips it; once tombstones outnumber live entries the index
+/// compacts itself (drops the dead rows, preserving live insertion order),
+/// so a long mutation history cannot degrade scan cost past 2× live size.
 #[derive(Debug, Default)]
 pub struct FlatIndex {
     ids: Vec<InstanceId>,
     vectors: Vec<Vector>,
+    deleted: Vec<bool>,
+    dead: usize,
+    generation: u64,
+    compactions: u64,
 }
 
 impl FlatIndex {
     /// Empty index.
     pub fn new() -> FlatIndex {
         FlatIndex::default()
+    }
+
+    /// Mutation generation: bumped on every add/remove, persisted in v3
+    /// snapshots so a reloaded index resumes where the saved one stopped.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Tombstoned entries not yet compacted away.
+    pub fn tombstones(&self) -> usize {
+        self.dead
+    }
+
+    /// Times the live-count-triggered compaction has run.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Drop tombstoned entries now, preserving live insertion order.
+    pub fn compact(&mut self) {
+        if self.dead == 0 {
+            return;
+        }
+        let live = self.ids.len() - self.dead;
+        let mut ids = Vec::with_capacity(live);
+        let mut vectors = Vec::with_capacity(live);
+        for (ord, v) in self.vectors.drain(..).enumerate() {
+            if !self.deleted[ord] {
+                ids.push(self.ids[ord]);
+                vectors.push(v);
+            }
+        }
+        self.ids = ids;
+        self.vectors = vectors;
+        self.deleted = vec![false; self.ids.len()];
+        self.dead = 0;
+        self.compactions += 1;
     }
 }
 
@@ -98,14 +148,44 @@ impl Ord for MinEntry {
 }
 
 impl FlatIndex {
-    /// Serialize the index into a versioned binary snapshot.
+    /// Serialize the index into a version-3 binary snapshot: generation,
+    /// ids, tombstone bytes, then every vector's components as one
+    /// contiguous `f32` slab so load is a single bulk decode.
     pub fn to_bytes(&self) -> Bytes {
-        // Each entry is a 9-byte id plus a length-prefixed vector; sizing by
-        // the real payload (not just the ids) makes the encode allocation-free
-        // after this reserve.
+        let dim = self.vectors.first().map(|v| v.dim()).unwrap_or(0);
+        debug_assert!(
+            self.vectors.iter().all(|v| v.dim() == dim),
+            "flat index holds mixed dimensions"
+        );
+        let n = self.ids.len();
+        let mut buf = BytesMut::with_capacity(32 + n * (10 + dim * 4));
+        persist::put_header(&mut buf, SnapshotKind::Flat, FLAG_UNIT_NORM);
+        buf.put_u64_le(self.generation);
+        buf.put_u32_le(n as u32);
+        buf.put_u32_le(dim as u32);
+        for id in &self.ids {
+            persist::put_instance_id(&mut buf, *id);
+        }
+        for &d in &self.deleted {
+            buf.put_u8(d as u8);
+        }
+        for v in &self.vectors {
+            for &x in v.as_slice() {
+                buf.put_f32_le(x);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Serialize in the legacy version-2 wire format (per-entry
+    /// length-prefixed vectors, no generation or tombstones). Kept as the
+    /// fixture encoder for migration tests and the cold-vs-warm load
+    /// benchmark; the index must hold no tombstones (v2 cannot express them).
+    pub fn to_bytes_v2(&self) -> Bytes {
+        assert_eq!(self.dead, 0, "compact before encoding a v2 snapshot");
         let dim = self.vectors.first().map(|v| v.dim()).unwrap_or(0);
         let mut buf = BytesMut::with_capacity(16 + self.ids.len() * (13 + dim * 4));
-        persist::put_header(&mut buf, SnapshotKind::Flat, FLAG_UNIT_NORM);
+        persist::put_header_versioned(&mut buf, SnapshotKind::Flat, FLAG_UNIT_NORM, 2);
         buf.put_u32_le(self.ids.len() as u32);
         for (id, v) in self.ids.iter().zip(self.vectors.iter()) {
             persist::put_instance_id(&mut buf, *id);
@@ -114,25 +194,64 @@ impl FlatIndex {
         buf.freeze()
     }
 
-    /// Reconstruct an index from a snapshot produced by [`Self::to_bytes`].
+    /// Reconstruct an index from a snapshot produced by [`Self::to_bytes`]
+    /// (or a legacy encoder).
     ///
-    /// Version-1 snapshots (and any snapshot without
-    /// [`persist::FLAG_UNIT_NORM`]) predate the unit-norm invariant; their
-    /// vectors are migrated by normalizing on load, never silently mis-scored.
+    /// Version-3 snapshots load zero-copy: the vector payload decodes in one
+    /// bulk pass into a shared slab and every [`Vector`] borrows a view of
+    /// it. Version-1/2 snapshots migrate on load (eager per-entry decode,
+    /// generation 0, no tombstones); any snapshot without
+    /// [`persist::FLAG_UNIT_NORM`] predates the unit-norm invariant and is
+    /// migrated by normalizing, never silently mis-scored.
     pub fn from_bytes(mut buf: Bytes) -> Result<FlatIndex, PersistError> {
-        let flags = persist::check_header(&mut buf, SnapshotKind::Flat)?;
+        let (version, flags) = persist::check_header(&mut buf, SnapshotKind::Flat)?;
+        if version < 3 {
+            let n = persist::get_u32(&mut buf)? as usize;
+            let mut ids = Vec::with_capacity(n);
+            let mut vectors = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(persist::get_instance_id(&mut buf)?);
+                let mut v = get_vector(&mut buf)?;
+                if flags & FLAG_UNIT_NORM == 0 {
+                    v.normalize();
+                }
+                vectors.push(v);
+            }
+            let deleted = vec![false; ids.len()];
+            return Ok(FlatIndex {
+                ids,
+                vectors,
+                deleted,
+                dead: 0,
+                generation: 0,
+                compactions: 0,
+            });
+        }
+        let generation = persist::get_u64(&mut buf)?;
         let n = persist::get_u32(&mut buf)? as usize;
+        let dim = persist::get_u32(&mut buf)? as usize;
         let mut ids = Vec::with_capacity(n);
-        let mut vectors = Vec::with_capacity(n);
         for _ in 0..n {
             ids.push(persist::get_instance_id(&mut buf)?);
-            let mut v = get_vector(&mut buf)?;
+        }
+        let (deleted, dead) = get_tombstones(&mut buf, n)?;
+        let slab = get_slab(&mut buf, n * dim)?;
+        let mut vectors = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut v = Vector::from_slab(slab.clone(), i * dim, dim);
             if flags & FLAG_UNIT_NORM == 0 {
                 v.normalize();
             }
             vectors.push(v);
         }
-        Ok(FlatIndex { ids, vectors })
+        Ok(FlatIndex {
+            ids,
+            vectors,
+            deleted,
+            dead,
+            generation,
+            compactions: 0,
+        })
     }
 }
 
@@ -154,11 +273,58 @@ fn get_vector(buf: &mut Bytes) -> Result<Vector, PersistError> {
     Ok(Vector::from_vec(v))
 }
 
+/// Bulk-decode `count` little-endian f32s into one shared slab — the v3
+/// zero-copy load path: one allocation for the whole vector payload, each
+/// [`Vector`] then borrows a `(start, len)` view of it.
+fn get_slab(buf: &mut Bytes, count: usize) -> Result<Arc<Vec<f32>>, PersistError> {
+    if buf.remaining() < count * 4 {
+        return Err(PersistError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(count * 4);
+    let mut slab = Vec::with_capacity(count);
+    slab.extend(
+        raw.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+    );
+    Ok(Arc::new(slab))
+}
+
+/// Decode `n` tombstone bytes, returning the flags and the dead count.
+fn get_tombstones(buf: &mut Bytes, n: usize) -> Result<(Vec<bool>, usize), PersistError> {
+    if buf.remaining() < n {
+        return Err(PersistError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(n);
+    let deleted: Vec<bool> = raw.iter().map(|&b| b != 0).collect();
+    let dead = deleted.iter().filter(|&&d| d).count();
+    Ok((deleted, dead))
+}
+
 impl VectorIndex for FlatIndex {
     fn add(&mut self, id: InstanceId, mut vector: Vector) {
         vector.normalize();
         self.ids.push(id);
         self.vectors.push(vector);
+        self.deleted.push(false);
+        self.generation += 1;
+    }
+
+    fn remove(&mut self, id: InstanceId) -> bool {
+        let mut any = false;
+        for (ord, eid) in self.ids.iter().enumerate() {
+            if *eid == id && !self.deleted[ord] {
+                self.deleted[ord] = true;
+                self.dead += 1;
+                any = true;
+            }
+        }
+        if any {
+            self.generation += 1;
+            if self.dead * 2 > self.ids.len() {
+                self.compact();
+            }
+        }
+        any
     }
 
     fn search(&self, query: &Vector, k: usize) -> Vec<SearchHit> {
@@ -168,6 +334,9 @@ impl VectorIndex for FlatIndex {
         let q = unit_query(query);
         let mut heap: BinaryHeap<MinEntry> = BinaryHeap::with_capacity(k + 1);
         for (ord, v) in self.vectors.iter().enumerate() {
+            if self.deleted[ord] {
+                continue;
+            }
             let score = v.dot_unit(&q) as f64;
             heap.push(MinEntry {
                 score,
@@ -187,7 +356,7 @@ impl VectorIndex for FlatIndex {
     }
 
     fn len(&self) -> usize {
-        self.ids.len()
+        self.ids.len() - self.dead
     }
 }
 
@@ -239,12 +408,23 @@ struct HnswNode {
 }
 
 /// Hierarchical Navigable Small World graph over cosine similarity.
+///
+/// Insertion has always been incremental (the graph grows one node at a
+/// time); deletion is tombstoning — removed nodes keep their edges and keep
+/// routing searches, they just cannot be returned. Search over-fetches by
+/// the tombstone count so `k` live results still come back, and an explicit
+/// [`HnswIndex::compact`] rebuilds the graph from the live nodes when the
+/// caller decides the dead weight is worth shedding.
 #[derive(Debug)]
 pub struct HnswIndex {
     config: HnswConfig,
     nodes: Vec<HnswNode>,
     entry: Option<u32>,
     max_level: usize,
+    deleted: Vec<bool>,
+    dead: usize,
+    generation: u64,
+    compactions: u64,
 }
 
 impl HnswIndex {
@@ -255,12 +435,51 @@ impl HnswIndex {
             nodes: Vec::new(),
             entry: None,
             max_level: 0,
+            deleted: Vec::new(),
+            dead: 0,
+            generation: 0,
+            compactions: 0,
         }
     }
 
     /// Empty index with default parameters.
     pub fn with_defaults() -> HnswIndex {
         HnswIndex::new(HnswConfig::default())
+    }
+
+    /// Mutation generation: bumped on every add/remove, persisted in v3
+    /// snapshots.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Tombstoned nodes still in the graph.
+    pub fn tombstones(&self) -> usize {
+        self.dead
+    }
+
+    /// Times [`HnswIndex::compact`] has rebuilt the graph.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Rebuild the graph from the live nodes (insertion order preserved),
+    /// shedding tombstones. Unlike the flat index this is not triggered
+    /// automatically: a rebuild re-runs construction, so the caller (the
+    /// segmented merge scheduler, an operator) decides when it pays.
+    pub fn compact(&mut self) {
+        if self.dead == 0 {
+            return;
+        }
+        let mut fresh = HnswIndex::new(self.config);
+        for (ord, node) in self.nodes.drain(..).enumerate() {
+            if !self.deleted[ord] {
+                fresh.add(node.id, node.vector);
+            }
+        }
+        fresh.generation = self.generation;
+        fresh.compactions = self.compactions + 1;
+        *self = fresh;
     }
 
     /// Cosine *distance* (1 - similarity): lower is closer. A single fused
@@ -423,12 +642,71 @@ impl Ord for CandEntry {
 }
 
 impl HnswIndex {
-    /// Serialize the graph into a versioned binary snapshot. Reloading is
-    /// orders of magnitude faster than re-inserting at lake scale. Edge
-    /// distances are not serialized — they are a cache, re-derived on load.
+    /// Serialize the graph into a version-3 binary snapshot: generation,
+    /// config, ids, tombstones, adjacency **with cached edge distances**,
+    /// then every vector's components as one contiguous `f32` slab. Storing
+    /// the distances means load skips the O(edges) re-derivation pass the
+    /// v1/v2 format paid, and the slab makes the vector payload one bulk
+    /// decode — together this is what makes warm restart near-instant.
     pub fn to_bytes(&self) -> Bytes {
-        // Exact payload size: 9-byte id + length-prefixed vector + per-layer
-        // length-prefixed ordinal lists for every node.
+        let dim = self.nodes.first().map(|n| n.vector.dim()).unwrap_or(0);
+        debug_assert!(
+            self.nodes.iter().all(|n| n.vector.dim() == dim),
+            "hnsw index holds mixed dimensions"
+        );
+        let payload: usize = self
+            .nodes
+            .iter()
+            .map(|n| 10 + dim * 4 + n.neighbors.iter().map(|l| 4 + 12 * l.len()).sum::<usize>())
+            .sum();
+        let mut buf = BytesMut::with_capacity(64 + payload);
+        persist::put_header(&mut buf, SnapshotKind::Hnsw, FLAG_UNIT_NORM);
+        buf.put_u64_le(self.generation);
+        buf.put_u32_le(self.config.m as u32);
+        buf.put_u32_le(self.config.ef_construction as u32);
+        buf.put_u32_le(self.config.ef_search as u32);
+        buf.put_u64_le(self.config.seed);
+        buf.put_u32_le(self.max_level as u32);
+        match self.entry {
+            Some(e) => {
+                buf.put_u8(1);
+                buf.put_u32_le(e);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u32_le(self.nodes.len() as u32);
+        buf.put_u32_le(dim as u32);
+        for node in &self.nodes {
+            persist::put_instance_id(&mut buf, node.id);
+        }
+        for &d in &self.deleted {
+            buf.put_u8(d as u8);
+        }
+        for node in &self.nodes {
+            buf.put_u32_le(node.neighbors.len() as u32);
+            for layer in &node.neighbors {
+                buf.put_u32_le(layer.len() as u32);
+                for e in layer {
+                    buf.put_u32_le(e.ord);
+                    buf.put_f64_le(e.dist);
+                }
+            }
+        }
+        for node in &self.nodes {
+            for &x in node.vector.as_slice() {
+                buf.put_f32_le(x);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Serialize in the legacy version-2 wire format (per-entry
+    /// length-prefixed vectors, ordinal-only adjacency, no generation or
+    /// tombstones — distances re-derived on load). Fixture encoder for
+    /// migration tests and the cold-load benchmark; the graph must hold no
+    /// tombstones (v2 cannot express them).
+    pub fn to_bytes_v2(&self) -> Bytes {
+        assert_eq!(self.dead, 0, "compact before encoding a v2 snapshot");
         let payload: usize = self
             .nodes
             .iter()
@@ -437,7 +715,7 @@ impl HnswIndex {
             })
             .sum();
         let mut buf = BytesMut::with_capacity(48 + payload);
-        persist::put_header(&mut buf, SnapshotKind::Hnsw, FLAG_UNIT_NORM);
+        persist::put_header_versioned(&mut buf, SnapshotKind::Hnsw, FLAG_UNIT_NORM, 2);
         buf.put_u32_le(self.config.m as u32);
         buf.put_u32_le(self.config.ef_construction as u32);
         buf.put_u32_le(self.config.ef_search as u32);
@@ -465,13 +743,21 @@ impl HnswIndex {
         buf.freeze()
     }
 
-    /// Reconstruct the graph from a snapshot produced by [`Self::to_bytes`].
+    /// Reconstruct the graph from a snapshot produced by [`Self::to_bytes`]
+    /// (or a legacy encoder).
     ///
-    /// Version-1 snapshots (no [`persist::FLAG_UNIT_NORM`]) are migrated by
-    /// normalizing every vector on load; edge distances are then re-derived
-    /// from the (unit) vectors either way.
+    /// Version-3 snapshots load zero-copy (shared vector slab) with their
+    /// cached edge distances intact. Version-1/2 snapshots migrate on load:
+    /// eager per-entry vector decode, distances re-derived, generation 0,
+    /// no tombstones; vectors without [`persist::FLAG_UNIT_NORM`] are
+    /// normalized.
     pub fn from_bytes(mut buf: Bytes) -> Result<HnswIndex, PersistError> {
-        let flags = persist::check_header(&mut buf, SnapshotKind::Hnsw)?;
+        let (version, flags) = persist::check_header(&mut buf, SnapshotKind::Hnsw)?;
+        let generation = if version >= 3 {
+            persist::get_u64(&mut buf)?
+        } else {
+            0
+        };
         let m = persist::get_u32(&mut buf)? as usize;
         let ef_construction = persist::get_u32(&mut buf)? as usize;
         let ef_search = persist::get_u32(&mut buf)? as usize;
@@ -483,6 +769,68 @@ impl HnswIndex {
             other => return Err(PersistError::BadTag(other)),
         };
         let n = persist::get_u32(&mut buf)? as usize;
+        let config = HnswConfig {
+            m,
+            ef_construction,
+            ef_search,
+            seed,
+        };
+
+        if version >= 3 {
+            let dim = persist::get_u32(&mut buf)? as usize;
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(persist::get_instance_id(&mut buf)?);
+            }
+            let (deleted, dead) = get_tombstones(&mut buf, n)?;
+            let mut adjacency = Vec::with_capacity(n);
+            for _ in 0..n {
+                let n_layers = persist::get_u32(&mut buf)? as usize;
+                let mut neighbors = Vec::with_capacity(n_layers);
+                for _ in 0..n_layers {
+                    let len = persist::get_u32(&mut buf)? as usize;
+                    let mut layer = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let ord = persist::get_u32(&mut buf)?;
+                        if ord as usize >= n {
+                            return Err(PersistError::BadTag(ord as u8));
+                        }
+                        let dist = persist::get_f64(&mut buf)?;
+                        layer.push(Neighbor { ord, dist });
+                    }
+                    neighbors.push(layer);
+                }
+                adjacency.push(neighbors);
+            }
+            let slab = get_slab(&mut buf, n * dim)?;
+            let nodes: Vec<HnswNode> = ids
+                .into_iter()
+                .zip(adjacency)
+                .enumerate()
+                .map(|(i, (id, neighbors))| {
+                    let mut vector = Vector::from_slab(slab.clone(), i * dim, dim);
+                    if flags & FLAG_UNIT_NORM == 0 {
+                        vector.normalize();
+                    }
+                    HnswNode {
+                        id,
+                        vector,
+                        neighbors,
+                    }
+                })
+                .collect();
+            return Ok(HnswIndex {
+                config,
+                nodes,
+                entry,
+                max_level,
+                deleted,
+                dead,
+                generation,
+                compactions: 0,
+            });
+        }
+
         let mut nodes = Vec::with_capacity(n);
         for _ in 0..n {
             let id = persist::get_instance_id(&mut buf)?;
@@ -521,16 +869,16 @@ impl HnswIndex {
                 }
             }
         }
+        let deleted = vec![false; nodes.len()];
         Ok(HnswIndex {
-            config: HnswConfig {
-                m,
-                ef_construction,
-                ef_search,
-                seed,
-            },
+            config,
             nodes,
             entry,
             max_level,
+            deleted,
+            dead: 0,
+            generation,
+            compactions: 0,
         })
     }
 }
@@ -540,6 +888,8 @@ impl VectorIndex for HnswIndex {
         vector.normalize();
         let ord = self.nodes.len() as u32;
         let level = self.draw_level(ord as usize);
+        self.deleted.push(false);
+        self.generation += 1;
         self.nodes.push(HnswNode {
             id,
             vector,
@@ -577,21 +927,40 @@ impl VectorIndex for HnswIndex {
         }
     }
 
+    fn remove(&mut self, id: InstanceId) -> bool {
+        let mut any = false;
+        for (ord, node) in self.nodes.iter().enumerate() {
+            if node.id == id && !self.deleted[ord] {
+                self.deleted[ord] = true;
+                self.dead += 1;
+                any = true;
+            }
+        }
+        if any {
+            self.generation += 1;
+        }
+        any
+    }
+
     fn search(&self, query: &Vector, k: usize) -> Vec<SearchHit> {
         let Some(mut entry) = self.entry else {
             return Vec::new();
         };
-        if k == 0 {
+        if k == 0 || self.dead == self.nodes.len() {
             return Vec::new();
         }
         let q = unit_query(query);
         for l in (1..=self.max_level).rev() {
             entry = self.greedy_at_layer(entry, &q, l);
         }
-        let ef = self.config.ef_search.max(k);
+        // Over-fetch by the tombstone count: dead nodes still route (their
+        // edges are intact) but cannot be returned, so widening the
+        // candidate list keeps `k` honored after filtering.
+        let ef = (self.config.ef_search.max(k) + self.dead).min(self.nodes.len());
         let found = self.search_layer(entry, &q, 0, ef);
         let mut hits: Vec<SearchHit> = found
             .into_iter()
+            .filter(|&(_, o)| !self.deleted[o as usize])
             .take(k)
             .map(|(d, o)| SearchHit::new(self.nodes[o as usize].id, 1.0 - d))
             .collect();
@@ -600,7 +969,120 @@ impl VectorIndex for HnswIndex {
     }
 
     fn len(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.dead
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend-erased index
+// ---------------------------------------------------------------------------
+
+/// Either semantic index behind one concrete type, so shard slots and the
+/// live layer can hold whichever backend the config chose while still
+/// reaching the full mutable surface (remove/compact/snapshot) that a
+/// `dyn VectorIndex` would erase.
+#[derive(Debug)]
+pub enum AnyVectorIndex {
+    /// Exact flat scan.
+    Flat(FlatIndex),
+    /// Approximate HNSW graph.
+    Hnsw(HnswIndex),
+}
+
+impl AnyVectorIndex {
+    /// The backend's short name (matches its `EvidenceSource` name).
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            AnyVectorIndex::Flat(_) => "flat",
+            AnyVectorIndex::Hnsw(_) => "hnsw",
+        }
+    }
+
+    /// Mutation generation of the wrapped index.
+    pub fn generation(&self) -> u64 {
+        match self {
+            AnyVectorIndex::Flat(i) => i.generation(),
+            AnyVectorIndex::Hnsw(i) => i.generation(),
+        }
+    }
+
+    /// Tombstoned entries in the wrapped index.
+    pub fn tombstones(&self) -> usize {
+        match self {
+            AnyVectorIndex::Flat(i) => i.tombstones(),
+            AnyVectorIndex::Hnsw(i) => i.tombstones(),
+        }
+    }
+
+    /// Compactions the wrapped index has run.
+    pub fn compactions(&self) -> u64 {
+        match self {
+            AnyVectorIndex::Flat(i) => i.compactions(),
+            AnyVectorIndex::Hnsw(i) => i.compactions(),
+        }
+    }
+
+    /// Force a compaction of the wrapped index.
+    pub fn compact(&mut self) {
+        match self {
+            AnyVectorIndex::Flat(i) => i.compact(),
+            AnyVectorIndex::Hnsw(i) => i.compact(),
+        }
+    }
+
+    /// Snapshot the wrapped index (the kind tag records which backend).
+    pub fn to_bytes(&self) -> Bytes {
+        match self {
+            AnyVectorIndex::Flat(i) => i.to_bytes(),
+            AnyVectorIndex::Hnsw(i) => i.to_bytes(),
+        }
+    }
+
+    /// Reload whichever backend the snapshot holds, dispatching on its kind
+    /// tag.
+    pub fn from_bytes(buf: Bytes) -> Result<AnyVectorIndex, PersistError> {
+        match persist::peek_kind(&buf)? {
+            x if x == SnapshotKind::Flat as u8 => {
+                Ok(AnyVectorIndex::Flat(FlatIndex::from_bytes(buf)?))
+            }
+            x if x == SnapshotKind::Hnsw as u8 => {
+                Ok(AnyVectorIndex::Hnsw(HnswIndex::from_bytes(buf)?))
+            }
+            other => Err(PersistError::BadKind {
+                expected: SnapshotKind::Flat as u8,
+                got: other,
+            }),
+        }
+    }
+}
+
+impl VectorIndex for AnyVectorIndex {
+    fn add(&mut self, id: InstanceId, vector: Vector) {
+        match self {
+            AnyVectorIndex::Flat(i) => i.add(id, vector),
+            AnyVectorIndex::Hnsw(i) => i.add(id, vector),
+        }
+    }
+
+    fn remove(&mut self, id: InstanceId) -> bool {
+        match self {
+            AnyVectorIndex::Flat(i) => VectorIndex::remove(i, id),
+            AnyVectorIndex::Hnsw(i) => VectorIndex::remove(i, id),
+        }
+    }
+
+    fn search(&self, query: &Vector, k: usize) -> Vec<SearchHit> {
+        match self {
+            AnyVectorIndex::Flat(i) => i.search(query, k),
+            AnyVectorIndex::Hnsw(i) => i.search(query, k),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            AnyVectorIndex::Flat(i) => i.len(),
+            AnyVectorIndex::Hnsw(i) => i.len(),
+        }
     }
 }
 
@@ -844,7 +1326,7 @@ mod tests {
         for (id, v) in corpus() {
             hnsw.add(id, v);
         }
-        let v2 = hnsw.to_bytes();
+        let v2 = hnsw.to_bytes_v2();
         let mut v1 = BytesMut::new();
         v1.put_slice(b"VFAI\x01");
         v1.put_u8(v2[5]); // kind
@@ -852,6 +1334,166 @@ mod tests {
         let old = HnswIndex::from_bytes(v1.freeze()).unwrap();
         let q = e.embed("championship season");
         assert_eq!(old.search(&q, 4), hnsw.search(&q, 4));
+    }
+
+    #[test]
+    fn v2_snapshots_migrate_to_equivalent_indexes() {
+        // The legacy encoders emit the exact v2 wire format; loading them
+        // must produce indexes that answer identically to the live ones
+        // (generation resets to 0 — v2 carries none).
+        let e = TextEmbedder::with_seed(11);
+        let mut flat = FlatIndex::new();
+        let mut hnsw = HnswIndex::with_defaults();
+        for (id, v) in corpus() {
+            flat.add(id, v.clone());
+            hnsw.add(id, v);
+        }
+        let flat2 = FlatIndex::from_bytes(flat.to_bytes_v2()).unwrap();
+        let hnsw2 = HnswIndex::from_bytes(hnsw.to_bytes_v2()).unwrap();
+        assert_eq!(flat2.generation(), 0);
+        assert_eq!(hnsw2.generation(), 0);
+        for q in ["jordan basketball", "election district new york"] {
+            let qv = e.embed(q);
+            assert_eq!(flat.search(&qv, 4), flat2.search(&qv, 4), "flat {q}");
+            assert_eq!(hnsw.search(&qv, 4), hnsw2.search(&qv, 4), "hnsw {q}");
+        }
+    }
+
+    #[test]
+    fn v3_load_is_zero_copy_and_keeps_state() {
+        let mut flat = FlatIndex::new();
+        let mut hnsw = HnswIndex::with_defaults();
+        for (id, v) in corpus() {
+            flat.add(id, v.clone());
+            hnsw.add(id, v);
+        }
+        flat.remove(tid(3));
+        hnsw.remove(tid(3));
+        let gen_f = flat.generation();
+        let gen_h = hnsw.generation();
+        let flat2 = FlatIndex::from_bytes(flat.to_bytes()).unwrap();
+        let hnsw2 = HnswIndex::from_bytes(hnsw.to_bytes()).unwrap();
+        assert_eq!(flat2.generation(), gen_f);
+        assert_eq!(hnsw2.generation(), gen_h);
+        assert_eq!(flat2.tombstones(), 1);
+        assert_eq!(hnsw2.tombstones(), 1);
+        assert_eq!(flat2.len(), flat.len());
+        assert_eq!(hnsw2.len(), hnsw.len());
+        // Every reloaded vector borrows the shared slab — the zero-copy path.
+        assert!(flat2.vectors.iter().all(|v| v.is_shared()));
+        assert!(hnsw2.nodes.iter().all(|n| n.vector.is_shared()));
+        // And the tombstone survives the round-trip.
+        let e = TextEmbedder::with_seed(11);
+        let q = e.embed("dance drama film stomp the yard 2007");
+        assert!(flat2.search(&q, 8).iter().all(|h| h.id != tid(3)));
+        assert!(hnsw2.search(&q, 8).iter().all(|h| h.id != tid(3)));
+    }
+
+    #[test]
+    fn flat_tombstones_skip_and_compact() {
+        let e = TextEmbedder::with_seed(11);
+        let mut idx = FlatIndex::new();
+        for (id, v) in corpus() {
+            idx.add(id, v);
+        }
+        assert_eq!(idx.len(), 8);
+        assert!(idx.remove(tid(2)));
+        assert!(!idx.remove(tid(2)), "double remove is a no-op");
+        assert_eq!(idx.len(), 7);
+        assert_eq!(idx.tombstones(), 1);
+        let hits = idx.search(&e.embed("basketball jordan bulls"), 8);
+        assert_eq!(hits.len(), 7);
+        assert!(hits.iter().all(|h| h.id != tid(2)));
+        // Removing past the half-dead threshold triggers compaction.
+        for i in [0u64, 1, 3, 4] {
+            idx.remove(tid(i));
+        }
+        assert_eq!(idx.tombstones(), 0, "compaction sheds tombstones");
+        assert!(idx.compactions() >= 1);
+        assert_eq!(idx.len(), 3);
+        let hits = idx.search(&e.embed("chicago bulls championship"), 8);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn hnsw_tombstones_overfetch_honors_k() {
+        // Delete half the corpus; searches for k=4 must still fill from the
+        // live half and never surface a tombstoned id.
+        let e = TextEmbedder::with_seed(3);
+        let mut idx = HnswIndex::with_defaults();
+        for i in 0..40u64 {
+            idx.add(tid(i), e.embed(&format!("entity {} topic {}", i, i % 5)));
+        }
+        for i in 0..20u64 {
+            assert!(idx.remove(tid(i)));
+        }
+        assert_eq!(idx.len(), 20);
+        assert_eq!(idx.tombstones(), 20);
+        let hits = idx.search(&e.embed("entity 25 topic 0"), 4);
+        assert_eq!(hits.len(), 4, "over-fetch must fill k past tombstones");
+        assert!(hits.iter().all(|h| h.id >= tid(20)));
+        // Compaction rebuilds from the live nodes and keeps answering.
+        idx.compact();
+        assert_eq!(idx.tombstones(), 0);
+        assert_eq!(idx.compactions(), 1);
+        assert_eq!(idx.len(), 20);
+        let hits2 = idx.search(&e.embed("entity 25 topic 0"), 4);
+        assert_eq!(hits2.len(), 4);
+        assert!(hits2.iter().all(|h| h.id >= tid(20)));
+    }
+
+    #[test]
+    fn any_vector_index_dispatches_and_roundtrips() {
+        let e = TextEmbedder::with_seed(11);
+        let mut any = AnyVectorIndex::Hnsw(HnswIndex::with_defaults());
+        for (id, v) in corpus() {
+            any.add(id, v);
+        }
+        assert_eq!(any.backend_name(), "hnsw");
+        assert!(any.remove(tid(1)));
+        assert_eq!(any.tombstones(), 1);
+        let back = AnyVectorIndex::from_bytes(any.to_bytes()).unwrap();
+        assert_eq!(back.backend_name(), "hnsw");
+        assert_eq!(back.len(), any.len());
+        let qv = e.embed("election district");
+        assert_eq!(any.search(&qv, 3), back.search(&qv, 3));
+        // Kind dispatch picks flat for flat snapshots.
+        let mut flat = FlatIndex::new();
+        flat.add(tid(0), e.embed("alpha"));
+        let f = AnyVectorIndex::from_bytes(flat.to_bytes()).unwrap();
+        assert_eq!(f.backend_name(), "flat");
+        // And rejects a non-vector snapshot kind outright.
+        let mut bogus = flat.to_bytes().to_vec();
+        bogus[5] = SnapshotKind::Inverted as u8;
+        assert!(AnyVectorIndex::from_bytes(Bytes::from(bogus)).is_err());
+    }
+
+    #[test]
+    fn truncated_v3_snapshots_rejected_not_garbled() {
+        // Chop a valid v3 snapshot at every prefix length; the decoder must
+        // return a typed error every time, never panic or succeed.
+        let mut flat = FlatIndex::new();
+        let mut hnsw = HnswIndex::with_defaults();
+        for (id, v) in corpus() {
+            flat.add(id, v.clone());
+            hnsw.add(id, v);
+        }
+        flat.remove(tid(0));
+        hnsw.remove(tid(0));
+        let fb = flat.to_bytes();
+        let hb = hnsw.to_bytes();
+        for cut in 0..fb.len() {
+            assert!(
+                FlatIndex::from_bytes(fb.slice(0..cut)).is_err(),
+                "flat prefix of {cut} bytes must not decode"
+            );
+        }
+        for cut in (0..hb.len()).step_by(7) {
+            assert!(
+                HnswIndex::from_bytes(hb.slice(0..cut)).is_err(),
+                "hnsw prefix of {cut} bytes must not decode"
+            );
+        }
     }
 
     #[test]

@@ -23,15 +23,19 @@ pub struct LakeStats {
     pub max_table_rows: usize,
     /// Total bytes of text (titles + bodies).
     pub total_text_bytes: usize,
+    /// Instances removed since the lake was created (live tombstones).
+    pub tombstones: usize,
+    /// The lake's current mutation generation (0 = never mutated).
+    pub generation: u64,
 }
 
 impl fmt::Display for LakeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} tables, {} tuples, {} text files, {} kg entities ({} sources, {} cells, {} text bytes)",
+            "{} tables, {} tuples, {} text files, {} kg entities ({} sources, {} cells, {} text bytes, {} tombstones, gen {})",
             self.tables, self.tuples, self.docs, self.kg_entities, self.sources,
-            self.total_cells, self.total_text_bytes
+            self.total_cells, self.total_text_bytes, self.tombstones, self.generation
         )
     }
 }

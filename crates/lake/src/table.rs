@@ -249,6 +249,25 @@ impl Table {
         })
     }
 
+    /// Remove row `i`, shifting later rows down one index. Returns the
+    /// removed values, or `None` when `i` is out of range.
+    ///
+    /// Callers that track row positions externally (the lake's tuple
+    /// directory) must decrement every tracked index greater than `i`.
+    pub fn remove_row(&mut self, i: usize) -> Option<Vec<Value>> {
+        if i >= self.rows.len() {
+            return None;
+        }
+        Some(self.rows.remove(i))
+    }
+
+    /// Take ownership of all rows, leaving the table empty. Used by the
+    /// lake's batch-ingest wrapper to replay rows through the incremental
+    /// per-tuple path.
+    pub fn take_rows(&mut self) -> Vec<Vec<Value>> {
+        std::mem::take(&mut self.rows)
+    }
+
     /// Rows whose value in `col` matches `value` (normalized matching).
     pub fn select_eq(&self, col: usize, value: &Value) -> Vec<usize> {
         self.rows

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use verifai::{StageTiming, Verdict};
+use verifai::{LiveLakeStats, StageTiming, Verdict};
 use verifai_obs::{
     ns_between, Counter, FlightRecorder, FloatGauge, Gauge, Histogram, HistogramSnapshot,
     ObsConfig, Registry, RegistrySnapshot, RequestTrace, TraceId,
@@ -243,6 +243,90 @@ impl TenantSeries {
     }
 }
 
+/// Live-lake gauges, refreshed from [`verifai::VerifAi::live_stats`] at
+/// snapshot time (like the cache gauges). All zero for externally-sourced
+/// systems, which own no live indexes.
+struct LakeObs {
+    generation: Arc<Gauge>,
+    mutations: Arc<Gauge>,
+    /// Tombstone counts by family: lake, content, semantic.
+    tombstones: [Arc<Gauge>; 3],
+    content_docs: Arc<Gauge>,
+    content_segments: Arc<Gauge>,
+    semantic_vectors: Arc<Gauge>,
+    /// Compaction counts by family: content, semantic.
+    compactions: [Arc<Gauge>; 2],
+}
+
+impl LakeObs {
+    fn new(registry: &Registry) -> LakeObs {
+        let tombstone = |family: &str| {
+            registry.gauge(
+                "verifai_lake_tombstones",
+                "Logically deleted entries awaiting compaction, by family",
+                &[("family", family)],
+            )
+        };
+        let compaction = |family: &str| {
+            registry.gauge(
+                "verifai_lake_compactions",
+                "Index compaction passes since build, by family",
+                &[("family", family)],
+            )
+        };
+        LakeObs {
+            generation: registry.gauge(
+                "verifai_lake_generation",
+                "The lake's monotone structural-write generation",
+                &[],
+            ),
+            mutations: registry.gauge(
+                "verifai_lake_mutations",
+                "Streaming mutations applied since build",
+                &[],
+            ),
+            tombstones: [
+                tombstone("lake"),
+                tombstone("content"),
+                tombstone("semantic"),
+            ],
+            content_docs: registry.gauge(
+                "verifai_lake_content_docs",
+                "Live documents across the content (BM25) indexes",
+                &[],
+            ),
+            content_segments: registry.gauge(
+                "verifai_lake_content_segments",
+                "Sealed content segments standing across modalities",
+                &[],
+            ),
+            semantic_vectors: registry.gauge(
+                "verifai_lake_semantic_vectors",
+                "Live vectors across the semantic indexes",
+                &[],
+            ),
+            compactions: [compaction("content"), compaction("semantic")],
+        }
+    }
+
+    fn refresh(&self, stats: &LiveLakeStats) {
+        let clamp = |v: u64| v.min(i64::MAX as u64) as i64;
+        self.generation.set(clamp(stats.generation));
+        self.mutations.set(clamp(stats.mutations));
+        self.tombstones[0].set(stats.lake_tombstones.min(i64::MAX as usize) as i64);
+        self.tombstones[1].set(stats.content_tombstones.min(i64::MAX as usize) as i64);
+        self.tombstones[2].set(stats.semantic_tombstones.min(i64::MAX as usize) as i64);
+        self.content_docs
+            .set(stats.content_docs.min(i64::MAX as usize) as i64);
+        self.content_segments
+            .set(stats.content_segments.min(i64::MAX as usize) as i64);
+        self.semantic_vectors
+            .set(stats.semantic_vectors.min(i64::MAX as usize) as i64);
+        self.compactions[0].set(clamp(stats.content_compactions));
+        self.compactions[1].set(clamp(stats.semantic_compactions));
+    }
+}
+
 /// All metrics, traces, and retention for one [`crate::VerificationService`].
 pub struct ServiceObs {
     config: ObsConfig,
@@ -270,6 +354,10 @@ pub struct ServiceObs {
     cache_misses: Arc<Gauge>,
     cache_evictions: Arc<Gauge>,
     cache_entries: Arc<Gauge>,
+
+    // Live-lake gauges, refreshed from `VerifAi::live_stats` at snapshot
+    // time.
+    lake: LakeObs,
 
     // Gated distributions and verdict accounting.
     latency: Arc<Histogram>,
@@ -389,6 +477,7 @@ impl ServiceObs {
                 "Evidence-cache resident entries",
                 &[],
             ),
+            lake: LakeObs::new(&registry),
             latency: registry.histogram(
                 "verifai_request_latency_seconds",
                 "End-to-end latency of completed requests (enqueue to reply)",
@@ -658,6 +747,12 @@ impl ServiceObs {
             not_related: self.verdicts[2].get(),
             unknown: self.verdicts[3].get(),
         }
+    }
+
+    /// Refresh the `verifai_lake_*` gauges from the system's live-lake
+    /// state; the service calls this just before [`ServiceObs::snapshot`].
+    pub fn refresh_lake(&self, stats: &LiveLakeStats) {
+        self.lake.refresh(stats);
     }
 
     /// Freeze every series for export, refreshing the gauges that mirror

@@ -364,6 +364,7 @@ impl VerificationService {
             queue_depth: self.queue_depth(),
             in_flight: obs.in_flight(),
             index_build_ns: self.inner.system.build_stats().index_ns,
+            lake: self.inner.system.live_stats(),
             stages: obs.stage_totals(),
             stage_latency: obs.stage_latency_snapshot(),
             verdicts: obs.verdict_counts(),
@@ -391,6 +392,7 @@ impl VerificationService {
             .as_ref()
             .map(EvidenceCache::stats)
             .unwrap_or_default();
+        self.inner.obs.refresh_lake(&self.inner.system.live_stats());
         render_prometheus(&self.inner.obs.snapshot(self.queue_depth(), &cache))
     }
 
@@ -402,6 +404,7 @@ impl VerificationService {
             .as_ref()
             .map(EvidenceCache::stats)
             .unwrap_or_default();
+        self.inner.obs.refresh_lake(&self.inner.system.live_stats());
         render_json(&self.inner.obs.snapshot(self.queue_depth(), &cache))
     }
 

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use verifai::LiveLakeStats;
 use verifai_obs::HistogramSnapshot;
 
 use crate::cache::CacheStats;
@@ -138,6 +139,9 @@ pub struct ServiceStats {
     /// indexes this service answers from (a one-off start-up cost, not a
     /// per-request stage).
     pub index_build_ns: u64,
+    /// Live-lake health: generation, mutation count, tombstones, segments,
+    /// and compactions (all zero for externally-sourced systems).
+    pub lake: LiveLakeStats,
     /// Evidence-cache counters (all zero when caching is disabled).
     pub cache: CacheStats,
     /// Per-stage time and candidate totals across completed requests.
@@ -194,6 +198,18 @@ impl ServiceStats {
         self.queue_depth += other.queue_depth;
         self.in_flight += other.in_flight;
         self.index_build_ns = self.index_build_ns.max(other.index_build_ns);
+        // Shards mutate one shared lake: generation is a watermark (max),
+        // while per-shard index counts add up to the cluster totals.
+        self.lake.generation = self.lake.generation.max(other.lake.generation);
+        self.lake.mutations += other.lake.mutations;
+        self.lake.lake_tombstones += other.lake.lake_tombstones;
+        self.lake.content_docs += other.lake.content_docs;
+        self.lake.content_tombstones += other.lake.content_tombstones;
+        self.lake.content_segments += other.lake.content_segments;
+        self.lake.content_compactions += other.lake.content_compactions;
+        self.lake.semantic_vectors += other.lake.semantic_vectors;
+        self.lake.semantic_tombstones += other.lake.semantic_tombstones;
+        self.lake.semantic_compactions += other.lake.semantic_compactions;
         self.cache.hits += other.cache.hits;
         self.cache.misses += other.cache.misses;
         self.cache.evictions += other.cache.evictions;
@@ -341,6 +357,20 @@ impl fmt::Display for ServiceStats {
                 self.stage_latency.retrieval.quantile(0.95),
                 self.stage_latency.rerank.quantile(0.95),
                 self.stage_latency.verify.quantile(0.95)
+            )?;
+        }
+        if self.lake.mutations > 0 || self.lake.generation > 0 {
+            writeln!(
+                f,
+                "lake:     gen {} | mutations {} | tombstones {} lake / {} content / {} semantic | segments {} | compactions {} content / {} semantic",
+                self.lake.generation,
+                self.lake.mutations,
+                self.lake.lake_tombstones,
+                self.lake.content_tombstones,
+                self.lake.semantic_tombstones,
+                self.lake.content_segments,
+                self.lake.content_compactions,
+                self.lake.semantic_compactions
             )?;
         }
         writeln!(

@@ -32,3 +32,9 @@ cargo bench -q -p verifai-bench --bench service_bench -- --test obs_overhead_art
 
 echo "==> artifact:"
 cat BENCH_service.json
+
+echo "==> lake_bench (tiny scale)"
+VERIFAI_BENCH_SCALE=tiny cargo bench -q -p verifai-bench --bench lake_bench
+
+echo "==> artifact:"
+cat BENCH_lake.json

@@ -22,6 +22,15 @@ cargo clippy -p verifai-service --all-targets -- -D warnings
 echo "==> cargo clippy -p verifai-cluster -D warnings"
 cargo clippy -p verifai-cluster --all-targets -- -D warnings
 
+# The live-lake refactor made these two crates the mutable core of the
+# data path (generations, tombstones, segments, snapshot v3); gate them
+# explicitly like the serving crates above.
+echo "==> cargo clippy -p verifai-lake -D warnings"
+cargo clippy -p verifai-lake --all-targets -- -D warnings
+
+echo "==> cargo clippy -p verifai-index -D warnings"
+cargo clippy -p verifai-index --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -44,6 +53,13 @@ echo "==> sharded multi-tenant smoke (gating)"
 cargo run -q --release --bin verifai-serve -- \
   --requests 120 --shards 4 --tenants acme:3,beta:1,free:1 \
   --canary-every 10 --slowest 0 > /dev/null
+
+# Gating live-lake smoke: build a live system, stream documents in,
+# delete half, compact, snapshot the standing indexes, reload them, and
+# verify the reloaded indexes search identically. Nonzero exit means the
+# live mutation path or snapshot v3 round-trip broke.
+echo "==> live-lake smoke (gating)"
+cargo run -q --release --bin verifai-cli -- live > /dev/null
 
 # Non-gating: refresh the kernel benchmark artifact. Numbers are
 # smoke-level at tiny scale; failures here don't fail the gate.

@@ -5,6 +5,8 @@
 //! verifai-cli search <kind> <query...>         ad-hoc retrieval over a tiny lake
 //! verifai-cli check <table.csv> <claim...>     verify a claim against your own CSV table
 //! verifai-cli experiments [tiny|small|paper]   run the paper's full evaluation
+//! verifai-cli live [tiny|small|paper]          live-lake smoke: ingest, delete,
+//!                                              compact, snapshot, reload, query
 //! ```
 //!
 //! `check` is the adoption flow: bring a CSV table, state a claim in the
@@ -146,13 +148,139 @@ fn cmd_experiments(scale: Option<&str>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Gating live-lake smoke (used by `scripts/check.sh`): build a live
+/// system, stream documents in, delete half, compact, snapshot the
+/// standing text indexes, reload them, and check the reloaded indexes
+/// search identically. Any violated expectation exits nonzero.
+fn cmd_live(scale: Option<&str>) -> ExitCode {
+    use verifai::LakeMutation;
+    use verifai_index::{save_atomic, AnyVectorIndex, SegmentedInvertedIndex, VectorIndex};
+    use verifai_lake::{InstanceId, TextDocument};
+
+    fn fail(step: &str, detail: String) -> ExitCode {
+        eprintln!("live smoke FAILED at {step}: {detail}");
+        ExitCode::FAILURE
+    }
+
+    let config = VerifAiConfig::default();
+    let t0 = std::time::Instant::now();
+    let mut system = VerifAi::build(verifai_datagen::build(&spec_of(scale)), config);
+    println!("built in {:?}: {}", t0.elapsed(), system.lake().stats());
+
+    // Ingest: stream documents with per-doc marker tokens.
+    let base: u64 = 80_000;
+    let n: u64 = 40;
+    for i in 0..n {
+        let outcome = system.apply(LakeMutation::AddDoc(TextDocument::new(
+            base + i,
+            format!("Streamed bulletin {i}"),
+            format!("Streamed bulletin bulletintoken{i}: filed with the commission."),
+            0,
+        )));
+        if let Err(e) = outcome {
+            return fail("ingest", format!("doc {i}: {e}"));
+        }
+    }
+    let hits = system.retrieve("streamed bulletin commission", InstanceKind::Text, 5);
+    if !hits
+        .iter()
+        .any(|h| matches!(h.id, InstanceId::Text(d) if d >= base))
+    {
+        return fail("ingest", "no streamed doc in top-5".into());
+    }
+    println!(
+        "ingested {n} docs, generation {}",
+        system.lake().generation()
+    );
+
+    // Delete half, then verify a deleted doc is unreachable by its marker.
+    for i in 0..n / 2 {
+        if let Err(e) = system.apply(LakeMutation::RemoveDoc(base + i)) {
+            return fail("delete", format!("doc {i}: {e}"));
+        }
+    }
+    let gone = system.retrieve("bulletintoken3", InstanceKind::Text, 5);
+    if gone.iter().any(|h| h.id == InstanceId::Text(base + 3)) {
+        return fail("delete", "removed doc still retrievable".into());
+    }
+
+    // Compact: every tombstone must drain.
+    system.compact_live(2);
+    let stats = system.live_stats();
+    if stats.content_tombstones != 0 || stats.semantic_tombstones != 0 {
+        return fail(
+            "compact",
+            format!(
+                "tombstones remain: content {} semantic {}",
+                stats.content_tombstones, stats.semantic_tombstones
+            ),
+        );
+    }
+    println!(
+        "deleted {} docs, compacted ({} content + {} semantic compactions)",
+        n / 2,
+        stats.content_compactions,
+        stats.semantic_compactions
+    );
+
+    // Snapshot the standing text-modality indexes (slot 2) and reload.
+    let Some(live) = system.live() else {
+        return fail("snapshot", "system is not live".into());
+    };
+    let dir = std::env::temp_dir();
+    let content_path = dir.join("verifai_live_smoke_content.snap");
+    let content_bytes = live.content[2].read().to_bytes();
+    if let Err(e) = save_atomic(&content_path, &content_bytes) {
+        return fail("snapshot", format!("content save: {e}"));
+    }
+    let reloaded = match std::fs::read(&content_path)
+        .map_err(|e| e.to_string())
+        .and_then(|b| SegmentedInvertedIndex::from_bytes(b.into()).map_err(|e| e.to_string()))
+    {
+        Ok(idx) => idx,
+        Err(e) => return fail("reload", format!("content: {e}")),
+    };
+    let _ = std::fs::remove_file(&content_path);
+    let probe = "streamed bulletin commission filing";
+    let want = live.content[2].read().search(probe, 5);
+    let got = reloaded.search(probe, 5);
+    if got != want {
+        return fail("query", format!("content diverged: {got:?} vs {want:?}"));
+    }
+
+    if let Some(semantic) = &live.semantic[2] {
+        let semantic_path = dir.join("verifai_live_smoke_semantic.snap");
+        let bytes = semantic.read().to_bytes();
+        if let Err(e) = save_atomic(&semantic_path, &bytes) {
+            return fail("snapshot", format!("semantic save: {e}"));
+        }
+        let reloaded = match std::fs::read(&semantic_path)
+            .map_err(|e| e.to_string())
+            .and_then(|b| AnyVectorIndex::from_bytes(b.into()).map_err(|e| e.to_string()))
+        {
+            Ok(idx) => idx,
+            Err(e) => return fail("reload", format!("semantic: {e}")),
+        };
+        let _ = std::fs::remove_file(&semantic_path);
+        let vector = verifai::corpus::embedder_for(&VerifAiConfig::default()).embed(probe);
+        let want = VectorIndex::search(&*semantic.read(), &vector, 5);
+        let got = VectorIndex::search(&reloaded, &vector, 5);
+        if got != want {
+            return fail("query", format!("semantic diverged: {got:?} vs {want:?}"));
+        }
+    }
+    println!("snapshot + reload verified; live smoke OK");
+    ExitCode::SUCCESS
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n\
          \x20 verifai-cli lake [tiny|small|paper]\n\
          \x20 verifai-cli search <tuple|table|text|kg> <query...>\n\
          \x20 verifai-cli check <table.csv> <claim...>\n\
-         \x20 verifai-cli experiments [tiny|small|paper]"
+         \x20 verifai-cli experiments [tiny|small|paper]\n\
+         \x20 verifai-cli live [tiny|small|paper]"
     );
     ExitCode::FAILURE
 }
@@ -164,6 +292,7 @@ fn main() -> ExitCode {
         Some("search") if args.len() >= 3 => cmd_search(&args[1], &args[2..].join(" ")),
         Some("check") if args.len() >= 3 => cmd_check(&args[1], &args[2..].join(" ")),
         Some("experiments") => cmd_experiments(args.get(1).map(|s| s.as_str())),
+        Some("live") => cmd_live(args.get(1).map(|s| s.as_str())),
         _ => usage(),
     }
 }

@@ -1,0 +1,250 @@
+//! Satellite: the live lake's headline equivalence property.
+//!
+//! Any interleaved ingest/update/delete/query history applied to a live
+//! system must leave it retrieving — and verifying — exactly as a fresh
+//! batch build over the *surviving* corpus would. Exercised three ways:
+//!
+//! * content-only (`paper_setting`) — isolates the segmented inverted
+//!   index against its monolithic-equivalent batch build;
+//! * flat semantic backend — byte-identity across fused retrieval and
+//!   full verification reports;
+//! * HNSW backend — insertion-history dependent, so equivalence weakens
+//!   to recall against its own fresh batch build.
+
+use proptest::prelude::*;
+use verifai::{LakeMutation, SemanticBackend, VerifAi, VerifAiConfig};
+use verifai_claims::ClaimGenConfig;
+use verifai_datagen::{build, claim_workload, LakeSpec};
+use verifai_lake::{InstanceKind, TextDocument, Value};
+
+const KINDS: [InstanceKind; 4] = [
+    InstanceKind::Tuple,
+    InstanceKind::Table,
+    InstanceKind::Text,
+    InstanceKind::Kg,
+];
+
+fn flat_config() -> VerifAiConfig {
+    VerifAiConfig {
+        semantic_backend: SemanticBackend::Flat,
+        ..VerifAiConfig::default()
+    }
+}
+
+/// xorshift64* — enough randomness for op selection, fully deterministic.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn doc_body(tag: u64) -> String {
+    format!(
+        "Streamed bulletin {tag}: the district incumbent filed report {tag} with the commission."
+    )
+}
+
+/// Generate a valid interleaved mutation script by replaying each candidate
+/// op against a scratch copy of the lake — so updates and removals can
+/// target instances created earlier in the same history (including re-adds
+/// of tombstoned doc ids), and every op is legal when the test replays it.
+fn script(spec: &LakeSpec, seed: u64, len: usize) -> Vec<LakeMutation> {
+    let mut scratch = build(spec).lake;
+    let tables: Vec<_> = scratch.tables().map(|t| (t.id, t.schema.arity())).collect();
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::with_capacity(len);
+    let mut next_doc: u64 = 9_000; // clear of every generated doc id
+    while out.len() < len {
+        let docs: Vec<_> = scratch.docs().map(|d| d.id).collect();
+        let tuples: Vec<_> = scratch.tuple_ids().collect();
+        let mutation = match rng.below(7) {
+            0 => {
+                let id = next_doc;
+                next_doc += 1;
+                LakeMutation::AddDoc(TextDocument::new(
+                    id,
+                    format!("Bulletin {id}"),
+                    doc_body(id),
+                    0,
+                ))
+            }
+            1 if !docs.is_empty() => {
+                let id = docs[rng.below(docs.len())];
+                let tag = rng.next() % 50;
+                LakeMutation::UpdateDoc {
+                    id,
+                    title: format!("Revised bulletin {tag}"),
+                    body: doc_body(tag),
+                }
+            }
+            2 if docs.len() > 2 => LakeMutation::RemoveDoc(docs[rng.below(docs.len())]),
+            3 => {
+                let (table, arity) = tables[rng.below(tables.len())];
+                let tag = rng.next() % 40;
+                LakeMutation::AddTuple {
+                    table,
+                    values: (0..arity)
+                        .map(|c| Value::text(format!("streamed{tag}c{c}")))
+                        .collect(),
+                }
+            }
+            4 if !tuples.is_empty() => {
+                let id = tuples[rng.below(tuples.len())];
+                let arity = scratch.tuple(id).expect("live tuple").values.len();
+                let tag = rng.next() % 40;
+                LakeMutation::UpdateTuple {
+                    id,
+                    values: (0..arity)
+                        .map(|c| Value::text(format!("revised{tag}c{c}")))
+                        .collect(),
+                }
+            }
+            5 if tuples.len() > 4 => LakeMutation::RemoveTuple(tuples[rng.below(tuples.len())]),
+            _ => {
+                let id = next_doc;
+                next_doc += 1;
+                LakeMutation::AddDoc(TextDocument::new(
+                    id,
+                    format!("Bulletin {id}"),
+                    doc_body(id),
+                    0,
+                ))
+            }
+        };
+        verifai::mutate_lake(&mut scratch, mutation.clone()).expect("script op is valid");
+        out.push(mutation);
+    }
+    out
+}
+
+/// The batch reference: apply the same history to a freshly generated lake
+/// *before* indexing, so the build only ever sees the surviving corpus.
+fn batch_reference(spec: &LakeSpec, history: &[LakeMutation], config: VerifAiConfig) -> VerifAi {
+    let mut generated = build(spec);
+    for mutation in history {
+        verifai::mutate_lake(&mut generated.lake, mutation.clone()).expect("replay is valid");
+    }
+    VerifAi::build(generated, config)
+}
+
+/// The live system: batch-build the original corpus, then stream the
+/// history through `apply`, interleaving queries to exercise concurrent
+/// read paths mid-history.
+fn live_system(spec: &LakeSpec, history: &[LakeMutation], config: VerifAiConfig) -> VerifAi {
+    let mut sys = VerifAi::build(build(spec), config);
+    for (i, mutation) in history.iter().enumerate() {
+        sys.apply(mutation.clone()).expect("live apply succeeds");
+        if i % 3 == 0 {
+            // Interleaved query: must not panic or observe torn state.
+            let hits = sys.retrieve("district incumbent report", InstanceKind::Text, 5);
+            assert!(hits.len() <= 5);
+        }
+    }
+    sys
+}
+
+/// Probe queries: claim texts over surviving tables plus synthetic queries
+/// that only match streamed-in documents.
+fn probe_queries(reference: &VerifAi) -> Vec<String> {
+    let claims = claim_workload(reference.generated(), 6, ClaimGenConfig::default());
+    let mut queries: Vec<String> = claims
+        .iter()
+        .map(|c| VerifAi::query_of(&reference.claim_object(c)))
+        .collect();
+    queries.push("Bulletin 9000 district incumbent report".into());
+    queries.push("streamed bulletin commission filing".into());
+    queries
+}
+
+fn assert_identical(live: &VerifAi, reference: &VerifAi, label: &str) {
+    for query in probe_queries(reference) {
+        for kind in KINDS {
+            let want = reference.retrieve(&query, kind, 10);
+            let got = live.retrieve(&query, kind, 10);
+            assert_eq!(
+                got, want,
+                "[{label}] retrieve diverged: kind={kind:?} query={query:?}"
+            );
+        }
+    }
+    // Full verification reports over the surviving tables must match too.
+    for claim in claim_workload(reference.generated(), 6, ClaimGenConfig::default()) {
+        let object = reference.claim_object(&claim);
+        let want = reference.verify_object(&object);
+        let got = live.verify_object(&object);
+        assert_eq!(
+            got, want,
+            "[{label}] report diverged for claim: {}",
+            claim.text
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Interleaved history ≡ fresh batch build of the surviving corpus —
+    /// byte-identical retrieval and verification for the exact backends
+    /// (segmented inverted index alone, then fused with the flat vector
+    /// index).
+    #[test]
+    fn interleaved_history_equals_batch_build_of_survivors(seed in 0u64..1000) {
+        let spec = LakeSpec::tiny(seed % 97);
+        let history = script(&spec, seed, 24);
+
+        for (config, label) in [
+            (VerifAiConfig::paper_setting(), "content-only"),
+            (flat_config(), "flat-fused"),
+        ] {
+            let live = live_system(&spec, &history, config);
+            let reference = batch_reference(&spec, &history, config);
+            prop_assert_eq!(
+                live.lake().generation(),
+                reference.lake().generation(),
+                "generations diverged for {}", label
+            );
+            assert_identical(&live, &reference, label);
+        }
+    }
+}
+
+/// HNSW is insertion-history dependent: streaming inserts grow the graph
+/// incrementally, a batch build inserts in corpus order — so equivalence
+/// weakens from byte-identity to recall against the fresh batch build.
+#[test]
+fn hnsw_live_history_recalls_its_batch_build() {
+    let spec = LakeSpec::tiny(17);
+    let history = script(&spec, 17, 24);
+    let live = live_system(&spec, &history, VerifAiConfig::default());
+    let reference = batch_reference(&spec, &history, VerifAiConfig::default());
+
+    let (mut found, mut wanted) = (0usize, 0usize);
+    for query in probe_queries(&reference) {
+        for kind in KINDS {
+            let want = reference.retrieve(&query, kind, 8);
+            let got = live.retrieve(&query, kind, 8);
+            wanted += want.len();
+            found += want
+                .iter()
+                .filter(|w| got.iter().any(|g| g.id == w.id))
+                .count();
+        }
+    }
+    assert!(wanted > 0, "reference returned nothing");
+    let recall = found as f64 / wanted as f64;
+    assert!(
+        recall >= 0.7,
+        "live HNSW recall vs batch build too low: {recall:.3} ({found}/{wanted})"
+    );
+}

@@ -288,7 +288,18 @@ fn exporters_render_service_metrics() {
     assert!(text.contains("# TYPE verifai_request_latency_seconds summary"));
     assert!(text.contains("verifai_stage_latency_seconds{stage=\"verify\",quantile=\"0.5\"}"));
     assert!(text.contains("verifai_queue_depth 0"));
+    // Live-lake gauges ride both exporters, refreshed from live_stats():
+    // a fresh build has a nonzero generation and zero tombstones.
+    assert!(text.contains("# TYPE verifai_lake_generation gauge"));
+    assert!(text.contains("verifai_lake_tombstones{family=\"content\"} 0"));
     let json = service.render_json_snapshot();
+    assert!(
+        json.as_object()
+            .and_then(|o| o.get("verifai_lake_generation"))
+            .and_then(|v| v.as_f64())
+            .is_some_and(|g| g > 0.0),
+        "lake generation gauge missing from JSON export"
+    );
     let object = json.as_object().expect("top-level object");
     assert_eq!(
         object
