@@ -18,8 +18,8 @@ use verifai::{VerifAi, VerifAiConfig};
 use verifai_bench::BenchScale;
 use verifai_datagen::build;
 use verifai_embed::kernel::{dot_scalar, dot_unit};
-use verifai_embed::{TextEmbedder, TokenEmbedder, Vector};
-use verifai_index::{FlatIndex, HnswIndex, VectorIndex};
+use verifai_embed::{quant, TextEmbedder, TokenEmbedder, Vector};
+use verifai_index::{FlatIndex, HnswConfig, HnswIndex, SearchHit, VectorIndex};
 use verifai_lake::InstanceId;
 use verifai_rerank::colbert::ColbertReranker;
 
@@ -45,6 +45,18 @@ fn best_ns(reps: usize, mut f: impl FnMut()) -> u64 {
         best = best.min(start.elapsed().as_nanos() as u64);
     }
     best
+}
+
+/// Fraction of `want`'s ids that `got` recovered (recall@|want|).
+fn recall(got: &[SearchHit], want: &[SearchHit]) -> f64 {
+    if want.is_empty() {
+        return 1.0;
+    }
+    let found = want
+        .iter()
+        .filter(|w| got.iter().any(|g| g.id == w.id))
+        .count();
+    found as f64 / want.len() as f64
 }
 
 fn main() {
@@ -106,6 +118,138 @@ fn main() {
         "flat_index top-10 over {n_vectors}: {:.3} ms",
         flat_search_ns as f64 / 1e6
     );
+
+    // --- Int8 quantized scan: f32 kernel vs i8 kernel --------------------
+    // Same corpus, codes encoded once (as the index sidecar keeps them);
+    // the quantized sweep reads a quarter of the bytes per vector.
+    let encoded: Vec<(Vec<i8>, f32)> = corpus
+        .iter()
+        .map(|v| quant::quantize(v.as_slice()))
+        .collect();
+    let (qcodes, qscale) = quant::quantize(query.as_slice());
+    let quant_ns = best_ns(5, || {
+        let mut acc = 0.0f32;
+        for (codes, scale) in &encoded {
+            acc += quant::dot_i8(codes, &qcodes) as f32 * (scale * qscale);
+        }
+        std::hint::black_box(acc);
+    });
+    let quant_per_vec = quant_ns as f64 / n_vectors as f64;
+    let quant_speedup = kernel_per_vec / quant_per_vec.max(1e-9);
+    eprintln!(
+        "quantized_scan ({n_vectors} x {dim}): f32 kernel {kernel_per_vec:.1} ns/vec, \
+         int8 kernel {quant_per_vec:.1} ns/vec, speedup {quant_speedup:.2}x"
+    );
+
+    // End-to-end: exact FlatIndex::search vs the quantized two-phase scan.
+    let mut flat_quant = FlatIndex::new_quantized(4);
+    for (i, v) in corpus.iter().enumerate() {
+        flat_quant.add(InstanceId::Text(i as u64), v.clone());
+    }
+    let quant_search_ns = best_ns(5, || {
+        std::hint::black_box(flat_quant.search(&query, 10));
+    });
+    eprintln!(
+        "flat_index quantized top-10 over {n_vectors}: {:.3} ms (exact {:.3} ms)",
+        quant_search_ns as f64 / 1e6,
+        flat_search_ns as f64 / 1e6,
+    );
+
+    // --- Multi-query blocked scan vs B independent scans -----------------
+    let batch_queries: Vec<Vector> = (0..8)
+        .map(|i| embedder.embed(&format!("entity topic attribute probe {i}")))
+        .collect();
+    let independent_ns = best_ns(5, || {
+        for q in &batch_queries {
+            std::hint::black_box(flat.search(q, 10));
+        }
+    });
+    let batched_ns = best_ns(5, || {
+        std::hint::black_box(flat.search_batch(&batch_queries, 10));
+    });
+    let batch_speedup = independent_ns as f64 / batched_ns.max(1) as f64;
+    eprintln!(
+        "batched_scan (B={} over {n_vectors}): independent {:.3} ms, blocked {:.3} ms, \
+         speedup {batch_speedup:.2}x",
+        batch_queries.len(),
+        independent_ns as f64 / 1e6,
+        batched_ns as f64 / 1e6,
+    );
+
+    // --- Recall/latency frontier -----------------------------------------
+    // Exact flat top-10 is ground truth; the quantized scan sweeps its
+    // rescore over-fetch and HNSW sweeps its candidate-list width.
+    let frontier_queries: Vec<Vector> = (0..16)
+        .map(|i| embedder.embed(&format!("frontier probe {} topic {}", i, i % 5)))
+        .collect();
+    let truth: Vec<Vec<SearchHit>> = frontier_queries
+        .iter()
+        .map(|q| flat.search(q, 10))
+        .collect();
+    let mut quant_frontier = Vec::new();
+    for rescore_factor in [1usize, 2, 4, 8] {
+        flat_quant.set_quantized(true, rescore_factor);
+        let ns = best_ns(3, || {
+            for q in &frontier_queries {
+                std::hint::black_box(flat_quant.search(q, 10));
+            }
+        });
+        let mean_recall = frontier_queries
+            .iter()
+            .zip(&truth)
+            .map(|(q, want)| recall(&flat_quant.search(q, 10), want))
+            .sum::<f64>()
+            / frontier_queries.len() as f64;
+        let per_query_us = ns as f64 / frontier_queries.len() as f64 / 1e3;
+        eprintln!(
+            "frontier quantized rescore_factor={rescore_factor}: \
+             recall@10 {mean_recall:.3}, {per_query_us:.1} us/query"
+        );
+        quant_frontier.push(serde_json::json!({
+            "rescore_factor": rescore_factor,
+            "recall_at_10": mean_recall,
+            "us_per_query": per_query_us,
+        }));
+    }
+    let mut hnsw_probe = HnswIndex::new(HnswConfig::default());
+    for (i, v) in corpus.iter().take(hnsw_n).enumerate() {
+        hnsw_probe.add(InstanceId::Text(i as u64), v.clone());
+    }
+    let hnsw_truth: Vec<Vec<SearchHit>> = {
+        let mut exact = FlatIndex::new();
+        for (i, v) in corpus.iter().take(hnsw_n).enumerate() {
+            exact.add(InstanceId::Text(i as u64), v.clone());
+        }
+        frontier_queries
+            .iter()
+            .map(|q| exact.search(q, 10))
+            .collect()
+    };
+    let mut hnsw_frontier = Vec::new();
+    for ef_search in [16usize, 32, 64, 128] {
+        hnsw_probe.set_ef_search(ef_search);
+        let ns = best_ns(3, || {
+            for q in &frontier_queries {
+                std::hint::black_box(hnsw_probe.search(q, 10));
+            }
+        });
+        let mean_recall = frontier_queries
+            .iter()
+            .zip(&hnsw_truth)
+            .map(|(q, want)| recall(&hnsw_probe.search(q, 10), want))
+            .sum::<f64>()
+            / frontier_queries.len() as f64;
+        let per_query_us = ns as f64 / frontier_queries.len() as f64 / 1e3;
+        eprintln!(
+            "frontier hnsw ef_search={ef_search}: \
+             recall@10 {mean_recall:.3}, {per_query_us:.1} us/query"
+        );
+        hnsw_frontier.push(serde_json::json!({
+            "ef_search": ef_search,
+            "recall_at_10": mean_recall,
+            "us_per_query": per_query_us,
+        }));
+    }
 
     // --- HNSW build ------------------------------------------------------
     let hnsw_entries: Vec<(InstanceId, Vector)> = corpus
@@ -184,6 +328,27 @@ fn main() {
             "scalar_ns_per_vector": scalar_per_vec,
             "kernel_ns_per_vector": kernel_per_vec,
             "speedup": flat_speedup,
+        },
+        "quantized_scan": {
+            "vectors": n_vectors,
+            "dim": dim,
+            "f32_ns_per_vector": kernel_per_vec,
+            "int8_ns_per_vector": quant_per_vec,
+            "speedup": quant_speedup,
+            "exact_search_ms": flat_search_ns as f64 / 1e6,
+            "quantized_search_ms": quant_search_ns as f64 / 1e6,
+        },
+        "batched_scan": {
+            "batch": batch_queries.len(),
+            "vectors": n_vectors,
+            "independent_ms": independent_ns as f64 / 1e6,
+            "blocked_ms": batched_ns as f64 / 1e6,
+            "speedup": batch_speedup,
+        },
+        "frontier": {
+            "queries": frontier_queries.len(),
+            "quantized": quant_frontier,
+            "hnsw": hnsw_frontier,
         },
         "hnsw_build": {
             "inserts": hnsw_n,

@@ -141,6 +141,8 @@ pub fn build_cluster_with_clock(
     // Build every (modality, shard) index pair in parallel.
     type BuiltPair = (SegmentedInvertedIndex, Option<AnyVectorIndex>);
     let backend = config.semantic_backend;
+    let quantized = config.quantized;
+    let rescore_factor = config.rescore_factor;
     let seed = config.seed ^ 0x45a1;
     let mut built: Vec<Option<BuiltPair>> = (0..4 * n).map(|_| None).collect();
     {
@@ -162,6 +164,9 @@ pub fn build_cluster_with_clock(
                                     seed,
                                     ..HnswConfig::default()
                                 }))
+                            }
+                            SemanticBackend::Flat if quantized => {
+                                AnyVectorIndex::Flat(FlatIndex::new_quantized(rescore_factor))
                             }
                             SemanticBackend::Flat => AnyVectorIndex::Flat(FlatIndex::new()),
                         };

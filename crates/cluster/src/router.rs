@@ -326,6 +326,100 @@ impl Router {
         merge_topk(&lists, k)
     }
 
+    /// Scatter one member's whole query batch: one job per shard carries
+    /// every query, so a flat semantic shard amortizes a single blocked
+    /// sweep of its code array across the batch (and a content shard takes
+    /// its read lock once). Returns the per-query merged lists in `queries`
+    /// order, identical to per-query [`Router::scatter_member`] calls.
+    fn scatter_member_batch(
+        &self,
+        slot: usize,
+        member: Member,
+        queries: &[SourceQuery<'_>],
+        k: usize,
+    ) -> Vec<Vec<SearchHit>> {
+        let batch = queries.len();
+        let has_vector: Arc<Vec<bool>> =
+            Arc::new(queries.iter().map(|q| q.vector.is_some()).collect());
+        let dense: Arc<Vec<Vector>> =
+            Arc::new(queries.iter().filter_map(|q| q.vector.cloned()).collect());
+        if matches!(member, Member::Semantic) && dense.is_empty() {
+            return vec![Vec::new(); batch];
+        }
+        let texts: Arc<Vec<String>> =
+            Arc::new(queries.iter().map(|q| q.text.to_string()).collect());
+        let n = self.shards.len();
+        let (tx, rx) = channel::bounded::<(usize, Vec<Vec<SearchHit>>, u64)>(n);
+        enum Target {
+            Content(ShardContent),
+            Semantic(ShardSemantic),
+        }
+        let mut expected = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let target = match member {
+                Member::Content => shard.content[slot].clone().map(Target::Content),
+                Member::Semantic => shard.semantic[slot].clone().map(Target::Semantic),
+            };
+            let Some(target) = target else { continue };
+            expected += 1;
+            let tx = tx.clone();
+            let texts = texts.clone();
+            let dense = dense.clone();
+            let has_vector = has_vector.clone();
+            let clock = self.clock.clone();
+            let job: ShardJob = Box::new(move || {
+                let start = clock.now();
+                let per_query: Vec<Vec<SearchHit>> = match &target {
+                    Target::Content(index) => {
+                        let index = index.read();
+                        texts.iter().map(|t| index.search(t, k)).collect()
+                    }
+                    Target::Semantic(index) => {
+                        let mut results =
+                            VectorIndex::search_batch(&*index.read(), &dense, k).into_iter();
+                        has_vector
+                            .iter()
+                            .map(|&has| {
+                                if has {
+                                    results.next().unwrap_or_default()
+                                } else {
+                                    Vec::new()
+                                }
+                            })
+                            .collect()
+                    }
+                };
+                let _ = tx.send((i, per_query, ns_between(start, clock.now())));
+            });
+            if let Err(job) = shard.try_submit(job) {
+                self.obs.shards[i].inline_runs.inc();
+                job();
+            }
+        }
+        drop(tx);
+        let mut per_shard: Vec<Vec<Vec<SearchHit>>> = vec![Vec::new(); n];
+        for _ in 0..expected {
+            let Ok((i, per_query, dur_ns)) = rx.recv() else {
+                break;
+            };
+            let series = &self.obs.shards[i];
+            series.searches.add(batch as u64);
+            series
+                .latency
+                .record(std::time::Duration::from_nanos(dur_ns));
+            per_shard[i] = per_query;
+        }
+        (0..batch)
+            .map(|qi| {
+                let lists: Vec<Vec<SearchHit>> = per_shard
+                    .iter()
+                    .map(|s| s.get(qi).cloned().unwrap_or_default())
+                    .collect();
+                merge_topk(&lists, k)
+            })
+            .collect()
+    }
+
     /// Scatter/gather retrieval for one modality: the routed equivalent of
     /// the single-lake fused source's `search`.
     pub fn search(&self, kind: InstanceKind, query: SourceQuery<'_>, k: usize) -> Vec<SearchHit> {
@@ -344,6 +438,36 @@ impl Router {
             }
         }
         self.combiner.combine(&lists, k)
+    }
+
+    /// Batched scatter/gather for one modality: each member fans the whole
+    /// batch out once (one job per shard), then the per-query member lists
+    /// fuse exactly as [`Router::search`] would. Results are identical to
+    /// per-query `search` calls.
+    pub fn search_batch(
+        &self,
+        kind: InstanceKind,
+        queries: &[SourceQuery<'_>],
+        k: usize,
+    ) -> Vec<Vec<SearchHit>> {
+        let slot = slot_of(kind);
+        let content = self
+            .use_content
+            .then(|| self.scatter_member_batch(slot, Member::Content, queries, k));
+        let semantic = self
+            .use_semantic
+            .then(|| self.scatter_member_batch(slot, Member::Semantic, queries, k));
+        (0..queries.len())
+            .map(|qi| {
+                let mut lists: Vec<Vec<SearchHit>> = Vec::with_capacity(2);
+                for member in [&content, &semantic].into_iter().flatten() {
+                    if !member[qi].is_empty() {
+                        lists.push(member[qi].clone());
+                    }
+                }
+                self.combiner.combine(&lists, k)
+            })
+            .collect()
     }
 
     /// Evaluate every shard's SLO burn (multi-window, against the per-shard
@@ -430,5 +554,9 @@ impl EvidenceSource for RoutedSource {
 
     fn search(&self, query: SourceQuery<'_>, k: usize) -> Vec<SearchHit> {
         self.router.search(self.kind, query, k)
+    }
+
+    fn search_batch(&self, queries: &[SourceQuery<'_>], k: usize) -> Vec<Vec<SearchHit>> {
+        self.router.search_batch(self.kind, queries, k)
     }
 }

@@ -256,6 +256,24 @@ impl EvidenceSource for LiveSemanticSource {
             None => Vec::new(),
         }
     }
+
+    /// Lock-amortizing batch: take the read lock once and run the whole
+    /// batch through the index's blocked multi-query kernel.
+    fn search_batch(&self, queries: &[SourceQuery<'_>], k: usize) -> Vec<Vec<SearchHit>> {
+        let dense: Vec<verifai_embed::Vector> =
+            queries.iter().filter_map(|q| q.vector.cloned()).collect();
+        if dense.is_empty() {
+            return vec![Vec::new(); queries.len()];
+        }
+        let mut results = VectorIndex::search_batch(&*self.index.read(), &dense, k).into_iter();
+        queries
+            .iter()
+            .map(|q| match q.vector {
+                Some(_) => results.next().unwrap_or_default(),
+                None => Vec::new(),
+            })
+            .collect()
+    }
 }
 
 /// The semantic entry texts for one instance: overlapping sentence chunks

@@ -125,13 +125,18 @@ pub struct BuildStats {
     pub threads: usize,
 }
 
-/// The empty semantic backend for one modality, per the configured backend.
-fn empty_semantic(backend: SemanticBackend, seed: u64) -> AnyVectorIndex {
-    match backend {
+/// The empty semantic backend for one modality, per the configured backend
+/// and scan mode (flat backends honor `quantized` / `rescore_factor`; HNSW
+/// has no quantized path).
+fn empty_semantic(config: &VerifAiConfig, seed: u64) -> AnyVectorIndex {
+    match config.semantic_backend {
         SemanticBackend::Hnsw => AnyVectorIndex::Hnsw(HnswIndex::new(HnswConfig {
             seed,
             ..HnswConfig::default()
         })),
+        SemanticBackend::Flat if config.quantized => {
+            AnyVectorIndex::Flat(FlatIndex::new_quantized(config.rescore_factor))
+        }
         SemanticBackend::Flat => AnyVectorIndex::Flat(FlatIndex::new()),
     }
 }
@@ -268,14 +273,13 @@ impl VerifAi {
         let mut semantic_built: [Option<AnyVectorIndex>; 4] = [None, None, None, None];
         if want_semantic {
             let seed = config.seed ^ 0x45a1;
-            let backend = config.semantic_backend;
             let jobs: Vec<Box<dyn FnOnce() + Send>> = semantic_built
                 .iter_mut()
                 .zip(modalities.iter())
                 .zip(vectors)
                 .map(|((slot, (_, entries)), vecs)| {
                     let job: Box<dyn FnOnce() + Send> = Box::new(move || {
-                        let mut index = empty_semantic(backend, seed);
+                        let mut index = empty_semantic(&config, seed);
                         for ((id, _), vector) in entries.iter().zip(vecs) {
                             index.add(*id, vector.expect("phase 2 filled every slot"));
                         }
@@ -624,6 +628,47 @@ impl VerifAi {
         )
     }
 
+    /// Run discovery for a batch of same-kind objects at once, amortizing
+    /// one blocked multi-query index sweep per modality across the whole
+    /// batch (see [`crate::stages::StagedPipeline::discover_batch`]).
+    ///
+    /// All objects must share a stage plan — callers (the service's
+    /// micro-batching workers) group by object kind, so the plan of
+    /// `objects[0]` covers the batch; mixing kinds is a caller bug caught
+    /// by a debug assertion. Results and provenance rows are identical to
+    /// per-object [`VerifAi::discover_evidence_timed`] calls.
+    pub fn discover_evidence_batch(
+        &self,
+        objects: &[&DataObject],
+    ) -> Vec<(Vec<(DataInstance, f64)>, StageTiming)> {
+        let Some(first) = objects.first() else {
+            return Vec::new();
+        };
+        let plan = self.stage_plans(first);
+        debug_assert!(
+            objects.iter().all(|o| self.stage_plans(o) == plan),
+            "discover_evidence_batch requires a kind-homogeneous batch"
+        );
+        let texts: Vec<String> = objects.iter().map(|o| Self::query_of(o)).collect();
+        let vectors: Vec<Option<Vector>> = texts.iter().map(|t| self.embed_query(t)).collect();
+        let queries: Vec<SourceQuery<'_>> = texts
+            .iter()
+            .zip(&vectors)
+            .map(|(text, vector)| SourceQuery {
+                text,
+                vector: vector.as_ref(),
+            })
+            .collect();
+        let mut recorder = StageRecorder::new(&self.provenance);
+        self.stages.discover_batch(
+            objects,
+            &queries,
+            &plan,
+            &self.generated.lake,
+            &mut recorder,
+        )
+    }
+
     /// Resolve cached evidence ids against the lake, restoring the
     /// instances a previous discovery found. Unlike discovery — where a
     /// dangling retrieval hit is noted and skipped — a dangling *cached* id
@@ -842,6 +887,42 @@ mod tests {
             hit >= 7,
             "source table recall too low in tiny lake: {hit}/10"
         );
+    }
+
+    #[test]
+    fn batch_discovery_matches_per_object_discovery() {
+        let sys = system();
+        let tasks = completion_workload(sys.generated(), 6, 3);
+        let objects: Vec<DataObject> = tasks.iter().map(|t| sys.impute(t)).collect();
+        let refs: Vec<&DataObject> = objects.iter().collect();
+        let batch = sys.discover_evidence_batch(&refs);
+        assert_eq!(batch.len(), objects.len());
+        for (object, (evidence, timing)) in objects.iter().zip(&batch) {
+            let (want, want_timing) = sys.discover_evidence_timed(object);
+            let got: Vec<(InstanceId, f64)> = evidence.iter().map(|(i, s)| (i.id(), *s)).collect();
+            let want: Vec<(InstanceId, f64)> = want.iter().map(|(i, s)| (i.id(), *s)).collect();
+            assert_eq!(got, want);
+            assert_eq!(timing.candidates_in, want_timing.candidates_in);
+            assert_eq!(timing.candidates_out, want_timing.candidates_out);
+        }
+        assert!(sys.discover_evidence_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn quantized_flat_backend_discovers_evidence() {
+        let config = VerifAiConfig {
+            semantic_backend: SemanticBackend::Flat,
+            quantized: true,
+            rescore_factor: 4,
+            ..VerifAiConfig::default()
+        };
+        let sys = VerifAi::build(build(&LakeSpec::tiny(31)), config);
+        let tasks = completion_workload(sys.generated(), 5, 3);
+        for task in &tasks {
+            let object = sys.impute(task);
+            let evidence = sys.discover_evidence(&object);
+            assert!(!evidence.is_empty());
+        }
     }
 
     #[test]

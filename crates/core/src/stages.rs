@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::pipeline::EvidenceVerdict;
-use verifai_index::{EvidenceSource, SourceQuery};
+use verifai_index::{EvidenceSource, SearchHit, SourceQuery};
 use verifai_lake::{DataInstance, DataLake, InstanceId, InstanceKind};
 use verifai_llm::DataObject;
 use verifai_obs::{ns_between, Clock, RequestTrace, SystemClock};
@@ -225,6 +225,9 @@ pub struct StagedPipeline {
     clock: Arc<dyn Clock>,
 }
 
+/// One object's resolved candidates, one slot per modality stage plan.
+type ResolvedSlots = Vec<(StagePlan, Vec<(DataInstance, f64)>)>;
+
 /// The modality's slot in per-modality arrays.
 pub(crate) fn slot(kind: InstanceKind) -> usize {
     match kind {
@@ -302,38 +305,7 @@ impl StagedPipeline {
                 .source(stage_plan.kind)
                 .search(query, stage_plan.coarse_k);
             timing.candidates_in += hits.len();
-            let mut resolved = Vec::with_capacity(hits.len());
-            for (rank, hit) in hits.iter().enumerate() {
-                let stage = Stage::Retrieval {
-                    index: format!(
-                        "{}-{}",
-                        self.source(stage_plan.kind).name(),
-                        stage_plan.kind
-                    ),
-                    rank,
-                };
-                match lake.resolve(hit.id) {
-                    Ok(instance) => {
-                        recorder.record(ProvenanceRecord {
-                            object_id: object.id(),
-                            stage,
-                            instance: Some(hit.id),
-                            score: Some(hit.score),
-                            verdict: None,
-                            note: String::new(),
-                        });
-                        resolved.push((instance, hit.score));
-                    }
-                    Err(error) => recorder.record(ProvenanceRecord {
-                        object_id: object.id(),
-                        stage,
-                        instance: Some(hit.id),
-                        score: Some(hit.score),
-                        verdict: None,
-                        note: format!("unresolved evidence instance dropped: {error:?}"),
-                    }),
-                }
-            }
+            let resolved = self.resolve_modality(object, stage_plan, &hits, lake, recorder);
             resolved_per_modality.push((stage_plan, resolved));
         }
         let resolved_total: usize = resolved_per_modality.iter().map(|(_, r)| r.len()).sum();
@@ -351,20 +323,7 @@ impl StagedPipeline {
         let started = self.clock.now();
         let mut out = Vec::new();
         for (stage_plan, resolved) in resolved_per_modality {
-            let ranked = self.reranker.rerank(object, resolved, stage_plan.final_k);
-            for (rank, (instance, score)) in ranked.iter().enumerate() {
-                recorder.record(ProvenanceRecord {
-                    object_id: object.id(),
-                    stage: Stage::Rerank {
-                        reranker: self.reranker.name().into(),
-                        rank,
-                    },
-                    instance: Some(instance.id()),
-                    score: Some(*score),
-                    verdict: None,
-                    note: String::new(),
-                });
-            }
+            let ranked = self.rerank_modality(object, stage_plan, resolved, recorder);
             timing.candidates_out += ranked.len();
             out.extend(ranked);
         }
@@ -379,6 +338,159 @@ impl StagedPipeline {
         );
 
         (out, timing)
+    }
+
+    /// Empty per-object resolution slots for a `batch`-object plan.
+    fn empty_slots(batch: usize, plan_len: usize) -> Vec<ResolvedSlots> {
+        (0..batch).map(|_| Vec::with_capacity(plan_len)).collect()
+    }
+
+    /// Batched retrieval → resolve → rerank for `objects[i]` under
+    /// `queries[i]`, all sharing one `plan` (the service groups requests by
+    /// object kind, so one plan fits the whole batch).
+    ///
+    /// Retrieval issues **one [`EvidenceSource::search_batch`] per
+    /// modality for the whole batch** — the flat index's blocked kernel
+    /// and the cluster router's batched scatter amortize a single sweep
+    /// across all B queries — then resolution, provenance, and rerank run
+    /// per object exactly as [`StagedPipeline::discover`] would. Each
+    /// stage flushes provenance once for the whole batch, and each
+    /// object's timing carries its per-object candidate counts with an
+    /// even 1/B share of the batch's stage wall times.
+    pub fn discover_batch(
+        &self,
+        objects: &[&DataObject],
+        queries: &[SourceQuery<'_>],
+        plan: &[StagePlan],
+        lake: &DataLake,
+        recorder: &mut StageRecorder<'_>,
+    ) -> Vec<(Vec<(DataInstance, f64)>, StageTiming)> {
+        debug_assert_eq!(objects.len(), queries.len());
+        let batch = objects.len();
+        if batch == 0 {
+            return Vec::new();
+        }
+        let mut timings = vec![StageTiming::default(); batch];
+
+        // Stage 1: one batched retrieval per modality, resolution per
+        // object, one flush for the whole batch.
+        let started = self.clock.now();
+        let mut resolved = Self::empty_slots(batch, plan.len());
+        for &stage_plan in plan {
+            let per_query = self
+                .source(stage_plan.kind)
+                .search_batch(queries, stage_plan.coarse_k);
+            for ((object, hits), (timing, slots)) in objects
+                .iter()
+                .zip(per_query)
+                .zip(timings.iter_mut().zip(resolved.iter_mut()))
+            {
+                timing.candidates_in += hits.len();
+                let res = self.resolve_modality(object, stage_plan, &hits, lake, recorder);
+                slots.push((stage_plan, res));
+            }
+        }
+        let retrieval_ns = ns_between(started, self.clock.now()) / batch as u64;
+        recorder.flush_stage();
+
+        // Stage 2: rerank per object, one flush.
+        let started = self.clock.now();
+        let mut out = Vec::with_capacity(batch);
+        for (object, (per_modality, timing)) in objects
+            .iter()
+            .zip(resolved.into_iter().zip(timings.iter_mut()))
+        {
+            let mut evidence = Vec::new();
+            for (stage_plan, res) in per_modality {
+                let ranked = self.rerank_modality(object, stage_plan, res, recorder);
+                timing.candidates_out += ranked.len();
+                evidence.extend(ranked);
+            }
+            out.push(evidence);
+        }
+        let rerank_ns = ns_between(started, self.clock.now()) / batch as u64;
+        recorder.flush_stage();
+
+        out.into_iter()
+            .zip(timings)
+            .map(|(evidence, mut timing)| {
+                timing.retrieval_ns = retrieval_ns;
+                timing.rerank_ns = rerank_ns;
+                (evidence, timing)
+            })
+            .collect()
+    }
+
+    /// Resolve one modality's retrieval hits for one object against the
+    /// lake, recording a provenance row per hit (a note, not a silent
+    /// drop, for the unresolvable ones).
+    fn resolve_modality(
+        &self,
+        object: &DataObject,
+        stage_plan: StagePlan,
+        hits: &[SearchHit],
+        lake: &DataLake,
+        recorder: &mut StageRecorder<'_>,
+    ) -> Vec<(DataInstance, f64)> {
+        let mut resolved = Vec::with_capacity(hits.len());
+        for (rank, hit) in hits.iter().enumerate() {
+            let stage = Stage::Retrieval {
+                index: format!(
+                    "{}-{}",
+                    self.source(stage_plan.kind).name(),
+                    stage_plan.kind
+                ),
+                rank,
+            };
+            match lake.resolve(hit.id) {
+                Ok(instance) => {
+                    recorder.record(ProvenanceRecord {
+                        object_id: object.id(),
+                        stage,
+                        instance: Some(hit.id),
+                        score: Some(hit.score),
+                        verdict: None,
+                        note: String::new(),
+                    });
+                    resolved.push((instance, hit.score));
+                }
+                Err(error) => recorder.record(ProvenanceRecord {
+                    object_id: object.id(),
+                    stage,
+                    instance: Some(hit.id),
+                    score: Some(hit.score),
+                    verdict: None,
+                    note: format!("unresolved evidence instance dropped: {error:?}"),
+                }),
+            }
+        }
+        resolved
+    }
+
+    /// Rerank one modality's resolved candidates for one object down to
+    /// the plan's final k, recording a provenance row per survivor.
+    fn rerank_modality(
+        &self,
+        object: &DataObject,
+        stage_plan: StagePlan,
+        resolved: Vec<(DataInstance, f64)>,
+        recorder: &mut StageRecorder<'_>,
+    ) -> Vec<(DataInstance, f64)> {
+        let ranked = self.reranker.rerank(object, resolved, stage_plan.final_k);
+        for (rank, (instance, score)) in ranked.iter().enumerate() {
+            recorder.record(ProvenanceRecord {
+                object_id: object.id(),
+                stage: Stage::Rerank {
+                    reranker: self.reranker.name().into(),
+                    rank,
+                },
+                instance: Some(instance.id()),
+                score: Some(*score),
+                verdict: None,
+                note: String::new(),
+            });
+        }
+        ranked
     }
 
     /// Run the verify stage over discovered evidence, buffering provenance

@@ -1,0 +1,319 @@
+//! Int8 scalar quantization for the vector scan hot path.
+//!
+//! After the fused f32 kernel ([`crate::kernel::dot`]) the flat scan is
+//! memory-bound: at `d = 128` every candidate costs 512 bytes of slab
+//! traffic. Symmetric int8 codes cut that 4x — each vector stores `d`
+//! signed bytes plus one `f32` scale — and the integer kernel
+//! ([`dot_i8`]) accumulates exactly in `i32`, so the only error is the
+//! rounding introduced at encode time, which [`error_bound`] bounds
+//! analytically. The indexes use the quantized scores to pick an
+//! over-fetched shortlist and rescore it with the exact f32 kernel, so
+//! end-to-end top-k recall stays controlled (property-tested in
+//! `verifai-index`).
+//!
+//! Encoding is **per-vector symmetric**: `scale = max|v_i| / 127`, codes
+//! `q_i = round(v_i / scale)` clamped to `[-127, 127]`. The approximate
+//! dot of two encoded vectors is `dot_i8(a, b) * scale_a * scale_b`.
+//! Quantization is a pure function of the input floats, so re-encoding a
+//! snapshot's vectors reproduces its codes bit-for-bit (the migration
+//! path for pre-code snapshot versions relies on this).
+
+/// An int8-encoded vector: `codes[i] * scale` reconstructs component `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedVector {
+    /// Signed byte codes, one per dimension, in `[-127, 127]`.
+    pub codes: Vec<i8>,
+    /// Per-vector symmetric scale (`max|v_i| / 127`; 0 for the zero vector).
+    pub scale: f32,
+}
+
+impl QuantizedVector {
+    /// Encode a float vector.
+    pub fn encode(v: &[f32]) -> QuantizedVector {
+        let (codes, scale) = quantize(v);
+        QuantizedVector { codes, scale }
+    }
+
+    /// Approximate dot product against another encoded vector.
+    pub fn dot(&self, other: &QuantizedVector) -> f32 {
+        dot_i8(&self.codes, &other.codes) as f32 * self.scale * other.scale
+    }
+
+    /// Decode back to floats (lossy: each component is within
+    /// `scale / 2` of the original).
+    pub fn decode(&self) -> Vec<f32> {
+        self.codes.iter().map(|&c| c as f32 * self.scale).collect()
+    }
+}
+
+/// Symmetric int8 encode: returns `(codes, scale)` with
+/// `scale = max|v_i| / 127` so the largest-magnitude component maps to
+/// exactly ±127. The zero vector encodes to all-zero codes with scale 0.
+pub fn quantize(v: &[f32]) -> (Vec<i8>, f32) {
+    let max_abs = v.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    if max_abs == 0.0 {
+        return (vec![0i8; v.len()], 0.0);
+    }
+    let scale = max_abs / 127.0;
+    let inv = 127.0 / max_abs;
+    let codes = v
+        .iter()
+        .map(|&x| (x * inv).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    (codes, scale)
+}
+
+/// Blocked i8×i8→i32 dot product. On x86_64 this dispatches to an SSE2
+/// `pmaddwd` kernel ([`dot_i8_sse2`], ~2x the portable loop — SSE2 is
+/// baseline on x86_64, so no runtime detection is needed); elsewhere it
+/// falls back to [`dot_i8_portable`]. Both paths accumulate **exactly**
+/// in `i32` and agree bit-for-bit.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        dot_i8_sse2(a, b)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        dot_i8_portable(a, b)
+    }
+}
+
+/// SSE2 `pmaddwd` i8 dot: 16 codes per iteration are sign-extended to
+/// `i16` halves (`unpack` against a `cmpgt`-derived sign mask — SSE2 has
+/// no `cvtepi8`), multiplied pairwise into `i32` with `_mm_madd_epi16`,
+/// and accumulated in a single `i32x4` register. Exact for the same
+/// reason as the portable loop: products fit in 15 bits, and even the
+/// *pairwise* sums `pmaddwd` forms stay below `2 · 127² < 2^15`, so no
+/// intermediate wraps.
+#[cfg(target_arch = "x86_64")]
+pub fn dot_i8_sse2(a: &[i8], b: &[i8]) -> i32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let chunks = n / 16;
+    // SAFETY: `loadu` has no alignment requirement and every 16-byte read
+    // at `pa.add(i)` / `pb.add(i)` for `i < chunks` stays inside the
+    // slices; the tail below is handled in scalar code.
+    let mut acc = unsafe {
+        let pa = a.as_ptr() as *const __m128i;
+        let pb = b.as_ptr() as *const __m128i;
+        let zero = _mm_setzero_si128();
+        let mut vacc = zero;
+        for i in 0..chunks {
+            let va = _mm_loadu_si128(pa.add(i));
+            let vb = _mm_loadu_si128(pb.add(i));
+            let sa = _mm_cmpgt_epi8(zero, va);
+            let sb = _mm_cmpgt_epi8(zero, vb);
+            let a_lo = _mm_unpacklo_epi8(va, sa);
+            let a_hi = _mm_unpackhi_epi8(va, sa);
+            let b_lo = _mm_unpacklo_epi8(vb, sb);
+            let b_hi = _mm_unpackhi_epi8(vb, sb);
+            vacc = _mm_add_epi32(vacc, _mm_madd_epi16(a_lo, b_lo));
+            vacc = _mm_add_epi32(vacc, _mm_madd_epi16(a_hi, b_hi));
+        }
+        let hi = _mm_unpackhi_epi64(vacc, vacc);
+        let sum2 = _mm_add_epi32(vacc, hi);
+        let shuf = _mm_shuffle_epi32(sum2, 0b01);
+        _mm_cvtsi128_si32(_mm_add_epi32(sum2, shuf))
+    };
+    for i in chunks * 16..n {
+        acc += a[i] as i32 * b[i] as i32;
+    }
+    acc
+}
+
+/// Portable blocked i8×i8→i32 dot product: eight independent `i32`
+/// accumulator lanes over `chunks_exact(8)` plus a scalar tail,
+/// mirroring the f32 kernel's shape so LLVM autovectorizes it.
+/// Accumulation is **exact**: `|q_i| ≤ 127` means each product fits in
+/// 15 bits, and `d · 127²` stays far below `i32::MAX` for every
+/// dimension this workspace uses (safe up to d ≈ 133k).
+pub fn dot_i8_portable(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0i32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for i in 0..8 {
+            lanes[i] += xa[i] as i32 * xb[i] as i32;
+        }
+    }
+    let mut acc: i32 = lanes.iter().sum();
+    for (xa, xb) in ca.remainder().iter().zip(cb.remainder()) {
+        acc += *xa as i32 * *xb as i32;
+    }
+    acc
+}
+
+/// Approximate dot of two encoded vectors given their codes and scales.
+pub fn dot_quantized(a: &[i8], scale_a: f32, b: &[i8], scale_b: f32) -> f32 {
+    dot_i8(a, b) as f32 * scale_a * scale_b
+}
+
+/// Worst-case error envelope `|dot(a, b) - dot_quantized(â, b̂)|` for
+/// **unit (or zero) vectors** `a`, `b` of dimension `d` encoded with
+/// scales `s_a`, `s_b`.
+///
+/// Each reconstructed component is within `s/2` of the original, so with
+/// `e_a = a - â`, `e_b = b - b̂` (‖e‖∞ ≤ s/2):
+///
+/// ```text
+/// |a·b - â·b̂| ≤ |a·e_b| + |e_a·b̂|
+///             ≤ ‖a‖₁·s_b/2 + ‖b̂‖₁·s_a/2
+///             ≤ √d·s_b/2 + (√d + d·s_b/2)·s_a/2
+/// ```
+///
+/// using `‖a‖₁ ≤ √d·‖a‖₂ = √d` (Cauchy–Schwarz) and
+/// `‖b̂‖₁ ≤ ‖b‖₁ + d·s_b/2`. A small float-arithmetic slop covers the
+/// f32 evaluation of the product itself.
+pub fn error_bound(dim: usize, scale_a: f32, scale_b: f32) -> f32 {
+    let d = dim as f32;
+    let rd = d.sqrt();
+    rd * scale_b / 2.0 + (rd + d * scale_b / 2.0) * scale_a / 2.0 + 1e-5 * (d + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel;
+
+    #[test]
+    fn zero_vector_encodes_cleanly() {
+        let (codes, scale) = quantize(&[0.0; 16]);
+        assert_eq!(codes, vec![0i8; 16]);
+        assert_eq!(scale, 0.0);
+        assert_eq!(dot_i8(&codes, &codes), 0);
+    }
+
+    #[test]
+    fn max_component_maps_to_127() {
+        let (codes, scale) = quantize(&[0.5, -1.0, 0.25]);
+        assert_eq!(codes[1], -127);
+        assert_eq!(codes[0], 64); // 0.5 / (1/127) = 63.5 rounds to 64
+        assert!((scale - 1.0 / 127.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_i8_matches_naive_across_tail_lengths() {
+        for dim in [1usize, 7, 8, 9, 16, 31, 128] {
+            let a: Vec<i8> = (0..dim).map(|i| ((i * 37) % 255) as i8).collect();
+            let b: Vec<i8> = (0..dim).map(|i| ((i * 91 + 13) % 255) as i8).collect();
+            let naive: i32 = a
+                .iter()
+                .zip(b.iter())
+                .map(|(&x, &y)| x as i32 * y as i32)
+                .sum();
+            assert_eq!(dot_i8(&a, &b), naive, "dim {dim}");
+            assert_eq!(dot_i8_portable(&a, &b), naive, "portable dim {dim}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_within_half_scale() {
+        let v = [0.3f32, -0.7, 0.01, 0.99, -0.5];
+        let q = QuantizedVector::encode(&v);
+        for (orig, dec) in v.iter().zip(q.decode()) {
+            assert!((orig - dec).abs() <= q.scale / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantization_is_deterministic() {
+        let v: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.37).sin()).collect();
+        assert_eq!(quantize(&v), quantize(&v));
+    }
+
+    #[test]
+    fn quantized_dot_tracks_exact_on_unit_vectors() {
+        // Hand-rolled unit vectors: the envelope must hold.
+        let a = [0.6f32, 0.8, 0.0, 0.0];
+        let b = [0.0f32, 1.0, 0.0, 0.0];
+        let qa = QuantizedVector::encode(&a);
+        let qb = QuantizedVector::encode(&b);
+        let exact = kernel::dot(&a, &b);
+        let approx = qa.dot(&qb);
+        assert!((exact - approx).abs() <= error_bound(4, qa.scale, qb.scale));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::kernel;
+    use proptest::prelude::*;
+
+    /// Deterministic pseudo-random unit vector (same generator idiom as the
+    /// kernel prop tests).
+    fn unit_vec(seed: u64, salt: u64, dim: usize) -> Vec<f32> {
+        let mut v: Vec<f32> = (0..dim)
+            .map(|i| {
+                let h = crate::hashing::splitmix64(seed ^ salt ^ (i as u64) << 8);
+                (crate::hashing::unit_float(h) * 2.0 - 1.0) as f32
+            })
+            .collect();
+        let n = kernel::norm(&v);
+        if n > 0.0 {
+            for x in &mut v {
+                *x /= n;
+            }
+        }
+        v
+    }
+
+    proptest! {
+        /// Tentpole contract: the i8 kernel's reconstructed dot stays
+        /// inside the analytic error envelope against the f32 reference,
+        /// across dims (tails included) and random unit vectors.
+        #[test]
+        fn quantized_dot_within_error_envelope(
+            dim in 1usize..512,
+            seed in 0u64..500,
+        ) {
+            let a = unit_vec(seed, 0x2a, dim);
+            let b = unit_vec(seed, 0x2b, dim);
+            let (ca, sa) = quantize(&a);
+            let (cb, sb) = quantize(&b);
+            let exact = kernel::dot(&a, &b);
+            let approx = dot_quantized(&ca, sa, &cb, sb);
+            let bound = error_bound(dim, sa, sb);
+            prop_assert!(
+                (exact - approx).abs() <= bound,
+                "dim {}: exact {} vs quantized {} (bound {})",
+                dim, exact, approx, bound
+            );
+        }
+
+        /// The integer kernel itself is exact: blocked lanes equal the
+        /// naive i32 sum for arbitrary codes.
+        #[test]
+        fn dot_i8_is_exact(dim in 0usize..300, seed in 0u64..500) {
+            let gen = |salt: u64, i: usize| {
+                let h = crate::hashing::splitmix64(seed ^ salt ^ (i as u64) << 8);
+                (h % 255) as i64 as i8
+            };
+            let a: Vec<i8> = (0..dim).map(|i| gen(0x3a, i)).collect();
+            let b: Vec<i8> = (0..dim).map(|i| gen(0x3b, i)).collect();
+            let naive: i32 = a.iter().zip(b.iter())
+                .map(|(&x, &y)| x as i32 * y as i32)
+                .sum();
+            prop_assert_eq!(dot_i8(&a, &b), naive);
+            // The arch-dispatched kernel and the portable fallback must
+            // agree bit-for-bit on every target.
+            prop_assert_eq!(dot_i8_portable(&a, &b), naive);
+        }
+
+        /// Codes always stay in [-127, 127] and the max-magnitude
+        /// component maps to ±127, so the dynamic range is fully used.
+        #[test]
+        fn codes_saturate_range(dim in 1usize..256, seed in 0u64..500) {
+            let v = unit_vec(seed, 0x4c, dim);
+            let (codes, scale) = quantize(&v);
+            if scale > 0.0 {
+                prop_assert!(codes.iter().any(|&c| c == 127 || c == -127));
+            }
+            prop_assert!(codes.iter().all(|&c| (-127..=127).contains(&c)));
+        }
+    }
+}

@@ -39,4 +39,6 @@ pub use persist::{save_atomic, PersistError};
 pub use segment::SegmentedInvertedIndex;
 pub use source::{EvidenceSource, FusedSource, SourceQuery};
 pub use trie::TrieIndex;
-pub use vector::{AnyVectorIndex, FlatIndex, HnswConfig, HnswIndex, VectorIndex};
+pub use vector::{
+    AnyVectorIndex, FlatIndex, HnswConfig, HnswIndex, VectorIndex, DEFAULT_RESCORE_FACTOR,
+};

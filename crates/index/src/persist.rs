@@ -23,15 +23,27 @@ pub const MAGIC: &[u8; 4] = b"VFAI";
 ///   [`verifai_embed::Vector::from_slab`]); HNSW additionally persists its
 ///   cached edge distances so load skips the re-derivation pass.
 ///
-/// Version 1 and 2 snapshots are still decoded (migrated on load); their
-/// generation is 0 and they carry no tombstones.
-pub const VERSION: u8 = 3;
+/// * Version 4 — flat vector snapshots append the int8 quantization
+///   sidecar (per-vector scales + the contiguous code array) behind
+///   [`FLAG_QUANT_CODES`], so a reload serves the quantized two-phase
+///   scan without a re-encode pass.
+///
+/// Version 1 through 3 snapshots are still decoded (migrated on load);
+/// pre-3 generations are 0 and carry no tombstones, and pre-4 flat
+/// snapshots re-quantize their vectors on load (quantization is a pure
+/// function of the floats, so the rebuilt codes are bit-identical to
+/// what an eager v4 writer would have produced).
+pub const VERSION: u8 = 4;
 /// Header flag: every stored vector is unit-normalized, so similarity is a
 /// single fused dot. Vector snapshots without this flag are migrated by
 /// normalizing on load — never silently mis-scored.
 pub const FLAG_UNIT_NORM: u8 = 1;
+/// Header flag: the flat snapshot body carries the int8 quantization
+/// sidecar (scales + codes) after the f32 slab. Snapshots without it are
+/// migrated by re-quantizing on load.
+pub const FLAG_QUANT_CODES: u8 = 2;
 /// All flag bits any decoder understands; unknown bits are a typed error.
-const KNOWN_FLAGS: u8 = FLAG_UNIT_NORM;
+const KNOWN_FLAGS: u8 = FLAG_UNIT_NORM | FLAG_QUANT_CODES;
 
 /// Snapshot kind tags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -288,10 +300,10 @@ mod tests {
             check_header(&mut b, SnapshotKind::Flat),
             Err(PersistError::BadFlags(0x80))
         );
-        let mut b = Bytes::from_static(b"VFAI\x04\x02\x00");
+        let mut b = Bytes::from_static(b"VFAI\x05\x02\x00");
         assert_eq!(
             check_header(&mut b, SnapshotKind::Flat),
-            Err(PersistError::BadVersion(4))
+            Err(PersistError::BadVersion(5))
         );
         let mut b = Bytes::from_static(b"VFAI\x00\x02\x00");
         assert_eq!(

@@ -17,12 +17,29 @@
 //! search (or insert) entry point. Scores are unchanged up to float
 //! normalization error (≤ ~1e-6 for the already-unit embedder outputs).
 
+//!
+//! ## The quantized two-phase scan
+//!
+//! [`FlatIndex`] keeps an int8 **code sidecar** next to the f32 slabs:
+//! every vector is symmetric-scalar-quantized on `add`
+//! ([`verifai_embed::quant`]), codes live in one contiguous array (stride
+//! `dim`, parallel to the rows, tombstones included, rebuilt on
+//! compaction). In quantized mode `search` runs two phases: an int8 scan
+//! over the codes selects an over-fetched shortlist of
+//! `rescore_factor · k` candidates at a quarter of the memory traffic,
+//! then the exact f32 kernel rescores the shortlist and truncates to
+//! `k`. `rescore_factor = usize::MAX` rescores everything and is
+//! byte-identical to the exact scan. [`VectorIndex::search_batch`] walks
+//! the code array once per block for a whole batch of queries, so B
+//! concurrent searches amortize one memory sweep.
+
 use crate::hit::{sort_hits, SearchHit};
-use crate::persist::{self, PersistError, SnapshotKind, FLAG_UNIT_NORM};
+use crate::persist::{self, PersistError, SnapshotKind, FLAG_QUANT_CODES, FLAG_UNIT_NORM};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
-use std::sync::Arc;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex};
+use verifai_embed::quant;
 use verifai_embed::Vector;
 use verifai_lake::InstanceId;
 
@@ -43,6 +60,13 @@ pub trait VectorIndex {
     fn remove(&mut self, id: InstanceId) -> bool;
     /// Top-k most similar entries (cosine).
     fn search(&self, query: &Vector, k: usize) -> Vec<SearchHit>;
+    /// Top-k for each of `queries`, in order. The default runs the
+    /// single-query search per query; [`FlatIndex`] overrides it with a
+    /// blocked multi-query scan that walks the candidate array once per
+    /// block for the whole batch (results are identical either way).
+    fn search_batch(&self, queries: &[Vector], k: usize) -> Vec<Vec<SearchHit>> {
+        queries.iter().map(|q| self.search(q, k)).collect()
+    }
     /// Number of **live** (non-tombstoned) vectors.
     fn len(&self) -> usize;
     /// True when no live vectors remain.
@@ -61,7 +85,14 @@ pub trait VectorIndex {
 /// and the scan skips it; once tombstones outnumber live entries the index
 /// compacts itself (drops the dead rows, preserving live insertion order),
 /// so a long mutation history cannot degrade scan cost past 2× live size.
-#[derive(Debug, Default)]
+///
+/// Every vector is additionally int8-quantized on `add` into a contiguous
+/// code sidecar (`codes`, stride `dim`, rows parallel to `ids` including
+/// tombstones; `scales` holds the per-vector symmetric scale). With
+/// `quantized` set ([`FlatIndex::new_quantized`] or
+/// [`FlatIndex::set_quantized`]) searches run the two-phase scan: int8
+/// shortlist of `rescore_factor · k`, exact f32 rescore, truncate to `k`.
+#[derive(Debug)]
 pub struct FlatIndex {
     ids: Vec<InstanceId>,
     vectors: Vec<Vector>,
@@ -69,12 +100,72 @@ pub struct FlatIndex {
     dead: usize,
     generation: u64,
     compactions: u64,
+    /// Contiguous int8 codes, `dim` bytes per row, tombstoned rows included.
+    codes: Vec<i8>,
+    /// Per-row symmetric quantization scale.
+    scales: Vec<f32>,
+    /// Row stride of `codes`; fixed by the first `add` (0 while empty).
+    dim: usize,
+    /// Serve searches through the quantized two-phase scan.
+    quantized: bool,
+    /// Shortlist over-fetch: phase 1 keeps `rescore_factor · k` candidates.
+    rescore_factor: usize,
+}
+
+/// Phase-1 shortlist over-fetch when none is configured explicitly.
+pub const DEFAULT_RESCORE_FACTOR: usize = 4;
+
+impl Default for FlatIndex {
+    fn default() -> FlatIndex {
+        FlatIndex {
+            ids: Vec::new(),
+            vectors: Vec::new(),
+            deleted: Vec::new(),
+            dead: 0,
+            generation: 0,
+            compactions: 0,
+            codes: Vec::new(),
+            scales: Vec::new(),
+            dim: 0,
+            quantized: false,
+            rescore_factor: DEFAULT_RESCORE_FACTOR,
+        }
+    }
 }
 
 impl FlatIndex {
-    /// Empty index.
+    /// Empty index serving exact scans.
     pub fn new() -> FlatIndex {
         FlatIndex::default()
+    }
+
+    /// Empty index serving quantized two-phase scans with the given
+    /// shortlist over-fetch (`usize::MAX` rescores every candidate, which
+    /// is byte-identical to the exact scan).
+    pub fn new_quantized(rescore_factor: usize) -> FlatIndex {
+        FlatIndex {
+            quantized: true,
+            rescore_factor: rescore_factor.max(1),
+            ..FlatIndex::default()
+        }
+    }
+
+    /// Switch between the exact scan and the quantized two-phase scan.
+    /// The code sidecar is maintained either way, so this is a pure mode
+    /// flip — no re-encode.
+    pub fn set_quantized(&mut self, quantized: bool, rescore_factor: usize) {
+        self.quantized = quantized;
+        self.rescore_factor = rescore_factor.max(1);
+    }
+
+    /// True when searches run the quantized two-phase scan.
+    pub fn is_quantized(&self) -> bool {
+        self.quantized
+    }
+
+    /// The configured phase-1 shortlist over-fetch.
+    pub fn rescore_factor(&self) -> usize {
+        self.rescore_factor
     }
 
     /// Mutation generation: bumped on every add/remove, persisted in v3
@@ -93,7 +184,9 @@ impl FlatIndex {
         self.compactions
     }
 
-    /// Drop tombstoned entries now, preserving live insertion order.
+    /// Drop tombstoned entries now, preserving live insertion order. The
+    /// code sidecar is rebuilt alongside (codes are copied, not
+    /// re-derived — quantization is deterministic so both agree).
     pub fn compact(&mut self) {
         if self.dead == 0 {
             return;
@@ -101,17 +194,28 @@ impl FlatIndex {
         let live = self.ids.len() - self.dead;
         let mut ids = Vec::with_capacity(live);
         let mut vectors = Vec::with_capacity(live);
+        let mut codes = Vec::with_capacity(live * self.dim);
+        let mut scales = Vec::with_capacity(live);
         for (ord, v) in self.vectors.drain(..).enumerate() {
             if !self.deleted[ord] {
                 ids.push(self.ids[ord]);
+                scales.push(self.scales[ord]);
+                codes.extend_from_slice(&self.codes[ord * self.dim..(ord + 1) * self.dim]);
                 vectors.push(v);
             }
         }
         self.ids = ids;
         self.vectors = vectors;
+        self.codes = codes;
+        self.scales = scales;
         self.deleted = vec![false; self.ids.len()];
         self.dead = 0;
         self.compactions += 1;
+    }
+
+    /// The int8 code row of entry `ord`.
+    fn code_row(&self, ord: usize) -> &[i8] {
+        &self.codes[ord * self.dim..(ord + 1) * self.dim]
     }
 }
 
@@ -147,10 +251,33 @@ impl Ord for MinEntry {
     }
 }
 
+/// Offer `entry` to a worst-evicting top-`cap` heap. Outcome is identical
+/// to `push` followed by a size-capped `pop`, but a full heap rejects a
+/// would-be-evicted entry with one `peek` instead of sift-up + sift-down —
+/// the common case on a scan, where most rows score below the current
+/// boundary.
+#[inline]
+fn offer(heap: &mut BinaryHeap<MinEntry>, cap: usize, entry: MinEntry) {
+    if heap.len() >= cap {
+        // `>=` under MinEntry's reversed order: `entry` sorts at-or-before
+        // the current worst, so pushing it would evict it right back.
+        if heap.peek().is_some_and(|worst| entry >= *worst) {
+            return;
+        }
+        heap.push(entry);
+        heap.pop();
+    } else {
+        heap.push(entry);
+    }
+}
+
 impl FlatIndex {
-    /// Serialize the index into a version-3 binary snapshot: generation,
-    /// ids, tombstone bytes, then every vector's components as one
-    /// contiguous `f32` slab so load is a single bulk decode.
+    /// Serialize the index into a version-4 binary snapshot: generation,
+    /// scan mode (quantized flag + rescore factor), ids, tombstone bytes,
+    /// every vector's components as one contiguous `f32` slab, then the
+    /// quantization sidecar (per-row scales + the int8 code array) behind
+    /// [`persist::FLAG_QUANT_CODES`] so a reload serves quantized scans
+    /// without re-encoding.
     pub fn to_bytes(&self) -> Bytes {
         let dim = self.vectors.first().map(|v| v.dim()).unwrap_or(0);
         debug_assert!(
@@ -158,8 +285,46 @@ impl FlatIndex {
             "flat index holds mixed dimensions"
         );
         let n = self.ids.len();
+        let mut buf = BytesMut::with_capacity(48 + n * (14 + dim * 5));
+        persist::put_header(
+            &mut buf,
+            SnapshotKind::Flat,
+            FLAG_UNIT_NORM | FLAG_QUANT_CODES,
+        );
+        buf.put_u64_le(self.generation);
+        buf.put_u8(self.quantized as u8);
+        buf.put_u64_le(self.rescore_factor as u64);
+        buf.put_u32_le(n as u32);
+        buf.put_u32_le(dim as u32);
+        for id in &self.ids {
+            persist::put_instance_id(&mut buf, *id);
+        }
+        for &d in &self.deleted {
+            buf.put_u8(d as u8);
+        }
+        for v in &self.vectors {
+            for &x in v.as_slice() {
+                buf.put_f32_le(x);
+            }
+        }
+        for &s in &self.scales {
+            buf.put_f32_le(s);
+        }
+        for &c in &self.codes {
+            buf.put_u8(c as u8);
+        }
+        buf.freeze()
+    }
+
+    /// Serialize in the legacy version-3 wire format (no quantization
+    /// sidecar or scan-mode fields). Kept as the fixture encoder for the
+    /// migration tests: loading one must re-quantize to a bit-identical
+    /// sidecar.
+    pub fn to_bytes_v3(&self) -> Bytes {
+        let dim = self.vectors.first().map(|v| v.dim()).unwrap_or(0);
+        let n = self.ids.len();
         let mut buf = BytesMut::with_capacity(32 + n * (10 + dim * 4));
-        persist::put_header(&mut buf, SnapshotKind::Flat, FLAG_UNIT_NORM);
+        persist::put_header_versioned(&mut buf, SnapshotKind::Flat, FLAG_UNIT_NORM, 3);
         buf.put_u64_le(self.generation);
         buf.put_u32_le(n as u32);
         buf.put_u32_le(dim as u32);
@@ -197,12 +362,16 @@ impl FlatIndex {
     /// Reconstruct an index from a snapshot produced by [`Self::to_bytes`]
     /// (or a legacy encoder).
     ///
-    /// Version-3 snapshots load zero-copy: the vector payload decodes in one
-    /// bulk pass into a shared slab and every [`Vector`] borrows a view of
-    /// it. Version-1/2 snapshots migrate on load (eager per-entry decode,
-    /// generation 0, no tombstones); any snapshot without
-    /// [`persist::FLAG_UNIT_NORM`] predates the unit-norm invariant and is
-    /// migrated by normalizing, never silently mis-scored.
+    /// Version-3+ snapshots load zero-copy: the vector payload decodes in
+    /// one bulk pass into a shared slab and every [`Vector`] borrows a view
+    /// of it. Version-4 snapshots additionally reload their quantization
+    /// sidecar and scan mode verbatim; older versions migrate on load —
+    /// v1/v2 eagerly decode per entry (generation 0, no tombstones), any
+    /// snapshot without [`persist::FLAG_QUANT_CODES`] re-quantizes its
+    /// vectors (bit-identical to an eager writer's codes, quantization
+    /// being pure), and any without [`persist::FLAG_UNIT_NORM`] predates
+    /// the unit-norm invariant and is normalized, never silently
+    /// mis-scored.
     pub fn from_bytes(mut buf: Bytes) -> Result<FlatIndex, PersistError> {
         let (version, flags) = persist::check_header(&mut buf, SnapshotKind::Flat)?;
         if version < 3 {
@@ -218,16 +387,23 @@ impl FlatIndex {
                 vectors.push(v);
             }
             let deleted = vec![false; ids.len()];
-            return Ok(FlatIndex {
+            let mut idx = FlatIndex {
                 ids,
                 vectors,
                 deleted,
-                dead: 0,
-                generation: 0,
-                compactions: 0,
-            });
+                ..FlatIndex::default()
+            };
+            idx.requantize();
+            return Ok(idx);
         }
         let generation = persist::get_u64(&mut buf)?;
+        let (quantized, rescore_factor) = if version >= 4 {
+            let q = persist::get_u8(&mut buf)? != 0;
+            let rf = (persist::get_u64(&mut buf)? as usize).max(1);
+            (q, rf)
+        } else {
+            (false, DEFAULT_RESCORE_FACTOR)
+        };
         let n = persist::get_u32(&mut buf)? as usize;
         let dim = persist::get_u32(&mut buf)? as usize;
         let mut ids = Vec::with_capacity(n);
@@ -244,14 +420,40 @@ impl FlatIndex {
             }
             vectors.push(v);
         }
-        Ok(FlatIndex {
+        let mut idx = FlatIndex {
             ids,
             vectors,
             deleted,
             dead,
             generation,
             compactions: 0,
-        })
+            codes: Vec::new(),
+            scales: Vec::new(),
+            dim,
+            quantized,
+            rescore_factor,
+        };
+        if flags & FLAG_QUANT_CODES != 0 {
+            idx.scales = get_f32s(&mut buf, n)?;
+            idx.codes = get_i8s(&mut buf, n * dim)?;
+        } else {
+            idx.requantize();
+        }
+        Ok(idx)
+    }
+
+    /// Rebuild the code sidecar from the (already unit) stored vectors —
+    /// the migration path for snapshots that predate the codes.
+    fn requantize(&mut self) {
+        self.dim = self.vectors.first().map(|v| v.dim()).unwrap_or(self.dim);
+        self.scales.clear();
+        self.codes.clear();
+        self.codes.reserve(self.vectors.len() * self.dim);
+        for v in &self.vectors {
+            let (codes, scale) = quant::quantize(v.as_slice());
+            self.codes.extend_from_slice(&codes);
+            self.scales.push(scale);
+        }
     }
 }
 
@@ -289,6 +491,28 @@ fn get_slab(buf: &mut Bytes, count: usize) -> Result<Arc<Vec<f32>>, PersistError
     Ok(Arc::new(slab))
 }
 
+/// Bulk-decode `count` little-endian f32s into an owned vec (the
+/// quantization scales — small next to the slab, so no sharing needed).
+fn get_f32s(buf: &mut Bytes, count: usize) -> Result<Vec<f32>, PersistError> {
+    if buf.remaining() < count * 4 {
+        return Err(PersistError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(count * 4);
+    Ok(raw
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Bulk-decode `count` raw bytes as i8 codes.
+fn get_i8s(buf: &mut Bytes, count: usize) -> Result<Vec<i8>, PersistError> {
+    if buf.remaining() < count {
+        return Err(PersistError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(count);
+    Ok(raw.iter().map(|&b| b as i8).collect())
+}
+
 /// Decode `n` tombstone bytes, returning the flags and the dead count.
 fn get_tombstones(buf: &mut Bytes, n: usize) -> Result<(Vec<bool>, usize), PersistError> {
     if buf.remaining() < n {
@@ -300,9 +524,64 @@ fn get_tombstones(buf: &mut Bytes, n: usize) -> Result<(Vec<bool>, usize), Persi
     Ok((deleted, dead))
 }
 
+impl FlatIndex {
+    /// Run phase 1 of the two-phase scan for one encoded query over the
+    /// rows `[lo, hi)`: int8 scores into the shortlist heap, capped at
+    /// `shortlist` entries.
+    fn quantized_scan_range(
+        &self,
+        qcodes: &[i8],
+        qscale: f32,
+        lo: usize,
+        hi: usize,
+        shortlist: usize,
+        heap: &mut BinaryHeap<MinEntry>,
+    ) {
+        for ord in lo..hi {
+            if self.deleted[ord] {
+                continue;
+            }
+            let score = quant::dot_i8(self.code_row(ord), qcodes) as f64
+                * (self.scales[ord] * qscale) as f64;
+            offer(
+                heap,
+                shortlist,
+                MinEntry {
+                    score,
+                    ord,
+                    id: self.ids[ord],
+                },
+            );
+        }
+    }
+
+    /// Phase 2: exact f32 rescore of a phase-1 shortlist, reorder, truncate.
+    fn rescore(&self, heap: BinaryHeap<MinEntry>, q: &Vector, k: usize) -> Vec<SearchHit> {
+        let mut hits: Vec<SearchHit> = heap
+            .into_iter()
+            .map(|e| SearchHit::new(self.ids[e.ord], self.vectors[e.ord].dot_unit(q) as f64))
+            .collect();
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        hits
+    }
+
+    /// The phase-1 shortlist width for a top-`k` request.
+    fn shortlist_len(&self, k: usize) -> usize {
+        self.rescore_factor.saturating_mul(k)
+    }
+}
+
 impl VectorIndex for FlatIndex {
     fn add(&mut self, id: InstanceId, mut vector: Vector) {
         vector.normalize();
+        if self.ids.is_empty() {
+            self.dim = vector.dim();
+        }
+        debug_assert_eq!(vector.dim(), self.dim, "flat index holds one dimension");
+        let (codes, scale) = quant::quantize(vector.as_slice());
+        self.codes.extend_from_slice(&codes);
+        self.scales.push(scale);
         self.ids.push(id);
         self.vectors.push(vector);
         self.deleted.push(false);
@@ -332,6 +611,17 @@ impl VectorIndex for FlatIndex {
             return Vec::new();
         }
         let q = unit_query(query);
+        if self.quantized {
+            // Phase 1: int8 scan over the code sidecar — a quarter of the
+            // memory traffic — keeping a shortlist of rescore_factor · k.
+            let (qcodes, qscale) = quant::quantize(q.as_slice());
+            let shortlist = self.shortlist_len(k);
+            let mut heap: BinaryHeap<MinEntry> =
+                BinaryHeap::with_capacity(shortlist.min(self.ids.len()) + 1);
+            self.quantized_scan_range(&qcodes, qscale, 0, self.ids.len(), shortlist, &mut heap);
+            // Phase 2: exact rescore of the shortlist on the f32 slabs.
+            return self.rescore(heap, &q, k);
+        }
         let mut heap: BinaryHeap<MinEntry> = BinaryHeap::with_capacity(k + 1);
         for (ord, v) in self.vectors.iter().enumerate() {
             if self.deleted[ord] {
@@ -353,6 +643,81 @@ impl VectorIndex for FlatIndex {
             .collect();
         sort_hits(&mut hits);
         hits
+    }
+
+    /// Blocked multi-query scan: the candidate array is walked once per
+    /// **block** for the whole batch, so B queries share every block's trip
+    /// through the cache hierarchy instead of sweeping the corpus B times.
+    /// Per-query results are identical to [`VectorIndex::search`] — each
+    /// query's heap sees the same candidates in the same order.
+    /// Blocked multi-query scan: **one sweep** of the stored rows serves the
+    /// whole batch — each row (code row in quantized mode, f32 row in
+    /// exact mode) is loaded once and scored against every query while hot,
+    /// instead of B independent sweeps each re-reading the full array. The
+    /// per-query heaps see rows in the same global order the single-query
+    /// scan visits them, so results are identical to per-query
+    /// [`VectorIndex::search`] calls.
+    fn search_batch(&self, queries: &[Vector], k: usize) -> Vec<Vec<SearchHit>> {
+        if k == 0 || queries.is_empty() {
+            return vec![Vec::new(); queries.len()];
+        }
+        if queries.len() == 1 {
+            return vec![self.search(&queries[0], k)];
+        }
+        let qs: Vec<Vector> = queries.iter().map(unit_query).collect();
+        let n = self.ids.len();
+        if self.quantized {
+            let enc: Vec<(Vec<i8>, f32)> =
+                qs.iter().map(|q| quant::quantize(q.as_slice())).collect();
+            let shortlist = self.shortlist_len(k);
+            let mut heaps: Vec<BinaryHeap<MinEntry>> = qs
+                .iter()
+                .map(|_| BinaryHeap::with_capacity(shortlist.min(n).saturating_add(1)))
+                .collect();
+            for ord in 0..n {
+                if self.deleted[ord] {
+                    continue;
+                }
+                let row = self.code_row(ord);
+                let scale = self.scales[ord];
+                let id = self.ids[ord];
+                for ((qcodes, qscale), heap) in enc.iter().zip(heaps.iter_mut()) {
+                    let score = quant::dot_i8(row, qcodes) as f64 * (scale * qscale) as f64;
+                    offer(heap, shortlist, MinEntry { score, ord, id });
+                }
+            }
+            return heaps
+                .into_iter()
+                .zip(qs.iter())
+                .map(|(heap, q)| self.rescore(heap, q, k))
+                .collect();
+        }
+        let mut heaps: Vec<BinaryHeap<MinEntry>> = qs
+            .iter()
+            .map(|_| BinaryHeap::with_capacity(k + 1))
+            .collect();
+        for ord in 0..n {
+            if self.deleted[ord] {
+                continue;
+            }
+            let v = &self.vectors[ord];
+            let id = self.ids[ord];
+            for (q, heap) in qs.iter().zip(heaps.iter_mut()) {
+                let score = v.dot_unit(q) as f64;
+                offer(heap, k, MinEntry { score, ord, id });
+            }
+        }
+        heaps
+            .into_iter()
+            .map(|heap| {
+                let mut hits: Vec<SearchHit> = heap
+                    .into_iter()
+                    .map(|e| SearchHit::new(self.ids[e.ord], e.score))
+                    .collect();
+                sort_hits(&mut hits);
+                hits
+            })
+            .collect()
     }
 
     fn len(&self) -> usize {
@@ -425,6 +790,59 @@ pub struct HnswIndex {
     dead: usize,
     generation: u64,
     compactions: u64,
+    /// Pooled visited buffer for `search_layer`: epoch-stamped so reuse is
+    /// an epoch bump, not a clear. Behind a mutex only so `&self` searches
+    /// can borrow it; a concurrent search that finds it taken falls back to
+    /// a fresh buffer rather than waiting.
+    visited: Mutex<VisitedSet>,
+}
+
+/// Epoch-stamped visited set: `stamps[ord] == epoch` means "seen this
+/// search". `begin` bumps the epoch, which invalidates every stamp at once
+/// — no per-search allocation, no O(n) clear (except on the ~4-billionth
+/// search, when the epoch wraps and stamps reset).
+#[derive(Debug, Default)]
+struct VisitedSet {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitedSet {
+    /// Start a new search over `n` nodes.
+    fn begin(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamps.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Mark `ord` visited; true when it was not already.
+    fn insert(&mut self, ord: u32) -> bool {
+        let s = &mut self.stamps[ord as usize];
+        if *s == self.epoch {
+            false
+        } else {
+            *s = self.epoch;
+            true
+        }
+    }
+}
+
+/// Hint the prefetcher at a node's vector ahead of the dot that will read
+/// it — the descent loops touch neighbours whose slabs the hardware
+/// stride prefetcher cannot predict. No-op off x86_64.
+#[inline(always)]
+fn prefetch_slice(v: &[f32]) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(v.as_ptr() as *const i8, std::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = v;
 }
 
 impl HnswIndex {
@@ -439,12 +857,25 @@ impl HnswIndex {
             dead: 0,
             generation: 0,
             compactions: 0,
+            visited: Mutex::new(VisitedSet::default()),
         }
     }
 
     /// Empty index with default parameters.
     pub fn with_defaults() -> HnswIndex {
         HnswIndex::new(HnswConfig::default())
+    }
+
+    /// Candidate-list width used at search time.
+    pub fn ef_search(&self) -> usize {
+        self.config.ef_search
+    }
+
+    /// Retune the search-time candidate-list width. Construction parameters
+    /// are fixed at build, but `ef_search` only shapes queries — the
+    /// recall/latency frontier benchmark sweeps it on a standing graph.
+    pub fn set_ef_search(&mut self, ef_search: usize) {
+        self.config.ef_search = ef_search.max(1);
     }
 
     /// Mutation generation: bumped on every add/remove, persisted in v3
@@ -503,12 +934,18 @@ impl HnswIndex {
     }
 
     /// Greedy descent from the entry point to the closest node at `layer`.
+    /// Each neighbour's vector is prefetched one step ahead of the dot that
+    /// scores it, hiding the slab miss behind the current evaluation.
     fn greedy_at_layer(&self, start: u32, q: &Vector, layer: usize) -> u32 {
         let mut cur = start;
         let mut cur_d = self.dist(cur, q);
         loop {
             let mut improved = false;
-            for e in &self.nodes[cur as usize].neighbors[layer] {
+            let edges = &self.nodes[cur as usize].neighbors[layer];
+            for (i, e) in edges.iter().enumerate() {
+                if let Some(next) = edges.get(i + 1) {
+                    prefetch_slice(self.nodes[next.ord as usize].vector.as_slice());
+                }
                 let d = self.dist(e.ord, q);
                 if d < cur_d {
                     cur = e.ord;
@@ -524,8 +961,18 @@ impl HnswIndex {
 
     /// Best-first search at one layer, returning up to `ef` closest candidates
     /// as (distance, ordinal) sorted ascending by distance.
+    ///
+    /// The visited set comes from the pooled epoch-stamped buffer (taken
+    /// for the duration of the call; concurrent searches that find the
+    /// pool taken use a fresh buffer), so steady-state searches allocate
+    /// nothing for visit tracking.
     fn search_layer(&self, entry: u32, q: &Vector, layer: usize, ef: usize) -> Vec<(f64, u32)> {
-        let mut visited: HashSet<u32> = HashSet::new();
+        let mut visited: VisitedSet = self
+            .visited
+            .try_lock()
+            .map(|mut pool| std::mem::take(&mut *pool))
+            .unwrap_or_default();
+        visited.begin(self.nodes.len());
         visited.insert(entry);
         let d0 = self.dist(entry, q);
         // Candidates: min-dist first (use Reverse ordering via negated compare).
@@ -548,7 +995,11 @@ impl HnswIndex {
             if c.dist > worst && results.len() >= ef {
                 break;
             }
-            for e in &self.nodes[c.ord as usize].neighbors[layer] {
+            let edges = &self.nodes[c.ord as usize].neighbors[layer];
+            for (i, e) in edges.iter().enumerate() {
+                if let Some(next) = edges.get(i + 1) {
+                    prefetch_slice(self.nodes[next.ord as usize].vector.as_slice());
+                }
                 if !visited.insert(e.ord) {
                     continue;
                 }
@@ -570,6 +1021,10 @@ impl HnswIndex {
                     }
                 }
             }
+        }
+        // Return the buffer to the pool for the next search.
+        if let Ok(mut pool) = self.visited.try_lock() {
+            *pool = visited;
         }
         let mut out: Vec<(f64, u32)> = results.into_iter().map(|e| (e.dist, e.ord)).collect();
         out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
@@ -828,6 +1283,7 @@ impl HnswIndex {
                 dead,
                 generation,
                 compactions: 0,
+                visited: Mutex::new(VisitedSet::default()),
             });
         }
 
@@ -879,6 +1335,7 @@ impl HnswIndex {
             dead: 0,
             generation,
             compactions: 0,
+            visited: Mutex::new(VisitedSet::default()),
         })
     }
 }
@@ -1078,6 +1535,13 @@ impl VectorIndex for AnyVectorIndex {
         }
     }
 
+    fn search_batch(&self, queries: &[Vector], k: usize) -> Vec<Vec<SearchHit>> {
+        match self {
+            AnyVectorIndex::Flat(i) => i.search_batch(queries, k),
+            AnyVectorIndex::Hnsw(i) => i.search_batch(queries, k),
+        }
+    }
+
     fn len(&self) -> usize {
         match self {
             AnyVectorIndex::Flat(i) => i.len(),
@@ -1089,6 +1553,7 @@ impl VectorIndex for AnyVectorIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use verifai_embed::TextEmbedder;
 
     fn tid(i: u64) -> InstanceId {
@@ -1505,13 +1970,156 @@ mod tests {
         bad[6] |= 0x40; // a flag bit this decoder does not understand
         assert_eq!(
             FlatIndex::from_bytes(Bytes::from(bad.clone())).unwrap_err(),
-            PersistError::BadFlags(FLAG_UNIT_NORM | 0x40)
+            PersistError::BadFlags(FLAG_UNIT_NORM | FLAG_QUANT_CODES | 0x40)
         );
         bad[5] = SnapshotKind::Hnsw as u8;
         assert_eq!(
             HnswIndex::from_bytes(Bytes::from(bad)).unwrap_err(),
-            PersistError::BadFlags(FLAG_UNIT_NORM | 0x40)
+            PersistError::BadFlags(FLAG_UNIT_NORM | FLAG_QUANT_CODES | 0x40)
         );
+    }
+
+    #[test]
+    fn full_rescore_is_identical_to_exact_scan() {
+        // rescore_factor = ∞ keeps every candidate in phase 1 and rescores
+        // all of them with the exact kernel: byte-identical to exact mode.
+        let mut exact = FlatIndex::new();
+        let mut quant = FlatIndex::new_quantized(usize::MAX);
+        for (id, v) in corpus() {
+            exact.add(id, v.clone());
+            quant.add(id, v);
+        }
+        let e = TextEmbedder::with_seed(11);
+        for q in ["jordan basketball", "election district", "film actress"] {
+            let qv = e.embed(q);
+            for k in [1usize, 3, 8] {
+                assert_eq!(exact.search(&qv, k), quant.search(&qv, k), "{q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_scan_skips_tombstones_and_survives_compaction() {
+        let e = TextEmbedder::with_seed(11);
+        let mut idx = FlatIndex::new_quantized(4);
+        for (id, v) in corpus() {
+            idx.add(id, v);
+        }
+        assert!(idx.remove(tid(2)));
+        let hits = idx.search(&e.embed("basketball jordan bulls"), 8);
+        assert_eq!(hits.len(), 7);
+        assert!(hits.iter().all(|h| h.id != tid(2)));
+        // Force a compaction; the code sidecar must be rebuilt in step.
+        for i in [0u64, 1, 3, 4] {
+            idx.remove(tid(i));
+        }
+        assert_eq!(idx.tombstones(), 0);
+        assert_eq!(idx.codes.len(), idx.ids.len() * idx.dim);
+        assert_eq!(idx.scales.len(), idx.ids.len());
+        let hits = idx.search(&e.embed("chicago bulls championship"), 8);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn v4_snapshot_carries_codes_and_scan_mode() {
+        let mut idx = FlatIndex::new_quantized(7);
+        for (id, v) in corpus() {
+            idx.add(id, v);
+        }
+        idx.remove(tid(3));
+        let back = FlatIndex::from_bytes(idx.to_bytes()).unwrap();
+        assert!(back.is_quantized());
+        assert_eq!(back.rescore_factor(), 7);
+        assert_eq!(back.codes, idx.codes);
+        assert_eq!(back.scales, idx.scales);
+        assert_eq!(back.dim, idx.dim);
+        let e = TextEmbedder::with_seed(11);
+        for q in ["jordan basketball", "election district new york"] {
+            let qv = e.embed(q);
+            assert_eq!(idx.search(&qv, 4), back.search(&qv, 4), "{q}");
+        }
+    }
+
+    #[test]
+    fn v3_snapshot_migrates_by_requantizing() {
+        // A v3 snapshot predates the code sidecar: loading one must
+        // re-quantize to codes bit-identical to the eager writer's
+        // (quantization is pure), defaulting to the exact scan mode.
+        let mut idx = FlatIndex::new();
+        for (id, v) in corpus() {
+            idx.add(id, v);
+        }
+        idx.remove(tid(1));
+        let gen = idx.generation();
+        let back = FlatIndex::from_bytes(idx.to_bytes_v3()).unwrap();
+        assert!(!back.is_quantized());
+        assert_eq!(back.generation(), gen);
+        assert_eq!(back.tombstones(), 1);
+        assert_eq!(back.codes, idx.codes);
+        assert_eq!(back.scales, idx.scales);
+    }
+
+    #[test]
+    fn batch_search_matches_per_query_search() {
+        // The blocked multi-query scan must return exactly what B
+        // independent searches return — exact mode, quantized mode, and
+        // through the backend-erased dispatch.
+        let e = TextEmbedder::with_seed(11);
+        let queries: Vec<Vector> = [
+            "jordan basketball points",
+            "election district new york",
+            "film actress roles",
+            "championship season",
+            "track and field",
+        ]
+        .iter()
+        .map(|q| e.embed(q))
+        .collect();
+        let mut exact = FlatIndex::new();
+        let mut quant = FlatIndex::new_quantized(3);
+        let mut hnsw = HnswIndex::with_defaults();
+        for (id, v) in corpus() {
+            exact.add(id, v.clone());
+            quant.add(id, v.clone());
+            hnsw.add(id, v);
+        }
+        exact.remove(tid(5));
+        quant.remove(tid(5));
+        for k in [1usize, 3, 8] {
+            let want_e: Vec<_> = queries.iter().map(|q| exact.search(q, k)).collect();
+            assert_eq!(exact.search_batch(&queries, k), want_e, "exact k={k}");
+            let want_q: Vec<_> = queries.iter().map(|q| quant.search(q, k)).collect();
+            assert_eq!(quant.search_batch(&queries, k), want_q, "quant k={k}");
+            let want_h: Vec<_> = queries.iter().map(|q| hnsw.search(q, k)).collect();
+            assert_eq!(hnsw.search_batch(&queries, k), want_h, "hnsw k={k}");
+        }
+        let any = AnyVectorIndex::Flat(quant);
+        let want: Vec<_> = queries.iter().map(|q| any.search(q, 4)).collect();
+        assert_eq!(any.search_batch(&queries, 4), want);
+        // Degenerate shapes.
+        assert!(exact.search_batch(&[], 3).is_empty());
+        assert_eq!(exact.search_batch(&queries, 0), vec![Vec::new(); 5]);
+    }
+
+    #[test]
+    fn visited_pool_reuse_is_stable_across_searches() {
+        // Repeated searches reuse the pooled epoch-stamped buffer; results
+        // must not drift between the cold (allocating) first search and
+        // warm reuse, including interleaved mutations.
+        let e = TextEmbedder::with_seed(3);
+        let mut idx = HnswIndex::with_defaults();
+        for i in 0..60u64 {
+            idx.add(tid(i), e.embed(&format!("entity {} topic {}", i, i % 5)));
+        }
+        let q = e.embed("entity 31 topic 1");
+        let first = idx.search(&q, 5);
+        for _ in 0..50 {
+            assert_eq!(idx.search(&q, 5), first);
+        }
+        idx.add(tid(1000), e.embed("entity 31 topic 1 duplicate"));
+        let after = idx.search(&q, 5);
+        assert_eq!(after.len(), 5);
+        assert_eq!(idx.search(&q, 5), after);
     }
 
     #[test]
@@ -1525,6 +2133,84 @@ mod tests {
             idx.add(tid(0), e.embed("shared content"));
             assert_eq!(idx.len(), 1);
             assert!(!idx.is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic pseudo-random raw vector (the index normalizes).
+    fn random_vector(seed: u64, row: u64, dim: usize) -> Vector {
+        let v: Vec<f32> = (0..dim)
+            .map(|i| {
+                let h = verifai_embed::hashing::splitmix64(seed ^ (row << 20) ^ (i as u64) << 4);
+                (verifai_embed::hashing::unit_float(h) * 2.0 - 1.0) as f32
+            })
+            .collect();
+        Vector::from_vec(v)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Satellite contract: the quantized two-phase scan at the default
+        /// rescore factor achieves recall@10 ≥ 0.95 against the exact flat
+        /// scan, across random corpora and dimensions.
+        #[test]
+        fn quantized_rescore_recall_at_10(
+            dim in 8usize..160,
+            n in 40usize..160,
+            seed in 0u64..200,
+        ) {
+            let mut exact = FlatIndex::new();
+            let mut quant = FlatIndex::new_quantized(DEFAULT_RESCORE_FACTOR);
+            for row in 0..n as u64 {
+                let v = random_vector(seed, row, dim);
+                exact.add(InstanceId::Text(row), v.clone());
+                quant.add(InstanceId::Text(row), v);
+            }
+            let k = 10usize.min(n);
+            let mut hit = 0usize;
+            let mut total = 0usize;
+            for qi in 0..8u64 {
+                let q = random_vector(seed ^ 0xdead, qi, dim);
+                let truth: std::collections::HashSet<InstanceId> =
+                    exact.search(&q, k).into_iter().map(|h| h.id).collect();
+                for h in quant.search(&q, k) {
+                    total += 1;
+                    hit += truth.contains(&h.id) as usize;
+                }
+            }
+            let recall = hit as f64 / total as f64;
+            prop_assert!(
+                recall >= 0.95,
+                "dim {} n {} seed {}: recall@{} = {}", dim, n, seed, k, recall
+            );
+        }
+
+        /// rescore_factor = ∞ (full rescore) is byte-identical to exact.
+        #[test]
+        fn full_rescore_identity(
+            dim in 4usize..96,
+            n in 10usize..120,
+            seed in 0u64..200,
+        ) {
+            let mut exact = FlatIndex::new();
+            let mut quant = FlatIndex::new_quantized(usize::MAX);
+            for row in 0..n as u64 {
+                let v = random_vector(seed, row, dim);
+                exact.add(InstanceId::Text(row), v.clone());
+                quant.add(InstanceId::Text(row), v);
+            }
+            for qi in 0..4u64 {
+                let q = random_vector(seed ^ 0xbeef, qi, dim);
+                for k in [1usize, 5, 10] {
+                    prop_assert_eq!(exact.search(&q, k), quant.search(&q, k));
+                }
+            }
         }
     }
 }

@@ -106,6 +106,15 @@ impl EvidenceCache {
         }
     }
 
+    /// Whether an entry exists, **without** touching the hit/miss counters
+    /// or recency. Used by the batch prewarmer to decide what to discover
+    /// ahead of time; the counters keep describing request-path lookups
+    /// only.
+    pub fn contains(&self, kind: u8, query: &str) -> bool {
+        let shard = self.shards[shard_index(kind, query, self.shards.len())].lock();
+        shard.map.keys().any(|(k, q)| *k == kind && q == query)
+    }
+
     /// Insert (or refresh) an evidence list, evicting the least recently
     /// used entry of the shard when it is full.
     pub fn insert(&self, kind: u8, query: String, evidence: CachedEvidence) {

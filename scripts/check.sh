@@ -61,6 +61,14 @@ cargo run -q --release --bin verifai-serve -- \
 echo "==> live-lake smoke (gating)"
 cargo run -q --release --bin verifai-cli -- live > /dev/null
 
+# Gating quantized-mode smoke: build on the int8 quantized flat backend,
+# run quantized queries, check the blocked batch scan against per-query
+# scans, snapshot the semantic indexes (v4 carries the code sidecar),
+# reload, and verify identical answers. Nonzero exit means the quantized
+# scan, the batched kernel, or the snapshot v4 round-trip broke.
+echo "==> quantized-mode smoke (gating)"
+cargo run -q --release --bin verifai-cli -- quant > /dev/null
+
 # Non-gating: refresh the kernel benchmark artifact. Numbers are
 # smoke-level at tiny scale; failures here don't fail the gate.
 echo "==> bench smoke (non-gating)"
