@@ -23,6 +23,7 @@ use verifai_claims::ClaimGenConfig;
 use verifai_cluster::{build_cluster, ClusterConfig};
 use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
 use verifai_lake::InstanceKind;
+use verifai_obs::SamplingPolicy;
 use verifai_service::{
     QualityConfig, RequestOutcome, ServiceConfig, ServiceStats, Ticket, VerificationService,
 };
@@ -205,6 +206,36 @@ fn bench_obs_overhead(c: &mut Criterion) {
         requests.len(),
     );
 
+    // Tracing axes on top of the enabled baseline: tail-based sampling
+    // (keep/drop at completion time) and histogram exemplar pinning (one
+    // seqlocked slot CAS per latency record). Both measured against the
+    // same disabled floor; exemplar-pinning cost is additionally isolated
+    // as exemplars-on vs exemplars-off with everything else identical.
+    let tail_config = ObsConfig::default().with_sampling(SamplingPolicy::tail(4, 8));
+    let tail_ns = best_ns(reps, || {
+        serve_with_obs(&sys, &config, tail_config.clone(), &requests);
+    });
+    let tail_pct = (tail_ns as f64 / disabled_ns.max(1) as f64 - 1.0) * 100.0;
+    let no_exemplars = ObsConfig {
+        exemplars: false,
+        ..ObsConfig::default()
+    };
+    let no_exemplar_ns = best_ns(reps, || {
+        serve_with_obs(&sys, &config, no_exemplars.clone(), &requests);
+    });
+    let exemplar_pct = (enabled_ns as f64 / no_exemplar_ns.max(1) as f64 - 1.0) * 100.0;
+    let tail_stats = serve_with_obs(&sys, &config, tail_config, &requests);
+    eprintln!(
+        "tracing: tail-sampling on {:.2} ms ({tail_pct:+.2}% vs disabled, {} of {} \
+         healthy traces sampled out); exemplar pinning {exemplar_pct:+.2}% \
+         (on {:.2} ms vs off {:.2} ms)",
+        tail_ns as f64 / 1e6,
+        tail_stats.traces_sampled_out,
+        tail_stats.traces_recorded,
+        enabled_ns as f64 / 1e6,
+        no_exemplar_ns as f64 / 1e6,
+    );
+
     // Alert-path overhead: observability on in both runs, quality
     // monitoring (windows, drift scoring, SLO burn, alert log) on vs off —
     // with a window short enough that real rolls happen mid-run, so the
@@ -299,6 +330,16 @@ fn bench_obs_overhead(c: &mut Criterion) {
             "queries": queries.len() * kinds.len(),
             "single_lake_ms": single_ns as f64 / 1e6,
             "per_shard_count": scatter_rows,
+        },
+        "tracing_overhead": {
+            "reps": reps,
+            "tail_sampling_ms": tail_ns as f64 / 1e6,
+            "tail_sampling_vs_disabled_pct": tail_pct,
+            "traces_sampled_out": tail_stats.traces_sampled_out,
+            "exemplars_on_ms": enabled_ns as f64 / 1e6,
+            "exemplars_off_ms": no_exemplar_ns as f64 / 1e6,
+            "exemplar_pinning_pct": exemplar_pct,
+            "target_pct": 2.0,
         },
         "quality_overhead": {
             "reps": reps,

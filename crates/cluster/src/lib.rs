@@ -37,5 +37,5 @@ mod shard;
 pub use build::{build_cluster, build_cluster_with_clock, ClusterBuild, ClusterConfig};
 pub use merge::merge_topk;
 pub use partition::shard_of;
-pub use router::{RoutedSource, Router};
+pub use router::{RoutedSource, Router, MAINT_TRACE_BASE};
 pub use shard::Shard;

@@ -2,7 +2,7 @@
 //! per-shard top-k, merge, and fuse — behind the same [`EvidenceSource`]
 //! trait the single-lake pipeline retrieves through.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel;
@@ -12,8 +12,9 @@ use verifai_embed::{TextEmbedder, Vector};
 use verifai_index::{Combiner, CorpusStats, EvidenceSource, SearchHit, SourceQuery, VectorIndex};
 use verifai_lake::InstanceKind;
 use verifai_obs::{
-    ns_between, Alert, AlertKind, AlertLog, BurnRateTracker, Clock, Counter, FloatGauge, Gauge,
-    Histogram, Registry, RegistrySnapshot, Severity, SloConfig,
+    ns_between, Alert, AlertKind, AlertLog, BurnRateTracker, Clock, Counter, FlightRecorder,
+    FloatGauge, Gauge, Histogram, Registry, RegistrySnapshot, RequestTrace, Severity, SloConfig,
+    SpanContext, SpanEvent, SpanLog, TraceId,
 };
 
 use crate::merge::merge_topk;
@@ -25,6 +26,36 @@ use crate::shard::{Shard, ShardContent, ShardJob, ShardSemantic};
 enum Member {
     Content,
     Semantic,
+}
+
+/// Span ids the router mints for its per-shard child spans live in a
+/// disjoint high-bit range, so they can never collide with the request
+/// trace's own (small, sequential) span ids when grafted into its tree.
+const REMOTE_SPAN_BIT: u32 = 0x8000_0000;
+
+/// Maintenance traces (mutation routing, stats re-merge) get ids from
+/// their own namespace, far above any request trace id the service mints.
+pub const MAINT_TRACE_BASE: u64 = 1 << 48;
+
+/// Child spans each shard's `SpanLog` retains, per shard.
+const SPAN_LOG_CAPACITY: usize = 512;
+
+/// What one traced query observed of one shard during scatter/gather,
+/// aggregated across the content and semantic members so exactly one
+/// `shard-{i}` child span records per shard per query.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardProbe {
+    /// The shard ran at least one member search for this query.
+    searched: bool,
+    /// Hits the shard returned, summed over members.
+    hits: usize,
+    /// Hits that survived the k-way member merges (merge contribution).
+    merged: usize,
+    /// Worst queue wait (submit → job start) across members.
+    queue_ns: u64,
+    /// Scan time, summed over members (batch scatters record an even
+    /// per-query share).
+    scan_ns: u64,
 }
 
 /// Per-shard observability: request/latency series plus an SLO burn
@@ -134,6 +165,20 @@ pub struct Router {
     mutate_lock: Mutex<()>,
     obs: RouterObs,
     clock: Arc<dyn Clock>,
+    /// One bounded child-span log per shard: traced queries append their
+    /// `shard-{i}` spans here, and [`Router::lookup_trace`] grafts them
+    /// back into the parent trace's tree.
+    span_logs: Vec<SpanLog>,
+    /// Allocator for router-minted span ids (ORed with [`REMOTE_SPAN_BIT`]).
+    next_remote_span: AtomicU32,
+    /// Flight recorder for maintenance traces (mutation routing + stats
+    /// re-merge), separate from the serving tier's request recorder.
+    maint_recorder: FlightRecorder,
+    /// Sequence for maintenance trace ids under [`MAINT_TRACE_BASE`].
+    maint_seq: AtomicU64,
+    /// The serving tier's request recorder, when one is attached —
+    /// [`Router::lookup_trace`] resolves request trace ids through it.
+    recorder: Mutex<Option<Arc<FlightRecorder>>>,
 }
 
 impl Router {
@@ -151,6 +196,9 @@ impl Router {
     ) -> Router {
         let obs = RouterObs::new(shards.len(), slo, clock.now());
         obs.watermark.set(generation as i64);
+        let span_logs = (0..shards.len())
+            .map(|_| SpanLog::new(SPAN_LOG_CAPACITY))
+            .collect();
         Router {
             shards,
             combiner,
@@ -161,6 +209,11 @@ impl Router {
             mutate_lock: Mutex::new(()),
             obs,
             clock,
+            span_logs,
+            next_remote_span: AtomicU32::new(1),
+            maint_recorder: FlightRecorder::new(32, 8),
+            maint_seq: AtomicU64::new(1),
+            recorder: Mutex::new(None),
         }
     }
 
@@ -184,7 +237,10 @@ impl Router {
     /// mutation-boundary state.
     pub fn apply_ops(&self, ops: Vec<IndexOp>, generation: u64) -> MutationOutcome {
         let _guard = self.mutate_lock.lock();
+        let started = self.clock.now();
         let n = self.shards.len();
+        let total_ops = ops.len();
+        let mut per_shard_ops = vec![0usize; n];
         let mut content_ops = 0;
         let mut embedded = 0;
         let mut touched = [false; 4];
@@ -217,7 +273,9 @@ impl Router {
                 }
             }
             self.obs.shards[owner].mutations.inc();
+            per_shard_ops[owner] += 1;
         }
+        let routed_at = self.clock.now();
         // Re-merge global BM25 statistics for every touched modality, so
         // shard-local scoring keeps using whole-corpus idf and average
         // length (the identity invariant's first mechanism).
@@ -242,6 +300,44 @@ impl Router {
         self.obs
             .watermark
             .set(self.watermark.load(Ordering::Acquire) as i64);
+        // Maintenance work leaves a trace too: a `mutation` root span with
+        // one child per touched shard, then the stats re-merge, recorded
+        // in the router's own flight recorder under the maintenance trace
+        // id namespace.
+        let remerged_at = self.clock.now();
+        let trace_id = MAINT_TRACE_BASE | self.maint_seq.fetch_add(1, Ordering::Relaxed);
+        let mut trace = RequestTrace::new(trace_id, generation);
+        let routing_ns = ns_between(started, routed_at);
+        let parent = trace.span(
+            "mutation",
+            routing_ns,
+            total_ops,
+            content_ops,
+            format!("generation {generation}"),
+        );
+        for (i, &count) in per_shard_ops.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            trace.child_span(
+                parent,
+                format!("shard-{i}"),
+                0,
+                routing_ns,
+                count,
+                count,
+                String::new(),
+            );
+        }
+        trace.span(
+            "stats-remerge",
+            ns_between(routed_at, remerged_at),
+            0,
+            0,
+            String::new(),
+        );
+        trace.finish("maintenance", ns_between(started, remerged_at));
+        self.maint_recorder.record(trace);
         MutationOutcome {
             generation,
             content_ops,
@@ -260,12 +356,16 @@ impl Router {
     }
 
     /// Scatter one member search to every shard and merge the results.
+    /// When `probes` is given (the query is traced), each shard's queue
+    /// wait, scan time, hit count, and merge contribution accumulate into
+    /// its slot for the per-shard child span recorded by the caller.
     fn scatter_member(
         &self,
         slot: usize,
         member: Member,
         query: SourceQuery<'_>,
         k: usize,
+        mut probes: Option<&mut Vec<ShardProbe>>,
     ) -> Vec<SearchHit> {
         // Semantic members without a query vector return nothing anywhere;
         // skip the fan-out entirely.
@@ -273,7 +373,7 @@ impl Router {
             return Vec::new();
         }
         let n = self.shards.len();
-        let (tx, rx) = channel::bounded::<(usize, Vec<SearchHit>, u64)>(n);
+        let (tx, rx) = channel::bounded::<(usize, Vec<SearchHit>, u64, u64)>(n);
         let text: Arc<str> = Arc::from(query.text);
         let vector: Option<Arc<Vector>> = query.vector.map(|v| Arc::new(v.clone()));
         enum Target {
@@ -292,6 +392,7 @@ impl Router {
             let text = text.clone();
             let vector = vector.clone();
             let clock = self.clock.clone();
+            let submitted = clock.now();
             let job: ShardJob = Box::new(move || {
                 let start = clock.now();
                 let hits = match &target {
@@ -301,7 +402,12 @@ impl Router {
                         None => Vec::new(),
                     },
                 };
-                let _ = tx.send((i, hits, ns_between(start, clock.now())));
+                let _ = tx.send((
+                    i,
+                    hits,
+                    ns_between(submitted, start),
+                    ns_between(start, clock.now()),
+                ));
             });
             if let Err(job) = shard.try_submit(job) {
                 // Bounded-queue backpressure: the query still completes, it
@@ -313,17 +419,28 @@ impl Router {
         drop(tx);
         let mut lists = vec![Vec::new(); n];
         for _ in 0..expected {
-            let Ok((i, hits, dur_ns)) = rx.recv() else {
+            let Ok((i, hits, queue_ns, scan_ns)) = rx.recv() else {
                 break;
             };
             let series = &self.obs.shards[i];
             series.searches.inc();
             series
                 .latency
-                .record(std::time::Duration::from_nanos(dur_ns));
+                .record(std::time::Duration::from_nanos(scan_ns));
+            if let Some(probes) = probes.as_deref_mut() {
+                let probe = &mut probes[i];
+                probe.searched = true;
+                probe.hits += hits.len();
+                probe.queue_ns = probe.queue_ns.max(queue_ns);
+                probe.scan_ns += scan_ns;
+            }
             lists[i] = hits;
         }
-        merge_topk(&lists, k)
+        let merged = merge_topk(&lists, k);
+        if let Some(probes) = probes {
+            credit_merge_contributions(&merged, &lists, probes);
+        }
+        merged
     }
 
     /// Scatter one member's whole query batch: one job per shard carries
@@ -337,6 +454,7 @@ impl Router {
         member: Member,
         queries: &[SourceQuery<'_>],
         k: usize,
+        mut probes: Option<&mut Vec<Vec<ShardProbe>>>,
     ) -> Vec<Vec<SearchHit>> {
         let batch = queries.len();
         let has_vector: Arc<Vec<bool>> =
@@ -349,7 +467,7 @@ impl Router {
         let texts: Arc<Vec<String>> =
             Arc::new(queries.iter().map(|q| q.text.to_string()).collect());
         let n = self.shards.len();
-        let (tx, rx) = channel::bounded::<(usize, Vec<Vec<SearchHit>>, u64)>(n);
+        let (tx, rx) = channel::bounded::<(usize, Vec<Vec<SearchHit>>, u64, u64)>(n);
         enum Target {
             Content(ShardContent),
             Semantic(ShardSemantic),
@@ -367,6 +485,7 @@ impl Router {
             let dense = dense.clone();
             let has_vector = has_vector.clone();
             let clock = self.clock.clone();
+            let submitted = clock.now();
             let job: ShardJob = Box::new(move || {
                 let start = clock.now();
                 let per_query: Vec<Vec<SearchHit>> = match &target {
@@ -389,7 +508,12 @@ impl Router {
                             .collect()
                     }
                 };
-                let _ = tx.send((i, per_query, ns_between(start, clock.now())));
+                let _ = tx.send((
+                    i,
+                    per_query,
+                    ns_between(submitted, start),
+                    ns_between(start, clock.now()),
+                ));
             });
             if let Err(job) = shard.try_submit(job) {
                 self.obs.shards[i].inline_runs.inc();
@@ -399,14 +523,26 @@ impl Router {
         drop(tx);
         let mut per_shard: Vec<Vec<Vec<SearchHit>>> = vec![Vec::new(); n];
         for _ in 0..expected {
-            let Ok((i, per_query, dur_ns)) = rx.recv() else {
+            let Ok((i, per_query, queue_ns, scan_ns)) = rx.recv() else {
                 break;
             };
             let series = &self.obs.shards[i];
             series.searches.add(batch as u64);
             series
                 .latency
-                .record(std::time::Duration::from_nanos(dur_ns));
+                .record(std::time::Duration::from_nanos(scan_ns));
+            if let Some(probes) = probes.as_deref_mut() {
+                // Queue wait is shared by the whole batch; scan time is
+                // credited as an even per-query share, mirroring how
+                // `discover_batch` splits its stage wall times.
+                for (qi, hits) in per_query.iter().enumerate() {
+                    let probe = &mut probes[qi][i];
+                    probe.searched = true;
+                    probe.hits += hits.len();
+                    probe.queue_ns = probe.queue_ns.max(queue_ns);
+                    probe.scan_ns += scan_ns / batch as u64;
+                }
+            }
             per_shard[i] = per_query;
         }
         (0..batch)
@@ -415,7 +551,11 @@ impl Router {
                     .iter()
                     .map(|s| s.get(qi).cloned().unwrap_or_default())
                     .collect();
-                merge_topk(&lists, k)
+                let merged = merge_topk(&lists, k);
+                if let Some(probes) = probes.as_deref_mut() {
+                    credit_merge_contributions(&merged, &lists, &mut probes[qi]);
+                }
+                merged
             })
             .collect()
     }
@@ -424,18 +564,25 @@ impl Router {
     /// the single-lake fused source's `search`.
     pub fn search(&self, kind: InstanceKind, query: SourceQuery<'_>, k: usize) -> Vec<SearchHit> {
         let slot = slot_of(kind);
+        let mut probes = query
+            .ctx
+            .is_live()
+            .then(|| vec![ShardProbe::default(); self.shards.len()]);
         let mut lists: Vec<Vec<SearchHit>> = Vec::with_capacity(2);
         if self.use_content {
-            let merged = self.scatter_member(slot, Member::Content, query, k);
+            let merged = self.scatter_member(slot, Member::Content, query, k, probes.as_mut());
             if !merged.is_empty() {
                 lists.push(merged);
             }
         }
         if self.use_semantic {
-            let merged = self.scatter_member(slot, Member::Semantic, query, k);
+            let merged = self.scatter_member(slot, Member::Semantic, query, k, probes.as_mut());
             if !merged.is_empty() {
                 lists.push(merged);
             }
+        }
+        if let Some(probes) = probes {
+            self.record_shard_spans(query.ctx, k, &probes, 1);
         }
         self.combiner.combine(&lists, k)
     }
@@ -451,12 +598,24 @@ impl Router {
         k: usize,
     ) -> Vec<Vec<SearchHit>> {
         let slot = slot_of(kind);
+        let n = self.shards.len();
+        let mut probes = queries
+            .iter()
+            .any(|q| q.ctx.is_live())
+            .then(|| vec![vec![ShardProbe::default(); n]; queries.len()]);
         let content = self
             .use_content
-            .then(|| self.scatter_member_batch(slot, Member::Content, queries, k));
-        let semantic = self
-            .use_semantic
-            .then(|| self.scatter_member_batch(slot, Member::Semantic, queries, k));
+            .then(|| self.scatter_member_batch(slot, Member::Content, queries, k, probes.as_mut()));
+        let semantic = self.use_semantic.then(|| {
+            self.scatter_member_batch(slot, Member::Semantic, queries, k, probes.as_mut())
+        });
+        if let Some(probes) = &probes {
+            for (query, probe_row) in queries.iter().zip(probes) {
+                if query.ctx.is_live() {
+                    self.record_shard_spans(query.ctx, k, probe_row, queries.len());
+                }
+            }
+        }
         (0..queries.len())
             .map(|qi| {
                 let mut lists: Vec<Vec<SearchHit>> = Vec::with_capacity(2);
@@ -468,6 +627,80 @@ impl Router {
                 self.combiner.combine(&lists, k)
             })
             .collect()
+    }
+
+    /// Record one `shard-{i}` child span per probed shard into that
+    /// shard's span log, under `ctx`'s trace and parent span. `co_batch`
+    /// is how many queries shared the scatter (1 for unbatched).
+    fn record_shard_spans(
+        &self,
+        ctx: SpanContext,
+        k: usize,
+        probes: &[ShardProbe],
+        co_batch: usize,
+    ) {
+        for (i, probe) in probes.iter().enumerate() {
+            if !probe.searched {
+                continue;
+            }
+            let span_id = REMOTE_SPAN_BIT | self.next_remote_span.fetch_add(1, Ordering::Relaxed);
+            let mut note = format!(
+                "k {k} merged {} queue {}us scan {}us",
+                probe.merged,
+                probe.queue_ns / 1_000,
+                probe.scan_ns / 1_000
+            );
+            if co_batch > 1 {
+                note.push_str(&format!(" batch of {co_batch}"));
+            }
+            self.span_logs[i].record(
+                ctx.trace_id,
+                SpanEvent {
+                    stage: format!("shard-{i}").into(),
+                    span_id,
+                    parent_id: ctx.span_id,
+                    // Relative to the parent: the queue wait offsets the
+                    // scan, so Perfetto shows wait vs. work per shard.
+                    start_ns: probe.queue_ns,
+                    duration_ns: probe.scan_ns,
+                    candidates_in: probe.hits,
+                    candidates_out: probe.merged,
+                    note,
+                },
+            );
+        }
+    }
+
+    /// Stitch the full distributed span tree for `trace_id`: the parent
+    /// trace (from the attached service recorder, falling back to the
+    /// router's maintenance recorder) with every shard's child spans
+    /// grafted in. `None` if no recorder retained the trace.
+    pub fn lookup_trace(&self, trace_id: TraceId) -> Option<RequestTrace> {
+        let parent = self
+            .recorder
+            .lock()
+            .as_ref()
+            .and_then(|r| r.lookup(trace_id))
+            .or_else(|| self.maint_recorder.lookup(trace_id))?;
+        let mut tree = (*parent).clone();
+        let mut children: Vec<SpanEvent> = Vec::new();
+        for log in &self.span_logs {
+            children.extend(log.for_trace(trace_id));
+        }
+        tree.graft(children);
+        Some(tree)
+    }
+
+    /// Attach the serving tier's request recorder so
+    /// [`Router::lookup_trace`] can resolve request trace ids.
+    pub fn attach_recorder(&self, recorder: Arc<FlightRecorder>) {
+        *self.recorder.lock() = Some(recorder);
+    }
+
+    /// The router's maintenance-trace recorder (mutation routing, stats
+    /// re-merge work recorded by [`Router::apply_ops`]).
+    pub fn maintenance_recorder(&self) -> &FlightRecorder {
+        &self.maint_recorder
     }
 
     /// Evaluate every shard's SLO burn (multi-window, against the per-shard
@@ -518,6 +751,24 @@ impl Router {
     pub fn snapshot(&self) -> RegistrySnapshot {
         self.assess_slo();
         self.obs.registry.snapshot()
+    }
+}
+
+/// Credit each shard's contribution to a k-way member merge: how many of
+/// the merged top-k came from that shard's list.
+fn credit_merge_contributions(
+    merged: &[SearchHit],
+    lists: &[Vec<SearchHit>],
+    probes: &mut [ShardProbe],
+) {
+    for (i, list) in lists.iter().enumerate() {
+        if list.is_empty() {
+            continue;
+        }
+        probes[i].merged += merged
+            .iter()
+            .filter(|hit| list.iter().any(|own| own.id == hit.id))
+            .count();
     }
 }
 

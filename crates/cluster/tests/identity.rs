@@ -256,6 +256,7 @@ fn routed_batch_search_matches_per_query_search() {
             .map(|(i, (text, vector))| SourceQuery {
                 text,
                 vector: (i % 4 != 3).then_some(vector),
+                ctx: verifai_obs::SpanContext::none(),
             })
             .collect();
         for kind in [InstanceKind::Tuple, InstanceKind::Table, InstanceKind::Text] {

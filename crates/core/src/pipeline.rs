@@ -28,7 +28,7 @@ use verifai_index::{
 };
 use verifai_lake::{DataInstance, DataLake, InstanceId, InstanceKind, SourceId};
 use verifai_llm::{DataObject, ImputedCell, SimLlm, TextClaim, Verdict};
-use verifai_obs::{ns_between, Clock, RequestTrace, SystemClock, TraceId};
+use verifai_obs::{ns_between, Clock, RequestTrace, SpanContext, SystemClock, TraceId};
 use verifai_rerank::composite::CompositeReranker;
 use verifai_text::Analyzer;
 use verifai_verify::{
@@ -453,9 +453,51 @@ impl VerifAi {
     /// content segments, drop tombstoned vectors), fanned out over
     /// `threads` workers. No-op for externally-sourced systems.
     pub fn compact_live(&self, threads: usize) {
-        if let Some(live) = &self.live {
-            live.compact(threads);
-        }
+        self.compact_live_traced(threads, &mut RequestTrace::disabled());
+    }
+
+    /// [`VerifAi::compact_live`] under a maintenance trace: records a
+    /// `compact` span (segments before → after) with `compact-content` /
+    /// `compact-semantic` children carrying the tombstones each side
+    /// dropped, so background merges are debuggable through the same
+    /// flight-recorder machinery as requests.
+    pub fn compact_live_traced(&self, threads: usize, trace: &mut RequestTrace) {
+        let Some(live) = &self.live else {
+            return;
+        };
+        let before = live.stats();
+        let started = self.stages.clock().now();
+        live.compact(threads);
+        let wall = ns_between(started, self.stages.clock().now());
+        let after = live.stats();
+        let parent = trace.span(
+            "compact",
+            wall,
+            before.content_segments,
+            after.content_segments,
+            format!("threads {threads}"),
+        );
+        trace.child_span(
+            parent,
+            "compact-content",
+            0,
+            wall,
+            before.content_tombstones,
+            after.content_tombstones,
+            format!(
+                "segments {} -> {}",
+                before.content_segments, after.content_segments
+            ),
+        );
+        trace.child_span(
+            parent,
+            "compact-semantic",
+            0,
+            wall,
+            before.semantic_tombstones,
+            after.semantic_tombstones,
+            String::new(),
+        );
     }
 
     /// Timing of the build that produced this system (index construction
@@ -539,6 +581,7 @@ impl VerifAi {
             SourceQuery {
                 text: query,
                 vector: vector.as_ref(),
+                ctx: SpanContext::none(),
             },
             k,
         )
@@ -620,6 +663,7 @@ impl VerifAi {
             SourceQuery {
                 text: &query,
                 vector: vector.as_ref(),
+                ctx: SpanContext::none(),
             },
             &plan,
             &self.generated.lake,
@@ -641,9 +685,23 @@ impl VerifAi {
         &self,
         objects: &[&DataObject],
     ) -> Vec<(Vec<(DataInstance, f64)>, StageTiming)> {
+        self.discover_evidence_batch_ctx(objects, &[])
+    }
+
+    /// [`VerifAi::discover_evidence_batch`] with per-request trace
+    /// coordinates: `ctxs[i]` rides on `objects[i]`'s query so distributed
+    /// sources (the cluster router) attribute their per-shard child spans
+    /// to each request's trace. Pass an empty slice (or
+    /// [`SpanContext::none`] entries) for untraced batches.
+    pub fn discover_evidence_batch_ctx(
+        &self,
+        objects: &[&DataObject],
+        ctxs: &[SpanContext],
+    ) -> Vec<(Vec<(DataInstance, f64)>, StageTiming)> {
         let Some(first) = objects.first() else {
             return Vec::new();
         };
+        debug_assert!(ctxs.is_empty() || ctxs.len() == objects.len());
         let plan = self.stage_plans(first);
         debug_assert!(
             objects.iter().all(|o| self.stage_plans(o) == plan),
@@ -654,9 +712,11 @@ impl VerifAi {
         let queries: Vec<SourceQuery<'_>> = texts
             .iter()
             .zip(&vectors)
-            .map(|(text, vector)| SourceQuery {
+            .enumerate()
+            .map(|(i, (text, vector))| SourceQuery {
                 text,
                 vector: vector.as_ref(),
+                ctx: ctxs.get(i).copied().unwrap_or_default(),
             })
             .collect();
         let mut recorder = StageRecorder::new(&self.provenance);

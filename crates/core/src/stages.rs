@@ -26,6 +26,8 @@ use crate::pipeline::EvidenceVerdict;
 use verifai_index::{EvidenceSource, SearchHit, SourceQuery};
 use verifai_lake::{DataInstance, DataLake, InstanceId, InstanceKind};
 use verifai_llm::DataObject;
+#[cfg(test)]
+use verifai_obs::SpanContext;
 use verifai_obs::{ns_between, Clock, RequestTrace, SystemClock};
 use verifai_rerank::Reranker;
 use verifai_verify::{
@@ -296,7 +298,14 @@ impl StagedPipeline {
         let mut timing = StageTiming::default();
 
         // Stage 1: retrieval (and resolution) across all modalities, then
-        // one provenance flush for the whole stage.
+        // one provenance flush for the whole stage. The retrieval span id
+        // is reserved *before* the scatter and handed down via the query's
+        // [`SpanContext`], so distributed sources (the cluster router)
+        // record their per-shard child spans under it; the span itself is
+        // recorded once the stage's wall time is known.
+        let retrieval_span = trace.reserve();
+        let mut query = query;
+        query.ctx = trace.context(retrieval_span);
         let started = self.clock.now();
         let mut resolved_per_modality: Vec<(StagePlan, Vec<(DataInstance, f64)>)> =
             Vec::with_capacity(plan.len());
@@ -311,7 +320,8 @@ impl StagedPipeline {
         let resolved_total: usize = resolved_per_modality.iter().map(|(_, r)| r.len()).sum();
         timing.retrieval_ns = ns_between(started, self.clock.now());
         recorder.flush_stage();
-        trace.span(
+        trace.span_reserved(
+            retrieval_span,
             "retrieval",
             timing.retrieval_ns,
             timing.candidates_in,
@@ -635,6 +645,7 @@ mod tests {
         let query = SourceQuery {
             text: "q",
             vector: None,
+            ctx: SpanContext::none(),
         };
         let (evidence, timing) = pipeline.discover(
             &object(),
@@ -676,6 +687,7 @@ mod tests {
         let query = SourceQuery {
             text: "q",
             vector: None,
+            ctx: SpanContext::none(),
         };
         let (evidence, _) = pipeline.discover(
             &object(),
@@ -716,6 +728,7 @@ mod tests {
         let query = SourceQuery {
             text: "q",
             vector: None,
+            ctx: SpanContext::none(),
         };
         let mut trace = RequestTrace::new(42, 7);
         let (evidence, _) = pipeline.discover(

@@ -11,6 +11,7 @@
 
 use crate::{Combiner, SearchHit};
 use verifai_embed::Vector;
+use verifai_obs::SpanContext;
 
 /// A prepared retrieval query: the serialized object text plus, when the
 /// caller ran an embedder, its vector form.
@@ -19,12 +20,21 @@ use verifai_embed::Vector;
 /// indexes read [`SourceQuery::text`], semantic indexes read
 /// [`SourceQuery::vector`] (and return nothing when it is absent, i.e.
 /// semantic retrieval is disabled).
+///
+/// [`SourceQuery::ctx`] carries the caller's trace coordinates across the
+/// source boundary: distributed backends (the cluster router) record
+/// per-shard child spans under `ctx` so the request's span tree spans the
+/// fleet. Plain in-process indexes ignore it; untraced callers pass
+/// [`SpanContext::none`].
 #[derive(Debug, Clone, Copy)]
 pub struct SourceQuery<'a> {
     /// The serialized query text.
     pub text: &'a str,
     /// The query embedding, when semantic retrieval is enabled.
     pub vector: Option<&'a Vector>,
+    /// The caller's span-tree coordinates (trace id + parent span), or
+    /// [`SpanContext::none`] when the request is untraced.
+    pub ctx: SpanContext,
 }
 
 /// An object-safe retrieval backend: given a prepared query, return the
@@ -228,6 +238,7 @@ mod tests {
             SourceQuery {
                 text: "incumbent new york",
                 vector: None,
+                ctx: SpanContext::none(),
             },
             5,
         );
@@ -243,6 +254,7 @@ mod tests {
             SourceQuery {
                 text: "anything",
                 vector: None,
+                ctx: SpanContext::none(),
             },
             5,
         );
@@ -267,14 +279,17 @@ mod tests {
             SourceQuery {
                 text: "new york election",
                 vector: Some(&v1),
+                ctx: SpanContext::none(),
             },
             SourceQuery {
                 text: "mixed query without vector",
                 vector: None,
+                ctx: SpanContext::none(),
             },
             SourceQuery {
                 text: "points in the championship",
                 vector: Some(&v2),
+                ctx: SpanContext::none(),
             },
         ];
         let combiner = Combiner::new(FusionStrategy::ReciprocalRank { k0: 60.0 });
@@ -296,6 +311,7 @@ mod tests {
         let query = SourceQuery {
             text: "championship points",
             vector: None,
+            ctx: SpanContext::none(),
         };
         let manual = combiner.combine(&[crate::InvertedIndex::search(&idx, query.text, 5)], 5);
         let fused = FusedSource::new(vec![Box::new(content_index())], combiner);

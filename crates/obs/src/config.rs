@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::clock::{Clock, SystemClock};
+use crate::recorder::SamplingPolicy;
 
 /// Tuning for the serving layer's observability: whether per-request
 /// tracing and per-stage histograms are collected, how many traces the
@@ -26,6 +27,14 @@ pub struct ObsConfig {
     /// The clock stamping spans, deadlines, and latencies. Tests inject a
     /// [`crate::MockClock`]; production uses the monotonic system clock.
     pub clock: Arc<dyn Clock>,
+    /// Pin `(trace_id, value)` exemplars on the latency and per-stage
+    /// histograms, exported in OpenMetrics exemplar syntax. On by
+    /// default; only meaningful when `enabled` is also true.
+    pub exemplars: bool,
+    /// How the flight recorder decides which completed traces to keep.
+    /// Defaults to [`SamplingPolicy::keep_all`] (the pre-tail-sampling
+    /// behavior); serving binaries opt into [`SamplingPolicy::tail`].
+    pub sampling: SamplingPolicy,
 }
 
 impl ObsConfig {
@@ -47,6 +56,12 @@ impl ObsConfig {
         self.clock = clock;
         self
     }
+
+    /// Replace the trace sampling policy (builder-style).
+    pub fn with_sampling(mut self, sampling: SamplingPolicy) -> ObsConfig {
+        self.sampling = sampling;
+        self
+    }
 }
 
 impl Default for ObsConfig {
@@ -56,6 +71,8 @@ impl Default for ObsConfig {
             recent_traces: 64,
             slowest_traces: 16,
             clock: Arc::new(SystemClock),
+            exemplars: true,
+            sampling: SamplingPolicy::keep_all(),
         }
     }
 }
@@ -66,6 +83,8 @@ impl std::fmt::Debug for ObsConfig {
             .field("enabled", &self.enabled)
             .field("recent_traces", &self.recent_traces)
             .field("slowest_traces", &self.slowest_traces)
+            .field("exemplars", &self.exemplars)
+            .field("sampling", &self.sampling)
             .finish_non_exhaustive()
     }
 }

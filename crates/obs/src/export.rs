@@ -106,6 +106,26 @@ pub fn render_prometheus(snapshot: &RegistrySnapshot) -> String {
                     h.sum_micros() as f64 / 1e6
                 );
                 let _ = writeln!(out, "{}_count{} {}", series.name, plain, h.count());
+                // Exemplared buckets additionally render as `_bucket`
+                // samples with an OpenMetrics exemplar suffix — the link
+                // from a latency bucket to a retrievable trace id. Only
+                // buckets that pinned an exemplar are emitted, so the 496
+                // internal buckets never drown a scrape.
+                for exemplar in h.exemplars() {
+                    let le = label_block(
+                        &series.labels,
+                        Some(("le", format!("{}", exemplar.upper_micros as f64 / 1e6))),
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {} # {{trace_id=\"{}\"}} {}",
+                        series.name,
+                        le,
+                        h.cumulative_count(exemplar.bucket),
+                        exemplar.trace_id,
+                        exemplar.value_micros as f64 / 1e6
+                    );
+                }
             }
         }
     }
@@ -199,6 +219,42 @@ mod tests {
         // The raw newline must not split the series across lines: exactly
         // HELP + TYPE + one sample line.
         assert_eq!(text.lines().count(), 3, "scrape corrupted:\n{text}");
+    }
+
+    #[test]
+    fn exemplared_histogram_renders_openmetrics_exemplar_syntax() {
+        let registry = Registry::new();
+        let hist = registry.histogram_with_exemplars(
+            "verifai_request_latency_seconds",
+            "end-to-end latency",
+            &[],
+        );
+        hist.record_traced(Duration::from_micros(500), 42);
+        hist.record(Duration::from_micros(100)); // untraced: no exemplar
+        let text = render_prometheus(&registry.snapshot());
+        // The quantile/summary shape is unchanged...
+        assert!(text.contains("# TYPE verifai_request_latency_seconds summary"));
+        assert!(text.contains("verifai_request_latency_seconds_count 2"));
+        // ...and the exemplared bucket links to the trace.
+        let bucket_line = text
+            .lines()
+            .find(|l| l.starts_with("verifai_request_latency_seconds_bucket{le="))
+            .expect("exemplared bucket line");
+        assert!(
+            bucket_line.contains("# {trace_id=\"42\"} 0.0005"),
+            "OpenMetrics exemplar suffix missing: {bucket_line}"
+        );
+        assert_eq!(
+            text.matches("_bucket{").count(),
+            1,
+            "only exemplared buckets render"
+        );
+        // A plain histogram still renders no bucket lines at all.
+        let plain = Registry::new();
+        plain
+            .histogram("verifai_plain_seconds", "plain", &[])
+            .record(Duration::from_micros(500));
+        assert!(!render_prometheus(&plain.snapshot()).contains("_bucket"));
     }
 
     #[test]

@@ -36,15 +36,77 @@ pub fn bucket_upper(bucket: usize) -> u64 {
     ((8 + sub + 1) << (msb - 3)).wrapping_sub(1)
 }
 
+/// One recent `(trace id, value)` observation pinned to a histogram
+/// bucket: the OpenMetrics exemplar linking a latency bucket to a
+/// retrievable trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The bucket the observation landed in.
+    pub bucket: usize,
+    /// The bucket's upper edge, microseconds.
+    pub upper_micros: u64,
+    /// The trace that produced the observation.
+    pub trace_id: u64,
+    /// The observed value, microseconds.
+    pub value_micros: u64,
+}
+
+/// A per-bucket exemplar slot under a tiny seqlock: writers CAS the
+/// version even→odd (skipping on contention — exemplars are best-effort),
+/// write the pair, then publish even; readers reject odd or torn reads.
+struct ExemplarSlot {
+    version: AtomicU64,
+    trace_id: AtomicU64,
+    value_micros: AtomicU64,
+}
+
+impl ExemplarSlot {
+    fn pin(&self, trace_id: u64, value_micros: u64) {
+        let v = self.version.load(Ordering::Relaxed);
+        if v & 1 == 1 {
+            return; // a writer is mid-flight; drop this exemplar
+        }
+        if self
+            .version
+            .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.trace_id.store(trace_id, Ordering::Relaxed);
+        self.value_micros.store(value_micros, Ordering::Relaxed);
+        self.version.store(v + 2, Ordering::Release);
+    }
+
+    /// A consistent read, or `None` when empty or torn.
+    fn read(&self) -> Option<(u64, u64)> {
+        let v1 = self.version.load(Ordering::Acquire);
+        if v1 == 0 || v1 & 1 == 1 {
+            return None;
+        }
+        let trace_id = self.trace_id.load(Ordering::Relaxed);
+        let value = self.value_micros.load(Ordering::Relaxed);
+        if self.version.load(Ordering::Acquire) != v1 {
+            return None;
+        }
+        Some((trace_id, value))
+    }
+}
+
 /// A lock-free fixed-bucket histogram: concurrent writers record with
 /// relaxed atomic increments; readers take a consistent-enough
 /// [`HistogramSnapshot`] for quantile queries. Never allocates after
 /// construction.
+///
+/// Built [`Histogram::with_exemplars`], each bucket additionally pins the
+/// most recent traced `(trace_id, value)` observation — the link from a
+/// latency bucket back to a retrievable request trace.
 pub struct Histogram {
     counts: Box<[AtomicU64]>,
     total: AtomicU64,
     sum_micros: AtomicU64,
     max_micros: AtomicU64,
+    exemplars: Option<Box<[ExemplarSlot]>>,
 }
 
 impl Default for Histogram {
@@ -69,6 +131,50 @@ impl Histogram {
             total: AtomicU64::new(0),
             sum_micros: AtomicU64::new(0),
             max_micros: AtomicU64::new(0),
+            exemplars: None,
+        }
+    }
+
+    /// An empty histogram that also pins one recent `(trace_id, value)`
+    /// exemplar per bucket. One extra allocation at construction; the
+    /// record path gains one branch (and, for traced observations, one
+    /// seqlocked pair write).
+    pub fn with_exemplars() -> Histogram {
+        Histogram {
+            exemplars: Some(
+                (0..BUCKETS)
+                    .map(|_| ExemplarSlot {
+                        version: AtomicU64::new(0),
+                        trace_id: AtomicU64::new(0),
+                        value_micros: AtomicU64::new(0),
+                    })
+                    .collect(),
+            ),
+            ..Histogram::new()
+        }
+    }
+
+    /// Whether this histogram pins exemplars.
+    pub fn has_exemplars(&self) -> bool {
+        self.exemplars.is_some()
+    }
+
+    /// Record one observation attributed to `trace_id`, pinning it as the
+    /// bucket's exemplar when exemplars are enabled and the trace is real
+    /// (id != 0).
+    pub fn record_traced(&self, value: Duration, trace_id: u64) {
+        let micros = value.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.record_micros_traced(micros, trace_id);
+    }
+
+    /// [`Histogram::record_traced`] for a value already in microseconds.
+    pub fn record_micros_traced(&self, micros: u64, trace_id: u64) {
+        self.record_micros(micros);
+        if trace_id == 0 {
+            return;
+        }
+        if let Some(slots) = &self.exemplars {
+            slots[bucket_of(micros)].pin(trace_id, micros);
         }
     }
 
@@ -93,6 +199,21 @@ impl Histogram {
 
     /// A point-in-time copy supporting quantiles and merging.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let exemplars = match &self.exemplars {
+            Some(slots) => slots
+                .iter()
+                .enumerate()
+                .filter_map(|(bucket, slot)| {
+                    slot.read().map(|(trace_id, value_micros)| Exemplar {
+                        bucket,
+                        upper_micros: bucket_upper(bucket),
+                        trace_id,
+                        value_micros,
+                    })
+                })
+                .collect(),
+            None => Vec::new(),
+        };
         HistogramSnapshot {
             counts: self
                 .counts
@@ -102,6 +223,7 @@ impl Histogram {
             total: self.total.load(Ordering::Relaxed),
             sum_micros: self.sum_micros.load(Ordering::Relaxed),
             max_micros: self.max_micros.load(Ordering::Relaxed),
+            exemplars,
         }
     }
 }
@@ -114,6 +236,9 @@ pub struct HistogramSnapshot {
     total: u64,
     sum_micros: u64,
     max_micros: u64,
+    /// At most one pinned exemplar per occupied bucket, ascending by
+    /// bucket; empty unless the source histogram pins exemplars.
+    exemplars: Vec<Exemplar>,
 }
 
 impl Default for HistogramSnapshot {
@@ -123,6 +248,7 @@ impl Default for HistogramSnapshot {
             total: 0,
             sum_micros: 0,
             max_micros: 0,
+            exemplars: Vec::new(),
         }
     }
 }
@@ -199,8 +325,21 @@ impl HistogramSnapshot {
         self.counts.iter().skip(first_over).sum()
     }
 
+    /// The pinned exemplars, at most one per bucket, ascending by bucket.
+    pub fn exemplars(&self) -> &[Exemplar] {
+        &self.exemplars
+    }
+
+    /// Observations at or below `bucket`'s upper edge — the cumulative
+    /// count an OpenMetrics `_bucket{le=...}` sample reports.
+    pub fn cumulative_count(&self, bucket: usize) -> u64 {
+        self.counts.iter().take(bucket + 1).sum()
+    }
+
     /// Merge another snapshot into this one. Merging is commutative and
-    /// associative (bucket-wise addition; max of maxima).
+    /// associative (bucket-wise addition; max of maxima; per-bucket
+    /// exemplars resolve ties by the larger trace id, then value — a join,
+    /// so merge order cannot change the survivor).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
@@ -208,6 +347,23 @@ impl HistogramSnapshot {
         self.total += other.total;
         self.sum_micros = self.sum_micros.saturating_add(other.sum_micros);
         self.max_micros = self.max_micros.max(other.max_micros);
+        if !other.exemplars.is_empty() {
+            let mut merged: Vec<Exemplar> =
+                Vec::with_capacity(self.exemplars.len() + other.exemplars.len());
+            merged.extend(self.exemplars.iter().copied());
+            merged.extend(other.exemplars.iter().copied());
+            merged.sort_by_key(|e| (e.bucket, e.trace_id, e.value_micros));
+            merged.dedup_by(|next, kept| {
+                // Sorted ascending: the later element wins the bucket.
+                if next.bucket == kept.bucket {
+                    *kept = *next;
+                    true
+                } else {
+                    false
+                }
+            });
+            self.exemplars = merged;
+        }
     }
 }
 
@@ -287,6 +443,64 @@ mod tests {
         // bucket's own occupants only.
         assert!(snap.count_over(Duration::ZERO) <= snap.count());
         assert_eq!(HistogramSnapshot::default().count_over(Duration::ZERO), 0);
+    }
+
+    #[test]
+    fn exemplars_pin_the_latest_traced_observation_per_bucket() {
+        let h = Histogram::with_exemplars();
+        assert!(h.has_exemplars());
+        h.record_traced(Duration::from_micros(100), 7);
+        h.record_traced(Duration::from_micros(101), 9); // same bucket: replaces
+        h.record_traced(Duration::from_micros(5_000), 11);
+        h.record_micros_traced(5, 0); // untraced: counted, never pinned
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 4);
+        let ex = snap.exemplars();
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].trace_id, 9);
+        assert_eq!(ex[0].value_micros, 101);
+        assert_eq!(ex[0].bucket, bucket_of(101));
+        assert!(ex[0].upper_micros >= 101);
+        assert_eq!(ex[1].trace_id, 11);
+        // Plain histograms never pin.
+        let plain = Histogram::new();
+        plain.record_traced(Duration::from_micros(100), 7);
+        assert!(plain.snapshot().exemplars().is_empty());
+    }
+
+    #[test]
+    fn cumulative_count_matches_bucket_sum() {
+        let h = Histogram::new();
+        for micros in [1u64, 5, 100, 5_000] {
+            h.record_micros(micros);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.cumulative_count(bucket_of(1)), 1);
+        assert_eq!(snap.cumulative_count(bucket_of(100)), 3);
+        assert_eq!(snap.cumulative_count(BUCKETS - 1), 4);
+    }
+
+    #[test]
+    fn exemplar_merge_is_commutative() {
+        let a = Histogram::with_exemplars();
+        a.record_traced(Duration::from_micros(100), 3);
+        a.record_traced(Duration::from_micros(9_000), 5);
+        let b = Histogram::with_exemplars();
+        b.record_traced(Duration::from_micros(100), 8);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        assert_eq!(ab, ba);
+        // The shared bucket kept the larger trace id.
+        let shared = ab
+            .exemplars()
+            .iter()
+            .find(|e| e.bucket == bucket_of(100))
+            .expect("shared bucket exemplar");
+        assert_eq!(shared.trace_id, 8);
+        assert_eq!(ab.exemplars().len(), 2);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod config;
 pub mod drift;
 pub mod export;
 pub mod hist;
+pub mod perfetto;
 pub mod recorder;
 pub mod registry;
 pub mod slo;
@@ -48,9 +49,10 @@ pub use clock::{Clock, MockClock, SystemClock};
 pub use config::{ns_between, ObsConfig};
 pub use drift::{DriftAssessment, DriftBaseline, DriftDetector, CHI2_P001_DF3};
 pub use export::{render_json, render_prometheus};
-pub use hist::{Histogram, HistogramSnapshot};
-pub use recorder::FlightRecorder;
+pub use hist::{Exemplar, Histogram, HistogramSnapshot};
+pub use perfetto::{render_perfetto, validate_trace_dump, TraceDumpSummary};
+pub use recorder::{FlightRecorder, SamplingPolicy, SpanLog};
 pub use registry::{Counter, FloatGauge, Gauge, Registry, RegistrySnapshot, SeriesValue};
 pub use slo::{BurnRateTracker, SloAssessment, SloConfig};
-pub use trace::{RequestTrace, SpanEvent, TraceId};
+pub use trace::{RequestTrace, SpanContext, SpanEvent, TraceId};
 pub use window::{CalibrationBins, CalibrationSnapshot, CategoryWindow, WindowCounts};

@@ -1,29 +1,104 @@
 //! The flight recorder: bounded retention of full request traces.
 //!
-//! Two bounded pools under one lock: a ring of the N most *recent* traces
-//! (what just happened) and the N *slowest* traces seen so far (what to
-//! debug). Memory is bounded by `recent + slowest` traces regardless of
-//! how long the service runs; a trace evicted from the recent ring
-//! survives if it is among the slowest.
+//! Two retention regimes share the structure:
 //!
-//! Lookups by trace id are O(1) through a side map maintained on every
-//! record and eviction: each retained trace carries a pool refcount, so a
-//! trace leaves the map exactly when the last pool lets go of it. Trace
-//! ids are allocator-unique within a process, which is what keeps one map
-//! entry per trace sufficient.
+//! - **Legacy** (`SamplingPolicy::keep_all`, the default): a ring of the
+//!   N most *recent* traces plus the N *slowest* traces seen so far.
+//! - **Tail-based sampling** (`SamplingPolicy::tail`): every request is
+//!   traced cheaply and the keep/drop decision happens here, at
+//!   completion time, when the outcome is known. Failed, shed, and
+//!   deadline-partial traces are *always* kept (one bounded ring per
+//!   outcome — the per-outcome budget); healthy traces are kept when they
+//!   are tail-slow (qualify for the slowest pool, or exceed the running
+//!   p99 estimate) and otherwise sampled deterministically by a hash of
+//!   the trace id (`1 in healthy_keep_one_in`). Dropped traces are
+//!   counted, never retained.
+//!
+//! Memory is bounded by the pool capacities regardless of how long the
+//! service runs. Lookups by trace id are O(1) through a side map
+//! maintained on every record and eviction: each retained trace carries a
+//! pool refcount, so a trace leaves the map exactly when the last pool
+//! lets go of it. Trace ids are allocator-unique within a process, which
+//! is what keeps one map entry per trace sufficient.
+//!
+//! [`SpanLog`] is the remote half of distributed tracing: a bounded ring
+//! of `(trace id, span)` pairs a shard or maintenance worker appends to,
+//! later stitched into the parent trace by `Router::lookup_trace`.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::trace::{RequestTrace, TraceId};
+use crate::hist::Histogram;
+use crate::trace::{RequestTrace, SpanEvent, TraceId};
+
+/// Outcome classes that tail sampling always keeps, each with its own
+/// bounded ring (the per-outcome budget).
+const ALWAYS_KEEP: [&str; 3] = ["failed", "shed", "partial"];
+
+/// The flight recorder's keep/drop policy, applied at completion time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingPolicy {
+    /// Tail-based sampling on. Off = legacy "N recent + N slowest".
+    pub tail: bool,
+    /// With tail sampling on: keep roughly one in this many healthy
+    /// (completed, not tail-slow) traces, chosen deterministically by a
+    /// hash of the trace id. `1` keeps every healthy trace.
+    pub healthy_keep_one_in: u64,
+    /// With tail sampling on: per-outcome retention budget — how many
+    /// failed, how many shed, and how many deadline-partial traces are
+    /// retained (each outcome gets its own ring of this capacity).
+    pub outcome_budget: usize,
+}
+
+impl SamplingPolicy {
+    /// Legacy retention: everything recorded lands in the recent ring and
+    /// competes for the slowest pool.
+    pub fn keep_all() -> SamplingPolicy {
+        SamplingPolicy {
+            tail: false,
+            healthy_keep_one_in: 1,
+            outcome_budget: 0,
+        }
+    }
+
+    /// Tail-based sampling with a `1 in healthy` healthy-trace sample and
+    /// a per-outcome budget of `budget` traces.
+    pub fn tail(healthy: u64, budget: usize) -> SamplingPolicy {
+        SamplingPolicy {
+            tail: true,
+            healthy_keep_one_in: healthy.max(1),
+            outcome_budget: budget,
+        }
+    }
+}
+
+impl Default for SamplingPolicy {
+    fn default() -> SamplingPolicy {
+        SamplingPolicy::keep_all()
+    }
+}
+
+/// The deterministic healthy-trace sampler: splitmix64 of the trace id.
+/// Pure, so a seeded run (sequential trace ids) keeps the same traces
+/// every time — and so does a test.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
 
 struct Inner {
     recent: VecDeque<Arc<RequestTrace>>,
     /// Sorted descending by `total_ns`, truncated to capacity.
     slowest: Vec<Arc<RequestTrace>>,
-    /// Trace id → (trace, number of pools retaining it). Sized by the two
+    /// One bounded ring per always-keep outcome (tail sampling only),
+    /// indexed like [`ALWAYS_KEEP`].
+    outcomes: [VecDeque<Arc<RequestTrace>>; 3],
+    /// Trace id → (trace, number of pools retaining it). Sized by the
     /// pool capacities, like the pools themselves.
     by_id: HashMap<TraceId, (Arc<RequestTrace>, u8)>,
 }
@@ -52,51 +127,135 @@ impl Inner {
 pub struct FlightRecorder {
     recent_capacity: usize,
     slowest_capacity: usize,
-    recorded: std::sync::atomic::AtomicU64,
+    policy: SamplingPolicy,
+    recorded: AtomicU64,
+    sampled_out: AtomicU64,
+    /// Running end-to-end latency distribution feeding the p99-slow
+    /// keep rule (tail sampling only).
+    latency: Histogram,
+    /// Cached p99 latency in nanoseconds, refreshed every
+    /// [`P99_REFRESH`] records; 0 until the histogram is warm.
+    p99_ns: AtomicU64,
     inner: Mutex<Inner>,
 }
 
+/// How often (in recorded traces) the cached p99 estimate is refreshed.
+const P99_REFRESH: u64 = 64;
+/// How many traces the p99 estimate needs before it gates anything.
+const P99_WARMUP: u64 = 128;
+
 impl FlightRecorder {
     /// A recorder retaining the `recent` most recent and `slowest` slowest
-    /// traces.
+    /// traces (legacy keep-all policy).
     pub fn new(recent: usize, slowest: usize) -> FlightRecorder {
+        FlightRecorder::with_sampling(recent, slowest, SamplingPolicy::keep_all())
+    }
+
+    /// A recorder with an explicit completion-time [`SamplingPolicy`].
+    pub fn with_sampling(recent: usize, slowest: usize, policy: SamplingPolicy) -> FlightRecorder {
         FlightRecorder {
             recent_capacity: recent,
             slowest_capacity: slowest,
-            recorded: std::sync::atomic::AtomicU64::new(0),
+            policy,
+            recorded: AtomicU64::new(0),
+            sampled_out: AtomicU64::new(0),
+            latency: Histogram::new(),
+            p99_ns: AtomicU64::new(0),
             inner: Mutex::new(Inner {
                 recent: VecDeque::with_capacity(recent),
                 slowest: Vec::with_capacity(slowest.saturating_add(1)),
+                outcomes: Default::default(),
                 by_id: HashMap::with_capacity(recent.saturating_add(slowest)),
             }),
         }
     }
 
-    /// Retain a sealed trace. Disabled traces are ignored.
+    /// The active keep/drop policy.
+    pub fn policy(&self) -> SamplingPolicy {
+        self.policy
+    }
+
+    /// Retain a sealed trace — or, under tail sampling, decide now
+    /// whether it is worth keeping. Disabled traces are ignored.
     pub fn record(&self, trace: RequestTrace) {
         if !trace.is_enabled() {
             return;
         }
-        self.recorded
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let seen = self.recorded.fetch_add(1, Ordering::Relaxed) + 1;
         let trace = Arc::new(trace);
+        if !self.policy.tail {
+            self.keep(&trace, None);
+            return;
+        }
+        // Tail decision: outcome first, then the latency tail, then the
+        // deterministic healthy sample.
+        self.latency.record_micros(trace.total_ns / 1_000);
+        if seen.is_multiple_of(P99_REFRESH) {
+            let p99 = self.latency.snapshot().quantile(0.99).as_nanos() as u64;
+            self.p99_ns.store(p99, Ordering::Relaxed);
+        }
+        if let Some(class) = ALWAYS_KEEP.iter().position(|o| *o == trace.outcome) {
+            self.keep(&trace, Some(class));
+            return;
+        }
+        let p99 = self.p99_ns.load(Ordering::Relaxed);
+        let tail_slow = seen >= P99_WARMUP && p99 > 0 && trace.total_ns > p99;
+        let sampled = self.policy.healthy_keep_one_in <= 1
+            || splitmix64(trace.trace_id).is_multiple_of(self.policy.healthy_keep_one_in);
+        if tail_slow || sampled || self.would_enter_slowest(&trace) {
+            self.keep(&trace, None);
+        } else {
+            self.sampled_out.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the slowest pool would accept this trace (it has room, or
+    /// the trace beats a retained entry).
+    fn would_enter_slowest(&self, trace: &RequestTrace) -> bool {
+        if self.slowest_capacity == 0 {
+            return false;
+        }
+        let inner = self.inner.lock();
+        inner
+            .slowest
+            .partition_point(|t| t.total_ns >= trace.total_ns)
+            < self.slowest_capacity
+    }
+
+    /// Retain `trace` in the shared pools; `outcome_class` routes
+    /// always-keep outcomes to their budget ring instead of the recent
+    /// ring.
+    fn keep(&self, trace: &Arc<RequestTrace>, outcome_class: Option<usize>) {
         let mut inner = self.inner.lock();
-        if self.recent_capacity > 0 {
-            if inner.recent.len() == self.recent_capacity {
-                if let Some(evicted) = inner.recent.pop_front() {
-                    inner.release_id(&evicted);
+        match outcome_class {
+            Some(class) if self.policy.outcome_budget > 0 => {
+                if inner.outcomes[class].len() == self.policy.outcome_budget {
+                    if let Some(evicted) = inner.outcomes[class].pop_front() {
+                        inner.release_id(&evicted);
+                    }
+                }
+                inner.retain_id(trace);
+                inner.outcomes[class].push_back(Arc::clone(trace));
+            }
+            _ => {
+                if self.recent_capacity > 0 {
+                    if inner.recent.len() == self.recent_capacity {
+                        if let Some(evicted) = inner.recent.pop_front() {
+                            inner.release_id(&evicted);
+                        }
+                    }
+                    inner.retain_id(trace);
+                    inner.recent.push_back(Arc::clone(trace));
                 }
             }
-            inner.retain_id(&trace);
-            inner.recent.push_back(Arc::clone(&trace));
         }
         if self.slowest_capacity > 0 {
             let at = inner
                 .slowest
                 .partition_point(|t| t.total_ns >= trace.total_ns);
             if at < self.slowest_capacity {
-                inner.retain_id(&trace);
-                inner.slowest.insert(at, trace);
+                inner.retain_id(trace);
+                inner.slowest.insert(at, Arc::clone(trace));
                 // The insert index is strictly below capacity, so the entry
                 // squeezed out is always the previous last — never the one
                 // just inserted.
@@ -109,9 +268,14 @@ impl FlightRecorder {
         }
     }
 
-    /// Total traces ever recorded (not just retained).
+    /// Total traces ever recorded (retained or not).
     pub fn recorded(&self) -> u64 {
-        self.recorded.load(std::sync::atomic::Ordering::Relaxed)
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Healthy traces the tail sampler decided to drop.
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out.load(Ordering::Relaxed)
     }
 
     /// Look a retained trace up by id — O(1) via the side map, regardless
@@ -134,6 +298,17 @@ impl FlightRecorder {
         self.inner.lock().slowest.iter().map(Arc::clone).collect()
     }
 
+    /// Traces retained by the per-outcome always-keep budgets (failed,
+    /// then shed, then deadline-partial; oldest first within each).
+    pub fn outcome_kept(&self) -> Vec<Arc<RequestTrace>> {
+        let inner = self.inner.lock();
+        inner
+            .outcomes
+            .iter()
+            .flat_map(|ring| ring.iter().map(Arc::clone))
+            .collect()
+    }
+
     /// Human-readable dump of the slowest pool (post-hoc debugging).
     pub fn dump_slowest(&self, n: usize) -> String {
         let mut out = String::new();
@@ -144,14 +319,76 @@ impl FlightRecorder {
     }
 }
 
+/// A bounded, concurrent log of `(trace id, span)` pairs: the per-shard
+/// child recorder behind distributed stitching. Workers that execute
+/// scattered fragments of a traced request append their child spans here;
+/// `Router::lookup_trace` later collects every shard's spans for a trace
+/// id and grafts them into the parent tree.
+///
+/// Recording under a dead context (trace id 0) is a no-op, preserving the
+/// zero-cost untraced path. The ring holds the most recent `capacity`
+/// spans; older spans fall off — the same bounded-memory stance as the
+/// flight recorder itself.
+pub struct SpanLog {
+    capacity: usize,
+    inner: Mutex<VecDeque<(TraceId, SpanEvent)>>,
+}
+
+impl SpanLog {
+    /// A log retaining the most recent `capacity` spans.
+    pub fn new(capacity: usize) -> SpanLog {
+        SpanLog {
+            capacity: capacity.max(1),
+            inner: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+        }
+    }
+
+    /// Append one span recorded on behalf of `trace_id`. No-op when
+    /// `trace_id` is 0 (untraced).
+    pub fn record(&self, trace_id: TraceId, span: SpanEvent) {
+        if trace_id == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.len() == self.capacity {
+            inner.pop_front();
+        }
+        inner.push_back((trace_id, span));
+    }
+
+    /// Every retained span recorded for `trace_id`, in append order.
+    pub fn for_trace(&self, trace_id: TraceId) -> Vec<SpanEvent> {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|(id, _)| *id == trace_id)
+            .map(|(_, span)| span.clone())
+            .collect()
+    }
+
+    /// Number of spans currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the log holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn trace(id: TraceId, total_ns: u64) -> RequestTrace {
+        trace_with(id, total_ns, "completed")
+    }
+
+    fn trace_with(id: TraceId, total_ns: u64, outcome: &'static str) -> RequestTrace {
         let mut t = RequestTrace::new(id, id * 10);
         t.span("verify", total_ns, 1, 1, "");
-        t.finish("completed", total_ns);
+        t.finish(outcome, total_ns);
         t
     }
 
@@ -253,5 +490,115 @@ mod tests {
         recorder.record(trace(2, 700));
         let dump = recorder.dump_slowest(1);
         assert!(dump.starts_with("trace 2"));
+    }
+
+    #[test]
+    fn tail_sampling_always_keeps_bad_outcomes() {
+        let recorder = FlightRecorder::with_sampling(4, 0, SamplingPolicy::tail(1_000_000, 32));
+        for id in 1..=10 {
+            let outcome = ["failed", "shed", "partial"][(id % 3) as usize];
+            recorder.record(trace_with(id, 50, outcome));
+        }
+        // 100% of failed/shed/partial traces retained and retrievable.
+        for id in 1..=10 {
+            assert!(recorder.lookup(id).is_some(), "trace {id} must be kept");
+        }
+        assert_eq!(recorder.outcome_kept().len(), 10);
+        assert_eq!(recorder.sampled_out(), 0);
+    }
+
+    #[test]
+    fn tail_sampling_outcome_budget_is_bounded() {
+        let recorder = FlightRecorder::with_sampling(0, 0, SamplingPolicy::tail(1, 3));
+        for id in 1..=10 {
+            recorder.record(trace_with(id, 50, "failed"));
+        }
+        let kept: Vec<TraceId> = recorder.outcome_kept().iter().map(|t| t.trace_id).collect();
+        assert_eq!(kept, vec![8, 9, 10], "ring keeps the most recent budget");
+        assert_eq!(recorder.recorded(), 10);
+    }
+
+    #[test]
+    fn tail_sampling_keeps_a_deterministic_healthy_fraction() {
+        let policy = SamplingPolicy::tail(4, 8);
+        let recorder = FlightRecorder::with_sampling(64, 0, SamplingPolicy::tail(4, 8));
+        let n = 64u64;
+        for id in 1..=n {
+            recorder.record(trace(id, 50));
+        }
+        let kept = recorder.recent().len() as u64;
+        let dropped = recorder.sampled_out();
+        assert_eq!(kept + dropped, n, "every healthy trace decided");
+        // The sampler is a pure function of the id, so the kept set is
+        // exactly predictable — and a bounded fraction, not everything.
+        let expect: u64 = (1..=n)
+            .filter(|id| splitmix64(*id).is_multiple_of(policy.healthy_keep_one_in))
+            .count() as u64;
+        assert_eq!(kept, expect);
+        assert!(kept < n, "sampling must drop something at 1-in-4");
+        assert!(kept > 0, "sampling must keep something across 64 ids");
+        // Re-running the same ids keeps the same traces.
+        let twin = FlightRecorder::with_sampling(64, 0, SamplingPolicy::tail(4, 8));
+        for id in 1..=n {
+            twin.record(trace(id, 50));
+        }
+        let ids = |r: &FlightRecorder| -> Vec<TraceId> {
+            r.recent().iter().map(|t| t.trace_id).collect()
+        };
+        assert_eq!(ids(&recorder), ids(&twin));
+    }
+
+    #[test]
+    fn tail_sampling_keeps_slow_healthy_traces() {
+        // healthy_keep_one_in is astronomically high: only the slow-keep
+        // rules can retain a healthy trace.
+        let recorder = FlightRecorder::with_sampling(8, 2, SamplingPolicy::tail(u64::MAX, 4));
+        for id in 1..=300u64 {
+            // A flat 10us floor with two slow outliers.
+            let total = if id % 100 == 0 { 9_000_000 } else { 10_000 };
+            recorder.record(trace(id, total));
+        }
+        // The outliers entered the slowest pool despite the sampler.
+        let slowest: Vec<u64> = recorder.slowest().iter().map(|t| t.total_ns).collect();
+        assert_eq!(slowest.len(), 2);
+        assert!(slowest.iter().all(|t| *t == 9_000_000));
+        assert!(recorder.lookup(100).is_some());
+        assert!(recorder.lookup(200).is_some());
+        assert!(
+            recorder.sampled_out() > 250,
+            "the flat floor is sampled out ({} dropped)",
+            recorder.sampled_out()
+        );
+    }
+
+    #[test]
+    fn span_log_is_bounded_and_filters_by_trace() {
+        let log = SpanLog::new(3);
+        assert!(log.is_empty());
+        let span = |stage: &'static str| SpanEvent {
+            stage: std::borrow::Cow::Borrowed(stage),
+            span_id: 0x8000_0001,
+            parent_id: 2,
+            start_ns: 0,
+            duration_ns: 10,
+            candidates_in: 4,
+            candidates_out: 2,
+            note: String::new(),
+        };
+        log.record(0, span("dropped"));
+        assert!(log.is_empty(), "dead context records nothing");
+        log.record(7, span("shard-0"));
+        log.record(8, span("shard-0"));
+        log.record(7, span("shard-1"));
+        log.record(7, span("shard-2"));
+        assert_eq!(log.len(), 3, "capacity 3: oldest fell off");
+        let seven: Vec<String> = log
+            .for_trace(7)
+            .iter()
+            .map(|s| s.stage.to_string())
+            .collect();
+        assert_eq!(seven, vec!["shard-1", "shard-2"]);
+        assert_eq!(log.for_trace(8).len(), 1);
+        assert!(log.for_trace(99).is_empty());
     }
 }

@@ -229,6 +229,38 @@ impl Registry {
         histogram
     }
 
+    /// Register a histogram series that pins one recent `(trace_id,
+    /// value)` exemplar per bucket ([`Histogram::with_exemplars`]),
+    /// exported in OpenMetrics exemplar syntax.
+    pub fn histogram_with_exemplars(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Histogram> {
+        let histogram = Arc::new(Histogram::with_exemplars());
+        self.push(
+            name,
+            help,
+            labels,
+            Metric::Histogram(Arc::clone(&histogram)),
+        );
+        histogram
+    }
+
+    /// Register an externally-constructed histogram: the owning subsystem
+    /// keeps recording into its own handle while the registry snapshots
+    /// the shared state.
+    pub fn register_histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+        histogram: Arc<Histogram>,
+    ) {
+        self.push(name, help, labels, Metric::Histogram(histogram));
+    }
+
     fn push(
         &self,
         name: &'static str,

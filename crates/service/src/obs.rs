@@ -364,8 +364,10 @@ pub struct ServiceObs {
     stage_latency: [Arc<Histogram>; 4],
     verdicts: [Arc<Counter>; 4],
 
-    recorder: FlightRecorder,
+    recorder: Arc<FlightRecorder>,
     next_trace_id: AtomicU64,
+    /// Micro-batch sequence numbers for batch-membership spans.
+    next_batch_seq: AtomicU64,
 
     // Quality monitoring (gated like the tier above; None when either
     // observability or quality is disabled).
@@ -410,12 +412,18 @@ impl ServiceObs {
                 &[("stage", s)],
             )
         };
+        // Exemplared histograms pin one recent (trace_id, value) pair per
+        // latency bucket, linking slow buckets to retrievable traces.
+        let exemplars = config.enabled && config.exemplars;
         let stage_hist = |s: &str| {
-            registry.histogram(
-                "verifai_stage_latency_seconds",
-                "Per-request stage latency",
-                &[("stage", s)],
-            )
+            let name = "verifai_stage_latency_seconds";
+            let help = "Per-request stage latency";
+            let labels: &[(&'static str, &str)] = &[("stage", s)];
+            if exemplars {
+                registry.histogram_with_exemplars(name, help, labels)
+            } else {
+                registry.histogram(name, help, labels)
+            }
         };
         let verdict = |v: &str| {
             registry.counter(
@@ -478,11 +486,15 @@ impl ServiceObs {
                 &[],
             ),
             lake: LakeObs::new(&registry),
-            latency: registry.histogram(
-                "verifai_request_latency_seconds",
-                "End-to-end latency of completed requests (enqueue to reply)",
-                &[],
-            ),
+            latency: {
+                let name = "verifai_request_latency_seconds";
+                let help = "End-to-end latency of completed requests (enqueue to reply)";
+                if exemplars {
+                    registry.histogram_with_exemplars(name, help, &[])
+                } else {
+                    registry.histogram(name, help, &[])
+                }
+            },
             stage_latency: [
                 stage_hist(STAGES[0]),
                 stage_hist(STAGES[1]),
@@ -495,8 +507,13 @@ impl ServiceObs {
                 verdict("not_related"),
                 verdict("unknown"),
             ],
-            recorder: FlightRecorder::new(config.recent_traces, config.slowest_traces),
+            recorder: Arc::new(FlightRecorder::with_sampling(
+                config.recent_traces,
+                config.slowest_traces,
+                config.sampling,
+            )),
             next_trace_id: AtomicU64::new(1),
+            next_batch_seq: AtomicU64::new(1),
             quality,
             config,
             registry,
@@ -549,7 +566,22 @@ impl ServiceObs {
 
     /// The flight recorder retaining recent and slowest request traces.
     pub fn recorder(&self) -> &FlightRecorder {
-        &self.recorder
+        self.recorder.as_ref()
+    }
+
+    /// A shareable handle to the flight recorder — attach it to a cluster
+    /// router so `Router::lookup_trace` can stitch distributed trees.
+    pub fn recorder_arc(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.recorder)
+    }
+
+    /// Allocate the next micro-batch sequence number (for `batch-{seq}`
+    /// membership spans); 0 when tracing is off.
+    pub(crate) fn allocate_batch_seq(&self) -> u64 {
+        if !self.config.enabled {
+            return 0;
+        }
+        self.next_batch_seq.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Allocate the next trace id (sequential from 1, so seeded
@@ -657,6 +689,7 @@ impl ServiceObs {
     /// evidence score, `None` for evidence-free reports).
     pub(crate) fn on_completed(
         &self,
+        trace_id: TraceId,
         timing: &StageTiming,
         decision: Verdict,
         queue_ns: u64,
@@ -668,11 +701,14 @@ impl ServiceObs {
         if !self.config.enabled {
             return;
         }
-        self.latency.record(Duration::from_nanos(latency_ns));
-        self.stage_latency[0].record(Duration::from_nanos(queue_ns));
-        self.stage_latency[1].record(Duration::from_nanos(timing.retrieval_ns));
-        self.stage_latency[2].record(Duration::from_nanos(timing.rerank_ns));
-        self.stage_latency[3].record(Duration::from_nanos(timing.verify_ns));
+        // `record_traced` pins the request's trace id as the bucket
+        // exemplar (a plain record when exemplars are off or the id is 0).
+        self.latency
+            .record_traced(Duration::from_nanos(latency_ns), trace_id);
+        self.stage_latency[0].record_traced(Duration::from_nanos(queue_ns), trace_id);
+        self.stage_latency[1].record_traced(Duration::from_nanos(timing.retrieval_ns), trace_id);
+        self.stage_latency[2].record_traced(Duration::from_nanos(timing.rerank_ns), trace_id);
+        self.stage_latency[3].record_traced(Duration::from_nanos(timing.verify_ns), trace_id);
         self.verdicts[verdict_slot(decision)].inc();
         if let Some(quality) = &self.quality {
             quality.monitor.observe(verdict_slot(decision), top_score);
@@ -786,6 +822,7 @@ mod tests {
         assert!(!trace.is_enabled());
         assert_eq!(trace.spans.capacity(), 0);
         obs.on_completed(
+            0,
             &StageTiming::default(),
             Verdict::Verified,
             10,
@@ -810,7 +847,7 @@ mod tests {
             candidates_in: 10,
             candidates_out: 4,
         };
-        obs.on_completed(&timing, Verdict::Refuted, 500_000, 7_000_000, Some(0.4));
+        obs.on_completed(1, &timing, Verdict::Refuted, 500_000, 7_000_000, Some(0.4));
         assert_eq!(obs.latency_snapshot().count(), 1);
         let stages = obs.stage_latency_snapshot();
         assert_eq!(stages.queue.count(), 1);
@@ -859,6 +896,7 @@ mod tests {
         obs.record_canary(true, "");
         obs.record_canary(false, "probe regressed");
         obs.on_completed(
+            1,
             &StageTiming::default(),
             Verdict::Verified,
             10,

@@ -28,7 +28,7 @@ use verifai::{
     VerificationReport,
 };
 use verifai_lake::DataInstance;
-use verifai_obs::{ns_between, render_json, render_prometheus};
+use verifai_obs::{ns_between, render_json, render_prometheus, SpanContext};
 
 use crate::cache::{CachedEvidence, EvidenceCache};
 use crate::obs::ServiceObs;
@@ -369,6 +369,7 @@ impl VerificationService {
             stage_latency: obs.stage_latency_snapshot(),
             verdicts: obs.verdict_counts(),
             traces_recorded: obs.recorder().recorded(),
+            traces_sampled_out: obs.recorder().sampled_out(),
             quality: obs.quality_stats(),
             cache: self
                 .inner
@@ -531,7 +532,16 @@ fn process_batch(inner: &Inner, batch: Vec<Request>) {
 /// counters) are untouched, so serving from the warm map is
 /// indistinguishable from per-request discovery except for the amortized
 /// index sweep.
-type WarmEvidence = HashMap<(u8, String), (Vec<(DataInstance, f64)>, StageTiming)>;
+type WarmEvidence = HashMap<(u8, String), WarmEntry>;
+
+/// One prewarmed discovery plus its batch membership: which micro-batch
+/// sweep produced it and how many distinct queries rode along.
+struct WarmEntry {
+    evidence: Vec<(DataInstance, f64)>,
+    timing: StageTiming,
+    batch_seq: u64,
+    co_riders: usize,
+}
 
 /// Discover the group's distinct not-yet-cached queries through
 /// [`VerifAi::discover_evidence_batch`]: one blocked multi-query scan per
@@ -545,6 +555,7 @@ fn prewarm_group(inner: &Inner, group: &[Request]) -> WarmEvidence {
     let now = inner.obs.config().clock.now();
     let mut keys: Vec<(u8, String)> = Vec::new();
     let mut objects: Vec<&DataObject> = Vec::new();
+    let mut ctxs: Vec<SpanContext> = Vec::new();
     for request in group {
         // Already-expired requests answer empty without discovery; don't
         // spend the sweep (or provenance rows) on them.
@@ -566,13 +577,34 @@ fn prewarm_group(inner: &Inner, group: &[Request]) -> WarmEvidence {
             continue;
         }
         objects.push(&request.object);
+        // The sweep runs before any request's trace exists, so the context
+        // carries the trace id with span 0; a distributed backend's shard
+        // children then graft under the request's retrieval span.
+        ctxs.push(SpanContext {
+            trace_id: request.trace_id,
+            span_id: 0,
+            parent_id: 0,
+        });
         keys.push(key);
     }
     if objects.len() < 2 {
         return HashMap::new();
     }
+    let batch_seq = inner.obs.allocate_batch_seq();
+    let co_riders = objects.len();
     keys.into_iter()
-        .zip(inner.system.discover_evidence_batch(&objects))
+        .zip(inner.system.discover_evidence_batch_ctx(&objects, &ctxs))
+        .map(|(key, (evidence, timing))| {
+            (
+                key,
+                WarmEntry {
+                    evidence,
+                    timing,
+                    batch_seq,
+                    co_riders,
+                },
+            )
+        })
         .collect()
 }
 
@@ -611,25 +643,39 @@ fn evidence_for(
     // query through the blocked multi-query sweep (provenance included), so
     // a warm entry substitutes for the per-request discovery call.
     let discover = |trace: &mut RequestTrace| match warm.get(&key) {
-        Some((evidence, timing)) => {
+        Some(entry) => {
             // Keep the trace shape identical to per-request discovery —
             // the same retrieval/rerank spans, carrying this object's
             // share of the batch — and flag the batching in the notes.
+            let timing = &entry.timing;
             trace.span(
                 "retrieval",
                 timing.retrieval_ns,
                 timing.candidates_in,
-                evidence.len(),
+                entry.evidence.len(),
                 "batched discovery",
             );
             trace.span(
                 "rerank",
                 timing.rerank_ns,
-                evidence.len(),
+                entry.evidence.len(),
                 timing.candidates_out,
                 "batched discovery",
             );
-            (evidence.clone(), *timing)
+            // Batch membership: which sweep served this request and how
+            // many distinct queries rode along. Zero-duration marker span
+            // (the cost lives in the retrieval span above); formatted only
+            // when the trace is live so the disabled path stays free.
+            if trace.is_enabled() {
+                trace.span(
+                    format!("batch-{}", entry.batch_seq),
+                    0,
+                    entry.co_riders,
+                    entry.evidence.len(),
+                    format!("{} co-riders in batch {}", entry.co_riders, entry.batch_seq),
+                );
+            }
+            (entry.evidence.clone(), *timing)
         }
         None => inner.system.discover_evidence_traced(object, trace),
     };
@@ -696,7 +742,12 @@ fn process(
     let started = clock.now();
     let queue_ns = ns_between(request.enqueued, started);
     let mut trace = inner.obs.begin_trace(request.trace_id, request.object.id());
-    trace.span("queue", queue_ns, 0, 0, "");
+    let queue_note = if trace.is_enabled() && !inner.config.tenants.is_empty() {
+        format!("tenant {}", inner.config.tenants[request.tenant].name)
+    } else {
+        String::new()
+    };
+    trace.span("queue", queue_ns, 0, 0, queue_note);
     let expired = request.deadline.is_some_and(|d| started >= d);
     let outcome = if expired {
         // The deadline passed before evidence discovery even started (e.g. a
@@ -742,6 +793,7 @@ fn process(
         Ok((report, partial)) => {
             let latency_ns = ns_between(request.enqueued, clock.now());
             inner.obs.on_completed(
+                request.trace_id,
                 &report.timing,
                 report.decision,
                 queue_ns,

@@ -152,6 +152,9 @@ pub struct ServiceStats {
     pub verdicts: VerdictCounts,
     /// Request traces the flight recorder has seen (retained or not).
     pub traces_recorded: u64,
+    /// Healthy traces the tail sampler dropped at completion time (always
+    /// zero under the default keep-all policy).
+    pub traces_sampled_out: u64,
     /// Quality-monitoring state (disabled default when no monitor runs).
     pub quality: QualityStats,
     /// Per-tenant accounting, in configuration order (empty without
@@ -230,6 +233,7 @@ impl ServiceStats {
         self.verdicts.not_related += other.verdicts.not_related;
         self.verdicts.unknown += other.verdicts.unknown;
         self.traces_recorded += other.traces_recorded;
+        self.traces_sampled_out += other.traces_sampled_out;
         self.quality.enabled |= other.quality.enabled;
         self.quality.windows += other.quality.windows;
         self.quality.canary_lifetime.passed += other.quality.canary_lifetime.passed;
@@ -357,6 +361,13 @@ impl fmt::Display for ServiceStats {
                 self.stage_latency.retrieval.quantile(0.95),
                 self.stage_latency.rerank.quantile(0.95),
                 self.stage_latency.verify.quantile(0.95)
+            )?;
+        }
+        if self.traces_sampled_out > 0 {
+            writeln!(
+                f,
+                "tracing:  recorded {} | sampled out {}",
+                self.traces_recorded, self.traces_sampled_out
             )?;
         }
         if self.lake.mutations > 0 || self.lake.generation > 0 {

@@ -54,6 +54,24 @@ cargo run -q --release --bin verifai-serve -- \
   --requests 120 --shards 4 --tenants acme:3,beta:1,free:1 \
   --canary-every 10 --slowest 0 > /dev/null
 
+# Gating distributed-tracing smoke: a 4-shard run with tail sampling and
+# a Perfetto trace dump must exit 0 (verifai-serve self-validates the
+# dump: parseable trace-event JSON, >= 1 trace, per-shard child spans).
+# Then assert the dump and the exemplar-enabled Prometheus exposition
+# from the stitched path hold their invariants here too: the JSON parses
+# and names shard spans, and the PR 5 pathological-label escaping
+# regression still passes with exemplars in the exposition.
+echo "==> distributed tracing smoke (gating)"
+TRACE_DUMP="$(mktemp)"
+cargo run -q --release --bin verifai-serve -- \
+  --requests 120 --shards 4 --tail-sample 4 --trace-dump "$TRACE_DUMP" \
+  --slowest 3 > /dev/null
+grep -q '"ph":"X"' "$TRACE_DUMP" || { echo "trace dump has no complete events"; exit 1; }
+grep -q '"name":"shard-' "$TRACE_DUMP" || { echo "trace dump has no shard spans"; exit 1; }
+rm -f "$TRACE_DUMP"
+cargo test -q --test tracing > /dev/null
+cargo test -q -p verifai-obs --lib export > /dev/null
+
 # Gating live-lake smoke: build a live system, stream documents in,
 # delete half, compact, snapshot the standing indexes, reload them, and
 # verify the reloaded indexes search identically. Nonzero exit means the

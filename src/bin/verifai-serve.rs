@@ -39,11 +39,14 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use verifai::ObsConfig;
 use verifai::{DataObject, SemanticBackend, Verdict, VerifAi, VerifAiConfig};
 use verifai_claims::ClaimGenConfig;
 use verifai_cluster::{build_cluster, ClusterConfig, Router};
 use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
-use verifai_obs::CanarySchedule;
+use verifai_obs::{
+    render_perfetto, validate_trace_dump, CanarySchedule, RequestTrace, SamplingPolicy,
+};
 use verifai_service::{
     QualityConfig, RequestOutcome, ServiceConfig, SubmitError, TenantSpec, Ticket,
     VerificationService,
@@ -66,6 +69,8 @@ struct Args {
     baseline: Option<Vec<f64>>,
     shards: usize,
     tenants: Vec<TenantSpec>,
+    trace_dump: Option<String>,
+    tail_sample: u64,
 }
 
 impl Default for Args {
@@ -87,6 +92,8 @@ impl Default for Args {
             baseline: None,
             shards: 0,
             tenants: Vec::new(),
+            trace_dump: None,
+            tail_sample: 0,
         }
     }
 }
@@ -95,7 +102,7 @@ const USAGE: &str = "verifai-serve [--requests N] [--workers N] [--seed N] \
 [--queue-capacity N] [--high-water N] [--max-batch N] [--cache-capacity N] \
 [--deadline-ms N] [--distinct N] [--window N] [--metrics-every N] [--slowest N] \
 [--canary-every N] [--baseline p0,p1,p2,p3] [--shards N] \
-[--tenants name:weight[:rate[:burst]],...]";
+[--tenants name:weight[:rate[:burst]],...] [--trace-dump PATH] [--tail-sample N]";
 
 /// Parse `--tenants acme:3,beta:1:5.0,free:1:2.0:4.0` — name, fair-share
 /// weight, optional sustained rate (req/s, 0 = unlimited) and burst.
@@ -149,6 +156,10 @@ fn parse_args() -> Result<Args, String> {
             args.tenants = parse_tenants(&value)?;
             continue;
         }
+        if flag == "--trace-dump" {
+            args.trace_dump = Some(value);
+            continue;
+        }
         if flag == "--baseline" {
             let proportions: Vec<f64> = value
                 .split(',')
@@ -188,6 +199,7 @@ fn parse_args() -> Result<Args, String> {
             "--slowest" => args.slowest = parsed as usize,
             "--canary-every" => args.canary_every = parsed,
             "--shards" => args.shards = parsed as usize,
+            "--tail-sample" => args.tail_sample = parsed,
             other => return Err(format!("unknown flag {other}\nusage: {USAGE}")),
         }
     }
@@ -283,7 +295,15 @@ fn main() -> ExitCode {
         println!("tenants: {}", mix.join(", "));
     }
 
-    let service = VerificationService::new(
+    // `--tail-sample N` switches the flight recorder to tail-based
+    // sampling: every failed/shed/deadline-partial trace and every
+    // p99-slow trace is kept, while only ~1 in N healthy traces survive.
+    let obs_config = if args.tail_sample > 0 {
+        ObsConfig::default().with_sampling(SamplingPolicy::tail(args.tail_sample, 8))
+    } else {
+        ObsConfig::default()
+    };
+    let service = VerificationService::with_obs(
         Arc::clone(&sys),
         ServiceConfig {
             workers: args.workers,
@@ -299,7 +319,14 @@ fn main() -> ExitCode {
             tenants: args.tenants.clone(),
             ..ServiceConfig::default()
         },
+        obs_config,
     );
+    // Sharded runs stitch distributed span trees: the router records one
+    // child span per shard per query, grafted under the request's
+    // retrieval span at lookup time.
+    if let Some(router) = &router {
+        router.attach_recorder(service.obs().recorder_arc());
+    }
 
     // Golden canary set, screened before traffic starts.
     let golden = if args.canary_every > 0 {
@@ -451,6 +478,49 @@ fn main() -> ExitCode {
         if !dump.is_empty() {
             println!("\n==> slowest traces (top {})", args.slowest);
             print!("{dump}");
+        }
+    }
+
+    // `--trace-dump PATH`: export the slowest retained traces as Chrome
+    // trace-event JSON (loadable at ui.perfetto.dev). Sharded runs stitch
+    // each tree through the router first so per-shard child spans ride
+    // along. The dump is self-validated before it is written; a dump that
+    // fails validation (or contains no traces) fails the run.
+    if let Some(path) = &args.trace_dump {
+        let slowest = service.obs().recorder().slowest();
+        let stitched: Vec<RequestTrace> = slowest
+            .iter()
+            .take(args.slowest.max(1))
+            .map(|t| match &router {
+                Some(r) => r.lookup_trace(t.trace_id).unwrap_or_else(|| (**t).clone()),
+                None => (**t).clone(),
+            })
+            .collect();
+        let refs: Vec<&RequestTrace> = stitched.iter().collect();
+        let json = render_perfetto(&refs).to_string();
+        match validate_trace_dump(&json) {
+            Ok(summary) if summary.traces == 0 => {
+                eprintln!("trace dump contains no traces");
+                return ExitCode::FAILURE;
+            }
+            Ok(summary) if router.is_some() && summary.shard_spans == 0 => {
+                eprintln!("sharded run produced no per-shard child spans");
+                return ExitCode::FAILURE;
+            }
+            Ok(summary) => {
+                if let Err(error) = std::fs::write(path, &json) {
+                    eprintln!("cannot write trace dump to {path}: {error}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "\ntrace dump: {} traces, {} spans ({} shard spans) -> {path}",
+                    summary.traces, summary.spans, summary.shard_spans
+                );
+            }
+            Err(error) => {
+                eprintln!("trace dump failed validation: {error}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 

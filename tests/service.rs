@@ -206,9 +206,22 @@ fn flight_recorder_retrieves_full_trace_by_id() {
             .unwrap_or_else(|| panic!("trace {} not retained", report.trace_id));
         assert_eq!(trace.object_id, report.object_id);
         assert_eq!(trace.outcome, "completed");
-        // Every lifecycle stage left a span, in execution order.
-        let stages: Vec<&str> = trace.spans.iter().map(|s| s.stage).collect();
+        // Every lifecycle stage left a span, in execution order. Requests
+        // served by the micro-batch prewarm sweep additionally carry a
+        // zero-duration `batch-{seq}` membership marker.
+        let stages: Vec<&str> = trace
+            .spans
+            .iter()
+            .map(|s| s.stage.as_ref())
+            .filter(|s| !s.starts_with("batch-"))
+            .collect();
         assert_eq!(stages, ["queue", "cache", "retrieval", "rerank", "verify"]);
+        for span in &trace.spans {
+            if span.stage.starts_with("batch-") {
+                assert_eq!(span.duration_ns, 0, "membership markers cost nothing");
+                assert!(span.note.contains("co-riders"), "note: {}", span.note);
+            }
+        }
         // Span candidate counts agree with the report's instrumentation.
         let retrieval = trace.span_for("retrieval").expect("retrieval span");
         assert_eq!(retrieval.candidates_in, report.timing.candidates_in);
