@@ -23,7 +23,7 @@ use verifai_claims::ClaimGenConfig;
 use verifai_cluster::{build_cluster, ClusterConfig};
 use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
 use verifai_lake::InstanceKind;
-use verifai_obs::SamplingPolicy;
+use verifai_obs::{meter, Clock, Profiler, SamplingPolicy, SystemClock};
 use verifai_service::{
     QualityConfig, RequestOutcome, ServiceConfig, ServiceStats, Ticket, VerificationService,
 };
@@ -267,6 +267,39 @@ fn bench_obs_overhead(c: &mut Criterion) {
         quality_stats.quality.windows,
     );
 
+    // Metering and profiler overhead. Cost charging is always compiled in
+    // and billing is always-on; the kill-switch exists solely so this A/B
+    // can price the charge sites (thread-local counter bumps on the kernel
+    // inner loops). The profiler arm layers the 99 Hz cooperative sampler
+    // on top of the metered baseline — one clock read per scope boundary.
+    let metered_ns = best_ns(reps, || {
+        serve_with_obs(&sys, &config, ObsConfig::default(), &requests);
+    });
+    meter::set_enabled(false);
+    let unmetered_ns = best_ns(reps, || {
+        serve_with_obs(&sys, &config, ObsConfig::default(), &requests);
+    });
+    meter::set_enabled(true);
+    let meter_pct = (metered_ns as f64 / unmetered_ns.max(1) as f64 - 1.0) * 100.0;
+    let profiled_config = ServiceConfig {
+        profiler: Some(Arc::new(Profiler::new(
+            Arc::new(SystemClock) as Arc<dyn Clock>
+        ))),
+        ..config.clone()
+    };
+    let profiled_ns = best_ns(reps, || {
+        serve_with_obs(&sys, &profiled_config, ObsConfig::default(), &requests);
+    });
+    let profiler_pct = (profiled_ns as f64 / metered_ns.max(1) as f64 - 1.0) * 100.0;
+    eprintln!(
+        "metering: on {:.2} ms vs kill-switched {:.2} ms (best of {reps}) = \
+         {meter_pct:+.2}% (target < 2%); profiler sampling adds {profiler_pct:+.2}% \
+         ({:.2} ms)",
+        metered_ns as f64 / 1e6,
+        unmetered_ns as f64 / 1e6,
+        profiled_ns as f64 / 1e6,
+    );
+
     // Scatter/gather overhead: per-modality retrieval through the sharded
     // router (1/2/4/8 shards) vs the single-lake build, both on the exact
     // flat backend so every topology returns identical hits and the delta
@@ -339,6 +372,16 @@ fn bench_obs_overhead(c: &mut Criterion) {
             "exemplars_on_ms": enabled_ns as f64 / 1e6,
             "exemplars_off_ms": no_exemplar_ns as f64 / 1e6,
             "exemplar_pinning_pct": exemplar_pct,
+            "target_pct": 2.0,
+        },
+        "meter_overhead": {
+            "reps": reps,
+            "metered_ms": metered_ns as f64 / 1e6,
+            "unmetered_ms": unmetered_ns as f64 / 1e6,
+            "overhead_pct": meter_pct,
+            "profiled_ms": profiled_ns as f64 / 1e6,
+            "profiler_overhead_pct": profiler_pct,
+            "profiler_hz": 99,
             "target_pct": 2.0,
         },
         "quality_overhead": {

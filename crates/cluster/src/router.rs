@@ -12,9 +12,9 @@ use verifai_embed::{TextEmbedder, Vector};
 use verifai_index::{Combiner, CorpusStats, EvidenceSource, SearchHit, SourceQuery, VectorIndex};
 use verifai_lake::InstanceKind;
 use verifai_obs::{
-    ns_between, Alert, AlertKind, AlertLog, BurnRateTracker, Clock, Counter, FlightRecorder,
-    FloatGauge, Gauge, Histogram, Registry, RegistrySnapshot, RequestTrace, Severity, SloConfig,
-    SpanContext, SpanEvent, SpanLog, TraceId,
+    meter, ns_between, Alert, AlertKind, AlertLog, BurnRateTracker, Clock, CostVector, Counter,
+    FlightRecorder, FloatGauge, Gauge, Histogram, Registry, RegistrySnapshot, RequestTrace,
+    Severity, SloConfig, SpanContext, SpanEvent, SpanLog, TraceId,
 };
 
 use crate::merge::merge_topk;
@@ -373,7 +373,7 @@ impl Router {
             return Vec::new();
         }
         let n = self.shards.len();
-        let (tx, rx) = channel::bounded::<(usize, Vec<SearchHit>, u64, u64)>(n);
+        let (tx, rx) = channel::bounded::<(usize, Vec<SearchHit>, u64, u64, CostVector)>(n);
         let text: Arc<str> = Arc::from(query.text);
         let vector: Option<Arc<Vector>> = query.vector.map(|v| Arc::new(v.clone()));
         enum Target {
@@ -395,18 +395,23 @@ impl Router {
             let submitted = clock.now();
             let job: ShardJob = Box::new(move || {
                 let start = clock.now();
-                let hits = match &target {
+                // Harvest the scan's resource charges off whichever thread
+                // ran the job (shard worker or, on backpressure, the router
+                // thread itself) and ship them home with the hits — the
+                // gather loop re-charges them into the requesting thread.
+                let (hits, cost) = meter::scoped(|| match &target {
                     Target::Content(index) => index.read().search(&text, k),
                     Target::Semantic(index) => match &vector {
                         Some(v) => VectorIndex::search(&*index.read(), v, k),
                         None => Vec::new(),
                     },
-                };
+                });
                 let _ = tx.send((
                     i,
                     hits,
                     ns_between(submitted, start),
                     ns_between(start, clock.now()),
+                    cost,
                 ));
             });
             if let Err(job) = shard.try_submit(job) {
@@ -418,10 +423,15 @@ impl Router {
         }
         drop(tx);
         let mut lists = vec![Vec::new(); n];
+        let mut responses = 0u64;
+        let mut max_queue_ns = 0u64;
         for _ in 0..expected {
-            let Ok((i, hits, queue_ns, scan_ns)) = rx.recv() else {
+            let Ok((i, hits, queue_ns, scan_ns, cost)) = rx.recv() else {
                 break;
             };
+            meter::charge_cost(&cost);
+            responses += 1;
+            max_queue_ns = max_queue_ns.max(queue_ns);
             let series = &self.obs.shards[i];
             series.searches.inc();
             series
@@ -436,6 +446,10 @@ impl Router {
             }
             lists[i] = hits;
         }
+        // Queue wait is the slowest shard's (waits overlap); fanout is the
+        // responses actually merged.
+        meter::charge_queue_ns(max_queue_ns);
+        meter::charge_shard_fanout(responses);
         let merged = merge_topk(&lists, k);
         if let Some(probes) = probes {
             credit_merge_contributions(&merged, &lists, probes);
@@ -467,7 +481,7 @@ impl Router {
         let texts: Arc<Vec<String>> =
             Arc::new(queries.iter().map(|q| q.text.to_string()).collect());
         let n = self.shards.len();
-        let (tx, rx) = channel::bounded::<(usize, Vec<Vec<SearchHit>>, u64, u64)>(n);
+        let (tx, rx) = channel::bounded::<(usize, Vec<Vec<SearchHit>>, u64, u64, CostVector)>(n);
         enum Target {
             Content(ShardContent),
             Semantic(ShardSemantic),
@@ -488,31 +502,37 @@ impl Router {
             let submitted = clock.now();
             let job: ShardJob = Box::new(move || {
                 let start = clock.now();
-                let per_query: Vec<Vec<SearchHit>> = match &target {
-                    Target::Content(index) => {
-                        let index = index.read();
-                        texts.iter().map(|t| index.search(t, k)).collect()
+                // Same harvest-and-ship as `scatter_member`: the whole
+                // batch's scan cost rides home in one vector and is split
+                // per request by the caller's batch attribution.
+                let (per_query, cost) = meter::scoped(|| -> Vec<Vec<SearchHit>> {
+                    match &target {
+                        Target::Content(index) => {
+                            let index = index.read();
+                            texts.iter().map(|t| index.search(t, k)).collect()
+                        }
+                        Target::Semantic(index) => {
+                            let mut results =
+                                VectorIndex::search_batch(&*index.read(), &dense, k).into_iter();
+                            has_vector
+                                .iter()
+                                .map(|&has| {
+                                    if has {
+                                        results.next().unwrap_or_default()
+                                    } else {
+                                        Vec::new()
+                                    }
+                                })
+                                .collect()
+                        }
                     }
-                    Target::Semantic(index) => {
-                        let mut results =
-                            VectorIndex::search_batch(&*index.read(), &dense, k).into_iter();
-                        has_vector
-                            .iter()
-                            .map(|&has| {
-                                if has {
-                                    results.next().unwrap_or_default()
-                                } else {
-                                    Vec::new()
-                                }
-                            })
-                            .collect()
-                    }
-                };
+                });
                 let _ = tx.send((
                     i,
                     per_query,
                     ns_between(submitted, start),
                     ns_between(start, clock.now()),
+                    cost,
                 ));
             });
             if let Err(job) = shard.try_submit(job) {
@@ -522,10 +542,15 @@ impl Router {
         }
         drop(tx);
         let mut per_shard: Vec<Vec<Vec<SearchHit>>> = vec![Vec::new(); n];
+        let mut responses = 0u64;
+        let mut max_queue_ns = 0u64;
         for _ in 0..expected {
-            let Ok((i, per_query, queue_ns, scan_ns)) = rx.recv() else {
+            let Ok((i, per_query, queue_ns, scan_ns, cost)) = rx.recv() else {
                 break;
             };
+            meter::charge_cost(&cost);
+            responses += 1;
+            max_queue_ns = max_queue_ns.max(queue_ns);
             let series = &self.obs.shards[i];
             series.searches.add(batch as u64);
             series
@@ -545,6 +570,11 @@ impl Router {
             }
             per_shard[i] = per_query;
         }
+        // Charged `batch` times so an even per-request split leaves each
+        // request seeing the slowest shard's wait and the full fanout —
+        // the same semantics the single-query path records.
+        meter::charge_queue_ns(max_queue_ns * batch as u64);
+        meter::charge_shard_fanout(responses * batch as u64);
         (0..batch)
             .map(|qi| {
                 let lists: Vec<Vec<SearchHit>> = per_shard

@@ -81,4 +81,6 @@ pub use verifai_llm::{DataObject, ImputedCell, TextClaim, Verdict};
 
 // Observability vocabulary: clocks, traces, and metrics flow through every
 // layer, so surface them here alongside the pipeline types they annotate.
-pub use verifai_obs::{Clock, MockClock, ObsConfig, RequestTrace, SystemClock, TraceId};
+pub use verifai_obs::{
+    Clock, CostVector, MockClock, ObsConfig, RequestTrace, SystemClock, TraceId,
+};

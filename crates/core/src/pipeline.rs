@@ -28,7 +28,9 @@ use verifai_index::{
 };
 use verifai_lake::{DataInstance, DataLake, InstanceId, InstanceKind, SourceId};
 use verifai_llm::{DataObject, ImputedCell, SimLlm, TextClaim, Verdict};
-use verifai_obs::{ns_between, Clock, RequestTrace, SpanContext, SystemClock, TraceId};
+use verifai_obs::{
+    meter, ns_between, Clock, CostVector, RequestTrace, SpanContext, SystemClock, TraceId,
+};
 use verifai_rerank::composite::CompositeReranker;
 use verifai_text::Analyzer;
 use verifai_verify::{
@@ -69,6 +71,10 @@ pub struct VerificationReport {
     /// Trace id the run executed under (0 = untraced). Like timing, this is
     /// run bookkeeping, not semantics: excluded from report equality.
     pub trace_id: TraceId,
+    /// Resources this run consumed — vectors scanned, postings visited,
+    /// bytes moved, stage wall time (see [`CostVector`]). Run bookkeeping
+    /// like `timing`: excluded from report equality.
+    pub cost: CostVector,
 }
 
 impl VerificationReport {
@@ -326,6 +332,10 @@ impl VerifAi {
         let mut system =
             VerifAi::with_sources_and_clock(generated, config, sources, build_stats, clock);
         system.live = Some(live);
+        // Index construction runs the same charged kernels as serving
+        // (HNSW inserts search the graph); drop whatever landed on this
+        // thread so the first request's cost vector starts from zero.
+        let _ = meter::take();
         system
     }
 
@@ -850,6 +860,14 @@ impl VerifAi {
             note,
         });
         recorder.flush_stage();
+        // Drain the thread's resource tally: every kernel charge since the
+        // last report — this request's scans, postings walks, re-charged
+        // shard costs — belongs to this report. Stage wall times are
+        // stamped from the timing the stages measured.
+        let mut cost = meter::take();
+        cost.retrieval_ns = timing.retrieval_ns;
+        cost.rerank_ns = timing.rerank_ns;
+        cost.verify_ns = timing.verify_ns;
         VerificationReport {
             object_id: object.id(),
             evidence: outcome.verdicts,
@@ -857,6 +875,7 @@ impl VerifAi {
             confidence,
             timing,
             trace_id: trace.trace_id,
+            cost,
         }
     }
 

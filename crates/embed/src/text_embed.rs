@@ -68,6 +68,7 @@ impl TextEmbedder {
 
     /// Embed a string.
     pub fn embed(&self, text: &str) -> Vector {
+        verifai_obs::meter::charge_embed();
         let mut v = Vector::zeros(self.config.dim);
         let terms = self.analyzer.analyze(text);
         for term in &terms {

@@ -39,6 +39,7 @@ impl TupleEmbedder {
 
     /// Embed a tuple. Null cells contribute nothing.
     pub fn embed(&self, tuple: &Tuple) -> Vector {
+        verifai_obs::meter::charge_embed();
         let mut v = Vector::zeros(self.dim);
         for (col, val) in tuple.schema.columns().iter().zip(tuple.values.iter()) {
             if val.is_null() {

@@ -12,6 +12,7 @@ use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 use verifai_lake::InstanceId;
+use verifai_obs::meter;
 use verifai_text::{Analyzer, AnalyzerConfig};
 
 /// Corpus-wide statistics BM25 scoring depends on: document count, total
@@ -249,6 +250,7 @@ impl InvertedIndex {
         }
         let avg_len = total_len / n_docs;
         let mut scores: HashMap<u32, f64> = HashMap::new();
+        let mut visited = 0u64;
         // Stable term order for reproducible floating-point accumulation.
         let mut qvec: Vec<(&String, &u32)> = qterms.iter().collect();
         qvec.sort_unstable();
@@ -256,6 +258,7 @@ impl InvertedIndex {
             let Some(postings) = self.postings.get(term) else {
                 continue;
             };
+            visited += postings.len() as u64;
             let df = match (stats, &self.shared_stats) {
                 (Some(s), _) => {
                     let live = s.doc_freqs.get(term).copied().unwrap_or(0);
@@ -284,6 +287,9 @@ impl InvertedIndex {
                 *scores.entry(p.doc).or_insert(0.0) += contrib * qf as f64;
             }
         }
+        // One tally update per query: a posting is a (doc, tf) pair, 8
+        // bytes as laid out in the snapshot format.
+        meter::charge_postings(visited, visited * 8);
         // Top-k selection with a size-k min-heap.
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
         for (doc, score) in scores {

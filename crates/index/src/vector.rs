@@ -42,6 +42,7 @@ use std::sync::{Arc, Mutex};
 use verifai_embed::quant;
 use verifai_embed::Vector;
 use verifai_lake::InstanceId;
+use verifai_obs::meter;
 
 /// A unit-length copy of `query` (zero stays zero): the one normalization
 /// a search pays, after which every candidate comparison is a single dot.
@@ -537,10 +538,12 @@ impl FlatIndex {
         shortlist: usize,
         heap: &mut BinaryHeap<MinEntry>,
     ) {
+        let mut scored = 0u64;
         for ord in lo..hi {
             if self.deleted[ord] {
                 continue;
             }
+            scored += 1;
             let score = quant::dot_i8(self.code_row(ord), qcodes) as f64
                 * (self.scales[ord] * qscale) as f64;
             offer(
@@ -553,10 +556,14 @@ impl FlatIndex {
                 },
             );
         }
+        // One tally update per range, never per row: int8 codes are one
+        // byte per dimension.
+        meter::charge_quantized(scored, scored * self.dim as u64);
     }
 
     /// Phase 2: exact f32 rescore of a phase-1 shortlist, reorder, truncate.
     fn rescore(&self, heap: BinaryHeap<MinEntry>, q: &Vector, k: usize) -> Vec<SearchHit> {
+        meter::charge_rescore(heap.len() as u64, (heap.len() * self.dim * 4) as u64);
         let mut hits: Vec<SearchHit> = heap
             .into_iter()
             .map(|e| SearchHit::new(self.ids[e.ord], self.vectors[e.ord].dot_unit(q) as f64))
@@ -623,10 +630,12 @@ impl VectorIndex for FlatIndex {
             return self.rescore(heap, &q, k);
         }
         let mut heap: BinaryHeap<MinEntry> = BinaryHeap::with_capacity(k + 1);
+        let mut scored = 0u64;
         for (ord, v) in self.vectors.iter().enumerate() {
             if self.deleted[ord] {
                 continue;
             }
+            scored += 1;
             let score = v.dot_unit(&q) as f64;
             heap.push(MinEntry {
                 score,
@@ -637,6 +646,7 @@ impl VectorIndex for FlatIndex {
                 heap.pop();
             }
         }
+        meter::charge_scan(scored, scored * (self.dim * 4) as u64);
         let mut hits: Vec<SearchHit> = heap
             .into_iter()
             .map(|e| SearchHit::new(self.ids[e.ord], e.score))
@@ -674,10 +684,12 @@ impl VectorIndex for FlatIndex {
                 .iter()
                 .map(|_| BinaryHeap::with_capacity(shortlist.min(n).saturating_add(1)))
                 .collect();
+            let mut scored = 0u64;
             for ord in 0..n {
                 if self.deleted[ord] {
                     continue;
                 }
+                scored += 1;
                 let row = self.code_row(ord);
                 let scale = self.scales[ord];
                 let id = self.ids[ord];
@@ -686,6 +698,10 @@ impl VectorIndex for FlatIndex {
                     offer(heap, shortlist, MinEntry { score, ord, id });
                 }
             }
+            // Charged as if each query swept alone, so blocked and
+            // per-query execution meter identically.
+            let ops = scored * qs.len() as u64;
+            meter::charge_quantized(ops, ops * self.dim as u64);
             return heaps
                 .into_iter()
                 .zip(qs.iter())
@@ -696,10 +712,12 @@ impl VectorIndex for FlatIndex {
             .iter()
             .map(|_| BinaryHeap::with_capacity(k + 1))
             .collect();
+        let mut scored = 0u64;
         for ord in 0..n {
             if self.deleted[ord] {
                 continue;
             }
+            scored += 1;
             let v = &self.vectors[ord];
             let id = self.ids[ord];
             for (q, heap) in qs.iter().zip(heaps.iter_mut()) {
@@ -707,6 +725,8 @@ impl VectorIndex for FlatIndex {
                 offer(heap, k, MinEntry { score, ord, id });
             }
         }
+        let ops = scored * qs.len() as u64;
+        meter::charge_scan(ops, ops * (self.dim * 4) as u64);
         heaps
             .into_iter()
             .map(|heap| {
@@ -939,9 +959,11 @@ impl HnswIndex {
     fn greedy_at_layer(&self, start: u32, q: &Vector, layer: usize) -> u32 {
         let mut cur = start;
         let mut cur_d = self.dist(cur, q);
+        let mut evals = 1u64;
         loop {
             let mut improved = false;
             let edges = &self.nodes[cur as usize].neighbors[layer];
+            evals += edges.len() as u64;
             for (i, e) in edges.iter().enumerate() {
                 if let Some(next) = edges.get(i + 1) {
                     prefetch_slice(self.nodes[next.ord as usize].vector.as_slice());
@@ -954,6 +976,7 @@ impl HnswIndex {
                 }
             }
             if !improved {
+                meter::charge_scan(evals, evals * (q.dim() * 4) as u64);
                 return cur;
             }
         }
@@ -974,6 +997,7 @@ impl HnswIndex {
             .unwrap_or_default();
         visited.begin(self.nodes.len());
         visited.insert(entry);
+        let mut evals = 1u64;
         let d0 = self.dist(entry, q);
         // Candidates: min-dist first (use Reverse ordering via negated compare).
         let mut candidates: BinaryHeap<CandEntry> = BinaryHeap::new();
@@ -1003,6 +1027,7 @@ impl HnswIndex {
                 if !visited.insert(e.ord) {
                     continue;
                 }
+                evals += 1;
                 let d = self.dist(e.ord, q);
                 let worst = results.peek().map(|r| r.dist).unwrap_or(f64::INFINITY);
                 if results.len() < ef || d < worst {
@@ -1022,6 +1047,7 @@ impl HnswIndex {
                 }
             }
         }
+        meter::charge_scan(evals, evals * (q.dim() * 4) as u64);
         // Return the buffer to the pool for the next search.
         if let Ok(mut pool) = self.visited.try_lock() {
             *pool = visited;

@@ -132,6 +132,64 @@ pub fn render_prometheus(snapshot: &RegistrySnapshot) -> String {
     out
 }
 
+/// Validate a Prometheus text exposition: every sample line's metric must
+/// have been introduced by a `# HELP` line with non-empty text **and** a
+/// `# TYPE` line before its first sample. Summary `_sum`/`_count` and
+/// exemplar `_bucket` samples are attributed to their base metric.
+/// Returns the number of sample lines, or a description of the first
+/// violation — the test (and smoke-script) guard ensuring no series ever
+/// ships undocumented.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut helped: Vec<&str> = Vec::new();
+    let mut typed: Vec<&str> = Vec::new();
+    let mut samples = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if name.is_empty() || rest[name.len()..].trim().is_empty() {
+                return Err(format!("line {lineno}: HELP with no text: {line:?}"));
+            }
+            helped.push(name);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if name.is_empty() {
+                return Err(format!("line {lineno}: TYPE with no name: {line:?}"));
+            }
+            typed.push(name);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("line {lineno}: not a sample line: {line:?}"))?;
+        let mut name = &line[..name_end];
+        for suffix in ["_sum", "_count", "_bucket"] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if helped.contains(&base) {
+                    name = base;
+                    break;
+                }
+            }
+        }
+        if !helped.contains(&name) {
+            return Err(format!("line {lineno}: series {name} has no # HELP"));
+        }
+        if !typed.contains(&name) {
+            return Err(format!("line {lineno}: series {name} has no # TYPE"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
 /// Render a registry snapshot as a JSON object: one key per series
 /// (`name{label=value}` for labeled series), counters and gauges as
 /// numbers, histograms as `{count, mean_us, p50_us, p95_us, p99_us,
@@ -255,6 +313,41 @@ mod tests {
             .histogram("verifai_plain_seconds", "plain", &[])
             .record(Duration::from_micros(500));
         assert!(!render_prometheus(&plain.snapshot()).contains("_bucket"));
+    }
+
+    #[test]
+    fn rendered_exposition_passes_help_type_validation() {
+        // Exemplared histograms are the trickiest shape: quantile, _sum,
+        // _count, and _bucket samples all under one HELP/TYPE pair.
+        let registry = sample_registry();
+        registry
+            .histogram_with_exemplars("verifai_request_latency_seconds", "latency", &[])
+            .record_traced(Duration::from_micros(500), 42);
+        let samples = validate_prometheus(&render_prometheus(&registry.snapshot()))
+            .expect("rendered exposition validates");
+        assert!(samples >= 10, "summary expands to many samples: {samples}");
+    }
+
+    #[test]
+    fn validation_rejects_undocumented_series() {
+        assert!(
+            validate_prometheus("verifai_orphan_total 3\n")
+                .unwrap_err()
+                .contains("no # HELP"),
+            "sample without HELP must be rejected"
+        );
+        let no_type = "# HELP verifai_x_total docs\nverifai_x_total 1\n";
+        assert!(validate_prometheus(no_type)
+            .unwrap_err()
+            .contains("no # TYPE"));
+        let empty_help =
+            "# HELP verifai_x_total \n# TYPE verifai_x_total counter\nverifai_x_total 1\n";
+        assert!(validate_prometheus(empty_help)
+            .unwrap_err()
+            .contains("HELP with no text"));
+        // Correct exposition passes and counts its sample lines.
+        let good = "# HELP verifai_x_total docs\n# TYPE verifai_x_total counter\nverifai_x_total{a=\"b\"} 1\n";
+        assert_eq!(validate_prometheus(good), Ok(1));
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //!   slowest full request traces for post-hoc debugging;
 //! * [`render_prometheus`] / [`render_json`] — exporters over registry
 //!   snapshots;
+//! * [`CostVector`] and the `meter` thread-local tally — per-request
+//!   resource metering charged by the scan kernels, merged across shards,
+//!   and rolled up per tenant;
+//! * [`Profiler`] — a cooperative wall-clock sampling profiler over the
+//!   same [`Clock`], exporting collapsed ("folded") stacks for
+//!   flamegraph/speedscope;
 //! * quality-health primitives — [`CategoryWindow`] tumbling windows,
 //!   [`DriftDetector`] G-test drift scoring against a frozen baseline,
 //!   [`CanarySchedule`] / [`CanaryTracker`] golden-set probes,
@@ -36,7 +42,9 @@ pub mod config;
 pub mod drift;
 pub mod export;
 pub mod hist;
+pub mod meter;
 pub mod perfetto;
+pub mod profile;
 pub mod recorder;
 pub mod registry;
 pub mod slo;
@@ -48,9 +56,11 @@ pub use canary::{CanarySchedule, CanaryTracker, CanaryWindow};
 pub use clock::{Clock, MockClock, SystemClock};
 pub use config::{ns_between, ObsConfig};
 pub use drift::{DriftAssessment, DriftBaseline, DriftDetector, CHI2_P001_DF3};
-pub use export::{render_json, render_prometheus};
+pub use export::{render_json, render_prometheus, validate_prometheus};
 pub use hist::{Exemplar, Histogram, HistogramSnapshot};
+pub use meter::CostVector;
 pub use perfetto::{render_perfetto, validate_trace_dump, TraceDumpSummary};
+pub use profile::{validate_folded, Profiler, WorkerProfiler};
 pub use recorder::{FlightRecorder, SamplingPolicy, SpanLog};
 pub use registry::{Counter, FloatGauge, Gauge, Registry, RegistrySnapshot, SeriesValue};
 pub use slo::{BurnRateTracker, SloAssessment, SloConfig};

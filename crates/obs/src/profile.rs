@@ -1,0 +1,349 @@
+//! An in-process wall-clock sampling profiler with folded-stack export.
+//!
+//! Each worker thread registers a [`WorkerProfiler`] handle and brackets
+//! its logical phases with RAII [`ScopeGuard`]s (`handle.enter("judge")`).
+//! Sampling is **cooperative**: workers call
+//! [`WorkerProfiler::sample_if_due`] at loop boundaries; the call computes
+//! how many sample ticks have elapsed on the shared [`Clock`] since the
+//! last harvest (period ≈ 1s / 99 Hz — 99 deliberately, so samples drift
+//! relative to any 10ms-periodic work instead of aliasing with it) and
+//! credits every newly-due tick to the *current* scope stack of *every*
+//! registered worker. One worker polling keeps the whole pool sampled.
+//!
+//! Driving the tick arithmetic off the injected [`Clock`] makes the
+//! profiler exactly testable: under a [`crate::MockClock`], advancing the
+//! clock by `n` periods and polling once credits exactly `n` samples —
+//! no signals, no background thread, no flaky sleep-based assertions.
+//!
+//! Aggregation is the collapsed-stack ("folded") format that
+//! `flamegraph.pl` and speedscope ingest directly: one line per distinct
+//! stack, frames joined by `;`, a trailing space-separated sample count —
+//! `worker-0;request;judge 412`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::clock::Clock;
+use crate::config::ns_between;
+
+/// Default sampling rate. 99 Hz, the profiler-folklore prime-ish rate
+/// that avoids lockstep with 100 Hz/10 ms periodic work.
+pub const DEFAULT_HZ: u64 = 99;
+
+/// One worker's mutable profiling state: the live scope stack and the
+/// folded sample counts already attributed to it.
+struct WorkerState {
+    /// Live scope stack, innermost last. Root frame is the worker name.
+    stack: Vec<&'static str>,
+    /// Folded stack → sample count, keys like `worker-0;request;judge`.
+    samples: HashMap<String, u64>,
+}
+
+struct Worker {
+    name: String,
+    state: Mutex<WorkerState>,
+}
+
+impl Worker {
+    fn folded_key(&self, stack: &[&'static str]) -> String {
+        let mut key = self.name.clone();
+        for frame in stack {
+            key.push(';');
+            key.push_str(frame);
+        }
+        key
+    }
+}
+
+/// The shared profiler: owns the clock, the sample period, and every
+/// registered worker. Cheap to clone via `Arc`; absent entirely (the
+/// common case) nothing in the serving path pays for it.
+pub struct Profiler {
+    clock: Arc<dyn Clock>,
+    epoch: Instant,
+    period_ns: u64,
+    /// Sample ticks already credited (monotone; claimed by CAS).
+    ticks_taken: AtomicU64,
+    workers: Mutex<Vec<Arc<Worker>>>,
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler")
+            .field("period_ns", &self.period_ns)
+            .field("ticks_taken", &self.ticks_taken.load(Ordering::Relaxed))
+            .field("workers", &self.workers.lock().len())
+            .finish()
+    }
+}
+
+impl Profiler {
+    /// A profiler sampling at [`DEFAULT_HZ`] on `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Profiler {
+        Profiler::with_hz(clock, DEFAULT_HZ)
+    }
+
+    /// A profiler sampling at `hz` (clamped to at least 1) on `clock`.
+    pub fn with_hz(clock: Arc<dyn Clock>, hz: u64) -> Profiler {
+        let epoch = clock.now();
+        Profiler {
+            clock,
+            epoch,
+            period_ns: 1_000_000_000 / hz.max(1),
+            ticks_taken: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The sample period in nanoseconds.
+    pub fn period_ns(&self) -> u64 {
+        self.period_ns
+    }
+
+    /// Register a worker by name; the name becomes the root frame of
+    /// every folded stack the worker produces.
+    pub fn register(self: &Arc<Self>, name: &str) -> WorkerProfiler {
+        let worker = Arc::new(Worker {
+            name: name.to_string(),
+            state: Mutex::new(WorkerState {
+                stack: Vec::with_capacity(8),
+                samples: HashMap::new(),
+            }),
+        });
+        self.workers.lock().push(Arc::clone(&worker));
+        WorkerProfiler {
+            profiler: Arc::clone(self),
+            worker,
+        }
+    }
+
+    /// Credit any newly-due sample ticks to every worker's current stack.
+    /// Returns the number of ticks credited by *this* call (0 when the
+    /// period hasn't elapsed — the fast path: one clock read, one atomic
+    /// load, one compare).
+    pub fn sample_now(&self) -> u64 {
+        let due = ns_between(self.epoch, self.clock.now()) / self.period_ns;
+        let mut taken = self.ticks_taken.load(Ordering::Relaxed);
+        loop {
+            if due <= taken {
+                return 0;
+            }
+            match self.ticks_taken.compare_exchange_weak(
+                taken,
+                due,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => taken = actual,
+            }
+        }
+        let new_ticks = due - taken;
+        let workers = self.workers.lock();
+        for worker in workers.iter() {
+            let mut state = worker.state.lock();
+            let key = worker.folded_key(&state.stack);
+            *state.samples.entry(key).or_insert(0) += new_ticks;
+        }
+        new_ticks
+    }
+
+    /// Total sample ticks credited so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks_taken.load(Ordering::Relaxed)
+    }
+
+    /// Render every worker's samples in collapsed-stack format, sorted by
+    /// stack name: `frame;frame;... count`, one line each — the input
+    /// `flamegraph.pl` / speedscope expect.
+    pub fn fold(&self) -> String {
+        let workers = self.workers.lock();
+        let mut lines: Vec<(String, u64)> = Vec::new();
+        for worker in workers.iter() {
+            let state = worker.state.lock();
+            for (stack, count) in state.samples.iter() {
+                lines.push((stack.clone(), *count));
+            }
+        }
+        lines.sort();
+        let mut out = String::new();
+        for (stack, count) in lines {
+            out.push_str(&stack);
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A worker's registered handle: scope entry plus cooperative sampling.
+/// Clones share the same worker: a thread can cache one and hand out
+/// copies without re-registering.
+#[derive(Clone)]
+pub struct WorkerProfiler {
+    profiler: Arc<Profiler>,
+    worker: Arc<Worker>,
+}
+
+impl WorkerProfiler {
+    /// Push `scope` onto this worker's stack; popped when the returned
+    /// guard drops. Scopes nest: `enter("request")` then `enter("judge")`
+    /// folds as `name;request;judge`.
+    pub fn enter(&self, scope: &'static str) -> ScopeGuard<'_> {
+        self.worker.state.lock().stack.push(scope);
+        ScopeGuard { owner: self }
+    }
+
+    /// Cooperative sampling poll — call at loop boundaries. Credits any
+    /// newly-due ticks across *all* workers; returns ticks credited.
+    pub fn sample_if_due(&self) -> u64 {
+        self.profiler.sample_now()
+    }
+
+    /// The shared profiler this handle reports into.
+    pub fn profiler(&self) -> &Arc<Profiler> {
+        &self.profiler
+    }
+}
+
+/// RAII scope marker returned by [`WorkerProfiler::enter`].
+pub struct ScopeGuard<'a> {
+    owner: &'a WorkerProfiler,
+}
+
+impl Drop for ScopeGuard<'_> {
+    fn drop(&mut self) {
+        self.owner.worker.state.lock().stack.pop();
+    }
+}
+
+/// Validate a folded-stack dump: non-empty, every line `stack count` with
+/// a parseable positive count and a non-empty `;`-separated stack.
+/// Returns `(distinct_stacks, total_samples)` or a description of the
+/// first malformed line — the self-check behind
+/// `verifai-serve --profile-dump`.
+pub fn validate_folded(dump: &str) -> Result<(usize, u64), String> {
+    let mut stacks = 0usize;
+    let mut total = 0u64;
+    for (idx, line) in dump.lines().enumerate() {
+        let Some((stack, count)) = line.rsplit_once(' ') else {
+            return Err(format!("line {}: no sample count: {line:?}", idx + 1));
+        };
+        if stack.is_empty() || stack.split(';').any(str::is_empty) {
+            return Err(format!("line {}: empty frame in stack {stack:?}", idx + 1));
+        }
+        let count: u64 = count
+            .parse()
+            .map_err(|e| format!("line {}: bad count {count:?}: {e}", idx + 1))?;
+        if count == 0 {
+            return Err(format!("line {}: zero sample count", idx + 1));
+        }
+        stacks += 1;
+        total = total.saturating_add(count);
+    }
+    if stacks == 0 {
+        return Err("no folded stacks in dump".to_string());
+    }
+    Ok((stacks, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+    use std::time::Duration;
+
+    fn period() -> Duration {
+        Duration::from_nanos(1_000_000_000 / DEFAULT_HZ)
+    }
+
+    #[test]
+    fn mock_clock_credits_exact_tick_counts() {
+        let clock = Arc::new(MockClock::new());
+        let profiler = Arc::new(Profiler::new(clock.clone() as Arc<dyn Clock>));
+        let worker = profiler.register("worker-0");
+        // Under a period: nothing due.
+        clock.advance(period() / 2);
+        assert_eq!(worker.sample_if_due(), 0);
+        // Cross three periods inside a scope: exactly 3 ticks, all on the
+        // current stack.
+        let _guard = worker.enter("request");
+        clock.advance(period() * 3);
+        assert_eq!(worker.sample_if_due(), 3);
+        assert_eq!(worker.sample_if_due(), 0, "ticks claimed exactly once");
+        drop(_guard);
+        let folded = profiler.fold();
+        assert_eq!(folded, "worker-0;request 3\n");
+    }
+
+    #[test]
+    fn scopes_nest_and_pop_in_folded_output() {
+        let clock = Arc::new(MockClock::new());
+        let profiler = Arc::new(Profiler::new(clock.clone() as Arc<dyn Clock>));
+        let worker = profiler.register("w");
+        {
+            let _outer = worker.enter("request");
+            {
+                let _inner = worker.enter("judge");
+                clock.advance(period() * 2);
+                worker.sample_if_due();
+            }
+            clock.advance(period());
+            worker.sample_if_due();
+        }
+        clock.advance(period() * 4);
+        worker.sample_if_due();
+        let folded = profiler.fold();
+        assert_eq!(folded, "w 4\nw;request 1\nw;request;judge 2\n");
+        assert_eq!(profiler.ticks(), 7);
+    }
+
+    #[test]
+    fn one_poll_samples_every_worker() {
+        let clock = Arc::new(MockClock::new());
+        let profiler = Arc::new(Profiler::new(clock.clone() as Arc<dyn Clock>));
+        let a = profiler.register("a");
+        let b = profiler.register("b");
+        let _ga = a.enter("scan");
+        let _gb = b.enter("judge");
+        clock.advance(period() * 5);
+        // Only worker `a` polls, but `b`'s stack is credited too.
+        assert_eq!(a.sample_if_due(), 5);
+        let folded = profiler.fold();
+        assert_eq!(folded, "a;scan 5\nb;judge 5\n");
+    }
+
+    #[test]
+    fn folded_dump_validates() {
+        let clock = Arc::new(MockClock::new());
+        let profiler = Arc::new(Profiler::new(clock.clone() as Arc<dyn Clock>));
+        let worker = profiler.register("worker-0");
+        let _g = worker.enter("request");
+        clock.advance(period() * 9);
+        worker.sample_if_due();
+        let (stacks, total) = validate_folded(&profiler.fold()).expect("valid dump");
+        assert_eq!(stacks, 1);
+        assert_eq!(total, 9);
+
+        assert!(validate_folded("").is_err(), "empty dump rejected");
+        assert!(validate_folded("no-count-line\n").is_err());
+        assert!(validate_folded("stack 0\n").is_err(), "zero count rejected");
+        assert!(validate_folded("a;;b 3\n").is_err(), "empty frame rejected");
+        assert!(validate_folded("a;b x\n").is_err(), "bad count rejected");
+    }
+
+    #[test]
+    fn custom_rate_changes_the_period() {
+        let clock = Arc::new(MockClock::new());
+        let profiler = Arc::new(Profiler::with_hz(clock.clone() as Arc<dyn Clock>, 1000));
+        assert_eq!(profiler.period_ns(), 1_000_000);
+        let worker = profiler.register("w");
+        clock.advance(Duration::from_millis(10));
+        assert_eq!(worker.sample_if_due(), 10);
+    }
+}

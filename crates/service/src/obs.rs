@@ -16,12 +16,13 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use verifai::{LiveLakeStats, StageTiming, Verdict};
+use verifai_obs::meter::COST_FIELDS;
 use verifai_obs::{
-    ns_between, Counter, FlightRecorder, FloatGauge, Gauge, Histogram, HistogramSnapshot,
-    ObsConfig, Registry, RegistrySnapshot, RequestTrace, TraceId,
+    ns_between, CostVector, Counter, FlightRecorder, FloatGauge, Gauge, Histogram,
+    HistogramSnapshot, ObsConfig, Registry, RegistrySnapshot, RequestTrace, TraceId,
 };
 
 use crate::cache::CacheStats;
@@ -205,9 +206,61 @@ impl QualityObs {
     }
 }
 
-/// Per-tenant accounting: outcome counters plus an end-to-end latency
-/// histogram, every series labeled `{tenant="name"}` (and the counters
-/// additionally by `{outcome=...}`).
+/// The compile-time kernel feature set baked into this binary, exported
+/// as the `features` label of `verifai_build_info`.
+const BUILD_FEATURES: &str = if cfg!(target_feature = "avx2") {
+    "avx2"
+} else if cfg!(target_feature = "sse2") {
+    "sse2"
+} else {
+    "portable"
+};
+
+/// One [`CostVector`]'s worth of cumulative counters: a `{resource=...}`
+/// family aligned with [`CostVector::FIELD_NAMES`]. The rollup is exact —
+/// billing-grade — so it lives in the always-on tier, never gated behind
+/// [`ObsConfig::enabled`].
+struct CostSeries([Arc<Counter>; COST_FIELDS]);
+
+impl CostSeries {
+    fn tenant(registry: &Registry, tenant: &str) -> CostSeries {
+        CostSeries(CostVector::FIELD_NAMES.map(|resource| {
+            registry.counter(
+                "verifai_tenant_cost_total",
+                "Cumulative resource consumption per tenant, by resource dimension",
+                &[("tenant", tenant), ("resource", resource)],
+            )
+        }))
+    }
+
+    fn service(registry: &Registry) -> CostSeries {
+        CostSeries(CostVector::FIELD_NAMES.map(|resource| {
+            registry.counter(
+                "verifai_cost_total",
+                "Cumulative resource consumption across completed requests, by resource dimension",
+                &[("resource", resource)],
+            )
+        }))
+    }
+
+    fn add(&self, cost: &CostVector) {
+        for (counter, value) in self.0.iter().zip(cost.values()) {
+            counter.add(value);
+        }
+    }
+
+    fn total(&self) -> CostVector {
+        let mut values = [0u64; COST_FIELDS];
+        for (slot, counter) in values.iter_mut().zip(self.0.iter()) {
+            *slot = counter.get();
+        }
+        CostVector::from_values(values)
+    }
+}
+
+/// Per-tenant accounting: outcome counters, an end-to-end latency
+/// histogram, and the cost rollup, every series labeled `{tenant="name"}`
+/// (and the counters additionally by `{outcome=...}` / `{resource=...}`).
 struct TenantSeries {
     name: String,
     completed: Arc<Counter>,
@@ -216,6 +269,7 @@ struct TenantSeries {
     throttled: Arc<Counter>,
     failed: Arc<Counter>,
     latency: Arc<Histogram>,
+    cost: CostSeries,
 }
 
 impl TenantSeries {
@@ -239,6 +293,7 @@ impl TenantSeries {
                 "End-to-end latency of completed requests, per tenant",
                 &[("tenant", name)],
             ),
+            cost: CostSeries::tenant(registry, name),
         }
     }
 }
@@ -349,6 +404,16 @@ pub struct ServiceObs {
     candidates_in: Arc<Counter>,
     candidates_out: Arc<Counter>,
 
+    // Always-on cost accounting: the service-wide rollup of every
+    // completed report's `CostVector` (per-tenant rollups live on the
+    // `TenantSeries`).
+    cost: CostSeries,
+
+    // Process vitals: uptime is refreshed from the clock at snapshot time;
+    // `verifai_build_info` is a constant-1 gauge set at construction.
+    epoch: Instant,
+    uptime: Arc<FloatGauge>,
+
     // Cache gauges, refreshed from `EvidenceCache` at snapshot time.
     cache_hits: Arc<Gauge>,
     cache_misses: Arc<Gauge>,
@@ -396,8 +461,22 @@ impl ServiceObs {
         tenant_names: &[String],
     ) -> ServiceObs {
         let registry = Registry::new();
-        let quality = (config.enabled && quality.enabled)
-            .then(|| QualityObs::new(&registry, quality, config.clock.now()));
+        let epoch = config.clock.now();
+        let quality =
+            (config.enabled && quality.enabled).then(|| QualityObs::new(&registry, quality, epoch));
+        // Constant-1 info gauge carrying the build identity as labels —
+        // the conventional Prometheus shape for joining version/feature
+        // metadata onto any other series.
+        registry
+            .gauge(
+                "verifai_build_info",
+                "Build identity: crate version and compiled kernel features (value is always 1)",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("features", BUILD_FEATURES),
+                ],
+            )
+            .set(1);
         let outcome = |o: &str| {
             registry.counter(
                 "verifai_requests_total",
@@ -472,6 +551,13 @@ impl ServiceObs {
                 "verifai_candidates_total",
                 "Evidence candidates entering / surviving the rerank stage",
                 &[("direction", "out")],
+            ),
+            cost: CostSeries::service(&registry),
+            epoch,
+            uptime: registry.float_gauge(
+                "verifai_process_uptime_seconds",
+                "Seconds since this service's observability epoch",
+                &[],
             ),
             cache_hits: registry.gauge("verifai_cache_hits", "Evidence-cache hits", &[]),
             cache_misses: registry.gauge("verifai_cache_misses", "Evidence-cache misses", &[]),
@@ -664,6 +750,23 @@ impl ServiceObs {
         }
     }
 
+    /// Roll one completed report's resource cost into the service-wide
+    /// and (when configured) per-tenant `*_cost_total` counters. Always
+    /// on: the rollup is the billing record, so it is exact whether or
+    /// not gated observability runs.
+    pub(crate) fn record_cost(&self, tenant: usize, cost: &CostVector) {
+        self.cost.add(cost);
+        if let Some(series) = self.tenants.get(tenant) {
+            series.cost.add(cost);
+        }
+    }
+
+    /// The service-wide cost rollup (the `verifai_cost_total` family as a
+    /// vector).
+    pub(crate) fn cost_totals(&self) -> CostVector {
+        self.cost.total()
+    }
+
     /// Frozen per-tenant accounting (empty without tenants). `queued` is
     /// zero here — the scheduler owns queue depth and the service fills it
     /// in.
@@ -679,6 +782,7 @@ impl ServiceObs {
                 failed: series.failed.get(),
                 queued: 0,
                 latency: series.latency.snapshot(),
+                cost: series.cost.total(),
             })
             .collect()
     }
@@ -794,6 +898,8 @@ impl ServiceObs {
     /// Freeze every series for export, refreshing the gauges that mirror
     /// out-of-registry state (queue depth, cache counters).
     pub fn snapshot(&self, queue_depth: usize, cache: &CacheStats) -> RegistrySnapshot {
+        self.uptime
+            .set(ns_between(self.epoch, self.config.clock.now()) as f64 / 1e9);
         self.queue_depth
             .set(queue_depth.min(i64::MAX as usize) as i64);
         self.cache_hits.set(cache.hits.min(i64::MAX as u64) as i64);
@@ -934,6 +1040,115 @@ mod tests {
             "verifai_quality_alerts_active",
             Some(("severity", "critical")),
         );
+    }
+
+    #[test]
+    fn every_series_ships_with_help_and_type() {
+        // The fullest registry we can stand up: quality + tenants + cost,
+        // with traffic so histograms render their summary expansion.
+        let obs = ServiceObs::with_quality_and_tenants(
+            ObsConfig::default(),
+            QualityConfig::default(),
+            &["acme".to_string(), "beta".to_string()],
+        );
+        obs.on_completed(1, &StageTiming::default(), Verdict::Verified, 10, 100, None);
+        obs.tenant_completed(0, 100);
+        obs.record_cost(
+            0,
+            &CostVector {
+                vectors_scanned: 7,
+                ..CostVector::zero()
+            },
+        );
+        let snap = obs.snapshot(0, &CacheStats::default());
+        for series in &snap.series {
+            assert!(
+                !series.help.trim().is_empty(),
+                "series {} ships without help text",
+                series.name
+            );
+        }
+        let text = verifai_obs::render_prometheus(&snap);
+        let samples = verifai_obs::validate_prometheus(&text)
+            .unwrap_or_else(|e| panic!("exposition failed HELP/TYPE validation: {e}"));
+        assert!(samples > 50, "full registry renders many samples");
+    }
+
+    #[test]
+    fn build_info_uptime_and_cost_series_export() {
+        let clock = Arc::new(verifai_obs::MockClock::new());
+        let config = ObsConfig {
+            clock: clock.clone(),
+            ..ObsConfig::default()
+        };
+        let obs = ServiceObs::with_quality_and_tenants(
+            config,
+            QualityConfig::default(),
+            &["acme".to_string()],
+        );
+        let cost = CostVector {
+            vectors_scanned: 5,
+            bm25_postings: 3,
+            bytes_read: 128,
+            ..CostVector::zero()
+        };
+        obs.record_cost(0, &cost);
+        obs.record_cost(0, &cost);
+        clock.advance(Duration::from_secs(90));
+        let snap = obs.snapshot(0, &CacheStats::default());
+        let find = |name: &str, label: Option<(&str, &str)>| {
+            snap.series
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && label.is_none_or(|(k, v)| {
+                            s.labels.iter().any(|(lk, lv)| *lk == k && lv == v)
+                        })
+                })
+                .unwrap_or_else(|| panic!("series {name} missing"))
+        };
+        // Build info: constant 1, carrying version + features labels.
+        let info = find(
+            "verifai_build_info",
+            Some(("version", env!("CARGO_PKG_VERSION"))),
+        );
+        assert!(info.labels.iter().any(|(k, _)| *k == "features"));
+        match info.value {
+            verifai_obs::SeriesValue::Gauge(v) => assert_eq!(v, 1),
+            ref other => panic!("expected gauge, got {other:?}"),
+        }
+        // Uptime mirrors the mock clock exactly.
+        match find("verifai_process_uptime_seconds", None).value {
+            verifai_obs::SeriesValue::Float(v) => assert!((v - 90.0).abs() < 1e-9),
+            ref other => panic!("expected float gauge, got {other:?}"),
+        }
+        // Cost counters: tenant and service-wide rollups agree with the
+        // recorded vectors (2x each field).
+        for (name, label) in [
+            ("verifai_tenant_cost_total", Some(("tenant", "acme"))),
+            ("verifai_cost_total", None),
+        ] {
+            let series = snap
+                .series
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && s.labels
+                            .iter()
+                            .any(|(k, v)| *k == "resource" && v == "vectors_scanned")
+                        && label.is_none_or(|(k, v)| {
+                            s.labels.iter().any(|(lk, lv)| *lk == k && lv == v)
+                        })
+                })
+                .unwrap_or_else(|| panic!("{name} vectors_scanned series missing"));
+            match series.value {
+                verifai_obs::SeriesValue::Counter(v) => assert_eq!(v, 10),
+                ref other => panic!("expected counter, got {other:?}"),
+            }
+        }
+        // And the read-back paths agree.
+        assert_eq!(obs.cost_totals(), cost.merged(&cost));
+        assert_eq!(obs.tenant_stats()[0].cost, cost.merged(&cost));
     }
 
     #[test]

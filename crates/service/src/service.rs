@@ -17,18 +17,22 @@
 //! `Completed` — so `completed + shed + rejected + failed == submitted`
 //! once all tickets resolve.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use verifai::exec::WorkerPool;
 use verifai::{
-    DataObject, ObsConfig, PipelineError, RequestTrace, StageTiming, TraceId, Verdict, VerifAi,
-    VerificationReport,
+    CostVector, DataObject, ObsConfig, PipelineError, RequestTrace, StageTiming, TraceId, Verdict,
+    VerifAi, VerificationReport,
 };
 use verifai_lake::DataInstance;
-use verifai_obs::{ns_between, render_json, render_prometheus, SpanContext};
+use verifai_obs::{
+    meter, ns_between, render_json, render_prometheus, Profiler, SpanContext, WorkerProfiler,
+};
 
 use crate::cache::{CachedEvidence, EvidenceCache};
 use crate::obs::ServiceObs;
@@ -62,6 +66,10 @@ pub struct ServiceConfig {
     /// `high_water` are then divided among tenants in weight proportion,
     /// and [`VerificationService::submit`] maps to the first tenant.
     pub tenants: Vec<TenantSpec>,
+    /// Optional wall-clock sampling profiler. Worker threads register
+    /// themselves on first use and bracket request phases with scopes;
+    /// `None` (the default) keeps the hot path entirely profiler-free.
+    pub profiler: Option<Arc<Profiler>>,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +84,7 @@ impl Default for ServiceConfig {
             default_deadline: None,
             quality: QualityConfig::default(),
             tenants: Vec::new(),
+            profiler: None,
         }
     }
 }
@@ -371,6 +380,7 @@ impl VerificationService {
             traces_recorded: obs.recorder().recorded(),
             traces_sampled_out: obs.recorder().sampled_out(),
             quality: obs.quality_stats(),
+            cost: obs.cost_totals(),
             cache: self
                 .inner
                 .cache
@@ -535,12 +545,14 @@ fn process_batch(inner: &Inner, batch: Vec<Request>) {
 type WarmEvidence = HashMap<(u8, String), WarmEntry>;
 
 /// One prewarmed discovery plus its batch membership: which micro-batch
-/// sweep produced it and how many distinct queries rode along.
+/// sweep produced it and how many distinct queries rode along, and this
+/// entry's even share of the sweep's harvested resource cost.
 struct WarmEntry {
     evidence: Vec<(DataInstance, f64)>,
     timing: StageTiming,
     batch_seq: u64,
     co_riders: usize,
+    cost: CostVector,
 }
 
 /// Discover the group's distinct not-yet-cached queries through
@@ -592,9 +604,16 @@ fn prewarm_group(inner: &Inner, group: &[Request]) -> WarmEvidence {
     }
     let batch_seq = inner.obs.allocate_batch_seq();
     let co_riders = objects.len();
+    // Harvest the sweep's resource cost off the worker's tally and split
+    // it evenly across the batch members; each share is re-charged when
+    // (and only when) the owning request is processed, so the blocked
+    // sweep meters exactly like `co_riders` independent discoveries.
+    let (discovered, sweep_cost) =
+        meter::scoped(|| inner.system.discover_evidence_batch_ctx(&objects, &ctxs));
+    let shares = sweep_cost.split(co_riders);
     keys.into_iter()
-        .zip(inner.system.discover_evidence_batch_ctx(&objects, &ctxs))
-        .map(|(key, (evidence, timing))| {
+        .zip(discovered.into_iter().zip(shares))
+        .map(|(key, ((evidence, timing), cost))| {
             (
                 key,
                 WarmEntry {
@@ -602,6 +621,7 @@ fn prewarm_group(inner: &Inner, group: &[Request]) -> WarmEvidence {
                     timing,
                     batch_seq,
                     co_riders,
+                    cost,
                 },
             )
         })
@@ -644,6 +664,10 @@ fn evidence_for(
     // a warm entry substitutes for the per-request discovery call.
     let discover = |trace: &mut RequestTrace| match warm.get(&key) {
         Some(entry) => {
+            // Re-charge this request's share of the sweep the prewarmer
+            // harvested; the drain at report assembly then attributes it
+            // here, where the work logically belongs.
+            meter::charge_cost(&entry.cost);
             // Keep the trace shape identical to per-request discovery —
             // the same retrieval/rerank spans, carrying this object's
             // share of the batch — and flag the batching in the notes.
@@ -685,6 +709,7 @@ fn evidence_for(
         if let Some(cached) = cache.get(key.0, &key.1) {
             match inner.system.try_resolve_evidence(&cached) {
                 Ok(evidence) => {
+                    meter::charge_cache_hit();
                     trace.span(
                         "cache",
                         ns_between(lookup_start, clock.now()),
@@ -699,6 +724,7 @@ fn evidence_for(
                 Err(other) => return Err(other),
             }
         }
+        meter::charge_cache_miss();
         trace.span(
             "cache",
             ns_between(lookup_start, clock.now()),
@@ -717,6 +743,7 @@ fn evidence_for(
     if let Some(cached) = local.get(&key) {
         let lookup_start = clock.now();
         return inner.system.try_resolve_evidence(cached).map(|evidence| {
+            meter::charge_cache_hit();
             trace.span(
                 "cache",
                 ns_between(lookup_start, clock.now()),
@@ -727,9 +754,32 @@ fn evidence_for(
             (evidence, None)
         });
     }
+    meter::charge_cache_miss();
     let (discovered, timing) = discover(trace);
     local.insert(key, discovered.iter().map(|(i, s)| (i.id(), *s)).collect());
     Ok((discovered, Some(timing)))
+}
+
+/// This thread's registered [`WorkerProfiler`], registering on first use.
+/// The handle is cached per thread and re-registered if a different
+/// profiler shows up (e.g. the caller thread draining two services).
+fn thread_profiler(profiler: &Arc<Profiler>) -> WorkerProfiler {
+    thread_local! {
+        static WORKER: RefCell<Option<WorkerProfiler>> = const { RefCell::new(None) };
+    }
+    static NEXT_WORKER: AtomicUsize = AtomicUsize::new(0);
+    WORKER.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if let Some(worker) = slot.as_ref() {
+            if Arc::ptr_eq(worker.profiler(), profiler) {
+                return worker.clone();
+            }
+        }
+        let id = NEXT_WORKER.fetch_add(1, Ordering::Relaxed);
+        let worker = profiler.register(&format!("worker-{id}"));
+        *slot = Some(worker.clone());
+        worker
+    })
 }
 
 fn process(
@@ -741,6 +791,8 @@ fn process(
     let clock = &inner.obs.config().clock;
     let started = clock.now();
     let queue_ns = ns_between(request.enqueued, started);
+    let profiler = inner.config.profiler.as_ref().map(thread_profiler);
+    let request_scope = profiler.as_ref().map(|worker| worker.enter("request"));
     let mut trace = inner.obs.begin_trace(request.trace_id, request.object.id());
     let queue_note = if trace.is_enabled() && !inner.config.tenants.is_empty() {
         format!("tenant {}", inner.config.tenants[request.tenant].name)
@@ -753,6 +805,8 @@ fn process(
         // The deadline passed before evidence discovery even started (e.g. a
         // zero budget, or long queueing): answer immediately with an empty
         // partial report rather than doing work the caller gave no time for.
+        // No pipeline runs, so the cost vector is stamped directly: all the
+        // request consumed was its queue slot.
         Ok((
             VerificationReport {
                 object_id: request.object.id(),
@@ -761,33 +815,51 @@ fn process(
                 confidence: 0.0,
                 timing: StageTiming::default(),
                 trace_id: request.trace_id,
+                cost: CostVector {
+                    queue_ns,
+                    ..CostVector::zero()
+                },
             },
             true,
         ))
     } else {
-        evidence_for(inner, &request.object, local, warm, &mut trace).map(
-            |(evidence, discovered)| {
-                let mut report = inner.system.verify_with_evidence_traced(
-                    &request.object,
-                    evidence,
-                    request.deadline,
-                    &mut trace,
-                );
-                // When this request paid for discovery, its report carries the
-                // discovery-side timing too, same as `verify_object` would.
-                if let Some(timing) = discovered {
-                    report.timing.retrieval_ns = timing.retrieval_ns;
-                    report.timing.rerank_ns = timing.rerank_ns;
-                    report.timing.candidates_in = timing.candidates_in;
-                    report.timing.candidates_out = timing.candidates_out;
-                }
-                // Deadline-partial reports carry `Unknown` at zero confidence.
-                let partial = request.deadline.is_some()
-                    && report.decision == Verdict::Unknown
-                    && report.confidence == 0.0;
-                (report, partial)
-            },
-        )
+        // Queue wait is charged up front so the drain at report assembly
+        // (inside `verify_with_evidence_traced`'s judge) folds it into
+        // this request's cost vector alongside the discovery charges.
+        meter::charge_queue_ns(queue_ns);
+        let discovered = {
+            let _scope = profiler.as_ref().map(|worker| worker.enter("discover"));
+            let result = evidence_for(inner, &request.object, local, warm, &mut trace);
+            if let Some(worker) = &profiler {
+                worker.sample_if_due();
+            }
+            result
+        };
+        discovered.map(|(evidence, discovered)| {
+            let _scope = profiler.as_ref().map(|worker| worker.enter("judge"));
+            let mut report = inner.system.verify_with_evidence_traced(
+                &request.object,
+                evidence,
+                request.deadline,
+                &mut trace,
+            );
+            // When this request paid for discovery, its report carries the
+            // discovery-side timing too, same as `verify_object` would —
+            // and the cost vector's stage clocks follow the same rule.
+            if let Some(timing) = discovered {
+                report.timing.retrieval_ns = timing.retrieval_ns;
+                report.timing.rerank_ns = timing.rerank_ns;
+                report.timing.candidates_in = timing.candidates_in;
+                report.timing.candidates_out = timing.candidates_out;
+                report.cost.retrieval_ns = timing.retrieval_ns;
+                report.cost.rerank_ns = timing.rerank_ns;
+            }
+            // Deadline-partial reports carry `Unknown` at zero confidence.
+            let partial = request.deadline.is_some()
+                && report.decision == Verdict::Unknown
+                && report.confidence == 0.0;
+            (report, partial)
+        })
     };
     match outcome {
         Ok((report, partial)) => {
@@ -801,11 +873,18 @@ fn process(
                 report.top_score(),
             );
             inner.obs.tenant_completed(request.tenant, latency_ns);
+            // Tenant cost rollup, from the very vector the caller receives:
+            // the per-tenant `verifai_tenant_cost_total` series equal the
+            // sum of returned per-request vectors by construction.
+            inner.obs.record_cost(request.tenant, &report.cost);
             trace.finish(if partial { "partial" } else { "completed" }, latency_ns);
             inner.obs.record_trace(trace);
             let _ = request.reply.send(RequestOutcome::Completed(report));
         }
         Err(error) => {
+            // Discovery charged the tally but no report drained it; reset
+            // so the residue cannot leak into the next request's vector.
+            let _ = meter::take();
             inner.obs.on_failed();
             inner.obs.tenant_failed(request.tenant);
             let latency_ns = ns_between(request.enqueued, clock.now());
@@ -814,6 +893,10 @@ fn process(
             inner.obs.record_trace(trace);
             let _ = request.reply.send(RequestOutcome::Failed(error));
         }
+    }
+    drop(request_scope);
+    if let Some(worker) = &profiler {
+        worker.sample_if_due();
     }
 }
 

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use verifai::LiveLakeStats;
+use verifai::{CostVector, LiveLakeStats};
 use verifai_obs::HistogramSnapshot;
 
 use crate::cache::CacheStats;
@@ -94,6 +94,13 @@ pub struct TenantStats {
     /// End-to-end latency distribution of this tenant's completed requests
     /// (empty when observability is off).
     pub latency: HistogramSnapshot,
+    /// Summed resource cost of this tenant's completed requests.
+    ///
+    /// Invariant (checked by the integration tests and the serve binary's
+    /// `--usage-report` self-check): exactly equals the fieldwise sum of
+    /// the [`verifai::VerificationReport::cost`] vectors returned to this
+    /// tenant — the rollup is billing-grade, not sampled.
+    pub cost: CostVector,
 }
 
 impl TenantStats {
@@ -106,6 +113,7 @@ impl TenantStats {
         self.failed += other.failed;
         self.queued += other.queued;
         self.latency.merge(&other.latency);
+        self.cost.merge(&other.cost);
     }
 }
 
@@ -160,6 +168,9 @@ pub struct ServiceStats {
     /// Per-tenant accounting, in configuration order (empty without
     /// tenants).
     pub tenants: Vec<TenantStats>,
+    /// Summed resource cost across every completed request (all tenants,
+    /// plus untenanted traffic).
+    pub cost: CostVector,
     /// Raw end-to-end latency distribution — the mergeable form behind the
     /// derived quantile fields below.
     pub latency: HistogramSnapshot,
@@ -258,6 +269,7 @@ impl ServiceStats {
                 None => self.tenants.push(tenant.clone()),
             }
         }
+        self.cost.merge(&other.cost);
         self.latency.merge(&other.latency);
         self.latency_mean = self.latency.mean();
         self.latency_p50 = self.latency.quantile(0.50);
@@ -309,6 +321,19 @@ impl fmt::Display for ServiceStats {
             self.stages.candidates_in,
             self.stages.candidates_out
         )?;
+        if !self.cost.is_zero() {
+            writeln!(
+                f,
+                "cost:     {} vectors ({} quantized ops, {} exact rescores) | {} postings | {} bytes | {} embeds | fanout {}",
+                self.cost.vectors_scanned,
+                self.cost.quantized_ops,
+                self.cost.exact_rescores,
+                self.cost.bm25_postings,
+                self.cost.bytes_read,
+                self.cost.embeds,
+                self.cost.shard_fanout
+            )?;
+        }
         if self.verdicts.total() > 0 {
             writeln!(
                 f,

@@ -5,7 +5,8 @@
 # the chunked dot kernel, flat scan, HNSW build, MaxSim, and the
 # sequential-vs-parallel lake index build, and writes BENCH_kernels.json
 # to the repository root. Then runs the service_bench obs-overhead
-# measurement (ObsConfig::default() vs ObsConfig::off(), plus the
+# measurement (ObsConfig::default() vs ObsConfig::off(), the metering
+# kill-switch and profiler A/B, plus the
 # quality/alert-path overhead: quality monitoring on with 5 ms windows vs
 # QualityConfig::off(), over the same closed-loop workload, plus the
 # scatter/gather routing overhead at 1/2/4/8 shards vs the single-lake

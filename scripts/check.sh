@@ -72,6 +72,30 @@ rm -f "$TRACE_DUMP"
 cargo test -q --test tracing > /dev/null
 cargo test -q -p verifai-obs --lib export > /dev/null
 
+# Gating metering smoke: a sharded multi-tenant run with --usage-report
+# must reconcile exactly (verifai-serve exits nonzero if any tenant's
+# cost rollup differs from the sum of the per-request vectors its client
+# received, or if the service total differs from the client ledger), and
+# --profile-dump must produce a validated non-empty collapsed-stack dump.
+# Then assert the artifacts here too: the reconciliation line printed,
+# and the dump folds worker request scopes.
+echo "==> metering smoke (gating)"
+USAGE_OUT="$(mktemp)"
+PROFILE_DUMP="$(mktemp)"
+cargo run -q --release --bin verifai-serve -- \
+  --requests 120 --shards 3 --tenants acme:3,beta:1 --slowest 0 \
+  --usage-report --profile-dump "$PROFILE_DUMP" > "$USAGE_OUT"
+grep -q 'usage reconciliation: tenant rollups equal' "$USAGE_OUT" \
+  || { echo "usage report did not reconcile"; exit 1; }
+grep -q 'profile dump: .* folded stacks' "$USAGE_OUT" \
+  || { echo "profile dump was not validated"; exit 1; }
+grep -q ';request' "$PROFILE_DUMP" \
+  || { echo "profile dump has no worker request stacks"; exit 1; }
+rm -f "$USAGE_OUT" "$PROFILE_DUMP"
+cargo test -q --test metering > /dev/null
+cargo test -q -p verifai-obs --lib meter > /dev/null
+cargo test -q -p verifai-obs --lib profile > /dev/null
+
 # Gating live-lake smoke: build a live system, stream documents in,
 # delete half, compact, snapshot the standing indexes, reload them, and
 # verify the reloaded indexes search identically. Nonzero exit means the

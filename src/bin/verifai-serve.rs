@@ -40,12 +40,13 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use verifai::ObsConfig;
-use verifai::{DataObject, SemanticBackend, Verdict, VerifAi, VerifAiConfig};
+use verifai::{CostVector, DataObject, SemanticBackend, Verdict, VerifAi, VerifAiConfig};
 use verifai_claims::ClaimGenConfig;
 use verifai_cluster::{build_cluster, ClusterConfig, Router};
 use verifai_datagen::{build, claim_workload, completion_workload, LakeSpec};
 use verifai_obs::{
-    render_perfetto, validate_trace_dump, CanarySchedule, RequestTrace, SamplingPolicy,
+    render_perfetto, validate_folded, validate_trace_dump, CanarySchedule, Clock, Profiler,
+    RequestTrace, SamplingPolicy, SystemClock,
 };
 use verifai_service::{
     QualityConfig, RequestOutcome, ServiceConfig, SubmitError, TenantSpec, Ticket,
@@ -71,6 +72,8 @@ struct Args {
     tenants: Vec<TenantSpec>,
     trace_dump: Option<String>,
     tail_sample: u64,
+    profile_dump: Option<String>,
+    usage_report: bool,
 }
 
 impl Default for Args {
@@ -94,6 +97,8 @@ impl Default for Args {
             tenants: Vec::new(),
             trace_dump: None,
             tail_sample: 0,
+            profile_dump: None,
+            usage_report: false,
         }
     }
 }
@@ -102,7 +107,8 @@ const USAGE: &str = "verifai-serve [--requests N] [--workers N] [--seed N] \
 [--queue-capacity N] [--high-water N] [--max-batch N] [--cache-capacity N] \
 [--deadline-ms N] [--distinct N] [--window N] [--metrics-every N] [--slowest N] \
 [--canary-every N] [--baseline p0,p1,p2,p3] [--shards N] \
-[--tenants name:weight[:rate[:burst]],...] [--trace-dump PATH] [--tail-sample N]";
+[--tenants name:weight[:rate[:burst]],...] [--trace-dump PATH] [--tail-sample N] \
+[--profile-dump PATH] [--usage-report]";
 
 /// Parse `--tenants acme:3,beta:1:5.0,free:1:2.0:4.0` — name, fair-share
 /// weight, optional sustained rate (req/s, 0 = unlimited) and burst.
@@ -148,6 +154,11 @@ fn parse_args() -> Result<Args, String> {
         if flag == "--help" || flag == "-h" {
             return Err(USAGE.to_string());
         }
+        // Valueless flags first — everything below consumes a value.
+        if flag == "--usage-report" {
+            args.usage_report = true;
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("{flag} needs a value\nusage: {USAGE}"))?;
@@ -158,6 +169,10 @@ fn parse_args() -> Result<Args, String> {
         }
         if flag == "--trace-dump" {
             args.trace_dump = Some(value);
+            continue;
+        }
+        if flag == "--profile-dump" {
+            args.profile_dump = Some(value);
             continue;
         }
         if flag == "--baseline" {
@@ -303,6 +318,13 @@ fn main() -> ExitCode {
     } else {
         ObsConfig::default()
     };
+    // `--profile-dump PATH`: a wall-clock sampling profiler shared by the
+    // service workers and this driver thread; folded stacks are written to
+    // PATH at exit.
+    let profiler: Option<Arc<Profiler>> = args
+        .profile_dump
+        .as_ref()
+        .map(|_| Arc::new(Profiler::new(Arc::new(SystemClock) as Arc<dyn Clock>)));
     let service = VerificationService::with_obs(
         Arc::clone(&sys),
         ServiceConfig {
@@ -317,10 +339,16 @@ fn main() -> ExitCode {
                 ..QualityConfig::default()
             },
             tenants: args.tenants.clone(),
+            profiler: profiler.clone(),
             ..ServiceConfig::default()
         },
         obs_config,
     );
+    // The driver registers too: its submit/drain loop shows up in the
+    // flamegraph alongside the worker request scopes, and its periodic
+    // polls keep sampling live even while workers sit idle.
+    let client_prof = profiler.as_ref().map(|p| p.register("client"));
+    let client_scope = client_prof.as_ref().map(|w| w.enter("drive"));
     // Sharded runs stitch distributed span trees: the router records one
     // child span per shard per query, grafted under the request's
     // retrieval span at lookup time.
@@ -358,7 +386,11 @@ fn main() -> ExitCode {
         .window
         .unwrap_or(args.workers.max(1) * args.max_batch.max(1));
     let mut rng = StdRng::seed_from_u64(args.seed);
-    let mut outstanding: VecDeque<(Ticket, bool)> = VecDeque::with_capacity(window);
+    let mut outstanding: VecDeque<(Ticket, bool, usize)> = VecDeque::with_capacity(window);
+    // The client-side cost ledger: every completed report's cost vector is
+    // summed per tenant, independently of the service's own rollup — the
+    // two must reconcile exactly (`--usage-report` checks).
+    let mut client_costs: Vec<CostVector> = vec![CostVector::zero(); args.tenants.len().max(1)];
     let mut completed = 0u64;
     let mut shed = 0u64;
     let mut rejected = 0u64;
@@ -373,11 +405,11 @@ fn main() -> ExitCode {
         .map(|t| u64::from(t.weight.max(1)))
         .collect();
     let total_weight: u64 = tenant_weights.iter().sum();
-    let pick_tenant = |rng: &mut StdRng| -> &str {
+    let pick_tenant = |rng: &mut StdRng| -> usize {
         let mut pick = rng.gen_range(0..total_weight);
-        for (spec, weight) in args.tenants.iter().zip(&tenant_weights) {
+        for (index, weight) in tenant_weights.iter().enumerate() {
             if pick < *weight {
-                return &spec.name;
+                return index;
             }
             pick -= *weight;
         }
@@ -385,12 +417,16 @@ fn main() -> ExitCode {
     };
     let mut probe_idx = 0usize;
     let mut canary_submissions = 0u64;
-    let drain = |(ticket, canary): (Ticket, bool),
+    let drain = |(ticket, canary, tenant): (Ticket, bool, usize),
                  completed: &mut u64,
                  shed: &mut u64,
-                 failed: &mut u64| {
+                 failed: &mut u64,
+                 client_costs: &mut Vec<CostVector>| {
         match ticket.wait() {
             RequestOutcome::Completed(report) => {
+                // Canary reports bill their tenant like any other request,
+                // so the ledger matches the service's rollup.
+                client_costs[tenant].merge(&report.cost);
                 if canary {
                     service.obs().record_canary(
                         report.decision == Verdict::Verified,
@@ -427,15 +463,25 @@ fn main() -> ExitCode {
         let object = pool[rng.gen_range(0..pool.len())].clone();
         if outstanding.len() >= window {
             let entry = outstanding.pop_front().expect("window non-empty");
-            drain(entry, &mut completed, &mut shed, &mut failed);
+            drain(
+                entry,
+                &mut completed,
+                &mut shed,
+                &mut failed,
+                &mut client_costs,
+            );
         }
-        let submitted = if args.tenants.is_empty() {
-            service.submit(object)
+        let (tenant, submitted) = if args.tenants.is_empty() {
+            (0, service.submit(object))
         } else {
-            service.submit_for(pick_tenant(&mut rng), object)
+            let tenant = pick_tenant(&mut rng);
+            (
+                tenant,
+                service.submit_for(&args.tenants[tenant].name, object),
+            )
         };
         match submitted {
-            Ok(ticket) => outstanding.push_back((ticket, false)),
+            Ok(ticket) => outstanding.push_back((ticket, false, tenant)),
             Err(SubmitError::Throttled) => throttled += 1,
             Err(_) => rejected += 1,
         }
@@ -444,22 +490,38 @@ fn main() -> ExitCode {
         if schedule.tick() {
             if outstanding.len() >= window {
                 let entry = outstanding.pop_front().expect("window non-empty");
-                drain(entry, &mut completed, &mut shed, &mut failed);
+                drain(
+                    entry,
+                    &mut completed,
+                    &mut shed,
+                    &mut failed,
+                    &mut client_costs,
+                );
             }
             let probe = golden[probe_idx % golden.len()].clone();
             probe_idx += 1;
             canary_submissions += 1;
+            // Probes ride as tenant 0 (`submit_with_deadline` maps there).
             if let Ok(ticket) = service.submit_with_deadline(probe, None) {
-                outstanding.push_back((ticket, true));
+                outstanding.push_back((ticket, true, 0));
             }
         }
         // Periodic live metrics dump: one compact JSON snapshot line.
         if args.metrics_every > 0 && (i + 1) % args.metrics_every == 0 {
             println!("metrics @ {}: {}", i + 1, service.render_json_snapshot());
         }
+        if let Some(worker) = &client_prof {
+            worker.sample_if_due();
+        }
     }
     for entry in outstanding {
-        drain(entry, &mut completed, &mut shed, &mut failed);
+        drain(
+            entry,
+            &mut completed,
+            &mut shed,
+            &mut failed,
+            &mut client_costs,
+        );
     }
     let elapsed = t_run.elapsed();
 
@@ -557,6 +619,86 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    // `--usage-report`: print the per-tenant cost rollup and reconcile it
+    // against the client-side ledger — the sum of every completed report's
+    // cost vector, per tenant. Any mismatch fails the run: the rollup is
+    // billing, and billing that drifts from what customers were handed is
+    // a bug, not noise.
+    if args.usage_report {
+        println!("\n==> usage report");
+        let fmt_cost = |cost: &CostVector| {
+            format!(
+                "vectors {} (quantized {} / rescored {}) | postings {} | bytes {} | embeds {} | cache {}/{} | queue {:?} | fanout {}",
+                cost.vectors_scanned,
+                cost.quantized_ops,
+                cost.exact_rescores,
+                cost.bm25_postings,
+                cost.bytes_read,
+                cost.embeds,
+                cost.cache_hits,
+                cost.cache_hits + cost.cache_misses,
+                Duration::from_nanos(cost.queue_ns),
+                cost.shard_fanout
+            )
+        };
+        let mut client_total = CostVector::zero();
+        for cost in &client_costs {
+            client_total.merge(cost);
+        }
+        if args.tenants.is_empty() {
+            println!("all traffic: {}", fmt_cost(&stats.cost));
+        } else {
+            for (index, tenant) in stats.tenants.iter().enumerate() {
+                println!("tenant {}: {}", tenant.name, fmt_cost(&tenant.cost));
+                if tenant.cost != client_costs[index] {
+                    eprintln!(
+                        "usage reconciliation failed for tenant {}: rollup {:?} != client ledger {:?}",
+                        tenant.name, tenant.cost, client_costs[index]
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if stats.cost != client_total {
+            eprintln!(
+                "usage reconciliation failed: service rollup {:?} != client ledger {:?}",
+                stats.cost, client_total
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "usage reconciliation: tenant rollups equal the sum of per-request cost vectors exactly"
+        );
+    }
+
+    // `--profile-dump PATH`: harvest any still-due sample ticks, render the
+    // folded stacks, self-validate, and write them where `flamegraph.pl` or
+    // speedscope can pick them up.
+    if let Some(path) = &args.profile_dump {
+        let profiler = profiler
+            .as_ref()
+            .expect("profiler exists when --profile-dump is set");
+        profiler.sample_now();
+        drop(client_scope);
+        let folded = profiler.fold();
+        match validate_folded(&folded) {
+            Ok((stacks, samples)) => {
+                if let Err(error) = std::fs::write(path, &folded) {
+                    eprintln!("cannot write profile dump to {path}: {error}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "profile dump: {stacks} folded stacks, {samples} samples @ {} Hz -> {path}",
+                    1_000_000_000 / profiler.period_ns()
+                );
+            }
+            Err(error) => {
+                eprintln!("profile dump failed validation: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     // A run that ends with a critical quality alert still active is a
     // failed run — this is what lets check.sh gate on canary health.
     if stats.quality.has_critical() {

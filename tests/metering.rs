@@ -1,0 +1,205 @@
+//! Resource-metering contract: every report carries an exact cost vector,
+//! metering is independent of execution shape (batched vs sequential,
+//! cached vs fresh), and the service's per-tenant cost rollups reconcile
+//! to the cent with the vectors handed to clients — including under
+//! concurrent completion across worker threads.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use verifai::{CostVector, DataObject, VerifAi, VerifAiConfig};
+use verifai_datagen::{build, completion_workload, LakeSpec};
+use verifai_obs::meter;
+use verifai_service::{RequestOutcome, ServiceConfig, TenantSpec, VerificationService};
+
+fn system(seed: u64) -> VerifAi {
+    VerifAi::build(build(&LakeSpec::tiny(seed)), VerifAiConfig::default())
+}
+
+/// A cost vector with its wall-clock dimensions zeroed: the deterministic
+/// work counters (scans, postings, bytes, embeds, cache traffic, fanout)
+/// that must reproduce exactly across runs, unlike nanosecond timings.
+fn work_only(mut cost: CostVector) -> CostVector {
+    cost.retrieval_ns = 0;
+    cost.rerank_ns = 0;
+    cost.verify_ns = 0;
+    cost.queue_ns = 0;
+    cost
+}
+
+#[test]
+fn reports_carry_exact_cost_vectors() {
+    let sys = system(601);
+    let tasks = completion_workload(sys.generated(), 4, 3);
+    for task in &tasks {
+        let object = sys.impute(task);
+        let report = sys.verify_object(&object);
+        // Retrieval ran real kernels: the vector must show the work.
+        assert!(report.cost.vectors_scanned > 0, "no scans metered");
+        assert!(report.cost.bm25_postings > 0, "no postings metered");
+        assert!(report.cost.bytes_read > 0, "no bytes metered");
+        assert!(report.cost.embeds > 0, "no embeds metered");
+        // Stage clocks are stamped from the same timing the report carries.
+        assert_eq!(report.cost.retrieval_ns, report.timing.retrieval_ns);
+        assert_eq!(report.cost.rerank_ns, report.timing.rerank_ns);
+        assert_eq!(report.cost.verify_ns, report.timing.verify_ns);
+    }
+}
+
+#[test]
+fn cost_is_excluded_from_report_equality() {
+    let sys = system(602);
+    let tasks = completion_workload(sys.generated(), 1, 3);
+    let object = sys.impute(&tasks[0]);
+    let report = sys.verify_object(&object);
+    let mut other = report.clone();
+    other.cost = CostVector::zero();
+    // Like `timing`, cost is run bookkeeping: two reports that agree on
+    // verdict and evidence are equal however much they cost to produce.
+    assert_eq!(report, other);
+}
+
+#[test]
+fn repeated_runs_meter_identical_work() {
+    let sys = system(603);
+    let tasks = completion_workload(sys.generated(), 3, 5);
+    for task in &tasks {
+        let object = sys.impute(task);
+        let first = sys.verify_object(&object);
+        let second = sys.verify_object(&object);
+        assert_eq!(
+            work_only(first.cost),
+            work_only(second.cost),
+            "metered work must be deterministic per object"
+        );
+    }
+}
+
+#[test]
+fn batched_and_sequential_execution_meter_identically() {
+    let sys = system(604);
+    let tasks = completion_workload(sys.generated(), 6, 7);
+    let objects: Vec<DataObject> = tasks.iter().map(|t| sys.impute(t)).collect();
+
+    // verify_batch spreads whole objects across threads; each report's
+    // vector must match its solo-run twin exactly (work dimensions).
+    let solo: Vec<CostVector> = objects
+        .iter()
+        .map(|o| work_only(sys.verify_object(o).cost))
+        .collect();
+    let batched: Vec<CostVector> = sys
+        .verify_batch(&objects, 3)
+        .into_iter()
+        .map(|r| work_only(r.cost))
+        .collect();
+    assert_eq!(solo, batched);
+
+    // The blocked multi-query discovery sweep charges "as if each query
+    // swept alone": the sweep's harvested total equals the sum of the
+    // per-object discovery costs.
+    let refs: Vec<&DataObject> = objects.iter().collect();
+    let (_, sweep) = meter::scoped(|| sys.discover_evidence_batch(&refs));
+    let mut solo_sum = CostVector::zero();
+    for object in &objects {
+        let (_, cost) = meter::scoped(|| sys.discover_evidence(object));
+        solo_sum.merge(&cost);
+    }
+    assert_eq!(work_only(sweep), work_only(solo_sum));
+}
+
+/// The reconciliation invariant end to end: with multiple tenants, worker
+/// threads completing requests concurrently, micro-batched prewarm sweeps,
+/// and cache hits, each tenant's `verifai_tenant_cost_total` rollup equals
+/// the fieldwise sum of the cost vectors returned to that tenant — exactly,
+/// not approximately — and the service-wide rollup equals their total.
+#[test]
+fn tenant_rollups_reconcile_under_concurrent_completion() {
+    let sys = Arc::new(system(605));
+    let tasks = completion_workload(sys.generated(), 8, 9);
+    let objects: Vec<DataObject> = tasks.iter().map(|t| sys.impute(t)).collect();
+    let service = VerificationService::new(
+        Arc::clone(&sys),
+        ServiceConfig {
+            workers: 4,
+            max_batch: 4,
+            tenants: vec![TenantSpec::new("acme", 3), TenantSpec::new("beta", 1)],
+            ..ServiceConfig::default()
+        },
+    );
+    let tenant_names = ["acme", "beta"];
+    let mut tickets = Vec::new();
+    // Three rounds over the pool so the evidence cache serves hits too.
+    for round in 0..3 {
+        for (i, object) in objects.iter().enumerate() {
+            let tenant = (i + round) % 2;
+            let ticket = service
+                .submit_for(tenant_names[tenant], object.clone())
+                .expect("admitted");
+            tickets.push((tenant, ticket));
+        }
+    }
+    let mut client_ledger = [CostVector::zero(), CostVector::zero()];
+    let mut cache_hits_seen = 0u64;
+    for (tenant, ticket) in tickets {
+        match ticket.wait() {
+            RequestOutcome::Completed(report) => {
+                client_ledger[tenant].merge(&report.cost);
+                cache_hits_seen += report.cost.cache_hits;
+            }
+            other => panic!("request did not complete: {other:?}"),
+        }
+    }
+    assert!(cache_hits_seen > 0, "repeat rounds must hit the cache");
+    let stats = service.shutdown();
+    let mut total = CostVector::zero();
+    for (tenant, ledger) in stats.tenants.iter().zip(&client_ledger) {
+        assert_eq!(
+            tenant.cost, *ledger,
+            "tenant {} rollup drifted from the vectors its clients received",
+            tenant.name
+        );
+        total.merge(ledger);
+    }
+    assert_eq!(stats.cost, total, "service-wide rollup != sum of tenants");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Completion order cannot perturb a rollup: merging each tenant's
+    /// per-request vectors in any interleaving (that is what concurrent
+    /// workers produce) yields the same per-tenant totals as submission
+    /// order — merge is commutative/associative, so the rollup is exact
+    /// no matter which worker finishes first.
+    #[test]
+    fn rollup_is_invariant_under_completion_order(
+        requests in proptest::collection::vec((0usize..4, 0u64..1_000_000), 1..64),
+        rotation in 0usize..64,
+    ) {
+        let mut in_order: HashMap<usize, CostVector> = HashMap::new();
+        for &(tenant, magnitude) in &requests {
+            let cost = CostVector {
+                vectors_scanned: magnitude,
+                bytes_read: magnitude.saturating_mul(4),
+                cache_misses: 1,
+                ..CostVector::zero()
+            };
+            in_order.entry(tenant).or_default().merge(&cost);
+        }
+        let mut shuffled = requests.clone();
+        shuffled.rotate_left(rotation % requests.len());
+        shuffled.reverse();
+        let mut out_of_order: HashMap<usize, CostVector> = HashMap::new();
+        for &(tenant, magnitude) in &shuffled {
+            let cost = CostVector {
+                vectors_scanned: magnitude,
+                bytes_read: magnitude.saturating_mul(4),
+                cache_misses: 1,
+                ..CostVector::zero()
+            };
+            out_of_order.entry(tenant).or_default().merge(&cost);
+        }
+        prop_assert_eq!(in_order, out_of_order);
+    }
+}
